@@ -1,0 +1,238 @@
+#include "common.h"
+
+#include "base/error.h"
+#include "base/logging.h"
+#include "base/timer.h"
+#include "core/evaluate.h"
+#include "data/cifar.h"
+#include "models/factory.h"
+#include "models/flops.h"
+#include "nn/checkpoint.h"
+
+namespace antidote::bench {
+
+ScaleConfig resolve_scale(BenchScale scale, const std::string& family) {
+  ScaleConfig cfg;
+  const bool imagenet = family == "vgg_imagenet";
+  const bool resnet = family == "resnet_cifar";
+  switch (scale) {
+    case BenchScale::kSmoke:
+      cfg.width_mult = 0.125f;
+      cfg.train_size = 120;
+      cfg.test_size = 60;
+      cfg.base_epochs = 1;
+      cfg.finetune_epochs = 1;
+      cfg.ttd_max_epochs_per_level = 1;
+      cfg.ttd_final_epochs = 1;
+      cfg.eval_batch = 32;
+      cfg.calibration_batches = 1;
+      cfg.max_classes = 10;
+      break;
+    case BenchScale::kDefault:
+      cfg.width_mult = resnet ? 0.25f : 0.125f;
+      cfg.train_size = imagenet ? 600 : 800;
+      cfg.test_size = imagenet ? 200 : 240;
+      cfg.base_epochs = 6;
+      cfg.finetune_epochs = 3;
+      cfg.ttd_max_epochs_per_level = 1;
+      cfg.ttd_final_epochs = 3;
+      cfg.max_classes = 20;
+      break;
+    case BenchScale::kFull:
+      cfg.width_mult = 1.0f;
+      cfg.train_size = imagenet ? 50000 : 50000;
+      cfg.test_size = 10000;
+      cfg.base_epochs = 120;
+      cfg.finetune_epochs = 20;
+      cfg.ttd_max_epochs_per_level = 4;
+      cfg.ttd_final_epochs = 20;
+      cfg.ttd_step = 0.05f;  // the paper's ascent step
+      cfg.base_lr = 0.1;
+      cfg.batch_size = 128;
+      cfg.eval_batch = 128;
+      cfg.calibration_batches = 10;
+      break;
+  }
+  return cfg;
+}
+
+data::DatasetPair load_dataset(const std::string& which,
+                               const ScaleConfig& scale, uint64_t seed) {
+  if (which == "cifar10" && data::cifar10_available("data/cifar-10-batches-bin")) {
+    AD_LOG(Info) << "using real CIFAR-10 archive";
+    return data::load_cifar10("data/cifar-10-batches-bin");
+  }
+  if (which == "cifar100" &&
+      data::cifar100_available("data/cifar-100-binary")) {
+    AD_LOG(Info) << "using real CIFAR-100 archive";
+    return data::load_cifar100("data/cifar-100-binary");
+  }
+  data::SyntheticSpec spec;
+  if (which == "cifar10") {
+    spec = data::SyntheticSpec::cifar10_like();
+  } else if (which == "cifar100") {
+    spec = data::SyntheticSpec::cifar100_like();
+  } else if (which == "imagenet100") {
+    spec = data::SyntheticSpec::imagenet100_like();
+  } else {
+    AD_CHECK(false) << " unknown dataset " << which;
+  }
+  if (scale.max_classes > 0 && spec.num_classes > scale.max_classes) {
+    AD_LOG(Info) << "scale substitution: " << spec.name << " capped to "
+                 << scale.max_classes << " classes (per-class sample budget)";
+    spec.num_classes = scale.max_classes;
+  }
+  spec.train_size = scale.train_size;
+  spec.test_size = scale.test_size;
+  spec.seed = seed;
+  AD_LOG(Info) << "synthesizing " << spec.name << " (" << spec.train_size
+               << " train / " << spec.test_size << " test, "
+               << spec.num_classes << " classes)";
+  return data::make_synthetic_pair(spec);
+}
+
+core::PruneSettings pick_settings(const core::PruneSettings& paper_ratios,
+                                  const core::PruneSettings& adjusted_ratios) {
+  return bench_scale() == BenchScale::kFull ? paper_ratios : adjusted_ratios;
+}
+
+double percent(double x) { return 100.0 * x; }
+
+double flops_reduction_percent(double dense_macs, double dynamic_macs) {
+  if (dense_macs <= 0) return 0.0;
+  return 100.0 * (1.0 - dynamic_macs / dense_macs);
+}
+
+namespace {
+
+core::TrainConfig make_train_config(const ScaleConfig& scale, int epochs,
+                                    bool using_real_data) {
+  core::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = scale.batch_size;
+  tc.base_lr = scale.base_lr;
+  // Synthetic blobs are near-centered; the paper's crop/flip pipeline only
+  // helps on real images.
+  tc.augment = using_real_data;
+  tc.verbose = true;
+  return tc;
+}
+
+}  // namespace
+
+TrainedModel train_base_model(const std::string& model_name,
+                              const std::string& dataset, int num_classes,
+                              const std::string& family, uint64_t seed) {
+  const BenchScale scale_kind = bench_scale();
+  TrainedModel out;
+  out.scale = resolve_scale(scale_kind, family);
+  AD_LOG(Info) << "scale=" << bench_scale_name(scale_kind) << " model="
+               << model_name << " width=" << out.scale.width_mult;
+
+  out.data = load_dataset(dataset, out.scale, seed * 977 + 13);
+  // The dataset's class count wins: reduced scales may cap it.
+  const int classes = out.data.train->num_classes();
+  AD_CHECK_LE(classes, num_classes);
+  Rng rng(seed);
+  out.net = models::make_model(model_name, classes, out.scale.width_mult,
+                               rng);
+
+  WallTimer timer;
+  core::Trainer trainer(
+      *out.net, *out.data.train,
+      make_train_config(out.scale, out.scale.base_epochs,
+                        out.scale.using_real_data));
+  trainer.fit();
+  AD_LOG(Info) << "base training took " << timer.seconds() << "s";
+
+  const auto shape = out.data.train->sample_shape();
+  out.dense_macs =
+      models::measure_dense_flops(*out.net, shape[0], shape[1], shape[2])
+          .total_macs;
+  out.baseline_accuracy =
+      core::evaluate(*out.net, *out.data.test, out.scale.eval_batch).accuracy;
+  AD_LOG(Info) << "baseline accuracy " << out.baseline_accuracy
+               << ", dense MACs " << out.dense_macs;
+  return out;
+}
+
+void run_table1(const Table1Spec& spec) {
+  WallTimer total_timer;
+  const std::string family =
+      spec.model_name == "resnet56" || spec.model_name == "resnet20"
+          ? "resnet_cifar"
+          : (spec.dataset == "imagenet100" ? "vgg_imagenet" : "vgg_cifar");
+  TrainedModel base = train_base_model(spec.model_name, spec.dataset,
+                                       spec.num_classes, family, spec.seed);
+  models::ConvNet& net = *base.net;
+  const ScaleConfig& scale = base.scale;
+  const auto snapshot = nn::snapshot_state(net);
+
+  Table table({"Pruning Method", "Baseline Accuracy(%)", "Baseline FLOPs",
+               "Final FLOPs", "FLOPs Reduction(%)", "Final Accuracy(%)",
+               "Accuracy Drop(%)"});
+  const double base_acc_pct = percent(base.baseline_accuracy);
+  const double dense_macs = static_cast<double>(base.dense_macs);
+
+  auto add_row = [&](const std::string& method, double final_macs,
+                     double final_acc_pct) {
+    table.add_row({method, Table::fmt(base_acc_pct, 1),
+                   Table::fmt_sci(dense_macs, 2), Table::fmt_sci(final_macs, 2),
+                   Table::fmt(flops_reduction_percent(dense_macs, final_macs),
+                              1),
+                   Table::fmt(final_acc_pct, 1),
+                   Table::fmt_signed(base_acc_pct - final_acc_pct, 1)});
+  };
+
+  // --- static baselines, each branched from the same trained weights ---
+  for (baselines::StaticCriterion criterion : spec.static_baselines) {
+    WallTimer timer;
+    nn::restore_state(net, snapshot);
+    baselines::StaticPruneConfig cfg;
+    cfg.criterion = criterion;
+    cfg.drop_per_block = spec.static_drop_per_block;
+    cfg.calibration_batches = scale.calibration_batches;
+    cfg.calibration_batch_size = scale.batch_size;
+    cfg.seed = spec.seed + 101;
+    baselines::StaticPruner pruner(net, cfg);
+    pruner.prune(*base.data.train);
+    core::TrainConfig finetune_cfg = make_train_config(
+        scale, scale.finetune_epochs, scale.using_real_data);
+    finetune_cfg.base_lr *= scale.finetune_lr_scale;
+    pruner.finetune(*base.data.train, finetune_cfg);
+    const core::EvalResult result =
+        pruner.evaluate_pruned(*base.data.test, scale.eval_batch);
+    add_row(std::string(baselines::criterion_name(criterion)) + " Pruning",
+            result.mean_macs_per_sample, percent(result.accuracy));
+    AD_LOG(Info) << baselines::criterion_name(criterion) << " baseline took "
+                 << timer.seconds() << "s";
+  }
+
+  // --- proposed dynamic settings: TTD + attention pruning ---
+  for (const ProposedSetting& setting : spec.proposed) {
+    WallTimer timer;
+    nn::restore_state(net, snapshot);
+    core::TtdConfig ttd_cfg;
+    ttd_cfg.target = setting.settings;
+    ttd_cfg.warmup_ratio = scale.ttd_warmup;
+    ttd_cfg.step = scale.ttd_step;
+    ttd_cfg.max_epochs_per_level = scale.ttd_max_epochs_per_level;
+    ttd_cfg.final_epochs = scale.ttd_final_epochs;
+    ttd_cfg.train = make_train_config(scale, 1, scale.using_real_data);
+    ttd_cfg.train.base_lr *= scale.ttd_lr_scale;
+    core::TtdTrainer ttd(net, *base.data.train, ttd_cfg);
+    ttd.run();
+    const core::EvalResult result =
+        core::evaluate(net, *base.data.test, scale.eval_batch);
+    ttd.engine().remove();
+    add_row(setting.label, result.mean_macs_per_sample,
+            percent(result.accuracy));
+    AD_LOG(Info) << setting.label << " took " << timer.seconds() << "s";
+  }
+
+  table.emit(spec.experiment_name, spec.csv_name);
+  AD_LOG(Info) << spec.experiment_name << " total " << total_timer.seconds()
+               << "s";
+}
+
+}  // namespace antidote::bench

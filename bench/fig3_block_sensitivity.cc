@@ -1,0 +1,58 @@
+// Fig. 3: block sensitivity analysis. For each block of VGG16 (5 blocks)
+// and ResNet56 (3 groups), sweep the dynamic channel pruning ratio
+// 0.1..1.0 on that block alone and record test accuracy. The per-block
+// tolerance read off these curves is what selects the per-block ratios of
+// Table I ("set this threshold as the upper bound pruning ratio").
+#include "common.h"
+
+#include "core/sensitivity.h"
+
+namespace {
+
+void run_for_model(const std::string& model_name, const std::string& family) {
+  using namespace antidote;
+  bench::TrainedModel base =
+      bench::train_base_model(model_name, "cifar10", 10, family);
+
+  core::SensitivitySweep sweep;
+  sweep.batch_size = base.scale.eval_batch;
+  const auto curves = core::block_sensitivity(*base.net, *base.data.test,
+                                              sweep);
+
+  std::vector<std::string> headers = {"pruning_ratio"};
+  for (const auto& c : curves) {
+    headers.push_back("block" + std::to_string(c.block + 1) + "_acc");
+  }
+  Table table(headers);
+  for (size_t i = 0; i < sweep.ratios.size(); ++i) {
+    std::vector<std::string> row = {Table::fmt(sweep.ratios[i], 1)};
+    for (const auto& c : curves) row.push_back(Table::fmt(c.accuracy[i], 4));
+    table.add_row(std::move(row));
+  }
+  table.emit("Fig. 3: " + model_name + " block sensitivity (baseline acc " +
+                 Table::fmt(base.baseline_accuracy, 4) + ")",
+             "fig3_" + model_name + ".csv");
+
+  // The paper's accuracy-drop tolerance line: report the largest ratio per
+  // block that keeps accuracy within 70% of baseline.
+  Table tolerance({"block", "max_ratio_within_tolerance"});
+  for (const auto& c : curves) {
+    float best = 0.f;
+    for (size_t i = 0; i < c.ratios.size(); ++i) {
+      if (c.accuracy[i] >= 0.7 * base.baseline_accuracy) {
+        best = std::max(best, c.ratios[i]);
+      }
+    }
+    tolerance.add_row({"block" + std::to_string(c.block + 1),
+                       Table::fmt(best, 1)});
+  }
+  tolerance.emit("Fig. 3: " + model_name + " per-block tolerance");
+}
+
+}  // namespace
+
+int main() {
+  run_for_model("vgg16", "vgg_cifar");
+  run_for_model("resnet56", "resnet_cifar");
+  return 0;
+}

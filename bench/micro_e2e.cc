@@ -1,0 +1,80 @@
+// End-to-end inference latency (google-benchmark): dense VGG16/ResNet56
+// forward vs dynamically pruned forward at the paper's Table-I settings.
+// The ratio of the two medians is the practical speedup the FLOPs
+// reduction buys on this (im2col+GEMM, single-core) backend.
+#include <benchmark/benchmark.h>
+
+#include "base/rng.h"
+#include "core/engine.h"
+#include "models/factory.h"
+
+namespace {
+
+using namespace antidote;
+
+constexpr float kWidth = 0.25f;  // keep each iteration in the ms range
+
+std::unique_ptr<models::ConvNet> build(const std::string& name) {
+  Rng rng(9);
+  auto net = models::make_model(name, 10, kWidth, rng);
+  net->set_training(false);
+  return net;
+}
+
+void BM_Vgg16Dense(benchmark::State& state) {
+  auto net = build("vgg16");
+  Rng rng(1);
+  Tensor x = Tensor::randn({1, 3, 32, 32}, rng);
+  for (auto _ : state) {
+    Tensor y = net->forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * net->last_macs());
+}
+BENCHMARK(BM_Vgg16Dense);
+
+void BM_Vgg16DynamicPruned(benchmark::State& state) {
+  auto net = build("vgg16");
+  core::PruneSettings settings;
+  settings.channel_drop = {0.2f, 0.2f, 0.6f, 0.9f, 0.9f};
+  settings.spatial_drop = {0.f, 0.f, 0.f, 0.f, 0.f};
+  core::DynamicPruningEngine engine(*net, settings);
+  Rng rng(1);
+  Tensor x = Tensor::randn({1, 3, 32, 32}, rng);
+  for (auto _ : state) {
+    Tensor y = net->forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * net->last_macs());
+}
+BENCHMARK(BM_Vgg16DynamicPruned);
+
+void BM_Resnet56Dense(benchmark::State& state) {
+  auto net = build("resnet56");
+  Rng rng(2);
+  Tensor x = Tensor::randn({1, 3, 32, 32}, rng);
+  for (auto _ : state) {
+    Tensor y = net->forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * net->last_macs());
+}
+BENCHMARK(BM_Resnet56Dense);
+
+void BM_Resnet56DynamicPruned(benchmark::State& state) {
+  auto net = build("resnet56");
+  core::PruneSettings settings;
+  settings.channel_drop = {0.3f, 0.3f, 0.6f};
+  settings.spatial_drop = {0.6f, 0.6f, 0.6f};
+  core::DynamicPruningEngine engine(*net, settings);
+  Rng rng(2);
+  Tensor x = Tensor::randn({1, 3, 32, 32}, rng);
+  for (auto _ : state) {
+    Tensor y = net->forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * net->last_macs());
+}
+BENCHMARK(BM_Resnet56DynamicPruned);
+
+}  // namespace

@@ -1,0 +1,64 @@
+// Quickstart: the smallest complete AntiDote workflow.
+//
+//   1. build a small CNN and a synthetic dataset,
+//   2. train it for a few epochs,
+//   3. install attention gates (DynamicPruningEngine) and compare
+//      accuracy / measured FLOPs with and without dynamic pruning.
+//
+// Runs in well under a minute on one CPU core.
+#include <cstdio>
+
+#include "base/rng.h"
+#include "core/engine.h"
+#include "core/evaluate.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "models/factory.h"
+#include "models/flops.h"
+#include "models/summary.h"
+
+int main() {
+  using namespace antidote;
+
+  // 1. Data: a 4-class, 16x16 synthetic image problem.
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.height = spec.width = 16;
+  spec.train_size = 256;
+  spec.test_size = 128;
+  const data::DatasetPair data = data::make_synthetic_pair(spec);
+
+  // 2. Model + training.
+  Rng rng(7);
+  auto net = models::make_model("small_cnn", spec.num_classes, 1.0f, rng);
+  std::printf("%s\n", models::summarize(*net, 3, 16, 16).to_string().c_str());
+  core::TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 32;
+  tc.base_lr = 0.08;
+  tc.augment = false;
+  core::Trainer trainer(*net, *data.train, tc);
+  for (int e = 0; e < tc.epochs; ++e) {
+    const core::EpochStats s = trainer.run_epoch();
+    std::printf("epoch %d  loss %.4f  train-acc %.3f\n", s.epoch, s.loss,
+                s.accuracy);
+  }
+
+  // 3. Dense evaluation.
+  const int64_t dense_macs =
+      models::measure_dense_flops(*net, 3, 16, 16).total_macs;
+  const core::EvalResult dense = core::evaluate(*net, *data.test);
+  std::printf("\ndense:   accuracy %.3f   %lld MACs/image\n", dense.accuracy,
+              static_cast<long long>(dense_macs));
+
+  // 4. Dynamic pruning: drop the 50% least-attended channels per input.
+  core::DynamicPruningEngine engine(
+      *net, core::PruneSettings::uniform(net->num_blocks(), 0.5f, 0.f));
+  const core::EvalResult pruned = core::evaluate(*net, *data.test);
+  std::printf("pruned:  accuracy %.3f   %.0f MACs/image  (%.1f%% reduction)\n",
+              pruned.accuracy, pruned.mean_macs_per_sample,
+              100.0 * (1.0 - pruned.mean_macs_per_sample /
+                                 static_cast<double>(dense_macs)));
+  engine.remove();
+  return 0;
+}

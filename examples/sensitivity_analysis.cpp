@@ -1,0 +1,63 @@
+// Block sensitivity analysis (the paper's Fig. 3 methodology) on a small
+// trained CNN: sweep the dynamic channel-pruning ratio one block at a time
+// and print accuracy-vs-ratio curves, then derive per-block ratio upper
+// bounds at an accuracy-drop tolerance — exactly how the paper picks the
+// Table-I per-block settings.
+#include <algorithm>
+#include <cstdio>
+
+#include "base/rng.h"
+#include "core/sensitivity.h"
+#include "core/trainer.h"
+#include "core/evaluate.h"
+#include "data/synthetic.h"
+#include "models/factory.h"
+
+int main() {
+  using namespace antidote;
+
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.height = spec.width = 16;
+  spec.train_size = 256;
+  spec.test_size = 128;
+  const data::DatasetPair data = data::make_synthetic_pair(spec);
+
+  Rng rng(3);
+  auto net = models::make_model("small_cnn", spec.num_classes, 1.0f, rng);
+  core::TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 32;
+  tc.base_lr = 0.08;
+  tc.augment = false;
+  core::Trainer(*net, *data.train, tc).fit();
+  const double baseline = core::evaluate(*net, *data.test).accuracy;
+  std::printf("baseline accuracy: %.3f\n\n", baseline);
+
+  core::SensitivitySweep sweep;
+  sweep.ratios = {0.1f, 0.3f, 0.5f, 0.7f, 0.9f};
+  const auto curves = core::block_sensitivity(*net, *data.test, sweep);
+
+  std::printf("%-8s", "ratio");
+  for (const auto& c : curves) std::printf("  block%d", c.block + 1);
+  std::printf("\n");
+  for (size_t i = 0; i < sweep.ratios.size(); ++i) {
+    std::printf("%-8.1f", sweep.ratios[i]);
+    for (const auto& c : curves) std::printf("  %6.3f", c.accuracy[i]);
+    std::printf("\n");
+  }
+
+  // Per-block upper bound at a 5%-absolute-drop tolerance.
+  std::printf("\nper-block ratio upper bounds (tolerance: baseline - 0.05):\n");
+  for (const auto& c : curves) {
+    float bound = 0.f;
+    for (size_t i = 0; i < c.ratios.size(); ++i) {
+      if (c.accuracy[i] >= baseline - 0.05) {
+        bound = std::max(bound, c.ratios[i]);
+      }
+    }
+    std::printf("  block %d: %.1f\n", c.block + 1, bound);
+  }
+  std::printf("\nUse these as PruneSettings::channel_drop for TTD training.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "base/env.h"
+
+#include <cstdlib>
+
+#include "base/logging.h"
+
+namespace antidote {
+
+std::string env_string(const std::string& name, const std::string& fallback) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || v[0] == '\0') return fallback;
+  return v;
+}
+
+int env_int(const std::string& name, int fallback) {
+  const std::string v = env_string(name, "");
+  if (v.empty()) return fallback;
+  try {
+    return std::stoi(v);
+  } catch (...) {
+    AD_LOG(Warning) << "ignoring non-integer env " << name << "=" << v;
+    return fallback;
+  }
+}
+
+double env_double(const std::string& name, double fallback) {
+  const std::string v = env_string(name, "");
+  if (v.empty()) return fallback;
+  try {
+    return std::stod(v);
+  } catch (...) {
+    AD_LOG(Warning) << "ignoring non-numeric env " << name << "=" << v;
+    return fallback;
+  }
+}
+
+BenchScale bench_scale() {
+  const std::string v = env_string("ANTIDOTE_BENCH_SCALE", "default");
+  if (v == "smoke") return BenchScale::kSmoke;
+  if (v == "full") return BenchScale::kFull;
+  if (v != "default") {
+    AD_LOG(Warning) << "unknown ANTIDOTE_BENCH_SCALE=" << v
+                    << ", using default";
+  }
+  return BenchScale::kDefault;
+}
+
+std::string bench_scale_name(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kSmoke:
+      return "smoke";
+    case BenchScale::kFull:
+      return "full";
+    default:
+      return "default";
+  }
+}
+
+}  // namespace antidote

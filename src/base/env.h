@@ -1,0 +1,19 @@
+// Environment-variable helpers for scaling benchmarks and examples.
+#pragma once
+
+#include <string>
+
+namespace antidote {
+
+// Returns the env var's value or `fallback` if unset/empty.
+std::string env_string(const std::string& name, const std::string& fallback);
+int env_int(const std::string& name, int fallback);
+double env_double(const std::string& name, double fallback);
+
+// Benchmark scale from ANTIDOTE_BENCH_SCALE: "smoke" (CI-fast), "default",
+// or "full" (paper-width models; slow on one core).
+enum class BenchScale { kSmoke, kDefault, kFull };
+BenchScale bench_scale();
+std::string bench_scale_name(BenchScale scale);
+
+}  // namespace antidote

@@ -1,0 +1,13 @@
+#include "base/error.h"
+
+namespace antidote::detail {
+
+CheckFailure::CheckFailure(const char* file, int line, const char* cond) {
+  stream_ << file << ":" << line << ": check failed: " << cond;
+}
+
+CheckFailure::~CheckFailure() noexcept(false) {
+  throw Error(stream_.str());
+}
+
+}  // namespace antidote::detail

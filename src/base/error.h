@@ -1,0 +1,119 @@
+// Error handling for the AntiDote library.
+//
+// The library reports contract violations (bad shapes, out-of-range
+// arguments, malformed files) by throwing `antidote::Error`. Internal
+// invariants use `AD_CHECK` as well so that release builds still catch
+// corruption early; the cost is negligible relative to the tensor math
+// around it.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace antidote {
+
+// Exception type thrown on any precondition or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+// Accumulates streamed context for a failed check and throws antidote::Error
+// from its destructor (at the end of the full AD_CHECK expression), so the
+// exception message contains everything streamed after the macro.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* cond);
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+  [[noreturn]] ~CheckFailure() noexcept(false);
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Result of a comparison check. Operands are evaluated exactly once and
+// stringified only on failure (comparison checks sit in hot paths).
+struct CmpResult {
+  bool ok = true;
+  std::string lhs;
+  std::string rhs;
+};
+
+template <typename T>
+std::string cmp_str(const T& value) {
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+template <typename A, typename B, typename Op>
+CmpResult compare(const A& a, const B& b, Op op) {
+  if (op(a, b)) return {};
+  return {false, cmp_str(a), cmp_str(b)};
+}
+
+// One function per operator so the macro can name it without lambdas.
+template <typename A, typename B>
+CmpResult compare_eq(const A& a, const B& b) {
+  return compare(a, b, [](const A& x, const B& y) { return x == y; });
+}
+template <typename A, typename B>
+CmpResult compare_ne(const A& a, const B& b) {
+  return compare(a, b, [](const A& x, const B& y) { return x != y; });
+}
+template <typename A, typename B>
+CmpResult compare_lt(const A& a, const B& b) {
+  return compare(a, b, [](const A& x, const B& y) { return x < y; });
+}
+template <typename A, typename B>
+CmpResult compare_le(const A& a, const B& b) {
+  return compare(a, b, [](const A& x, const B& y) { return x <= y; });
+}
+template <typename A, typename B>
+CmpResult compare_gt(const A& a, const B& b) {
+  return compare(a, b, [](const A& x, const B& y) { return x > y; });
+}
+template <typename A, typename B>
+CmpResult compare_ge(const A& a, const B& b) {
+  return compare(a, b, [](const A& x, const B& y) { return x >= y; });
+}
+
+}  // namespace detail
+
+}  // namespace antidote
+
+// Checks a condition; throws antidote::Error with file/line context when it
+// fails. Extra context can be streamed: AD_CHECK(n > 0) << "n=" << n;
+#define AD_CHECK(cond)       \
+  if (cond) {                \
+  } else                     \
+    ::antidote::detail::CheckFailure(__FILE__, __LINE__, #cond)
+
+// Convenience comparison checks with both operands reported. Each operand
+// is evaluated exactly once (an operand with side effects — e.g. a stream
+// read — must not run again while building the failure message).
+#define AD_CHECK_CMP_(a, b, op, opstr)                                       \
+  if (::antidote::detail::CmpResult ad_cmp_ =                                \
+          ::antidote::detail::compare_##op((a), (b));                        \
+      ad_cmp_.ok) {                                                          \
+  } else                                                                     \
+    ::antidote::detail::CheckFailure(__FILE__, __LINE__,                     \
+                                     #a " " opstr " " #b)                    \
+        << " lhs=" << ad_cmp_.lhs << " rhs=" << ad_cmp_.rhs
+
+#define AD_CHECK_EQ(a, b) AD_CHECK_CMP_(a, b, eq, "==")
+#define AD_CHECK_NE(a, b) AD_CHECK_CMP_(a, b, ne, "!=")
+#define AD_CHECK_LT(a, b) AD_CHECK_CMP_(a, b, lt, "<")
+#define AD_CHECK_LE(a, b) AD_CHECK_CMP_(a, b, le, "<=")
+#define AD_CHECK_GT(a, b) AD_CHECK_CMP_(a, b, gt, ">")
+#define AD_CHECK_GE(a, b) AD_CHECK_CMP_(a, b, ge, ">=")

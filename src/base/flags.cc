@@ -1,0 +1,185 @@
+#include "base/flags.h"
+
+#include <sstream>
+
+#include "base/error.h"
+
+namespace antidote {
+
+namespace {
+const char* type_name(int type) {
+  switch (type) {
+    case 0:
+      return "string";
+    case 1:
+      return "int";
+    case 2:
+      return "double";
+    case 3:
+      return "bool";
+    default:
+      return "float-list";
+  }
+}
+}  // namespace
+
+FlagSet::FlagSet(std::string program_name) : program_(std::move(program_name)) {}
+
+void FlagSet::add_string(const std::string& name, std::string default_value,
+                         std::string help) {
+  flags_[name] = Flag{Type::kString, default_value, std::move(help),
+                      default_value};
+}
+
+void FlagSet::add_int(const std::string& name, int default_value,
+                      std::string help) {
+  const std::string v = std::to_string(default_value);
+  flags_[name] = Flag{Type::kInt, v, std::move(help), v};
+}
+
+void FlagSet::add_double(const std::string& name, double default_value,
+                         std::string help) {
+  std::ostringstream os;
+  os << default_value;
+  flags_[name] = Flag{Type::kDouble, os.str(), std::move(help), os.str()};
+}
+
+void FlagSet::add_bool(const std::string& name, bool default_value,
+                       std::string help) {
+  const std::string v = default_value ? "true" : "false";
+  flags_[name] = Flag{Type::kBool, v, std::move(help), v};
+}
+
+void FlagSet::add_float_list(const std::string& name,
+                             std::string default_value, std::string help) {
+  flags_[name] = Flag{Type::kFloatList, default_value, std::move(help),
+                      default_value};
+}
+
+std::vector<std::string> FlagSet::parse(const std::vector<std::string>& args) {
+  std::vector<std::string> positional;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const size_t eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    AD_CHECK(it != flags_.end()) << " unknown flag --" << name;
+    if (!has_value) {
+      if (it->second.type == Type::kBool) {
+        value = "true";  // bare --flag enables a bool
+      } else {
+        AD_CHECK_LT(i + 1, args.size()) << " flag --" << name
+                                        << " needs a value";
+        value = args[++i];
+      }
+    }
+    // Validate eagerly so errors point at the offending flag.
+    switch (it->second.type) {
+      case Type::kInt:
+        try {
+          (void)std::stoi(value);
+        } catch (...) {
+          AD_CHECK(false) << " flag --" << name << " expects an int, got '"
+                          << value << "'";
+        }
+        break;
+      case Type::kDouble:
+        try {
+          (void)std::stod(value);
+        } catch (...) {
+          AD_CHECK(false) << " flag --" << name << " expects a number, got '"
+                          << value << "'";
+        }
+        break;
+      case Type::kBool:
+        AD_CHECK(value == "true" || value == "false")
+            << " flag --" << name << " expects true/false, got '" << value
+            << "'";
+        break;
+      case Type::kFloatList:
+        (void)parse_float_list(value);
+        break;
+      case Type::kString:
+        break;
+    }
+    it->second.value = value;
+  }
+  return positional;
+}
+
+const FlagSet::Flag& FlagSet::find(const std::string& name, Type type) const {
+  auto it = flags_.find(name);
+  AD_CHECK(it != flags_.end()) << " flag --" << name << " not registered";
+  AD_CHECK(it->second.type == type)
+      << " flag --" << name << " is not a "
+      << type_name(static_cast<int>(type));
+  return it->second;
+}
+
+std::string FlagSet::get_string(const std::string& name) const {
+  return find(name, Type::kString).value;
+}
+
+int FlagSet::get_int(const std::string& name) const {
+  return std::stoi(find(name, Type::kInt).value);
+}
+
+double FlagSet::get_double(const std::string& name) const {
+  return std::stod(find(name, Type::kDouble).value);
+}
+
+bool FlagSet::get_bool(const std::string& name) const {
+  return find(name, Type::kBool).value == "true";
+}
+
+std::vector<float> FlagSet::get_float_list(const std::string& name) const {
+  return parse_float_list(find(name, Type::kFloatList).value);
+}
+
+std::vector<float> FlagSet::parse_float_list(const std::string& value) {
+  std::vector<float> out;
+  if (value.empty()) return out;
+  std::istringstream stream(value);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    try {
+      size_t used = 0;
+      out.push_back(std::stof(item, &used));
+      AD_CHECK_EQ(used, item.size()) << " trailing junk in '" << item << "'";
+    } catch (const Error&) {
+      throw;
+    } catch (...) {
+      AD_CHECK(false) << " malformed float '" << item << "' in list '"
+                      << value << "'";
+    }
+  }
+  return out;
+}
+
+std::string FlagSet::usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (" << type_name(static_cast<int>(flag.type))
+       << ", default: "
+       << (flag.default_value.empty() ? "\"\"" : flag.default_value) << ")\n"
+       << "      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace antidote

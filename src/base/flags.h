@@ -1,0 +1,65 @@
+// Minimal command-line flag parser for the antidote_cli tool.
+//
+// Supports --name=value and --name value forms, typed flags with defaults,
+// `--help` text generation, and comma-separated float lists (the format of
+// per-block ratio settings, e.g. --channel-drop=0.2,0.2,0.6,0.9,0.9).
+// Unknown flags and malformed values throw antidote::Error with a message
+// naming the offending argument.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace antidote {
+
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_name);
+
+  // Registration (call before parse). `help` appears in usage output.
+  void add_string(const std::string& name, std::string default_value,
+                  std::string help);
+  void add_int(const std::string& name, int default_value, std::string help);
+  void add_double(const std::string& name, double default_value,
+                  std::string help);
+  void add_bool(const std::string& name, bool default_value,
+                std::string help);
+  // Comma-separated float list; empty default = "".
+  void add_float_list(const std::string& name, std::string default_value,
+                      std::string help);
+
+  // Parses arguments (excluding argv[0]); returns the positional (non-flag)
+  // arguments in order. Throws on unknown flags or bad values.
+  std::vector<std::string> parse(const std::vector<std::string>& args);
+
+  // Typed access after parse (or defaults before).
+  std::string get_string(const std::string& name) const;
+  int get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  std::vector<float> get_float_list(const std::string& name) const;
+
+  bool help_requested() const { return help_requested_; }
+  std::string usage() const;
+
+  // Parses "0.2,0.3" into floats; throws on malformed entries.
+  static std::vector<float> parse_float_list(const std::string& value);
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool, kFloatList };
+  struct Flag {
+    Type type;
+    std::string value;  // textual representation
+    std::string help;
+    std::string default_value;
+  };
+  const Flag& find(const std::string& name, Type type) const;
+
+  std::string program_;
+  std::map<std::string, Flag> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace antidote

@@ -1,0 +1,90 @@
+#include "base/io.h"
+
+#include <filesystem>
+
+#include "base/error.h"
+
+namespace antidote {
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary), path_(path) {
+  AD_CHECK(out_.good()) << " cannot open for write: " << path;
+}
+
+template <typename T>
+void BinaryWriter::write_raw(const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(T));
+  AD_CHECK(out_.good()) << " write failed: " << path_;
+}
+
+void BinaryWriter::write_u32(uint32_t v) { write_raw(v); }
+void BinaryWriter::write_u64(uint64_t v) { write_raw(v); }
+void BinaryWriter::write_i32(int32_t v) { write_raw(v); }
+void BinaryWriter::write_f32(float v) { write_raw(v); }
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  AD_CHECK(out_.good()) << " write failed: " << path_;
+}
+
+void BinaryWriter::write_floats(const float* data, size_t count) {
+  write_u64(count);
+  out_.write(reinterpret_cast<const char*>(data),
+             static_cast<std::streamsize>(count * sizeof(float)));
+  AD_CHECK(out_.good()) << " write failed: " << path_;
+}
+
+void BinaryWriter::close() {
+  out_.flush();
+  AD_CHECK(out_.good()) << " flush failed: " << path_;
+  out_.close();
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary), path_(path) {
+  AD_CHECK(in_.good()) << " cannot open for read: " << path;
+  remaining_ = std::filesystem::file_size(path);
+}
+
+template <typename T>
+T BinaryReader::read_raw() {
+  static_assert(std::is_trivially_copyable_v<T>);
+  AD_CHECK_GE(remaining_, sizeof(T)) << " truncated file: " << path_;
+  T v{};
+  in_.read(reinterpret_cast<char*>(&v), sizeof(T));
+  AD_CHECK(in_.good()) << " read failed: " << path_;
+  remaining_ -= sizeof(T);
+  return v;
+}
+
+uint32_t BinaryReader::read_u32() { return read_raw<uint32_t>(); }
+uint64_t BinaryReader::read_u64() { return read_raw<uint64_t>(); }
+int32_t BinaryReader::read_i32() { return read_raw<int32_t>(); }
+float BinaryReader::read_f32() { return read_raw<float>(); }
+
+std::string BinaryReader::read_string() {
+  const uint64_t len = read_u64();
+  AD_CHECK_LE(len, remaining_) << " truncated string in " << path_;
+  std::string s(len, '\0');
+  in_.read(s.data(), static_cast<std::streamsize>(len));
+  AD_CHECK(in_.good()) << " read failed: " << path_;
+  remaining_ -= len;
+  return s;
+}
+
+void BinaryReader::read_floats(float* data, size_t count) {
+  const uint64_t stored = read_u64();
+  AD_CHECK_EQ(stored, count) << " float buffer size mismatch in " << path_;
+  const uint64_t bytes = count * sizeof(float);
+  AD_CHECK_LE(bytes, remaining_) << " truncated buffer in " << path_;
+  in_.read(reinterpret_cast<char*>(data),
+           static_cast<std::streamsize>(bytes));
+  AD_CHECK(in_.good()) << " read failed: " << path_;
+  remaining_ -= bytes;
+}
+
+bool BinaryReader::at_end() { return remaining_ == 0; }
+
+}  // namespace antidote

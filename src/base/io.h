@@ -1,0 +1,57 @@
+// Binary serialization primitives for model checkpoints.
+//
+// Format: little-endian scalars, length-prefixed strings and buffers. All
+// readers validate lengths against the remaining file size, so a truncated
+// or corrupt checkpoint raises antidote::Error instead of reading garbage.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace antidote {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+
+  void write_u32(uint32_t v);
+  void write_u64(uint64_t v);
+  void write_i32(int32_t v);
+  void write_f32(float v);
+  void write_string(const std::string& s);
+  void write_floats(const float* data, size_t count);
+
+  // Flushes and closes; throws on I/O failure.
+  void close();
+
+ private:
+  template <typename T>
+  void write_raw(const T& v);
+  std::ofstream out_;
+  std::string path_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  uint32_t read_u32();
+  uint64_t read_u64();
+  int32_t read_i32();
+  float read_f32();
+  std::string read_string();
+  void read_floats(float* data, size_t count);
+
+  bool at_end();
+
+ private:
+  template <typename T>
+  T read_raw();
+  std::ifstream in_;
+  std::string path_;
+  uint64_t remaining_;
+};
+
+}  // namespace antidote

@@ -1,0 +1,52 @@
+#include "base/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace antidote {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    default:
+      return "?";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(g_level.load());
+}
+
+LogLine::LogLine(LogLevel level) : level_(level) {}
+
+LogLine::~LogLine() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s %8.2fs] %s\n", level_tag(level_), secs,
+               stream_.str().c_str());
+}
+
+}  // namespace detail
+
+}  // namespace antidote

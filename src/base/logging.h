@@ -1,0 +1,56 @@
+// Minimal leveled logger. Thread-safe line-at-a-time output to stderr.
+//
+// Usage:  AD_LOG(info) << "epoch " << e << " loss " << loss;
+// Level is filtered globally via set_log_level(); default is kInfo.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace antidote {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Sets the global minimum level that is emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+
+bool log_enabled(LogLevel level);
+
+// Buffers one log line and flushes it (with timestamp and level tag) on
+// destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level);
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace antidote
+
+#define AD_LOG(severity)                                                      \
+  if (!::antidote::detail::log_enabled(::antidote::LogLevel::k##severity)) {  \
+  } else                                                                      \
+    ::antidote::detail::LogLine(::antidote::LogLevel::k##severity)
+
+// Severity aliases usable as AD_LOG(Info) etc.
+#define AD_LOG_DEBUG AD_LOG(Debug)
+#define AD_LOG_INFO AD_LOG(Info)
+#define AD_LOG_WARN AD_LOG(Warning)
+#define AD_LOG_ERROR AD_LOG(Error)

@@ -1,0 +1,101 @@
+#include "base/parallel.h"
+
+#include <algorithm>
+
+namespace antidote {
+
+ThreadPool::ThreadPool(int num_threads) {
+  workers_.reserve(static_cast<size_t>(std::max(0, num_threads)));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    try {
+      task.fn(task.begin, task.end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for_chunks(
+    int64_t begin, int64_t end,
+    const std::function<void(int64_t, int64_t)>& fn) {
+  if (begin >= end) return;
+  const int64_t n = end - begin;
+  const int parts = size() + 1;
+  const int64_t chunk = (n + parts - 1) / parts;
+
+  // Caller handles the first chunk itself; pool handles the rest.
+  int queued = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int p = 1; p < parts; ++p) {
+      const int64_t b = begin + p * chunk;
+      if (b >= end) break;
+      const int64_t e = std::min(end, b + chunk);
+      tasks_.push(Task{fn, b, e});
+      ++queued;
+    }
+    pending_ += queued;
+  }
+  if (queued > 0) cv_.notify_all();
+
+  fn(begin, std::min(end, begin + chunk));
+
+  if (queued > 0) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::swap(err, first_error_);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool(
+      std::max(0, static_cast<int>(std::thread::hardware_concurrency()) - 1));
+  return pool;
+}
+
+void parallel_for(int64_t begin, int64_t end,
+                  const std::function<void(int64_t, int64_t)>& fn,
+                  int64_t grain) {
+  if (begin >= end) return;
+  ThreadPool& pool = global_pool();
+  if (pool.size() == 0 || end - begin < 2 * grain) {
+    fn(begin, end);
+    return;
+  }
+  pool.parallel_for_chunks(begin, end, fn);
+}
+
+}  // namespace antidote

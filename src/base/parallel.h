@@ -1,0 +1,61 @@
+// Shared-memory parallel-for built on a lazily created persistent thread
+// pool. On single-core machines (or when the grain is too small to amortize
+// dispatch) the loop runs inline on the caller's thread, so the library has
+// no parallel overhead where parallelism cannot help.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace antidote {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Runs fn(chunk_begin, chunk_end) over [begin, end) split into roughly
+  // equal chunks across the pool plus the calling thread. Blocks until all
+  // chunks are done. Exceptions from workers are rethrown on the caller.
+  void parallel_for_chunks(
+      int64_t begin, int64_t end,
+      const std::function<void(int64_t, int64_t)>& fn);
+
+ private:
+  struct Task {
+    std::function<void(int64_t, int64_t)> fn;
+    int64_t begin = 0;
+    int64_t end = 0;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::queue<Task> tasks_;
+  int pending_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+// Global pool sized to hardware_concurrency() - 1 (may be empty).
+ThreadPool& global_pool();
+
+// Parallel loop over [begin, end). `grain` is the minimum work per chunk;
+// loops smaller than 2*grain run inline.
+void parallel_for(int64_t begin, int64_t end,
+                  const std::function<void(int64_t, int64_t)>& fn,
+                  int64_t grain = 1024);
+
+}  // namespace antidote

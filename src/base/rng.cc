@@ -1,0 +1,74 @@
+#include "base/rng.h"
+
+#include <cmath>
+
+#include "base/error.h"
+
+namespace antidote {
+
+uint64_t Rng::next_u64() {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+float Rng::uniform_float(float lo, float hi) {
+  return static_cast<float>(uniform(lo, hi));
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+uint64_t Rng::next_below(uint64_t n) {
+  AD_CHECK_GT(n, 0u);
+  // Rejection sampling for an unbiased result.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % n;
+}
+
+int Rng::randint(int lo, int hi_exclusive) {
+  AD_CHECK_LT(lo, hi_exclusive);
+  return lo + static_cast<int>(
+                  next_below(static_cast<uint64_t>(hi_exclusive - lo)));
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::vector<int> Rng::permutation(int n) {
+  AD_CHECK_GE(n, 0);
+  std::vector<int> perm(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+  shuffle(perm);
+  return perm;
+}
+
+Rng Rng::fork() { return Rng(next_u64() ^ 0xa02bdbf7bb3c0a7ULL); }
+
+}  // namespace antidote

@@ -1,0 +1,63 @@
+// Deterministic random number generation.
+//
+// All stochastic components of the library (weight init, data synthesis,
+// augmentation, shuffling, random pruning orders) draw from `Rng` so that
+// every experiment is reproducible from a single seed. The engine is
+// SplitMix64: tiny state, excellent statistical quality for this use, and
+// identical output across platforms (unlike std::mt19937 + distributions,
+// whose std::normal_distribution is implementation-defined).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace antidote {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  // Next raw 64-bit value (SplitMix64).
+  uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  float uniform_float(float lo, float hi);
+
+  // Standard normal via Box-Muller (cached second value).
+  double normal();
+  double normal(double mean, double stddev);
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t next_below(uint64_t n);
+  int randint(int lo, int hi_exclusive);
+
+  // Bernoulli(p).
+  bool bernoulli(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(next_below(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  // A random permutation of [0, n).
+  std::vector<int> permutation(int n);
+
+  // Derives an independent child stream (for per-worker determinism).
+  Rng fork();
+
+ private:
+  uint64_t state_;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace antidote

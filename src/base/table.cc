@@ -1,0 +1,103 @@
+#include "base/table.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "base/error.h"
+
+namespace antidote {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  AD_CHECK(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  AD_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::fmt_sci(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*E", precision, value);
+  return buf;
+}
+
+std::string Table::fmt_signed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.*f", precision, value);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row,
+                       std::ostringstream& os) {
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c] << std::string(widths[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << "\n";
+  };
+  std::ostringstream os;
+  print_row(headers_, os);
+  os << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row, os);
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ",";
+      os << csv_escape(row[c]);
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void Table::emit(const std::string& title, const std::string& csv_path) const {
+  std::cout << "\n== " << title << " ==\n" << to_string() << std::flush;
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    AD_CHECK(out.good()) << " cannot write " << csv_path;
+    out << to_csv();
+  }
+}
+
+}  // namespace antidote

@@ -1,0 +1,41 @@
+// Console table / CSV writer used by the benchmark harness to print
+// paper-formatted result tables and persist them as CSV for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace antidote {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds one row; cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double value, int precision = 2);
+  // Scientific notation like the paper's FLOPs column, e.g. "3.13E+08".
+  static std::string fmt_sci(double value, int precision = 2);
+  // Percent with sign preserved, e.g. "-0.1".
+  static std::string fmt_signed(double value, int precision = 1);
+
+  // Renders an aligned ASCII table.
+  std::string to_string() const;
+  // Renders CSV (RFC-4180-ish; cells containing commas/quotes are quoted).
+  std::string to_csv() const;
+
+  // Prints to stdout and, if csv_path is non-empty, writes the CSV file.
+  void emit(const std::string& title, const std::string& csv_path = "") const;
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace antidote

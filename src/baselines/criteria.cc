@@ -1,0 +1,89 @@
+#include "baselines/criteria.h"
+
+#include <cmath>
+
+#include "base/error.h"
+
+namespace antidote::baselines {
+
+const char* criterion_name(StaticCriterion criterion) {
+  switch (criterion) {
+    case StaticCriterion::kL1:
+      return "l1";
+    case StaticCriterion::kL2:
+      return "l2";
+    case StaticCriterion::kTaylor:
+      return "taylor";
+    case StaticCriterion::kGeometricMedian:
+      return "gm";
+    case StaticCriterion::kActivation:
+      return "fo";
+    case StaticCriterion::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+bool criterion_needs_data(StaticCriterion criterion) {
+  return criterion == StaticCriterion::kTaylor ||
+         criterion == StaticCriterion::kActivation;
+}
+
+std::vector<float> weight_filter_scores(const nn::Conv2d& conv,
+                                        StaticCriterion criterion, Rng& rng) {
+  const Tensor& w = conv.weight().value;
+  const int out_c = conv.out_channels();
+  const int64_t filter_size = w.size() / out_c;
+  std::vector<float> scores(static_cast<size_t>(out_c), 0.f);
+
+  switch (criterion) {
+    case StaticCriterion::kL1: {
+      for (int f = 0; f < out_c; ++f) {
+        const float* p = w.data() + static_cast<int64_t>(f) * filter_size;
+        double acc = 0.0;
+        for (int64_t i = 0; i < filter_size; ++i) acc += std::abs(p[i]);
+        scores[static_cast<size_t>(f)] = static_cast<float>(acc);
+      }
+      break;
+    }
+    case StaticCriterion::kL2: {
+      for (int f = 0; f < out_c; ++f) {
+        const float* p = w.data() + static_cast<int64_t>(f) * filter_size;
+        double acc = 0.0;
+        for (int64_t i = 0; i < filter_size; ++i) acc += double(p[i]) * p[i];
+        scores[static_cast<size_t>(f)] = static_cast<float>(std::sqrt(acc));
+      }
+      break;
+    }
+    case StaticCriterion::kGeometricMedian: {
+      // score[f] = sum_g ||W_f - W_g||_2 — small means near the geometric
+      // median of the layer's filters, i.e. redundant.
+      for (int f = 0; f < out_c; ++f) {
+        const float* pf = w.data() + static_cast<int64_t>(f) * filter_size;
+        double total = 0.0;
+        for (int g = 0; g < out_c; ++g) {
+          if (g == f) continue;
+          const float* pg = w.data() + static_cast<int64_t>(g) * filter_size;
+          double d = 0.0;
+          for (int64_t i = 0; i < filter_size; ++i) {
+            const double diff = double(pf[i]) - pg[i];
+            d += diff * diff;
+          }
+          total += std::sqrt(d);
+        }
+        scores[static_cast<size_t>(f)] = static_cast<float>(total);
+      }
+      break;
+    }
+    case StaticCriterion::kRandom: {
+      for (auto& s : scores) s = rng.uniform_float(0.f, 1.f);
+      break;
+    }
+    default:
+      AD_CHECK(false) << " criterion " << criterion_name(criterion)
+                      << " needs calibration data; use ChannelStatsGate";
+  }
+  return scores;
+}
+
+}  // namespace antidote::baselines

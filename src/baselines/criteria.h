@@ -1,0 +1,46 @@
+// Static filter-importance criteria — the Table-I baselines.
+//
+//  - kL1 / kL2 (Li et al. [8]): norm of each filter's weights.
+//  - kTaylor (Molchanov et al. [19]): mean |activation x gradient| per
+//    output channel, estimated over a calibration set.
+//  - kGeometricMedian (He et al. [20]): a filter's summed distance to all
+//    other filters in the layer; filters closest to the geometric median
+//    (smallest total distance) are the most replaceable and are pruned
+//    first.
+//  - kActivation (our stand-in for Functionality-Oriented pruning [21]):
+//    mean |activation| per output channel over the calibration set —
+//    filters whose outputs barely activate contribute least function.
+//  - kRandom: control.
+// Higher score = more important = kept longer.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "nn/conv2d.h"
+
+namespace antidote::baselines {
+
+enum class StaticCriterion {
+  kL1,
+  kL2,
+  kTaylor,
+  kGeometricMedian,
+  kActivation,
+  kRandom,
+};
+
+const char* criterion_name(StaticCriterion criterion);
+
+// Weight-only scores (kL1 / kL2 / kGeometricMedian / kRandom); one score
+// per output filter of `conv`.
+std::vector<float> weight_filter_scores(const nn::Conv2d& conv,
+                                        StaticCriterion criterion, Rng& rng);
+
+// True if the criterion needs activation/gradient statistics from a
+// calibration pass (kTaylor, kActivation).
+bool criterion_needs_data(StaticCriterion criterion);
+
+}  // namespace antidote::baselines

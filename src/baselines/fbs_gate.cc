@@ -1,0 +1,136 @@
+#include "baselines/fbs_gate.h"
+
+#include "base/error.h"
+#include "core/mask.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace antidote::baselines {
+
+FbsGate::FbsGate(int channels, float drop_ratio, nn::Conv2d* consumer,
+                 uint64_t seed)
+    : channels_(channels),
+      drop_ratio_(drop_ratio),
+      consumer_(consumer),
+      saliency_(channels, channels) {
+  AD_CHECK_GT(channels, 0);
+  set_drop_ratio(drop_ratio);
+  Rng rng(seed);
+  nn::xavier_uniform(saliency_.weight().value, rng);
+  // Positive bias so saliencies start active (ReLU would otherwise kill
+  // half the gradient signal at initialization).
+  saliency_.bias().value.fill(1.f);
+}
+
+void FbsGate::set_drop_ratio(float ratio) {
+  AD_CHECK(ratio >= 0.f && ratio <= 1.f) << " fbs drop ratio " << ratio;
+  drop_ratio_ = ratio;
+}
+
+std::vector<nn::Parameter*> FbsGate::parameters() {
+  return saliency_.parameters();
+}
+
+void FbsGate::visit_state(const std::string& prefix,
+                          const nn::StateVisitor& fn) {
+  saliency_.visit_state(prefix + "saliency.", fn);
+}
+
+Tensor FbsGate::forward(const Tensor& x) {
+  AD_CHECK_EQ(x.ndim(), 4) << " FbsGate expects NCHW";
+  AD_CHECK_EQ(x.dim(1), channels_);
+  if (!enabled_) {
+    cached_scale_ = Tensor();
+    last_masks_.clear();
+    return x;
+  }
+  const int n = x.dim(0), c = channels_;
+  const int64_t hw = static_cast<int64_t>(x.dim(2)) * x.dim(3);
+
+  // Saliency from the squeezed (GAP) descriptor.
+  const Tensor gap = ops::channel_mean_nchw(x);
+  const Tensor pre = saliency_.forward(gap);
+  cached_saliency_ = ops::relu(pre);
+
+  // Winner-take-all: keep top-k saliencies per sample, scale survivors.
+  cached_input_ = x;
+  cached_scale_ = Tensor(x.shape());
+  last_masks_.assign(static_cast<size_t>(n), nn::ConvRuntimeMask{});
+  Tensor out(x.shape());
+  for (int b = 0; b < n; ++b) {
+    std::span<const float> s(
+        cached_saliency_.data() + static_cast<int64_t>(b) * c,
+        static_cast<size_t>(c));
+    std::vector<int> kept =
+        core::select_kept(s, drop_ratio_, core::MaskOrder::kAttention, rng_);
+    last_masks_[static_cast<size_t>(b)].channels = kept;
+    const std::vector<uint8_t> keep = core::kept_to_mask(kept, c);
+    for (int ch = 0; ch < c; ++ch) {
+      const float scale =
+          keep[static_cast<size_t>(ch)] ? s[static_cast<size_t>(ch)] : 0.f;
+      const int64_t off = (static_cast<int64_t>(b) * c + ch) * hw;
+      const float* px = x.data() + off;
+      float* pscale = cached_scale_.data() + off;
+      float* pout = out.data() + off;
+      for (int64_t j = 0; j < hw; ++j) {
+        pscale[j] = scale;
+        pout[j] = px[j] * scale;
+      }
+    }
+  }
+
+  if (!is_training() && consumer_ != nullptr) {
+    consumer_->set_runtime_masks(last_masks_);
+  }
+  return out;
+}
+
+Tensor FbsGate::backward(const Tensor& grad_out) {
+  if (cached_scale_.empty()) return grad_out;  // was disabled
+  AD_CHECK(grad_out.same_shape(cached_scale_));
+  const int n = grad_out.dim(0), c = channels_;
+  const int64_t hw = static_cast<int64_t>(grad_out.dim(2)) * grad_out.dim(3);
+
+  // Path 1: through the elementwise product with saliency held fixed.
+  Tensor dx = ops::mul(grad_out, cached_scale_);
+
+  // Path 2: through the saliency predictor. For a kept channel,
+  // d out/d s = x, so ds[b,c] = sum_plane(dy * x); dropped channels get 0
+  // (their saliency did not contribute). ReLU gates ds, then the linear
+  // layer backpropagates to its parameters and to the GAP descriptor,
+  // which spreads uniformly back over the plane.
+  Tensor ds({n, c});
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      const int64_t off = (static_cast<int64_t>(b) * c + ch) * hw;
+      const float* pdy = grad_out.data() + off;
+      const float* px = cached_input_.data() + off;
+      const float* pscale = cached_scale_.data() + off;
+      if (pscale[0] == 0.f && cached_saliency_.at({b, ch}) != 0.f) {
+        // Channel was dropped by top-k (not by ReLU): no gradient.
+        ds.at({b, ch}) = 0.f;
+        continue;
+      }
+      double acc = 0.0;
+      for (int64_t j = 0; j < hw; ++j) acc += double(pdy[j]) * px[j];
+      // ReLU gate: zero where the pre-activation saliency was negative.
+      ds.at({b, ch}) = cached_saliency_.at({b, ch}) > 0.f
+                           ? static_cast<float>(acc)
+                           : 0.f;
+    }
+  }
+  const Tensor dgap = saliency_.backward(ds);
+
+  // GAP backward: each plane element receives dgap / (H*W).
+  const float inv = 1.f / static_cast<float>(hw);
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      const float g = dgap.at({b, ch}) * inv;
+      float* pdx = dx.data() + (static_cast<int64_t>(b) * c + ch) * hw;
+      for (int64_t j = 0; j < hw; ++j) pdx[j] += g;
+    }
+  }
+  return dx;
+}
+
+}  // namespace antidote::baselines

@@ -1,0 +1,155 @@
+#include "baselines/static_pruner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "baselines/stats_gate.h"
+#include "base/error.h"
+#include "core/mask.h"
+#include "data/dataloader.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace antidote::baselines {
+
+StaticPruner::StaticPruner(models::ConvNet& net, StaticPruneConfig config)
+    : net_(&net), config_(std::move(config)), rng_(config_.seed) {
+  AD_CHECK_EQ(static_cast<int>(config_.drop_per_block.size()),
+              net.num_blocks())
+      << " drop_per_block entries vs model blocks";
+  for (float d : config_.drop_per_block) {
+    AD_CHECK(d >= 0.f && d <= 1.f) << " drop ratio " << d;
+  }
+}
+
+std::vector<std::vector<float>> StaticPruner::compute_scores(
+    const data::Dataset& calibration) {
+  const int sites = net_->num_gate_sites();
+  std::vector<std::vector<float>> scores(static_cast<size_t>(sites));
+
+  if (!criterion_needs_data(config_.criterion)) {
+    for (int s = 0; s < sites; ++s) {
+      scores[static_cast<size_t>(s)] = weight_filter_scores(
+          *net_->gate_producer(s), config_.criterion, rng_);
+    }
+    return scores;
+  }
+
+  // Data-driven criteria: probe activations (and gradients for Taylor)
+  // through temporarily installed stats gates.
+  std::vector<ChannelStatsGate*> gates(static_cast<size_t>(sites));
+  for (int s = 0; s < sites; ++s) {
+    auto gate = std::make_unique<ChannelStatsGate>(
+        net_->gate_producer(s)->out_channels());
+    gates[static_cast<size_t>(s)] = gate.get();
+    net_->install_gate(s, std::move(gate));
+  }
+
+  const bool needs_backward = config_.criterion == StaticCriterion::kTaylor;
+  const bool was_training = net_->is_training();
+  // Taylor needs gradients -> training-mode backward; activation stats use
+  // eval mode so BatchNorm running statistics stay untouched.
+  net_->set_training(needs_backward);
+
+  data::DataLoader loader(calibration, config_.calibration_batch_size,
+                          /*shuffle=*/true, config_.seed);
+  nn::SoftmaxCrossEntropy loss;
+  const int batches = std::min(config_.calibration_batches,
+                               loader.num_batches());
+  AD_CHECK_GT(batches, 0);
+  for (int b = 0; b < batches; ++b) {
+    data::Batch batch = loader.batch(b);
+    const Tensor logits = net_->forward(batch.images);
+    if (needs_backward) {
+      loss.forward(logits, batch.labels);
+      net_->backward(loss.backward());
+    }
+  }
+  if (needs_backward) net_->zero_grad();  // discard calibration gradients
+
+  for (int s = 0; s < sites; ++s) {
+    scores[static_cast<size_t>(s)] =
+        config_.criterion == StaticCriterion::kTaylor
+            ? gates[static_cast<size_t>(s)]->mean_abs_taylor()
+            : gates[static_cast<size_t>(s)]->mean_abs_activation();
+  }
+  net_->clear_gates();
+  net_->set_training(was_training);
+  return scores;
+}
+
+void StaticPruner::prune(const data::Dataset& calibration) {
+  AD_CHECK(!pruned()) << " StaticPruner::prune called twice";
+  const std::vector<std::vector<float>> scores = compute_scores(calibration);
+
+  const int sites = net_->num_gate_sites();
+  kept_.resize(static_cast<size_t>(sites));
+  for (int s = 0; s < sites; ++s) {
+    const auto& site_scores = scores[static_cast<size_t>(s)];
+    const int c = static_cast<int>(site_scores.size());
+    const float drop =
+        config_.drop_per_block[static_cast<size_t>(net_->block_of_site(s))];
+    const int k = core::kept_count(c, drop);
+    std::vector<int> kept = ops::topk_indices(site_scores, k);
+    std::sort(kept.begin(), kept.end());
+    kept_[static_cast<size_t>(s)] = std::move(kept);
+  }
+  zero_pruned_parameters();
+}
+
+void StaticPruner::zero_pruned_parameters() {
+  for (int s = 0; s < net_->num_gate_sites(); ++s) {
+    nn::Conv2d* conv = net_->gate_producer(s);
+    nn::BatchNorm2d* bn = net_->gate_producer_bn(s);
+    const std::vector<uint8_t> keep = core::kept_to_mask(
+        kept_[static_cast<size_t>(s)], conv->out_channels());
+    Tensor& w = conv->weight().value;
+    const int64_t filter_size = w.size() / conv->out_channels();
+    for (int f = 0; f < conv->out_channels(); ++f) {
+      if (keep[static_cast<size_t>(f)]) continue;
+      float* row = w.data() + static_cast<int64_t>(f) * filter_size;
+      for (int64_t i = 0; i < filter_size; ++i) row[i] = 0.f;
+      if (conv->has_bias()) conv->bias().value[f] = 0.f;
+      if (bn != nullptr) {
+        bn->gamma().value[f] = 0.f;
+        bn->beta().value[f] = 0.f;
+      }
+    }
+  }
+}
+
+std::vector<core::EpochStats> StaticPruner::finetune(
+    const data::Dataset& train, const core::TrainConfig& config) {
+  AD_CHECK(pruned()) << " finetune before prune";
+  core::TrainConfig cfg = config;
+  cfg.post_step = [this] { zero_pruned_parameters(); };
+  core::Trainer trainer(*net_, train, cfg);
+  return trainer.fit();
+}
+
+void StaticPruner::install_runtime_masks(int batch_size) {
+  // A conv can be both a producer (skip its pruned filters) and the next
+  // site's consumer (skip its pruned input channels); merge per conv.
+  std::map<nn::Conv2d*, nn::ConvRuntimeMask> per_conv;
+  for (int s = 0; s < net_->num_gate_sites(); ++s) {
+    const std::vector<int>& kept = kept_[static_cast<size_t>(s)];
+    per_conv[net_->gate_producer(s)].out_channels = kept;
+    if (nn::Conv2d* consumer = net_->gate_consumer(s)) {
+      per_conv[consumer].channels = kept;
+    }
+  }
+  for (auto& [conv, mask] : per_conv) {
+    conv->set_runtime_masks(
+        std::vector<nn::ConvRuntimeMask>(static_cast<size_t>(batch_size),
+                                         mask));
+  }
+}
+
+core::EvalResult StaticPruner::evaluate_pruned(const data::Dataset& test,
+                                               int batch_size) {
+  AD_CHECK(pruned()) << " evaluate_pruned before prune";
+  return core::evaluate(*net_, test, batch_size,
+                        [this](int n) { install_runtime_masks(n); });
+}
+
+}  // namespace antidote::baselines

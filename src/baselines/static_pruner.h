@@ -1,0 +1,70 @@
+// StaticPruner — the classical static filter-pruning pipeline the paper
+// compares against (Table I): rank filters by a criterion, permanently
+// prune the lowest-ranked fraction per block, finetune.
+//
+// Execution model: pruning is *permanent and input-independent*. Pruned
+// filters have their weights and BatchNorm affine parameters zeroed
+// (finetuning keeps them at zero via a projection step), and at evaluation
+// time the pruned computation is actually skipped through Conv2d runtime
+// masks — the producing conv skips the pruned filters and the consuming
+// conv skips the corresponding input channels — so FLOPs are measured the
+// same way as for AntiDote's dynamic pruning. The contrast with the
+// dynamic method is exactly the paper's: the kept set here is one fixed
+// set for the whole dataset, not a per-input set.
+#pragma once
+
+#include <vector>
+
+#include "baselines/criteria.h"
+#include "core/evaluate.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "models/convnet.h"
+
+namespace antidote::baselines {
+
+struct StaticPruneConfig {
+  StaticCriterion criterion = StaticCriterion::kL1;
+  // Fraction of filters dropped per model block (same semantics as the
+  // dynamic method's per-block channel ratios).
+  std::vector<float> drop_per_block;
+  // Calibration pass size for data-driven criteria (Taylor, activation).
+  int calibration_batches = 4;
+  int calibration_batch_size = 32;
+  uint64_t seed = 42;
+};
+
+class StaticPruner {
+ public:
+  StaticPruner(models::ConvNet& net, StaticPruneConfig config);
+
+  // Ranks filters (running a calibration pass over `calibration` for
+  // data-driven criteria), selects the kept sets and zeroes pruned
+  // parameters. Must be called exactly once.
+  void prune(const data::Dataset& calibration);
+
+  // Projection finetuning: standard training with pruned parameters pinned
+  // to zero after every optimizer step.
+  std::vector<core::EpochStats> finetune(const data::Dataset& train,
+                                         const core::TrainConfig& config);
+
+  // Evaluation with real computation skipping (see file comment).
+  core::EvalResult evaluate_pruned(const data::Dataset& test,
+                                   int batch_size = 64);
+
+  const std::vector<std::vector<int>>& kept_per_site() const { return kept_; }
+  bool pruned() const { return !kept_.empty(); }
+
+ private:
+  std::vector<std::vector<float>> compute_scores(
+      const data::Dataset& calibration);
+  void zero_pruned_parameters();
+  void install_runtime_masks(int batch_size);
+
+  models::ConvNet* net_;
+  StaticPruneConfig config_;
+  Rng rng_;
+  std::vector<std::vector<int>> kept_;  // per site, sorted ascending
+};
+
+}  // namespace antidote::baselines

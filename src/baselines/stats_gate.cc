@@ -1,0 +1,81 @@
+#include "baselines/stats_gate.h"
+
+#include <cmath>
+
+#include "base/error.h"
+
+namespace antidote::baselines {
+
+ChannelStatsGate::ChannelStatsGate(int channels) : channels_(channels) {
+  AD_CHECK_GT(channels, 0);
+  reset();
+}
+
+void ChannelStatsGate::reset() {
+  act_sum_.assign(static_cast<size_t>(channels_), 0.0);
+  taylor_sum_.assign(static_cast<size_t>(channels_), 0.0);
+  act_samples_ = 0;
+  taylor_samples_ = 0;
+}
+
+Tensor ChannelStatsGate::forward(const Tensor& x) {
+  AD_CHECK_EQ(x.ndim(), 4);
+  AD_CHECK_EQ(x.dim(1), channels_);
+  const int n = x.dim(0), c = channels_;
+  const int64_t hw = static_cast<int64_t>(x.dim(2)) * x.dim(3);
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      const float* plane = x.data() + (static_cast<int64_t>(b) * c + ch) * hw;
+      double acc = 0.0;
+      for (int64_t j = 0; j < hw; ++j) acc += std::abs(plane[j]);
+      act_sum_[static_cast<size_t>(ch)] += acc / static_cast<double>(hw);
+    }
+  }
+  act_samples_ += n;
+  cached_activation_ = x;
+  return x;
+}
+
+Tensor ChannelStatsGate::backward(const Tensor& grad_out) {
+  AD_CHECK(!cached_activation_.empty())
+      << " ChannelStatsGate backward before forward";
+  AD_CHECK(grad_out.same_shape(cached_activation_));
+  const int n = grad_out.dim(0), c = channels_;
+  const int64_t hw = static_cast<int64_t>(grad_out.dim(2)) * grad_out.dim(3);
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      const int64_t off = (static_cast<int64_t>(b) * c + ch) * hw;
+      const float* a = cached_activation_.data() + off;
+      const float* g = grad_out.data() + off;
+      double acc = 0.0;
+      for (int64_t j = 0; j < hw; ++j) acc += std::abs(double(a[j]) * g[j]);
+      taylor_sum_[static_cast<size_t>(ch)] += acc / static_cast<double>(hw);
+    }
+  }
+  taylor_samples_ += n;
+  return grad_out;
+}
+
+std::vector<float> ChannelStatsGate::mean_abs_activation() const {
+  AD_CHECK_GT(act_samples_, 0) << " no calibration forward passes recorded";
+  std::vector<float> out(static_cast<size_t>(channels_));
+  for (int ch = 0; ch < channels_; ++ch) {
+    out[static_cast<size_t>(ch)] = static_cast<float>(
+        act_sum_[static_cast<size_t>(ch)] / static_cast<double>(act_samples_));
+  }
+  return out;
+}
+
+std::vector<float> ChannelStatsGate::mean_abs_taylor() const {
+  AD_CHECK_GT(taylor_samples_, 0)
+      << " no calibration backward passes recorded";
+  std::vector<float> out(static_cast<size_t>(channels_));
+  for (int ch = 0; ch < channels_; ++ch) {
+    out[static_cast<size_t>(ch)] =
+        static_cast<float>(taylor_sum_[static_cast<size_t>(ch)] /
+                           static_cast<double>(taylor_samples_));
+  }
+  return out;
+}
+
+}  // namespace antidote::baselines

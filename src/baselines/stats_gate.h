@@ -1,0 +1,40 @@
+// ChannelStatsGate — a pass-through probe installed at gate sites to
+// collect the per-channel statistics needed by data-driven pruning
+// criteria: mean |activation| (FO/activation criterion) and mean
+// |activation x gradient| (Taylor criterion). Forward is the identity;
+// backward is the identity but pairs incoming gradients with the cached
+// activation to accumulate the Taylor term.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace antidote::baselines {
+
+class ChannelStatsGate : public nn::Module {
+ public:
+  explicit ChannelStatsGate(int channels);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "ChannelStatsGate"; }
+
+  // Mean |activation| per channel across all samples seen so far.
+  std::vector<float> mean_abs_activation() const;
+  // Mean |activation * gradient| per channel (Taylor first-order term).
+  std::vector<float> mean_abs_taylor() const;
+
+  void reset();
+  int64_t samples_seen() const { return act_samples_; }
+
+ private:
+  int channels_;
+  std::vector<double> act_sum_;     // sum over samples of mean |act| per ch
+  std::vector<double> taylor_sum_;  // sum over samples of mean |act*grad|
+  int64_t act_samples_ = 0;
+  int64_t taylor_samples_ = 0;
+  Tensor cached_activation_;
+};
+
+}  // namespace antidote::baselines

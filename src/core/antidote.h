@@ -1,0 +1,24 @@
+// Umbrella header: the full public API of the AntiDote reproduction.
+//
+//   #include "core/antidote.h"
+//
+// pulls in the dynamic-pruning core (attention, masks, gates, engine,
+// TTD, sensitivity, evaluation) plus the model/data entry points most
+// programs need. Individual headers remain includable on their own.
+#pragma once
+
+#include "core/attention.h"
+#include "core/engine.h"
+#include "core/evaluate.h"
+#include "core/gate.h"
+#include "core/mask.h"
+#include "core/sensitivity.h"
+#include "core/trainer.h"
+#include "core/ttd.h"
+#include "data/cifar.h"
+#include "data/dataloader.h"
+#include "data/synthetic.h"
+#include "models/factory.h"
+#include "models/flops.h"
+#include "nn/checkpoint.h"
+#include "nn/init.h"

@@ -1,0 +1,15 @@
+#include "core/attention.h"
+
+#include "tensor/ops.h"
+
+namespace antidote::core {
+
+Tensor channel_attention(const Tensor& feature_map) {
+  return ops::channel_mean_nchw(feature_map);
+}
+
+Tensor spatial_attention(const Tensor& feature_map) {
+  return ops::spatial_mean_nchw(feature_map);
+}
+
+}  // namespace antidote::core

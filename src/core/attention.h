@@ -1,0 +1,22 @@
+// Attention coefficients (paper Sec. III-A).
+//
+// Channel attention (Eq. 1): the spatial mean of each channel —
+//   A_channel(F, c) = 1/(H*W) * sum_{i,j} F_c(i, j),
+// yielding a C-vector per sample. Spatial attention (Eq. 2): the channel
+// mean at each location —
+//   A_spatial(F, h, w) = 1/C * sum_i F_{h,w}(i),
+// yielding an HxW heat map per sample. Both are computed on the post-ReLU
+// feature map, where magnitude reflects activation strength.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace antidote::core {
+
+// [N,C,H,W] -> [N,C] channel attention coefficients.
+Tensor channel_attention(const Tensor& feature_map);
+
+// [N,C,H,W] -> [N,H,W] spatial attention heat map.
+Tensor spatial_attention(const Tensor& feature_map);
+
+}  // namespace antidote::core

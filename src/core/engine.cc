@@ -1,0 +1,140 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/error.h"
+
+namespace antidote::core {
+
+PruneSettings PruneSettings::uniform(int num_blocks, float channel,
+                                     float spatial) {
+  AD_CHECK_GT(num_blocks, 0);
+  PruneSettings s;
+  s.channel_drop.assign(static_cast<size_t>(num_blocks), channel);
+  s.spatial_drop.assign(static_cast<size_t>(num_blocks), spatial);
+  return s;
+}
+
+PruneSettings PruneSettings::clamped(float cap) const {
+  PruneSettings s = *this;
+  for (float& v : s.channel_drop) v = std::clamp(v, 0.f, cap);
+  for (float& v : s.spatial_drop) v = std::clamp(v, 0.f, cap);
+  for (SiteOverride& o : s.site_overrides) {
+    o.channel_drop = std::clamp(o.channel_drop, 0.f, cap);
+    o.spatial_drop = std::clamp(o.spatial_drop, 0.f, cap);
+  }
+  return s;
+}
+
+PruneSettings PruneSettings::channel_only() const {
+  PruneSettings s = *this;
+  std::fill(s.spatial_drop.begin(), s.spatial_drop.end(), 0.f);
+  for (SiteOverride& o : s.site_overrides) o.spatial_drop = 0.f;
+  return s;
+}
+
+PruneSettings PruneSettings::spatial_only() const {
+  PruneSettings s = *this;
+  std::fill(s.channel_drop.begin(), s.channel_drop.end(), 0.f);
+  for (SiteOverride& o : s.site_overrides) o.channel_drop = 0.f;
+  return s;
+}
+
+namespace {
+// Resolves the (channel, spatial) drop pair for a site from block ratios
+// plus overrides.
+std::pair<float, float> site_ratios(const PruneSettings& s, int site,
+                                    int block) {
+  float ch = s.channel_drop[static_cast<size_t>(block)];
+  float sp = s.spatial_drop[static_cast<size_t>(block)];
+  for (const SiteOverride& o : s.site_overrides) {
+    if (o.site == site) {
+      ch = o.channel_drop;
+      sp = o.spatial_drop;
+      break;
+    }
+  }
+  return {ch, sp};
+}
+}  // namespace
+
+DynamicPruningEngine::DynamicPruningEngine(models::ConvNet& net,
+                                           PruneSettings settings)
+    : net_(&net), settings_(std::move(settings)) {
+  AD_CHECK_EQ(static_cast<int>(settings_.channel_drop.size()),
+              net.num_blocks())
+      << " channel_drop entries vs model blocks";
+  AD_CHECK_EQ(static_cast<int>(settings_.spatial_drop.size()),
+              net.num_blocks())
+      << " spatial_drop entries vs model blocks";
+
+  gates_.reserve(static_cast<size_t>(net.num_gate_sites()));
+  for (int s = 0; s < net.num_gate_sites(); ++s) {
+    const auto [ch, sp] = site_ratios(settings_, s, net.block_of_site(s));
+    GateConfig cfg;
+    cfg.channel_drop = ch;
+    cfg.spatial_drop = sp;
+    cfg.order = settings_.order;
+    cfg.mode = settings_.mode;
+    cfg.seed = settings_.seed + static_cast<uint64_t>(s) * 0x9e3779b9ULL;
+    auto gate = std::make_unique<AttentionGate>(
+        cfg, net.gate_consumer(s), net.gate_spatially_aligned(s));
+    gates_.push_back(gate.get());
+    net.install_gate(s, std::move(gate));
+  }
+}
+
+void DynamicPruningEngine::apply_settings(const PruneSettings& settings) {
+  AD_CHECK_EQ(settings.channel_drop.size(), settings_.channel_drop.size());
+  AD_CHECK_EQ(settings.spatial_drop.size(), settings_.spatial_drop.size());
+  settings_.channel_drop = settings.channel_drop;
+  settings_.spatial_drop = settings.spatial_drop;
+  settings_.site_overrides = settings.site_overrides;
+  settings_.order = settings.order;
+  settings_.mode = settings.mode;
+  for (int s = 0; s < net_->num_gate_sites(); ++s) {
+    const auto [ch, sp] = site_ratios(settings_, s, net_->block_of_site(s));
+    AttentionGate* gate = gates_[static_cast<size_t>(s)];
+    gate->set_ratios(ch, sp);
+    gate->set_order(settings_.order);
+    gate->set_mode(settings_.mode);
+  }
+}
+
+void DynamicPruningEngine::set_enabled(bool enabled) {
+  for (AttentionGate* g : gates_) g->set_enabled(enabled);
+}
+
+void DynamicPruningEngine::remove() {
+  net_->clear_gates();
+  gates_.clear();
+}
+
+AttentionGate* DynamicPruningEngine::gate(int site) const {
+  AD_CHECK(site >= 0 && site < static_cast<int>(gates_.size()))
+      << " engine gate " << site;
+  return gates_[static_cast<size_t>(site)];
+}
+
+DynamicPruningEngine::KeepStats DynamicPruningEngine::last_keep_stats() const {
+  KeepStats out;
+  double ch_sum = 0.0, sp_sum = 0.0;
+  int counted = 0;
+  for (const AttentionGate* g : gates_) {
+    const AttentionGate::Stats& s = g->last_stats();
+    if (s.samples == 0) continue;  // gate was identity last pass
+    ch_sum += static_cast<double>(s.kept_channels) /
+              (static_cast<double>(s.samples) * s.channels);
+    sp_sum += static_cast<double>(s.kept_positions) /
+              (static_cast<double>(s.samples) * s.positions);
+    ++counted;
+  }
+  if (counted > 0) {
+    out.mean_channel_keep = ch_sum / counted;
+    out.mean_spatial_keep = sp_sum / counted;
+  }
+  return out;
+}
+
+}  // namespace antidote::core

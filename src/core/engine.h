@@ -1,0 +1,75 @@
+// DynamicPruningEngine — installs AttentionGates at every gate site of a
+// ConvNet according to per-block drop ratios (the paper's "[0.2, 0.2, 0.6,
+// 0.9, 0.9]"-style settings) and manages them as a unit: reconfigure,
+// enable/disable, inspect, remove.
+#pragma once
+
+#include <vector>
+
+#include "core/gate.h"
+#include "models/convnet.h"
+
+namespace antidote::core {
+
+// Exception to the per-block ratios for a single gate site (e.g. to spare
+// the very first conv layer, or for per-layer sensitivity experiments that
+// go finer than blocks).
+struct SiteOverride {
+  int site = 0;
+  float channel_drop = 0.f;
+  float spatial_drop = 0.f;
+};
+
+// Per-block drop ratios. Vectors must have one entry per model block
+// (VGG16: 5 conv blocks; CIFAR ResNet: 3 groups).
+struct PruneSettings {
+  std::vector<float> channel_drop;
+  std::vector<float> spatial_drop;
+  // Applied after the block ratios; at most one entry per site.
+  std::vector<SiteOverride> site_overrides;
+  MaskOrder order = MaskOrder::kAttention;
+  GateMode mode = GateMode::kHardTopK;
+  uint64_t seed = 99;
+
+  // All blocks at the same ratios.
+  static PruneSettings uniform(int num_blocks, float channel, float spatial);
+  // Copy with every ratio clamped into [0, cap] (used by ratio ascent).
+  PruneSettings clamped(float cap) const;
+  // Copies with one dimension switched off (Fig. 4 decomposition).
+  PruneSettings channel_only() const;
+  PruneSettings spatial_only() const;
+};
+
+class DynamicPruningEngine {
+ public:
+  // Installs one gate per site of `net`. Gates are owned by the model;
+  // the engine keeps typed pointers. Call remove() to uninstall.
+  DynamicPruningEngine(models::ConvNet& net, PruneSettings settings);
+
+  // Reconfigures every gate's ratios/order from new per-block settings.
+  void apply_settings(const PruneSettings& settings);
+  const PruneSettings& settings() const { return settings_; }
+
+  void set_enabled(bool enabled);
+  // Uninstalls all gates from the model. The engine must not be used for
+  // gate access afterwards.
+  void remove();
+
+  models::ConvNet& net() { return *net_; }
+  const std::vector<AttentionGate*>& gates() const { return gates_; }
+  AttentionGate* gate(int site) const;
+
+  // Aggregate keep statistics over the last forward pass (all gates).
+  struct KeepStats {
+    double mean_channel_keep = 1.0;   // kept / total channels, averaged
+    double mean_spatial_keep = 1.0;   // kept / total positions, averaged
+  };
+  KeepStats last_keep_stats() const;
+
+ private:
+  models::ConvNet* net_;
+  PruneSettings settings_;
+  std::vector<AttentionGate*> gates_;
+};
+
+}  // namespace antidote::core

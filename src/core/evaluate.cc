@@ -1,0 +1,40 @@
+#include "core/evaluate.h"
+
+#include "data/dataloader.h"
+#include "models/flops.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace antidote::core {
+
+EvalResult evaluate(models::ConvNet& net, const data::Dataset& dataset,
+                    int batch_size,
+                    const std::function<void(int)>& before_forward) {
+  const bool was_training = net.is_training();
+  net.set_training(false);
+
+  data::DataLoader loader(dataset, batch_size, /*shuffle=*/false);
+  nn::SoftmaxCrossEntropy loss;
+  EvalResult result;
+  double correct = 0.0, loss_sum = 0.0, macs_sum = 0.0;
+
+  for (int b = 0; b < loader.num_batches(); ++b) {
+    data::Batch batch = loader.batch(b);
+    if (before_forward) before_forward(batch.size());
+    const Tensor logits = net.forward(batch.images);
+    const double batch_loss = loss.forward(logits, batch.labels);
+    correct += ops::accuracy(logits, batch.labels) * batch.size();
+    loss_sum += batch_loss * batch.size();
+    macs_sum += static_cast<double>(models::read_last_flops(net).total_macs);
+    result.samples += batch.size();
+  }
+  if (result.samples > 0) {
+    result.accuracy = correct / result.samples;
+    result.mean_loss = loss_sum / result.samples;
+    result.mean_macs_per_sample = macs_sum / result.samples;
+  }
+  net.set_training(was_training);
+  return result;
+}
+
+}  // namespace antidote::core

@@ -1,0 +1,29 @@
+// Test-set evaluation with FLOPs measurement.
+#pragma once
+
+#include <functional>
+
+#include "data/dataset.h"
+#include "models/convnet.h"
+
+namespace antidote::core {
+
+struct EvalResult {
+  double accuracy = 0.0;
+  double mean_loss = 0.0;
+  // Mean multiply-accumulates actually executed per sample (reflects any
+  // dynamic pruning active during the pass).
+  double mean_macs_per_sample = 0.0;
+  int samples = 0;
+};
+
+// Runs the model in eval mode over the whole dataset (no augmentation, no
+// shuffling) and restores the previous training flag afterwards.
+// `before_forward(batch_size)`, when provided, runs before every batch —
+// static pruning uses it to (re-)install per-batch runtime masks, which
+// Conv2d consumes per forward pass.
+EvalResult evaluate(
+    models::ConvNet& net, const data::Dataset& dataset, int batch_size = 64,
+    const std::function<void(int batch_size)>& before_forward = nullptr);
+
+}  // namespace antidote::core

@@ -1,0 +1,167 @@
+#include "core/gate.h"
+
+#include <cmath>
+
+#include "base/error.h"
+#include "core/attention.h"
+#include "tensor/ops.h"
+
+namespace antidote::core {
+
+AttentionGate::AttentionGate(GateConfig config, nn::Conv2d* consumer,
+                             bool spatially_aligned)
+    : config_(config),
+      consumer_(consumer),
+      spatially_aligned_(spatially_aligned),
+      rng_(config.seed) {
+  set_ratios(config.channel_drop, config.spatial_drop);
+}
+
+void AttentionGate::set_ratios(float channel_drop, float spatial_drop) {
+  AD_CHECK(channel_drop >= 0.f && channel_drop <= 1.f)
+      << " channel drop " << channel_drop;
+  AD_CHECK(spatial_drop >= 0.f && spatial_drop <= 1.f)
+      << " spatial drop " << spatial_drop;
+  config_.channel_drop = channel_drop;
+  config_.spatial_drop = spatial_drop;
+}
+
+namespace {
+float sigmoid(float v) { return 1.f / (1.f + std::exp(-v)); }
+}  // namespace
+
+Tensor AttentionGate::forward_soft(const Tensor& x) {
+  // SENet-style reweighting: out = x * sigmoid(A_channel) * sigmoid(A_spatial)
+  // broadcast over the matching dimensions. No pruning, no consumer masks.
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int hw = h * w;
+  last_ch_att_ = channel_attention(x);
+  last_sp_att_ = spatial_attention(x);
+
+  cached_mask_ = Tensor::ones(x.shape());  // holds the smooth scale map
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      const float ch_scale = sigmoid(last_ch_att_.at({b, ch}));
+      float* mplane =
+          cached_mask_.data() + (static_cast<int64_t>(b) * c + ch) * hw;
+      const float* att_plane =
+          last_sp_att_.data() + static_cast<int64_t>(b) * hw;
+      for (int j = 0; j < hw; ++j) {
+        mplane[j] = ch_scale * sigmoid(att_plane[j]);
+      }
+    }
+  }
+  stats_ = Stats{};
+  stats_.samples = n;
+  stats_.channels = c;
+  stats_.positions = hw;
+  stats_.kept_channels = static_cast<int64_t>(n) * c;  // nothing removed
+  stats_.kept_positions = static_cast<int64_t>(n) * hw;
+  last_masks_.assign(static_cast<size_t>(n), nn::ConvRuntimeMask{});
+  return ops::mul(x, cached_mask_);
+}
+
+Tensor AttentionGate::forward(const Tensor& x) {
+  AD_CHECK_EQ(x.ndim(), 4) << " AttentionGate expects NCHW";
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int hw = h * w;
+
+  const bool prune_channels = config_.channel_drop > 0.f;
+  const bool prune_spatial = config_.spatial_drop > 0.f;
+  if (!enabled_ || (!prune_channels && !prune_spatial)) {
+    // Exact identity; clear per-pass state so stale masks never leak.
+    stats_ = Stats{};
+    last_masks_.clear();
+    cached_mask_ = Tensor();
+    return x;
+  }
+  if (config_.mode == GateMode::kSoftSigmoid) return forward_soft(x);
+
+  stats_ = Stats{};
+  stats_.samples = n;
+  stats_.channels = c;
+  stats_.positions = hw;
+  last_masks_.assign(static_cast<size_t>(n), nn::ConvRuntimeMask{});
+
+  if (prune_channels) last_ch_att_ = channel_attention(x);
+  if (prune_spatial) last_sp_att_ = spatial_attention(x);
+
+  Tensor out = x.clone();
+  cached_mask_ = Tensor::ones(x.shape());
+
+  for (int b = 0; b < n; ++b) {
+    nn::ConvRuntimeMask& sample_mask = last_masks_[static_cast<size_t>(b)];
+
+    if (prune_channels) {
+      std::span<const float> att(
+          last_ch_att_.data() + static_cast<int64_t>(b) * c,
+          static_cast<size_t>(c));
+      sample_mask.channels =
+          select_kept(att, config_.channel_drop, config_.order, rng_);
+      stats_.kept_channels +=
+          static_cast<int64_t>(sample_mask.channels.size());
+      // Zero dropped channel planes (in both output and the backward mask).
+      const std::vector<uint8_t> keep =
+          kept_to_mask(sample_mask.channels, c);
+      for (int ch = 0; ch < c; ++ch) {
+        if (keep[static_cast<size_t>(ch)]) continue;
+        float* plane =
+            out.data() + (static_cast<int64_t>(b) * c + ch) * hw;
+        float* mplane =
+            cached_mask_.data() + (static_cast<int64_t>(b) * c + ch) * hw;
+        for (int j = 0; j < hw; ++j) {
+          plane[j] = 0.f;
+          mplane[j] = 0.f;
+        }
+      }
+    } else {
+      stats_.kept_channels += c;
+    }
+
+    if (prune_spatial) {
+      std::span<const float> att(
+          last_sp_att_.data() + static_cast<int64_t>(b) * hw,
+          static_cast<size_t>(hw));
+      sample_mask.positions =
+          select_kept(att, config_.spatial_drop, config_.order, rng_);
+      stats_.kept_positions +=
+          static_cast<int64_t>(sample_mask.positions.size());
+      // Zero dropped columns across every channel.
+      const std::vector<uint8_t> keep =
+          kept_to_mask(sample_mask.positions, hw);
+      for (int ch = 0; ch < c; ++ch) {
+        float* plane =
+            out.data() + (static_cast<int64_t>(b) * c + ch) * hw;
+        float* mplane =
+            cached_mask_.data() + (static_cast<int64_t>(b) * c + ch) * hw;
+        for (int j = 0; j < hw; ++j) {
+          if (!keep[static_cast<size_t>(j)]) {
+            plane[j] = 0.f;
+            mplane[j] = 0.f;
+          }
+        }
+      }
+    } else {
+      stats_.kept_positions += hw;
+    }
+  }
+
+  // Test phase: hand the keep sets to the consumer so it skips the pruned
+  // computation. (Training keeps dense math for the backward pass — the
+  // gate then behaves exactly as the paper's targeted dropout.)
+  if (!is_training() && forward_to_consumer_ && consumer_ != nullptr) {
+    std::vector<nn::ConvRuntimeMask> runtime = last_masks_;
+    if (!spatially_aligned_) {
+      for (auto& m : runtime) m.positions.clear();  // cannot skip positions
+    }
+    consumer_->set_runtime_masks(std::move(runtime));
+  }
+  return out;
+}
+
+Tensor AttentionGate::backward(const Tensor& grad_out) {
+  if (cached_mask_.empty()) return grad_out;  // was identity
+  return ops::mul(grad_out, cached_mask_);
+}
+
+}  // namespace antidote::core

@@ -1,0 +1,112 @@
+// AttentionGate — the runtime heart of AntiDote (paper Fig. 1).
+//
+// Installed at a ConvNet gate site, the gate observes the post-ReLU feature
+// map between two convolutions and, per input sample:
+//   1. computes channel attention (Eq. 1) and spatial attention (Eq. 2),
+//   2. binarizes them into top-k keep sets at the configured drop ratios
+//      (Eq. 3 / Eq. 4),
+//   3. zeroes the dropped channels and spatial columns of the feature map.
+//
+// Phase behaviour follows the paper's training/testing co-design:
+//   - training (TTD, Sec. IV): the gate acts as *targeted dropout* — the
+//     masked map flows on densely so the backward pass works; gradients
+//     are masked by the same binary mask (elementwise-multiply backward).
+//   - eval (Sec. III): additionally, the kept channel set (and, when the
+//     gate is spatially aligned with its consumer, the kept position set)
+//     is forwarded to the consumer Conv2d as a runtime mask, so the next
+//     layer *skips* the pruned computation and the FLOPs saving is real.
+//
+// A disabled gate is an exact identity (used to probe dense baselines).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "core/mask.h"
+#include "nn/conv2d.h"
+#include "nn/module.h"
+
+namespace antidote::core {
+
+// How the gate uses the attention coefficients.
+//  - kHardTopK: the paper's method — binarize into keep sets, zero the rest
+//    and skip the pruned computation downstream.
+//  - kSoftSigmoid: the SENet-style mechanism the paper contrasts against
+//    (Sec. III-A): multiply the map by sigmoid(attention) per channel /
+//    per column. Reweights but removes nothing, so it saves no FLOPs —
+//    implemented here to make that comparison runnable (ablation bench).
+enum class GateMode { kHardTopK, kSoftSigmoid };
+
+struct GateConfig {
+  float channel_drop = 0.f;  // fraction of channels dropped per input
+  float spatial_drop = 0.f;  // fraction of spatial columns dropped per input
+  MaskOrder order = MaskOrder::kAttention;
+  GateMode mode = GateMode::kHardTopK;
+  uint64_t seed = 99;  // randomness for MaskOrder::kRandom
+};
+
+class AttentionGate : public nn::Gate {
+ public:
+  // `consumer` is the Conv2d fed by this gate's output (may be null: the
+  // gate then only masks, e.g. at the last conv before the classifier).
+  // `spatially_aligned` must be true only when the consumer sees the same
+  // spatial grid it outputs (see ConvNet::gate_spatially_aligned).
+  AttentionGate(GateConfig config, nn::Conv2d* consumer,
+                bool spatially_aligned);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "AttentionGate"; }
+
+  // --- nn::Gate ---
+  void set_enabled(bool enabled) override { enabled_ = enabled; }
+  bool enabled() const override { return enabled_; }
+
+  // --- configuration ---
+  void set_ratios(float channel_drop, float spatial_drop);
+  void set_order(MaskOrder order) { config_.order = order; }
+  void set_mode(GateMode mode) { config_.mode = mode; }
+  const GateConfig& config() const { return config_; }
+  bool spatially_aligned() const { return spatially_aligned_; }
+  nn::Conv2d* consumer() const { return consumer_; }
+
+  // When false, the gate never instructs the consumer to skip computation
+  // (mask-only mode; the default true gives the paper's runtime saving).
+  void set_forward_to_consumer(bool on) { forward_to_consumer_ = on; }
+
+  // --- introspection (last forward pass) ---
+  struct Stats {
+    int samples = 0;
+    int channels = 0;        // C of the gated map
+    int positions = 0;       // H*W of the gated map
+    int64_t kept_channels = 0;   // summed over samples
+    int64_t kept_positions = 0;  // summed over samples
+  };
+  const Stats& last_stats() const { return stats_; }
+  // Per-sample keep sets of the last forward (empty halves = kept all).
+  const std::vector<nn::ConvRuntimeMask>& last_masks() const {
+    return last_masks_;
+  }
+  // Per-sample attention vectors of the last forward, for visualization.
+  const Tensor& last_channel_attention() const { return last_ch_att_; }
+  const Tensor& last_spatial_attention() const { return last_sp_att_; }
+
+ private:
+  Tensor forward_soft(const Tensor& x);
+
+  GateConfig config_;
+  nn::Conv2d* consumer_;
+  bool spatially_aligned_;
+  bool enabled_ = true;
+  bool forward_to_consumer_ = true;
+  Rng rng_;
+
+  Stats stats_;
+  std::vector<nn::ConvRuntimeMask> last_masks_;
+  Tensor last_ch_att_;
+  Tensor last_sp_att_;
+  Tensor cached_mask_;  // binary mask of last forward, for backward
+};
+
+}  // namespace antidote::core

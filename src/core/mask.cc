@@ -1,0 +1,62 @@
+#include "core/mask.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.h"
+#include "tensor/ops.h"
+
+namespace antidote::core {
+
+const char* mask_order_name(MaskOrder order) {
+  switch (order) {
+    case MaskOrder::kAttention:
+      return "attention";
+    case MaskOrder::kRandom:
+      return "random";
+    case MaskOrder::kInverseAttention:
+      return "inverse";
+  }
+  return "?";
+}
+
+int kept_count(int n, float drop_ratio) {
+  AD_CHECK_GT(n, 0);
+  AD_CHECK(drop_ratio >= 0.f && drop_ratio <= 1.f)
+      << " drop ratio " << drop_ratio;
+  const int dropped = static_cast<int>(std::lround(drop_ratio * n));
+  return std::clamp(n - dropped, 1, n);
+}
+
+std::vector<int> select_kept(std::span<const float> attention,
+                             float drop_ratio, MaskOrder order, Rng& rng) {
+  const int n = static_cast<int>(attention.size());
+  const int k = kept_count(n, drop_ratio);
+  std::vector<int> kept;
+  switch (order) {
+    case MaskOrder::kAttention:
+      kept = ops::topk_indices(attention, k);
+      break;
+    case MaskOrder::kInverseAttention:
+      kept = ops::bottomk_indices(attention, k);
+      break;
+    case MaskOrder::kRandom: {
+      std::vector<int> perm = rng.permutation(n);
+      kept.assign(perm.begin(), perm.begin() + k);
+      break;
+    }
+  }
+  std::sort(kept.begin(), kept.end());
+  return kept;
+}
+
+std::vector<uint8_t> kept_to_mask(std::span<const int> kept, int n) {
+  std::vector<uint8_t> mask(static_cast<size_t>(n), 0);
+  for (int i : kept) {
+    AD_CHECK(i >= 0 && i < n) << " kept index " << i;
+    mask[static_cast<size_t>(i)] = 1;
+  }
+  return mask;
+}
+
+}  // namespace antidote::core

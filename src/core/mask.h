@@ -1,0 +1,35 @@
+// Binary top-k mask generation (paper Eq. 3 / Eq. 4).
+//
+// Given attention coefficients and a *drop ratio* r, the mask keeps the
+// top k = n - round(r*n) entries (always at least one) and drops the rest.
+// Three orderings are supported, matching the paper's Fig. 2 comparison:
+//   kAttention        — keep the highest-attention entries (the method),
+//   kRandom           — keep a uniformly random subset of the same size,
+//   kInverseAttention — keep the lowest-attention entries (adversarial).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace antidote::core {
+
+enum class MaskOrder { kAttention, kRandom, kInverseAttention };
+
+const char* mask_order_name(MaskOrder order);
+
+// Number of entries kept out of `n` at drop ratio `drop_ratio` in [0, 1]:
+// n - round(drop_ratio * n), clamped to [1, n].
+int kept_count(int n, float drop_ratio);
+
+// Indices (sorted ascending) kept by the mask over `attention` at the given
+// drop ratio and ordering. `rng` is consulted only for kRandom.
+std::vector<int> select_kept(std::span<const float> attention,
+                             float drop_ratio, MaskOrder order, Rng& rng);
+
+// Expands kept indices into a dense 0/1 mask of length n.
+std::vector<uint8_t> kept_to_mask(std::span<const int> kept, int n);
+
+}  // namespace antidote::core

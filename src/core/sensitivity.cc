@@ -1,0 +1,109 @@
+#include "core/sensitivity.h"
+
+#include "base/error.h"
+#include "core/evaluate.h"
+
+namespace antidote::core {
+
+namespace {
+
+// Evaluates accuracy with only `block` pruned at `ratio`.
+double eval_single_block(DynamicPruningEngine& engine,
+                         const data::Dataset& test, int num_blocks, int block,
+                         float ratio, const SensitivitySweep& sweep) {
+  PruneSettings s = PruneSettings::uniform(num_blocks, 0.f, 0.f);
+  if (sweep.spatial) {
+    s.spatial_drop[static_cast<size_t>(block)] = ratio;
+  } else {
+    s.channel_drop[static_cast<size_t>(block)] = ratio;
+  }
+  s.order = sweep.order;
+  engine.apply_settings(s);
+  return evaluate(engine.net(), test, sweep.batch_size).accuracy;
+}
+
+}  // namespace
+
+std::vector<SensitivityCurve> block_sensitivity(
+    models::ConvNet& net, const data::Dataset& test,
+    const SensitivitySweep& sweep) {
+  PruneSettings zero = PruneSettings::uniform(net.num_blocks(), 0.f, 0.f);
+  zero.order = sweep.order;
+  zero.seed = sweep.seed;
+  DynamicPruningEngine engine(net, zero);
+
+  std::vector<SensitivityCurve> curves;
+  for (int block = 0; block < net.num_blocks(); ++block) {
+    SensitivityCurve curve;
+    curve.block = block;
+    curve.order = sweep.order;
+    for (float ratio : sweep.ratios) {
+      curve.ratios.push_back(ratio);
+      curve.accuracy.push_back(eval_single_block(
+          engine, test, net.num_blocks(), block, ratio, sweep));
+    }
+    curves.push_back(std::move(curve));
+  }
+  engine.remove();
+  return curves;
+}
+
+std::vector<SensitivityCurve> site_sensitivity(models::ConvNet& net,
+                                               const data::Dataset& test,
+                                               const SensitivitySweep& sweep) {
+  PruneSettings zero = PruneSettings::uniform(net.num_blocks(), 0.f, 0.f);
+  zero.order = sweep.order;
+  zero.seed = sweep.seed;
+  DynamicPruningEngine engine(net, zero);
+
+  std::vector<SensitivityCurve> curves;
+  for (int site = 0; site < net.num_gate_sites(); ++site) {
+    SensitivityCurve curve;
+    curve.block = site;  // carries the site index in this variant
+    curve.order = sweep.order;
+    for (float ratio : sweep.ratios) {
+      PruneSettings s = zero;
+      SiteOverride o;
+      o.site = site;
+      (sweep.spatial ? o.spatial_drop : o.channel_drop) = ratio;
+      s.site_overrides = {o};
+      engine.apply_settings(s);
+      curve.ratios.push_back(ratio);
+      curve.accuracy.push_back(
+          evaluate(net, test, sweep.batch_size).accuracy);
+    }
+    curves.push_back(std::move(curve));
+  }
+  engine.remove();
+  return curves;
+}
+
+std::vector<SensitivityCurve> order_comparison(models::ConvNet& net,
+                                               const data::Dataset& test,
+                                               int block,
+                                               const SensitivitySweep& sweep) {
+  AD_CHECK(block >= 0 && block < net.num_blocks()) << " block " << block;
+  PruneSettings zero = PruneSettings::uniform(net.num_blocks(), 0.f, 0.f);
+  zero.seed = sweep.seed;
+  DynamicPruningEngine engine(net, zero);
+
+  std::vector<SensitivityCurve> curves;
+  for (MaskOrder order : {MaskOrder::kAttention, MaskOrder::kRandom,
+                          MaskOrder::kInverseAttention}) {
+    SensitivitySweep s = sweep;
+    s.order = order;
+    SensitivityCurve curve;
+    curve.block = block;
+    curve.order = order;
+    for (float ratio : s.ratios) {
+      curve.ratios.push_back(ratio);
+      curve.accuracy.push_back(
+          eval_single_block(engine, test, net.num_blocks(), block, ratio, s));
+    }
+    curves.push_back(std::move(curve));
+  }
+  engine.remove();
+  return curves;
+}
+
+}  // namespace antidote::core

@@ -1,0 +1,60 @@
+// Sensitivity analyses backing the paper's Fig. 2 and Fig. 3.
+//
+// block_sensitivity (Fig. 3): prune one block at a time across a ratio
+// sweep and record test accuracy — the curves used to pick each block's
+// upper-bound drop ratio for TTD.
+//
+// order_comparison (Fig. 2): on a single block, compare attention-ordered
+// pruning against random and inverse-attention orderings across the sweep —
+// the experiment establishing that attention coefficients identify
+// essential components.
+//
+// Both leave the model exactly as they found it (gates removed, training
+// flag restored).
+#pragma once
+
+#include <vector>
+
+#include "core/engine.h"
+#include "data/dataset.h"
+
+namespace antidote::core {
+
+struct SensitivitySweep {
+  std::vector<float> ratios = {0.1f, 0.2f, 0.3f, 0.4f, 0.5f,
+                               0.6f, 0.7f, 0.8f, 0.9f, 1.0f};
+  bool spatial = false;  // sweep spatial-column ratios instead of channel
+  MaskOrder order = MaskOrder::kAttention;
+  int batch_size = 64;
+  uint64_t seed = 99;
+};
+
+struct SensitivityCurve {
+  int block = 0;
+  MaskOrder order = MaskOrder::kAttention;
+  std::vector<float> ratios;
+  std::vector<double> accuracy;
+};
+
+// One curve per model block.
+std::vector<SensitivityCurve> block_sensitivity(models::ConvNet& net,
+                                                const data::Dataset& test,
+                                                const SensitivitySweep& sweep);
+
+// One curve per ordering in {attention, random, inverse}, pruning only
+// `block` (pass net.num_blocks()-1 for the paper's "last block").
+std::vector<SensitivityCurve> order_comparison(models::ConvNet& net,
+                                               const data::Dataset& test,
+                                               int block,
+                                               const SensitivitySweep& sweep);
+
+// Finer-grained variant of block_sensitivity: one curve per *gate site*
+// (individual layer), pruning that site alone via a SiteOverride. The
+// paper aggregates to blocks "to avoid massive hyper-parameter tuning";
+// this exposes the underlying per-layer curves. The returned
+// SensitivityCurve::block field carries the site index.
+std::vector<SensitivityCurve> site_sensitivity(models::ConvNet& net,
+                                               const data::Dataset& test,
+                                               const SensitivitySweep& sweep);
+
+}  // namespace antidote::core

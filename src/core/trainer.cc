@@ -1,0 +1,90 @@
+#include "core/trainer.h"
+
+#include "base/error.h"
+#include "base/logging.h"
+#include "tensor/ops.h"
+
+namespace antidote::core {
+
+namespace {
+std::unique_ptr<nn::LrSchedule> make_schedule(const TrainConfig& cfg,
+                                              int total_epochs) {
+  if (cfg.cosine) {
+    return std::make_unique<nn::CosineSchedule>(cfg.base_lr, total_epochs,
+                                                cfg.final_lr);
+  }
+  return std::make_unique<nn::ConstantSchedule>(cfg.base_lr);
+}
+
+std::optional<data::AugmentConfig> make_augment(const TrainConfig& cfg) {
+  if (!cfg.augment) return std::nullopt;
+  data::AugmentConfig a;
+  a.pad = cfg.augment_pad;
+  a.hflip = cfg.augment_hflip;
+  return a;
+}
+}  // namespace
+
+Trainer::Trainer(models::ConvNet& net, const data::Dataset& train_data,
+                 TrainConfig config)
+    : net_(&net),
+      config_(config),
+      loader_(train_data, config.batch_size, /*shuffle=*/true, config.seed,
+              make_augment(config)),
+      sgd_(net.parameters(),
+           nn::SgdOptions{config.base_lr, config.momentum,
+                          config.weight_decay, config.nesterov}),
+      schedule_(make_schedule(config, config.epochs)) {
+  AD_CHECK_GT(config.epochs, 0);
+}
+
+void Trainer::extend_schedule(int total_epochs) {
+  AD_CHECK_GT(total_epochs, 0);
+  schedule_ = make_schedule(config_, total_epochs);
+}
+
+EpochStats Trainer::run_epoch() {
+  net_->set_training(true);
+  const double lr = schedule_->lr(epoch_);
+  sgd_.set_lr(lr);
+
+  double loss_sum = 0.0, correct = 0.0;
+  int samples = 0;
+  loader_.new_epoch();
+  for (int b = 0; b < loader_.num_batches(); ++b) {
+    data::Batch batch = loader_.batch(b);
+    sgd_.zero_grad();
+    const Tensor logits = net_->forward(batch.images);
+    const double batch_loss = loss_.forward(logits, batch.labels);
+    net_->backward(loss_.backward());
+    sgd_.step();
+    if (config_.post_step) config_.post_step();
+
+    loss_sum += batch_loss * batch.size();
+    correct += ops::accuracy(logits, batch.labels) * batch.size();
+    samples += batch.size();
+  }
+
+  EpochStats stats;
+  stats.epoch = epoch_;
+  stats.loss = samples > 0 ? loss_sum / samples : 0.0;
+  stats.accuracy = samples > 0 ? correct / samples : 0.0;
+  stats.lr = lr;
+  if (config_.verbose) {
+    AD_LOG(Info) << "epoch " << epoch_ << " lr " << lr << " loss "
+                 << stats.loss << " acc " << stats.accuracy;
+  }
+  ++epoch_;
+  return stats;
+}
+
+std::vector<EpochStats> Trainer::fit() {
+  std::vector<EpochStats> history;
+  history.reserve(static_cast<size_t>(config_.epochs));
+  for (int e = 0; e < config_.epochs; ++e) {
+    history.push_back(run_epoch());
+  }
+  return history;
+}
+
+}  // namespace antidote::core

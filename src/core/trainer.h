@@ -1,0 +1,70 @@
+// Generic SGD training loop over a ConvNet (used directly for baseline
+// trainings and as the inner loop of the TTD trainer). Matches the paper's
+// setup: SGD with momentum and weight decay, cosine learning-rate decay,
+// pad-4 random crop + horizontal flip augmentation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/dataloader.h"
+#include "models/convnet.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/schedule.h"
+
+namespace antidote::core {
+
+struct TrainConfig {
+  int epochs = 10;
+  int batch_size = 32;
+  double base_lr = 0.05;
+  double final_lr = 0.0;   // cosine decays to this
+  double momentum = 0.9;
+  double weight_decay = 5e-4;
+  bool nesterov = false;
+  bool cosine = true;      // cosine over `epochs`; otherwise constant lr
+  bool augment = true;
+  int augment_pad = 4;
+  bool augment_hflip = true;
+  uint64_t seed = 7;
+  bool verbose = false;    // log every epoch
+  // Invoked after every optimizer step. Static pruning uses this as a
+  // projection hook to keep pruned filters at zero during finetuning.
+  std::function<void()> post_step;
+};
+
+struct EpochStats {
+  int epoch = 0;
+  double loss = 0.0;
+  double accuracy = 0.0;  // training accuracy
+  double lr = 0.0;
+};
+
+class Trainer {
+ public:
+  Trainer(models::ConvNet& net, const data::Dataset& train_data,
+          TrainConfig config);
+
+  // One epoch at the internal epoch counter's learning rate.
+  EpochStats run_epoch();
+  // Runs config.epochs epochs.
+  std::vector<EpochStats> fit();
+
+  int epoch() const { return epoch_; }
+  // Total epochs the LR schedule spans; grows `extend_schedule` calls.
+  void extend_schedule(int total_epochs);
+  nn::Sgd& optimizer() { return sgd_; }
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  models::ConvNet* net_;
+  TrainConfig config_;
+  data::DataLoader loader_;
+  nn::Sgd sgd_;
+  std::unique_ptr<nn::LrSchedule> schedule_;
+  nn::SoftmaxCrossEntropy loss_;
+  int epoch_ = 0;
+};
+
+}  // namespace antidote::core

@@ -1,0 +1,96 @@
+#include "core/ttd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.h"
+#include "base/logging.h"
+
+namespace antidote::core {
+
+namespace {
+float max_target_ratio(const PruneSettings& s) {
+  float m = 0.f;
+  for (float v : s.channel_drop) m = std::max(m, v);
+  for (float v : s.spatial_drop) m = std::max(m, v);
+  return m;
+}
+}  // namespace
+
+TtdTrainer::TtdTrainer(models::ConvNet& net, const data::Dataset& train_data,
+                       TtdConfig config)
+    : net_(&net),
+      config_(std::move(config)),
+      engine_(net, config_.target.clamped(config_.warmup_ratio)),
+      trainer_(net, train_data, config_.train) {
+  AD_CHECK_GT(config_.step, 0.f);
+  AD_CHECK_GE(config_.min_epochs_per_level, 1);
+  AD_CHECK_GE(config_.max_epochs_per_level, config_.min_epochs_per_level);
+  AD_CHECK_GE(config_.final_epochs, 0);
+  // Size the cosine schedule for the worst-case epoch count.
+  const int total = static_cast<int>(ascent_levels().size()) *
+                        config_.max_epochs_per_level +
+                    config_.final_epochs;
+  trainer_.extend_schedule(std::max(1, total));
+}
+
+std::vector<float> TtdTrainer::ascent_levels() const {
+  std::vector<float> levels;
+  const float target_max = max_target_ratio(config_.target);
+  float cap = std::min(config_.warmup_ratio, target_max);
+  levels.push_back(cap);
+  while (cap < target_max) {
+    cap = std::min(target_max, cap + config_.step);
+    levels.push_back(cap);
+  }
+  return levels;
+}
+
+TtdResult TtdTrainer::run() {
+  TtdResult result;
+  const std::vector<float> levels = ascent_levels();
+
+  for (size_t li = 0; li < levels.size(); ++li) {
+    engine_.apply_settings(config_.target.clamped(levels[li]));
+
+    TtdLevelStats level_stats;
+    level_stats.level = static_cast<int>(li);
+    level_stats.ratio_cap = levels[li];
+
+    double prev_loss = -1.0;
+    for (int e = 0; e < config_.max_epochs_per_level; ++e) {
+      const EpochStats stats = trainer_.run_epoch();
+      level_stats.epochs.push_back(stats);
+      ++result.total_epochs;
+      // Converged at this ratio level -> ascend.
+      if (e + 1 >= config_.min_epochs_per_level && prev_loss > 0.0) {
+        const double improvement = (prev_loss - stats.loss) / prev_loss;
+        if (improvement < config_.plateau_tol) break;
+      }
+      prev_loss = stats.loss;
+    }
+    AD_LOG(Debug) << "TTD level " << li << " cap " << levels[li] << " loss "
+                  << level_stats.epochs.back().loss;
+    result.levels.push_back(std::move(level_stats));
+  }
+
+  // Consolidation at the full target ratios.
+  engine_.apply_settings(config_.target);
+  if (config_.final_epochs > 0) {
+    TtdLevelStats final_stats;
+    final_stats.level = static_cast<int>(levels.size());
+    final_stats.ratio_cap = max_target_ratio(config_.target);
+    for (int e = 0; e < config_.final_epochs; ++e) {
+      final_stats.epochs.push_back(trainer_.run_epoch());
+      ++result.total_epochs;
+    }
+    result.levels.push_back(std::move(final_stats));
+  }
+
+  const EpochStats& last = result.levels.back().epochs.back();
+  result.final_train_loss = last.loss;
+  result.final_train_accuracy = last.accuracy;
+  return result;
+}
+
+}  // namespace antidote::core

@@ -1,0 +1,66 @@
+// TTD — Training with Targeted Dropout (paper Sec. IV).
+//
+// Installs attention gates (acting as targeted dropout in training mode)
+// and trains with *dropout ratio ascent*: ratios start at a warm-up value
+// (paper: 0.1 per block), and after the model converges at the current
+// level every block's ratio ascends by a small step (paper: 0.05) until it
+// reaches its per-block target from the sensitivity analysis. Convergence
+// at a level is declared when the relative training-loss improvement drops
+// below `plateau_tol` (bounded by min/max epochs per level for
+// determinism). After the final level, `final_epochs` consolidation epochs
+// run at the target ratios. The model is then ready for dynamic pruning at
+// the same ratios with *no further fine-tuning* — the property the paper
+// highlights.
+#pragma once
+
+#include "core/engine.h"
+#include "core/trainer.h"
+
+namespace antidote::core {
+
+struct TtdConfig {
+  PruneSettings target;           // per-block target drop ratios
+  float warmup_ratio = 0.1f;      // starting cap on every ratio
+  float step = 0.05f;             // ratio ascent step per level
+  int min_epochs_per_level = 1;
+  int max_epochs_per_level = 2;
+  double plateau_tol = 0.01;      // relative loss improvement threshold
+  int final_epochs = 2;           // consolidation at target ratios
+  TrainConfig train;              // inner-loop hyperparameters
+};
+
+struct TtdLevelStats {
+  int level = 0;
+  float ratio_cap = 0.f;  // the cap applied to target ratios at this level
+  std::vector<EpochStats> epochs;
+};
+
+struct TtdResult {
+  std::vector<TtdLevelStats> levels;
+  int total_epochs = 0;
+  double final_train_loss = 0.0;
+  double final_train_accuracy = 0.0;
+};
+
+class TtdTrainer {
+ public:
+  // Installs gates on `net` (kept installed afterwards so the trained model
+  // can be dynamically pruned immediately — engine() hands them over).
+  TtdTrainer(models::ConvNet& net, const data::Dataset& train_data,
+             TtdConfig config);
+
+  TtdResult run();
+
+  DynamicPruningEngine& engine() { return engine_; }
+  const TtdConfig& config() const { return config_; }
+  // The ascent levels (ratio caps) run() will pass through.
+  std::vector<float> ascent_levels() const;
+
+ private:
+  models::ConvNet* net_;
+  TtdConfig config_;
+  DynamicPruningEngine engine_;
+  Trainer trainer_;
+};
+
+}  // namespace antidote::core

@@ -1,0 +1,57 @@
+#include "data/augment.h"
+
+#include "base/error.h"
+
+namespace antidote::data {
+
+Tensor pad_crop(const Tensor& chw, int pad, int offset_y, int offset_x) {
+  AD_CHECK_EQ(chw.ndim(), 3);
+  AD_CHECK_GE(pad, 0);
+  AD_CHECK(offset_y >= 0 && offset_y <= 2 * pad) << " crop offset y";
+  AD_CHECK(offset_x >= 0 && offset_x <= 2 * pad) << " crop offset x";
+  const int c = chw.dim(0), h = chw.dim(1), w = chw.dim(2);
+  Tensor out({c, h, w});
+  // Source pixel (y, x) of output pixel (oy, ox) is (oy + offset_y - pad,
+  // ox + offset_x - pad); out-of-range stays zero.
+  for (int ch = 0; ch < c; ++ch) {
+    for (int oy = 0; oy < h; ++oy) {
+      const int sy = oy + offset_y - pad;
+      if (sy < 0 || sy >= h) continue;
+      for (int ox = 0; ox < w; ++ox) {
+        const int sx = ox + offset_x - pad;
+        if (sx < 0 || sx >= w) continue;
+        out.at({ch, oy, ox}) = chw.at({ch, sy, sx});
+      }
+    }
+  }
+  return out;
+}
+
+Tensor hflip(const Tensor& chw) {
+  AD_CHECK_EQ(chw.ndim(), 3);
+  const int c = chw.dim(0), h = chw.dim(1), w = chw.dim(2);
+  Tensor out({c, h, w});
+  for (int ch = 0; ch < c; ++ch) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        out.at({ch, y, x}) = chw.at({ch, y, w - 1 - x});
+      }
+    }
+  }
+  return out;
+}
+
+Tensor augment(const Tensor& chw, const AugmentConfig& cfg, Rng& rng) {
+  Tensor out = chw;
+  if (cfg.pad > 0) {
+    const int oy = rng.randint(0, 2 * cfg.pad + 1);
+    const int ox = rng.randint(0, 2 * cfg.pad + 1);
+    out = pad_crop(out, cfg.pad, oy, ox);
+  }
+  if (cfg.hflip && rng.bernoulli(0.5)) {
+    out = hflip(out);
+  }
+  return out;
+}
+
+}  // namespace antidote::data

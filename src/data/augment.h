@@ -1,0 +1,22 @@
+// Training-time augmentation matching the paper: 4-pixel zero padding with
+// random crop, plus random horizontal flip.
+#pragma once
+
+#include "base/rng.h"
+#include "tensor/tensor.h"
+
+namespace antidote::data {
+
+struct AugmentConfig {
+  int pad = 4;        // zero padding before the random crop; 0 disables
+  bool hflip = true;  // random horizontal flip with p = 0.5
+};
+
+// Returns the augmented copy of a CHW image.
+Tensor augment(const Tensor& chw, const AugmentConfig& cfg, Rng& rng);
+
+// Deterministic pieces, exposed for unit testing.
+Tensor pad_crop(const Tensor& chw, int pad, int offset_y, int offset_x);
+Tensor hflip(const Tensor& chw);
+
+}  // namespace antidote::data

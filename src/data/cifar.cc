@@ -1,0 +1,104 @@
+#include "data/cifar.h"
+
+#include <array>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "base/error.h"
+
+namespace antidote::data {
+
+namespace {
+
+constexpr int kImageBytes = 3 * 32 * 32;
+constexpr std::array<float, 3> kMean = {0.4914f, 0.4822f, 0.4465f};
+constexpr std::array<float, 3> kStd = {0.2470f, 0.2435f, 0.2616f};
+
+// Reads one CIFAR binary file. `label_bytes` is 1 for CIFAR-10 and 2 for
+// CIFAR-100 (coarse label then fine label; we keep the fine label).
+void read_cifar_file(const std::string& path, int label_bytes,
+                     std::vector<Tensor>& images, std::vector<int>& labels) {
+  std::ifstream in(path, std::ios::binary);
+  AD_CHECK(in.good()) << " cannot open " << path;
+  const auto file_size = std::filesystem::file_size(path);
+  const int record = label_bytes + kImageBytes;
+  AD_CHECK_EQ(file_size % record, 0u) << " malformed CIFAR file " << path;
+  const int64_t count = static_cast<int64_t>(file_size) / record;
+
+  std::vector<unsigned char> buf(static_cast<size_t>(record));
+  for (int64_t i = 0; i < count; ++i) {
+    in.read(reinterpret_cast<char*>(buf.data()), record);
+    AD_CHECK(in.good()) << " short read in " << path;
+    const int label = buf[static_cast<size_t>(label_bytes - 1)];
+    Tensor img({3, 32, 32});
+    float* p = img.data();
+    for (int c = 0; c < 3; ++c) {
+      const float mean = kMean[static_cast<size_t>(c)];
+      const float inv_std = 1.f / kStd[static_cast<size_t>(c)];
+      const unsigned char* src =
+          buf.data() + label_bytes + static_cast<size_t>(c) * 32 * 32;
+      for (int j = 0; j < 32 * 32; ++j) {
+        p[c * 32 * 32 + j] = (src[j] / 255.f - mean) * inv_std;
+      }
+    }
+    images.push_back(std::move(img));
+    labels.push_back(label);
+  }
+}
+
+std::unique_ptr<Dataset> dataset_from(const std::string& name, int classes,
+                                      std::vector<Tensor> images,
+                                      std::vector<int> labels) {
+  return std::make_unique<InMemoryDataset>(name, std::vector<int>{3, 32, 32},
+                                           classes, std::move(images),
+                                           std::move(labels));
+}
+
+}  // namespace
+
+bool cifar10_available(const std::string& root) {
+  namespace fs = std::filesystem;
+  for (int i = 1; i <= 5; ++i) {
+    if (!fs::exists(root + "/data_batch_" + std::to_string(i) + ".bin")) {
+      return false;
+    }
+  }
+  return fs::exists(root + "/test_batch.bin");
+}
+
+bool cifar100_available(const std::string& root) {
+  namespace fs = std::filesystem;
+  return fs::exists(root + "/train.bin") && fs::exists(root + "/test.bin");
+}
+
+DatasetPair load_cifar10(const std::string& root) {
+  std::vector<Tensor> train_images, test_images;
+  std::vector<int> train_labels, test_labels;
+  for (int i = 1; i <= 5; ++i) {
+    read_cifar_file(root + "/data_batch_" + std::to_string(i) + ".bin", 1,
+                    train_images, train_labels);
+  }
+  read_cifar_file(root + "/test_batch.bin", 1, test_images, test_labels);
+  DatasetPair pair;
+  pair.train = dataset_from("cifar10/train", 10, std::move(train_images),
+                            std::move(train_labels));
+  pair.test = dataset_from("cifar10/test", 10, std::move(test_images),
+                           std::move(test_labels));
+  return pair;
+}
+
+DatasetPair load_cifar100(const std::string& root) {
+  std::vector<Tensor> train_images, test_images;
+  std::vector<int> train_labels, test_labels;
+  read_cifar_file(root + "/train.bin", 2, train_images, train_labels);
+  read_cifar_file(root + "/test.bin", 2, test_images, test_labels);
+  DatasetPair pair;
+  pair.train = dataset_from("cifar100/train", 100, std::move(train_images),
+                            std::move(train_labels));
+  pair.test = dataset_from("cifar100/test", 100, std::move(test_images),
+                           std::move(test_labels));
+  return pair;
+}
+
+}  // namespace antidote::data

@@ -1,0 +1,25 @@
+// Loaders for the real CIFAR-10 / CIFAR-100 binary distributions.
+//
+// When the standard binary archives are present on disk the benchmarks use
+// them automatically; otherwise they fall back to the synthetic generators
+// (see synthetic.h). Expected layouts:
+//   CIFAR-10:  <root>/data_batch_{1..5}.bin, <root>/test_batch.bin
+//   CIFAR-100: <root>/train.bin, <root>/test.bin
+// Pixels are scaled to [0,1] and normalized with the standard per-channel
+// mean/std used by the pruning literature.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace antidote::data {
+
+bool cifar10_available(const std::string& root);
+bool cifar100_available(const std::string& root);
+
+// Throws antidote::Error if files are missing or malformed.
+DatasetPair load_cifar10(const std::string& root);
+DatasetPair load_cifar100(const std::string& root);
+
+}  // namespace antidote::data

@@ -1,0 +1,66 @@
+#include "data/dataloader.h"
+
+#include <cstring>
+#include <functional>
+#include <numeric>
+
+#include "base/error.h"
+
+namespace antidote::data {
+
+DataLoader::DataLoader(const Dataset& dataset, int batch_size, bool shuffle,
+                       uint64_t seed, std::optional<AugmentConfig> augment)
+    : dataset_(&dataset),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      rng_(seed),
+      augment_(augment) {
+  AD_CHECK_GT(batch_size, 0);
+  AD_CHECK_GT(dataset.size(), 0);
+  order_.resize(static_cast<size_t>(dataset.size()));
+  std::iota(order_.begin(), order_.end(), 0);
+  if (shuffle_) rng_.shuffle(order_);
+}
+
+int DataLoader::num_batches() const {
+  return (dataset_->size() + batch_size_ - 1) / batch_size_;
+}
+
+void DataLoader::new_epoch() {
+  if (shuffle_) rng_.shuffle(order_);
+}
+
+Batch DataLoader::batch(int index) {
+  AD_CHECK(index >= 0 && index < num_batches()) << " batch index " << index;
+  const int begin = index * batch_size_;
+  const int end = std::min(dataset_->size(), begin + batch_size_);
+  const int n = end - begin;
+
+  const std::vector<int> shape = dataset_->sample_shape();
+  AD_CHECK_EQ(shape.size(), 3u);
+  const int64_t sample_size =
+      static_cast<int64_t>(shape[0]) * shape[1] * shape[2];
+
+  Batch out;
+  out.images = Tensor({n, shape[0], shape[1], shape[2]});
+  out.labels.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Sample s = dataset_->get(order_[static_cast<size_t>(begin + i)]);
+    Tensor img = s.image;
+    if (augment_.has_value()) img = augment(img, *augment_, rng_);
+    std::memcpy(out.images.data() + i * sample_size, img.data(),
+                static_cast<size_t>(sample_size) * sizeof(float));
+    out.labels[static_cast<size_t>(i)] = s.label;
+  }
+  return out;
+}
+
+void for_each_batch(DataLoader& loader,
+                    const std::function<void(const Batch&)>& fn) {
+  loader.new_epoch();
+  for (int b = 0; b < loader.num_batches(); ++b) {
+    fn(loader.batch(b));
+  }
+}
+
+}  // namespace antidote::data

@@ -1,0 +1,48 @@
+// Mini-batch loader: shuffles per epoch, materializes [N,C,H,W] batches and
+// applies training augmentation.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "base/rng.h"
+#include "data/augment.h"
+#include "data/dataset.h"
+
+namespace antidote::data {
+
+struct Batch {
+  Tensor images;            // [N, C, H, W]
+  std::vector<int> labels;  // length N
+  int size() const { return static_cast<int>(labels.size()); }
+};
+
+class DataLoader {
+ public:
+  // `augment` enables the paper's crop/flip pipeline (training loaders).
+  DataLoader(const Dataset& dataset, int batch_size, bool shuffle,
+             uint64_t seed = 7, std::optional<AugmentConfig> augment = {});
+
+  int num_batches() const;
+  int dataset_size() const { return dataset_->size(); }
+
+  // Reshuffles sample order (call once per epoch when shuffle is on).
+  void new_epoch();
+
+  // Materializes batch `index` (last batch may be smaller).
+  Batch batch(int index);
+
+ private:
+  const Dataset* dataset_;
+  int batch_size_;
+  bool shuffle_;
+  Rng rng_;
+  std::optional<AugmentConfig> augment_;
+  std::vector<int> order_;
+};
+
+// Runs `fn(batch)` over one full epoch (reshuffling first).
+void for_each_batch(DataLoader& loader,
+                    const std::function<void(const Batch&)>& fn);
+
+}  // namespace antidote::data

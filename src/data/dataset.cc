@@ -1,0 +1,32 @@
+#include "data/dataset.h"
+
+#include "base/error.h"
+
+namespace antidote::data {
+
+InMemoryDataset::InMemoryDataset(std::string name,
+                                 std::vector<int> sample_shape,
+                                 int num_classes, std::vector<Tensor> images,
+                                 std::vector<int> labels)
+    : name_(std::move(name)),
+      shape_(std::move(sample_shape)),
+      num_classes_(num_classes),
+      images_(std::move(images)),
+      labels_(std::move(labels)) {
+  AD_CHECK_EQ(images_.size(), labels_.size());
+  AD_CHECK_GT(num_classes_, 0);
+  for (size_t i = 0; i < images_.size(); ++i) {
+    AD_CHECK(images_[i].shape() == shape_)
+        << " sample " << i << " shape " << images_[i].shape_str();
+    AD_CHECK(labels_[i] >= 0 && labels_[i] < num_classes_)
+        << " sample " << i << " label " << labels_[i];
+  }
+}
+
+Sample InMemoryDataset::get(int index) const {
+  AD_CHECK(index >= 0 && index < size()) << " dataset index " << index;
+  return Sample{images_[static_cast<size_t>(index)],
+                labels_[static_cast<size_t>(index)]};
+}
+
+}  // namespace antidote::data

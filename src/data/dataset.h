@@ -1,0 +1,56 @@
+// Dataset abstraction: an indexable collection of (CHW image, label) pairs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace antidote::data {
+
+struct Sample {
+  Tensor image;  // [C, H, W]
+  int label = 0;
+};
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  virtual int size() const = 0;
+  virtual int num_classes() const = 0;
+  // {C, H, W} of every sample.
+  virtual std::vector<int> sample_shape() const = 0;
+  virtual Sample get(int index) const = 0;
+  virtual std::string name() const = 0;
+};
+
+// In-memory dataset over pre-materialized tensors; the concrete type behind
+// both the synthetic generators and the CIFAR loaders.
+class InMemoryDataset : public Dataset {
+ public:
+  InMemoryDataset(std::string name, std::vector<int> sample_shape,
+                  int num_classes, std::vector<Tensor> images,
+                  std::vector<int> labels);
+
+  int size() const override { return static_cast<int>(images_.size()); }
+  int num_classes() const override { return num_classes_; }
+  std::vector<int> sample_shape() const override { return shape_; }
+  Sample get(int index) const override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<int> shape_;
+  int num_classes_;
+  std::vector<Tensor> images_;
+  std::vector<int> labels_;
+};
+
+// A train/test pair drawn from the same distribution.
+struct DatasetPair {
+  std::unique_ptr<Dataset> train;
+  std::unique_ptr<Dataset> test;
+};
+
+}  // namespace antidote::data

@@ -1,0 +1,178 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <vector>
+
+#include "base/error.h"
+#include "base/rng.h"
+
+namespace antidote::data {
+
+namespace {
+
+// A Gaussian bump at a class-specific position with a class-specific
+// per-channel signature.
+struct Blob {
+  float cy, cx;                 // center in pixels
+  float sigma;                  // spatial spread
+  std::vector<float> channel_signature;  // length C, unit L2 norm
+};
+
+std::vector<std::vector<Blob>> make_class_templates(const SyntheticSpec& spec,
+                                                    Rng& rng) {
+  std::vector<std::vector<Blob>> templates(
+      static_cast<size_t>(spec.num_classes));
+  const float min_sigma = std::max(1.f, spec.height / 12.f);
+  const float max_sigma = std::max(min_sigma + 0.5f, spec.height / 5.f);
+  for (auto& blobs : templates) {
+    blobs.resize(static_cast<size_t>(spec.blobs_per_class));
+    for (auto& b : blobs) {
+      // Keep centers away from the border so jitter cannot push the bulk of
+      // the blob outside the image.
+      b.cy = rng.uniform_float(0.2f * spec.height, 0.8f * spec.height);
+      b.cx = rng.uniform_float(0.2f * spec.width, 0.8f * spec.width);
+      b.sigma = rng.uniform_float(min_sigma, max_sigma);
+      b.channel_signature.resize(static_cast<size_t>(spec.channels));
+      double norm_sq = 0.0;
+      for (auto& s : b.channel_signature) {
+        s = static_cast<float>(rng.normal());
+        norm_sq += double(s) * s;
+      }
+      const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq + 1e-9));
+      for (auto& s : b.channel_signature) s *= inv;
+    }
+  }
+  return templates;
+}
+
+void render_blob(Tensor& img, const Blob& b, float amplitude, float dy,
+                 float dx) {
+  const int c = img.dim(0), h = img.dim(1), w = img.dim(2);
+  const float cy = b.cy + dy, cx = b.cx + dx;
+  const float inv_two_sigma_sq = 1.f / (2.f * b.sigma * b.sigma);
+  // Only touch the 3-sigma neighbourhood.
+  const int y0 = std::max(0, static_cast<int>(cy - 3 * b.sigma));
+  const int y1 = std::min(h - 1, static_cast<int>(cy + 3 * b.sigma));
+  const int x0 = std::max(0, static_cast<int>(cx - 3 * b.sigma));
+  const int x1 = std::min(w - 1, static_cast<int>(cx + 3 * b.sigma));
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const float dy2 = (y - cy) * (y - cy);
+      const float dx2 = (x - cx) * (x - cx);
+      const float g = amplitude * std::exp(-(dy2 + dx2) * inv_two_sigma_sq);
+      if (g < 1e-4f) continue;
+      for (int ch = 0; ch < c; ++ch) {
+        img.at({ch, y, x}) += g * b.channel_signature[static_cast<size_t>(ch)];
+      }
+    }
+  }
+}
+
+Tensor make_sample(const SyntheticSpec& spec,
+                   const std::vector<std::vector<Blob>>& templates, int label,
+                   Rng& rng) {
+  Tensor img({spec.channels, spec.height, spec.width});
+  // Background noise.
+  if (spec.noise_std > 0.f) {
+    float* p = img.data();
+    for (int64_t i = 0; i < img.size(); ++i) {
+      p[i] = static_cast<float>(rng.normal(0.0, spec.noise_std));
+    }
+  }
+  // Class blobs with per-sample amplitude/position variation.
+  for (const Blob& b : templates[static_cast<size_t>(label)]) {
+    const float amp =
+        spec.blob_amplitude *
+        rng.uniform_float(1.f - spec.amplitude_jitter,
+                          1.f + spec.amplitude_jitter);
+    const float dy = static_cast<float>(
+        rng.randint(-spec.position_jitter, spec.position_jitter + 1));
+    const float dx = static_cast<float>(
+        rng.randint(-spec.position_jitter, spec.position_jitter + 1));
+    render_blob(img, b, amp, dy, dx);
+  }
+  // One distractor blob from another class (creates cross-input variance).
+  if (spec.distractor_strength > 0.f && spec.num_classes > 1) {
+    int other = rng.randint(0, spec.num_classes - 1);
+    if (other >= label) ++other;
+    const auto& blobs = templates[static_cast<size_t>(other)];
+    const Blob& b =
+        blobs[static_cast<size_t>(rng.randint(0, static_cast<int>(blobs.size())))];
+    render_blob(img, b,
+                spec.blob_amplitude *
+                    rng.uniform_float(0.f, spec.distractor_strength),
+                0.f, 0.f);
+  }
+  return img;
+}
+
+std::unique_ptr<Dataset> make_split(const SyntheticSpec& spec,
+                                    const std::vector<std::vector<Blob>>& tpl,
+                                    int count, const std::string& split,
+                                    Rng rng) {
+  std::vector<Tensor> images;
+  std::vector<int> labels;
+  images.reserve(static_cast<size_t>(count));
+  labels.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const int label = i % spec.num_classes;  // balanced classes
+    images.push_back(make_sample(spec, tpl, label, rng));
+    labels.push_back(label);
+  }
+  return std::make_unique<InMemoryDataset>(
+      spec.name + "/" + split,
+      std::vector<int>{spec.channels, spec.height, spec.width},
+      spec.num_classes, std::move(images), std::move(labels));
+}
+
+}  // namespace
+
+SyntheticSpec SyntheticSpec::cifar10_like() {
+  SyntheticSpec s;
+  s.name = "cifar10-syn";
+  s.num_classes = 10;
+  s.height = s.width = 32;
+  return s;
+}
+
+SyntheticSpec SyntheticSpec::cifar100_like() {
+  SyntheticSpec s;
+  s.name = "cifar100-syn";
+  s.num_classes = 100;
+  s.height = s.width = 32;
+  s.blobs_per_class = 2;
+  s.train_size = 4000;
+  s.test_size = 1000;
+  return s;
+}
+
+SyntheticSpec SyntheticSpec::imagenet100_like() {
+  SyntheticSpec s;
+  s.name = "imagenet100-syn";
+  s.num_classes = 100;
+  // The paper uses 224x224; 64x64 keeps the "large image, features occupy a
+  // small fraction of the area" property on a single-core CPU budget.
+  s.height = s.width = 64;
+  s.blobs_per_class = 2;
+  s.train_size = 4000;
+  s.test_size = 1000;
+  return s;
+}
+
+DatasetPair make_synthetic_pair(const SyntheticSpec& spec) {
+  AD_CHECK_GT(spec.num_classes, 0);
+  AD_CHECK_GT(spec.channels, 0);
+  AD_CHECK_GT(spec.train_size, 0);
+  AD_CHECK_GT(spec.test_size, 0);
+  Rng template_rng(spec.seed);
+  const auto templates = make_class_templates(spec, template_rng);
+  Rng train_rng(spec.seed * 0x9e3779b1ULL + 1);
+  Rng test_rng(spec.seed * 0x9e3779b1ULL + 2);
+  DatasetPair pair;
+  pair.train =
+      make_split(spec, templates, spec.train_size, "train", train_rng);
+  pair.test = make_split(spec, templates, spec.test_size, "test", test_rng);
+  return pair;
+}
+
+}  // namespace antidote::data

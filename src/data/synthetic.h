@@ -1,0 +1,51 @@
+// Synthetic class-structured image generator — the stand-in for CIFAR-10,
+// CIFAR-100 and ImageNet100 when the real datasets are not on disk.
+//
+// Why this preserves the paper's behaviour (see DESIGN.md §2): AntiDote's
+// dynamic pruning exploits *per-input activation variance* in two
+// dimensions. The generator manufactures exactly those two kinds of
+// structure:
+//   - every class owns a few Gaussian blobs at class-specific spatial
+//     locations (features live in a small spatial region -> spatial-column
+//     redundancy elsewhere), and
+//   - every blob carries a class-specific channel signature (features
+//     activate a class-specific subset of channels -> channel redundancy
+//     for other inputs).
+// Per-sample jitter, amplitude variation and cross-class distractor blobs
+// create the input-to-input variation that makes per-input masks differ,
+// which is what distinguishes dynamic from static pruning.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace antidote::data {
+
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  int num_classes = 10;
+  int channels = 3;
+  int height = 32;
+  int width = 32;
+  int train_size = 2000;
+  int test_size = 500;
+  int blobs_per_class = 3;
+  float blob_amplitude = 2.0f;       // peak value of a blob before signature
+  float amplitude_jitter = 0.3f;     // per-sample relative amplitude range
+  int position_jitter = 2;           // per-sample blob shift in pixels
+  float noise_std = 0.25f;           // i.i.d. Gaussian pixel noise
+  float distractor_strength = 0.35f; // max amplitude of a wrong-class blob
+  uint64_t seed = 1234;
+
+  // Paper-dataset presets (sizes are CPU-budget defaults; callers scale).
+  static SyntheticSpec cifar10_like();
+  static SyntheticSpec cifar100_like();
+  static SyntheticSpec imagenet100_like();
+};
+
+// Builds a train/test pair sharing the same class templates (drawn from
+// spec.seed) but disjoint sample randomness.
+DatasetPair make_synthetic_pair(const SyntheticSpec& spec);
+
+}  // namespace antidote::data

@@ -1,0 +1,66 @@
+// ConvNet: the model-side contract AntiDote's dynamic optimization plugs
+// into.
+//
+// A ConvNet exposes *gate sites* — the positions "between two consecutive
+// convolutional layers" (paper Fig. 1) where a feature-map gate may be
+// installed. A gate is an ordinary nn::Module observing the post-ReLU
+// feature map; the model additionally tells the gate's owner which Conv2d
+// consumes that feature map (so test-phase pruning can instruct it to skip
+// channels/positions) and whether the consumer preserves the spatial grid
+// (so spatial-column masks are well-defined).
+//
+// For VGG there is one site after every conv layer; for CIFAR ResNets there
+// is one site per basic block, after the first conv's ReLU — the paper
+// prunes "only the odd layers in the group" because the even layers' output
+// must keep the channel count of the skip connection.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/module.h"
+
+namespace antidote::models {
+
+class ConvNet : public nn::Module {
+ public:
+  // --- gate sites ---
+  virtual int num_gate_sites() const = 0;
+  // Installs (replacing any previous) gate at `site`; nullptr removes it.
+  virtual void install_gate(int site, std::unique_ptr<nn::Module> gate) = 0;
+  virtual nn::Module* gate(int site) const = 0;
+  void clear_gates() {
+    for (int s = 0; s < num_gate_sites(); ++s) install_gate(s, nullptr);
+  }
+  // The convolution that consumes the gated feature map (nullptr when the
+  // site output feeds only the classifier head).
+  virtual nn::Conv2d* gate_consumer(int site) = 0;
+  // The convolution that produced the feature map observed at `site`.
+  // Static filter pruning uses this to skip the pruned filters at their
+  // source as well.
+  virtual nn::Conv2d* gate_producer(int site) = 0;
+  // The BatchNorm normalizing the producer's output (nullptr if none);
+  // static pruning zeroes its affine parameters for pruned filters.
+  virtual nn::BatchNorm2d* gate_producer_bn(int site) = 0;
+  // True when the consumer sees the same spatial grid the gate masks
+  // (no pooling in between and a grid-preserving consumer), i.e. spatial
+  // column masks can be forwarded as skip instructions.
+  virtual bool gate_spatially_aligned(int site) const = 0;
+
+  // --- block structure (for per-block pruning ratios, Fig. 3) ---
+  virtual int num_blocks() const = 0;
+  virtual int block_of_site(int site) const = 0;
+
+  // --- introspection ---
+  // MAC-counting layers in execution order, with hierarchical names.
+  virtual std::vector<std::pair<std::string, nn::Module*>>
+  arithmetic_layers() = 0;
+  virtual int num_classes() const = 0;
+  virtual std::string model_name() const = 0;
+};
+
+}  // namespace antidote::models

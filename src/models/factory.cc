@@ -1,0 +1,36 @@
+#include "models/factory.h"
+
+#include "base/error.h"
+#include "models/resnet.h"
+#include "models/small_cnn.h"
+#include "models/vgg.h"
+#include "nn/init.h"
+
+namespace antidote::models {
+
+std::unique_ptr<ConvNet> make_model(const std::string& name, int num_classes,
+                                    float width_mult, Rng& rng) {
+  std::unique_ptr<ConvNet> model;
+  if (name == "vgg16") {
+    VggConfig cfg;
+    cfg.num_classes = num_classes;
+    cfg.width_mult = width_mult;
+    model = std::make_unique<Vgg>(cfg);
+  } else if (name == "resnet20" || name == "resnet56") {
+    ResNetConfig cfg;
+    cfg.num_classes = num_classes;
+    cfg.width_mult = width_mult;
+    cfg.blocks_per_group = (name == "resnet56") ? 9 : 3;
+    model = std::make_unique<ResNetCifar>(cfg);
+  } else if (name == "small_cnn") {
+    SmallCnnConfig cfg;
+    cfg.num_classes = num_classes;
+    model = std::make_unique<SmallCnn>(cfg);
+  } else {
+    AD_CHECK(false) << " unknown model name: " << name;
+  }
+  nn::init_module(*model, rng);
+  return model;
+}
+
+}  // namespace antidote::models

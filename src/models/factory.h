@@ -1,0 +1,18 @@
+// String-keyed model factory used by benchmarks and examples.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "base/rng.h"
+#include "models/convnet.h"
+
+namespace antidote::models {
+
+// Supported names: "vgg16", "resnet20", "resnet56", "small_cnn".
+// `width_mult` scales all channel widths (1.0 = paper width). The model is
+// returned with Kaiming-initialized weights drawn from `rng`.
+std::unique_ptr<ConvNet> make_model(const std::string& name, int num_classes,
+                                    float width_mult, Rng& rng);
+
+}  // namespace antidote::models

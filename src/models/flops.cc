@@ -1,0 +1,49 @@
+#include "models/flops.h"
+
+#include <sstream>
+
+#include "base/error.h"
+
+namespace antidote::models {
+
+std::string FlopsReport::to_string() const {
+  std::ostringstream os;
+  for (const LayerFlops& l : layers) {
+    os << "  " << l.name << ": " << l.macs << " MACs\n";
+  }
+  os << "  total: " << total_macs << " MACs\n";
+  return os.str();
+}
+
+FlopsReport measure_dense_flops(ConvNet& net, int channels, int height,
+                                int width) {
+  // Temporarily disable any installed gates so the probe measures the
+  // dense baseline, and run in eval mode so BatchNorm statistics are
+  // untouched.
+  std::vector<nn::Gate*> disabled;
+  for (int s = 0; s < net.num_gate_sites(); ++s) {
+    if (auto* g = dynamic_cast<nn::Gate*>(net.gate(s)); g && g->enabled()) {
+      g->set_enabled(false);
+      disabled.push_back(g);
+    }
+  }
+  const bool was_training = net.is_training();
+  net.set_training(false);
+  Tensor probe({1, channels, height, width});
+  net.forward(probe);
+  FlopsReport report = read_last_flops(net);
+  net.set_training(was_training);
+  for (nn::Gate* g : disabled) g->set_enabled(true);
+  return report;
+}
+
+FlopsReport read_last_flops(ConvNet& net) {
+  FlopsReport report;
+  for (auto& [name, layer] : net.arithmetic_layers()) {
+    report.layers.push_back({name, layer->last_macs()});
+    report.total_macs += layer->last_macs();
+  }
+  return report;
+}
+
+}  // namespace antidote::models

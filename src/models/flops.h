@@ -1,0 +1,42 @@
+// FLOPs (multiply-accumulate) accounting.
+//
+// The library *measures* FLOPs rather than deriving them twice: every
+// arithmetic layer reports the MACs its last forward actually executed
+// (dense or masked), and the report sums them. `measure_dense_flops` probes
+// a model with a dummy input to obtain the paper's "Baseline FLOPs" column;
+// after a gated forward pass, `read_last_flops` yields the dynamic
+// per-input FLOPs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "models/convnet.h"
+
+namespace antidote::models {
+
+struct LayerFlops {
+  std::string name;
+  int64_t macs = 0;
+};
+
+struct FlopsReport {
+  int64_t total_macs = 0;
+  std::vector<LayerFlops> layers;
+
+  std::string to_string() const;
+};
+
+// Runs one dense eval-mode forward on a zero input of shape {1,C,H,W} and
+// returns per-layer MACs. Gates are bypassed during the probe (they are
+// removed and re-installed around it? no — they must not mask), so call
+// this *before* installing gates, or on a gate-free clone.
+FlopsReport measure_dense_flops(ConvNet& net, int channels, int height,
+                                int width);
+
+// Per-layer MACs of the most recent forward pass (whatever was executed:
+// masked or dense, any batch size). Divide by the batch size for per-input
+// numbers.
+FlopsReport read_last_flops(ConvNet& net);
+
+}  // namespace antidote::models

@@ -1,0 +1,145 @@
+#include "models/small_cnn.h"
+
+#include "base/error.h"
+
+namespace antidote::models {
+
+SmallCnn::SmallCnn(const SmallCnnConfig& config) : config_(config) {
+  AD_CHECK(!config.widths.empty());
+  std::vector<bool> pool = config.pool_after;
+  if (pool.empty()) pool.assign(config.widths.size(), true);
+  AD_CHECK_EQ(pool.size(), config.widths.size());
+  config_.pool_after = pool;
+
+  int in_c = config.in_channels;
+  for (size_t i = 0; i < config.widths.size(); ++i) {
+    Stage s;
+    s.conv = std::make_unique<nn::Conv2d>(in_c, config.widths[i], 3, 1, 1,
+                                          /*bias=*/false);
+    s.bn = std::make_unique<nn::BatchNorm2d>(config.widths[i]);
+    s.relu = std::make_unique<nn::ReLU>();
+    if (pool[i]) s.pool = std::make_unique<nn::MaxPool2d>(2);
+    stages_.push_back(std::move(s));
+    in_c = config.widths[i];
+  }
+  classifier_ = std::make_unique<nn::Linear>(in_c, config.num_classes);
+}
+
+Tensor SmallCnn::forward(const Tensor& x) {
+  Tensor cur = x;
+  for (Stage& s : stages_) {
+    cur = s.conv->forward(cur);
+    cur = s.bn->forward(cur);
+    cur = s.relu->forward(cur);
+    if (s.gate) cur = s.gate->forward(cur);
+    if (s.pool) cur = s.pool->forward(cur);
+  }
+  cur = gap_.forward(cur);
+  return classifier_->forward(cur);
+}
+
+Tensor SmallCnn::backward(const Tensor& grad_out) {
+  Tensor cur = classifier_->backward(grad_out);
+  cur = gap_.backward(cur);
+  for (auto it = stages_.rbegin(); it != stages_.rend(); ++it) {
+    Stage& s = *it;
+    if (s.pool) cur = s.pool->backward(cur);
+    if (s.gate) cur = s.gate->backward(cur);
+    cur = s.relu->backward(cur);
+    cur = s.bn->backward(cur);
+    cur = s.conv->backward(cur);
+  }
+  return cur;
+}
+
+std::vector<nn::Parameter*> SmallCnn::parameters() {
+  std::vector<nn::Parameter*> out;
+  for (Stage& s : stages_) {
+    for (auto* p : s.conv->parameters()) out.push_back(p);
+    for (auto* p : s.bn->parameters()) out.push_back(p);
+    if (s.gate) {
+      for (auto* p : s.gate->parameters()) out.push_back(p);
+    }
+  }
+  for (auto* p : classifier_->parameters()) out.push_back(p);
+  return out;
+}
+
+void SmallCnn::visit_state(const std::string& prefix,
+                           const nn::StateVisitor& fn) {
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    const std::string base = prefix + "stage" + std::to_string(i) + ".";
+    stages_[i].conv->visit_state(base + "conv.", fn);
+    stages_[i].bn->visit_state(base + "bn.", fn);
+    if (stages_[i].gate) stages_[i].gate->visit_state(base + "gate.", fn);
+  }
+  classifier_->visit_state(prefix + "fc.", fn);
+}
+
+void SmallCnn::set_training(bool training) {
+  nn::Module::set_training(training);
+  for (Stage& s : stages_) {
+    s.conv->set_training(training);
+    s.bn->set_training(training);
+    s.relu->set_training(training);
+    if (s.gate) s.gate->set_training(training);
+    if (s.pool) s.pool->set_training(training);
+  }
+  gap_.set_training(training);
+  classifier_->set_training(training);
+}
+
+int64_t SmallCnn::last_macs() const {
+  int64_t total = 0;
+  for (const Stage& s : stages_) total += s.conv->last_macs();
+  return total + classifier_->last_macs();
+}
+
+void SmallCnn::install_gate(int site, std::unique_ptr<nn::Module> gate) {
+  AD_CHECK(site >= 0 && site < num_gate_sites()) << " gate site " << site;
+  if (gate) gate->set_training(is_training());
+  stages_[static_cast<size_t>(site)].gate = std::move(gate);
+}
+
+nn::Module* SmallCnn::gate(int site) const {
+  AD_CHECK(site >= 0 && site < num_gate_sites()) << " gate site " << site;
+  return stages_[static_cast<size_t>(site)].gate.get();
+}
+
+nn::Conv2d* SmallCnn::gate_consumer(int site) {
+  AD_CHECK(site >= 0 && site < num_gate_sites()) << " gate site " << site;
+  if (site + 1 >= num_gate_sites()) return nullptr;
+  return stages_[static_cast<size_t>(site) + 1].conv.get();
+}
+
+nn::Conv2d* SmallCnn::gate_producer(int site) {
+  AD_CHECK(site >= 0 && site < num_gate_sites()) << " gate site " << site;
+  return stages_[static_cast<size_t>(site)].conv.get();
+}
+
+nn::BatchNorm2d* SmallCnn::gate_producer_bn(int site) {
+  AD_CHECK(site >= 0 && site < num_gate_sites()) << " gate site " << site;
+  return stages_[static_cast<size_t>(site)].bn.get();
+}
+
+bool SmallCnn::gate_spatially_aligned(int site) const {
+  AD_CHECK(site >= 0 && site < num_gate_sites()) << " gate site " << site;
+  if (site + 1 >= num_gate_sites()) return false;
+  return stages_[static_cast<size_t>(site)].pool == nullptr;
+}
+
+std::vector<std::pair<std::string, nn::Module*>> SmallCnn::arithmetic_layers() {
+  std::vector<std::pair<std::string, nn::Module*>> out;
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    out.emplace_back("conv" + std::to_string(i), stages_[i].conv.get());
+  }
+  out.emplace_back("fc", classifier_.get());
+  return out;
+}
+
+nn::Conv2d* SmallCnn::conv(int i) {
+  AD_CHECK(i >= 0 && i < num_gate_sites()) << " conv index " << i;
+  return stages_[static_cast<size_t>(i)].conv.get();
+}
+
+}  // namespace antidote::models

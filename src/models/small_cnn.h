@@ -1,0 +1,71 @@
+// SmallCnn: a compact conv-bn-relu stack used throughout the test suite and
+// the quickstart example. Structurally a miniature VGG (one gate site after
+// every conv, optional pooling per stage), so every core mechanism —
+// attention gating, TTD, masked convolution, sensitivity analysis — can be
+// exercised in milliseconds.
+#pragma once
+
+#include "models/convnet.h"
+#include "nn/batchnorm.h"
+#include "nn/layers.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+
+namespace antidote::models {
+
+struct SmallCnnConfig {
+  int num_classes = 4;
+  int in_channels = 3;
+  std::vector<int> widths = {8, 16};
+  // pool_after[i]: MaxPool(2) after stage i. Defaults to pooling everywhere;
+  // tests disable pooling to exercise spatially-aligned gates.
+  std::vector<bool> pool_after = {};  // empty = all true
+};
+
+class SmallCnn : public ConvNet {
+ public:
+  explicit SmallCnn(const SmallCnnConfig& config);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<nn::Parameter*> parameters() override;
+  void visit_state(const std::string& prefix,
+                   const nn::StateVisitor& fn) override;
+  void set_training(bool training) override;
+  std::string type_name() const override { return "SmallCnn"; }
+  int64_t last_macs() const override;
+
+  int num_gate_sites() const override {
+    return static_cast<int>(stages_.size());
+  }
+  void install_gate(int site, std::unique_ptr<nn::Module> gate) override;
+  nn::Module* gate(int site) const override;
+  nn::Conv2d* gate_consumer(int site) override;
+  nn::Conv2d* gate_producer(int site) override;
+  nn::BatchNorm2d* gate_producer_bn(int site) override;
+  bool gate_spatially_aligned(int site) const override;
+  int num_blocks() const override { return num_gate_sites(); }
+  int block_of_site(int site) const override { return site; }
+  std::vector<std::pair<std::string, nn::Module*>> arithmetic_layers()
+      override;
+  int num_classes() const override { return config_.num_classes; }
+  std::string model_name() const override { return "small_cnn"; }
+
+  nn::Conv2d* conv(int i);
+
+ private:
+  struct Stage {
+    std::unique_ptr<nn::Conv2d> conv;
+    std::unique_ptr<nn::BatchNorm2d> bn;
+    std::unique_ptr<nn::ReLU> relu;
+    std::unique_ptr<nn::Module> gate;
+    std::unique_ptr<nn::MaxPool2d> pool;  // nullable
+  };
+
+  SmallCnnConfig config_;
+  std::vector<Stage> stages_;
+  nn::GlobalAvgPool gap_;
+  std::unique_ptr<nn::Linear> classifier_;
+};
+
+}  // namespace antidote::models

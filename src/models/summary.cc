@@ -1,0 +1,42 @@
+#include "models/summary.h"
+
+#include "base/table.h"
+#include "models/flops.h"
+
+namespace antidote::models {
+
+std::string ModelSummary::to_string() const {
+  Table table({"layer", "type", "params", "MACs"});
+  for (const SummaryRow& r : rows) {
+    table.add_row({r.name, r.type, std::to_string(r.parameters),
+                   std::to_string(r.macs)});
+  }
+  table.add_row({"total", "", std::to_string(total_parameters),
+                 std::to_string(total_macs)});
+  return table.to_string();
+}
+
+ModelSummary summarize(ConvNet& net, int channels, int height, int width) {
+  // Reuse the dense-FLOPs prober (handles gate disabling + mode restore).
+  const FlopsReport flops = measure_dense_flops(net, channels, height, width);
+
+  ModelSummary summary;
+  auto layers = net.arithmetic_layers();
+  for (size_t i = 0; i < layers.size(); ++i) {
+    SummaryRow row;
+    row.name = layers[i].first;
+    row.type = layers[i].second->type_name();
+    for (nn::Parameter* p : layers[i].second->parameters()) {
+      row.parameters += p->value.size();
+    }
+    row.macs = flops.layers[i].macs;
+    summary.rows.push_back(std::move(row));
+  }
+  // Totals count every parameter (BatchNorm etc.), not just the
+  // arithmetic layers shown as rows.
+  summary.total_parameters = nn::parameter_count(net);
+  summary.total_macs = flops.total_macs;
+  return summary;
+}
+
+}  // namespace antidote::models

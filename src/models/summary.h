@@ -1,0 +1,32 @@
+// Model summary: a layer-by-layer table (type, output shape, parameters,
+// MACs) in the style of torchsummary, produced by probing the network with
+// a dummy input. Used by the examples and handy when porting new models.
+#pragma once
+
+#include <string>
+
+#include "models/convnet.h"
+
+namespace antidote::models {
+
+struct SummaryRow {
+  std::string name;
+  std::string type;
+  int64_t parameters = 0;
+  int64_t macs = 0;  // per probe sample
+};
+
+struct ModelSummary {
+  std::vector<SummaryRow> rows;
+  int64_t total_parameters = 0;
+  int64_t total_macs = 0;
+
+  // Aligned text table with totals.
+  std::string to_string() const;
+};
+
+// Probes with a zero input of shape {1, channels, height, width} in eval
+// mode (gates disabled for the probe, training flag restored).
+ModelSummary summarize(ConvNet& net, int channels, int height, int width);
+
+}  // namespace antidote::models

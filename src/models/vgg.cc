@@ -1,0 +1,167 @@
+#include "models/vgg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.h"
+
+namespace antidote::models {
+
+namespace {
+int scaled(int base, float mult) {
+  return std::max(1, static_cast<int>(std::lround(base * mult)));
+}
+}  // namespace
+
+Vgg::Vgg(const VggConfig& config) : config_(config) {
+  AD_CHECK_EQ(config.layers_per_block.size(), config.block_widths.size());
+  AD_CHECK(!config.layers_per_block.empty());
+  AD_CHECK_GT(config.width_mult, 0.f);
+
+  int in_c = config.in_channels;
+  for (size_t b = 0; b < config.layers_per_block.size(); ++b) {
+    const int width = scaled(config.block_widths[b], config.width_mult);
+    for (int l = 0; l < config.layers_per_block[b]; ++l) {
+      Unit u;
+      // BatchNorm follows, so the conv itself carries no bias.
+      u.conv = std::make_unique<nn::Conv2d>(in_c, width, 3, 1, 1,
+                                            /*bias=*/false);
+      u.bn = std::make_unique<nn::BatchNorm2d>(width);
+      u.relu = std::make_unique<nn::ReLU>();
+      u.block = static_cast<int>(b);
+      if (l == config.layers_per_block[b] - 1) {
+        u.pool = std::make_unique<nn::MaxPool2d>(2);
+      }
+      units_.push_back(std::move(u));
+      in_c = width;
+    }
+  }
+  classifier_ = std::make_unique<nn::Linear>(in_c, config.num_classes);
+}
+
+Tensor Vgg::forward(const Tensor& x) {
+  Tensor cur = x;
+  for (Unit& u : units_) {
+    cur = u.conv->forward(cur);
+    cur = u.bn->forward(cur);
+    cur = u.relu->forward(cur);
+    if (u.gate) cur = u.gate->forward(cur);
+    if (u.pool) cur = u.pool->forward(cur);
+  }
+  cur = gap_.forward(cur);
+  return classifier_->forward(cur);
+}
+
+Tensor Vgg::backward(const Tensor& grad_out) {
+  Tensor cur = classifier_->backward(grad_out);
+  cur = gap_.backward(cur);
+  for (auto it = units_.rbegin(); it != units_.rend(); ++it) {
+    Unit& u = *it;
+    if (u.pool) cur = u.pool->backward(cur);
+    if (u.gate) cur = u.gate->backward(cur);
+    cur = u.relu->backward(cur);
+    cur = u.bn->backward(cur);
+    cur = u.conv->backward(cur);
+  }
+  return cur;
+}
+
+std::vector<nn::Parameter*> Vgg::parameters() {
+  std::vector<nn::Parameter*> out;
+  for (Unit& u : units_) {
+    for (auto* p : u.conv->parameters()) out.push_back(p);
+    for (auto* p : u.bn->parameters()) out.push_back(p);
+    if (u.gate) {
+      for (auto* p : u.gate->parameters()) out.push_back(p);
+    }
+  }
+  for (auto* p : classifier_->parameters()) out.push_back(p);
+  return out;
+}
+
+void Vgg::visit_state(const std::string& prefix, const nn::StateVisitor& fn) {
+  for (size_t i = 0; i < units_.size(); ++i) {
+    const std::string base = prefix + "features." + std::to_string(i) + ".";
+    units_[i].conv->visit_state(base + "conv.", fn);
+    units_[i].bn->visit_state(base + "bn.", fn);
+    // Gates with learnable state (e.g. FBS saliency predictors) persist
+    // with the model; attention gates are stateless and contribute nothing.
+    if (units_[i].gate) units_[i].gate->visit_state(base + "gate.", fn);
+  }
+  classifier_->visit_state(prefix + "fc.", fn);
+}
+
+void Vgg::set_training(bool training) {
+  nn::Module::set_training(training);
+  for (Unit& u : units_) {
+    u.conv->set_training(training);
+    u.bn->set_training(training);
+    u.relu->set_training(training);
+    if (u.gate) u.gate->set_training(training);
+    if (u.pool) u.pool->set_training(training);
+  }
+  gap_.set_training(training);
+  classifier_->set_training(training);
+}
+
+int64_t Vgg::last_macs() const {
+  int64_t total = 0;
+  for (const Unit& u : units_) total += u.conv->last_macs();
+  return total + classifier_->last_macs();
+}
+
+void Vgg::install_gate(int site, std::unique_ptr<nn::Module> gate) {
+  AD_CHECK(site >= 0 && site < num_gate_sites()) << " gate site " << site;
+  if (gate) gate->set_training(is_training());
+  units_[static_cast<size_t>(site)].gate = std::move(gate);
+}
+
+nn::Module* Vgg::gate(int site) const {
+  AD_CHECK(site >= 0 && site < num_gate_sites()) << " gate site " << site;
+  return units_[static_cast<size_t>(site)].gate.get();
+}
+
+nn::Conv2d* Vgg::gate_consumer(int site) {
+  AD_CHECK(site >= 0 && site < num_gate_sites()) << " gate site " << site;
+  if (site + 1 >= num_gate_sites()) return nullptr;
+  return units_[static_cast<size_t>(site) + 1].conv.get();
+}
+
+nn::Conv2d* Vgg::gate_producer(int site) {
+  AD_CHECK(site >= 0 && site < num_gate_sites()) << " gate site " << site;
+  return units_[static_cast<size_t>(site)].conv.get();
+}
+
+nn::BatchNorm2d* Vgg::gate_producer_bn(int site) {
+  AD_CHECK(site >= 0 && site < num_gate_sites()) << " gate site " << site;
+  return units_[static_cast<size_t>(site)].bn.get();
+}
+
+bool Vgg::gate_spatially_aligned(int site) const {
+  AD_CHECK(site >= 0 && site < num_gate_sites()) << " gate site " << site;
+  // A pool between the gate and the next conv changes the spatial grid;
+  // VGG convs themselves are 3x3/s1/p1 and grid-preserving.
+  if (site + 1 >= num_gate_sites()) return false;
+  return units_[static_cast<size_t>(site)].pool == nullptr;
+}
+
+int Vgg::block_of_site(int site) const {
+  AD_CHECK(site >= 0 && site < num_gate_sites()) << " gate site " << site;
+  return units_[static_cast<size_t>(site)].block;
+}
+
+std::vector<std::pair<std::string, nn::Module*>> Vgg::arithmetic_layers() {
+  std::vector<std::pair<std::string, nn::Module*>> out;
+  for (size_t i = 0; i < units_.size(); ++i) {
+    out.emplace_back("conv" + std::to_string(i), units_[i].conv.get());
+  }
+  out.emplace_back("fc", classifier_.get());
+  return out;
+}
+
+nn::Conv2d* Vgg::conv(int i) {
+  AD_CHECK(i >= 0 && i < num_gate_sites()) << " conv index " << i;
+  return units_[static_cast<size_t>(i)].conv.get();
+}
+
+}  // namespace antidote::models

@@ -1,0 +1,78 @@
+// VGG-16 (CIFAR variant): 13 conv layers in 5 blocks of [2,2,3,3,3] layers
+// with [64,128,256,512,512] filters (3x3, stride 1, pad 1), BatchNorm+ReLU
+// after every conv, 2x2 MaxPool after every block, then GlobalAvgPool and a
+// single linear classifier. `width_mult` scales every width (CPU-budget
+// experiments run reduced widths; ANTIDOTE_BENCH_SCALE=full restores 1.0).
+#pragma once
+
+#include "models/convnet.h"
+#include "nn/batchnorm.h"
+#include "nn/layers.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+
+namespace antidote::models {
+
+struct VggConfig {
+  int num_classes = 10;
+  int in_channels = 3;
+  float width_mult = 1.0f;
+  // Per-block conv counts / base widths of VGG-16.
+  std::vector<int> layers_per_block = {2, 2, 3, 3, 3};
+  std::vector<int> block_widths = {64, 128, 256, 512, 512};
+};
+
+class Vgg : public ConvNet {
+ public:
+  explicit Vgg(const VggConfig& config);
+
+  // --- nn::Module ---
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<nn::Parameter*> parameters() override;
+  void visit_state(const std::string& prefix,
+                   const nn::StateVisitor& fn) override;
+  void set_training(bool training) override;
+  std::string type_name() const override { return "Vgg"; }
+  int64_t last_macs() const override;
+
+  // --- ConvNet ---
+  int num_gate_sites() const override {
+    return static_cast<int>(units_.size());
+  }
+  void install_gate(int site, std::unique_ptr<nn::Module> gate) override;
+  nn::Module* gate(int site) const override;
+  nn::Conv2d* gate_consumer(int site) override;
+  nn::Conv2d* gate_producer(int site) override;
+  nn::BatchNorm2d* gate_producer_bn(int site) override;
+  bool gate_spatially_aligned(int site) const override;
+  int num_blocks() const override {
+    return static_cast<int>(config_.layers_per_block.size());
+  }
+  int block_of_site(int site) const override;
+  std::vector<std::pair<std::string, nn::Module*>> arithmetic_layers()
+      override;
+  int num_classes() const override { return config_.num_classes; }
+  std::string model_name() const override { return "vgg16"; }
+
+  // Conv layer at index i (0..12 for VGG16); sites and conv layers coincide.
+  nn::Conv2d* conv(int i);
+  const VggConfig& config() const { return config_; }
+
+ private:
+  struct Unit {
+    std::unique_ptr<nn::Conv2d> conv;
+    std::unique_ptr<nn::BatchNorm2d> bn;
+    std::unique_ptr<nn::ReLU> relu;
+    std::unique_ptr<nn::Module> gate;  // nullable
+    std::unique_ptr<nn::MaxPool2d> pool;  // non-null after block's last conv
+    int block = 0;
+  };
+
+  VggConfig config_;
+  std::vector<Unit> units_;
+  nn::GlobalAvgPool gap_;
+  std::unique_ptr<nn::Linear> classifier_;
+};
+
+}  // namespace antidote::models

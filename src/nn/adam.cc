@@ -1,0 +1,58 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include "base/error.h"
+
+namespace antidote::nn {
+
+Adam::Adam(std::vector<Parameter*> params, AdamOptions options)
+    : params_(std::move(params)), options_(options) {
+  AD_CHECK(options_.beta1 >= 0.0 && options_.beta1 < 1.0);
+  AD_CHECK(options_.beta2 >= 0.0 && options_.beta2 < 1.0);
+  AD_CHECK_GT(options_.eps, 0.0);
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    AD_CHECK(p != nullptr);
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float b1 = static_cast<float>(options_.beta1);
+  const float b2 = static_cast<float>(options_.beta2);
+  const float correction1 =
+      1.f - std::pow(b1, static_cast<float>(t_));
+  const float correction2 =
+      1.f - std::pow(b2, static_cast<float>(t_));
+  const float lr = static_cast<float>(options_.lr);
+  const float eps = static_cast<float>(options_.eps);
+
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    const float wd =
+        p.decay ? static_cast<float>(options_.weight_decay) : 0.f;
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const int64_t n = p.value.size();
+    for (int64_t j = 0; j < n; ++j) {
+      const float grad = g[j] + wd * w[j];
+      m[j] = b1 * m[j] + (1.f - b1) * grad;
+      v[j] = b2 * v[j] + (1.f - b2) * grad * grad;
+      const float m_hat = m[j] / correction1;
+      const float v_hat = v[j] / correction2;
+      w[j] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Parameter* p : params_) p->grad.zero();
+}
+
+}  // namespace antidote::nn

@@ -1,0 +1,42 @@
+// Adam optimizer (Kingma & Ba). The paper's experiments use SGD with
+// momentum (nn/optimizer.h); Adam is provided for substrate completeness —
+// e.g. for quickly fitting auxiliary components such as the FBS saliency
+// predictors — and follows the standard bias-corrected formulation with
+// decoupled L2 (classic Adam, not AdamW: decay is added to the gradient).
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace antidote::nn {
+
+struct AdamOptions {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.0;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Parameter*> params, AdamOptions options);
+
+  // Applies one update using accumulated gradients; does not zero them.
+  void step();
+  void zero_grad();
+
+  double lr() const { return options_.lr; }
+  void set_lr(double lr) { options_.lr = lr; }
+  int64_t steps_taken() const { return t_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Tensor> m_;  // first-moment estimates
+  std::vector<Tensor> v_;  // second-moment estimates
+  AdamOptions options_;
+  int64_t t_ = 0;
+};
+
+}  // namespace antidote::nn

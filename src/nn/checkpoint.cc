@@ -1,0 +1,89 @@
+#include "nn/checkpoint.h"
+
+#include <map>
+
+#include "base/error.h"
+#include "base/io.h"
+
+namespace antidote::nn {
+
+namespace {
+constexpr uint32_t kMagic = 0xAD07C4EC;
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+void save_checkpoint(Module& m, const std::string& path) {
+  // Collect first so the count can be written up front.
+  std::vector<std::pair<std::string, Tensor*>> entries;
+  m.visit_state("", [&](const std::string& name, Tensor& t) {
+    entries.emplace_back(name, &t);
+  });
+  BinaryWriter out(path);
+  out.write_u32(kMagic);
+  out.write_u32(kVersion);
+  out.write_u64(entries.size());
+  for (auto& [name, tensor] : entries) {
+    out.write_string(name);
+    out.write_u32(static_cast<uint32_t>(tensor->ndim()));
+    for (int i = 0; i < tensor->ndim(); ++i) {
+      out.write_i32(tensor->dim(i));
+    }
+    out.write_floats(tensor->data(), static_cast<size_t>(tensor->size()));
+  }
+  out.close();
+}
+
+void load_checkpoint(Module& m, const std::string& path) {
+  BinaryReader in(path);
+  AD_CHECK_EQ(in.read_u32(), kMagic) << " not an AntiDote checkpoint: " << path;
+  AD_CHECK_EQ(in.read_u32(), kVersion) << " unsupported checkpoint version";
+  const uint64_t count = in.read_u64();
+
+  std::map<std::string, Tensor> loaded;
+  for (uint64_t i = 0; i < count; ++i) {
+    const std::string name = in.read_string();
+    const uint32_t ndim = in.read_u32();
+    AD_CHECK_LE(ndim, 8u) << " implausible tensor rank in " << path;
+    std::vector<int> shape(ndim);
+    for (uint32_t d = 0; d < ndim; ++d) shape[d] = in.read_i32();
+    Tensor t(shape);
+    in.read_floats(t.data(), static_cast<size_t>(t.size()));
+    AD_CHECK(loaded.emplace(name, std::move(t)).second)
+        << " duplicate tensor name " << name << " in " << path;
+  }
+
+  size_t used = 0;
+  m.visit_state("", [&](const std::string& name, Tensor& t) {
+    auto it = loaded.find(name);
+    AD_CHECK(it != loaded.end()) << " checkpoint missing tensor " << name;
+    AD_CHECK(it->second.same_shape(t))
+        << " shape mismatch for " << name << ": file "
+        << it->second.shape_str() << " vs model " << t.shape_str();
+    t.copy_from(it->second);
+    ++used;
+  });
+  AD_CHECK_EQ(used, loaded.size())
+      << " checkpoint has tensors the model does not (wrong architecture?)";
+}
+
+std::map<std::string, Tensor> snapshot_state(Module& m) {
+  std::map<std::string, Tensor> out;
+  m.visit_state("", [&](const std::string& name, Tensor& t) {
+    AD_CHECK(out.emplace(name, t.clone()).second)
+        << " duplicate state name " << name;
+  });
+  return out;
+}
+
+void restore_state(Module& m, const std::map<std::string, Tensor>& snapshot) {
+  size_t used = 0;
+  m.visit_state("", [&](const std::string& name, Tensor& t) {
+    auto it = snapshot.find(name);
+    AD_CHECK(it != snapshot.end()) << " snapshot missing tensor " << name;
+    t.copy_from(it->second);
+    ++used;
+  });
+  AD_CHECK_EQ(used, snapshot.size()) << " snapshot/model structure mismatch";
+}
+
+}  // namespace antidote::nn

@@ -1,0 +1,26 @@
+// Model checkpointing: saves/loads every persistent tensor visited by
+// Module::visit_state (parameter values and BatchNorm running statistics)
+// keyed by hierarchical name.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "nn/module.h"
+
+namespace antidote::nn {
+
+// Writes all persistent state of `m` to `path`.
+void save_checkpoint(Module& m, const std::string& path);
+
+// Restores state saved by save_checkpoint. Every tensor in the module must
+// be present in the file with a matching shape; extra entries in the file
+// are an error (the checkpoint belongs to a different architecture).
+void load_checkpoint(Module& m, const std::string& path);
+
+// In-memory equivalents, used to branch several experiments off one
+// trained model without touching disk.
+std::map<std::string, Tensor> snapshot_state(Module& m);
+void restore_state(Module& m, const std::map<std::string, Tensor>& snapshot);
+
+}  // namespace antidote::nn

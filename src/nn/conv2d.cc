@@ -1,0 +1,291 @@
+#include "nn/conv2d.h"
+
+#include <numeric>
+
+#include "base/error.h"
+#include "tensor/gemm.h"
+
+namespace antidote::nn {
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel_size, int stride,
+               int padding, bool bias)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      k_(kernel_size),
+      stride_(stride),
+      pad_(padding),
+      has_bias_(bias),
+      weight_("weight", Tensor({out_channels, in_channels, kernel_size,
+                                kernel_size})),
+      bias_("bias", Tensor({out_channels}), /*weight_decay=*/false) {
+  AD_CHECK_GT(in_channels, 0);
+  AD_CHECK_GT(out_channels, 0);
+  AD_CHECK_GT(kernel_size, 0);
+  AD_CHECK_GT(stride, 0);
+  AD_CHECK_GE(padding, 0);
+}
+
+std::vector<Parameter*> Conv2d::parameters() {
+  std::vector<Parameter*> out{&weight_};
+  if (has_bias_) out.push_back(&bias_);
+  return out;
+}
+
+int64_t Conv2d::dense_macs_per_sample(int in_h, int in_w) const {
+  ConvGeom g{in_c_, in_h, in_w, k_, k_, stride_, pad_};
+  return static_cast<int64_t>(out_c_) * g.out_positions() * g.patch_rows();
+}
+
+void Conv2d::set_runtime_masks(std::vector<ConvRuntimeMask> masks) {
+  for (const auto& m : masks) {
+    for (int c : m.channels) {
+      AD_CHECK(c >= 0 && c < in_c_) << " runtime mask channel " << c;
+    }
+    for (int c : m.out_channels) {
+      AD_CHECK(c >= 0 && c < out_c_) << " runtime mask out channel " << c;
+    }
+    AD_CHECK(std::is_sorted(m.channels.begin(), m.channels.end()));
+    AD_CHECK(std::is_sorted(m.positions.begin(), m.positions.end()));
+    AD_CHECK(std::is_sorted(m.out_channels.begin(), m.out_channels.end()));
+  }
+  pending_masks_ = std::move(masks);
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  AD_CHECK_EQ(x.ndim(), 4) << " Conv2d expects NCHW, got " << x.shape_str();
+  AD_CHECK_EQ(x.dim(1), in_c_) << " Conv2d input channels";
+  if (!pending_masks_.empty()) {
+    std::vector<ConvRuntimeMask> masks;
+    masks.swap(pending_masks_);  // consume: masks apply to this pass only
+    AD_CHECK_EQ(static_cast<int>(masks.size()), x.dim(0))
+        << " runtime mask count vs batch size";
+    last_forward_was_masked_ = true;
+    return forward_masked(x, masks);
+  }
+  last_forward_was_masked_ = false;
+  return forward_dense(x);
+}
+
+Tensor Conv2d::forward_dense(const Tensor& x) {
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  ConvGeom g{in_c_, h, w, k_, k_, stride_, pad_};
+  g.validate();
+  const int oh = g.out_h(), ow = g.out_w();
+  const int64_t patch = g.patch_rows();
+  const int64_t pos = g.out_positions();
+
+  Tensor y({n, out_c_, oh, ow});
+  Tensor cols({static_cast<int>(patch), static_cast<int>(pos)});
+  const float* wp = weight_.value.data();
+
+  for (int b = 0; b < n; ++b) {
+    const float* xb = x.data() + static_cast<int64_t>(b) * in_c_ * h * w;
+    float* yb = y.data() + static_cast<int64_t>(b) * out_c_ * pos;
+    im2col(xb, g, cols.data());
+    gemm_nn(out_c_, static_cast<int>(pos), static_cast<int>(patch), 1.f, wp,
+            cols.data(), 0.f, yb);
+    if (has_bias_) {
+      const float* bp = bias_.value.data();
+      for (int oc = 0; oc < out_c_; ++oc) {
+        float* row = yb + static_cast<int64_t>(oc) * pos;
+        for (int64_t j = 0; j < pos; ++j) row[j] += bp[oc];
+      }
+    }
+  }
+  last_macs_ = static_cast<int64_t>(n) * out_c_ * pos * patch;
+  cached_input_ = x;
+  return y;
+}
+
+Tensor Conv2d::forward_masked(const Tensor& x,
+                              const std::vector<ConvRuntimeMask>& masks) {
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  ConvGeom g{in_c_, h, w, k_, k_, stride_, pad_};
+  g.validate();
+  const int oh = g.out_h(), ow = g.out_w();
+  const int64_t pos = g.out_positions();
+
+  Tensor y({n, out_c_, oh, ow});
+  last_macs_ = 0;
+
+  // Identity index sets reused when a mask third is empty (= keep all).
+  std::vector<int> all_channels(static_cast<size_t>(in_c_));
+  std::iota(all_channels.begin(), all_channels.end(), 0);
+  std::vector<int> all_out(static_cast<size_t>(out_c_));
+  std::iota(all_out.begin(), all_out.end(), 0);
+
+  Tensor cols;       // gathered patch matrix, re-sized per sample
+  Tensor w_packed;   // gathered weight rows, re-sized per sample
+  Tensor y_sub;      // gathered output, re-sized per sample
+
+  for (int b = 0; b < n; ++b) {
+    const ConvRuntimeMask& m = masks[static_cast<size_t>(b)];
+    const std::vector<int>& ch = m.channels.empty() ? all_channels : m.channels;
+    const std::vector<int>& oc_set =
+        m.out_channels.empty() ? all_out : m.out_channels;
+    const int ck = static_cast<int>(ch.size());
+    const int ok = static_cast<int>(oc_set.size());
+    const float* xb = x.data() + static_cast<int64_t>(b) * in_c_ * h * w;
+    float* yb = y.data() + static_cast<int64_t>(b) * out_c_ * pos;
+    const int64_t kk = static_cast<int64_t>(k_) * k_;
+
+    if (m.positions.empty()) {
+      // Channel / filter skipping only: gather kept-channel patch rows and
+      // kept-filter weight rows into one GEMM.
+      const int patch_k = ck * k_ * k_;
+      w_packed = Tensor({ok, patch_k});
+      for (int oi = 0; oi < ok; ++oi) {
+        const float* src =
+            weight_.value.data() +
+            static_cast<int64_t>(oc_set[static_cast<size_t>(oi)]) * in_c_ * kk;
+        float* dst = w_packed.data() + static_cast<int64_t>(oi) * patch_k;
+        for (int ci = 0; ci < ck; ++ci) {
+          const float* block =
+              src + static_cast<int64_t>(ch[static_cast<size_t>(ci)]) * kk;
+          std::copy(block, block + kk, dst + static_cast<int64_t>(ci) * kk);
+        }
+      }
+      std::vector<int> all_positions(static_cast<size_t>(pos));
+      std::iota(all_positions.begin(), all_positions.end(), 0);
+      cols = Tensor({patch_k, static_cast<int>(pos)});
+      im2col_gather(xb, g, ch, all_positions, cols.data());
+      y_sub = Tensor({ok, static_cast<int>(pos)});
+      gemm_nn(ok, static_cast<int>(pos), patch_k, 1.f, w_packed.data(),
+              cols.data(), 0.f, y_sub.data());
+      for (int oi = 0; oi < ok; ++oi) {
+        const int oc = oc_set[static_cast<size_t>(oi)];
+        std::copy(y_sub.data() + static_cast<int64_t>(oi) * pos,
+                  y_sub.data() + static_cast<int64_t>(oi + 1) * pos,
+                  yb + static_cast<int64_t>(oc) * pos);
+      }
+      last_macs_ += static_cast<int64_t>(ok) * pos * patch_k;
+    } else {
+      // Spatial (column) skipping: input-stationary "shift-GEMM". Only the
+      // kept input columns contribute; for each kernel offset (ky, kx) one
+      // [ok x ck] x [ck x pk] GEMM produces their contribution, which is
+      // scatter-added at the offset output position. The result equals the
+      // dense convolution over the column-masked input *exactly* (pruned
+      // columns are zero and contribute nothing), while executing only
+      // ok * pk * ck * k^2 MACs — dense x keep ratios. This avoids any
+      // train/test mismatch: targeted dropout during TTD training computes
+      // the same function densely.
+      AD_CHECK(stride_ == 1 && oh == h && ow == w)
+          << " spatial runtime mask requires a grid-preserving Conv2d";
+      AD_CHECK_LE(m.positions.back(), static_cast<int>(pos) - 1);
+      const int pk = static_cast<int>(m.positions.size());
+
+      // Gather kept input values: B[ci][j] = x[ch[ci], positions[j]].
+      cols = Tensor({ck, pk});
+      for (int ci = 0; ci < ck; ++ci) {
+        const float* plane =
+            xb + static_cast<int64_t>(ch[static_cast<size_t>(ci)]) * h * w;
+        float* row = cols.data() + static_cast<int64_t>(ci) * pk;
+        for (int j = 0; j < pk; ++j) {
+          row[j] = plane[m.positions[static_cast<size_t>(j)]];
+        }
+      }
+
+      w_packed = Tensor({ok, ck});
+      y_sub = Tensor({ok, pk});
+      for (int ky = 0; ky < k_; ++ky) {
+        for (int kx = 0; kx < k_; ++kx) {
+          // W_k[oi][ci] = weight[oc_set[oi], ch[ci], ky, kx].
+          for (int oi = 0; oi < ok; ++oi) {
+            const float* src =
+                weight_.value.data() +
+                (static_cast<int64_t>(oc_set[static_cast<size_t>(oi)]) *
+                     in_c_) *
+                    kk +
+                static_cast<int64_t>(ky) * k_ + kx;
+            float* dst = w_packed.data() + static_cast<int64_t>(oi) * ck;
+            for (int ci = 0; ci < ck; ++ci) {
+              dst[ci] = src[static_cast<int64_t>(ch[static_cast<size_t>(ci)]) *
+                            kk];
+            }
+          }
+          gemm_nn(ok, pk, ck, 1.f, w_packed.data(), cols.data(), 0.f,
+                  y_sub.data());
+          // Input column (iy, ix) feeds output (iy + pad - ky, ix + pad - kx).
+          const int dy = pad_ - ky, dx = pad_ - kx;
+          for (int j = 0; j < pk; ++j) {
+            const int p = m.positions[static_cast<size_t>(j)];
+            const int oy = p / w + dy;
+            const int ox = p % w + dx;
+            if (oy < 0 || oy >= oh || ox < 0 || ox >= ow) continue;
+            const int64_t out_idx = static_cast<int64_t>(oy) * ow + ox;
+            for (int oi = 0; oi < ok; ++oi) {
+              yb[static_cast<int64_t>(oc_set[static_cast<size_t>(oi)]) * pos +
+                 out_idx] += y_sub.data()[static_cast<int64_t>(oi) * pk + j];
+            }
+          }
+        }
+      }
+      last_macs_ += static_cast<int64_t>(ok) * pk * ck * kk;
+    }
+
+    if (has_bias_) {
+      const float* bp = bias_.value.data();
+      for (int oi = 0; oi < ok; ++oi) {
+        const int oc = oc_set[static_cast<size_t>(oi)];
+        float* drow = yb + static_cast<int64_t>(oc) * pos;
+        const float bias_v = bp[oc];
+        for (int64_t j = 0; j < pos; ++j) drow[j] += bias_v;
+      }
+    }
+  }
+  cached_input_ = Tensor();  // backward unsupported after masked forward
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  AD_CHECK(!last_forward_was_masked_)
+      << " backward through a masked Conv2d forward is not supported";
+  AD_CHECK(!cached_input_.empty()) << " Conv2d backward before forward";
+  const Tensor& x = cached_input_;
+  const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  ConvGeom g{in_c_, h, w, k_, k_, stride_, pad_};
+  const int64_t patch = g.patch_rows();
+  const int64_t pos = g.out_positions();
+  AD_CHECK_EQ(grad_out.dim(0), n);
+  AD_CHECK_EQ(grad_out.dim(1), out_c_);
+  AD_CHECK_EQ(static_cast<int64_t>(grad_out.dim(2)) * grad_out.dim(3), pos);
+
+  Tensor dx({n, in_c_, h, w});
+  Tensor cols({static_cast<int>(patch), static_cast<int>(pos)});
+  Tensor dcols({static_cast<int>(patch), static_cast<int>(pos)});
+  float* dwp = weight_.grad.data();
+  const float* wp = weight_.value.data();
+
+  for (int b = 0; b < n; ++b) {
+    const float* xb = x.data() + static_cast<int64_t>(b) * in_c_ * h * w;
+    const float* dyb = grad_out.data() + static_cast<int64_t>(b) * out_c_ * pos;
+    float* dxb = dx.data() + static_cast<int64_t>(b) * in_c_ * h * w;
+
+    // dW += dY * cols^T
+    im2col(xb, g, cols.data());
+    gemm_nt(out_c_, static_cast<int>(patch), static_cast<int>(pos), 1.f, dyb,
+            cols.data(), 1.f, dwp);
+
+    // dCols = W^T * dY ; dX = col2im(dCols)
+    gemm_tn(static_cast<int>(patch), static_cast<int>(pos), out_c_, 1.f, wp,
+            dyb, 0.f, dcols.data());
+    col2im(dcols.data(), g, dxb);
+  }
+
+  if (has_bias_) {
+    float* dbp = bias_.grad.data();
+    for (int b = 0; b < n; ++b) {
+      const float* dyb =
+          grad_out.data() + static_cast<int64_t>(b) * out_c_ * pos;
+      for (int oc = 0; oc < out_c_; ++oc) {
+        const float* row = dyb + static_cast<int64_t>(oc) * pos;
+        double acc = 0.0;
+        for (int64_t j = 0; j < pos; ++j) acc += row[j];
+        dbp[oc] += static_cast<float>(acc);
+      }
+    }
+  }
+  return dx;
+}
+
+}  // namespace antidote::nn

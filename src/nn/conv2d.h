@@ -1,0 +1,86 @@
+// 2-d convolution (NCHW, square kernel, symmetric padding) lowered to GEMM
+// via im2col, with optional *sparse runtime execution*:
+//
+// Before a forward pass, a caller (AntiDote's dynamic pruning gate) may
+// install per-sample runtime masks naming which input channels and which
+// output spatial positions to compute. The layer then gathers only the kept
+// channels/positions into the GEMM, scatters results back (pruned positions
+// stay zero) and reports the actually executed multiply-accumulates, so
+// measured FLOPs reductions are real savings rather than bookkeeping.
+// Masks apply to exactly one forward pass and are consumed by it.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/im2col.h"
+
+namespace antidote::nn {
+
+// Per-sample sparse-execution instruction for one forward pass.
+struct ConvRuntimeMask {
+  // Kept input-channel indices, strictly increasing. Empty = keep all.
+  std::vector<int> channels;
+  // Kept *input* spatial columns (flattened h*w+x), strictly increasing.
+  // Empty = keep all. Executed with an input-stationary shift-GEMM that
+  // computes exactly conv(input with the other columns zeroed) while
+  // performing only keep-ratio x dense MACs. Only valid when the
+  // convolution preserves the spatial grid (stride 1, out size == in).
+  std::vector<int> positions;
+  // Kept output-filter indices, strictly increasing. Empty = keep all.
+  // Used by *static* filter pruning, where the producing layer also skips
+  // its pruned filters (dynamic attention pruning cannot: the attention is
+  // computed from the full feature map).
+  std::vector<int> out_channels;
+};
+
+class Conv2d : public Module {
+ public:
+  Conv2d(int in_channels, int out_channels, int kernel_size, int stride = 1,
+         int padding = 0, bool bias = true);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  std::string type_name() const override { return "Conv2d"; }
+  int64_t last_macs() const override { return last_macs_; }
+
+  // --- sparse runtime execution ---
+  // Installs per-sample masks for the next forward pass only. The vector
+  // size must equal the batch size of that forward. Backward through a
+  // masked forward is not supported (masking is a test-phase mechanism).
+  void set_runtime_masks(std::vector<ConvRuntimeMask> masks);
+  bool has_pending_masks() const { return !pending_masks_.empty(); }
+
+  // --- introspection ---
+  int in_channels() const { return in_c_; }
+  int out_channels() const { return out_c_; }
+  int kernel_size() const { return k_; }
+  int stride() const { return stride_; }
+  int padding() const { return pad_; }
+  bool has_bias() const { return has_bias_; }
+  // Dense MACs for one sample given an input height/width.
+  int64_t dense_macs_per_sample(int in_h, int in_w) const;
+
+  Parameter& weight() { return weight_; }
+  const Parameter& weight() const { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  Tensor forward_dense(const Tensor& x);
+  Tensor forward_masked(const Tensor& x,
+                        const std::vector<ConvRuntimeMask>& masks);
+
+  int in_c_, out_c_, k_, stride_, pad_;
+  bool has_bias_;
+  Parameter weight_;  // [out_c, in_c, k, k]
+  Parameter bias_;    // [out_c] (unused when has_bias_ == false)
+
+  std::vector<ConvRuntimeMask> pending_masks_;
+  bool last_forward_was_masked_ = false;
+  Tensor cached_input_;  // for backward
+  int64_t last_macs_ = 0;
+};
+
+}  // namespace antidote::nn

@@ -1,0 +1,48 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "base/error.h"
+
+namespace antidote::nn {
+
+namespace {
+int64_t fan_in_of(const Tensor& weight) {
+  AD_CHECK_GE(weight.ndim(), 2);
+  int64_t fan = 1;
+  for (int i = 1; i < weight.ndim(); ++i) fan *= weight.dim(i);
+  return fan;
+}
+}  // namespace
+
+void kaiming_normal(Tensor& weight, Rng& rng) {
+  const double std = std::sqrt(2.0 / static_cast<double>(fan_in_of(weight)));
+  float* p = weight.data();
+  for (int64_t i = 0; i < weight.size(); ++i) {
+    p[i] = static_cast<float>(rng.normal(0.0, std));
+  }
+}
+
+void xavier_uniform(Tensor& weight, Rng& rng) {
+  const int64_t fan_in = fan_in_of(weight);
+  const int64_t fan_out = weight.dim(0);
+  const double a = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  float* p = weight.data();
+  for (int64_t i = 0; i < weight.size(); ++i) {
+    p[i] = rng.uniform_float(static_cast<float>(-a), static_cast<float>(a));
+  }
+}
+
+void init_module(Module& m, Rng& rng) {
+  for (Parameter* p : m.parameters()) {
+    if (p->name == "weight" && p->value.ndim() >= 2) {
+      kaiming_normal(p->value, rng);
+    } else if (p->name == "bias" || p->name == "beta") {
+      p->value.zero();
+    } else if (p->name == "gamma") {
+      p->value.fill(1.f);
+    }
+  }
+}
+
+}  // namespace antidote::nn

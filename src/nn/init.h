@@ -1,0 +1,22 @@
+// Weight initialization. Convolutions use Kaiming/He initialization (the
+// standard for ReLU CNNs like VGG/ResNet); linear layers use Xavier.
+#pragma once
+
+#include "base/rng.h"
+#include "nn/module.h"
+
+namespace antidote::nn {
+
+// N(0, sqrt(2 / fan_in)); fan_in inferred from the tensor shape:
+// conv [O,I,K,K] -> I*K*K, linear [O,I] -> I.
+void kaiming_normal(Tensor& weight, Rng& rng);
+
+// U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(Tensor& weight, Rng& rng);
+
+// Applies the standard scheme to every parameter of a module tree:
+// Conv2d/Linear weights get Kaiming normal, biases zero, BatchNorm is left
+// at its (gamma=1, beta=0) construction values.
+void init_module(Module& m, Rng& rng);
+
+}  // namespace antidote::nn

@@ -1,0 +1,32 @@
+// Fully connected layer: y = x W^T + b with x of shape [N, in_features].
+#pragma once
+
+#include "nn/module.h"
+
+namespace antidote::nn {
+
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, bool bias = true);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  std::string type_name() const override { return "Linear"; }
+  int64_t last_macs() const override { return last_macs_; }
+
+  int in_features() const { return in_f_; }
+  int out_features() const { return out_f_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  int in_f_, out_f_;
+  bool has_bias_;
+  Parameter weight_;  // [out_features, in_features]
+  Parameter bias_;    // [out_features]
+  Tensor cached_input_;
+  int64_t last_macs_ = 0;
+};
+
+}  // namespace antidote::nn

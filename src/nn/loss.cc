@@ -1,0 +1,41 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "base/error.h"
+#include "tensor/ops.h"
+
+namespace antidote::nn {
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                    std::span<const int> labels) {
+  AD_CHECK_EQ(logits.ndim(), 2);
+  const int n = logits.dim(0), k = logits.dim(1);
+  AD_CHECK_EQ(static_cast<int>(labels.size()), n);
+  probs_ = ops::softmax_rows(logits);
+  labels_.assign(labels.begin(), labels.end());
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const int y = labels_[static_cast<size_t>(i)];
+    AD_CHECK(y >= 0 && y < k) << " label " << y << " out of range " << k;
+    const float p = probs_.at({i, y});
+    loss += -std::log(std::max(p, 1e-12f));
+  }
+  return loss / n;
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  AD_CHECK(!probs_.empty()) << " loss backward before forward";
+  const int n = probs_.dim(0);
+  Tensor grad = probs_.clone();
+  const float inv_n = 1.f / static_cast<float>(n);
+  float* p = grad.data();
+  const int k = probs_.dim(1);
+  for (int i = 0; i < n; ++i) {
+    p[static_cast<int64_t>(i) * k + labels_[static_cast<size_t>(i)]] -= 1.f;
+  }
+  for (int64_t i = 0; i < grad.size(); ++i) p[i] *= inv_n;
+  return grad;
+}
+
+}  // namespace antidote::nn

@@ -1,0 +1,27 @@
+// Softmax cross-entropy loss with fused, numerically stable gradient.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace antidote::nn {
+
+class SoftmaxCrossEntropy {
+ public:
+  // Mean cross-entropy over the batch. logits: [N, K]; labels in [0, K).
+  double forward(const Tensor& logits, std::span<const int> labels);
+
+  // dLoss/dLogits for the last forward: (softmax - onehot) / N.
+  Tensor backward() const;
+
+  // Softmax probabilities from the last forward (shape [N, K]).
+  const Tensor& probabilities() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<int> labels_;
+};
+
+}  // namespace antidote::nn

@@ -1,0 +1,40 @@
+#include "nn/optimizer.h"
+
+#include "base/error.h"
+
+namespace antidote::nn {
+
+Sgd::Sgd(std::vector<Parameter*> params, SgdOptions options)
+    : params_(std::move(params)), options_(options) {
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    AD_CHECK(p != nullptr);
+    velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::step() {
+  const float lr = static_cast<float>(options_.lr);
+  const float mu = static_cast<float>(options_.momentum);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    const float wd =
+        p.decay ? static_cast<float>(options_.weight_decay) : 0.f;
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* v = velocity_[i].data();
+    const int64_t n = p.value.size();
+    for (int64_t j = 0; j < n; ++j) {
+      const float grad = g[j] + wd * w[j];
+      v[j] = mu * v[j] + grad;
+      const float update = options_.nesterov ? grad + mu * v[j] : v[j];
+      w[j] -= lr * update;
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Parameter* p : params_) p->grad.zero();
+}
+
+}  // namespace antidote::nn

@@ -1,0 +1,36 @@
+// SGD with momentum, weight decay and optional Nesterov correction —
+// the optimizer used for all trainings in the paper.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace antidote::nn {
+
+struct SgdOptions {
+  double lr = 0.1;
+  double momentum = 0.9;
+  double weight_decay = 5e-4;
+  bool nesterov = false;
+};
+
+class Sgd {
+ public:
+  Sgd(std::vector<Parameter*> params, SgdOptions options);
+
+  // Applies one update using accumulated gradients; does not zero them.
+  void step();
+  void zero_grad();
+
+  double lr() const { return options_.lr; }
+  void set_lr(double lr) { options_.lr = lr; }
+  const SgdOptions& options() const { return options_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Tensor> velocity_;
+  SgdOptions options_;
+};
+
+}  // namespace antidote::nn

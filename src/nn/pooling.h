@@ -1,0 +1,52 @@
+// Spatial pooling layers for NCHW tensors.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace antidote::nn {
+
+class MaxPool2d : public Module {
+ public:
+  explicit MaxPool2d(int kernel_size, int stride = -1);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "MaxPool2d"; }
+
+  int kernel_size() const { return k_; }
+  int stride() const { return stride_; }
+
+ private:
+  int k_, stride_;
+  std::vector<int64_t> argmax_;  // flat input index of each output element
+  std::vector<int> in_shape_;
+};
+
+class AvgPool2d : public Module {
+ public:
+  explicit AvgPool2d(int kernel_size, int stride = -1);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "AvgPool2d"; }
+
+ private:
+  int k_, stride_;
+  std::vector<int> in_shape_;
+};
+
+// [N, C, H, W] -> [N, C]; the SENet-style squeeze used for the classifier
+// head and (conceptually) for channel attention.
+class GlobalAvgPool : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string type_name() const override { return "GlobalAvgPool"; }
+
+ private:
+  std::vector<int> in_shape_;
+};
+
+}  // namespace antidote::nn

@@ -1,0 +1,51 @@
+#include "nn/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.h"
+
+namespace antidote::nn {
+
+CosineSchedule::CosineSchedule(double base_lr, int total_epochs,
+                               double final_lr)
+    : base_(base_lr), final_(final_lr), total_(total_epochs) {
+  AD_CHECK_GT(total_epochs, 0);
+}
+
+double CosineSchedule::lr(int epoch) const {
+  const int t = std::clamp(epoch, 0, total_ - 1);
+  const double frac =
+      total_ > 1 ? static_cast<double>(t) / (total_ - 1) : 1.0;
+  return final_ + 0.5 * (base_ - final_) * (1.0 + std::cos(M_PI * frac));
+}
+
+StepSchedule::StepSchedule(double base_lr, std::vector<int> milestones,
+                           double gamma)
+    : base_(base_lr), gamma_(gamma), milestones_(std::move(milestones)) {
+  AD_CHECK(std::is_sorted(milestones_.begin(), milestones_.end()));
+}
+
+double StepSchedule::lr(int epoch) const {
+  double value = base_;
+  for (int m : milestones_) {
+    if (epoch >= m) value *= gamma_;
+  }
+  return value;
+}
+
+WarmupSchedule::WarmupSchedule(std::unique_ptr<LrSchedule> inner,
+                               int warmup_epochs)
+    : inner_(std::move(inner)), warmup_(warmup_epochs) {
+  AD_CHECK_GE(warmup_, 0);
+  AD_CHECK(inner_ != nullptr);
+}
+
+double WarmupSchedule::lr(int epoch) const {
+  if (epoch < warmup_) {
+    return inner_->lr(warmup_) * (epoch + 1) / static_cast<double>(warmup_ + 1);
+  }
+  return inner_->lr(epoch);
+}
+
+}  // namespace antidote::nn

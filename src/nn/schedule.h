@@ -1,0 +1,60 @@
+// Learning-rate schedules. The paper trains TTD with cosine decay
+// (SGDR-style, 0.1 -> 0); step decay and constant schedules are provided
+// for the baselines' finetuning runs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace antidote::nn {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  // Learning rate for a 0-based epoch index.
+  virtual double lr(int epoch) const = 0;
+};
+
+// lr(t) = final + 0.5 * (base - final) * (1 + cos(pi * t / total)).
+class CosineSchedule : public LrSchedule {
+ public:
+  CosineSchedule(double base_lr, int total_epochs, double final_lr = 0.0);
+  double lr(int epoch) const override;
+
+ private:
+  double base_, final_;
+  int total_;
+};
+
+// Multiplies base_lr by `gamma` at each listed epoch.
+class StepSchedule : public LrSchedule {
+ public:
+  StepSchedule(double base_lr, std::vector<int> milestones, double gamma);
+  double lr(int epoch) const override;
+
+ private:
+  double base_, gamma_;
+  std::vector<int> milestones_;
+};
+
+class ConstantSchedule : public LrSchedule {
+ public:
+  explicit ConstantSchedule(double lr) : lr_(lr) {}
+  double lr(int /*epoch*/) const override { return lr_; }
+
+ private:
+  double lr_;
+};
+
+// Linear warmup for `warmup_epochs`, then delegates to `inner`.
+class WarmupSchedule : public LrSchedule {
+ public:
+  WarmupSchedule(std::unique_ptr<LrSchedule> inner, int warmup_epochs);
+  double lr(int epoch) const override;
+
+ private:
+  std::unique_ptr<LrSchedule> inner_;
+  int warmup_;
+};
+
+}  // namespace antidote::nn

@@ -1,0 +1,86 @@
+#include "tensor/gemm.h"
+
+#include "base/error.h"
+#include "base/parallel.h"
+
+namespace antidote {
+
+namespace {
+void scale_rows(float* c, int64_t rows, int64_t cols, float beta) {
+  if (beta == 1.f) return;
+  const int64_t total = rows * cols;
+  if (beta == 0.f) {
+    for (int64_t i = 0; i < total; ++i) c[i] = 0.f;
+  } else {
+    for (int64_t i = 0; i < total; ++i) c[i] *= beta;
+  }
+}
+}  // namespace
+
+void gemm_nn(int m, int n, int k, float alpha, const float* a, const float* b,
+             float beta, float* c) {
+  parallel_for(
+      0, m,
+      [&](int64_t i0, int64_t i1) {
+        scale_rows(c + i0 * n, i1 - i0, n, beta);
+        for (int64_t i = i0; i < i1; ++i) {
+          float* crow = c + i * n;
+          const float* arow = a + i * k;
+          for (int p = 0; p < k; ++p) {
+            const float av = alpha * arow[p];
+            if (av == 0.f) continue;
+            const float* brow = b + static_cast<int64_t>(p) * n;
+            for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      },
+      /*grain=*/std::max<int64_t>(1, 16384 / std::max(1, n * k)));
+}
+
+void gemm_nt(int m, int n, int k, float alpha, const float* a, const float* b,
+             float beta, float* c) {
+  parallel_for(
+      0, m,
+      [&](int64_t i0, int64_t i1) {
+        scale_rows(c + i0 * n, i1 - i0, n, beta);
+        for (int64_t i = i0; i < i1; ++i) {
+          float* crow = c + i * n;
+          const float* arow = a + i * k;
+          for (int j = 0; j < n; ++j) {
+            const float* brow = b + static_cast<int64_t>(j) * k;
+            double acc = 0.0;
+            for (int p = 0; p < k; ++p) acc += double(arow[p]) * brow[p];
+            crow[j] += alpha * static_cast<float>(acc);
+          }
+        }
+      },
+      /*grain=*/std::max<int64_t>(1, 16384 / std::max(1, n * k)));
+}
+
+void gemm_tn(int m, int n, int k, float alpha, const float* a, const float* b,
+             float beta, float* c) {
+  // a is [K, M]; iterate k outermost so both B row and C row are contiguous.
+  scale_rows(c, m, n, beta);
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a + static_cast<int64_t>(p) * m;
+    const float* brow = b + static_cast<int64_t>(p) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = alpha * arow[i];
+      if (av == 0.f) continue;
+      float* crow = c + static_cast<int64_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  AD_CHECK_EQ(a.ndim(), 2);
+  AD_CHECK_EQ(b.ndim(), 2);
+  AD_CHECK_EQ(a.dim(1), b.dim(0)) << " matmul inner dim";
+  Tensor c({a.dim(0), b.dim(1)});
+  gemm_nn(a.dim(0), b.dim(1), a.dim(1), 1.f, a.data(), b.data(), 0.f,
+          c.data());
+  return c;
+}
+
+}  // namespace antidote

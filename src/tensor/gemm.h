@@ -1,0 +1,29 @@
+// Single-precision GEMM kernels for the convolution and linear layers.
+//
+// Three explicit layout variants avoid materializing transposed copies in
+// the backward pass:
+//   gemm_nn: C[M,N] = alpha * A[M,K]   * B[K,N]   + beta * C
+//   gemm_nt: C[M,N] = alpha * A[M,K]   * B[N,K]^T + beta * C
+//   gemm_tn: C[M,N] = alpha * A[K,M]^T * B[K,N]   + beta * C
+// All matrices are row-major and densely packed (ld == row length). Loops
+// are ordered so the innermost dimension is contiguous and autovectorizes
+// under -O3; rows are parallelized across the global thread pool.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace antidote {
+
+void gemm_nn(int m, int n, int k, float alpha, const float* a, const float* b,
+             float beta, float* c);
+void gemm_nt(int m, int n, int k, float alpha, const float* a, const float* b,
+             float beta, float* c);
+void gemm_tn(int m, int n, int k, float alpha, const float* a, const float* b,
+             float beta, float* c);
+
+// [M,K] x [K,N] -> [M,N] convenience wrapper over 2-d tensors.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+}  // namespace antidote

@@ -1,0 +1,97 @@
+#include "tensor/im2col.h"
+
+#include "base/error.h"
+
+namespace antidote {
+
+void ConvGeom::validate() const {
+  AD_CHECK_GT(in_c, 0);
+  AD_CHECK_GT(in_h, 0);
+  AD_CHECK_GT(in_w, 0);
+  AD_CHECK_GT(k_h, 0);
+  AD_CHECK_GT(k_w, 0);
+  AD_CHECK_GT(stride, 0);
+  AD_CHECK_GE(pad, 0);
+  AD_CHECK_GT(out_h(), 0) << " conv output height <= 0";
+  AD_CHECK_GT(out_w(), 0) << " conv output width <= 0";
+}
+
+void im2col(const float* input, const ConvGeom& g, float* cols) {
+  const int oh = g.out_h(), ow = g.out_w();
+  const int64_t n_cols = static_cast<int64_t>(oh) * ow;
+  int64_t row = 0;
+  for (int c = 0; c < g.in_c; ++c) {
+    const float* plane = input + static_cast<int64_t>(c) * g.in_h * g.in_w;
+    for (int kh = 0; kh < g.k_h; ++kh) {
+      for (int kw = 0; kw < g.k_w; ++kw, ++row) {
+        float* out_row = cols + row * n_cols;
+        for (int y = 0; y < oh; ++y) {
+          const int iy = y * g.stride - g.pad + kh;
+          float* dst = out_row + static_cast<int64_t>(y) * ow;
+          if (iy < 0 || iy >= g.in_h) {
+            for (int x = 0; x < ow; ++x) dst[x] = 0.f;
+            continue;
+          }
+          const float* src = plane + static_cast<int64_t>(iy) * g.in_w;
+          for (int x = 0; x < ow; ++x) {
+            const int ix = x * g.stride - g.pad + kw;
+            dst[x] = (ix >= 0 && ix < g.in_w) ? src[ix] : 0.f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void im2col_gather(const float* input, const ConvGeom& g,
+                   std::span<const int> channels, std::span<const int> spatial,
+                   float* cols) {
+  const int ow = g.out_w();
+  const int64_t n_cols = static_cast<int64_t>(spatial.size());
+  int64_t row = 0;
+  for (int c : channels) {
+    AD_CHECK(c >= 0 && c < g.in_c) << " gathered channel " << c;
+    const float* plane = input + static_cast<int64_t>(c) * g.in_h * g.in_w;
+    for (int kh = 0; kh < g.k_h; ++kh) {
+      for (int kw = 0; kw < g.k_w; ++kw, ++row) {
+        float* out_row = cols + row * n_cols;
+        for (int64_t j = 0; j < n_cols; ++j) {
+          const int s = spatial[static_cast<size_t>(j)];
+          const int y = s / ow;
+          const int x = s % ow;
+          const int iy = y * g.stride - g.pad + kh;
+          const int ix = x * g.stride - g.pad + kw;
+          out_row[j] = (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w)
+                           ? plane[static_cast<int64_t>(iy) * g.in_w + ix]
+                           : 0.f;
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, const ConvGeom& g, float* input_grad) {
+  const int oh = g.out_h(), ow = g.out_w();
+  const int64_t n_cols = static_cast<int64_t>(oh) * ow;
+  int64_t row = 0;
+  for (int c = 0; c < g.in_c; ++c) {
+    float* plane = input_grad + static_cast<int64_t>(c) * g.in_h * g.in_w;
+    for (int kh = 0; kh < g.k_h; ++kh) {
+      for (int kw = 0; kw < g.k_w; ++kw, ++row) {
+        const float* src_row = cols + row * n_cols;
+        for (int y = 0; y < oh; ++y) {
+          const int iy = y * g.stride - g.pad + kh;
+          if (iy < 0 || iy >= g.in_h) continue;
+          float* dst = plane + static_cast<int64_t>(iy) * g.in_w;
+          const float* src = src_row + static_cast<int64_t>(y) * ow;
+          for (int x = 0; x < ow; ++x) {
+            const int ix = x * g.stride - g.pad + kw;
+            if (ix >= 0 && ix < g.in_w) dst[ix] += src[x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace antidote

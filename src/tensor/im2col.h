@@ -1,0 +1,53 @@
+// im2col / col2im lowering for convolution, plus gather variants that skip
+// masked input channels and masked output positions. The gather variants are
+// the computational backbone of AntiDote's dynamic pruning: a pruned channel
+// contributes no rows and a pruned spatial column contributes no columns to
+// the GEMM, so the FLOPs saving is real, not simulated.
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace antidote {
+
+// Geometry of one 2-d convolution (square stride/padding).
+struct ConvGeom {
+  int in_c = 0;
+  int in_h = 0;
+  int in_w = 0;
+  int k_h = 0;
+  int k_w = 0;
+  int stride = 1;
+  int pad = 0;
+
+  int out_h() const { return (in_h + 2 * pad - k_h) / stride + 1; }
+  int out_w() const { return (in_w + 2 * pad - k_w) / stride + 1; }
+  // Rows of the lowered patch matrix.
+  int64_t patch_rows() const {
+    return static_cast<int64_t>(in_c) * k_h * k_w;
+  }
+  int64_t out_positions() const {
+    return static_cast<int64_t>(out_h()) * out_w();
+  }
+  // Validates that the geometry produces a non-empty output.
+  void validate() const;
+};
+
+// Dense lowering: input [C,H,W] -> cols [C*kh*kw, out_h*out_w].
+void im2col(const float* input, const ConvGeom& g, float* cols);
+
+// Gathered lowering for masked convolution.
+//  - `channels`: kept input-channel indices (strictly increasing).
+//  - `spatial`:  kept output positions as flattened oh*out_w+ow indices
+//                (strictly increasing).
+// cols must hold channels.size()*kh*kw rows by spatial.size() columns.
+void im2col_gather(const float* input, const ConvGeom& g,
+                   std::span<const int> channels, std::span<const int> spatial,
+                   float* cols);
+
+// Scatter-add transpose of im2col: cols [C*kh*kw, out_h*out_w] accumulated
+// into input_grad [C,H,W] (caller zero-initializes input_grad).
+void col2im(const float* cols, const ConvGeom& g, float* input_grad);
+
+}  // namespace antidote

@@ -1,0 +1,177 @@
+#include "tensor/tensor.h"
+
+#include <cstring>
+#include <numeric>
+#include <sstream>
+
+#include "base/error.h"
+
+namespace antidote {
+
+namespace {
+int64_t checked_size(const std::vector<int>& shape) {
+  int64_t n = 1;
+  for (int d : shape) {
+    AD_CHECK_GT(d, 0) << " bad tensor dim";
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
+  size_ = checked_size(shape_);
+  data_ = std::shared_ptr<float[]>(new float[static_cast<size_t>(size_)]());
+}
+
+Tensor Tensor::zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::ones(std::vector<int> shape) {
+  return full(std::move(shape), 1.f);
+}
+
+Tensor Tensor::randn(std::vector<int> shape, Rng& rng, float mean,
+                     float stddev) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.size(); ++i) {
+    p[i] = static_cast<float>(rng.normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::rand_uniform(std::vector<int> shape, Rng& rng, float lo,
+                            float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.size(); ++i) p[i] = rng.uniform_float(lo, hi);
+  return t;
+}
+
+Tensor Tensor::from_values(std::vector<int> shape,
+                           std::initializer_list<float> values) {
+  Tensor t(std::move(shape));
+  AD_CHECK_EQ(static_cast<int64_t>(values.size()), t.size());
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+Tensor Tensor::from_vector(std::vector<int> shape,
+                           const std::vector<float>& values) {
+  Tensor t(std::move(shape));
+  AD_CHECK_EQ(static_cast<int64_t>(values.size()), t.size());
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+int Tensor::dim(int i) const {
+  const int n = ndim();
+  if (i < 0) i += n;
+  AD_CHECK(i >= 0 && i < n) << " dim index " << i << " for ndim " << n;
+  return shape_[static_cast<size_t>(i)];
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ",";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+float& Tensor::operator[](int64_t i) {
+  AD_CHECK(i >= 0 && i < size_) << " index " << i << " size " << size_;
+  return data_.get()[i];
+}
+
+float Tensor::operator[](int64_t i) const {
+  AD_CHECK(i >= 0 && i < size_) << " index " << i << " size " << size_;
+  return data_.get()[i];
+}
+
+namespace {
+int64_t flat_index(const std::vector<int>& shape,
+                   std::initializer_list<int> idx) {
+  AD_CHECK_EQ(idx.size(), shape.size());
+  int64_t flat = 0;
+  size_t d = 0;
+  for (int i : idx) {
+    AD_CHECK(i >= 0 && i < shape[d])
+        << " index " << i << " out of range for dim " << d << " size "
+        << shape[d];
+    flat = flat * shape[d] + i;
+    ++d;
+  }
+  return flat;
+}
+}  // namespace
+
+float& Tensor::at(std::initializer_list<int> idx) {
+  return data_.get()[flat_index(shape_, idx)];
+}
+
+float Tensor::at(std::initializer_list<int> idx) const {
+  return data_.get()[flat_index(shape_, idx)];
+}
+
+Tensor Tensor::reshape(std::vector<int> new_shape) const {
+  int64_t known = 1;
+  int wildcard = -1;
+  for (size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      AD_CHECK_EQ(wildcard, -1) << " multiple -1 dims in reshape";
+      wildcard = static_cast<int>(i);
+    } else {
+      AD_CHECK_GT(new_shape[i], 0);
+      known *= new_shape[i];
+    }
+  }
+  if (wildcard >= 0) {
+    AD_CHECK(known > 0 && size_ % known == 0)
+        << " cannot infer -1 dim: size " << size_ << " known " << known;
+    new_shape[static_cast<size_t>(wildcard)] = static_cast<int>(size_ / known);
+    known = size_;
+  }
+  AD_CHECK_EQ(known, size_) << " reshape " << shape_str() << " element count";
+  Tensor view;
+  view.shape_ = std::move(new_shape);
+  view.size_ = size_;
+  view.data_ = data_;
+  return view;
+}
+
+Tensor Tensor::clone() const {
+  Tensor copy;
+  copy.shape_ = shape_;
+  copy.size_ = size_;
+  if (size_ > 0) {
+    copy.data_ = std::shared_ptr<float[]>(new float[static_cast<size_t>(size_)]);
+    std::memcpy(copy.data_.get(), data_.get(),
+                static_cast<size_t>(size_) * sizeof(float));
+  }
+  return copy;
+}
+
+void Tensor::fill(float value) {
+  float* p = data_.get();
+  for (int64_t i = 0; i < size_; ++i) p[i] = value;
+}
+
+void Tensor::copy_from(const Tensor& src) {
+  AD_CHECK_EQ(src.size(), size_) << " copy_from size mismatch";
+  if (size_ > 0) {
+    std::memcpy(data_.get(), src.data(),
+                static_cast<size_t>(size_) * sizeof(float));
+  }
+}
+
+}  // namespace antidote

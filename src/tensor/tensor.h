@@ -1,0 +1,99 @@
+// Dense float32 tensor with row-major contiguous storage.
+//
+// Design choices (kept deliberately simple for a CNN workload):
+//  - Always contiguous; `reshape` returns a view sharing the buffer.
+//  - Copying a Tensor is a shallow (buffer-sharing) copy; use clone() for a
+//    deep copy. This mirrors the semantics of mainstream frameworks and
+//    makes passing tensors through layers cheap.
+//  - float32 only: everything in the paper is float32 CNN math.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace antidote {
+
+class Tensor {
+ public:
+  // Empty tensor (size 0, no dims).
+  Tensor() = default;
+
+  // Zero-initialized tensor of the given shape. All dims must be positive.
+  explicit Tensor(std::vector<int> shape);
+
+  static Tensor zeros(std::vector<int> shape);
+  static Tensor full(std::vector<int> shape, float value);
+  static Tensor ones(std::vector<int> shape);
+  // I.i.d. N(mean, stddev^2).
+  static Tensor randn(std::vector<int> shape, Rng& rng, float mean = 0.f,
+                      float stddev = 1.f);
+  // I.i.d. U[lo, hi).
+  static Tensor rand_uniform(std::vector<int> shape, Rng& rng, float lo,
+                             float hi);
+  // 1-d tensor from explicit values (handy in tests).
+  static Tensor from_values(std::vector<int> shape,
+                            std::initializer_list<float> values);
+  static Tensor from_vector(std::vector<int> shape,
+                            const std::vector<float>& values);
+
+  // --- shape ---
+  const std::vector<int>& shape() const { return shape_; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  // Dimension i; negative i counts from the end (-1 = last).
+  int dim(int i) const;
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+  std::string shape_str() const;
+
+  // --- data access ---
+  float* data() { return data_.get(); }
+  const float* data() const { return data_.get(); }
+  float& operator[](int64_t i);
+  float operator[](int64_t i) const;
+
+  // Multi-dim accessors (bounds-checked; for tests and slow paths).
+  float& at(std::initializer_list<int> idx);
+  float at(std::initializer_list<int> idx) const;
+
+  // Fast unchecked 4-d accessor for NCHW hot loops.
+  float& at4(int n, int c, int h, int w) {
+    return data_.get()[((static_cast<int64_t>(n) * shape_[1] + c) * shape_[2] + h) *
+                           shape_[3] +
+                       w];
+  }
+  float at4(int n, int c, int h, int w) const {
+    return data_.get()[((static_cast<int64_t>(n) * shape_[1] + c) * shape_[2] + h) *
+                           shape_[3] +
+                       w];
+  }
+
+  // --- shape manipulation ---
+  // View with a new shape; one dim may be -1 (inferred). Shares storage.
+  Tensor reshape(std::vector<int> new_shape) const;
+  // Deep copy.
+  Tensor clone() const;
+
+  // --- mutation ---
+  void fill(float value);
+  void zero() { fill(0.f); }
+  // Copies values from src (shapes must match element count).
+  void copy_from(const Tensor& src);
+
+  // True if both tensors share the same buffer.
+  bool shares_storage(const Tensor& other) const {
+    return data_ == other.data_;
+  }
+
+ private:
+  std::vector<int> shape_;
+  int64_t size_ = 0;
+  std::shared_ptr<float[]> data_;
+};
+
+}  // namespace antidote

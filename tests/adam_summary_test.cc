@@ -1,0 +1,116 @@
+// Adam optimizer and model summary.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/error.h"
+#include "base/rng.h"
+#include "models/factory.h"
+#include "models/summary.h"
+#include "nn/adam.h"
+#include "nn/layers.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace antidote {
+namespace {
+
+TEST(Adam, FirstStepMovesByLearningRate) {
+  // With bias correction, the very first Adam step is ±lr (up to eps).
+  nn::Parameter p("w", Tensor::from_values({2}, {1.f, -1.f}));
+  p.grad = Tensor::from_values({2}, {0.3f, -0.7f});
+  nn::Adam adam({&p}, {.lr = 0.01});
+  adam.step();
+  EXPECT_NEAR(p.value[0], 1.f - 0.01f, 1e-5f);
+  EXPECT_NEAR(p.value[1], -1.f + 0.01f, 1e-5f);
+  EXPECT_EQ(adam.steps_taken(), 1);
+}
+
+TEST(Adam, AdaptsToGradientScale) {
+  // Two coordinates with gradients of very different magnitude receive
+  // nearly equal-sized updates — the defining property vs plain SGD.
+  nn::Parameter p("w", Tensor::from_values({2}, {0.f, 0.f}));
+  nn::Adam adam({&p}, {.lr = 0.1});
+  for (int i = 0; i < 50; ++i) {
+    p.grad = Tensor::from_values({2}, {100.f, 0.01f});
+    adam.step();
+  }
+  EXPECT_NEAR(p.value[0] / p.value[1], 1.0, 0.2);
+}
+
+TEST(Adam, WeightDecayRespectsDecayFlag) {
+  nn::Parameter decayed("w", Tensor::from_values({1}, {1.f}));
+  nn::Parameter frozen("b", Tensor::from_values({1}, {1.f}),
+                       /*weight_decay=*/false);
+  nn::Adam adam({&decayed, &frozen}, {.lr = 0.1, .weight_decay = 1.0});
+  adam.zero_grad();
+  adam.step();
+  EXPECT_LT(decayed.value[0], 1.f);
+  EXPECT_FLOAT_EQ(frozen.value[0], 1.f);
+}
+
+TEST(Adam, TrainsALinearClassifier) {
+  Rng rng(60);
+  const int n = 32;
+  Tensor x({n, 4});
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) {
+    const int cls = i % 2;
+    labels[static_cast<size_t>(i)] = cls;
+    for (int j = 0; j < 4; ++j) {
+      x.at({i, j}) = static_cast<float>(rng.normal(cls ? 1.0 : -1.0, 0.4));
+    }
+  }
+  nn::Linear fc(4, 2);
+  nn::init_module(fc, rng);
+  nn::Adam adam(fc.parameters(), {.lr = 0.05});
+  nn::SoftmaxCrossEntropy loss;
+  for (int step = 0; step < 60; ++step) {
+    adam.zero_grad();
+    loss.forward(fc.forward(x), labels);
+    fc.backward(loss.backward());
+    adam.step();
+  }
+  EXPECT_GT(ops::accuracy(fc.forward(x), labels), 0.95);
+}
+
+TEST(Adam, ValidatesOptions) {
+  nn::Parameter p("w", Tensor({1}));
+  EXPECT_THROW(nn::Adam({&p}, {.beta1 = 1.0}), Error);
+  EXPECT_THROW(nn::Adam({&p}, {.eps = 0.0}), Error);
+}
+
+TEST(Summary, RowsAndTotalsAreConsistent) {
+  Rng rng(61);
+  auto net = models::make_model("small_cnn", 4, 1.f, rng);
+  const models::ModelSummary s = models::summarize(*net, 3, 16, 16);
+  ASSERT_EQ(s.rows.size(), 3u);  // conv0, conv1, fc
+  EXPECT_EQ(s.rows[0].type, "Conv2d");
+  EXPECT_EQ(s.rows[2].type, "Linear");
+  // conv0: 3*8*9 weights; fc: 16*4 + 4.
+  EXPECT_EQ(s.rows[0].parameters, 216);
+  EXPECT_EQ(s.rows[2].parameters, 68);
+  // Totals include BatchNorm parameters not shown as rows.
+  EXPECT_EQ(s.total_parameters, 216 + 16 + 1152 + 32 + 68);
+  int64_t macs = 0;
+  for (const auto& r : s.rows) macs += r.macs;
+  EXPECT_EQ(macs, s.total_macs);
+  // Rendering includes a totals line.
+  EXPECT_NE(s.to_string().find("total"), std::string::npos);
+}
+
+TEST(Summary, MatchesPaperVggMagnitude) {
+  Rng rng(62);
+  auto net = models::make_model("vgg16", 10, 1.f, rng);
+  const models::ModelSummary s = models::summarize(*net, 3, 32, 32);
+  EXPECT_EQ(s.rows.size(), 14u);
+  EXPECT_NEAR(static_cast<double>(s.total_macs), 3.13e8, 0.03e8);
+  // VGG16 (conv-only variant) is ~14.7M parameters at width 1.0.
+  EXPECT_GT(s.total_parameters, 14e6);
+  EXPECT_LT(s.total_parameters, 16e6);
+}
+
+}  // namespace
+}  // namespace antidote

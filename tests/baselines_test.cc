@@ -1,0 +1,305 @@
+// Static-pruning baselines: criteria, stats gate, pruner pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/error.h"
+#include "base/rng.h"
+#include "baselines/criteria.h"
+#include "baselines/fbs_gate.h"
+#include "baselines/static_pruner.h"
+#include "baselines/stats_gate.h"
+#include "core/evaluate.h"
+#include "core/mask.h"
+#include "data/synthetic.h"
+#include "core/trainer.h"
+#include "models/flops.h"
+#include "models/small_cnn.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace antidote::baselines {
+namespace {
+
+std::unique_ptr<models::SmallCnn> make_net() {
+  models::SmallCnnConfig cfg;
+  cfg.num_classes = 4;
+  cfg.widths = {8, 16};
+  auto net = std::make_unique<models::SmallCnn>(cfg);
+  Rng rng(31);
+  nn::init_module(*net, rng);
+  return net;
+}
+
+data::DatasetPair tiny_data() {
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.height = spec.width = 12;
+  spec.train_size = 32;
+  spec.test_size = 16;
+  return data::make_synthetic_pair(spec);
+}
+
+TEST(Criteria, L1ScoresMatchFilterNorms) {
+  nn::Conv2d conv(2, 3, 3, 1, 1, false);
+  conv.weight().value.zero();
+  // Filter 1 gets weight magnitude 2 everywhere -> largest L1.
+  for (int i = 0; i < 2 * 9; ++i) {
+    conv.weight().value[1 * 2 * 9 + i] = 2.f;
+    conv.weight().value[2 * 2 * 9 + i] = -1.f;
+  }
+  Rng rng(1);
+  const auto l1 = weight_filter_scores(conv, StaticCriterion::kL1, rng);
+  EXPECT_FLOAT_EQ(l1[0], 0.f);
+  EXPECT_FLOAT_EQ(l1[1], 36.f);
+  EXPECT_FLOAT_EQ(l1[2], 18.f);
+  const auto l2 = weight_filter_scores(conv, StaticCriterion::kL2, rng);
+  EXPECT_NEAR(l2[1], std::sqrt(18.f * 4.f), 1e-4f);
+}
+
+TEST(Criteria, GeometricMedianFindsTheOutlier) {
+  nn::Conv2d conv(1, 3, 1, 1, 0, false);
+  // Filters at positions 0, 0.1, and 10: the outlier has the largest total
+  // distance (most important under GM), the middle one the smallest.
+  conv.weight().value[0] = 0.f;
+  conv.weight().value[1] = 0.1f;
+  conv.weight().value[2] = 10.f;
+  Rng rng(2);
+  const auto gm = weight_filter_scores(conv, StaticCriterion::kGeometricMedian,
+                                       rng);
+  EXPECT_GT(gm[2], gm[0]);
+  EXPECT_GT(gm[0], 0.f);
+  EXPECT_LT(gm[1], gm[0] + 1e-6f);  // middle filter is most redundant
+}
+
+TEST(Criteria, RandomScoresAreSeeded) {
+  nn::Conv2d conv(1, 8, 1, 1, 0, false);
+  Rng r1(5), r2(5);
+  EXPECT_EQ(weight_filter_scores(conv, StaticCriterion::kRandom, r1),
+            weight_filter_scores(conv, StaticCriterion::kRandom, r2));
+}
+
+TEST(Criteria, DataDrivenCriteriaRejectWeightOnlyPath) {
+  nn::Conv2d conv(1, 2, 1, 1, 0, false);
+  Rng rng(1);
+  EXPECT_THROW(weight_filter_scores(conv, StaticCriterion::kTaylor, rng),
+               Error);
+  EXPECT_TRUE(criterion_needs_data(StaticCriterion::kTaylor));
+  EXPECT_TRUE(criterion_needs_data(StaticCriterion::kActivation));
+  EXPECT_FALSE(criterion_needs_data(StaticCriterion::kL1));
+}
+
+TEST(StatsGate, AccumulatesActivationMeans) {
+  ChannelStatsGate gate(2);
+  Tensor x({1, 2, 2, 2});
+  for (int j = 0; j < 4; ++j) {
+    x.at({0, 0, j / 2, j % 2}) = 1.f;
+    x.at({0, 1, j / 2, j % 2}) = -3.f;
+  }
+  gate.forward(x);
+  gate.forward(x);
+  const auto act = gate.mean_abs_activation();
+  EXPECT_FLOAT_EQ(act[0], 1.f);
+  EXPECT_FLOAT_EQ(act[1], 3.f);
+  EXPECT_EQ(gate.samples_seen(), 2);
+}
+
+TEST(StatsGate, TaylorPairsActivationWithGradient) {
+  ChannelStatsGate gate(2);
+  Tensor x({1, 2, 1, 1});
+  x.at({0, 0, 0, 0}) = 2.f;
+  x.at({0, 1, 0, 0}) = 2.f;
+  gate.forward(x);
+  Tensor dy({1, 2, 1, 1});
+  dy.at({0, 0, 0, 0}) = 0.f;   // channel 0: no gradient -> taylor 0
+  dy.at({0, 1, 0, 0}) = 3.f;   // channel 1: |2*3| = 6
+  gate.backward(dy);
+  const auto taylor = gate.mean_abs_taylor();
+  EXPECT_FLOAT_EQ(taylor[0], 0.f);
+  EXPECT_FLOAT_EQ(taylor[1], 6.f);
+}
+
+TEST(StatsGate, ForwardIsIdentity) {
+  ChannelStatsGate gate(3);
+  Rng rng(3);
+  Tensor x = Tensor::randn({2, 3, 4, 4}, rng);
+  Tensor y = gate.forward(x);
+  EXPECT_TRUE(ops::allclose(y, x, 0.f, 0.f));
+}
+
+class StaticPrunerTest : public ::testing::TestWithParam<StaticCriterion> {};
+
+TEST_P(StaticPrunerTest, PipelineReducesFlopsAndKeepsModelFunctional) {
+  auto net = make_net();
+  const auto pair = tiny_data();
+  const auto dense = models::measure_dense_flops(*net, 3, 12, 12);
+
+  StaticPruneConfig cfg;
+  cfg.criterion = GetParam();
+  cfg.drop_per_block = {0.5f, 0.5f};
+  cfg.calibration_batches = 2;
+  cfg.calibration_batch_size = 8;
+  StaticPruner pruner(*net, cfg);
+  pruner.prune(*pair.train);
+
+  ASSERT_EQ(pruner.kept_per_site().size(), 2u);
+  EXPECT_EQ(pruner.kept_per_site()[0].size(), 4u);  // 8 * (1-0.5)
+  EXPECT_EQ(pruner.kept_per_site()[1].size(), 8u);  // 16 * (1-0.5)
+
+  const core::EvalResult result = pruner.evaluate_pruned(*pair.test, 8);
+  EXPECT_EQ(result.samples, 16);
+  EXPECT_LT(result.mean_macs_per_sample,
+            0.8 * static_cast<double>(dense.total_macs));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCriteria, StaticPrunerTest,
+    ::testing::Values(StaticCriterion::kL1, StaticCriterion::kL2,
+                      StaticCriterion::kTaylor,
+                      StaticCriterion::kGeometricMedian,
+                      StaticCriterion::kActivation, StaticCriterion::kRandom),
+    [](const ::testing::TestParamInfo<StaticCriterion>& info) {
+      return criterion_name(info.param);
+    });
+
+TEST(StaticPruner, PrunedFiltersAreZeroedAndStayZeroThroughFinetune) {
+  auto net = make_net();
+  const auto pair = tiny_data();
+  StaticPruneConfig cfg;
+  cfg.criterion = StaticCriterion::kL1;
+  cfg.drop_per_block = {0.5f, 0.25f};
+  StaticPruner pruner(*net, cfg);
+  pruner.prune(*pair.train);
+
+  core::TrainConfig ft;
+  ft.epochs = 2;
+  ft.batch_size = 16;
+  ft.base_lr = 0.05;
+  ft.augment = false;
+  pruner.finetune(*pair.train, ft);
+
+  // Every pruned filter's weights must still be exactly zero.
+  for (int s = 0; s < net->num_gate_sites(); ++s) {
+    nn::Conv2d* conv = net->gate_producer(s);
+    const auto keep = core::kept_to_mask(pruner.kept_per_site()[s],
+                                         conv->out_channels());
+    const Tensor& w = conv->weight().value;
+    const int64_t fsize = w.size() / conv->out_channels();
+    for (int f = 0; f < conv->out_channels(); ++f) {
+      if (keep[static_cast<size_t>(f)]) continue;
+      for (int64_t i = 0; i < fsize; ++i) {
+        ASSERT_EQ(w[static_cast<int64_t>(f) * fsize + i], 0.f)
+            << "site " << s << " filter " << f;
+      }
+    }
+  }
+}
+
+TEST(StaticPruner, KeptSetIsStaticAcrossBatches) {
+  auto net = make_net();
+  const auto pair = tiny_data();
+  StaticPruneConfig cfg;
+  cfg.criterion = StaticCriterion::kL1;
+  cfg.drop_per_block = {0.5f, 0.5f};
+  StaticPruner pruner(*net, cfg);
+  pruner.prune(*pair.train);
+  const auto kept_before = pruner.kept_per_site();
+  pruner.evaluate_pruned(*pair.test, 4);
+  EXPECT_EQ(pruner.kept_per_site(), kept_before);
+}
+
+// --- FBS-style learned dynamic gate (related-work baseline) ---
+
+TEST(FbsGate, KeepsTopSaliencyChannelsAndScalesThem) {
+  FbsGate gate(4, 0.5f, nullptr, /*seed=*/7);
+  gate.set_training(false);
+  // Identity saliency: W = I, b = 0 -> saliency == channel mean.
+  gate.parameters()[0]->value.zero();
+  for (int i = 0; i < 4; ++i) {
+    gate.parameters()[0]->value.at({i, i}) = 1.f;
+  }
+  gate.parameters()[1]->value.zero();
+
+  Tensor x({1, 4, 1, 1});
+  for (int c = 0; c < 4; ++c) x.at({0, c, 0, 0}) = static_cast<float>(c + 1);
+  Tensor y = gate.forward(x);
+  // Channels 2,3 kept (means 3,4) and boosted by their saliency.
+  EXPECT_EQ(gate.last_masks()[0].channels, (std::vector<int>{2, 3}));
+  EXPECT_FLOAT_EQ(y.at({0, 0, 0, 0}), 0.f);
+  EXPECT_FLOAT_EQ(y.at({0, 2, 0, 0}), 3.f * 3.f);
+  EXPECT_FLOAT_EQ(y.at({0, 3, 0, 0}), 4.f * 4.f);
+}
+
+TEST(FbsGate, EvalForwardsMasksToConsumer) {
+  nn::Conv2d consumer(4, 2, 3, 1, 1, false);
+  FbsGate gate(4, 0.5f, &consumer);
+  gate.set_training(false);
+  Rng rng(8);
+  Tensor x = Tensor::randn({2, 4, 3, 3}, rng);
+  gate.forward(x);
+  EXPECT_TRUE(consumer.has_pending_masks());
+}
+
+TEST(FbsGate, DisabledIsIdentity) {
+  FbsGate gate(3, 0.5f, nullptr);
+  gate.set_enabled(false);
+  Rng rng(9);
+  Tensor x = Tensor::randn({1, 3, 2, 2}, rng);
+  Tensor y = gate.forward(x);
+  EXPECT_TRUE(ops::allclose(y, x, 0.f, 0.f));
+}
+
+TEST(FbsGate, GradientsMatchFiniteDifferencesAtZeroDrop) {
+  // With drop_ratio 0 the gate is x * relu(W gap(x) + b): smooth except at
+  // ReLU kinks, so finite differences validate both input and parameter
+  // gradients (the positive bias keeps saliencies away from the kink).
+  Rng rng(10);
+  FbsGate gate(3, 0.f, nullptr, /*seed=*/11);
+  gate.set_training(true);
+  Tensor x = Tensor::randn({2, 3, 3, 3}, rng, 0.5f, 0.5f);
+  antidote::testing::check_input_gradient(gate, x, rng, 1e-3f, 5e-2f);
+  antidote::testing::check_parameter_gradients(gate, x, rng, 1e-3f, 5e-2f);
+}
+
+TEST(FbsGate, SaliencyPredictorTrainsJointly) {
+  // Install an FbsGate in a SmallCnn and verify the whole thing — saliency
+  // predictor included — trains end to end.
+  auto net = make_net();
+  nn::Conv2d* consumer = net->gate_consumer(0);
+  auto gate = std::make_unique<FbsGate>(
+      net->gate_producer(0)->out_channels(), 0.25f, consumer);
+  FbsGate* raw = gate.get();
+  net->install_gate(0, std::move(gate));
+
+  const auto pair = tiny_data();
+  core::TrainConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 16;
+  tc.augment = false;
+  core::Trainer trainer(*net, *pair.train, tc);
+  const Tensor w_before = raw->parameters()[0]->value.clone();
+  const auto history = trainer.fit();
+  EXPECT_LT(history.back().loss, history.front().loss);
+  // The saliency weights moved: the predictor actually participates.
+  EXPECT_GT(ops::max_abs_diff(raw->parameters()[0]->value, w_before), 1e-6f);
+}
+
+TEST(StaticPruner, GuardsAgainstMisuse) {
+  auto net = make_net();
+  const auto pair = tiny_data();
+  StaticPruneConfig cfg;
+  cfg.drop_per_block = {0.5f, 0.5f};
+  StaticPruner pruner(*net, cfg);
+  EXPECT_THROW(pruner.evaluate_pruned(*pair.test), Error);  // before prune
+  pruner.prune(*pair.train);
+  EXPECT_THROW(pruner.prune(*pair.train), Error);  // twice
+
+  StaticPruneConfig bad;
+  bad.drop_per_block = {0.5f};  // wrong block count
+  auto net2 = make_net();
+  EXPECT_THROW(StaticPruner(*net2, bad), Error);
+}
+
+}  // namespace
+}  // namespace antidote::baselines

@@ -1,0 +1,151 @@
+// FlagSet parser and antidote_cli commands (driven in process).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "base/error.h"
+#include "base/flags.h"
+#include "tools/cli.h"
+
+namespace antidote {
+namespace {
+
+// --- FlagSet ---
+
+TEST(Flags, TypedDefaultsAndParsing) {
+  FlagSet flags("prog");
+  flags.add_string("name", "dflt", "a string");
+  flags.add_int("count", 3, "an int");
+  flags.add_double("ratio", 0.5, "a double");
+  flags.add_bool("verbose", false, "a bool");
+  flags.add_float_list("drops", "", "ratios");
+
+  EXPECT_EQ(flags.get_string("name"), "dflt");
+  EXPECT_EQ(flags.get_int("count"), 3);
+
+  const auto positional = flags.parse(
+      {"pos1", "--name=abc", "--count", "7", "--verbose", "--ratio=0.25",
+       "--drops=0.1,0.2,0.3", "pos2"});
+  EXPECT_EQ(positional, (std::vector<std::string>{"pos1", "pos2"}));
+  EXPECT_EQ(flags.get_string("name"), "abc");
+  EXPECT_EQ(flags.get_int("count"), 7);
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio"), 0.25);
+  EXPECT_TRUE(flags.get_bool("verbose"));
+  EXPECT_EQ(flags.get_float_list("drops"),
+            (std::vector<float>{0.1f, 0.2f, 0.3f}));
+}
+
+TEST(Flags, RejectsUnknownFlagAndBadValues) {
+  FlagSet flags("prog");
+  flags.add_int("n", 1, "");
+  flags.add_bool("b", false, "");
+  EXPECT_THROW(flags.parse({"--nope=1"}), Error);
+  EXPECT_THROW(flags.parse({"--n=abc"}), Error);
+  EXPECT_THROW(flags.parse({"--b=maybe"}), Error);
+  EXPECT_THROW(flags.parse({"--n"}), Error);  // missing value
+}
+
+TEST(Flags, HelpFlagAndUsage) {
+  FlagSet flags("prog");
+  flags.add_int("n", 1, "the n flag");
+  flags.parse({"--help"});
+  EXPECT_TRUE(flags.help_requested());
+  const std::string usage = flags.usage();
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("the n flag"), std::string::npos);
+}
+
+TEST(Flags, FloatListParsing) {
+  EXPECT_TRUE(FlagSet::parse_float_list("").empty());
+  EXPECT_EQ(FlagSet::parse_float_list("0.5"), (std::vector<float>{0.5f}));
+  EXPECT_THROW(FlagSet::parse_float_list("0.1,abc"), Error);
+  EXPECT_THROW(FlagSet::parse_float_list("0.1x,0.2"), Error);
+}
+
+TEST(Flags, TypeMismatchOnAccessThrows) {
+  FlagSet flags("prog");
+  flags.add_int("n", 1, "");
+  EXPECT_THROW(flags.get_string("n"), Error);
+  EXPECT_THROW(flags.get_int("missing"), Error);
+}
+
+// --- CLI commands ---
+
+TEST(Cli, NoArgsPrintsUsageAndFails) {
+  EXPECT_EQ(cli::run_cli({}), 1);
+  EXPECT_EQ(cli::run_cli({"--help"}), 0);
+  EXPECT_EQ(cli::run_cli({"frobnicate"}), 1);
+}
+
+TEST(Cli, SummaryRuns) {
+  EXPECT_EQ(cli::run_cli({"summary", "--model=small_cnn"}), 0);
+  EXPECT_EQ(cli::run_cli({"summary", "--help"}), 0);
+  EXPECT_EQ(cli::run_cli({"summary", "--model=unknown_model"}), 1);
+}
+
+TEST(Cli, TrainEvalRoundTripThroughCheckpoint) {
+  const std::string ckpt = ::testing::TempDir() + "/antidote_cli_test.ckpt";
+  const std::vector<std::string> data_flags = {
+      "--model=small_cnn", "--classes=3",   "--image-size=12",
+      "--train-size=48",   "--test-size=24", "--batch=16"};
+
+  std::vector<std::string> train = {"train", "--epochs=2", "--out=" + ckpt};
+  train.insert(train.end(), data_flags.begin(), data_flags.end());
+  ASSERT_EQ(cli::run_cli(train), 0);
+  ASSERT_TRUE(std::filesystem::exists(ckpt));
+
+  std::vector<std::string> eval = {"eval", "--ckpt=" + ckpt,
+                                   "--channel-drop=0.5"};
+  eval.insert(eval.end(), data_flags.begin(), data_flags.end());
+  EXPECT_EQ(cli::run_cli(eval), 0);
+
+  // Random-order pruning and broadcast ratios work too.
+  std::vector<std::string> eval2 = {"eval", "--ckpt=" + ckpt,
+                                    "--channel-drop=0.5", "--order=random"};
+  eval2.insert(eval2.end(), data_flags.begin(), data_flags.end());
+  EXPECT_EQ(cli::run_cli(eval2), 0);
+
+  std::filesystem::remove(ckpt);
+}
+
+TEST(Cli, TtdAndSensitivityRun) {
+  const std::string ckpt = ::testing::TempDir() + "/antidote_cli_ttd.ckpt";
+  const std::vector<std::string> data_flags = {
+      "--model=small_cnn", "--classes=3",   "--image-size=12",
+      "--train-size=32",   "--test-size=16", "--batch=16"};
+
+  std::vector<std::string> ttd = {"ttd",          "--channel-drop=0.4",
+                                  "--warmup=0.2", "--step=0.2",
+                                  "--epochs=1",   "--final-epochs=1",
+                                  "--out=" + ckpt};
+  ttd.insert(ttd.end(), data_flags.begin(), data_flags.end());
+  ASSERT_EQ(cli::run_cli(ttd), 0);
+
+  std::vector<std::string> sens = {"sensitivity", "--ckpt=" + ckpt,
+                                   "--per-site"};
+  sens.insert(sens.end(), data_flags.begin(), data_flags.end());
+  EXPECT_EQ(cli::run_cli(sens), 0);
+  std::filesystem::remove(ckpt);
+}
+
+TEST(Cli, EvalRequiresCheckpoint) {
+  EXPECT_EQ(cli::run_cli({"eval", "--model=small_cnn"}), 1);
+}
+
+TEST(Cli, BadRatioCountFails) {
+  const std::string ckpt = ::testing::TempDir() + "/antidote_cli_bad.ckpt";
+  ASSERT_EQ(cli::run_cli({"train", "--model=small_cnn", "--classes=2",
+                          "--image-size=12", "--train-size=16",
+                          "--test-size=8", "--epochs=1", "--out=" + ckpt}),
+            0);
+  // small_cnn has 2 blocks; 3 ratio entries must be rejected.
+  EXPECT_EQ(cli::run_cli({"eval", "--ckpt=" + ckpt, "--model=small_cnn",
+                          "--classes=2", "--image-size=12",
+                          "--train-size=16", "--test-size=8",
+                          "--channel-drop=0.1,0.2,0.3"}),
+            1);
+  std::filesystem::remove(ckpt);
+}
+
+}  // namespace
+}  // namespace antidote

@@ -1,0 +1,273 @@
+// DynamicPruningEngine: per-block gate installation, settings updates,
+// FLOPs measurement through masked execution, evaluation, sensitivity
+// sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/error.h"
+#include "base/rng.h"
+#include "core/engine.h"
+#include "core/evaluate.h"
+#include "core/sensitivity.h"
+#include "data/synthetic.h"
+#include "models/factory.h"
+#include "models/flops.h"
+#include "models/small_cnn.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace antidote::core {
+namespace {
+
+std::unique_ptr<models::SmallCnn> make_net(bool pool = true) {
+  models::SmallCnnConfig cfg;
+  cfg.num_classes = 4;
+  cfg.widths = {8, 16, 16};
+  cfg.pool_after = {pool, false, pool};
+  auto net = std::make_unique<models::SmallCnn>(cfg);
+  Rng rng(11);
+  nn::init_module(*net, rng);
+  return net;
+}
+
+TEST(PruneSettings, UniformAndTransforms) {
+  PruneSettings s = PruneSettings::uniform(3, 0.4f, 0.8f);
+  EXPECT_EQ(s.channel_drop, (std::vector<float>{0.4f, 0.4f, 0.4f}));
+  EXPECT_EQ(s.spatial_drop, (std::vector<float>{0.8f, 0.8f, 0.8f}));
+  PruneSettings capped = s.clamped(0.5f);
+  EXPECT_EQ(capped.spatial_drop[0], 0.5f);
+  EXPECT_EQ(capped.channel_drop[0], 0.4f);
+  EXPECT_EQ(s.channel_only().spatial_drop[1], 0.f);
+  EXPECT_EQ(s.spatial_only().channel_drop[1], 0.f);
+}
+
+TEST(Engine, InstallsOneGatePerSite) {
+  auto net = make_net();
+  DynamicPruningEngine engine(*net, PruneSettings::uniform(3, 0.5f, 0.f));
+  EXPECT_EQ(engine.gates().size(), 3u);
+  for (int s = 0; s < net->num_gate_sites(); ++s) {
+    EXPECT_EQ(net->gate(s), engine.gate(s));
+    EXPECT_EQ(engine.gate(s)->consumer(), net->gate_consumer(s));
+  }
+  engine.remove();
+  EXPECT_EQ(net->gate(0), nullptr);
+}
+
+TEST(Engine, RejectsWrongBlockCount) {
+  auto net = make_net();
+  EXPECT_THROW(DynamicPruningEngine(*net,
+                                    PruneSettings::uniform(2, 0.5f, 0.f)),
+               Error);
+}
+
+TEST(Engine, PerBlockRatiosReachTheRightGates) {
+  auto net = make_net();
+  PruneSettings s = PruneSettings::uniform(3, 0.f, 0.f);
+  s.channel_drop = {0.1f, 0.5f, 0.9f};
+  DynamicPruningEngine engine(*net, s);
+  EXPECT_FLOAT_EQ(engine.gate(0)->config().channel_drop, 0.1f);
+  EXPECT_FLOAT_EQ(engine.gate(1)->config().channel_drop, 0.5f);
+  EXPECT_FLOAT_EQ(engine.gate(2)->config().channel_drop, 0.9f);
+
+  s.channel_drop = {0.2f, 0.2f, 0.2f};
+  engine.apply_settings(s);
+  EXPECT_FLOAT_EQ(engine.gate(2)->config().channel_drop, 0.2f);
+}
+
+TEST(Engine, SiteOverridesBeatBlockRatios) {
+  auto net = make_net();
+  PruneSettings s = PruneSettings::uniform(3, 0.5f, 0.f);
+  s.site_overrides = {SiteOverride{1, 0.9f, 0.25f}};
+  DynamicPruningEngine engine(*net, s);
+  EXPECT_FLOAT_EQ(engine.gate(0)->config().channel_drop, 0.5f);
+  EXPECT_FLOAT_EQ(engine.gate(1)->config().channel_drop, 0.9f);
+  EXPECT_FLOAT_EQ(engine.gate(1)->config().spatial_drop, 0.25f);
+  // clamped() applies to overrides too.
+  const PruneSettings capped = s.clamped(0.3f);
+  EXPECT_FLOAT_EQ(capped.site_overrides[0].channel_drop, 0.3f);
+  // channel_only() zeroes the override's spatial part.
+  EXPECT_FLOAT_EQ(s.channel_only().site_overrides[0].spatial_drop, 0.f);
+}
+
+TEST(Engine, SoftModePropagatesToGates) {
+  auto net = make_net();
+  PruneSettings s = PruneSettings::uniform(3, 0.5f, 0.f);
+  s.mode = GateMode::kSoftSigmoid;
+  DynamicPruningEngine engine(*net, s);
+  EXPECT_EQ(engine.gate(0)->config().mode, GateMode::kSoftSigmoid);
+  // Soft mode never reduces measured FLOPs.
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.height = spec.width = 12;
+  spec.train_size = 8;
+  spec.test_size = 8;
+  const auto pair = data::make_synthetic_pair(spec);
+  const auto dense = models::measure_dense_flops(*net, 3, 12, 12);
+  const EvalResult soft = evaluate(*net, *pair.test, 8);
+  EXPECT_DOUBLE_EQ(soft.mean_macs_per_sample,
+                   static_cast<double>(dense.total_macs));
+}
+
+TEST(Engine, MaskedEvalReducesMeasuredFlops) {
+  auto net = make_net();
+  const auto dense = models::measure_dense_flops(*net, 3, 12, 12);
+
+  const auto pair_spec = [] {
+    data::SyntheticSpec s;
+    s.num_classes = 4;
+    s.height = s.width = 12;
+    s.train_size = 8;
+    s.test_size = 16;
+    return s;
+  }();
+  const auto pair = data::make_synthetic_pair(pair_spec);
+
+  DynamicPruningEngine engine(*net, PruneSettings::uniform(3, 0.5f, 0.f));
+  const EvalResult gated = evaluate(*net, *pair.test, 8);
+  EXPECT_GT(gated.mean_macs_per_sample, 0.0);
+  EXPECT_LT(gated.mean_macs_per_sample,
+            0.8 * static_cast<double>(dense.total_macs));
+
+  // Disabling the gates restores the dense FLOPs exactly.
+  engine.set_enabled(false);
+  const EvalResult plain = evaluate(*net, *pair.test, 8);
+  EXPECT_DOUBLE_EQ(plain.mean_macs_per_sample,
+                   static_cast<double>(dense.total_macs));
+}
+
+TEST(Engine, SpatialPruningReducesFlopsOnAlignedSites) {
+  auto net = make_net(/*pool=*/false);  // all sites spatially aligned
+  const auto dense = models::measure_dense_flops(*net, 3, 12, 12);
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.height = spec.width = 12;
+  spec.train_size = 8;
+  spec.test_size = 8;
+  const auto pair = data::make_synthetic_pair(spec);
+
+  DynamicPruningEngine engine(*net, PruneSettings::uniform(3, 0.f, 0.5f));
+  const EvalResult gated = evaluate(*net, *pair.test, 8);
+  EXPECT_LT(gated.mean_macs_per_sample,
+            0.85 * static_cast<double>(dense.total_macs));
+}
+
+TEST(Engine, MeasureDenseFlopsBypassesInstalledGates) {
+  auto net = make_net();
+  const auto before = models::measure_dense_flops(*net, 3, 12, 12);
+  DynamicPruningEngine engine(*net, PruneSettings::uniform(3, 0.9f, 0.f));
+  const auto with_gates = models::measure_dense_flops(*net, 3, 12, 12);
+  EXPECT_EQ(before.total_macs, with_gates.total_macs);
+  // Gates re-enabled afterwards.
+  EXPECT_TRUE(engine.gate(0)->enabled());
+}
+
+TEST(Engine, KeepStatsReflectRatios) {
+  auto net = make_net();
+  DynamicPruningEngine engine(*net, PruneSettings::uniform(3, 0.5f, 0.f));
+  net->set_training(false);
+  Rng rng(3);
+  Tensor x = Tensor::randn({2, 3, 12, 12}, rng);
+  net->forward(x);
+  const auto stats = engine.last_keep_stats();
+  EXPECT_NEAR(stats.mean_channel_keep, 0.5, 0.01);
+  EXPECT_DOUBLE_EQ(stats.mean_spatial_keep, 1.0);
+}
+
+TEST(Evaluate, ReportsAccuracyLossAndSamples) {
+  auto net = make_net();
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.height = spec.width = 12;
+  spec.train_size = 8;
+  spec.test_size = 20;
+  const auto pair = data::make_synthetic_pair(spec);
+  const EvalResult r = evaluate(*net, *pair.test, 8);
+  EXPECT_EQ(r.samples, 20);
+  EXPECT_GE(r.accuracy, 0.0);
+  EXPECT_LE(r.accuracy, 1.0);
+  EXPECT_GT(r.mean_loss, 0.0);
+}
+
+TEST(Evaluate, RestoresTrainingFlag) {
+  auto net = make_net();
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.height = spec.width = 12;
+  spec.train_size = 8;
+  spec.test_size = 8;
+  const auto pair = data::make_synthetic_pair(spec);
+  net->set_training(true);
+  evaluate(*net, *pair.test, 4);
+  EXPECT_TRUE(net->is_training());
+}
+
+TEST(Sensitivity, BlockSweepShapesAndCleanup) {
+  auto net = make_net();
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.height = spec.width = 12;
+  spec.train_size = 8;
+  spec.test_size = 12;
+  const auto pair = data::make_synthetic_pair(spec);
+
+  SensitivitySweep sweep;
+  sweep.ratios = {0.2f, 0.8f};
+  sweep.batch_size = 6;
+  const auto curves = block_sensitivity(*net, *pair.test, sweep);
+  ASSERT_EQ(curves.size(), 3u);
+  for (const auto& c : curves) {
+    EXPECT_EQ(c.ratios.size(), 2u);
+    EXPECT_EQ(c.accuracy.size(), 2u);
+  }
+  // Gates removed afterwards.
+  for (int s = 0; s < net->num_gate_sites(); ++s) {
+    EXPECT_EQ(net->gate(s), nullptr);
+  }
+}
+
+TEST(Sensitivity, SiteSweepCoversEverySite) {
+  auto net = make_net();
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.height = spec.width = 12;
+  spec.train_size = 8;
+  spec.test_size = 12;
+  const auto pair = data::make_synthetic_pair(spec);
+
+  SensitivitySweep sweep;
+  sweep.ratios = {0.5f};
+  sweep.batch_size = 6;
+  const auto curves = site_sensitivity(*net, *pair.test, sweep);
+  ASSERT_EQ(static_cast<int>(curves.size()), net->num_gate_sites());
+  for (int s = 0; s < net->num_gate_sites(); ++s) {
+    EXPECT_EQ(curves[static_cast<size_t>(s)].block, s);
+    EXPECT_EQ(curves[static_cast<size_t>(s)].accuracy.size(), 1u);
+  }
+  for (int s = 0; s < net->num_gate_sites(); ++s) {
+    EXPECT_EQ(net->gate(s), nullptr);  // cleaned up
+  }
+}
+
+TEST(Sensitivity, OrderComparisonProducesThreeCurves) {
+  auto net = make_net();
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.height = spec.width = 12;
+  spec.train_size = 8;
+  spec.test_size = 12;
+  const auto pair = data::make_synthetic_pair(spec);
+
+  SensitivitySweep sweep;
+  sweep.ratios = {0.5f};
+  sweep.batch_size = 6;
+  const auto curves = order_comparison(*net, *pair.test, 2, sweep);
+  ASSERT_EQ(curves.size(), 3u);
+  EXPECT_EQ(curves[0].order, MaskOrder::kAttention);
+  EXPECT_EQ(curves[1].order, MaskOrder::kRandom);
+  EXPECT_EQ(curves[2].order, MaskOrder::kInverseAttention);
+  EXPECT_THROW(order_comparison(*net, *pair.test, 7, sweep), Error);
+}
+
+}  // namespace
+}  // namespace antidote::core

@@ -1,0 +1,226 @@
+// Trainer and TTD (training with targeted dropout + ratio ascent).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.h"
+#include "core/evaluate.h"
+#include "core/trainer.h"
+#include "core/ttd.h"
+#include "data/synthetic.h"
+#include "models/factory.h"
+#include "models/small_cnn.h"
+#include "nn/init.h"
+
+namespace antidote::core {
+namespace {
+
+data::DatasetPair tiny_data(int train = 64, int test = 32) {
+  data::SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.height = spec.width = 12;
+  spec.train_size = train;
+  spec.test_size = test;
+  spec.noise_std = 0.15f;
+  return data::make_synthetic_pair(spec);
+}
+
+std::unique_ptr<models::SmallCnn> make_net() {
+  models::SmallCnnConfig cfg;
+  cfg.num_classes = 4;
+  cfg.widths = {8, 16};
+  auto net = std::make_unique<models::SmallCnn>(cfg);
+  Rng rng(21);
+  nn::init_module(*net, rng);
+  return net;
+}
+
+TrainConfig fast_train(int epochs) {
+  TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.batch_size = 16;
+  cfg.base_lr = 0.05;
+  cfg.augment = false;  // keep the tiny problem easy
+  return cfg;
+}
+
+TEST(Trainer, LossDecreasesOverEpochs) {
+  auto net = make_net();
+  const auto pair = tiny_data();
+  Trainer trainer(*net, *pair.train, fast_train(6));
+  const auto history = trainer.fit();
+  ASSERT_EQ(history.size(), 6u);
+  EXPECT_LT(history.back().loss, history.front().loss);
+  EXPECT_GT(history.back().accuracy, history.front().accuracy);
+}
+
+TEST(Trainer, CosineLrDecreasesToFinal) {
+  auto net = make_net();
+  const auto pair = tiny_data(16, 8);
+  TrainConfig cfg = fast_train(5);
+  Trainer trainer(*net, *pair.train, cfg);
+  const auto history = trainer.fit();
+  EXPECT_NEAR(history.front().lr, cfg.base_lr, 1e-9);
+  EXPECT_NEAR(history.back().lr, cfg.final_lr, 1e-9);
+  for (size_t i = 1; i < history.size(); ++i) {
+    EXPECT_LE(history[i].lr, history[i - 1].lr);
+  }
+}
+
+TEST(Trainer, PostStepHookRuns) {
+  auto net = make_net();
+  const auto pair = tiny_data(16, 8);
+  TrainConfig cfg = fast_train(1);
+  int calls = 0;
+  cfg.post_step = [&calls] { ++calls; };
+  Trainer trainer(*net, *pair.train, cfg);
+  trainer.run_epoch();
+  EXPECT_EQ(calls, 1);  // 16 samples / batch 16 = 1 step
+}
+
+TEST(Ttd, AscentLevelsReachTarget) {
+  auto net = make_net();
+  const auto pair = tiny_data(16, 8);
+  TtdConfig cfg;
+  cfg.target = PruneSettings::uniform(net->num_blocks(), 0.3f, 0.f);
+  cfg.warmup_ratio = 0.1f;
+  cfg.step = 0.1f;
+  cfg.train = fast_train(1);
+  TtdTrainer ttd(*net, *pair.train, cfg);
+  const auto levels = ttd.ascent_levels();
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_FLOAT_EQ(levels[0], 0.1f);
+  EXPECT_FLOAT_EQ(levels[1], 0.2f);
+  EXPECT_FLOAT_EQ(levels[2], 0.3f);
+}
+
+TEST(Ttd, WarmupAboveTargetStartsAtTarget) {
+  auto net = make_net();
+  const auto pair = tiny_data(16, 8);
+  TtdConfig cfg;
+  cfg.target = PruneSettings::uniform(net->num_blocks(), 0.05f, 0.f);
+  cfg.warmup_ratio = 0.1f;
+  cfg.train = fast_train(1);
+  TtdTrainer ttd(*net, *pair.train, cfg);
+  const auto levels = ttd.ascent_levels();
+  ASSERT_EQ(levels.size(), 1u);
+  EXPECT_FLOAT_EQ(levels[0], 0.05f);
+}
+
+TEST(Ttd, PerBlockTargetsCapIndividually) {
+  // Blocks with small targets stop ascending while larger targets
+  // continue: target [0.2, 0.6], warmup 0.1, step 0.2 -> caps 0.1, 0.3,
+  // 0.5, 0.6; block 0 is pinned at 0.2 from the second level on.
+  auto net = make_net();
+  const auto pair = tiny_data(16, 8);
+  TtdConfig cfg;
+  cfg.target = PruneSettings::uniform(net->num_blocks(), 0.f, 0.f);
+  cfg.target.channel_drop = {0.2f, 0.6f};
+  cfg.warmup_ratio = 0.1f;
+  cfg.step = 0.2f;
+  cfg.max_epochs_per_level = 1;
+  cfg.final_epochs = 0;
+  cfg.train = fast_train(1);
+  TtdTrainer ttd(*net, *pair.train, cfg);
+  const auto levels = ttd.ascent_levels();
+  ASSERT_EQ(levels.size(), 4u);
+  EXPECT_FLOAT_EQ(levels[3], 0.6f);
+
+  ttd.run();
+  EXPECT_FLOAT_EQ(ttd.engine().gate(0)->config().channel_drop, 0.2f);
+  EXPECT_FLOAT_EQ(ttd.engine().gate(1)->config().channel_drop, 0.6f);
+}
+
+TEST(Ttd, RunProgressesThroughLevelsAndConsolidates) {
+  auto net = make_net();
+  const auto pair = tiny_data();
+  TtdConfig cfg;
+  cfg.target = PruneSettings::uniform(net->num_blocks(), 0.25f, 0.f);
+  cfg.warmup_ratio = 0.15f;
+  cfg.step = 0.1f;
+  cfg.min_epochs_per_level = 1;
+  cfg.max_epochs_per_level = 1;
+  cfg.final_epochs = 2;
+  cfg.train = fast_train(1);
+
+  TtdTrainer ttd(*net, *pair.train, cfg);
+  const TtdResult result = ttd.run();
+  // 2 ascent levels (0.15, 0.25) + final consolidation entry.
+  ASSERT_EQ(result.levels.size(), 3u);
+  EXPECT_EQ(result.levels.back().epochs.size(), 2u);
+  EXPECT_EQ(result.total_epochs, 4);
+  // Gates end at the target ratios.
+  EXPECT_FLOAT_EQ(ttd.engine().gate(0)->config().channel_drop, 0.25f);
+  EXPECT_GT(result.final_train_accuracy, 0.0);
+}
+
+TEST(Ttd, PlateauDetectionBoundsEpochs) {
+  auto net = make_net();
+  const auto pair = tiny_data(16, 8);
+  TtdConfig cfg;
+  cfg.target = PruneSettings::uniform(net->num_blocks(), 0.1f, 0.f);
+  cfg.warmup_ratio = 0.1f;
+  cfg.min_epochs_per_level = 1;
+  cfg.max_epochs_per_level = 4;
+  cfg.plateau_tol = 1.0;  // everything counts as a plateau -> stop at min+1
+  cfg.final_epochs = 0;
+  cfg.train = fast_train(1);
+  TtdTrainer ttd(*net, *pair.train, cfg);
+  const TtdResult result = ttd.run();
+  ASSERT_EQ(result.levels.size(), 1u);
+  EXPECT_LE(result.levels[0].epochs.size(), 2u);
+}
+
+TEST(Ttd, SpatialTargetsAscendToo) {
+  // Ratio ascent caps channel AND spatial ratios together.
+  auto net = make_net();
+  const auto pair = tiny_data(16, 8);
+  TtdConfig cfg;
+  cfg.target = PruneSettings::uniform(net->num_blocks(), 0.2f, 0.5f);
+  cfg.warmup_ratio = 0.25f;
+  cfg.step = 0.25f;
+  cfg.max_epochs_per_level = 1;
+  cfg.final_epochs = 0;
+  cfg.train = fast_train(1);
+  TtdTrainer ttd(*net, *pair.train, cfg);
+  const auto levels = ttd.ascent_levels();
+  ASSERT_EQ(levels.size(), 2u);  // caps 0.25, 0.5 driven by the spatial max
+  ttd.run();
+  EXPECT_FLOAT_EQ(ttd.engine().gate(0)->config().channel_drop, 0.2f);
+  EXPECT_FLOAT_EQ(ttd.engine().gate(0)->config().spatial_drop, 0.5f);
+}
+
+TEST(Evaluate, BatchLargerThanDatasetIsOneBatch) {
+  auto net = make_net();
+  const auto pair = tiny_data(8, 6);
+  const EvalResult r = evaluate(*net, *pair.test, /*batch=*/64);
+  EXPECT_EQ(r.samples, 6);
+}
+
+TEST(Ttd, TrainedModelKeepsAccuracyUnderItsPruning) {
+  // The core promise: after TTD at ratio r, dynamic pruning at r keeps
+  // accuracy close to the unpruned accuracy of the same model.
+  auto net = make_net();
+  const auto pair = tiny_data(96, 48);
+  TtdConfig cfg;
+  cfg.target = PruneSettings::uniform(net->num_blocks(), 0.4f, 0.f);
+  cfg.warmup_ratio = 0.2f;
+  cfg.step = 0.1f;
+  cfg.max_epochs_per_level = 2;
+  cfg.final_epochs = 3;
+  cfg.train = fast_train(1);
+  cfg.train.base_lr = 0.08;
+
+  TtdTrainer ttd(*net, *pair.train, cfg);
+  ttd.run();
+
+  const EvalResult pruned = evaluate(*net, *pair.test, 16);
+  ttd.engine().set_enabled(false);
+  const EvalResult dense = evaluate(*net, *pair.test, 16);
+  EXPECT_GT(pruned.accuracy, 0.5);  // far above 0.25 chance
+  EXPECT_GT(pruned.accuracy, dense.accuracy - 0.15);
+  EXPECT_LT(pruned.mean_macs_per_sample, dense.mean_macs_per_sample);
+}
+
+}  // namespace
+}  // namespace antidote::core

@@ -1,0 +1,301 @@
+// Datasets: synthetic generator properties, augmentation, dataloader
+// batching, and the CIFAR binary-format loader (exercised on generated
+// files so the real archives are not required).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "base/error.h"
+#include "data/augment.h"
+#include "data/cifar.h"
+#include "data/dataloader.h"
+#include "data/synthetic.h"
+#include "tensor/ops.h"
+
+namespace antidote::data {
+namespace {
+
+SyntheticSpec tiny_spec() {
+  SyntheticSpec s;
+  s.name = "tiny";
+  s.num_classes = 4;
+  s.height = s.width = 16;
+  s.train_size = 64;
+  s.test_size = 32;
+  return s;
+}
+
+TEST(Synthetic, ShapesAndLabels) {
+  const auto pair = make_synthetic_pair(tiny_spec());
+  EXPECT_EQ(pair.train->size(), 64);
+  EXPECT_EQ(pair.test->size(), 32);
+  EXPECT_EQ(pair.train->num_classes(), 4);
+  EXPECT_EQ(pair.train->sample_shape(), (std::vector<int>{3, 16, 16}));
+  for (int i = 0; i < pair.train->size(); ++i) {
+    const Sample s = pair.train->get(i);
+    EXPECT_EQ(s.image.shape(), (std::vector<int>{3, 16, 16}));
+    EXPECT_GE(s.label, 0);
+    EXPECT_LT(s.label, 4);
+  }
+}
+
+TEST(Synthetic, ClassesAreBalanced) {
+  const auto pair = make_synthetic_pair(tiny_spec());
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < pair.train->size(); ++i) {
+    ++counts[static_cast<size_t>(pair.train->get(i).label)];
+  }
+  for (int c : counts) EXPECT_EQ(c, 16);
+}
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  const auto a = make_synthetic_pair(tiny_spec());
+  const auto b = make_synthetic_pair(tiny_spec());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(ops::allclose(a.train->get(i).image, b.train->get(i).image,
+                              0.f, 0.f));
+  }
+}
+
+TEST(Synthetic, DifferentSeedsProduceDifferentData) {
+  SyntheticSpec s2 = tiny_spec();
+  s2.seed = 999;
+  const auto a = make_synthetic_pair(tiny_spec());
+  const auto b = make_synthetic_pair(s2);
+  EXPECT_GT(ops::max_abs_diff(a.train->get(0).image, b.train->get(0).image),
+            0.01f);
+}
+
+TEST(Synthetic, SameClassSamplesShareStructure) {
+  // Same-class samples must correlate more strongly with each other than
+  // with other classes (otherwise nothing is learnable).
+  const auto pair = make_synthetic_pair(tiny_spec());
+  auto correlation = [](const Tensor& a, const Tensor& b) {
+    double dot = 0, na = 0, nb = 0;
+    for (int64_t i = 0; i < a.size(); ++i) {
+      dot += double(a[i]) * b[i];
+      na += double(a[i]) * a[i];
+      nb += double(b[i]) * b[i];
+    }
+    return dot / std::sqrt(na * nb + 1e-12);
+  };
+  // Samples 0 and 4 are class 0; sample 1 is class 1 (labels are i % C).
+  const Tensor c0a = pair.train->get(0).image;
+  const Tensor c0b = pair.train->get(4).image;
+  const Tensor c1 = pair.train->get(1).image;
+  EXPECT_GT(correlation(c0a, c0b), correlation(c0a, c1));
+}
+
+TEST(Synthetic, TrainTestDistributionsMatch) {
+  // A test sample of class k should correlate with a train sample of the
+  // same class — the split shares templates.
+  const auto pair = make_synthetic_pair(tiny_spec());
+  auto correlation = [](const Tensor& a, const Tensor& b) {
+    double dot = 0, na = 0, nb = 0;
+    for (int64_t i = 0; i < a.size(); ++i) {
+      dot += double(a[i]) * b[i];
+      na += double(a[i]) * a[i];
+      nb += double(b[i]) * b[i];
+    }
+    return dot / std::sqrt(na * nb + 1e-12);
+  };
+  EXPECT_GT(correlation(pair.train->get(0).image, pair.test->get(0).image),
+            0.3);
+}
+
+TEST(Synthetic, PresetsMatchPaperDatasets) {
+  EXPECT_EQ(SyntheticSpec::cifar10_like().num_classes, 10);
+  EXPECT_EQ(SyntheticSpec::cifar10_like().height, 32);
+  EXPECT_EQ(SyntheticSpec::cifar100_like().num_classes, 100);
+  EXPECT_EQ(SyntheticSpec::imagenet100_like().num_classes, 100);
+  EXPECT_GT(SyntheticSpec::imagenet100_like().height,
+            SyntheticSpec::cifar100_like().height);
+}
+
+TEST(InMemoryDataset, ValidatesConstruction) {
+  std::vector<Tensor> images;
+  images.push_back(Tensor({3, 4, 4}));
+  EXPECT_THROW(InMemoryDataset("x", {3, 4, 4}, 2, std::move(images), {5}),
+               Error);  // label out of range
+  std::vector<Tensor> images2;
+  images2.push_back(Tensor({3, 5, 5}));
+  EXPECT_THROW(InMemoryDataset("x", {3, 4, 4}, 2, std::move(images2), {0}),
+               Error);  // shape mismatch
+}
+
+// --- augmentation ---
+
+TEST(Augment, HflipMirrorsColumns) {
+  Tensor img = Tensor::from_values({1, 1, 3}, {1, 2, 3});
+  Tensor flipped = hflip(img);
+  EXPECT_FLOAT_EQ(flipped.at({0, 0, 0}), 3.f);
+  EXPECT_FLOAT_EQ(flipped.at({0, 0, 2}), 1.f);
+}
+
+TEST(Augment, HflipIsInvolution) {
+  Rng rng(1);
+  Tensor img = Tensor::randn({3, 8, 8}, rng);
+  EXPECT_TRUE(ops::allclose(hflip(hflip(img)), img, 0.f, 0.f));
+}
+
+TEST(Augment, CenteredPadCropIsIdentity) {
+  Rng rng(2);
+  Tensor img = Tensor::randn({3, 8, 8}, rng);
+  Tensor out = pad_crop(img, 4, 4, 4);
+  EXPECT_TRUE(ops::allclose(out, img, 0.f, 0.f));
+}
+
+TEST(Augment, CornerCropShiftsAndZeroPads) {
+  Tensor img = Tensor::ones({1, 4, 4});
+  // offset (0,0) shifts content down-right by pad; top-left rows/cols zero.
+  Tensor out = pad_crop(img, 2, 0, 0);
+  EXPECT_EQ(out.at({0, 0, 0}), 0.f);
+  EXPECT_EQ(out.at({0, 1, 1}), 0.f);
+  EXPECT_EQ(out.at({0, 2, 2}), 1.f);
+}
+
+TEST(Augment, OffsetsOutOfRangeThrow) {
+  Tensor img({1, 4, 4});
+  EXPECT_THROW(pad_crop(img, 2, 5, 0), Error);
+}
+
+TEST(Augment, PreservesShape) {
+  Rng rng(3);
+  AugmentConfig cfg;
+  Tensor img = Tensor::randn({3, 12, 12}, rng);
+  for (int i = 0; i < 10; ++i) {
+    Tensor out = augment(img, cfg, rng);
+    EXPECT_EQ(out.shape(), img.shape());
+  }
+}
+
+// --- dataloader ---
+
+TEST(DataLoader, BatchesCoverDatasetWithoutShuffle) {
+  const auto pair = make_synthetic_pair(tiny_spec());
+  DataLoader loader(*pair.test, 10, /*shuffle=*/false);
+  EXPECT_EQ(loader.num_batches(), 4);  // 32 samples / 10 -> 3 full + 2
+  int total = 0;
+  for (int b = 0; b < loader.num_batches(); ++b) {
+    Batch batch = loader.batch(b);
+    EXPECT_EQ(batch.images.dim(0), batch.size());
+    total += batch.size();
+  }
+  EXPECT_EQ(total, 32);
+  // Without shuffle, batch 0 sample 0 is dataset sample 0.
+  Batch first = loader.batch(0);
+  EXPECT_EQ(first.labels[0], pair.test->get(0).label);
+}
+
+TEST(DataLoader, ShuffleChangesOrderDeterministically) {
+  const auto pair = make_synthetic_pair(tiny_spec());
+  DataLoader a(*pair.train, 64, /*shuffle=*/true, /*seed=*/5);
+  DataLoader b(*pair.train, 64, /*shuffle=*/true, /*seed=*/5);
+  Batch ba = a.batch(0);
+  Batch bb = b.batch(0);
+  EXPECT_EQ(ba.labels, bb.labels);  // same seed, same order
+
+  DataLoader c(*pair.train, 64, /*shuffle=*/true, /*seed=*/99);
+  Batch bc = c.batch(0);
+  EXPECT_NE(ba.labels, bc.labels);  // different seed
+}
+
+TEST(DataLoader, NewEpochReshuffles) {
+  const auto pair = make_synthetic_pair(tiny_spec());
+  DataLoader loader(*pair.train, 64, /*shuffle=*/true, /*seed=*/5);
+  Batch e1 = loader.batch(0);
+  loader.new_epoch();
+  Batch e2 = loader.batch(0);
+  EXPECT_NE(e1.labels, e2.labels);
+}
+
+TEST(DataLoader, AugmentationOnlyWhenConfigured) {
+  const auto pair = make_synthetic_pair(tiny_spec());
+  DataLoader plain(*pair.train, 4, /*shuffle=*/false);
+  DataLoader augmented(*pair.train, 4, /*shuffle=*/false, /*seed=*/7,
+                       AugmentConfig{});
+  Batch a = plain.batch(0);
+  Batch b = augmented.batch(0);
+  // Same samples, but augmented pixels differ (crop/flip).
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_GT(ops::max_abs_diff(a.images, b.images), 1e-4f);
+}
+
+// --- CIFAR binary format ---
+
+class CifarFormatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/antidote_cifar";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  // Writes `count` records of CIFAR-10 format (1 label byte + 3072 pixels).
+  void write_batch(const std::string& name, int count, int label_bytes) {
+    std::ofstream out(dir_ + "/" + name, std::ios::binary);
+    for (int i = 0; i < count; ++i) {
+      for (int lb = 0; lb < label_bytes; ++lb) {
+        const unsigned char label = static_cast<unsigned char>(i % 10);
+        out.put(static_cast<char>(label));
+      }
+      for (int j = 0; j < 3072; ++j) {
+        out.put(static_cast<char>((i + j) % 256));
+      }
+    }
+  }
+  std::string dir_;
+};
+
+TEST_F(CifarFormatTest, AvailabilityDetection) {
+  EXPECT_FALSE(cifar10_available(dir_));
+  for (int i = 1; i <= 5; ++i) {
+    write_batch("data_batch_" + std::to_string(i) + ".bin", 4, 1);
+  }
+  EXPECT_FALSE(cifar10_available(dir_));  // test batch still missing
+  write_batch("test_batch.bin", 4, 1);
+  EXPECT_TRUE(cifar10_available(dir_));
+}
+
+TEST_F(CifarFormatTest, LoadsCifar10Layout) {
+  for (int i = 1; i <= 5; ++i) {
+    write_batch("data_batch_" + std::to_string(i) + ".bin", 6, 1);
+  }
+  write_batch("test_batch.bin", 4, 1);
+  const DatasetPair pair = load_cifar10(dir_);
+  EXPECT_EQ(pair.train->size(), 30);
+  EXPECT_EQ(pair.test->size(), 4);
+  EXPECT_EQ(pair.train->num_classes(), 10);
+  EXPECT_EQ(pair.train->get(3).label, 3);
+  EXPECT_EQ(pair.train->get(0).image.shape(), (std::vector<int>{3, 32, 32}));
+}
+
+TEST_F(CifarFormatTest, LoadsCifar100Layout) {
+  write_batch("train.bin", 8, 2);
+  write_batch("test.bin", 2, 2);
+  EXPECT_TRUE(cifar100_available(dir_));
+  const DatasetPair pair = load_cifar100(dir_);
+  EXPECT_EQ(pair.train->size(), 8);
+  EXPECT_EQ(pair.train->num_classes(), 100);
+}
+
+TEST_F(CifarFormatTest, MalformedFileThrows) {
+  std::ofstream out(dir_ + "/test_batch.bin", std::ios::binary);
+  out.put(1);  // truncated record
+  out.close();
+  for (int i = 1; i <= 5; ++i) {
+    write_batch("data_batch_" + std::to_string(i) + ".bin", 2, 1);
+  }
+  EXPECT_THROW(load_cifar10(dir_), Error);
+}
+
+TEST(Cifar, MissingDirectoryThrows) {
+  EXPECT_THROW(load_cifar10("/nonexistent/dir"), Error);
+}
+
+}  // namespace
+}  // namespace antidote::data

@@ -1,0 +1,131 @@
+// GEMM kernels checked against a naive triple-loop reference, across layout
+// variants, alpha/beta combinations, and a parameterized shape sweep.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/error.h"
+#include "base/rng.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+
+namespace antidote {
+namespace {
+
+// Naive reference: C = alpha * op(A) * op(B) + beta * C.
+void ref_gemm(bool ta, bool tb, int m, int n, int k, float alpha,
+              const std::vector<float>& a, const std::vector<float>& b,
+              float beta, std::vector<float>& c) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0;
+      for (int p = 0; p < k; ++p) {
+        const float av = ta ? a[static_cast<size_t>(p) * m + i]
+                            : a[static_cast<size_t>(i) * k + p];
+        const float bv = tb ? b[static_cast<size_t>(j) * k + p]
+                            : b[static_cast<size_t>(p) * n + j];
+        acc += double(av) * bv;
+      }
+      auto& cv = c[static_cast<size_t>(i) * n + j];
+      cv = alpha * static_cast<float>(acc) + beta * cv;
+    }
+  }
+}
+
+std::vector<float> random_vec(size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+struct GemmShape {
+  int m, n, k;
+};
+
+class GemmShapeTest : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmShapeTest, NnMatchesReference) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(17);
+  const auto a = random_vec(static_cast<size_t>(m) * k, rng);
+  const auto b = random_vec(static_cast<size_t>(k) * n, rng);
+  std::vector<float> c(static_cast<size_t>(m) * n, 0.f), ref = c;
+  gemm_nn(m, n, k, 1.f, a.data(), b.data(), 0.f, c.data());
+  ref_gemm(false, false, m, n, k, 1.f, a, b, 0.f, ref);
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-3f);
+}
+
+TEST_P(GemmShapeTest, NtMatchesReference) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(18);
+  const auto a = random_vec(static_cast<size_t>(m) * k, rng);
+  const auto b = random_vec(static_cast<size_t>(n) * k, rng);
+  std::vector<float> c(static_cast<size_t>(m) * n, 0.f), ref = c;
+  gemm_nt(m, n, k, 1.f, a.data(), b.data(), 0.f, c.data());
+  ref_gemm(false, true, m, n, k, 1.f, a, b, 0.f, ref);
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-3f);
+}
+
+TEST_P(GemmShapeTest, TnMatchesReference) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(19);
+  const auto a = random_vec(static_cast<size_t>(k) * m, rng);
+  const auto b = random_vec(static_cast<size_t>(k) * n, rng);
+  std::vector<float> c(static_cast<size_t>(m) * n, 0.f), ref = c;
+  gemm_tn(m, n, k, 1.f, a.data(), b.data(), 0.f, c.data());
+  ref_gemm(true, false, m, n, k, 1.f, a, b, 0.f, ref);
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeTest,
+    ::testing::Values(GemmShape{1, 1, 1}, GemmShape{1, 7, 3},
+                      GemmShape{5, 1, 4}, GemmShape{4, 4, 4},
+                      GemmShape{16, 16, 16}, GemmShape{17, 5, 9},
+                      GemmShape{33, 65, 31}, GemmShape{64, 128, 27},
+                      GemmShape{128, 64, 100}),
+    [](const ::testing::TestParamInfo<GemmShape>& info) {
+      return "m" + std::to_string(info.param.m) + "n" +
+             std::to_string(info.param.n) + "k" + std::to_string(info.param.k);
+    });
+
+TEST(Gemm, AlphaBetaAccumulation) {
+  Rng rng(21);
+  const int m = 6, n = 7, k = 5;
+  const auto a = random_vec(static_cast<size_t>(m) * k, rng);
+  const auto b = random_vec(static_cast<size_t>(k) * n, rng);
+  auto c = random_vec(static_cast<size_t>(m) * n, rng);
+  auto ref = c;
+  gemm_nn(m, n, k, 0.5f, a.data(), b.data(), 2.f, c.data());
+  ref_gemm(false, false, m, n, k, 0.5f, a, b, 2.f, ref);
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-3f);
+}
+
+TEST(Gemm, BetaOneAccumulatesNt) {
+  Rng rng(22);
+  const int m = 4, n = 5, k = 6;
+  const auto a = random_vec(static_cast<size_t>(m) * k, rng);
+  const auto b = random_vec(static_cast<size_t>(n) * k, rng);
+  auto c = random_vec(static_cast<size_t>(m) * n, rng);
+  auto ref = c;
+  gemm_nt(m, n, k, 1.f, a.data(), b.data(), 1.f, c.data());
+  ref_gemm(false, true, m, n, k, 1.f, a, b, 1.f, ref);
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-3f);
+}
+
+TEST(Gemm, MatmulWrapper) {
+  Tensor a = Tensor::from_values({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::from_values({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c.shape(), (std::vector<int>{2, 2}));
+  EXPECT_FLOAT_EQ(c.at({0, 0}), 58.f);
+  EXPECT_FLOAT_EQ(c.at({1, 1}), 154.f);
+}
+
+TEST(Gemm, MatmulShapeMismatchThrows) {
+  Tensor a({2, 3}), b({4, 2});
+  EXPECT_THROW(matmul(a, b), Error);
+}
+
+}  // namespace
+}  // namespace antidote

@@ -1,0 +1,202 @@
+// im2col / col2im and the gather variants that implement masked (sparse)
+// convolution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "base/error.h"
+#include "base/rng.h"
+#include "tensor/im2col.h"
+
+namespace antidote {
+namespace {
+
+std::vector<int> iota_vec(int n) {
+  std::vector<int> v(static_cast<size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(ConvGeom, OutputDims) {
+  ConvGeom g{3, 32, 32, 3, 3, 1, 1};
+  EXPECT_EQ(g.out_h(), 32);
+  EXPECT_EQ(g.out_w(), 32);
+  EXPECT_EQ(g.patch_rows(), 27);
+  EXPECT_EQ(g.out_positions(), 1024);
+}
+
+TEST(ConvGeom, StridedNoPad) {
+  ConvGeom g{1, 7, 7, 3, 3, 2, 0};
+  EXPECT_EQ(g.out_h(), 3);
+  EXPECT_EQ(g.out_w(), 3);
+}
+
+TEST(ConvGeom, ValidateRejectsEmptyOutput) {
+  ConvGeom g{1, 2, 2, 5, 5, 1, 0};
+  EXPECT_THROW(g.validate(), Error);
+}
+
+TEST(Im2col, IdentityKernel1x1) {
+  // With a 1x1 kernel, stride 1, no pad, cols == input.
+  Rng rng(1);
+  Tensor x = Tensor::randn({2, 4, 5}, rng);
+  ConvGeom g{2, 4, 5, 1, 1, 1, 0};
+  Tensor cols({2, 20});
+  im2col(x.data(), g, cols.data());
+  for (int64_t i = 0; i < x.size(); ++i) EXPECT_EQ(cols[i], x[i]);
+}
+
+TEST(Im2col, PaddingProducesZeroBorder) {
+  Tensor x = Tensor::ones({1, 2, 2});
+  ConvGeom g{1, 2, 2, 3, 3, 1, 1};
+  Tensor cols({9, 4});
+  im2col(x.data(), g, cols.data());
+  // Top-left output position, kernel element (0,0) reads (-1,-1) -> 0.
+  EXPECT_EQ(cols.at({0, 0}), 0.f);
+  // Kernel center (1,1) at output (0,0) reads input (0,0) -> 1.
+  EXPECT_EQ(cols.at({4, 0}), 1.f);
+}
+
+TEST(Im2col, KnownValuesSmall) {
+  // 1x3x3 input 0..8, 2x2 kernel, stride 1, no pad -> 2x2 output.
+  Tensor x = Tensor::from_values({1, 3, 3}, {0, 1, 2, 3, 4, 5, 6, 7, 8});
+  ConvGeom g{1, 3, 3, 2, 2, 1, 0};
+  Tensor cols({4, 4});
+  im2col(x.data(), g, cols.data());
+  // Row 0 = kernel (0,0): input values at the 4 output anchors.
+  EXPECT_EQ(cols.at({0, 0}), 0.f);
+  EXPECT_EQ(cols.at({0, 1}), 1.f);
+  EXPECT_EQ(cols.at({0, 2}), 3.f);
+  EXPECT_EQ(cols.at({0, 3}), 4.f);
+  // Row 3 = kernel (1,1): shifted by one in both dims.
+  EXPECT_EQ(cols.at({3, 0}), 4.f);
+  EXPECT_EQ(cols.at({3, 3}), 8.f);
+}
+
+TEST(Im2colGather, FullIndexSetsMatchDense) {
+  Rng rng(2);
+  const int c = 3, h = 6, w = 5;
+  Tensor x = Tensor::randn({c, h, w}, rng);
+  ConvGeom g{c, h, w, 3, 3, 1, 1};
+  const int64_t rows = g.patch_rows(), cols_n = g.out_positions();
+
+  Tensor dense({static_cast<int>(rows), static_cast<int>(cols_n)});
+  im2col(x.data(), g, dense.data());
+
+  Tensor gathered({static_cast<int>(rows), static_cast<int>(cols_n)});
+  const auto all_ch = iota_vec(c);
+  const auto all_sp = iota_vec(static_cast<int>(cols_n));
+  im2col_gather(x.data(), g, all_ch, all_sp, gathered.data());
+
+  for (int64_t i = 0; i < dense.size(); ++i) {
+    EXPECT_EQ(dense[i], gathered[i]);
+  }
+}
+
+TEST(Im2colGather, ChannelSubsetPicksMatchingRows) {
+  Rng rng(3);
+  const int c = 4, h = 4, w = 4, k = 3;
+  Tensor x = Tensor::randn({c, h, w}, rng);
+  ConvGeom g{c, h, w, k, k, 1, 1};
+  const int64_t cols_n = g.out_positions();
+
+  Tensor dense({static_cast<int>(g.patch_rows()), static_cast<int>(cols_n)});
+  im2col(x.data(), g, dense.data());
+
+  const std::vector<int> ch = {1, 3};
+  Tensor gathered({static_cast<int>(ch.size()) * k * k,
+                   static_cast<int>(cols_n)});
+  im2col_gather(x.data(), g, ch, iota_vec(static_cast<int>(cols_n)),
+                gathered.data());
+
+  for (size_t ci = 0; ci < ch.size(); ++ci) {
+    for (int kk = 0; kk < k * k; ++kk) {
+      const int grow = static_cast<int>(ci) * k * k + kk;
+      const int drow = ch[ci] * k * k + kk;
+      for (int64_t j = 0; j < cols_n; ++j) {
+        EXPECT_EQ(gathered.at({grow, static_cast<int>(j)}),
+                  dense.at({drow, static_cast<int>(j)}));
+      }
+    }
+  }
+}
+
+TEST(Im2colGather, SpatialSubsetPicksMatchingColumns) {
+  Rng rng(4);
+  const int c = 2, h = 5, w = 5;
+  Tensor x = Tensor::randn({c, h, w}, rng);
+  ConvGeom g{c, h, w, 3, 3, 1, 1};
+  const int rows = static_cast<int>(g.patch_rows());
+
+  Tensor dense({rows, static_cast<int>(g.out_positions())});
+  im2col(x.data(), g, dense.data());
+
+  const std::vector<int> sp = {0, 7, 12, 24};
+  Tensor gathered({rows, static_cast<int>(sp.size())});
+  im2col_gather(x.data(), g, iota_vec(c), sp, gathered.data());
+
+  for (int r = 0; r < rows; ++r) {
+    for (size_t j = 0; j < sp.size(); ++j) {
+      EXPECT_EQ(gathered.at({r, static_cast<int>(j)}),
+                dense.at({r, sp[j]}));
+    }
+  }
+}
+
+TEST(Im2colGather, RejectsBadChannel) {
+  Tensor x({2, 3, 3});
+  ConvGeom g{2, 3, 3, 3, 3, 1, 1};
+  Tensor out({9, 9});
+  const std::vector<int> bad_ch = {5};
+  EXPECT_THROW(
+      im2col_gather(x.data(), g, bad_ch, iota_vec(9), out.data()), Error);
+}
+
+TEST(Col2im, IsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+  // property that makes conv backward correct.
+  Rng rng(5);
+  const int c = 3, h = 5, w = 4;
+  ConvGeom g{c, h, w, 3, 3, 1, 1};
+  const int rows = static_cast<int>(g.patch_rows());
+  const int cols_n = static_cast<int>(g.out_positions());
+
+  Tensor x = Tensor::randn({c, h, w}, rng);
+  Tensor y = Tensor::randn({rows, cols_n}, rng);
+
+  Tensor cols({rows, cols_n});
+  im2col(x.data(), g, cols.data());
+  double lhs = 0;
+  for (int64_t i = 0; i < cols.size(); ++i) lhs += double(cols[i]) * y[i];
+
+  Tensor xt({c, h, w});
+  col2im(y.data(), g, xt.data());
+  double rhs = 0;
+  for (int64_t i = 0; i < x.size(); ++i) rhs += double(x[i]) * xt[i];
+
+  EXPECT_NEAR(lhs, rhs, 1e-2 * (std::abs(lhs) + 1.0));
+}
+
+TEST(Col2im, StridedAdjoint) {
+  Rng rng(6);
+  const int c = 2, h = 6, w = 6;
+  ConvGeom g{c, h, w, 3, 3, 2, 1};
+  const int rows = static_cast<int>(g.patch_rows());
+  const int cols_n = static_cast<int>(g.out_positions());
+
+  Tensor x = Tensor::randn({c, h, w}, rng);
+  Tensor y = Tensor::randn({rows, cols_n}, rng);
+  Tensor cols({rows, cols_n});
+  im2col(x.data(), g, cols.data());
+  double lhs = 0;
+  for (int64_t i = 0; i < cols.size(); ++i) lhs += double(cols[i]) * y[i];
+  Tensor xt({c, h, w});
+  col2im(y.data(), g, xt.data());
+  double rhs = 0;
+  for (int64_t i = 0; i < x.size(); ++i) rhs += double(x[i]) * xt[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2 * (std::abs(lhs) + 1.0));
+}
+
+}  // namespace
+}  // namespace antidote

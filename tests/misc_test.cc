@@ -1,0 +1,165 @@
+// Edge cases and smaller contracts not covered by the main suites:
+// logging levels, explicit thread pools, table emission to disk, dataset
+// bounds, misc layer details.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+
+#include "base/error.h"
+#include "base/logging.h"
+#include "base/parallel.h"
+#include "base/rng.h"
+#include "base/table.h"
+#include "data/dataloader.h"
+#include "data/synthetic.h"
+#include "models/factory.h"
+#include "models/flops.h"
+#include "nn/conv2d.h"
+#include "tensor/ops.h"
+
+namespace antidote {
+namespace {
+
+TEST(Logging, LevelFilteringAndRestore) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_FALSE(detail::log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(detail::log_enabled(LogLevel::kError));
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(detail::log_enabled(LogLevel::kError));
+  set_log_level(before);
+}
+
+TEST(Logging, MacroShortCircuitsWhenDisabled) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto side_effect = [&evaluations] { return ++evaluations; };
+  AD_LOG(Info) << side_effect();
+  EXPECT_EQ(evaluations, 0);  // streamed expression never evaluated
+  set_log_level(before);
+}
+
+TEST(ThreadPool, ExplicitPoolDistributesWork) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2);
+  std::atomic<int64_t> total{0};
+  pool.parallel_for_chunks(0, 1000, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) total += i;
+  });
+  EXPECT_EQ(total.load(), 999 * 1000 / 2);
+}
+
+TEST(ThreadPool, ExplicitPoolPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_chunks(
+                   0, 100,
+                   [](int64_t b, int64_t) {
+                     if (b > 0) throw Error("worker boom");
+                   }),
+               Error);
+  // The pool survives a failed dispatch and stays usable.
+  std::atomic<int> runs{0};
+  pool.parallel_for_chunks(0, 10, [&](int64_t b, int64_t e) {
+    runs += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(runs.load(), 10);
+}
+
+TEST(Table, EmitWritesCsvFile) {
+  const std::string path = ::testing::TempDir() + "/antidote_table.csv";
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.emit("test table", path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "a,b");
+  EXPECT_EQ(row, "1,2");
+  std::filesystem::remove(path);
+}
+
+TEST(Rng, HelperDistributions) {
+  Rng rng(44);
+  for (int i = 0; i < 200; ++i) {
+    const float u = rng.uniform_float(-2.f, 3.f);
+    EXPECT_GE(u, -2.f);
+    EXPECT_LT(u, 3.f);
+  }
+  double acc = 0;
+  for (int i = 0; i < 5000; ++i) acc += rng.normal(10.0, 0.5);
+  EXPECT_NEAR(acc / 5000, 10.0, 0.1);
+}
+
+TEST(Dataset, OutOfRangeIndexThrows) {
+  data::SyntheticSpec spec;
+  spec.num_classes = 2;
+  spec.height = spec.width = 8;
+  spec.train_size = 4;
+  spec.test_size = 2;
+  const auto pair = data::make_synthetic_pair(spec);
+  EXPECT_THROW(pair.train->get(-1), Error);
+  EXPECT_THROW(pair.train->get(4), Error);
+}
+
+TEST(DataLoader, OutOfRangeBatchThrows) {
+  data::SyntheticSpec spec;
+  spec.num_classes = 2;
+  spec.height = spec.width = 8;
+  spec.train_size = 4;
+  spec.test_size = 2;
+  const auto pair = data::make_synthetic_pair(spec);
+  data::DataLoader loader(*pair.train, 2, false);
+  EXPECT_THROW(loader.batch(2), Error);
+  EXPECT_THROW(loader.batch(-1), Error);
+}
+
+TEST(Conv2d, BiaslessConvHasSingleParameter) {
+  nn::Conv2d conv(2, 3, 3, 1, 1, /*bias=*/false);
+  EXPECT_EQ(conv.parameters().size(), 1u);
+  nn::Conv2d with_bias(2, 3, 3, 1, 1, /*bias=*/true);
+  EXPECT_EQ(with_bias.parameters().size(), 2u);
+}
+
+TEST(Ops, SoftmaxSingleClassIsAlwaysOne) {
+  Tensor logits = Tensor::from_values({3, 1}, {5.f, -2.f, 0.f});
+  Tensor p = ops::softmax_rows(logits);
+  for (int i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(p.at({i, 0}), 1.f);
+}
+
+TEST(Flops, MeasureRestoresTrainingMode) {
+  Rng rng(45);
+  auto net = models::make_model("small_cnn", 2, 1.f, rng);
+  net->set_training(true);
+  models::measure_dense_flops(*net, 3, 12, 12);
+  EXPECT_TRUE(net->is_training());
+  net->set_training(false);
+  models::measure_dense_flops(*net, 3, 12, 12);
+  EXPECT_FALSE(net->is_training());
+}
+
+TEST(Module, ZeroGradClearsEveryParameter) {
+  Rng rng(46);
+  auto net = models::make_model("small_cnn", 2, 1.f, rng);
+  for (nn::Parameter* p : net->parameters()) p->grad.fill(1.f);
+  net->zero_grad();
+  for (nn::Parameter* p : net->parameters()) {
+    EXPECT_EQ(ops::max_value(p->grad), 0.f);
+    EXPECT_EQ(ops::min_value(p->grad), 0.f);
+  }
+}
+
+TEST(Module, ParameterCountMatchesKnownArchitecture) {
+  Rng rng(47);
+  // small_cnn widths {8,16}: conv1 3*8*9=216, bn1 16, conv2 8*16*9=1152,
+  // bn2 32, fc 16*4+4 = 68. Total 1484.
+  auto net = models::make_model("small_cnn", 4, 1.f, rng);
+  EXPECT_EQ(nn::parameter_count(*net), 216 + 16 + 1152 + 32 + 68);
+}
+
+}  // namespace
+}  // namespace antidote

@@ -1,0 +1,301 @@
+// Model structure tests: VGG16, ResNet (20/56), SmallCnn — shapes, gate
+// site wiring, block mapping, parameter counts, FLOPs measurement, training
+// backward, checkpoint round-trips, option-A shortcuts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <filesystem>
+
+#include "base/error.h"
+#include "base/rng.h"
+#include "models/factory.h"
+#include "models/flops.h"
+#include "models/resnet.h"
+#include "models/small_cnn.h"
+#include "models/vgg.h"
+#include "nn/checkpoint.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace antidote::models {
+namespace {
+
+TEST(Vgg, PaperWidthStructure) {
+  Rng rng(1);
+  VggConfig cfg;
+  Vgg vgg(cfg);
+  EXPECT_EQ(vgg.num_gate_sites(), 13);  // VGG16 = 13 conv layers
+  EXPECT_EQ(vgg.num_blocks(), 5);
+  // Block boundaries: layers [0,1]=b0, [2,3]=b1, [4..6]=b2, [7..9]=b3...
+  EXPECT_EQ(vgg.block_of_site(0), 0);
+  EXPECT_EQ(vgg.block_of_site(2), 1);
+  EXPECT_EQ(vgg.block_of_site(4), 2);
+  EXPECT_EQ(vgg.block_of_site(12), 4);
+  EXPECT_EQ(vgg.conv(0)->out_channels(), 64);
+  EXPECT_EQ(vgg.conv(12)->out_channels(), 512);
+}
+
+TEST(Vgg, PaperFlopsMagnitude) {
+  // The paper reports 3.13E+08 MACs for VGG16 on 32x32 CIFAR.
+  Rng rng(2);
+  Vgg vgg(VggConfig{});
+  nn::init_module(vgg, rng);
+  const FlopsReport report = measure_dense_flops(vgg, 3, 32, 32);
+  EXPECT_NEAR(static_cast<double>(report.total_macs), 3.13e8, 0.03e8);
+}
+
+TEST(Vgg, WidthMultScalesChannelsAndFlops) {
+  Rng rng(3);
+  VggConfig half;
+  half.width_mult = 0.5f;
+  Vgg vgg(half);
+  nn::init_module(vgg, rng);
+  EXPECT_EQ(vgg.conv(0)->out_channels(), 32);
+  const FlopsReport report = measure_dense_flops(vgg, 3, 32, 32);
+  // FLOPs scale roughly quadratically with width.
+  EXPECT_NEAR(static_cast<double>(report.total_macs), 3.13e8 / 4, 0.15e8);
+}
+
+TEST(Vgg, ForwardShapeAndBackwardRuns) {
+  Rng rng(4);
+  VggConfig cfg;
+  cfg.width_mult = 0.125f;
+  cfg.num_classes = 10;
+  Vgg vgg(cfg);
+  nn::init_module(vgg, rng);
+  vgg.set_training(true);
+  Tensor x = Tensor::randn({2, 3, 32, 32}, rng);
+  Tensor y = vgg.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 10}));
+  Tensor dx = vgg.backward(Tensor::randn(y.shape(), rng));
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(Vgg, GateWiring) {
+  Vgg vgg(VggConfig{});
+  // Mid-block gate feeds the next conv and is spatially aligned.
+  EXPECT_EQ(vgg.gate_consumer(0), vgg.conv(1));
+  EXPECT_TRUE(vgg.gate_spatially_aligned(0));
+  // Block-boundary gate (site 1 = last conv of block 0) crosses a pool.
+  EXPECT_EQ(vgg.gate_consumer(1), vgg.conv(2));
+  EXPECT_FALSE(vgg.gate_spatially_aligned(1));
+  // Producer of every site is its own conv.
+  EXPECT_EQ(vgg.gate_producer(3), vgg.conv(3));
+  EXPECT_NE(vgg.gate_producer_bn(3), nullptr);
+  // Last site feeds only the classifier.
+  EXPECT_EQ(vgg.gate_consumer(12), nullptr);
+  EXPECT_FALSE(vgg.gate_spatially_aligned(12));
+}
+
+TEST(ResNet, StructureAndSiteMapping) {
+  ResNetConfig cfg;
+  cfg.blocks_per_group = 9;
+  ResNetCifar net(cfg);
+  EXPECT_EQ(net.model_name(), "resnet56");
+  EXPECT_EQ(net.num_gate_sites(), 27);  // one per basic block
+  EXPECT_EQ(net.num_blocks(), 3);       // three groups
+  EXPECT_EQ(net.block_of_site(0), 0);
+  EXPECT_EQ(net.block_of_site(9), 1);
+  EXPECT_EQ(net.block_of_site(26), 2);
+  EXPECT_TRUE(net.gate_spatially_aligned(0));
+  EXPECT_NE(net.gate_consumer(0), nullptr);
+  EXPECT_NE(net.gate_consumer(0), net.gate_producer(0));
+}
+
+TEST(ResNet, PaperFlopsMagnitude) {
+  // The paper reports 1.28E+08 MACs for ResNet56 on CIFAR10 (32x32).
+  Rng rng(5);
+  ResNetConfig cfg;
+  cfg.blocks_per_group = 9;
+  ResNetCifar net(cfg);
+  nn::init_module(net, rng);
+  const FlopsReport report = measure_dense_flops(net, 3, 32, 32);
+  EXPECT_NEAR(static_cast<double>(report.total_macs), 1.28e8, 0.05e8);
+}
+
+TEST(ResNet, ForwardBackwardShapes) {
+  Rng rng(6);
+  ResNetConfig cfg;
+  cfg.blocks_per_group = 3;  // resnet20, faster
+  cfg.width_mult = 0.5f;
+  ResNetCifar net(cfg);
+  nn::init_module(net, rng);
+  net.set_training(true);
+  Tensor x = Tensor::randn({2, 3, 32, 32}, rng);
+  Tensor y = net.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 10}));
+  Tensor dx = net.backward(Tensor::randn(y.shape(), rng));
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(ResNet, DownsamplingHalvesResolutionTwice) {
+  Rng rng(7);
+  ResNetConfig cfg;
+  cfg.blocks_per_group = 3;
+  ResNetCifar net(cfg);
+  nn::init_module(net, rng);
+  net.set_training(false);
+  // 32 -> GAP over an 8x8 map: verified indirectly by parameter-free run.
+  Tensor x = Tensor::randn({1, 3, 32, 32}, rng);
+  EXPECT_NO_THROW(net.forward(x));
+}
+
+TEST(ShortcutOptionA, IdentityWhenShapesMatch) {
+  Rng rng(8);
+  Tensor x = Tensor::randn({1, 4, 6, 6}, rng);
+  Tensor y = shortcut_option_a(x, 4, 1);
+  EXPECT_TRUE(ops::allclose(y, x, 0.f, 0.f));
+}
+
+TEST(ShortcutOptionA, SubsamplesAndZeroPadsChannels) {
+  Tensor x({1, 2, 4, 4});
+  x.at({0, 0, 0, 0}) = 1.f;
+  x.at({0, 0, 2, 2}) = 2.f;
+  x.at({0, 1, 0, 2}) = 3.f;
+  Tensor y = shortcut_option_a(x, 4, 2);
+  EXPECT_EQ(y.shape(), (std::vector<int>{1, 4, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at({0, 0, 0, 0}), 1.f);
+  EXPECT_FLOAT_EQ(y.at({0, 0, 1, 1}), 2.f);
+  EXPECT_FLOAT_EQ(y.at({0, 1, 0, 1}), 3.f);
+  // Padded channels are zero.
+  EXPECT_FLOAT_EQ(y.at({0, 2, 0, 0}), 0.f);
+  EXPECT_FLOAT_EQ(y.at({0, 3, 1, 1}), 0.f);
+}
+
+TEST(ShortcutOptionA, BackwardIsAdjoint) {
+  Rng rng(9);
+  Tensor x = Tensor::randn({2, 3, 6, 6}, rng);
+  Tensor y = shortcut_option_a(x, 6, 2);
+  Tensor dy = Tensor::randn(y.shape(), rng);
+  Tensor dx = shortcut_option_a_backward(dy, x.shape(), 2);
+  // <y, dy> == <x, dx> for a linear map and its adjoint.
+  double lhs = 0, rhs = 0;
+  for (int64_t i = 0; i < y.size(); ++i) lhs += double(y[i]) * dy[i];
+  for (int64_t i = 0; i < x.size(); ++i) rhs += double(x[i]) * dx[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3 * (std::abs(lhs) + 1));
+}
+
+TEST(SmallCnn, StructureAndGateSites) {
+  SmallCnnConfig cfg;
+  cfg.widths = {8, 16, 16};
+  cfg.pool_after = {true, false, true};
+  SmallCnn net(cfg);
+  EXPECT_EQ(net.num_gate_sites(), 3);
+  EXPECT_FALSE(net.gate_spatially_aligned(0));  // pool after stage 0
+  EXPECT_TRUE(net.gate_spatially_aligned(1));   // no pool after stage 1
+  EXPECT_EQ(net.gate_consumer(2), nullptr);
+}
+
+TEST(Vgg, CustomBlockConfiguration) {
+  // The config is generic: a 2-block "VGG-lite" with [1, 2] layers.
+  VggConfig cfg;
+  cfg.layers_per_block = {1, 2};
+  cfg.block_widths = {8, 16};
+  cfg.num_classes = 3;
+  Vgg vgg(cfg);
+  EXPECT_EQ(vgg.num_gate_sites(), 3);
+  EXPECT_EQ(vgg.num_blocks(), 2);
+  EXPECT_EQ(vgg.block_of_site(0), 0);
+  EXPECT_EQ(vgg.block_of_site(1), 1);
+  EXPECT_FALSE(vgg.gate_spatially_aligned(0));  // single-layer block: pool
+  EXPECT_TRUE(vgg.gate_spatially_aligned(1));
+  Rng rng(20);
+  nn::init_module(vgg, rng);
+  vgg.set_training(false);
+  Tensor x = Tensor::randn({1, 3, 8, 8}, rng);
+  EXPECT_EQ(vgg.forward(x).shape(), (std::vector<int>{1, 3}));
+}
+
+TEST(Vgg, MismatchedBlockConfigThrows) {
+  VggConfig cfg;
+  cfg.layers_per_block = {1, 2};
+  cfg.block_widths = {8};  // size mismatch
+  EXPECT_THROW(Vgg{cfg}, Error);
+}
+
+TEST(ResNet, TransitionBlocksHaveStrideTwoConv1) {
+  ResNetConfig cfg;
+  cfg.blocks_per_group = 3;
+  ResNetCifar net(cfg);
+  // Sites 0..2 group 0 (stride 1), site 3 starts group 1 (stride 2), site 6
+  // starts group 2 (stride 2).
+  EXPECT_EQ(net.gate_producer(0)->stride(), 1);
+  EXPECT_EQ(net.gate_producer(3)->stride(), 2);
+  EXPECT_EQ(net.gate_producer(6)->stride(), 2);
+  EXPECT_EQ(net.gate_producer(4)->stride(), 1);
+  // The gated consumer (conv2) is always stride 1 and grid preserving,
+  // which is what makes spatial masks legal on every site.
+  for (int s = 0; s < net.num_gate_sites(); ++s) {
+    EXPECT_EQ(net.gate_consumer(s)->stride(), 1) << " site " << s;
+  }
+}
+
+TEST(Factory, BuildsAllRegisteredModels) {
+  Rng rng(10);
+  for (const char* name : {"vgg16", "resnet20", "resnet56", "small_cnn"}) {
+    auto model = make_model(name, 10, 0.25f, rng);
+    ASSERT_NE(model, nullptr) << name;
+    EXPECT_GT(nn::parameter_count(*model), 0) << name;
+  }
+  EXPECT_THROW(make_model("alexnet", 10, 1.f, rng), Error);
+}
+
+TEST(Flops, ReadLastMatchesMeasureForDensePass) {
+  Rng rng(11);
+  auto model = make_model("small_cnn", 4, 1.f, rng);
+  const FlopsReport probe = measure_dense_flops(*model, 3, 16, 16);
+  model->set_training(false);
+  Tensor x({1, 3, 16, 16});
+  model->forward(x);
+  const FlopsReport after = read_last_flops(*model);
+  EXPECT_EQ(probe.total_macs, after.total_macs);
+  EXPECT_EQ(probe.layers.size(), after.layers.size());
+}
+
+TEST(Flops, PerLayerEntriesAreConsistent) {
+  Rng rng(12);
+  Vgg vgg(VggConfig{});
+  nn::init_module(vgg, rng);
+  const FlopsReport report = measure_dense_flops(vgg, 3, 32, 32);
+  ASSERT_EQ(report.layers.size(), 14u);  // 13 convs + fc
+  int64_t sum = 0;
+  for (const auto& l : report.layers) sum += l.macs;
+  EXPECT_EQ(sum, report.total_macs);
+  // conv1 (3->64 on 32x32): 64*1024*27 MACs.
+  EXPECT_EQ(report.layers[0].macs, 64LL * 1024 * 27);
+}
+
+TEST(Models, CheckpointRoundTrip) {
+  Rng rng(13);
+  const std::string path = ::testing::TempDir() + "/antidote_model_ckpt.bin";
+  auto a = make_model("resnet20", 10, 0.25f, rng);
+  a->set_training(true);
+  Tensor x = Tensor::randn({2, 3, 32, 32}, rng);
+  a->forward(x);  // touch BN stats
+  nn::save_checkpoint(*a, path);
+
+  Rng rng2(999);
+  auto b = make_model("resnet20", 10, 0.25f, rng2);
+  nn::load_checkpoint(*b, path);
+  a->set_training(false);
+  b->set_training(false);
+  EXPECT_TRUE(ops::allclose(a->forward(x), b->forward(x), 0.f, 0.f));
+  std::filesystem::remove(path);
+}
+
+TEST(Models, InstallAndClearGatesKeepsForwardIdentical) {
+  Rng rng(14);
+  auto model = make_model("small_cnn", 4, 1.f, rng);
+  model->set_training(false);
+  Tensor x = Tensor::randn({1, 3, 12, 12}, rng);
+  Tensor before = model->forward(x);
+  // A null install is a no-op; clear_gates on a gateless model is safe.
+  model->install_gate(0, nullptr);
+  model->clear_gates();
+  Tensor after = model->forward(x);
+  EXPECT_TRUE(ops::allclose(before, after, 0.f, 0.f));
+}
+
+}  // namespace
+}  // namespace antidote::models

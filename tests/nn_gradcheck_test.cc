@@ -1,0 +1,165 @@
+// Finite-difference gradient checks for every differentiable layer — the
+// property tests that keep the training substrate honest.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/pooling.h"
+#include "test_util.h"
+
+namespace antidote::nn {
+namespace {
+
+using antidote::testing::check_input_gradient;
+using antidote::testing::check_parameter_gradients;
+
+TEST(GradCheck, Conv2dInput) {
+  Rng rng(100);
+  Conv2d conv(2, 3, 3, 1, 1, /*bias=*/true);
+  init_module(conv, rng);
+  Tensor x = Tensor::randn({2, 2, 5, 5}, rng);
+  check_input_gradient(conv, x, rng);
+}
+
+TEST(GradCheck, Conv2dParameters) {
+  Rng rng(101);
+  Conv2d conv(2, 3, 3, 1, 1, /*bias=*/true);
+  init_module(conv, rng);
+  Tensor x = Tensor::randn({2, 2, 5, 5}, rng);
+  check_parameter_gradients(conv, x, rng);
+}
+
+TEST(GradCheck, Conv2dStrided) {
+  Rng rng(102);
+  Conv2d conv(2, 2, 3, 2, 1, /*bias=*/false);
+  init_module(conv, rng);
+  Tensor x = Tensor::randn({1, 2, 7, 7}, rng);
+  check_input_gradient(conv, x, rng);
+  check_parameter_gradients(conv, x, rng);
+}
+
+TEST(GradCheck, Conv2dNoPadding) {
+  Rng rng(103);
+  Conv2d conv(3, 2, 2, 1, 0, /*bias=*/true);
+  init_module(conv, rng);
+  Tensor x = Tensor::randn({2, 3, 4, 4}, rng);
+  check_input_gradient(conv, x, rng);
+}
+
+TEST(GradCheck, LinearInputAndParams) {
+  Rng rng(104);
+  Linear fc(6, 4);
+  init_module(fc, rng);
+  Tensor x = Tensor::randn({3, 6}, rng);
+  check_input_gradient(fc, x, rng);
+  check_parameter_gradients(fc, x, rng);
+}
+
+TEST(GradCheck, BatchNormTrainingInput) {
+  Rng rng(105);
+  BatchNorm2d bn(3);
+  bn.set_training(true);
+  // Offset data so normalization has work to do.
+  Tensor x = Tensor::randn({4, 3, 3, 3}, rng, 1.5f, 2.f);
+  check_input_gradient(bn, x, rng, 1e-3f, 5e-2f);
+}
+
+TEST(GradCheck, BatchNormTrainingParams) {
+  Rng rng(106);
+  BatchNorm2d bn(2);
+  bn.set_training(true);
+  Tensor x = Tensor::randn({4, 2, 3, 3}, rng, 1.f, 2.f);
+  check_parameter_gradients(bn, x, rng, 1e-3f, 5e-2f);
+}
+
+TEST(GradCheck, BatchNormEvalInput) {
+  Rng rng(107);
+  BatchNorm2d bn(2);
+  // Give the running stats some structure first.
+  bn.set_training(true);
+  Tensor warm = Tensor::randn({8, 2, 4, 4}, rng, 0.5f, 1.5f);
+  bn.forward(warm);
+  bn.set_training(false);
+  Tensor x = Tensor::randn({2, 2, 4, 4}, rng);
+  check_input_gradient(bn, x, rng);
+}
+
+TEST(GradCheck, ReLUInput) {
+  Rng rng(108);
+  ReLU relu;
+  // Keep values away from the kink at 0 for a clean finite difference.
+  Tensor x = Tensor::randn({2, 3, 4, 4}, rng, 0.f, 2.f);
+  for (int64_t i = 0; i < x.size(); ++i) {
+    if (std::abs(x[i]) < 0.05f) x[i] = 0.2f;
+  }
+  check_input_gradient(relu, x, rng);
+}
+
+TEST(GradCheck, MaxPoolInput) {
+  Rng rng(109);
+  MaxPool2d pool(2);
+  Tensor x = Tensor::randn({2, 2, 6, 6}, rng);
+  check_input_gradient(pool, x, rng);
+}
+
+TEST(GradCheck, AvgPoolInput) {
+  Rng rng(110);
+  AvgPool2d pool(2);
+  Tensor x = Tensor::randn({2, 2, 6, 6}, rng);
+  check_input_gradient(pool, x, rng);
+}
+
+TEST(GradCheck, GlobalAvgPoolInput) {
+  Rng rng(111);
+  GlobalAvgPool gap;
+  Tensor x = Tensor::randn({2, 3, 4, 4}, rng);
+  check_input_gradient(gap, x, rng);
+}
+
+TEST(GradCheck, FlattenInput) {
+  Rng rng(112);
+  Flatten flat;
+  Tensor x = Tensor::randn({2, 2, 3, 3}, rng);
+  check_input_gradient(flat, x, rng);
+}
+
+TEST(GradCheck, SequentialConvBnReluChain) {
+  Rng rng(113);
+  Sequential seq;
+  seq.add<Conv2d>(2, 4, 3, 1, 1, false);
+  seq.add<BatchNorm2d>(4);
+  seq.add<ReLU>();
+  seq.add<Conv2d>(4, 2, 3, 1, 1, false);
+  init_module(seq, rng);
+  seq.set_training(true);
+  Tensor x = Tensor::randn({2, 2, 5, 5}, rng);
+  check_input_gradient(seq, x, rng, 1e-3f, 6e-2f);
+}
+
+TEST(GradCheck, SoftmaxCrossEntropyMatchesFiniteDifference) {
+  Rng rng(114);
+  SoftmaxCrossEntropy loss;
+  Tensor logits = Tensor::randn({3, 5}, rng);
+  const std::vector<int> labels = {0, 2, 4};
+  loss.forward(logits, labels);
+  Tensor analytic = loss.backward();
+
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < logits.size(); i += 2) {
+    const float orig = logits[i];
+    logits[i] = orig + eps;
+    const double hi = loss.forward(logits, labels);
+    logits[i] = orig - eps;
+    const double lo = loss.forward(logits, labels);
+    logits[i] = orig;
+    EXPECT_NEAR(analytic[i], (hi - lo) / (2 * eps), 2e-3);
+  }
+}
+
+}  // namespace
+}  // namespace antidote::nn

@@ -1,0 +1,112 @@
+// End-to-end sanity of the training substrate: small models must be able to
+// fit small problems.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "nn/conv2d.h"
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "nn/pooling.h"
+#include "tensor/ops.h"
+
+namespace antidote::nn {
+namespace {
+
+TEST(Training, LinearSoftmaxLearnsLinearlySeparableData) {
+  Rng rng(200);
+  // Two Gaussian clusters in 4-d.
+  const int n = 64;
+  Tensor x({n, 4});
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) {
+    const int cls = i % 2;
+    labels[static_cast<size_t>(i)] = cls;
+    for (int j = 0; j < 4; ++j) {
+      x.at({i, j}) = static_cast<float>(
+          rng.normal(cls == 0 ? -1.0 : 1.0, 0.5));
+    }
+  }
+
+  Linear fc(4, 2);
+  init_module(fc, rng);
+  Sgd sgd(fc.parameters(), {.lr = 0.5, .momentum = 0.9, .weight_decay = 0.0});
+  SoftmaxCrossEntropy loss;
+
+  double first_loss = 0, last_loss = 0;
+  for (int step = 0; step < 60; ++step) {
+    sgd.zero_grad();
+    Tensor logits = fc.forward(x);
+    const double l = loss.forward(logits, labels);
+    if (step == 0) first_loss = l;
+    last_loss = l;
+    fc.backward(loss.backward());
+    sgd.step();
+  }
+  EXPECT_LT(last_loss, 0.3 * first_loss);
+  EXPECT_GT(ops::accuracy(fc.forward(x), labels), 0.95);
+}
+
+TEST(Training, TinyConvNetOverfitsSmallBatch) {
+  Rng rng(201);
+  // 8 images, 2 classes, class 1 has a bright top-left corner.
+  const int n = 8;
+  Tensor x = Tensor::randn({n, 1, 8, 8}, rng, 0.f, 0.3f);
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) {
+    labels[static_cast<size_t>(i)] = i % 2;
+    if (i % 2 == 1) {
+      for (int h = 0; h < 3; ++h) {
+        for (int w = 0; w < 3; ++w) x.at({i, 0, h, w}) += 2.f;
+      }
+    }
+  }
+
+  Sequential net;
+  net.add<Conv2d>(1, 4, 3, 1, 1, true);
+  net.add<ReLU>();
+  net.add<MaxPool2d>(2);
+  net.add<Conv2d>(4, 4, 3, 1, 1, true);
+  net.add<ReLU>();
+  net.add<GlobalAvgPool>();
+  net.add<Linear>(4, 2);
+  init_module(net, rng);
+  net.set_training(true);
+
+  Sgd sgd(net.parameters(), {.lr = 0.1, .momentum = 0.9, .weight_decay = 0.0});
+  SoftmaxCrossEntropy loss;
+  for (int step = 0; step < 80; ++step) {
+    sgd.zero_grad();
+    Tensor logits = net.forward(x);
+    loss.forward(logits, labels);
+    net.backward(loss.backward());
+    sgd.step();
+  }
+  EXPECT_EQ(ops::accuracy(net.forward(x), labels), 1.0);
+}
+
+TEST(Training, ZeroGradClearsAccumulation) {
+  Rng rng(202);
+  Linear fc(3, 2);
+  init_module(fc, rng);
+  Tensor x = Tensor::randn({4, 3}, rng);
+  SoftmaxCrossEntropy loss;
+  const std::vector<int> labels = {0, 1, 0, 1};
+
+  loss.forward(fc.forward(x), labels);
+  fc.backward(loss.backward());
+  const float g1 = fc.weight().grad[0];
+  // Second backward without zero_grad accumulates.
+  loss.forward(fc.forward(x), labels);
+  fc.backward(loss.backward());
+  EXPECT_NEAR(fc.weight().grad[0], 2 * g1, 1e-4f + std::abs(g1) * 0.01f);
+
+  fc.zero_grad();
+  EXPECT_EQ(fc.weight().grad[0], 0.f);
+}
+
+}  // namespace
+}  // namespace antidote::nn

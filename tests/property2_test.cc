@@ -1,0 +1,211 @@
+// Second property suite: attention reductions against brute-force
+// references over a shape sweep, BatchNorm statistics hygiene during gated
+// evaluation, and combined-mask gate behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.h"
+#include "core/engine.h"
+#include "core/evaluate.h"
+#include "core/gate.h"
+#include "data/synthetic.h"
+#include "models/factory.h"
+#include "models/flops.h"
+#include "models/small_cnn.h"
+#include "models/vgg.h"
+#include "nn/batchnorm.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace antidote {
+namespace {
+
+struct NchwShape {
+  int n, c, h, w;
+};
+
+class AttentionReduction : public ::testing::TestWithParam<NchwShape> {};
+
+TEST_P(AttentionReduction, ChannelMeanMatchesBruteForce) {
+  const auto [n, c, h, w] = GetParam();
+  Rng rng(700);
+  Tensor x = Tensor::randn({n, c, h, w}, rng);
+  Tensor got = ops::channel_mean_nchw(x);
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      double acc = 0;
+      for (int y = 0; y < h; ++y) {
+        for (int xx = 0; xx < w; ++xx) acc += x.at4(b, ch, y, xx);
+      }
+      EXPECT_NEAR(got.at({b, ch}), acc / (h * w), 1e-4)
+          << "b=" << b << " c=" << ch;
+    }
+  }
+}
+
+TEST_P(AttentionReduction, SpatialMeanMatchesBruteForce) {
+  const auto [n, c, h, w] = GetParam();
+  Rng rng(701);
+  Tensor x = Tensor::randn({n, c, h, w}, rng);
+  Tensor got = ops::spatial_mean_nchw(x);
+  for (int b = 0; b < n; ++b) {
+    for (int y = 0; y < h; ++y) {
+      for (int xx = 0; xx < w; ++xx) {
+        double acc = 0;
+        for (int ch = 0; ch < c; ++ch) acc += x.at4(b, ch, y, xx);
+        EXPECT_NEAR(got.at({b, y, xx}), acc / c, 1e-4);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AttentionReduction,
+    ::testing::Values(NchwShape{1, 1, 1, 1}, NchwShape{2, 3, 4, 5},
+                      NchwShape{1, 16, 2, 2}, NchwShape{3, 2, 7, 3},
+                      NchwShape{2, 8, 1, 9}),
+    [](const ::testing::TestParamInfo<NchwShape>& info) {
+      const auto& s = info.param;
+      return "n" + std::to_string(s.n) + "c" + std::to_string(s.c) + "h" +
+             std::to_string(s.h) + "w" + std::to_string(s.w);
+    });
+
+TEST(BatchNormHygiene, GatedEvaluationLeavesRunningStatsUntouched) {
+  // evaluate() runs in eval mode; BatchNorm running statistics must be
+  // bit-identical afterwards even with dynamic pruning active.
+  data::SyntheticSpec spec;
+  spec.num_classes = 3;
+  spec.height = spec.width = 12;
+  spec.train_size = 8;
+  spec.test_size = 16;
+  const auto pair = data::make_synthetic_pair(spec);
+  Rng rng(702);
+  auto net = models::make_model("small_cnn", 3, 1.f, rng);
+
+  // Give the stats structure by one training pass.
+  net->set_training(true);
+  Tensor warm = Tensor::randn({4, 3, 12, 12}, rng);
+  net->forward(warm);
+
+  std::vector<Tensor> stats_before;
+  net->visit_state("", [&](const std::string& name, Tensor& t) {
+    if (name.find("running_") != std::string::npos) {
+      stats_before.push_back(t.clone());
+    }
+  });
+  ASSERT_FALSE(stats_before.empty());
+
+  core::DynamicPruningEngine engine(
+      *net, core::PruneSettings::uniform(net->num_blocks(), 0.5f, 0.5f));
+  core::evaluate(*net, *pair.test, 8);
+  engine.remove();
+
+  size_t i = 0;
+  net->visit_state("", [&](const std::string& name, Tensor& t) {
+    if (name.find("running_") != std::string::npos) {
+      EXPECT_TRUE(ops::allclose(t, stats_before[i], 0.f, 0.f)) << name;
+      ++i;
+    }
+  });
+}
+
+TEST(GateCombined, ChannelAndSpatialMasksCompose) {
+  // With both ratios active, an element survives iff its channel AND its
+  // column survive; attention is computed on the unmasked input.
+  core::AttentionGate gate({.channel_drop = 0.5f, .spatial_drop = 0.5f},
+                           nullptr, true);
+  gate.set_training(false);
+  // 2 channels x 2x2: channel 1 dominates; columns 2,3 dominate.
+  Tensor x({1, 2, 2, 2});
+  x.at({0, 0, 0, 0}) = 1.f;
+  x.at({0, 0, 1, 0}) = 2.f;
+  x.at({0, 0, 1, 1}) = 2.f;
+  x.at({0, 1, 0, 0}) = 4.f;
+  x.at({0, 1, 0, 1}) = 1.f;
+  x.at({0, 1, 1, 0}) = 6.f;
+  x.at({0, 1, 1, 1}) = 6.f;
+  Tensor y = gate.forward(x);
+  const auto& m = gate.last_masks()[0];
+  EXPECT_EQ(m.channels, (std::vector<int>{1}));     // channel mean 4.25 > 1.25
+  EXPECT_EQ(m.positions, (std::vector<int>{2, 3}));  // bottom row dominates
+  // Survivors: channel 1, positions 2 and 3 only.
+  EXPECT_EQ(y.at({0, 1, 1, 0}), 6.f);
+  EXPECT_EQ(y.at({0, 1, 1, 1}), 6.f);
+  EXPECT_EQ(y.at({0, 1, 0, 0}), 0.f);  // pruned column
+  EXPECT_EQ(y.at({0, 0, 1, 0}), 0.f);  // pruned channel
+}
+
+TEST(FlopsAccounting, MeasuredMacsMatchAnalyticPredictionOnVgg) {
+  // With uniform channel drop 0.5 on even channel counts, every keep set
+  // is exactly half, so per-layer dynamic MACs are analytically exact:
+  // conv_i executes dense_i * keep(site_{i-1}) MACs (conv_0 has no gate
+  // upstream). This pins the whole accounting chain end to end.
+  Rng rng(710);
+  models::VggConfig cfg;
+  cfg.width_mult = 0.125f;  // widths 8..64, all even
+  cfg.num_classes = 10;
+  models::Vgg vgg(cfg);
+  nn::init_module(vgg, rng);
+
+  const models::FlopsReport dense = models::measure_dense_flops(vgg, 3, 32, 32);
+  core::DynamicPruningEngine engine(
+      vgg, core::PruneSettings::uniform(vgg.num_blocks(), 0.5f, 0.f));
+  vgg.set_training(false);
+  Tensor x = Tensor::randn({1, 3, 32, 32}, rng);
+  vgg.forward(x);
+  const models::FlopsReport dynamic = models::read_last_flops(vgg);
+  engine.remove();
+
+  ASSERT_EQ(dense.layers.size(), dynamic.layers.size());
+  for (size_t i = 0; i + 1 < dense.layers.size(); ++i) {  // conv layers
+    const double keep_in = (i == 0) ? 1.0 : 0.5;
+    EXPECT_EQ(dynamic.layers[i].macs,
+              static_cast<int64_t>(dense.layers[i].macs * keep_in))
+        << dense.layers[i].name;
+  }
+  // fc is never masked.
+  EXPECT_EQ(dynamic.layers.back().macs, dense.layers.back().macs);
+}
+
+TEST(FlopsAccounting, SpatialMacsScaleWithKeepOnAlignedNet) {
+  // Pool-free SmallCnn: gate 0 is aligned, so conv1 executes
+  // keep_sp * dense MACs under a pure spatial mask (keep = 0.5 exactly
+  // for an even position count).
+  models::SmallCnnConfig cfg;
+  cfg.num_classes = 4;
+  cfg.widths = {8, 16};
+  cfg.pool_after = {false, false};
+  models::SmallCnn net(cfg);
+  Rng rng(711);
+  nn::init_module(net, rng);
+
+  const models::FlopsReport dense = models::measure_dense_flops(net, 3, 8, 8);
+  core::DynamicPruningEngine engine(
+      net, core::PruneSettings::uniform(2, 0.f, 0.5f));
+  net.set_training(false);
+  Tensor x = Tensor::randn({1, 3, 8, 8}, rng);
+  net.forward(x);
+  const models::FlopsReport dynamic = models::read_last_flops(net);
+  engine.remove();
+
+  EXPECT_EQ(dynamic.layers[0].macs, dense.layers[0].macs);  // conv0 dense
+  EXPECT_EQ(dynamic.layers[1].macs, dense.layers[1].macs / 2);  // conv1
+}
+
+TEST(GateCombined, KeepStatsWithBothDimensions) {
+  Rng rng(703);
+  auto net = models::make_model("small_cnn", 4, 1.f, rng);
+  core::DynamicPruningEngine engine(
+      *net, core::PruneSettings::uniform(net->num_blocks(), 0.25f, 0.75f));
+  net->set_training(false);
+  Tensor x = Tensor::randn({2, 3, 12, 12}, rng);
+  net->forward(x);
+  const auto stats = engine.last_keep_stats();
+  EXPECT_NEAR(stats.mean_channel_keep, 0.75, 0.02);
+  EXPECT_NEAR(stats.mean_spatial_keep, 0.25, 0.02);
+  engine.remove();
+}
+
+}  // namespace
+}  // namespace antidote

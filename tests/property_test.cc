@@ -1,0 +1,250 @@
+// Property-based suites over the substrate and the dynamic-pruning runtime:
+//   - Conv2d against a naive direct-convolution reference across a
+//     parameterized geometry sweep;
+//   - masked execution against dense execution on masked inputs, for
+//     random masks across drop ratios;
+//   - whole-model exactness: channel-only dynamic pruning with compute
+//     skipping produces bit-identical logits to mask-only (zeroing)
+//     execution — skipping zero channels is exact, not approximate;
+//   - analytic MAC accounting vs measured MACs;
+//   - end-to-end training determinism from a fixed seed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "base/rng.h"
+#include "core/engine.h"
+#include "core/evaluate.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "models/factory.h"
+#include "models/small_cnn.h"
+#include "nn/conv2d.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace antidote {
+namespace {
+
+// Naive direct convolution: y[n,oc,oy,ox] = sum_{ic,ky,kx} w * x + bias.
+Tensor conv_reference(const Tensor& x, const Tensor& w, const Tensor& bias,
+                      bool has_bias, int stride, int pad) {
+  const int n = x.dim(0), in_c = x.dim(1), h = x.dim(2), ww = x.dim(3);
+  const int out_c = w.dim(0), k = w.dim(2);
+  const int oh = (h + 2 * pad - k) / stride + 1;
+  const int ow = (ww + 2 * pad - k) / stride + 1;
+  Tensor y({n, out_c, oh, ow});
+  for (int b = 0; b < n; ++b) {
+    for (int oc = 0; oc < out_c; ++oc) {
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          double acc = has_bias ? bias[oc] : 0.0;
+          for (int ic = 0; ic < in_c; ++ic) {
+            for (int ky = 0; ky < k; ++ky) {
+              const int iy = oy * stride - pad + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (int kx = 0; kx < k; ++kx) {
+                const int ix = ox * stride - pad + kx;
+                if (ix < 0 || ix >= ww) continue;
+                acc += double(w.at({oc, ic, ky, kx})) * x.at({b, ic, iy, ix});
+              }
+            }
+          }
+          y.at({b, oc, oy, ox}) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+struct ConvCase {
+  int in_c, out_c, k, stride, pad, h, w;
+  bool bias;
+};
+
+class ConvGeometry : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGeometry, MatchesDirectConvolution) {
+  const ConvCase c = GetParam();
+  Rng rng(404);
+  nn::Conv2d conv(c.in_c, c.out_c, c.k, c.stride, c.pad, c.bias);
+  nn::init_module(conv, rng);
+  if (c.bias) {
+    // Non-zero bias so the bias path is actually exercised.
+    conv.bias().value = Tensor::randn({c.out_c}, rng);
+  }
+  Tensor x = Tensor::randn({2, c.in_c, c.h, c.w}, rng);
+  Tensor got = conv.forward(x);
+  Tensor want = conv_reference(x, conv.weight().value, conv.bias().value,
+                               c.bias, c.stride, c.pad);
+  ASSERT_TRUE(got.same_shape(want));
+  EXPECT_LT(ops::max_abs_diff(got, want), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConvGeometry,
+    ::testing::Values(ConvCase{1, 1, 1, 1, 0, 5, 5, false},
+                      ConvCase{3, 8, 3, 1, 1, 8, 8, false},
+                      ConvCase{4, 2, 3, 2, 1, 9, 9, true},
+                      ConvCase{2, 5, 5, 1, 2, 7, 7, true},
+                      ConvCase{8, 8, 3, 1, 1, 4, 6, false},
+                      ConvCase{5, 3, 2, 2, 0, 8, 8, true},
+                      ConvCase{1, 16, 7, 1, 3, 9, 9, false},
+                      ConvCase{6, 6, 3, 3, 1, 10, 10, true}),
+    [](const ::testing::TestParamInfo<ConvCase>& info) {
+      const ConvCase& c = info.param;
+      return "ic" + std::to_string(c.in_c) + "oc" + std::to_string(c.out_c) +
+             "k" + std::to_string(c.k) + "s" + std::to_string(c.stride) +
+             "p" + std::to_string(c.pad) + (c.bias ? "_bias" : "_nobias");
+    });
+
+// --- random-mask masked-execution property sweep ---
+
+class MaskedConvRatio : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaskedConvRatio, MaskedEqualsDenseOnMaskedInput) {
+  const int drop_pct = GetParam();
+  Rng rng(500 + drop_pct);
+  const int in_c = 10, out_c = 7, h = 6, w = 6;
+  nn::Conv2d conv(in_c, out_c, 3, 1, 1, true);
+  nn::init_module(conv, rng);
+  conv.bias().value = Tensor::randn({out_c}, rng);
+  Tensor x = Tensor::randn({2, in_c, h, w}, rng);
+
+  // Random kept channel sets, independent per sample.
+  auto random_kept = [&rng](int n, int pct) {
+    const int k = std::max(1, n - n * pct / 100);
+    std::vector<int> perm = rng.permutation(n);
+    perm.resize(static_cast<size_t>(k));
+    std::sort(perm.begin(), perm.end());
+    return perm;
+  };
+  std::vector<nn::ConvRuntimeMask> masks(2);
+  masks[0].channels = random_kept(in_c, drop_pct);
+  masks[1].channels = random_kept(in_c, drop_pct);
+
+  // Reference: zero the dropped channels, run dense.
+  Tensor x_masked = x.clone();
+  for (int b = 0; b < 2; ++b) {
+    std::vector<bool> keep(in_c, false);
+    for (int ch : masks[b ? 1 : 0].channels) keep[static_cast<size_t>(ch)] = true;
+    for (int ch = 0; ch < in_c; ++ch) {
+      if (keep[static_cast<size_t>(ch)]) continue;
+      for (int y = 0; y < h; ++y) {
+        for (int xx = 0; xx < w; ++xx) x_masked.at4(b, ch, y, xx) = 0.f;
+      }
+    }
+  }
+  Tensor want = conv.forward(x_masked);
+
+  conv.set_runtime_masks(masks);
+  Tensor got = conv.forward(x);
+  EXPECT_LT(ops::max_abs_diff(got, want), 1e-3f);
+
+  // Analytic MAC accounting.
+  const int64_t expected_macs =
+      static_cast<int64_t>(out_c) * h * w * 9 *
+      (static_cast<int64_t>(masks[0].channels.size()) +
+       static_cast<int64_t>(masks[1].channels.size()));
+  EXPECT_EQ(conv.last_macs(), expected_macs);
+}
+
+INSTANTIATE_TEST_SUITE_P(DropRatios, MaskedConvRatio,
+                         ::testing::Values(0, 10, 25, 50, 75, 90),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "drop" + std::to_string(info.param) + "pct";
+                         });
+
+// --- whole-model exactness of channel skipping ---
+
+class ModelExactness : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ModelExactness, SkippingMatchesMaskOnlyExecution) {
+  // Dynamic pruning admits an exact reference: zero the dropped channel
+  // planes / spatial columns and run everything densely (gates in
+  // mask-only mode). With compute skipping — gathered GEMM for channels,
+  // input-stationary shift-GEMM for columns — the logits must agree up to
+  // summation-order float noise.
+  const std::string name = GetParam();
+  Rng rng(42);
+  auto net = models::make_model(name, 10, 0.25f, rng);
+  net->set_training(false);
+
+  core::PruneSettings settings =
+      core::PruneSettings::uniform(net->num_blocks(), 0.4f, 0.4f);
+  core::DynamicPruningEngine engine(*net, settings);
+
+  // 32x32 input: VGG16's five pooling stages need at least 32 pixels.
+  Rng xrng(77);
+  Tensor x = Tensor::randn({2, 3, 32, 32}, xrng);
+
+  // Reference pass: gates mask (zero) but never instruct consumers.
+  for (auto* g : engine.gates()) g->set_forward_to_consumer(false);
+  Tensor want = net->forward(x);
+  const int64_t dense_macs = net->last_macs();
+
+  // Skipping pass.
+  for (auto* g : engine.gates()) g->set_forward_to_consumer(true);
+  Tensor got = net->forward(x);
+  const int64_t skipped_macs = net->last_macs();
+
+  engine.remove();
+  EXPECT_LT(ops::max_abs_diff(got, want), 1e-3f) << name;
+  EXPECT_LT(skipped_macs, dense_macs) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, ModelExactness,
+                         ::testing::Values("small_cnn", "vgg16", "resnet20"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+// --- end-to-end determinism ---
+
+TEST(Determinism, IdenticalSeedsGiveIdenticalTrainingRuns) {
+  auto run_once = [] {
+    data::SyntheticSpec spec;
+    spec.num_classes = 3;
+    spec.height = spec.width = 10;
+    spec.train_size = 30;
+    spec.test_size = 15;
+    const auto pair = data::make_synthetic_pair(spec);
+    Rng rng(9);
+    auto net = models::make_model("small_cnn", 3, 1.f, rng);
+    core::TrainConfig tc;
+    tc.epochs = 2;
+    tc.batch_size = 10;
+    tc.augment = true;  // exercise the augmentation RNG path too
+    core::Trainer trainer(*net, *pair.train, tc);
+    const auto history = trainer.fit();
+    const auto eval = core::evaluate(*net, *pair.test, 8);
+    return std::make_pair(history.back().loss, eval.accuracy);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_DOUBLE_EQ(a.first, b.first);
+  EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+TEST(Determinism, DynamicPruningEvalIsDeterministic) {
+  data::SyntheticSpec spec;
+  spec.num_classes = 3;
+  spec.height = spec.width = 10;
+  spec.train_size = 8;
+  spec.test_size = 20;
+  const auto pair = data::make_synthetic_pair(spec);
+  Rng rng(10);
+  auto net = models::make_model("small_cnn", 3, 1.f, rng);
+  core::DynamicPruningEngine engine(
+      *net, core::PruneSettings::uniform(net->num_blocks(), 0.5f, 0.f));
+  const auto r1 = core::evaluate(*net, *pair.test, 8);
+  const auto r2 = core::evaluate(*net, *pair.test, 8);
+  engine.remove();
+  EXPECT_DOUBLE_EQ(r1.accuracy, r2.accuracy);
+  EXPECT_DOUBLE_EQ(r1.mean_macs_per_sample, r2.mean_macs_per_sample);
+}
+
+}  // namespace
+}  // namespace antidote

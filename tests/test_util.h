@@ -1,0 +1,93 @@
+// Shared helpers for the AntiDote test suite: finite-difference gradient
+// checking and random tensor construction.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "base/rng.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace antidote::testing {
+
+// Checks dLoss/dInput of `m` against central finite differences, where
+// Loss = sum(forward(x) * probe) for a fixed random probe tensor. Samples
+// up to `max_coords` input coordinates. Works for any Module whose forward
+// is deterministic given fixed internal state.
+inline void check_input_gradient(nn::Module& m, Tensor x, Rng& rng,
+                                 float eps = 1e-3f, float tol = 2e-2f,
+                                 int max_coords = 24) {
+  Tensor out = m.forward(x);
+  Tensor probe = Tensor::randn(out.shape(), rng);
+  Tensor analytic = m.backward(probe);
+  ASSERT_TRUE(analytic.same_shape(x));
+
+  auto loss_at = [&](Tensor& input) {
+    Tensor y = m.forward(input);
+    double acc = 0.0;
+    for (int64_t i = 0; i < y.size(); ++i) acc += double(y[i]) * probe[i];
+    return acc;
+  };
+
+  const int64_t n = x.size();
+  const int64_t stride = std::max<int64_t>(1, n / max_coords);
+  for (int64_t i = 0; i < n; i += stride) {
+    const float orig = x[i];
+    x[i] = orig + eps;
+    const double hi = loss_at(x);
+    x[i] = orig - eps;
+    const double lo = loss_at(x);
+    x[i] = orig;
+    const double numeric = (hi - lo) / (2.0 * eps);
+    const double a = analytic[i];
+    const double denom = std::max(1.0, std::abs(numeric) + std::abs(a));
+    EXPECT_NEAR(a, numeric, tol * denom)
+        << "input coordinate " << i << " of " << n;
+  }
+  // Restore caches for any follow-up backward calls.
+  m.forward(x);
+  m.backward(probe);
+}
+
+// Checks dLoss/dParam for every parameter of `m` (sampled coordinates).
+inline void check_parameter_gradients(nn::Module& m, const Tensor& x,
+                                      Rng& rng, float eps = 1e-3f,
+                                      float tol = 2e-2f, int max_coords = 12) {
+  Tensor out = m.forward(x);
+  Tensor probe = Tensor::randn(out.shape(), rng);
+  m.zero_grad();
+  m.forward(x);
+  m.backward(probe);
+
+  auto loss_now = [&] {
+    Tensor y = m.forward(x);
+    double acc = 0.0;
+    for (int64_t i = 0; i < y.size(); ++i) acc += double(y[i]) * probe[i];
+    return acc;
+  };
+
+  for (nn::Parameter* p : m.parameters()) {
+    // Copy the analytic gradient before further forwards disturb caches.
+    Tensor analytic = p->grad.clone();
+    const int64_t n = p->value.size();
+    const int64_t stride = std::max<int64_t>(1, n / max_coords);
+    for (int64_t i = 0; i < n; i += stride) {
+      const float orig = p->value[i];
+      p->value[i] = orig + eps;
+      const double hi = loss_now();
+      p->value[i] = orig - eps;
+      const double lo = loss_now();
+      p->value[i] = orig;
+      const double numeric = (hi - lo) / (2.0 * eps);
+      const double a = analytic[i];
+      const double denom = std::max(1.0, std::abs(numeric) + std::abs(a));
+      EXPECT_NEAR(a, numeric, tol * denom)
+          << "param " << p->name << " coordinate " << i;
+    }
+  }
+}
+
+}  // namespace antidote::testing

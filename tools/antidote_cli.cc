@@ -1,0 +1,10 @@
+// Entry point for the antidote_cli tool; all logic lives in tools/cli.cc so
+// the test suite can drive commands in process.
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return antidote::cli::run_cli(args);
+}

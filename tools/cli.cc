@@ -1,0 +1,294 @@
+#include "tools/cli.h"
+
+#include <cstdio>
+#include <iostream>
+
+#include "base/error.h"
+#include "base/flags.h"
+#include "base/rng.h"
+#include "core/antidote.h"
+#include "models/summary.h"
+
+namespace antidote::cli {
+
+namespace {
+
+// Registers the flags shared by every data-touching command.
+void add_common_flags(FlagSet& flags) {
+  flags.add_string("model", "small_cnn",
+                   "architecture: vgg16 | resnet20 | resnet56 | small_cnn");
+  flags.add_double("width", 1.0, "channel width multiplier");
+  flags.add_int("classes", 4, "number of classes");
+  flags.add_int("image-size", 16, "synthetic image height/width");
+  flags.add_int("train-size", 256, "synthetic training samples");
+  flags.add_int("test-size", 128, "synthetic test samples");
+  flags.add_int("seed", 7, "global seed (init, data, shuffling)");
+  flags.add_int("batch", 32, "batch size");
+}
+
+data::DatasetPair make_data(const FlagSet& flags) {
+  data::SyntheticSpec spec;
+  spec.name = "cli-syn";
+  spec.num_classes = flags.get_int("classes");
+  spec.height = spec.width = flags.get_int("image-size");
+  spec.train_size = flags.get_int("train-size");
+  spec.test_size = flags.get_int("test-size");
+  spec.seed = static_cast<uint64_t>(flags.get_int("seed")) * 7919 + 3;
+  return data::make_synthetic_pair(spec);
+}
+
+std::unique_ptr<models::ConvNet> make_net(const FlagSet& flags) {
+  Rng rng(static_cast<uint64_t>(flags.get_int("seed")));
+  return models::make_model(flags.get_string("model"),
+                            flags.get_int("classes"),
+                            static_cast<float>(flags.get_double("width")),
+                            rng);
+}
+
+// Expands a ratio list flag: empty -> all zeros; one entry -> broadcast;
+// otherwise must match the model's block count.
+std::vector<float> block_ratios(const std::vector<float>& raw,
+                                int num_blocks, const char* flag_name) {
+  if (raw.empty()) return std::vector<float>(static_cast<size_t>(num_blocks));
+  if (raw.size() == 1) {
+    return std::vector<float>(static_cast<size_t>(num_blocks), raw[0]);
+  }
+  AD_CHECK_EQ(static_cast<int>(raw.size()), num_blocks)
+      << " --" << flag_name << " needs 1 or " << num_blocks << " entries";
+  return raw;
+}
+
+core::PruneSettings settings_from_flags(const FlagSet& flags,
+                                        models::ConvNet& net) {
+  core::PruneSettings s;
+  s.channel_drop = block_ratios(flags.get_float_list("channel-drop"),
+                                net.num_blocks(), "channel-drop");
+  s.spatial_drop = block_ratios(flags.get_float_list("spatial-drop"),
+                                net.num_blocks(), "spatial-drop");
+  const std::string order = flags.get_string("order");
+  if (order == "attention") {
+    s.order = core::MaskOrder::kAttention;
+  } else if (order == "random") {
+    s.order = core::MaskOrder::kRandom;
+  } else if (order == "inverse") {
+    s.order = core::MaskOrder::kInverseAttention;
+  } else {
+    AD_CHECK(false) << " --order must be attention|random|inverse, got "
+                    << order;
+  }
+  return s;
+}
+
+void add_prune_flags(FlagSet& flags) {
+  flags.add_float_list("channel-drop", "",
+                       "per-block channel drop ratios (1 value broadcasts)");
+  flags.add_float_list("spatial-drop", "",
+                       "per-block spatial drop ratios (1 value broadcasts)");
+  flags.add_string("order", "attention",
+                   "mask ordering: attention | random | inverse");
+}
+
+core::TrainConfig train_config(const FlagSet& flags) {
+  core::TrainConfig tc;
+  tc.epochs = flags.get_int("epochs");
+  tc.batch_size = flags.get_int("batch");
+  tc.base_lr = flags.get_double("lr");
+  tc.augment = flags.get_bool("augment");
+  tc.seed = static_cast<uint64_t>(flags.get_int("seed")) + 17;
+  tc.verbose = true;
+  return tc;
+}
+
+void report_eval(models::ConvNet& net, const data::Dataset& test, int batch,
+                 int64_t dense_macs) {
+  const core::EvalResult r = core::evaluate(net, test, batch);
+  std::printf("test accuracy:  %.4f\n", r.accuracy);
+  std::printf("MACs per image: %.0f (dense %lld, reduction %.1f%%)\n",
+              r.mean_macs_per_sample, static_cast<long long>(dense_macs),
+              100.0 * (1.0 - r.mean_macs_per_sample /
+                                 static_cast<double>(dense_macs)));
+}
+
+int cmd_summary(const std::vector<std::string>& args) {
+  FlagSet flags("antidote_cli summary");
+  add_common_flags(flags);
+  flags.parse(args);
+  if (flags.help_requested()) {
+    std::cout << flags.usage();
+    return 0;
+  }
+  auto net = make_net(flags);
+  const int size = flags.get_int("image-size");
+  std::cout << net->model_name() << " (width "
+            << flags.get_double("width") << "):\n"
+            << models::summarize(*net, 3, size, size).to_string();
+  return 0;
+}
+
+int cmd_train(const std::vector<std::string>& args) {
+  FlagSet flags("antidote_cli train");
+  add_common_flags(flags);
+  flags.add_int("epochs", 8, "training epochs (cosine schedule)");
+  flags.add_double("lr", 0.08, "peak learning rate");
+  flags.add_bool("augment", false, "pad-4 crop + hflip augmentation");
+  flags.add_string("out", "", "checkpoint path to write (optional)");
+  flags.parse(args);
+  if (flags.help_requested()) {
+    std::cout << flags.usage();
+    return 0;
+  }
+  auto data = make_data(flags);
+  auto net = make_net(flags);
+  core::Trainer trainer(*net, *data.train, train_config(flags));
+  trainer.fit();
+  const int size = flags.get_int("image-size");
+  const int64_t dense =
+      models::measure_dense_flops(*net, 3, size, size).total_macs;
+  report_eval(*net, *data.test, flags.get_int("batch"), dense);
+  if (const std::string out = flags.get_string("out"); !out.empty()) {
+    nn::save_checkpoint(*net, out);
+    std::printf("checkpoint written: %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_ttd(const std::vector<std::string>& args) {
+  FlagSet flags("antidote_cli ttd");
+  add_common_flags(flags);
+  add_prune_flags(flags);
+  flags.add_int("epochs", 1, "epochs per ascent level");
+  flags.add_int("final-epochs", 2, "consolidation epochs at target ratios");
+  flags.add_double("lr", 0.05, "peak learning rate");
+  flags.add_double("warmup", 0.1, "ratio-ascent warm-up value");
+  flags.add_double("step", 0.05, "ratio-ascent step size");
+  flags.add_bool("augment", false, "pad-4 crop + hflip augmentation");
+  flags.add_string("from", "", "checkpoint to initialize from (optional)");
+  flags.add_string("out", "", "checkpoint path to write (optional)");
+  flags.parse(args);
+  if (flags.help_requested()) {
+    std::cout << flags.usage();
+    return 0;
+  }
+  auto data = make_data(flags);
+  auto net = make_net(flags);
+  if (const std::string from = flags.get_string("from"); !from.empty()) {
+    nn::load_checkpoint(*net, from);
+  }
+  core::TtdConfig cfg;
+  cfg.target = settings_from_flags(flags, *net);
+  cfg.warmup_ratio = static_cast<float>(flags.get_double("warmup"));
+  cfg.step = static_cast<float>(flags.get_double("step"));
+  cfg.max_epochs_per_level = flags.get_int("epochs");
+  cfg.final_epochs = flags.get_int("final-epochs");
+  cfg.train = train_config(flags);
+  cfg.train.epochs = 1;
+  core::TtdTrainer ttd(*net, *data.train, cfg);
+  const core::TtdResult result = ttd.run();
+  std::printf("TTD: %d epochs over %zu levels, final train acc %.4f\n",
+              result.total_epochs, result.levels.size(),
+              result.final_train_accuracy);
+  const int size = flags.get_int("image-size");
+  const int64_t dense =
+      models::measure_dense_flops(*net, 3, size, size).total_macs;
+  report_eval(*net, *data.test, flags.get_int("batch"), dense);
+  ttd.engine().remove();
+  if (const std::string out = flags.get_string("out"); !out.empty()) {
+    nn::save_checkpoint(*net, out);
+    std::printf("checkpoint written: %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_eval(const std::vector<std::string>& args) {
+  FlagSet flags("antidote_cli eval");
+  add_common_flags(flags);
+  add_prune_flags(flags);
+  flags.add_string("ckpt", "", "checkpoint to evaluate (required)");
+  flags.parse(args);
+  if (flags.help_requested()) {
+    std::cout << flags.usage();
+    return 0;
+  }
+  AD_CHECK(!flags.get_string("ckpt").empty()) << " --ckpt is required";
+  auto data = make_data(flags);
+  auto net = make_net(flags);
+  nn::load_checkpoint(*net, flags.get_string("ckpt"));
+  const int size = flags.get_int("image-size");
+  const int64_t dense =
+      models::measure_dense_flops(*net, 3, size, size).total_macs;
+  core::DynamicPruningEngine engine(*net, settings_from_flags(flags, *net));
+  report_eval(*net, *data.test, flags.get_int("batch"), dense);
+  engine.remove();
+  return 0;
+}
+
+int cmd_sensitivity(const std::vector<std::string>& args) {
+  FlagSet flags("antidote_cli sensitivity");
+  add_common_flags(flags);
+  flags.add_string("ckpt", "", "checkpoint to analyze (required)");
+  flags.add_bool("spatial", false, "sweep spatial instead of channel ratios");
+  flags.add_bool("per-site", false, "per-layer curves instead of per-block");
+  flags.parse(args);
+  if (flags.help_requested()) {
+    std::cout << flags.usage();
+    return 0;
+  }
+  AD_CHECK(!flags.get_string("ckpt").empty()) << " --ckpt is required";
+  auto data = make_data(flags);
+  auto net = make_net(flags);
+  nn::load_checkpoint(*net, flags.get_string("ckpt"));
+
+  core::SensitivitySweep sweep;
+  sweep.spatial = flags.get_bool("spatial");
+  sweep.batch_size = flags.get_int("batch");
+  const auto curves =
+      flags.get_bool("per-site")
+          ? core::site_sensitivity(*net, *data.test, sweep)
+          : core::block_sensitivity(*net, *data.test, sweep);
+
+  std::printf("%-8s", "ratio");
+  const char* unit = flags.get_bool("per-site") ? "site" : "block";
+  for (const auto& c : curves) std::printf("  %s%d", unit, c.block + 1);
+  std::printf("\n");
+  for (size_t i = 0; i < sweep.ratios.size(); ++i) {
+    std::printf("%-8.1f", sweep.ratios[i]);
+    for (const auto& c : curves) std::printf("  %6.3f", c.accuracy[i]);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+constexpr const char* kUsage =
+    "usage: antidote_cli <command> [flags]\n"
+    "commands:\n"
+    "  summary      print a layer table (params, MACs) for a model\n"
+    "  train        train a model on a synthetic dataset\n"
+    "  ttd          training with targeted dropout + ratio ascent\n"
+    "  eval         evaluate a checkpoint under dynamic pruning\n"
+    "  sensitivity  per-block (or per-site) pruning sensitivity sweep\n"
+    "run `antidote_cli <command> --help` for the command's flags\n";
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args) {
+  try {
+    if (args.empty() || args[0] == "--help" || args[0] == "-h") {
+      std::cout << kUsage;
+      return args.empty() ? 1 : 0;
+    }
+    const std::string command = args[0];
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    if (command == "summary") return cmd_summary(rest);
+    if (command == "train") return cmd_train(rest);
+    if (command == "ttd") return cmd_ttd(rest);
+    if (command == "eval") return cmd_eval(rest);
+    if (command == "sensitivity") return cmd_sensitivity(rest);
+    std::cerr << "unknown command: " << command << "\n" << kUsage;
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace antidote::cli

@@ -1,0 +1,26 @@
+// antidote_cli — command-line front end over the library, the way a user
+// would drive it without writing C++:
+//
+//   antidote_cli summary     --model vgg16 --width 1.0
+//   antidote_cli train       --model small_cnn --epochs 8 --out m.ckpt
+//   antidote_cli ttd         --model vgg16 --channel-drop 0.2,0.2,0.6,0.9,0.9
+//                            --out ttd.ckpt
+//   antidote_cli eval        --model vgg16 --ckpt ttd.ckpt
+//                            --channel-drop 0.2,0.2,0.6,0.9,0.9
+//   antidote_cli sensitivity --model vgg16 --ckpt m.ckpt [--per-site]
+//
+// Datasets are the synthetic generators (configurable classes/size/counts);
+// checkpoints use the library's binary format. `run_cli` is exposed so the
+// test suite can drive the tool in process.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace antidote::cli {
+
+// Returns the process exit code (0 = success). Errors print a message to
+// stderr and return 1; `--help` prints usage and returns 0.
+int run_cli(const std::vector<std::string>& args);
+
+}  // namespace antidote::cli
