@@ -1,0 +1,126 @@
+// BoundedQueue<T> — a bounded, blocking multi-producer/multi-consumer queue
+// with close semantics, the primitive under the serving runtime's request
+// queue. Producers see backpressure two ways: try_push fails fast when the
+// queue is full (load shedding), push blocks until space frees up. close()
+// wakes every waiter; consumers drain the remaining items and then see
+// pop() return false, which is the shutdown signal for worker loops.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "base/error.h"
+
+namespace antidote {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    AD_CHECK_GT(capacity, 0u) << " queue capacity";
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks while full. Returns false (dropping `value`) once closed.
+  bool push(T&& value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Returns false immediately when full or closed (backpressure signal).
+  bool try_push(T&& value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while empty. Returns false only when closed and fully drained.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  // Non-blocking pop; false when nothing is available right now.
+  bool try_pop(T& out) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (items_.empty()) return false;
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  // Pop that gives up at `deadline` — the batching scheduler's max-wait
+  // primitive. False on timeout or on closed-and-drained.
+  template <typename Clock, typename Duration>
+  bool pop_until(T& out,
+                 const std::chrono::time_point<Clock, Duration>& deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!not_empty_.wait_until(
+            lock, deadline, [this] { return closed_ || !items_.empty(); })) {
+      return false;  // timeout
+    }
+    if (items_.empty()) return false;  // closed and drained
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  // Idempotent. Pending items stay poppable; new pushes fail.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace antidote

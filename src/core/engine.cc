@@ -102,6 +102,24 @@ void DynamicPruningEngine::apply_settings(const PruneSettings& settings) {
   }
 }
 
+void DynamicPruningEngine::post_settings(const PruneSettings& settings) {
+  std::lock_guard<std::mutex> lock(pending_mutex_);
+  pending_settings_ = settings;
+  has_pending_ = true;
+}
+
+bool DynamicPruningEngine::apply_pending_settings() {
+  PruneSettings staged;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    if (!has_pending_) return false;
+    staged = std::move(pending_settings_);
+    has_pending_ = false;
+  }
+  apply_settings(staged);
+  return true;
+}
+
 void DynamicPruningEngine::set_enabled(bool enabled) {
   for (AttentionGate* g : gates_) g->set_enabled(enabled);
 }

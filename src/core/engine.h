@@ -4,6 +4,7 @@
 // enable/disable, inspect, remove.
 #pragma once
 
+#include <mutex>
 #include <vector>
 
 #include "core/gate.h"
@@ -47,8 +48,18 @@ class DynamicPruningEngine {
   DynamicPruningEngine(models::ConvNet& net, PruneSettings settings);
 
   // Reconfigures every gate's ratios/order from new per-block settings.
+  // NOT thread-safe: must be called by the thread that runs the model.
   void apply_settings(const PruneSettings& settings);
   const PruneSettings& settings() const { return settings_; }
+
+  // Thread-safe settings handoff for the serving runtime: any thread may
+  // post new settings; the thread that owns the model picks them up between
+  // forward passes with apply_pending_settings(). Posting twice before a
+  // pickup keeps only the newest settings.
+  void post_settings(const PruneSettings& settings);
+  // Applies the most recently posted settings (if any) via apply_settings.
+  // Returns true when something was applied.
+  bool apply_pending_settings();
 
   void set_enabled(bool enabled);
   // Uninstalls all gates from the model. The engine must not be used for
@@ -70,6 +81,10 @@ class DynamicPruningEngine {
   models::ConvNet* net_;
   PruneSettings settings_;
   std::vector<AttentionGate*> gates_;
+
+  std::mutex pending_mutex_;
+  PruneSettings pending_settings_;
+  bool has_pending_ = false;
 };
 
 }  // namespace antidote::core

@@ -1,0 +1,195 @@
+#include "serving/batch_scheduler.h"
+
+#include <cstring>
+#include <utility>
+
+#include "base/error.h"
+#include "base/timer.h"
+
+namespace antidote::serving {
+
+namespace {
+
+double ms_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+int argmax_row(const float* row, int n) {
+  int best = 0;
+  for (int i = 1; i < n; ++i) {
+    if (row[i] > row[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+ModelReplica::ModelReplica(std::unique_ptr<models::ConvNet> net,
+                           const std::optional<core::PruneSettings>& prune)
+    : net_(std::move(net)) {
+  AD_CHECK(net_ != nullptr) << " replica needs a model";
+  net_->set_training(false);
+  if (prune.has_value()) {
+    engine_ = std::make_unique<core::DynamicPruningEngine>(*net_, *prune);
+  }
+}
+
+ModelReplica::~ModelReplica() {
+  if (engine_) engine_->remove();
+}
+
+BatchScheduler::BatchScheduler(
+    RequestQueue& queue, BatchPolicy policy,
+    std::vector<std::unique_ptr<ModelReplica>> replicas, ServerStats& stats,
+    LatencyController* controller, std::function<void()> on_settings_changed)
+    : queue_(&queue),
+      policy_(policy),
+      replicas_(std::move(replicas)),
+      stats_(&stats),
+      controller_(controller),
+      on_settings_changed_(std::move(on_settings_changed)) {
+  AD_CHECK_GT(policy_.max_batch, 0);
+  AD_CHECK_GT(policy_.num_workers, 0);
+  AD_CHECK_EQ(static_cast<int>(replicas_.size()), policy_.num_workers)
+      << " one replica per worker";
+  if (controller_ != nullptr) {
+    for (auto& r : replicas_) {
+      AD_CHECK(r->engine() != nullptr)
+          << " latency control needs pruning engines on every replica";
+    }
+  }
+}
+
+BatchScheduler::~BatchScheduler() {
+  queue_->close();
+  join();
+}
+
+void BatchScheduler::start() {
+  AD_CHECK(!started_) << " scheduler already started";
+  started_ = true;
+  workers_.reserve(replicas_.size());
+  for (int i = 0; i < static_cast<int>(replicas_.size()); ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+void BatchScheduler::join() {
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void BatchScheduler::worker_loop(int worker_index) {
+  ModelReplica& replica = *replicas_[static_cast<size_t>(worker_index)];
+  std::vector<InferenceRequest> batch;
+  batch.reserve(static_cast<size_t>(policy_.max_batch));
+  while (true) {
+    InferenceRequest first;
+    if (!queue_->pop(first)) break;  // closed and drained
+    stats_->record_queue_depth(queue_->depth());
+    const Clock::time_point opened = Clock::now();
+    batch.clear();
+    batch.push_back(std::move(first));
+    const Clock::time_point hold_until = opened + policy_.max_wait;
+    while (static_cast<int>(batch.size()) < policy_.max_batch) {
+      InferenceRequest next;
+      if (!queue_->pop_until(next, hold_until)) break;
+      batch.push_back(std::move(next));
+    }
+    try {
+      run_batch(replica, batch);
+    } catch (...) {
+      // A bad batch (e.g. mismatched input shapes) must not take the
+      // worker down: fail that batch's promises and keep serving.
+      // run_batch fulfills promises only as its last step, so on any
+      // throw every promise in the batch is still unsatisfied.
+      for (InferenceRequest& req : batch) {
+        req.promise.set_exception(std::current_exception());
+      }
+    }
+  }
+}
+
+void BatchScheduler::run_batch(ModelReplica& replica,
+                               std::vector<InferenceRequest>& batch) {
+  const int n = static_cast<int>(batch.size());
+  const Clock::time_point dispatch = Clock::now();
+
+  // Pick up any controller decision posted since the last batch.
+  if (replica.engine() != nullptr) {
+    replica.engine()->apply_pending_settings();
+  }
+
+  WallTimer assemble_timer;
+  const std::vector<int>& sample_shape = batch[0].input.shape();
+  std::vector<int> batch_shape;
+  batch_shape.reserve(sample_shape.size() + 1);
+  batch_shape.push_back(n);
+  batch_shape.insert(batch_shape.end(), sample_shape.begin(),
+                     sample_shape.end());
+  Tensor stacked(batch_shape);
+  const int64_t sample_size = batch[0].input.size();
+  for (int i = 0; i < n; ++i) {
+    AD_CHECK(batch[static_cast<size_t>(i)].input.same_shape(batch[0].input))
+        << " all requests in a batch must share the input shape";
+    std::memcpy(stacked.data() + i * sample_size,
+                batch[static_cast<size_t>(i)].input.data(),
+                static_cast<size_t>(sample_size) * sizeof(float));
+  }
+  const double assemble_ms = assemble_timer.millis();
+
+  WallTimer forward_timer;
+  Tensor logits = replica.net().forward(stacked);
+  const double forward_ms = forward_timer.millis();
+  AD_CHECK_EQ(logits.dim(0), n) << " model output batch dimension";
+  const int num_classes = static_cast<int>(logits.size() / n);
+
+  core::DynamicPruningEngine::KeepStats keep;
+  if (replica.engine() != nullptr) {
+    keep = replica.engine()->last_keep_stats();
+  }
+
+  WallTimer scatter_timer;
+  const Clock::time_point done = Clock::now();
+  std::vector<InferenceResult> results(static_cast<size_t>(n));
+  double queue_wait_sum_ms = 0.0;
+  int misses = 0;
+  for (int i = 0; i < n; ++i) {
+    const InferenceRequest& req = batch[static_cast<size_t>(i)];
+    InferenceResult& result = results[static_cast<size_t>(i)];
+    result.logits = Tensor({num_classes});
+    std::memcpy(result.logits.data(), logits.data() + i * num_classes,
+                static_cast<size_t>(num_classes) * sizeof(float));
+    result.predicted = argmax_row(result.logits.data(), num_classes);
+    result.ticket = req.ticket;
+    result.batch_size = n;
+    result.queue_ms = ms_between(req.enqueue_time, dispatch);
+    result.batch_ms = ms_between(dispatch, done);
+    result.deadline_missed = req.deadline.has_value() && done > *req.deadline;
+    queue_wait_sum_ms += result.queue_ms;
+    if (result.deadline_missed) ++misses;
+  }
+  const double scatter_ms = scatter_timer.millis();
+
+  stats_->record_batch(n, queue_wait_sum_ms / n, assemble_ms, forward_ms,
+                       scatter_ms);
+  if (misses > 0) stats_->record_deadline_miss(misses);
+
+  if (controller_ != nullptr) {
+    const double batch_latency_ms = assemble_ms + forward_ms + scatter_ms;
+    if (controller_->record_batch(batch_latency_ms, keep, n) &&
+        on_settings_changed_) {
+      on_settings_changed_();
+    }
+  }
+
+  // Fulfill promises last: a ready future therefore implies the batch is
+  // already visible in stats and controller state.
+  for (int i = 0; i < n; ++i) {
+    batch[static_cast<size_t>(i)].promise.set_value(
+        std::move(results[static_cast<size_t>(i)]));
+  }
+}
+
+}  // namespace antidote::serving

@@ -1,0 +1,110 @@
+#include "serving/latency_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "base/error.h"
+
+namespace antidote::serving {
+
+LatencyController::LatencyController(core::PruneSettings base, Config config)
+    : config_(config), base_(std::move(base)) {
+  AD_CHECK_GT(config_.target_p95_ms, 0.0);
+  AD_CHECK_GT(config_.window, 0);
+  AD_CHECK_GT(config_.step, 0.f);
+  AD_CHECK(config_.low_watermark > 0.0 && config_.low_watermark < 1.0)
+      << " low_watermark must be in (0, 1)";
+  AD_CHECK_LE(config_.min_offset, config_.max_offset);
+  window_.reserve(static_cast<size_t>(config_.window));
+}
+
+double LatencyController::percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size());
+  size_t idx = static_cast<size_t>(std::ceil(rank));
+  idx = std::min(std::max<size_t>(idx, 1), values.size());
+  return values[idx - 1];
+}
+
+core::PruneSettings LatencyController::settings_locked() const {
+  core::PruneSettings s = base_;
+  for (float& v : s.channel_drop) v += offset_;
+  for (float& v : s.spatial_drop) v += offset_;
+  for (core::SiteOverride& o : s.site_overrides) {
+    o.channel_drop += offset_;
+    o.spatial_drop += offset_;
+  }
+  return s.clamped(config_.max_drop);
+}
+
+bool LatencyController::record_batch(
+    double batch_latency_ms,
+    const core::DynamicPruningEngine::KeepStats& keep, int batch_size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  window_.push_back(batch_latency_ms);
+  keep_channel_sum_ += keep.mean_channel_keep * batch_size;
+  keep_spatial_sum_ += keep.mean_spatial_keep * batch_size;
+  keep_samples_ += static_cast<uint64_t>(batch_size);
+  if (static_cast<int>(window_.size()) < config_.window) return false;
+
+  last_window_p95_ms_ = percentile(window_, 0.95);
+  smoothed_p95_ms_ = smoothed_p95_ms_ == 0.0
+                         ? last_window_p95_ms_
+                         : 0.5 * smoothed_p95_ms_ + 0.5 * last_window_p95_ms_;
+  window_.clear();
+
+  const float before = offset_;
+  const double target = config_.target_p95_ms;
+  if (last_window_p95_ms_ > target ||
+      last_window_p95_ms_ < config_.low_watermark * target) {
+    // Proportional step: large misses move fast, near-misses fine-tune.
+    const double error =
+        std::clamp((last_window_p95_ms_ - target) / target, -1.0, 1.0);
+    offset_ += config_.step * static_cast<float>(error);
+    offset_ = std::clamp(offset_, config_.min_offset, config_.max_offset);
+  }
+  return offset_ != before;
+}
+
+core::PruneSettings LatencyController::settings() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return settings_locked();
+}
+
+float LatencyController::offset() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return offset_;
+}
+
+double LatencyController::p95_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_window_p95_ms_;
+}
+
+double LatencyController::smoothed_p95_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return smoothed_p95_ms_;
+}
+
+void LatencyController::reset_keep_summary() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  keep_channel_sum_ = keep_spatial_sum_ = 0.0;
+  keep_samples_ = 0;
+}
+
+LatencyController::KeepSummary LatencyController::keep_summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  KeepSummary s;
+  s.samples = keep_samples_;
+  if (keep_samples_ > 0) {
+    s.mean_channel_keep =
+        keep_channel_sum_ / static_cast<double>(keep_samples_);
+    s.mean_spatial_keep =
+        keep_spatial_sum_ / static_cast<double>(keep_samples_);
+  }
+  return s;
+}
+
+}  // namespace antidote::serving

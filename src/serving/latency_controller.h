@@ -1,0 +1,101 @@
+// LatencyController — closes the loop between realized batch latency and
+// the dynamic-pruning drop ratios.
+//
+// AntiDote's gates make per-input FLOPs a runtime knob; following the
+// latency-aware framing of Han et al. (dynamic networks must be judged by
+// realized latency, not FLOPs), the controller holds a *latency budget*
+// rather than a FLOPs target. Workers report every completed batch; once a
+// window of batches has accumulated the controller compares the window's
+// p95 against the budget and moves a scalar "drop offset" proportionally
+// to the relative error: up (prune more, run faster) when p95 overshoots
+// the budget, down (prune less, keep accuracy) when p95 sits below the low
+// watermark. Inside [low_watermark * target, target] the controller holds
+// still — that band is the served steady state, comfortably inside a
+// +/-25% tolerance around the budget. The offset is added to the
+// operator-supplied base PruneSettings per block and clamped via
+// PruneSettings::clamped, so the shipped settings never leave
+// [0, max_drop].
+//
+// The controller is pure feedback — it never touches a model — which keeps
+// it deterministic and testable: feed it synthetic latencies and it must
+// converge. The server wires its output to every replica's engine through
+// DynamicPruningEngine::post_settings.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace antidote::serving {
+
+class LatencyController {
+ public:
+  struct Config {
+    double target_p95_ms = 10.0;
+    // Relax (prune less) only when p95 < low_watermark * target, so the
+    // controller does not oscillate inside the acceptable band.
+    double low_watermark = 0.8;
+    int window = 16;     // batches per control decision
+    // Max drop-offset change per decision; the actual step scales with the
+    // relative latency error, so adjustments shrink near the budget.
+    float step = 0.1f;
+    float max_drop = 0.9f;
+    // Offset range: [min_offset, max_offset]. A negative min lets the
+    // controller prune *less* than the operator's base settings when the
+    // budget is loose.
+    float min_offset = -0.9f;
+    float max_offset = 0.9f;
+  };
+
+  // `base` is the operator's per-block starting point (block count must
+  // match the served model).
+  LatencyController(core::PruneSettings base, Config config);
+
+  // Thread-safe. Records one completed batch; when this closes a control
+  // window and the decision changed the settings, returns true — the
+  // caller should then fetch settings() and post them to the replicas.
+  bool record_batch(double batch_latency_ms,
+                    const core::DynamicPruningEngine::KeepStats& keep,
+                    int batch_size);
+
+  // Current target settings (base + offset, clamped). Thread-safe copy.
+  core::PruneSettings settings() const;
+  float offset() const;
+  // p95 of the most recently completed window (0 until one completes).
+  double p95_ms() const;
+  // Exponentially smoothed p95 across windows — the steadier figure to
+  // report against the budget.
+  double smoothed_p95_ms() const;
+  const Config& config() const { return config_; }
+
+  // Accuracy proxy: mean keep ratios reported by the gates, averaged over
+  // every recorded batch (weighted by batch size).
+  struct KeepSummary {
+    double mean_channel_keep = 1.0;
+    double mean_spatial_keep = 1.0;
+    uint64_t samples = 0;
+  };
+  KeepSummary keep_summary() const;
+  // Zeroes the keep accumulators (control state is untouched) so a load
+  // run can report steady-state keep ratios, excluding warm-up batches.
+  void reset_keep_summary();
+
+ private:
+  core::PruneSettings settings_locked() const;  // requires mutex_ held
+  static double percentile(std::vector<double> values, double q);
+
+  const Config config_;
+  const core::PruneSettings base_;
+  mutable std::mutex mutex_;
+  float offset_ = 0.f;
+  double last_window_p95_ms_ = 0.0;
+  double smoothed_p95_ms_ = 0.0;
+  std::vector<double> window_;
+  double keep_channel_sum_ = 0.0;
+  double keep_spatial_sum_ = 0.0;
+  uint64_t keep_samples_ = 0;
+};
+
+}  // namespace antidote::serving

@@ -1,0 +1,54 @@
+#include "serving/request_queue.h"
+
+#include <utility>
+
+#include "base/error.h"
+
+namespace antidote::serving {
+
+RequestQueue::RequestQueue(size_t capacity) : queue_(capacity) {}
+
+InferenceRequest RequestQueue::make_request(
+    Tensor input, std::optional<Clock::time_point> deadline) {
+  AD_CHECK_EQ(input.ndim(), 3) << " requests carry one [C,H,W] sample";
+  InferenceRequest req;
+  req.input = std::move(input);
+  req.ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  req.enqueue_time = Clock::now();
+  req.deadline = deadline;
+  return req;
+}
+
+std::future<InferenceResult> RequestQueue::submit(
+    Tensor input, std::optional<Clock::time_point> deadline) {
+  InferenceRequest req = make_request(std::move(input), deadline);
+  std::future<InferenceResult> future = req.promise.get_future();
+  if (!queue_.push(std::move(req))) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return {};
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+std::future<InferenceResult> RequestQueue::try_submit(
+    Tensor input, std::optional<Clock::time_point> deadline) {
+  InferenceRequest req = make_request(std::move(input), deadline);
+  std::future<InferenceResult> future = req.promise.get_future();
+  if (!queue_.try_push(std::move(req))) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return {};
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+uint64_t RequestQueue::submitted() const {
+  return submitted_.load(std::memory_order_relaxed);
+}
+
+uint64_t RequestQueue::rejected() const {
+  return rejected_.load(std::memory_order_relaxed);
+}
+
+}  // namespace antidote::serving

@@ -1,0 +1,85 @@
+// RequestQueue — the admission edge of the serving runtime.
+//
+// Clients wrap a single input image into an InferenceRequest and submit it;
+// they get back a std::future for the InferenceResult that a batch worker
+// will eventually fulfill. The queue is a bounded MPMC queue (see
+// base/mpmc_queue.h): when it is full, submit() blocks (closed-loop
+// clients) and try_submit() fails fast (open-loop clients shed load). Every
+// request carries a monotonically increasing ticket and an optional
+// deadline; expired requests are still answered but flagged, so callers
+// can distinguish "late" from "wrong".
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <optional>
+
+#include "base/mpmc_queue.h"
+#include "tensor/tensor.h"
+
+namespace antidote::serving {
+
+using Clock = std::chrono::steady_clock;
+
+// What a batch worker hands back for one request.
+struct InferenceResult {
+  Tensor logits;           // [num_classes]
+  int predicted = -1;      // argmax of logits
+  uint64_t ticket = 0;
+  int batch_size = 0;      // size of the batch this request rode in
+  double queue_ms = 0.0;   // submit -> picked up by a worker
+  double batch_ms = 0.0;   // batch assembly + forward + scatter
+  bool deadline_missed = false;
+};
+
+struct InferenceRequest {
+  Tensor input;  // [C, H, W] single sample
+  uint64_t ticket = 0;
+  Clock::time_point enqueue_time{};
+  // No deadline when unset; the scheduler then never flags the request.
+  std::optional<Clock::time_point> deadline;
+  std::promise<InferenceResult> promise;
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(size_t capacity);
+
+  // Blocking submit (closed-loop backpressure). Returns an invalid future
+  // (valid() == false) once the queue is closed.
+  std::future<InferenceResult> submit(
+      Tensor input, std::optional<Clock::time_point> deadline = std::nullopt);
+
+  // Non-blocking submit (open-loop load shedding). Invalid future when the
+  // queue is full or closed; the rejection is counted.
+  std::future<InferenceResult> try_submit(
+      Tensor input, std::optional<Clock::time_point> deadline = std::nullopt);
+
+  // Consumer side (the batch scheduler). Semantics follow BoundedQueue.
+  bool pop(InferenceRequest& out) { return queue_.pop(out); }
+  bool pop_until(InferenceRequest& out, Clock::time_point deadline) {
+    return queue_.pop_until(out, deadline);
+  }
+
+  // Stops admission; queued requests remain poppable for draining.
+  void close() { queue_.close(); }
+  bool closed() const { return queue_.closed(); }
+
+  size_t depth() const { return queue_.size(); }
+  size_t capacity() const { return queue_.capacity(); }
+  uint64_t submitted() const;
+  uint64_t rejected() const;
+
+ private:
+  InferenceRequest make_request(Tensor input,
+                                std::optional<Clock::time_point> deadline);
+
+  BoundedQueue<InferenceRequest> queue_;
+  std::atomic<uint64_t> next_ticket_{0};
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace antidote::serving

@@ -1,0 +1,72 @@
+#include "serving/server.h"
+
+#include <utility>
+#include <vector>
+
+#include "base/error.h"
+
+namespace antidote::serving {
+
+InferenceServer::InferenceServer(const ReplicaFactory& factory,
+                                 ServerConfig config)
+    : config_(std::move(config)),
+      queue_(config_.queue_capacity),
+      stats_(config_.policy.max_batch) {
+  AD_CHECK(factory != nullptr) << " server needs a replica factory";
+  AD_CHECK(!config_.latency.has_value() || config_.prune.has_value())
+      << " latency control requires prune settings";
+
+  std::vector<std::unique_ptr<ModelReplica>> replicas;
+  replicas.reserve(static_cast<size_t>(config_.policy.num_workers));
+  for (int i = 0; i < config_.policy.num_workers; ++i) {
+    replicas.push_back(
+        std::make_unique<ModelReplica>(factory(i), config_.prune));
+  }
+
+  if (config_.latency.has_value()) {
+    controller_ = std::make_unique<LatencyController>(*config_.prune,
+                                                      *config_.latency);
+  }
+
+  // When the controller moves the drop offset, fan the new settings out to
+  // every replica; each worker applies them before its next batch.
+  std::function<void()> on_changed;
+  if (controller_ != nullptr) {
+    // Safe to capture `this`: the callback only fires from worker threads,
+    // which start after scheduler_ is assigned below.
+    on_changed = [this] {
+      const core::PruneSettings s = controller_->settings();
+      for (auto& replica : scheduler_->replicas()) {
+        replica->engine()->post_settings(s);
+      }
+    };
+  }
+  scheduler_ = std::make_unique<BatchScheduler>(
+      queue_, config_.policy, std::move(replicas), stats_, controller_.get(),
+      std::move(on_changed));
+  scheduler_->start();
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::future<InferenceResult> InferenceServer::submit(
+    Tensor input, std::optional<Clock::time_point> deadline) {
+  return queue_.submit(std::move(input), deadline);
+}
+
+std::future<InferenceResult> InferenceServer::try_submit(
+    Tensor input, std::optional<Clock::time_point> deadline) {
+  std::future<InferenceResult> f =
+      queue_.try_submit(std::move(input), deadline);
+  if (!f.valid()) stats_.record_rejected(1);
+  return f;
+}
+
+void InferenceServer::shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    queue_.close();
+    scheduler_->join();
+  });
+}
+
+}  // namespace antidote::serving

@@ -1,0 +1,75 @@
+// InferenceServer — the serving runtime's facade, composing the pieces:
+//
+//   clients --> RequestQueue --> BatchScheduler workers --> promises
+//                                  |  each worker: ModelReplica
+//                                  |  (ConvNet + DynamicPruningEngine)
+//                                  v
+//                           LatencyController --> post_settings to replicas
+//
+// Construction takes a replica *factory* rather than a model so every
+// worker gets its own instance (same architecture and weights when the
+// factory seeds identically or loads the same checkpoint). shutdown()
+// closes admission, drains the queue, and joins the workers; the
+// destructor does the same, so scoped use is safe.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "models/convnet.h"
+#include "serving/batch_scheduler.h"
+#include "serving/latency_controller.h"
+#include "serving/request_queue.h"
+#include "serving/server_stats.h"
+
+namespace antidote::serving {
+
+struct ServerConfig {
+  BatchPolicy policy;
+  size_t queue_capacity = 64;
+  // Per-block drop ratios installed on every replica. Unset = dense
+  // serving (no gates, no controller).
+  std::optional<core::PruneSettings> prune;
+  // Latency-budget feedback on top of `prune` (which must be set).
+  std::optional<LatencyController::Config> latency;
+};
+
+class InferenceServer {
+ public:
+  using ReplicaFactory =
+      std::function<std::unique_ptr<models::ConvNet>(int replica_index)>;
+
+  InferenceServer(const ReplicaFactory& factory, ServerConfig config);
+  ~InferenceServer();
+
+  // Blocking admission (closed-loop clients). Invalid future after
+  // shutdown.
+  std::future<InferenceResult> submit(
+      Tensor input, std::optional<Clock::time_point> deadline = std::nullopt);
+  // Fail-fast admission (open-loop clients; rejections are counted).
+  std::future<InferenceResult> try_submit(
+      Tensor input, std::optional<Clock::time_point> deadline = std::nullopt);
+
+  // Closes admission, lets the workers drain the queue, joins them.
+  // Idempotent and safe to call from multiple threads.
+  void shutdown();
+
+  ServerStats& stats() { return stats_; }
+  RequestQueue& queue() { return queue_; }
+  // Null when the server runs without a latency budget.
+  LatencyController* controller() { return controller_.get(); }
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  ServerConfig config_;
+  RequestQueue queue_;
+  ServerStats stats_;
+  std::unique_ptr<LatencyController> controller_;
+  std::unique_ptr<BatchScheduler> scheduler_;
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace antidote::serving

@@ -1,0 +1,107 @@
+#include "serving/server_stats.h"
+
+#include <chrono>
+
+#include "base/error.h"
+
+namespace antidote::serving {
+
+ServerStats::ServerStats(int max_batch)
+    : max_batch_(max_batch),
+      start_(std::chrono::steady_clock::now()),
+      histogram_(static_cast<size_t>(max_batch), 0) {
+  AD_CHECK_GT(max_batch, 0);
+}
+
+void ServerStats::record_batch(int batch_size, double queue_wait_ms,
+                               double assemble_ms, double forward_ms,
+                               double scatter_ms) {
+  AD_CHECK(batch_size >= 1 && batch_size <= max_batch_)
+      << " batch size " << batch_size << " vs max " << max_batch_;
+  std::lock_guard<std::mutex> lock(mutex_);
+  completed_ += static_cast<uint64_t>(batch_size);
+  batches_ += 1;
+  histogram_[static_cast<size_t>(batch_size - 1)] += 1;
+  queue_wait_ms_sum_ += queue_wait_ms * batch_size;
+  assemble_ms_sum_ += assemble_ms;
+  forward_ms_sum_ += forward_ms;
+  scatter_ms_sum_ += scatter_ms;
+}
+
+void ServerStats::record_deadline_miss(int count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  deadline_misses_ += static_cast<uint64_t>(count);
+}
+
+void ServerStats::record_rejected(int count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rejected_ += static_cast<uint64_t>(count);
+}
+
+void ServerStats::record_queue_depth(size_t depth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_depth_sum_ += static_cast<double>(depth);
+  queue_depth_samples_ += 1;
+}
+
+ServerStats::Snapshot ServerStats::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot s;
+  s.completed_requests = completed_;
+  s.batches = batches_;
+  s.deadline_misses = deadline_misses_;
+  s.rejected = rejected_;
+  s.elapsed_s = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+  if (s.elapsed_s > 0.0) {
+    s.throughput_rps = static_cast<double>(completed_) / s.elapsed_s;
+  }
+  if (batches_ > 0) {
+    s.mean_batch_size = static_cast<double>(completed_) / batches_;
+    s.mean_assemble_ms = assemble_ms_sum_ / batches_;
+    s.mean_forward_ms = forward_ms_sum_ / batches_;
+    s.mean_scatter_ms = scatter_ms_sum_ / batches_;
+  }
+  if (completed_ > 0) s.mean_queue_wait_ms = queue_wait_ms_sum_ / completed_;
+  if (queue_depth_samples_ > 0) {
+    s.mean_queue_depth = queue_depth_sum_ / queue_depth_samples_;
+  }
+  s.batch_size_histogram = histogram_;
+  return s;
+}
+
+void ServerStats::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  start_ = std::chrono::steady_clock::now();
+  completed_ = batches_ = deadline_misses_ = rejected_ = 0;
+  queue_depth_sum_ = 0.0;
+  queue_depth_samples_ = 0;
+  queue_wait_ms_sum_ = assemble_ms_sum_ = forward_ms_sum_ =
+      scatter_ms_sum_ = 0.0;
+  histogram_.assign(histogram_.size(), 0);
+}
+
+Table ServerStats::to_table() const {
+  const Snapshot s = snapshot();
+  Table t({"metric", "value"});
+  t.add_row({"completed requests", std::to_string(s.completed_requests)});
+  t.add_row({"batches", std::to_string(s.batches)});
+  t.add_row({"throughput (req/s)", Table::fmt(s.throughput_rps, 1)});
+  t.add_row({"mean batch size", Table::fmt(s.mean_batch_size, 2)});
+  t.add_row({"mean queue depth", Table::fmt(s.mean_queue_depth, 2)});
+  t.add_row({"mean queue wait (ms)", Table::fmt(s.mean_queue_wait_ms, 3)});
+  t.add_row({"mean assemble (ms)", Table::fmt(s.mean_assemble_ms, 3)});
+  t.add_row({"mean forward (ms)", Table::fmt(s.mean_forward_ms, 3)});
+  t.add_row({"mean scatter (ms)", Table::fmt(s.mean_scatter_ms, 3)});
+  t.add_row({"deadline misses", std::to_string(s.deadline_misses)});
+  t.add_row({"rejected", std::to_string(s.rejected)});
+  for (size_t i = 0; i < s.batch_size_histogram.size(); ++i) {
+    if (s.batch_size_histogram[i] == 0) continue;
+    t.add_row({"batches of size " + std::to_string(i + 1),
+               std::to_string(s.batch_size_histogram[i])});
+  }
+  return t;
+}
+
+}  // namespace antidote::serving

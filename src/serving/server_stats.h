@@ -1,0 +1,74 @@
+// ServerStats — counters the serving runtime accumulates while it runs:
+// throughput, queue depth, a batch-size histogram, and per-stage timings
+// (queue wait, batch assembly, forward, scatter). Workers record with
+// atomics / a small mutex so the hot path stays cheap; snapshot() gives a
+// consistent copy and to_table() renders it through base/table.h the same
+// way the benches render paper tables.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/table.h"
+
+namespace antidote::serving {
+
+class ServerStats {
+ public:
+  explicit ServerStats(int max_batch);
+
+  // One dispatched batch. Stage times are milliseconds; queue_wait_ms is
+  // the mean over the batch's requests.
+  void record_batch(int batch_size, double queue_wait_ms, double assemble_ms,
+                    double forward_ms, double scatter_ms);
+  void record_deadline_miss(int count);
+  void record_rejected(int count);
+  // Sampled queue depth (recorded by workers when they pick up work).
+  void record_queue_depth(size_t depth);
+
+  struct Snapshot {
+    uint64_t completed_requests = 0;
+    uint64_t batches = 0;
+    uint64_t deadline_misses = 0;
+    uint64_t rejected = 0;
+    double elapsed_s = 0.0;           // since construction / reset
+    double throughput_rps = 0.0;      // completed / elapsed
+    double mean_batch_size = 0.0;
+    double mean_queue_depth = 0.0;
+    double mean_queue_wait_ms = 0.0;
+    double mean_assemble_ms = 0.0;
+    double mean_forward_ms = 0.0;
+    double mean_scatter_ms = 0.0;
+    // histogram[i] = number of batches of size i+1.
+    std::vector<uint64_t> batch_size_histogram;
+  };
+  Snapshot snapshot() const;
+
+  // Restarts the throughput clock and zeroes every counter (used between a
+  // warm-up phase and the measured phase of a load run).
+  void reset();
+
+  // Two-column summary table plus the batch-size histogram rows.
+  Table to_table() const;
+
+ private:
+  const int max_batch_;
+  mutable std::mutex mutex_;
+  std::chrono::steady_clock::time_point start_;
+  uint64_t completed_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t deadline_misses_ = 0;
+  uint64_t rejected_ = 0;
+  double queue_depth_sum_ = 0.0;
+  uint64_t queue_depth_samples_ = 0;
+  double queue_wait_ms_sum_ = 0.0;
+  double assemble_ms_sum_ = 0.0;
+  double forward_ms_sum_ = 0.0;
+  double scatter_ms_sum_ = 0.0;
+  std::vector<uint64_t> histogram_;
+};
+
+}  // namespace antidote::serving

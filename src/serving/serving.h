@@ -1,0 +1,14 @@
+// Umbrella header for the batched inference serving runtime:
+//
+//   #include "serving/serving.h"
+//
+// pulls in the request queue, batching scheduler, latency controller,
+// server stats, and the InferenceServer facade. See docs/serving.md for
+// the design.
+#pragma once
+
+#include "serving/batch_scheduler.h"
+#include "serving/latency_controller.h"
+#include "serving/request_queue.h"
+#include "serving/server.h"
+#include "serving/server_stats.h"

@@ -1,0 +1,449 @@
+// Serving runtime: queue backpressure and shutdown, micro-batch coalescing
+// under the max-wait policy, latency-controller convergence onto a budget,
+// and batched results matching the unbatched ConvNet forward exactly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "base/error.h"
+#include "base/mpmc_queue.h"
+#include "base/rng.h"
+#include "core/engine.h"
+#include "models/factory.h"
+#include "serving/serving.h"
+
+namespace antidote::serving {
+namespace {
+
+using namespace std::chrono_literals;
+
+// --- BoundedQueue -----------------------------------------------------------
+
+TEST(BoundedQueue, TryPushFailsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  int out = 0;
+  EXPECT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueue, PushBlocksUntilSpaceFrees) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.push(2));  // blocks until the consumer pops
+    pushed = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(pushed.load());
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsShutdown) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  q.close();
+  EXPECT_FALSE(q.push(3));      // no admission after close
+  EXPECT_FALSE(q.try_push(3));
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));      // pending items stay poppable
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(q.pop(out));     // drained + closed = shutdown signal
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(1);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    int out = 0;
+    EXPECT_FALSE(q.pop(out));  // blocks, then close() wakes it
+    returned = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(returned.load());
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(BoundedQueue, PopUntilTimesOut) {
+  BoundedQueue<int> q(1);
+  int out = 0;
+  const auto before = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_until(out, before + 30ms));
+  EXPECT_GE(std::chrono::steady_clock::now() - before, 25ms);
+}
+
+// --- RequestQueue -----------------------------------------------------------
+
+Tensor make_input(uint64_t seed, int image = 8) {
+  Rng rng(seed);
+  return Tensor::randn({3, image, image}, rng);
+}
+
+TEST(RequestQueue, TicketsAndBackpressureCounters) {
+  RequestQueue q(2);
+  auto f1 = q.try_submit(make_input(1));
+  auto f2 = q.try_submit(make_input(2));
+  EXPECT_TRUE(f1.valid());
+  EXPECT_TRUE(f2.valid());
+  auto f3 = q.try_submit(make_input(3));  // full -> shed
+  EXPECT_FALSE(f3.valid());
+  EXPECT_EQ(q.submitted(), 2u);
+  EXPECT_EQ(q.rejected(), 1u);
+  EXPECT_EQ(q.depth(), 2u);
+
+  InferenceRequest req;
+  ASSERT_TRUE(q.pop(req));
+  ASSERT_TRUE(q.pop(req));
+  EXPECT_EQ(req.ticket, 1u);  // tickets count up from 0
+
+  q.close();
+  EXPECT_FALSE(q.submit(make_input(4)).valid());
+}
+
+TEST(RequestQueue, RejectsBatchedInputs) {
+  RequestQueue q(2);
+  Rng rng(1);
+  Tensor batched = Tensor::randn({2, 3, 8, 8}, rng);
+  EXPECT_THROW(q.submit(std::move(batched)), Error);
+}
+
+// --- ServerStats ------------------------------------------------------------
+
+TEST(ServerStats, AggregatesAndResets) {
+  ServerStats stats(4);
+  stats.record_batch(4, 1.0, 0.1, 2.0, 0.1);
+  stats.record_batch(2, 3.0, 0.1, 1.0, 0.1);
+  stats.record_deadline_miss(1);
+  stats.record_rejected(2);
+  stats.record_queue_depth(6);
+
+  const ServerStats::Snapshot s = stats.snapshot();
+  EXPECT_EQ(s.completed_requests, 6u);
+  EXPECT_EQ(s.batches, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_batch_size, 3.0);
+  EXPECT_EQ(s.batch_size_histogram[3], 1u);  // one batch of 4
+  EXPECT_EQ(s.batch_size_histogram[1], 1u);  // one batch of 2
+  // Queue wait is request-weighted: (1.0 * 4 + 3.0 * 2) / 6.
+  EXPECT_NEAR(s.mean_queue_wait_ms, 10.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.mean_forward_ms, 1.5);
+  EXPECT_EQ(s.deadline_misses, 1u);
+  EXPECT_EQ(s.rejected, 2u);
+  EXPECT_GT(stats.to_table().num_rows(), 10u);
+
+  stats.reset();
+  const ServerStats::Snapshot zero = stats.snapshot();
+  EXPECT_EQ(zero.completed_requests, 0u);
+  EXPECT_EQ(zero.batches, 0u);
+  EXPECT_EQ(zero.batch_size_histogram[3], 0u);
+}
+
+TEST(ServerStats, RejectsOverMaxBatch) {
+  ServerStats stats(2);
+  EXPECT_THROW(stats.record_batch(3, 0, 0, 0, 0), Error);
+}
+
+// --- engine settings mailbox ------------------------------------------------
+
+TEST(EngineMailbox, PostFromOtherThreadAppliesOnOwner) {
+  Rng rng(7);
+  auto net = models::make_model("small_cnn", 4, 1.0f, rng);
+  core::DynamicPruningEngine engine(
+      *net, core::PruneSettings::uniform(net->num_blocks(), 0.1f, 0.f));
+
+  EXPECT_FALSE(engine.apply_pending_settings());  // nothing posted yet
+
+  std::thread poster([&] {
+    engine.post_settings(
+        core::PruneSettings::uniform(net->num_blocks(), 0.3f, 0.f));
+    engine.post_settings(
+        core::PruneSettings::uniform(net->num_blocks(), 0.6f, 0.2f));
+  });
+  poster.join();
+
+  EXPECT_TRUE(engine.apply_pending_settings());  // newest post wins
+  EXPECT_FLOAT_EQ(engine.settings().channel_drop[0], 0.6f);
+  EXPECT_FLOAT_EQ(engine.settings().spatial_drop[0], 0.2f);
+  EXPECT_FALSE(engine.apply_pending_settings());  // mailbox now empty
+  engine.remove();
+}
+
+// --- LatencyController ------------------------------------------------------
+
+constexpr core::DynamicPruningEngine::KeepStats kKeep{0.5, 0.75};
+
+// Synthetic plant: latency falls linearly as the controller prunes harder.
+double plant_latency_ms(float offset) { return 20.0 * (1.0 - 0.9 * offset); }
+
+TEST(LatencyController, ConvergesOntoTheBudget) {
+  LatencyController::Config cfg;
+  cfg.target_p95_ms = 10.0;  // plant reaches it at offset ~0.55
+  cfg.window = 4;
+  cfg.step = 0.1f;
+  LatencyController lc(core::PruneSettings::uniform(2, 0.1f, 0.1f), cfg);
+
+  for (int i = 0; i < 400; ++i) {
+    lc.record_batch(plant_latency_ms(lc.offset()), kKeep, 4);
+  }
+  EXPECT_NEAR(lc.smoothed_p95_ms(), cfg.target_p95_ms,
+              0.25 * cfg.target_p95_ms);
+  EXPECT_GT(lc.offset(), 0.35f);
+  EXPECT_LT(lc.offset(), 0.75f);
+
+  // The shipped settings carry base + offset, clamped to [0, max_drop].
+  const core::PruneSettings s = lc.settings();
+  EXPECT_NEAR(s.channel_drop[0], 0.1f + lc.offset(), 1e-5);
+  EXPECT_LE(s.channel_drop[0], cfg.max_drop);
+
+  const auto keep = lc.keep_summary();
+  EXPECT_DOUBLE_EQ(keep.mean_channel_keep, 0.5);
+  EXPECT_DOUBLE_EQ(keep.mean_spatial_keep, 0.75);
+  EXPECT_EQ(keep.samples, 400u * 4u);
+}
+
+TEST(LatencyController, UnreachableBudgetSaturatesAtMaxOffset) {
+  LatencyController::Config cfg;
+  cfg.target_p95_ms = 0.5;  // plant floor is 20 * 0.19 = 3.8 ms
+  cfg.window = 2;
+  cfg.step = 0.2f;
+  cfg.max_offset = 0.8f;
+  LatencyController lc(core::PruneSettings::uniform(2, 0.f, 0.f), cfg);
+  for (int i = 0; i < 40; ++i) {
+    lc.record_batch(plant_latency_ms(lc.offset()), kKeep, 1);
+  }
+  EXPECT_FLOAT_EQ(lc.offset(), 0.8f);
+}
+
+TEST(LatencyController, LooseBudgetRelaxesTowardMinOffset) {
+  LatencyController::Config cfg;
+  cfg.target_p95_ms = 500.0;  // plant never gets near the budget
+  cfg.window = 2;
+  cfg.step = 0.2f;
+  LatencyController lc(core::PruneSettings::uniform(2, 0.5f, 0.5f), cfg);
+  for (int i = 0; i < 40; ++i) {
+    lc.record_batch(plant_latency_ms(lc.offset()), kKeep, 1);
+  }
+  EXPECT_FLOAT_EQ(lc.offset(), cfg.min_offset);
+  // Negative offset prunes *less* than base; clamped at 0, never negative.
+  EXPECT_FLOAT_EQ(lc.settings().channel_drop[0], 0.f);
+}
+
+TEST(LatencyController, HoldsStillInsideTheBand) {
+  LatencyController::Config cfg;
+  cfg.target_p95_ms = 10.0;
+  cfg.low_watermark = 0.8;
+  cfg.window = 2;
+  LatencyController lc(core::PruneSettings::uniform(2, 0.2f, 0.f), cfg);
+  for (int i = 0; i < 20; ++i) {
+    lc.record_batch(9.0, kKeep, 1);  // inside [8, 10]: no adjustment
+  }
+  EXPECT_FLOAT_EQ(lc.offset(), 0.f);
+}
+
+// --- InferenceServer --------------------------------------------------------
+
+ServerConfig small_config(int max_batch, std::chrono::microseconds max_wait,
+                          int workers = 1) {
+  ServerConfig config;
+  config.policy.max_batch = max_batch;
+  config.policy.max_wait = max_wait;
+  config.policy.num_workers = workers;
+  config.queue_capacity = 32;
+  return config;
+}
+
+InferenceServer::ReplicaFactory small_cnn_factory(uint64_t seed = 7) {
+  return [seed](int) {
+    Rng rng(seed);
+    return models::make_model("small_cnn", 4, 1.0f, rng);
+  };
+}
+
+TEST(InferenceServer, CoalescesConcurrentRequestsUnderMaxWait) {
+  InferenceServer server(small_cnn_factory(),
+                         small_config(4, 200ms));
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(server.submit(make_input(10 + i)));
+  }
+  // All three arrive well inside the 200ms hold window of the first batch.
+  for (auto& f : futures) {
+    ASSERT_TRUE(f.valid());
+    EXPECT_EQ(f.get().batch_size, 3);
+  }
+  const ServerStats::Snapshot s = server.stats().snapshot();
+  EXPECT_EQ(s.batches, 1u);
+  EXPECT_EQ(s.batch_size_histogram[2], 1u);
+}
+
+TEST(InferenceServer, DispatchesLoneRequestAfterMaxWait) {
+  InferenceServer server(small_cnn_factory(),
+                         small_config(8, 30ms));
+  auto future = server.submit(make_input(42));
+  ASSERT_TRUE(future.valid());
+  const InferenceResult r = future.get();
+  EXPECT_EQ(r.batch_size, 1);  // max-wait expired; dispatched under-full
+  EXPECT_GE(r.queue_ms + r.batch_ms, 0.0);
+}
+
+TEST(InferenceServer, BatchedResultsMatchUnbatchedForward) {
+  // Reference: the same architecture and weights, driven one sample at a
+  // time without the serving stack.
+  Rng ref_rng(7);
+  auto reference = models::make_model("small_cnn", 4, 1.0f, ref_rng);
+  reference->set_training(false);
+
+  InferenceServer server(small_cnn_factory(/*seed=*/7),
+                         small_config(4, 100ms));
+  constexpr int kRequests = 6;
+  std::vector<Tensor> inputs;
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    inputs.push_back(make_input(100 + static_cast<uint64_t>(i)));
+    futures.push_back(server.submit(inputs.back().clone()));
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    const InferenceResult r = futures[static_cast<size_t>(i)].get();
+    // Reference forward of the same sample, batch dimension 1.
+    std::vector<int> shape = {1};
+    for (int d : inputs[static_cast<size_t>(i)].shape()) shape.push_back(d);
+    Tensor single(shape);
+    std::copy(inputs[static_cast<size_t>(i)].data(),
+              inputs[static_cast<size_t>(i)].data() +
+                  inputs[static_cast<size_t>(i)].size(),
+              single.data());
+    const Tensor expected = reference->forward(single);
+    ASSERT_EQ(r.logits.size(), expected.size());
+    for (int64_t k = 0; k < expected.size(); ++k) {
+      EXPECT_NEAR(r.logits[k], expected[k], 1e-4f)
+          << "request " << i << " logit " << k;
+    }
+  }
+}
+
+TEST(InferenceServer, PrunedBatchedResultsMatchUnbatchedPrunedForward) {
+  Rng ref_rng(7);
+  auto reference = models::make_model("small_cnn", 4, 1.0f, ref_rng);
+  const core::PruneSettings settings =
+      core::PruneSettings::uniform(reference->num_blocks(), 0.4f, 0.f);
+  core::DynamicPruningEngine ref_engine(*reference, settings);
+  reference->set_training(false);
+
+  ServerConfig config = small_config(4, 100ms);
+  config.prune = settings;
+  InferenceServer server(small_cnn_factory(/*seed=*/7), config);
+
+  constexpr int kRequests = 5;
+  std::vector<Tensor> inputs;
+  std::vector<std::future<InferenceResult>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    inputs.push_back(make_input(300 + static_cast<uint64_t>(i)));
+    futures.push_back(server.submit(inputs.back().clone()));
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    const InferenceResult r = futures[static_cast<size_t>(i)].get();
+    std::vector<int> shape = {1};
+    for (int d : inputs[static_cast<size_t>(i)].shape()) shape.push_back(d);
+    Tensor single(shape);
+    std::copy(inputs[static_cast<size_t>(i)].data(),
+              inputs[static_cast<size_t>(i)].data() +
+                  inputs[static_cast<size_t>(i)].size(),
+              single.data());
+    const Tensor expected = reference->forward(single);
+    for (int64_t k = 0; k < expected.size(); ++k) {
+      EXPECT_NEAR(r.logits[k], expected[k], 1e-4f)
+          << "request " << i << " logit " << k;
+    }
+  }
+  ref_engine.remove();
+}
+
+TEST(InferenceServer, MismatchedShapesFailTheBatchNotTheServer) {
+  InferenceServer server(small_cnn_factory(), small_config(4, 500ms));
+  // Both land in one batch (500ms hold); stacking rejects the mix, the
+  // batch's promises carry the exception, and the worker keeps serving.
+  auto f1 = server.submit(make_input(1, 8));
+  auto f2 = server.submit(make_input(2, 10));
+  EXPECT_THROW(f1.get(), Error);
+  EXPECT_THROW(f2.get(), Error);
+  auto f3 = server.submit(make_input(3, 8));
+  ASSERT_TRUE(f3.valid());
+  EXPECT_EQ(f3.get().batch_size, 1);  // server survived the bad batch
+}
+
+TEST(InferenceServer, ConcurrentShutdownIsSafe) {
+  InferenceServer server(small_cnn_factory(), small_config(2, 5ms));
+  server.submit(make_input(4)).get();
+  std::thread a([&] { server.shutdown(); });
+  std::thread b([&] { server.shutdown(); });
+  a.join();
+  b.join();
+  EXPECT_FALSE(server.submit(make_input(5)).valid());
+}
+
+TEST(InferenceServer, ShutdownRejectsNewWorkAndIsIdempotent) {
+  InferenceServer server(small_cnn_factory(), small_config(2, 5ms));
+  auto before = server.submit(make_input(1));
+  ASSERT_TRUE(before.valid());
+  before.get();
+  server.shutdown();
+  server.shutdown();  // idempotent
+  EXPECT_FALSE(server.submit(make_input(2)).valid());
+  EXPECT_FALSE(server.try_submit(make_input(3)).valid());
+}
+
+TEST(InferenceServer, DeadlineMissesAreFlaggedAndCounted) {
+  InferenceServer server(small_cnn_factory(), small_config(2, 5ms));
+  // A deadline in the past is guaranteed missed but still answered.
+  auto f = server.submit(make_input(9), Clock::now() - 1ms);
+  const InferenceResult r = f.get();
+  EXPECT_TRUE(r.deadline_missed);
+  EXPECT_EQ(server.stats().snapshot().deadline_misses, 1u);
+}
+
+TEST(InferenceServer, LatencyControllerRequiresPruneSettings) {
+  ServerConfig config = small_config(2, 5ms);
+  config.latency = LatencyController::Config{};
+  EXPECT_THROW(InferenceServer(small_cnn_factory(), config), Error);
+}
+
+TEST(InferenceServer, ControllerDecisionsReachTheReplicas) {
+  ServerConfig config = small_config(2, 1ms);
+  Rng probe_rng(7);
+  const int blocks =
+      models::make_model("small_cnn", 4, 1.0f, probe_rng)->num_blocks();
+  config.prune = core::PruneSettings::uniform(blocks, 0.1f, 0.f);
+  LatencyController::Config lc;
+  lc.target_p95_ms = 1e-6;  // unreachably tight: every window tightens
+  lc.window = 1;
+  lc.step = 0.2f;
+  config.latency = lc;
+  InferenceServer server(small_cnn_factory(), config);
+
+  for (int i = 0; i < 12; ++i) server.submit(make_input(50 + i)).get();
+  ASSERT_NE(server.controller(), nullptr);
+  EXPECT_GT(server.controller()->offset(), 0.2f);
+  EXPECT_GT(server.controller()->p95_ms(), 0.0);
+  // The posted ratios took effect: keep stats show harder pruning than the
+  // 0.1-drop base settings alone would produce.
+  const auto keep = server.controller()->keep_summary();
+  EXPECT_LT(keep.mean_channel_keep, 0.9);
+}
+
+}  // namespace
+}  // namespace antidote::serving

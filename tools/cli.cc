@@ -1,13 +1,18 @@
 #include "tools/cli.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <iostream>
+#include <thread>
 
 #include "base/error.h"
 #include "base/flags.h"
 #include "base/rng.h"
+#include "base/timer.h"
 #include "core/antidote.h"
 #include "models/summary.h"
+#include "serving/serving.h"
 
 namespace antidote::cli {
 
@@ -258,32 +263,205 @@ int cmd_sensitivity(const std::vector<std::string>& args) {
   return 0;
 }
 
-constexpr const char* kUsage =
-    "usage: antidote_cli <command> [flags]\n"
-    "commands:\n"
-    "  summary      print a layer table (params, MACs) for a model\n"
-    "  train        train a model on a synthetic dataset\n"
-    "  ttd          training with targeted dropout + ratio ascent\n"
-    "  eval         evaluate a checkpoint under dynamic pruning\n"
-    "  sensitivity  per-block (or per-site) pruning sensitivity sweep\n"
-    "run `antidote_cli <command> --help` for the command's flags\n";
+// Runs a closed-loop load generator against an in-process InferenceServer:
+// `--clients` threads each keep exactly one request in flight, so offered
+// load adapts to what the server sustains and queue backpressure is
+// exercised rather than overflowed.
+int cmd_serve_bench(const std::vector<std::string>& args) {
+  FlagSet flags("antidote_cli serve-bench");
+  add_common_flags(flags);
+  add_prune_flags(flags);
+  flags.add_string("ckpt", "", "checkpoint loaded into every replica "
+                   "(optional; random init otherwise)");
+  flags.add_int("workers", 1, "batch workers (one model replica each)");
+  flags.add_int("max-batch", 8, "micro-batching: max requests per batch");
+  flags.add_double("max-wait-ms", 2.0,
+                   "micro-batching: max hold time for an under-full batch");
+  flags.add_int("queue-capacity", 64, "request queue bound (backpressure)");
+  flags.add_double("budget-ms", 0.0,
+                   "p95 batch-latency budget for the controller "
+                   "(0 = fixed ratios, no latency control)");
+  flags.add_int("clients", 8, "closed-loop client threads");
+  flags.add_int("requests", 512, "measured requests");
+  flags.add_int("warmup", 64, "requests served before stats reset");
+  flags.parse(args);
+  if (flags.help_requested()) {
+    std::cout << flags.usage();
+    return 0;
+  }
+
+  const int image_size = flags.get_int("image-size");
+  const int num_classes = flags.get_int("classes");
+  const uint64_t seed = static_cast<uint64_t>(flags.get_int("seed"));
+  const std::string ckpt = flags.get_string("ckpt");
+  const std::string model = flags.get_string("model");
+  const float width = static_cast<float>(flags.get_double("width"));
+
+  // Settings shape needs a model; probe one, then hand the settings to the
+  // server config and build identical replicas from the factory.
+  auto probe = [&] {
+    Rng rng(seed);
+    return models::make_model(model, num_classes, width, rng);
+  }();
+  core::PruneSettings prune = settings_from_flags(flags, *probe);
+  probe.reset();
+
+  serving::ServerConfig config;
+  config.policy.num_workers = flags.get_int("workers");
+  config.policy.max_batch = flags.get_int("max-batch");
+  config.policy.max_wait = std::chrono::microseconds(
+      static_cast<int64_t>(flags.get_double("max-wait-ms") * 1000.0));
+  config.queue_capacity =
+      static_cast<size_t>(flags.get_int("queue-capacity"));
+  // Serve densely (no gates at all) unless pruning is actually requested;
+  // zero-drop gates would still pay the attention overhead every forward.
+  const double budget_ms = flags.get_double("budget-ms");
+  const auto nonzero = [](const std::vector<float>& v) {
+    return std::any_of(v.begin(), v.end(), [](float x) { return x > 0.f; });
+  };
+  if (budget_ms > 0.0 || nonzero(prune.channel_drop) ||
+      nonzero(prune.spatial_drop)) {
+    config.prune = prune;
+  }
+  if (budget_ms > 0.0) {
+    serving::LatencyController::Config lc;
+    lc.target_p95_ms = budget_ms;
+    config.latency = lc;
+  }
+
+  serving::InferenceServer server(
+      [&](int replica) {
+        Rng rng(seed);  // same seed: every replica gets the same weights
+        auto net = models::make_model(model, num_classes, width, rng);
+        if (!ckpt.empty()) nn::load_checkpoint(*net, ckpt);
+        (void)replica;
+        return net;
+      },
+      config);
+
+  // Warm-up and measured phases run back to back but fully separated, so
+  // the measured stats never mix with warm-up requests.
+  const int num_clients = flags.get_int("clients");
+  auto run_phase = [&](int request_count, uint64_t seed_base) {
+    std::atomic<int> issued{0};
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<size_t>(num_clients));
+    for (int c = 0; c < num_clients; ++c) {
+      clients.emplace_back([&, c] {
+        Rng rng(seed_base + static_cast<uint64_t>(c));
+        while (issued.fetch_add(1) < request_count) {
+          Tensor x = Tensor::randn({3, image_size, image_size}, rng);
+          auto future = server.submit(std::move(x));
+          if (!future.valid()) break;  // server shut down
+          future.get();
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  };
+  run_phase(flags.get_int("warmup"), seed * 1000003ULL);
+  server.stats().reset();
+  if (serving::LatencyController* lc = server.controller()) {
+    lc->reset_keep_summary();
+  }
+  const int measured = flags.get_int("requests");
+  WallTimer run_timer;
+  run_phase(measured, seed * 2000003ULL);
+  const double measured_seconds = run_timer.seconds();
+  server.shutdown();
+
+  server.stats().to_table().emit("serve-bench (" + model + ", " +
+                                 std::to_string(num_clients) + " clients)");
+  if (serving::LatencyController* lc = server.controller()) {
+    const auto keep = lc->keep_summary();
+    std::printf("latency controller: budget %.2f ms, window p95 %.2f ms, "
+                "drop offset %+.2f\n",
+                budget_ms, lc->p95_ms(), lc->offset());
+    std::printf("accuracy proxy: mean channel keep %.3f, "
+                "mean spatial keep %.3f over %llu samples\n",
+                keep.mean_channel_keep, keep.mean_spatial_keep,
+                static_cast<unsigned long long>(keep.samples));
+  }
+  std::printf("measured: %d requests in %.2f s\n", measured,
+              measured_seconds);
+  return 0;
+}
+
+struct CommandEntry {
+  const char* name;
+  int (*run)(const std::vector<std::string>&);
+  const char* help;
+};
+
+constexpr CommandEntry kCommands[] = {
+    {"summary", cmd_summary,
+     "print a layer table (params, MACs) for a model"},
+    {"train", cmd_train, "train a model on a synthetic dataset"},
+    {"ttd", cmd_ttd, "training with targeted dropout + ratio ascent"},
+    {"eval", cmd_eval, "evaluate a checkpoint under dynamic pruning"},
+    {"sensitivity", cmd_sensitivity,
+     "per-block (or per-site) pruning sensitivity sweep"},
+    {"serve-bench", cmd_serve_bench,
+     "closed-loop load test of the batched serving runtime"},
+};
+
+std::string usage_text() {
+  std::string usage = "usage: antidote_cli <command> [flags]\ncommands:\n";
+  for (const CommandEntry& c : kCommands) {
+    std::string line = "  ";
+    line += c.name;
+    line.append(line.size() < 15 ? 15 - line.size() : 1, ' ');
+    usage += line + c.help + "\n";
+  }
+  usage += "run `antidote_cli <command> --help` for the command's flags\n";
+  return usage;
+}
+
+// Edit distance for did-you-mean suggestions on unknown commands.
+size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t next =
+          std::min({row[j] + 1, row[j - 1] + 1,
+                    diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = row[j];
+      row[j] = next;
+    }
+  }
+  return row[b.size()];
+}
 
 }  // namespace
 
 int run_cli(const std::vector<std::string>& args) {
   try {
     if (args.empty() || args[0] == "--help" || args[0] == "-h") {
-      std::cout << kUsage;
+      std::cout << usage_text();
       return args.empty() ? 1 : 0;
     }
     const std::string command = args[0];
     const std::vector<std::string> rest(args.begin() + 1, args.end());
-    if (command == "summary") return cmd_summary(rest);
-    if (command == "train") return cmd_train(rest);
-    if (command == "ttd") return cmd_ttd(rest);
-    if (command == "eval") return cmd_eval(rest);
-    if (command == "sensitivity") return cmd_sensitivity(rest);
-    std::cerr << "unknown command: " << command << "\n" << kUsage;
+    for (const CommandEntry& c : kCommands) {
+      if (command == c.name) return c.run(rest);
+    }
+    std::cerr << "unknown command: " << command << "\n";
+    const CommandEntry* closest = nullptr;
+    size_t best = std::string::npos;
+    for (const CommandEntry& c : kCommands) {
+      const size_t d = edit_distance(command, c.name);
+      if (best == std::string::npos || d < best) {
+        best = d;
+        closest = &c;
+      }
+    }
+    if (closest != nullptr && best <= 3) {
+      std::cerr << "did you mean '" << closest->name << "'?\n";
+    }
+    std::cerr << usage_text();
     return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -8,10 +8,13 @@
 //   antidote_cli eval        --model vgg16 --ckpt ttd.ckpt
 //                            --channel-drop 0.2,0.2,0.6,0.9,0.9
 //   antidote_cli sensitivity --model vgg16 --ckpt m.ckpt [--per-site]
+//   antidote_cli serve-bench --model small_cnn --workers 2 --max-batch 8
+//                            --budget-ms 5 --clients 8 --requests 512
 //
 // Datasets are the synthetic generators (configurable classes/size/counts);
 // checkpoints use the library's binary format. `run_cli` is exposed so the
-// test suite can drive the tool in process.
+// test suite can drive the tool in process. Unknown subcommands print the
+// usage plus a did-you-mean suggestion for the closest command name.
 #pragma once
 
 #include <string>
