@@ -1,12 +1,75 @@
 // End-to-end inference latency (google-benchmark): dense VGG16/ResNet56
-// forward vs dynamically pruned forward at the paper's Table-I settings.
-// The ratio of the two medians is the practical speedup the FLOPs
-// reduction buys on this (im2col+GEMM, single-core) backend.
+// forward vs dynamically pruned forward at the paper's Table-I settings,
+// plus serving-worker steady-state benchmarks running the allocation-free
+// ExecutionContext hot path.
+//
+// Before the benchmarks run, main() executes a hard verification of the
+// serving-path contract and exits non-zero on violation:
+//   - context forwards are bitwise-identical to plain eval forwards
+//     (dense AND masked), pass after pass;
+//   - after warm-up, a serving-style pass (begin_pass + batch stage +
+//     forward) performs ZERO heap allocations (global operator new/delete
+//     are instrumented in this binary).
+//
+// Results are also written as machine-readable JSON (BENCH_e2e.json by
+// default; pass --benchmark_out=... to override) so the perf trajectory is
+// tracked across PRs. The verification block prints logits checksums that
+// future PRs can diff against.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
 #include "base/rng.h"
+#include "bench_main.h"
 #include "core/engine.h"
 #include "models/factory.h"
+#include "nn/execution_context.h"
+
+// --- global allocation counter (this binary only) --------------------------
+
+namespace {
+std::atomic<int64_t> g_heap_allocs{0};
+
+void* counted_alloc(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t n, std::size_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, n ? n : align) != 0) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(a));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -20,6 +83,15 @@ std::unique_ptr<models::ConvNet> build(const std::string& name) {
   net->set_training(false);
   return net;
 }
+
+core::PruneSettings vgg_settings() {
+  core::PruneSettings settings;
+  settings.channel_drop = {0.2f, 0.2f, 0.6f, 0.9f, 0.9f};
+  settings.spatial_drop = {0.3f, 0.3f, 0.3f, 0.3f, 0.3f};
+  return settings;
+}
+
+// --- original single-sample latency benchmarks -----------------------------
 
 void BM_Vgg16Dense(benchmark::State& state) {
   auto net = build("vgg16");
@@ -77,4 +149,144 @@ void BM_Resnet56DynamicPruned(benchmark::State& state) {
 }
 BENCHMARK(BM_Resnet56DynamicPruned);
 
+// --- serving-worker steady state: ExecutionContext hot path ----------------
+//
+// Mirrors BatchScheduler::run_batch: per pass, rewind the arena, stage the
+// batch into it, run the context forward. heap_allocs_per_pass counts
+// global operator new calls inside the timed loop — 0 once warm.
+
+void serving_steady_state(benchmark::State& state,
+                          const std::string& model_name, bool pruned) {
+  const int batch = 8;
+  auto net = build(model_name);
+  std::unique_ptr<core::DynamicPruningEngine> engine;
+  if (pruned) {
+    engine = std::make_unique<core::DynamicPruningEngine>(*net,
+                                                          vgg_settings());
+  }
+  Rng rng(3);
+  std::vector<Tensor> requests;
+  for (int i = 0; i < batch; ++i) {
+    requests.push_back(Tensor::randn({3, 32, 32}, rng));
+  }
+  nn::ExecutionContext ctx;
+  const int64_t sample = requests[0].size();
+  auto run_pass = [&] {
+    ctx.begin_pass();
+    Tensor stacked = ctx.alloc({batch, 3, 32, 32});
+    for (int i = 0; i < batch; ++i) {
+      std::memcpy(stacked.data() + i * sample,
+                  requests[static_cast<size_t>(i)].data(),
+                  static_cast<size_t>(sample) * sizeof(float));
+    }
+    Tensor logits = net->forward(stacked, ctx);
+    benchmark::DoNotOptimize(logits.data());
+  };
+  for (int i = 0; i < 3; ++i) run_pass();  // warm the arena + capacities
+
+  const int64_t allocs_before = g_heap_allocs.load();
+  for (auto _ : state) run_pass();
+  const int64_t allocs = g_heap_allocs.load() - allocs_before;
+  state.counters["heap_allocs_per_pass"] = benchmark::Counter(
+      static_cast<double>(allocs) /
+      static_cast<double>(std::max<int64_t>(1, state.iterations())));
+  state.SetItemsProcessed(state.iterations() * net->last_macs());
+}
+
+void BM_ServingSteadyVgg16Dense(benchmark::State& state) {
+  serving_steady_state(state, "vgg16", /*pruned=*/false);
+}
+BENCHMARK(BM_ServingSteadyVgg16Dense);
+
+void BM_ServingSteadyVgg16Pruned(benchmark::State& state) {
+  serving_steady_state(state, "vgg16", /*pruned=*/true);
+}
+BENCHMARK(BM_ServingSteadyVgg16Pruned);
+
+// --- hard verification of the hot-path contract ----------------------------
+
+double checksum(const Tensor& t) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    acc += double(t.data()[i]) * ((i % 7) + 1);
+  }
+  return acc;
+}
+
+bool verify_path(const std::string& model_name, bool pruned, int batch) {
+  auto net = build(model_name);
+  std::unique_ptr<core::DynamicPruningEngine> engine;
+  if (pruned) {
+    engine = std::make_unique<core::DynamicPruningEngine>(*net,
+                                                          vgg_settings());
+  }
+  Rng rng(4);
+  Tensor x = Tensor::randn({batch, 3, 32, 32}, rng);
+
+  Tensor plain = net->forward(x);
+  const double plain_checksum = checksum(plain);
+
+  nn::ExecutionContext ctx;
+  auto run_pass = [&] {
+    ctx.begin_pass();
+    Tensor staged = ctx.alloc(x.shape());
+    std::memcpy(staged.data(), x.data(),
+                static_cast<size_t>(x.size()) * sizeof(float));
+    return net->forward(staged, ctx);
+  };
+
+  bool ok = true;
+  for (int i = 0; i < 3; ++i) {  // warm-up, checking outputs throughout
+    Tensor y = run_pass();
+    if (std::memcmp(plain.data(), y.data(),
+                    static_cast<size_t>(plain.size()) * sizeof(float)) != 0) {
+      std::fprintf(stderr,
+                   "FAIL [%s %s]: context forward output differs from plain "
+                   "eval forward (pass %d)\n",
+                   model_name.c_str(), pruned ? "pruned" : "dense", i);
+      ok = false;
+    }
+  }
+  const int64_t grows_before = ctx.workspace().grow_count();
+  const int64_t allocs_before = g_heap_allocs.load();
+  const int passes = 5;
+  for (int i = 0; i < passes; ++i) {
+    Tensor y = run_pass();
+    benchmark::DoNotOptimize(y.data());
+  }
+  const int64_t allocs = g_heap_allocs.load() - allocs_before;
+  const int64_t grows = ctx.workspace().grow_count() - grows_before;
+  std::printf(
+      "serving-path %-8s %-6s: %2d passes, %3d heap allocs, %d arena "
+      "growths, logits checksum %.6f\n",
+      model_name.c_str(), pruned ? "pruned" : "dense", passes,
+      static_cast<int>(allocs), static_cast<int>(grows), plain_checksum);
+  if (allocs != 0 || grows != 0) {
+    std::fprintf(stderr,
+                 "FAIL [%s %s]: steady-state serving pass allocated "
+                 "(allocs=%d growths=%d, expected 0)\n",
+                 model_name.c_str(), pruned ? "pruned" : "dense",
+                 static_cast<int>(allocs), static_cast<int>(grows));
+    ok = false;
+  }
+  return ok;
+}
+
+bool run_verification() {
+  std::printf("--- serving hot-path verification ---\n");
+  bool ok = true;
+  ok &= verify_path("vgg16", /*pruned=*/false, /*batch=*/4);
+  ok &= verify_path("vgg16", /*pruned=*/true, /*batch=*/4);
+  ok &= verify_path("resnet56", /*pruned=*/false, /*batch=*/2);
+  std::printf("--- verification %s ---\n", ok ? "PASSED" : "FAILED");
+  return ok;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  const bool skip_verify =
+      std::getenv("ANTIDOTE_SKIP_VERIFY") != nullptr;
+  if (!skip_verify && !run_verification()) return 1;
+  return antidote::bench::run_benchmarks(argc, argv, "BENCH_e2e.json");
+}

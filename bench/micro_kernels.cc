@@ -1,14 +1,20 @@
-// Kernel-level microbenchmarks (google-benchmark): GEMM, im2col, dense vs
-// masked convolution across drop ratios, and the attention+top-k overhead
-// of a gate — quantifying that the runtime saving of dynamic pruning
-// exceeds its bookkeeping cost.
+// Kernel-level microbenchmarks (google-benchmark): GEMM variants, im2col,
+// dense vs masked convolution across drop ratios, and the attention+top-k
+// overhead of a gate — quantifying that the runtime saving of dynamic
+// pruning exceeds its bookkeeping cost.
+//
+// Results are also written as machine-readable JSON (BENCH_kernels.json by
+// default; pass --benchmark_out=... to override) so the perf trajectory is
+// tracked across PRs.
 #include <benchmark/benchmark.h>
 
 #include <numeric>
 
 #include "base/rng.h"
+#include "bench_main.h"
 #include "core/gate.h"
 #include "nn/conv2d.h"
+#include "nn/execution_context.h"
 #include "nn/init.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
@@ -29,7 +35,36 @@ void BM_GemmNN(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
 }
-BENCHMARK(BM_GemmNN)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_GemmNN)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmNT(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(11);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    gemm_nt(n, n, n, 1.f, a.data(), b.data(), 0.f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_GemmNT)->Arg(64)->Arg(256);
+
+// The weight-gradient layout (now parallelized like the other variants).
+void BM_GemmTN(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(12);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    gemm_tn(n, n, n, 1.f, a.data(), b.data(), 0.f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_GemmTN)->Arg(64)->Arg(256);
 
 void BM_Im2col(benchmark::State& state) {
   const int c = static_cast<int>(state.range(0));
@@ -131,4 +166,28 @@ void BM_GateForward(benchmark::State& state) {
 }
 BENCHMARK(BM_GateForward)->Arg(64)->Arg(128);
 
+// Dense conv through the allocation-free ExecutionContext hot path —
+// compare with BM_ConvDense to see the workspace/arena saving at layer
+// granularity.
+void BM_ConvDenseCtx(benchmark::State& state) {
+  const int ch = static_cast<int>(state.range(0));
+  Rng rng(7);
+  nn::Conv2d conv(ch, ch, 3, 1, 1, false);
+  nn::init_module(conv, rng);
+  conv.set_training(false);
+  Tensor x = Tensor::randn({1, ch, 16, 16}, rng);
+  nn::ExecutionContext ctx;
+  for (auto _ : state) {
+    ctx.begin_pass();
+    Tensor y = conv.forward(x, ctx);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * conv.last_macs());
+}
+BENCHMARK(BM_ConvDenseCtx)->Arg(32)->Arg(64)->Arg(128);
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  return antidote::bench::run_benchmarks(argc, argv, "BENCH_kernels.json");
+}

@@ -1,4 +1,11 @@
 // Environment-variable helpers for scaling benchmarks and examples.
+//
+// Recognized variables:
+//   ANTIDOTE_BENCH_SCALE  — bench model scale: smoke | default | full.
+//   ANTIDOTE_THREADS      — total compute threads for the kernel thread
+//                           pool, including the calling thread (1 = fully
+//                           inline; unset = hardware_concurrency). Read by
+//                           base/parallel.cc at first use.
 #pragma once
 
 #include <string>

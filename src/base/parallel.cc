@@ -2,10 +2,14 @@
 
 #include <algorithm>
 
+#include "base/env.h"
+
 namespace antidote {
 
 ThreadPool::ThreadPool(int num_threads) {
   workers_.reserve(static_cast<size_t>(std::max(0, num_threads)));
+  // Enough slots for several concurrent dispatches before any growth.
+  ring_.resize(static_cast<size_t>(4 * (std::max(0, num_threads) + 1)));
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
@@ -20,38 +24,59 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::push_locked(const Task& task) {
+  if (ring_count_ == ring_.size()) {
+    // Rare growth path: re-lay the ring out in order at double capacity.
+    std::vector<Task> bigger(ring_.size() * 2);
+    for (size_t i = 0; i < ring_count_; ++i) {
+      bigger[i] = ring_[(ring_head_ + i) % ring_.size()];
+    }
+    ring_.swap(bigger);
+    ring_head_ = 0;
+  }
+  ring_[(ring_head_ + ring_count_) % ring_.size()] = task;
+  ++ring_count_;
+}
+
+bool ThreadPool::pop_locked(Task& task) {
+  if (ring_count_ == 0) return false;
+  task = ring_[ring_head_];
+  ring_head_ = (ring_head_ + 1) % ring_.size();
+  --ring_count_;
+  return true;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      cv_.wait(lock, [this] { return stop_ || ring_count_ > 0; });
+      if (stop_ && ring_count_ == 0) return;
+      pop_locked(task);
     }
     try {
       task.fn(task.begin, task.end);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+      if (!task.group->error) task.group->error = std::current_exception();
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (--pending_ == 0) done_cv_.notify_all();
+      if (--task.group->pending == 0) done_cv_.notify_all();
     }
   }
 }
 
-void ThreadPool::parallel_for_chunks(
-    int64_t begin, int64_t end,
-    const std::function<void(int64_t, int64_t)>& fn) {
+void ThreadPool::parallel_for_chunks(int64_t begin, int64_t end,
+                                     RangeFnRef fn) {
   if (begin >= end) return;
   const int64_t n = end - begin;
   const int parts = size() + 1;
   const int64_t chunk = (n + parts - 1) / parts;
 
   // Caller handles the first chunk itself; pool handles the rest.
+  DispatchGroup group;
   int queued = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -59,43 +84,42 @@ void ThreadPool::parallel_for_chunks(
       const int64_t b = begin + p * chunk;
       if (b >= end) break;
       const int64_t e = std::min(end, b + chunk);
-      tasks_.push(Task{fn, b, e});
+      push_locked(Task{fn, b, e, &group});
       ++queued;
     }
-    pending_ += queued;
+    group.pending = queued;
   }
   if (queued > 0) cv_.notify_all();
 
-  fn(begin, std::min(end, begin + chunk));
+  // Even if the inline chunk throws we MUST wait for the queued tasks:
+  // they reference `fn`'s underlying callable (and `group`) on this stack
+  // frame, so unwinding before they finish would leave workers running
+  // over a destroyed closure.
+  std::exception_ptr inline_error;
+  try {
+    fn(begin, std::min(end, begin + chunk));
+  } catch (...) {
+    inline_error = std::current_exception();
+  }
 
   if (queued > 0) {
     std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    done_cv_.wait(lock, [&group] { return group.pending == 0; });
   }
-  std::exception_ptr err;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    std::swap(err, first_error_);
-  }
-  if (err) std::rethrow_exception(err);
+  if (inline_error) std::rethrow_exception(inline_error);
+  if (group.error) std::rethrow_exception(group.error);
 }
 
 ThreadPool& global_pool() {
-  static ThreadPool pool(
-      std::max(0, static_cast<int>(std::thread::hardware_concurrency()) - 1));
+  static ThreadPool pool([] {
+    const int hw =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+    // ANTIDOTE_THREADS counts total compute threads including the caller;
+    // the pool holds the rest. 1 -> fully inline execution.
+    const int total = std::max(1, env_int("ANTIDOTE_THREADS", hw));
+    return total - 1;
+  }());
   return pool;
-}
-
-void parallel_for(int64_t begin, int64_t end,
-                  const std::function<void(int64_t, int64_t)>& fn,
-                  int64_t grain) {
-  if (begin >= end) return;
-  ThreadPool& pool = global_pool();
-  if (pool.size() == 0 || end - begin < 2 * grain) {
-    fn(begin, end);
-    return;
-  }
-  pool.parallel_for_chunks(begin, end, fn);
 }
 
 }  // namespace antidote

@@ -2,17 +2,51 @@
 // pool. On single-core machines (or when the grain is too small to amortize
 // dispatch) the loop runs inline on the caller's thread, so the library has
 // no parallel overhead where parallelism cannot help.
+//
+// The dispatch path is allocation-free in steady state: tasks carry a
+// non-owning function reference (no std::function copies) and queue into a
+// ring buffer whose capacity persists across calls. This matters because
+// parallel_for sits inside the inference hot path (GEMM row panels), which
+// must perform zero heap allocations per forward pass.
+//
+// Pool sizing: ANTIDOTE_THREADS (total compute threads including the
+// caller) when set, else hardware_concurrency(). The pool itself holds one
+// fewer thread than that, since the calling thread always works too.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <mutex>
-#include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace antidote {
+
+// Non-owning reference to a `void(int64_t begin, int64_t end)` callable.
+// The referenced callable must outlive the call — guaranteed here because
+// parallel_for_chunks blocks until every chunk has completed.
+class RangeFnRef {
+ public:
+  RangeFnRef() = default;  // null reference; used for empty queue slots
+
+  template <typename Fn,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<Fn>, RangeFnRef>>>
+  RangeFnRef(const Fn& fn)  // NOLINT(google-explicit-constructor)
+      : ctx_(const_cast<void*>(static_cast<const void*>(&fn))),
+        call_([](void* ctx, int64_t b, int64_t e) {
+          (*static_cast<const Fn*>(ctx))(b, e);
+        }) {}
+
+  void operator()(int64_t begin, int64_t end) const {
+    call_(ctx_, begin, end);
+  }
+
+ private:
+  void* ctx_ = nullptr;
+  void (*call_)(void*, int64_t, int64_t) = nullptr;
+};
 
 class ThreadPool {
  public:
@@ -26,36 +60,57 @@ class ThreadPool {
   // Runs fn(chunk_begin, chunk_end) over [begin, end) split into roughly
   // equal chunks across the pool plus the calling thread. Blocks until all
   // chunks are done. Exceptions from workers are rethrown on the caller.
-  void parallel_for_chunks(
-      int64_t begin, int64_t end,
-      const std::function<void(int64_t, int64_t)>& fn);
+  void parallel_for_chunks(int64_t begin, int64_t end, RangeFnRef fn);
 
  private:
+  // Per-dispatch completion state, living on the dispatching caller's
+  // stack. Concurrent dispatchers (e.g. two serving workers inside their
+  // own GEMMs) therefore track their own pending counts and their own
+  // first exception — one caller's failure or stragglers never leak into
+  // another caller's dispatch.
+  struct DispatchGroup {
+    int pending = 0;
+    std::exception_ptr error;
+  };
+
   struct Task {
-    std::function<void(int64_t, int64_t)> fn;
+    RangeFnRef fn;
     int64_t begin = 0;
     int64_t end = 0;
+    DispatchGroup* group = nullptr;
   };
 
   void worker_loop();
+  void push_locked(const Task& task);
+  bool pop_locked(Task& task);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable done_cv_;
-  std::queue<Task> tasks_;
-  int pending_ = 0;
+  // Fixed-capacity ring buffer reused across dispatches; grows (rarely)
+  // under the mutex, then never again.
+  std::vector<Task> ring_;
+  size_t ring_head_ = 0;
+  size_t ring_count_ = 0;
   bool stop_ = false;
-  std::exception_ptr first_error_;
 };
 
-// Global pool sized to hardware_concurrency() - 1 (may be empty).
+// Global pool; see the header comment for sizing (ANTIDOTE_THREADS).
 ThreadPool& global_pool();
 
 // Parallel loop over [begin, end). `grain` is the minimum work per chunk;
 // loops smaller than 2*grain run inline.
-void parallel_for(int64_t begin, int64_t end,
-                  const std::function<void(int64_t, int64_t)>& fn,
-                  int64_t grain = 1024);
+template <typename Fn>
+void parallel_for(int64_t begin, int64_t end, const Fn& fn,
+                  int64_t grain = 1024) {
+  if (begin >= end) return;
+  ThreadPool& pool = global_pool();
+  if (pool.size() == 0 || end - begin < 2 * grain) {
+    fn(begin, end);
+    return;
+  }
+  pool.parallel_for_chunks(begin, end, RangeFnRef(fn));
+}
 
 }  // namespace antidote

@@ -1,6 +1,7 @@
 #include "core/gate.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "base/error.h"
 #include "core/attention.h"
@@ -62,6 +63,7 @@ Tensor AttentionGate::forward_soft(const Tensor& x) {
 }
 
 Tensor AttentionGate::forward(const Tensor& x) {
+  ctx_forward_masked_ = false;
   AD_CHECK_EQ(x.ndim(), 4) << " AttentionGate expects NCHW";
   const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const int hw = h * w;
@@ -159,7 +161,123 @@ Tensor AttentionGate::forward(const Tensor& x) {
   return out;
 }
 
+void AttentionGate::compute_attention(const Tensor& x, bool channels,
+                                      bool spatial) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  if (channels) {
+    if (!(last_ch_att_.shape() == Shape{n, c})) {
+      last_ch_att_ = Tensor({n, c});
+    }
+    ops::channel_mean_nchw_into(x, last_ch_att_.data());
+  }
+  if (spatial) {
+    if (!(last_sp_att_.shape() == Shape{n, h, w})) {
+      last_sp_att_ = Tensor({n, h, w});
+    }
+    ops::spatial_mean_nchw_into(x, last_sp_att_.data());
+  }
+}
+
+Tensor AttentionGate::forward(const Tensor& x, nn::ExecutionContext& ctx) {
+  if (is_training()) return forward(x);
+  ctx_forward_masked_ = false;
+  AD_CHECK_EQ(x.ndim(), 4) << " AttentionGate expects NCHW";
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int hw = h * w;
+
+  const bool prune_channels = config_.channel_drop > 0.f;
+  const bool prune_spatial = config_.spatial_drop > 0.f;
+  if (!enabled_ || (!prune_channels && !prune_spatial)) {
+    stats_ = Stats{};
+    last_masks_.clear();
+    cached_mask_ = Tensor();
+    return x;
+  }
+  if (config_.mode == GateMode::kSoftSigmoid) return forward_soft(x);
+
+  stats_ = Stats{};
+  stats_.samples = n;
+  stats_.channels = c;
+  stats_.positions = hw;
+  // resize (not assign) keeps each element's vectors and their capacity;
+  // every field is rewritten or cleared below.
+  last_masks_.resize(static_cast<size_t>(n));
+
+  compute_attention(x, prune_channels, prune_spatial);
+
+  Tensor out = ctx.alloc(x.shape());
+  std::memcpy(out.data(), x.data(),
+              static_cast<size_t>(x.size()) * sizeof(float));
+  cached_mask_ = Tensor();  // inference: no backward cache
+  ctx_forward_masked_ = true;
+
+  for (int b = 0; b < n; ++b) {
+    nn::ConvRuntimeMask& sample_mask = last_masks_[static_cast<size_t>(b)];
+    sample_mask.out_channels.clear();
+
+    if (prune_channels) {
+      std::span<const float> att(
+          last_ch_att_.data() + static_cast<int64_t>(b) * c,
+          static_cast<size_t>(c));
+      select_kept_into(att, config_.channel_drop, config_.order, rng_,
+                       select_scratch_, sample_mask.channels);
+      stats_.kept_channels +=
+          static_cast<int64_t>(sample_mask.channels.size());
+      kept_to_mask_into(sample_mask.channels, c, keep_scratch_);
+      for (int ch = 0; ch < c; ++ch) {
+        if (keep_scratch_[static_cast<size_t>(ch)]) continue;
+        float* plane = out.data() + (static_cast<int64_t>(b) * c + ch) * hw;
+        for (int j = 0; j < hw; ++j) plane[j] = 0.f;
+      }
+    } else {
+      sample_mask.channels.clear();
+      stats_.kept_channels += c;
+    }
+
+    if (prune_spatial) {
+      std::span<const float> att(
+          last_sp_att_.data() + static_cast<int64_t>(b) * hw,
+          static_cast<size_t>(hw));
+      select_kept_into(att, config_.spatial_drop, config_.order, rng_,
+                       select_scratch_, sample_mask.positions);
+      stats_.kept_positions +=
+          static_cast<int64_t>(sample_mask.positions.size());
+      kept_to_mask_into(sample_mask.positions, hw, keep_scratch_);
+      for (int ch = 0; ch < c; ++ch) {
+        float* plane = out.data() + (static_cast<int64_t>(b) * c + ch) * hw;
+        for (int j = 0; j < hw; ++j) {
+          if (!keep_scratch_[static_cast<size_t>(j)]) plane[j] = 0.f;
+        }
+      }
+    } else {
+      sample_mask.positions.clear();
+      stats_.kept_positions += hw;
+    }
+  }
+
+  if (forward_to_consumer_ && consumer_ != nullptr) {
+    if (spatially_aligned_) {
+      consumer_->set_runtime_masks(
+          std::span<const nn::ConvRuntimeMask>(last_masks_));
+    } else {
+      // Positions cannot be skipped downstream; strip them into the
+      // reusable staging vector first.
+      runtime_scratch_.resize(last_masks_.size());
+      for (size_t i = 0; i < last_masks_.size(); ++i) {
+        runtime_scratch_[i].channels = last_masks_[i].channels;
+        runtime_scratch_[i].positions.clear();
+        runtime_scratch_[i].out_channels.clear();
+      }
+      consumer_->set_runtime_masks(
+          std::span<const nn::ConvRuntimeMask>(runtime_scratch_));
+    }
+  }
+  return out;
+}
+
 Tensor AttentionGate::backward(const Tensor& grad_out) {
+  AD_CHECK(!ctx_forward_masked_)
+      << " backward after a context (inference) AttentionGate forward";
   if (cached_mask_.empty()) return grad_out;  // was identity
   return ops::mul(grad_out, cached_mask_);
 }

@@ -56,6 +56,12 @@ class AttentionGate : public nn::Gate {
                 bool spatially_aligned);
 
   Tensor forward(const Tensor& x) override;
+  // Inference hot path: output and attention scratch come from the
+  // context/member buffers (no steady-state allocations), no backward
+  // cache is built, and masks are handed to the consumer by span (copied
+  // into its reusable storage). Results are bitwise identical to the
+  // plain eval forward.
+  Tensor forward(const Tensor& x, nn::ExecutionContext& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
   std::string type_name() const override { return "AttentionGate"; }
 
@@ -94,6 +100,9 @@ class AttentionGate : public nn::Gate {
 
  private:
   Tensor forward_soft(const Tensor& x);
+  // (Re)computes the attention tensors the configured pruning needs,
+  // reusing the member tensors' storage when shapes are steady.
+  void compute_attention(const Tensor& x, bool channels, bool spatial);
 
   GateConfig config_;
   nn::Conv2d* consumer_;
@@ -107,6 +116,14 @@ class AttentionGate : public nn::Gate {
   Tensor last_ch_att_;
   Tensor last_sp_att_;
   Tensor cached_mask_;  // binary mask of last forward, for backward
+
+  // Reusable hot-path scratch (capacity persists across passes).
+  std::vector<int> select_scratch_;
+  std::vector<uint8_t> keep_scratch_;
+  std::vector<nn::ConvRuntimeMask> runtime_scratch_;
+  // True after a context forward that masked: backward must then fail
+  // loudly (an empty cached_mask_ alone also means "was identity").
+  bool ctx_forward_masked_ = false;
 };
 
 }  // namespace antidote::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "base/error.h"
 #include "tensor/ops.h"
@@ -30,33 +31,48 @@ int kept_count(int n, float drop_ratio) {
 
 std::vector<int> select_kept(std::span<const float> attention,
                              float drop_ratio, MaskOrder order, Rng& rng) {
+  std::vector<int> scratch, kept;
+  select_kept_into(attention, drop_ratio, order, rng, scratch, kept);
+  return kept;
+}
+
+void select_kept_into(std::span<const float> attention, float drop_ratio,
+                      MaskOrder order, Rng& rng, std::vector<int>& scratch,
+                      std::vector<int>& kept) {
   const int n = static_cast<int>(attention.size());
   const int k = kept_count(n, drop_ratio);
-  std::vector<int> kept;
   switch (order) {
     case MaskOrder::kAttention:
-      kept = ops::topk_indices(attention, k);
+      ops::topk_indices_into(attention, k, scratch, kept);
       break;
     case MaskOrder::kInverseAttention:
-      kept = ops::bottomk_indices(attention, k);
+      ops::bottomk_indices_into(attention, k, scratch, kept);
       break;
     case MaskOrder::kRandom: {
-      std::vector<int> perm = rng.permutation(n);
-      kept.assign(perm.begin(), perm.begin() + k);
+      // Same draw as Rng::permutation: shuffle of iota, first k kept.
+      scratch.resize(static_cast<size_t>(n));
+      std::iota(scratch.begin(), scratch.end(), 0);
+      rng.shuffle(scratch);
+      kept.assign(scratch.begin(), scratch.begin() + k);
       break;
     }
   }
   std::sort(kept.begin(), kept.end());
-  return kept;
 }
 
 std::vector<uint8_t> kept_to_mask(std::span<const int> kept, int n) {
-  std::vector<uint8_t> mask(static_cast<size_t>(n), 0);
+  std::vector<uint8_t> mask;
+  kept_to_mask_into(kept, n, mask);
+  return mask;
+}
+
+void kept_to_mask_into(std::span<const int> kept, int n,
+                       std::vector<uint8_t>& mask) {
+  mask.assign(static_cast<size_t>(n), 0);
   for (int i : kept) {
     AD_CHECK(i >= 0 && i < n) << " kept index " << i;
     mask[static_cast<size_t>(i)] = 1;
   }
-  return mask;
 }
 
 }  // namespace antidote::core

@@ -29,7 +29,17 @@ int kept_count(int n, float drop_ratio);
 std::vector<int> select_kept(std::span<const float> attention,
                              float drop_ratio, MaskOrder order, Rng& rng);
 
+// Reusable-buffer variant for the inference hot path: `scratch` and `kept`
+// retain their capacity across calls (zero allocations once warm). Result
+// identical to select_kept.
+void select_kept_into(std::span<const float> attention, float drop_ratio,
+                      MaskOrder order, Rng& rng, std::vector<int>& scratch,
+                      std::vector<int>& kept);
+
 // Expands kept indices into a dense 0/1 mask of length n.
 std::vector<uint8_t> kept_to_mask(std::span<const int> kept, int n);
+// Reusable-buffer variant of kept_to_mask.
+void kept_to_mask_into(std::span<const int> kept, int n,
+                       std::vector<uint8_t>& mask);
 
 }  // namespace antidote::core

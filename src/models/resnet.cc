@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "base/error.h"
 #include "tensor/ops.h"
@@ -15,14 +16,20 @@ int scaled(int base, float mult) {
 constexpr int kBaseWidths[3] = {16, 32, 64};
 }  // namespace
 
-Tensor shortcut_option_a(const Tensor& x, int out_c, int stride) {
+Tensor shortcut_option_a(const Tensor& x, int out_c, int stride,
+                         nn::ExecutionContext* ctx) {
   AD_CHECK_EQ(x.ndim(), 4);
   const int n = x.dim(0), in_c = x.dim(1), h = x.dim(2), w = x.dim(3);
   AD_CHECK_GE(out_c, in_c);
   if (out_c == in_c && stride == 1) return x;
   const int oh = (h + stride - 1) / stride;
   const int ow = (w + stride - 1) / stride;
-  Tensor y({n, out_c, oh, ow});  // extra channels stay zero
+  // Extra channels stay zero (arena memory must be cleared explicitly).
+  Tensor y = ctx != nullptr ? ctx->alloc({n, out_c, oh, ow})
+                            : Tensor({n, out_c, oh, ow});
+  if (ctx != nullptr) {
+    std::memset(y.data(), 0, static_cast<size_t>(y.size()) * sizeof(float));
+  }
   for (int b = 0; b < n; ++b) {
     for (int c = 0; c < in_c; ++c) {
       for (int yy = 0; yy < oh; ++yy) {
@@ -35,8 +42,7 @@ Tensor shortcut_option_a(const Tensor& x, int out_c, int stride) {
   return y;
 }
 
-Tensor shortcut_option_a_backward(const Tensor& dy,
-                                  const std::vector<int>& in_shape,
+Tensor shortcut_option_a_backward(const Tensor& dy, const Shape& in_shape,
                                   int stride) {
   AD_CHECK_EQ(in_shape.size(), 4u);
   const int n = in_shape[0], in_c = in_shape[1];
@@ -101,6 +107,19 @@ Tensor ResNetCifar::block_forward(Block& b, const Tensor& x) {
   return b.relu2->forward(out);
 }
 
+Tensor ResNetCifar::block_forward(Block& b, const Tensor& x,
+                                  nn::ExecutionContext& ctx) {
+  Tensor out = b.conv1->forward(x, ctx);
+  out = b.bn1->forward(out, ctx);
+  out = b.relu1->forward(out, ctx);
+  if (b.gate) out = b.gate->forward(out, ctx);
+  out = b.conv2->forward(out, ctx);
+  out = b.bn2->forward(out, ctx);
+  const Tensor sc = shortcut_option_a(x, b.out_c, b.stride, &ctx);
+  ops::add_(out, sc);
+  return b.relu2->forward(out, ctx);
+}
+
 Tensor ResNetCifar::block_backward(Block& b, const Tensor& dy) {
   Tensor d = b.relu2->backward(dy);
   // Branch path.
@@ -124,6 +143,16 @@ Tensor ResNetCifar::forward(const Tensor& x) {
   for (Block& b : blocks_) cur = block_forward(b, cur);
   cur = gap_.forward(cur);
   return classifier_->forward(cur);
+}
+
+Tensor ResNetCifar::forward(const Tensor& x, nn::ExecutionContext& ctx) {
+  if (is_training()) return forward(x);
+  Tensor cur = stem_conv_->forward(x, ctx);
+  cur = stem_bn_->forward(cur, ctx);
+  cur = stem_relu_->forward(cur, ctx);
+  for (Block& b : blocks_) cur = block_forward(b, cur, ctx);
+  cur = gap_.forward(cur, ctx);
+  return classifier_->forward(cur, ctx);
 }
 
 Tensor ResNetCifar::backward(const Tensor& grad_out) {

@@ -30,6 +30,7 @@ class ResNetCifar : public ConvNet {
 
   // --- nn::Module ---
   Tensor forward(const Tensor& x) override;
+  Tensor forward(const Tensor& x, nn::ExecutionContext& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<nn::Parameter*> parameters() override;
   void visit_state(const std::string& prefix,
@@ -70,6 +71,7 @@ class ResNetCifar : public ConvNet {
   };
 
   Tensor block_forward(Block& b, const Tensor& x);
+  Tensor block_forward(Block& b, const Tensor& x, nn::ExecutionContext& ctx);
   Tensor block_backward(Block& b, const Tensor& dy);
 
   ResNetConfig config_;
@@ -83,9 +85,10 @@ class ResNetCifar : public ConvNet {
 
 // Option-A shortcut: spatial subsampling by `stride` with zero-padded extra
 // channels. Exposed for unit testing.
-Tensor shortcut_option_a(const Tensor& x, int out_c, int stride);
+Tensor shortcut_option_a(const Tensor& x, int out_c, int stride,
+                         nn::ExecutionContext* ctx = nullptr);
 // Gradient of shortcut_option_a w.r.t. x.
-Tensor shortcut_option_a_backward(const Tensor& dy, const std::vector<int>&
-                                  in_shape, int stride);
+Tensor shortcut_option_a_backward(const Tensor& dy, const Shape& in_shape,
+                                  int stride);
 
 }  // namespace antidote::models

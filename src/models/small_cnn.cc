@@ -38,6 +38,20 @@ Tensor SmallCnn::forward(const Tensor& x) {
   return classifier_->forward(cur);
 }
 
+Tensor SmallCnn::forward(const Tensor& x, nn::ExecutionContext& ctx) {
+  if (is_training()) return forward(x);
+  Tensor cur = x;
+  for (Stage& s : stages_) {
+    cur = s.conv->forward(cur, ctx);
+    cur = s.bn->forward(cur, ctx);
+    cur = s.relu->forward(cur, ctx);
+    if (s.gate) cur = s.gate->forward(cur, ctx);
+    if (s.pool) cur = s.pool->forward(cur, ctx);
+  }
+  cur = gap_.forward(cur, ctx);
+  return classifier_->forward(cur, ctx);
+}
+
 Tensor SmallCnn::backward(const Tensor& grad_out) {
   Tensor cur = classifier_->backward(grad_out);
   cur = gap_.backward(cur);

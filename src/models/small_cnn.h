@@ -27,6 +27,7 @@ class SmallCnn : public ConvNet {
   explicit SmallCnn(const SmallCnnConfig& config);
 
   Tensor forward(const Tensor& x) override;
+  Tensor forward(const Tensor& x, nn::ExecutionContext& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<nn::Parameter*> parameters() override;
   void visit_state(const std::string& prefix,

@@ -52,6 +52,20 @@ Tensor Vgg::forward(const Tensor& x) {
   return classifier_->forward(cur);
 }
 
+Tensor Vgg::forward(const Tensor& x, nn::ExecutionContext& ctx) {
+  if (is_training()) return forward(x);
+  Tensor cur = x;
+  for (Unit& u : units_) {
+    cur = u.conv->forward(cur, ctx);
+    cur = u.bn->forward(cur, ctx);
+    cur = u.relu->forward(cur, ctx);
+    if (u.gate) cur = u.gate->forward(cur, ctx);
+    if (u.pool) cur = u.pool->forward(cur, ctx);
+  }
+  cur = gap_.forward(cur, ctx);
+  return classifier_->forward(cur, ctx);
+}
+
 Tensor Vgg::backward(const Tensor& grad_out) {
   Tensor cur = classifier_->backward(grad_out);
   cur = gap_.backward(cur);

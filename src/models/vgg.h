@@ -28,6 +28,7 @@ class Vgg : public ConvNet {
 
   // --- nn::Module ---
   Tensor forward(const Tensor& x) override;
+  Tensor forward(const Tensor& x, nn::ExecutionContext& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<nn::Parameter*> parameters() override;
   void visit_state(const std::string& prefix,

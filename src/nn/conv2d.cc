@@ -1,9 +1,11 @@
 #include "nn/conv2d.h"
 
+#include <cstring>
 #include <numeric>
 
 #include "base/error.h"
 #include "tensor/gemm.h"
+#include "tensor/workspace.h"
 
 namespace antidote::nn {
 
@@ -36,7 +38,7 @@ int64_t Conv2d::dense_macs_per_sample(int in_h, int in_w) const {
   return static_cast<int64_t>(out_c_) * g.out_positions() * g.patch_rows();
 }
 
-void Conv2d::set_runtime_masks(std::vector<ConvRuntimeMask> masks) {
+void Conv2d::check_masks(std::span<const ConvRuntimeMask> masks) const {
   for (const auto& m : masks) {
     for (int c : m.channels) {
       AD_CHECK(c >= 0 && c < in_c_) << " runtime mask channel " << c;
@@ -48,25 +50,58 @@ void Conv2d::set_runtime_masks(std::vector<ConvRuntimeMask> masks) {
     AD_CHECK(std::is_sorted(m.positions.begin(), m.positions.end()));
     AD_CHECK(std::is_sorted(m.out_channels.begin(), m.out_channels.end()));
   }
-  pending_masks_ = std::move(masks);
 }
 
-Tensor Conv2d::forward(const Tensor& x) {
+void Conv2d::set_runtime_masks(std::vector<ConvRuntimeMask> masks) {
+  check_masks(masks);
+  pending_masks_ = std::move(masks);
+  masks_pending_ = !pending_masks_.empty();
+}
+
+void Conv2d::set_runtime_masks(std::span<const ConvRuntimeMask> masks) {
+  check_masks(masks);
+  // Element-wise copy-assign into the warm storage left behind by earlier
+  // passes (not vector::assign, whose capacity reuse for the elements'
+  // inner vectors is an implementation detail): each index vector keeps
+  // its capacity, so a steady-shape serving loop stops allocating here
+  // after the first few passes.
+  const size_t keep = std::min(pending_masks_.size(), masks.size());
+  for (size_t i = 0; i < keep; ++i) pending_masks_[i] = masks[i];
+  if (masks.size() > keep) {
+    pending_masks_.insert(pending_masks_.end(), masks.begin() + keep,
+                          masks.end());
+  } else {
+    pending_masks_.resize(masks.size());
+  }
+  masks_pending_ = !pending_masks_.empty();
+}
+
+Tensor Conv2d::forward(const Tensor& x) { return forward_impl(x, nullptr); }
+
+Tensor Conv2d::forward(const Tensor& x, ExecutionContext& ctx) {
+  if (is_training()) return forward_impl(x, nullptr);
+  return forward_impl(x, &ctx);
+}
+
+Tensor Conv2d::forward_impl(const Tensor& x, ExecutionContext* ctx) {
   AD_CHECK_EQ(x.ndim(), 4) << " Conv2d expects NCHW, got " << x.shape_str();
   AD_CHECK_EQ(x.dim(1), in_c_) << " Conv2d input channels";
-  if (!pending_masks_.empty()) {
-    std::vector<ConvRuntimeMask> masks;
-    masks.swap(pending_masks_);  // consume: masks apply to this pass only
-    AD_CHECK_EQ(static_cast<int>(masks.size()), x.dim(0))
+  if (masks_pending_) {
+    // Consume: masks apply to this pass only. Swapping through a member
+    // (instead of a local, and without clear()ing either side) keeps both
+    // vectors' elements alive as warm storage across passes.
+    active_masks_.swap(pending_masks_);
+    masks_pending_ = false;
+    AD_CHECK_EQ(static_cast<int>(active_masks_.size()), x.dim(0))
         << " runtime mask count vs batch size";
     last_forward_was_masked_ = true;
-    return forward_masked(x, masks);
+    return forward_masked(x, active_masks_, ctx);
   }
   last_forward_was_masked_ = false;
-  return forward_dense(x);
+  return forward_dense(x, ctx);
 }
 
-Tensor Conv2d::forward_dense(const Tensor& x) {
+Tensor Conv2d::forward_dense(const Tensor& x, ExecutionContext* ctx) {
   const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
   ConvGeom g{in_c_, h, w, k_, k_, stride_, pad_};
   g.validate();
@@ -74,16 +109,19 @@ Tensor Conv2d::forward_dense(const Tensor& x) {
   const int64_t patch = g.patch_rows();
   const int64_t pos = g.out_positions();
 
-  Tensor y({n, out_c_, oh, ow});
-  Tensor cols({static_cast<int>(patch), static_cast<int>(pos)});
+  Workspace& ws = ctx != nullptr ? ctx->workspace() : thread_local_workspace();
+  Tensor y = ctx != nullptr ? ctx->alloc({n, out_c_, oh, ow})
+                            : Tensor({n, out_c_, oh, ow});
+  const Workspace::Mark scratch = ws.mark();
+  float* cols = ws.alloc_floats(patch * pos);
   const float* wp = weight_.value.data();
 
   for (int b = 0; b < n; ++b) {
     const float* xb = x.data() + static_cast<int64_t>(b) * in_c_ * h * w;
     float* yb = y.data() + static_cast<int64_t>(b) * out_c_ * pos;
-    im2col(xb, g, cols.data());
+    im2col(xb, g, cols);
     gemm_nn(out_c_, static_cast<int>(pos), static_cast<int>(patch), 1.f, wp,
-            cols.data(), 0.f, yb);
+            cols, 0.f, yb, &ws);
     if (has_bias_) {
       const float* bp = bias_.value.data();
       for (int oc = 0; oc < out_c_; ++oc) {
@@ -92,37 +130,52 @@ Tensor Conv2d::forward_dense(const Tensor& x) {
       }
     }
   }
+  ws.rewind(scratch);
   last_macs_ = static_cast<int64_t>(n) * out_c_ * pos * patch;
-  cached_input_ = x;
+  // Context forwards are inference-only: skip the backward cache so arena
+  // tensors never outlive their pass.
+  cached_input_ = ctx != nullptr ? Tensor() : x;
   return y;
 }
 
 Tensor Conv2d::forward_masked(const Tensor& x,
-                              const std::vector<ConvRuntimeMask>& masks) {
+                              const std::vector<ConvRuntimeMask>& masks,
+                              ExecutionContext* ctx) {
   const int n = x.dim(0), h = x.dim(2), w = x.dim(3);
   ConvGeom g{in_c_, h, w, k_, k_, stride_, pad_};
   g.validate();
   const int oh = g.out_h(), ow = g.out_w();
   const int64_t pos = g.out_positions();
 
-  Tensor y({n, out_c_, oh, ow});
+  Workspace& ws = ctx != nullptr ? ctx->workspace() : thread_local_workspace();
+  Tensor y = ctx != nullptr ? ctx->alloc({n, out_c_, oh, ow})
+                            : Tensor({n, out_c_, oh, ow});
+  if (ctx != nullptr) {
+    // Arena memory is uninitialized; pruned positions must stay zero.
+    std::memset(y.data(), 0, static_cast<size_t>(y.size()) * sizeof(float));
+  }
   last_macs_ = 0;
 
+  const Workspace::Mark outer = ws.mark();
   // Identity index sets reused when a mask third is empty (= keep all).
-  std::vector<int> all_channels(static_cast<size_t>(in_c_));
-  std::iota(all_channels.begin(), all_channels.end(), 0);
-  std::vector<int> all_out(static_cast<size_t>(out_c_));
-  std::iota(all_out.begin(), all_out.end(), 0);
-
-  Tensor cols;       // gathered patch matrix, re-sized per sample
-  Tensor w_packed;   // gathered weight rows, re-sized per sample
-  Tensor y_sub;      // gathered output, re-sized per sample
+  int* all_channels = ws.alloc<int>(in_c_);
+  std::iota(all_channels, all_channels + in_c_, 0);
+  int* all_out = ws.alloc<int>(out_c_);
+  std::iota(all_out, all_out + out_c_, 0);
+  int* all_positions = ws.alloc<int>(pos);
+  std::iota(all_positions, all_positions + pos, 0);
 
   for (int b = 0; b < n; ++b) {
+    const Workspace::Mark per_sample = ws.mark();
     const ConvRuntimeMask& m = masks[static_cast<size_t>(b)];
-    const std::vector<int>& ch = m.channels.empty() ? all_channels : m.channels;
-    const std::vector<int>& oc_set =
-        m.out_channels.empty() ? all_out : m.out_channels;
+    const std::span<const int> ch =
+        m.channels.empty() ? std::span<const int>(all_channels,
+                                                  static_cast<size_t>(in_c_))
+                           : std::span<const int>(m.channels);
+    const std::span<const int> oc_set =
+        m.out_channels.empty()
+            ? std::span<const int>(all_out, static_cast<size_t>(out_c_))
+            : std::span<const int>(m.out_channels);
     const int ck = static_cast<int>(ch.size());
     const int ok = static_cast<int>(oc_set.size());
     const float* xb = x.data() + static_cast<int64_t>(b) * in_c_ * h * w;
@@ -133,29 +186,30 @@ Tensor Conv2d::forward_masked(const Tensor& x,
       // Channel / filter skipping only: gather kept-channel patch rows and
       // kept-filter weight rows into one GEMM.
       const int patch_k = ck * k_ * k_;
-      w_packed = Tensor({ok, patch_k});
+      float* w_packed = ws.alloc_floats(static_cast<int64_t>(ok) * patch_k);
       for (int oi = 0; oi < ok; ++oi) {
         const float* src =
             weight_.value.data() +
             static_cast<int64_t>(oc_set[static_cast<size_t>(oi)]) * in_c_ * kk;
-        float* dst = w_packed.data() + static_cast<int64_t>(oi) * patch_k;
+        float* dst = w_packed + static_cast<int64_t>(oi) * patch_k;
         for (int ci = 0; ci < ck; ++ci) {
           const float* block =
               src + static_cast<int64_t>(ch[static_cast<size_t>(ci)]) * kk;
           std::copy(block, block + kk, dst + static_cast<int64_t>(ci) * kk);
         }
       }
-      std::vector<int> all_positions(static_cast<size_t>(pos));
-      std::iota(all_positions.begin(), all_positions.end(), 0);
-      cols = Tensor({patch_k, static_cast<int>(pos)});
-      im2col_gather(xb, g, ch, all_positions, cols.data());
-      y_sub = Tensor({ok, static_cast<int>(pos)});
-      gemm_nn(ok, static_cast<int>(pos), patch_k, 1.f, w_packed.data(),
-              cols.data(), 0.f, y_sub.data());
+      float* cols = ws.alloc_floats(static_cast<int64_t>(patch_k) * pos);
+      im2col_gather(xb, g, ch,
+                    std::span<const int>(all_positions,
+                                         static_cast<size_t>(pos)),
+                    cols);
+      float* y_sub = ws.alloc_floats(static_cast<int64_t>(ok) * pos);
+      gemm_nn(ok, static_cast<int>(pos), patch_k, 1.f, w_packed, cols, 0.f,
+              y_sub, &ws);
       for (int oi = 0; oi < ok; ++oi) {
         const int oc = oc_set[static_cast<size_t>(oi)];
-        std::copy(y_sub.data() + static_cast<int64_t>(oi) * pos,
-                  y_sub.data() + static_cast<int64_t>(oi + 1) * pos,
+        std::copy(y_sub + static_cast<int64_t>(oi) * pos,
+                  y_sub + static_cast<int64_t>(oi + 1) * pos,
                   yb + static_cast<int64_t>(oc) * pos);
       }
       last_macs_ += static_cast<int64_t>(ok) * pos * patch_k;
@@ -175,36 +229,48 @@ Tensor Conv2d::forward_masked(const Tensor& x,
       const int pk = static_cast<int>(m.positions.size());
 
       // Gather kept input values: B[ci][j] = x[ch[ci], positions[j]].
-      cols = Tensor({ck, pk});
+      float* cols = ws.alloc_floats(static_cast<int64_t>(ck) * pk);
       for (int ci = 0; ci < ck; ++ci) {
         const float* plane =
             xb + static_cast<int64_t>(ch[static_cast<size_t>(ci)]) * h * w;
-        float* row = cols.data() + static_cast<int64_t>(ci) * pk;
+        float* row = cols + static_cast<int64_t>(ci) * pk;
         for (int j = 0; j < pk; ++j) {
           row[j] = plane[m.positions[static_cast<size_t>(j)]];
         }
       }
 
-      w_packed = Tensor({ok, ck});
-      y_sub = Tensor({ok, pk});
+      // All k^2 kernel-offset weight slices stack into one [k^2*ok x ck]
+      // matrix, so the whole shift-GEMM runs as a single (blocked) GEMM
+      // against the shared gathered-input matrix instead of k^2 tiny ones
+      // — each output row is an independent dot product, so the values
+      // (and the scatter order below) are unchanged.
+      float* w_packed = ws.alloc_floats(kk * ok * ck);
+      float* y_sub = ws.alloc_floats(kk * static_cast<int64_t>(ok) * pk);
       for (int ky = 0; ky < k_; ++ky) {
         for (int kx = 0; kx < k_; ++kx) {
           // W_k[oi][ci] = weight[oc_set[oi], ch[ci], ky, kx].
+          const int64_t off = static_cast<int64_t>(ky) * k_ + kx;
           for (int oi = 0; oi < ok; ++oi) {
             const float* src =
                 weight_.value.data() +
                 (static_cast<int64_t>(oc_set[static_cast<size_t>(oi)]) *
                      in_c_) *
                     kk +
-                static_cast<int64_t>(ky) * k_ + kx;
-            float* dst = w_packed.data() + static_cast<int64_t>(oi) * ck;
+                off;
+            float* dst = w_packed + (off * ok + oi) * ck;
             for (int ci = 0; ci < ck; ++ci) {
               dst[ci] = src[static_cast<int64_t>(ch[static_cast<size_t>(ci)]) *
                             kk];
             }
           }
-          gemm_nn(ok, pk, ck, 1.f, w_packed.data(), cols.data(), 0.f,
-                  y_sub.data());
+        }
+      }
+      gemm_nn(static_cast<int>(kk) * ok, pk, ck, 1.f, w_packed, cols, 0.f,
+              y_sub, &ws);
+      for (int ky = 0; ky < k_; ++ky) {
+        for (int kx = 0; kx < k_; ++kx) {
+          const float* y_off =
+              y_sub + (static_cast<int64_t>(ky) * k_ + kx) * ok * pk;
           // Input column (iy, ix) feeds output (iy + pad - ky, ix + pad - kx).
           const int dy = pad_ - ky, dx = pad_ - kx;
           for (int j = 0; j < pk; ++j) {
@@ -215,7 +281,7 @@ Tensor Conv2d::forward_masked(const Tensor& x,
             const int64_t out_idx = static_cast<int64_t>(oy) * ow + ox;
             for (int oi = 0; oi < ok; ++oi) {
               yb[static_cast<int64_t>(oc_set[static_cast<size_t>(oi)]) * pos +
-                 out_idx] += y_sub.data()[static_cast<int64_t>(oi) * pk + j];
+                 out_idx] += y_off[static_cast<int64_t>(oi) * pk + j];
             }
           }
         }
@@ -232,7 +298,9 @@ Tensor Conv2d::forward_masked(const Tensor& x,
         for (int64_t j = 0; j < pos; ++j) drow[j] += bias_v;
       }
     }
+    ws.rewind(per_sample);
   }
+  ws.rewind(outer);
   cached_input_ = Tensor();  // backward unsupported after masked forward
   return y;
 }

@@ -8,9 +8,16 @@
 // stay zero) and reports the actually executed multiply-accumulates, so
 // measured FLOPs reductions are real savings rather than bookkeeping.
 // Masks apply to exactly one forward pass and are consumed by it.
+//
+// Both the dense and masked paths draw every scratch buffer (im2col
+// columns, gathered weights, staging outputs, index sets) from a workspace
+// arena: the ExecutionContext's when one is threaded through, a per-thread
+// fallback otherwise. With a context the output tensor itself lives in the
+// arena too, making steady-state inference allocation-free.
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "nn/module.h"
@@ -41,6 +48,7 @@ class Conv2d : public Module {
          int padding = 0, bool bias = true);
 
   Tensor forward(const Tensor& x) override;
+  Tensor forward(const Tensor& x, ExecutionContext& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
   std::string type_name() const override { return "Conv2d"; }
@@ -51,7 +59,11 @@ class Conv2d : public Module {
   // size must equal the batch size of that forward. Backward through a
   // masked forward is not supported (masking is a test-phase mechanism).
   void set_runtime_masks(std::vector<ConvRuntimeMask> masks);
-  bool has_pending_masks() const { return !pending_masks_.empty(); }
+  // Borrowing variant for the hot path: copies the masks into internal
+  // storage whose capacity is reused across passes, so steady-state
+  // serving does not allocate per pass.
+  void set_runtime_masks(std::span<const ConvRuntimeMask> masks);
+  bool has_pending_masks() const { return masks_pending_; }
 
   // --- introspection ---
   int in_channels() const { return in_c_; }
@@ -68,16 +80,27 @@ class Conv2d : public Module {
   Parameter& bias() { return bias_; }
 
  private:
-  Tensor forward_dense(const Tensor& x);
+  void check_masks(std::span<const ConvRuntimeMask> masks) const;
+  // ctx == nullptr: plain semantics (heap output, input cached for
+  // backward, scratch from the thread-local arena).
+  Tensor forward_impl(const Tensor& x, ExecutionContext* ctx);
+  Tensor forward_dense(const Tensor& x, ExecutionContext* ctx);
   Tensor forward_masked(const Tensor& x,
-                        const std::vector<ConvRuntimeMask>& masks);
+                        const std::vector<ConvRuntimeMask>& masks,
+                        ExecutionContext* ctx);
 
   int in_c_, out_c_, k_, stride_, pad_;
   bool has_bias_;
   Parameter weight_;  // [out_c, in_c, k, k]
   Parameter bias_;    // [out_c] (unused when has_bias_ == false)
 
+  // pending/active ping-pong: set_runtime_masks fills pending, the next
+  // forward swaps it into active. Neither vector is ever clear()ed — stale
+  // elements stay behind as warm storage so the per-pass copy-assign
+  // reuses their inner vectors' capacity (masks_pending_ tracks validity).
   std::vector<ConvRuntimeMask> pending_masks_;
+  std::vector<ConvRuntimeMask> active_masks_;
+  bool masks_pending_ = false;
   bool last_forward_was_masked_ = false;
   Tensor cached_input_;  // for backward
   int64_t last_macs_ = 0;

@@ -9,6 +9,7 @@ namespace antidote::nn {
 class ReLU : public Module {
  public:
   Tensor forward(const Tensor& x) override;
+  Tensor forward(const Tensor& x, ExecutionContext& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
   std::string type_name() const override { return "ReLU"; }
 
@@ -24,7 +25,7 @@ class Flatten : public Module {
   std::string type_name() const override { return "Flatten"; }
 
  private:
-  std::vector<int> cached_shape_;
+  Shape cached_shape_;
 };
 
 // Classical inverted dropout: each element is zeroed with probability p

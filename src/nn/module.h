@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/execution_context.h"
 #include "tensor/tensor.h"
 
 namespace antidote::nn {
@@ -43,6 +44,19 @@ class Module {
 
   // Computes the layer output; caches activations needed by backward().
   virtual Tensor forward(const Tensor& x) = 0;
+
+  // Context-carrying overload used by the inference hot path: layers that
+  // override it draw scratch AND output storage from the context's
+  // workspace arena (zero heap allocations once the arena is warm) and
+  // skip the activation caching backward() would need. The base default
+  // falls back to the plain overload, so layers without an optimized path
+  // stay correct. Contract: inference only (overrides delegate to the
+  // plain path while training); returned tensors are invalidated by the
+  // context's next begin_pass().
+  virtual Tensor forward(const Tensor& x, ExecutionContext& ctx) {
+    (void)ctx;
+    return forward(x);
+  }
 
   // Given dLoss/dOutput, accumulates parameter gradients and returns
   // dLoss/dInput.
@@ -102,6 +116,7 @@ class Sequential : public Module {
   }
 
   Tensor forward(const Tensor& x) override;
+  Tensor forward(const Tensor& x, ExecutionContext& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
   void visit_state(const std::string& prefix, const StateVisitor& fn) override;

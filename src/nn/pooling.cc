@@ -55,6 +55,44 @@ Tensor MaxPool2d::forward(const Tensor& x) {
   return y;
 }
 
+Tensor MaxPool2d::forward(const Tensor& x, ExecutionContext& ctx) {
+  if (is_training()) return forward(x);
+  AD_CHECK_EQ(x.ndim(), 4);
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oh = (h - k_) / stride_ + 1;
+  const int ow = (w - k_) / stride_ + 1;
+  AD_CHECK(oh > 0 && ow > 0) << " MaxPool2d output empty for input "
+                             << x.shape_str();
+  // Inference path: no argmax bookkeeping, output in the arena. Clear the
+  // backward caches so backward() after a ctx forward fails loudly.
+  argmax_.clear();
+  in_shape_.clear();
+  Tensor y = ctx.alloc({n, c, oh, ow});
+  const float* px = x.data();
+  float* py = y.data();
+  int64_t out_idx = 0;
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      const float* plane = px + (static_cast<int64_t>(b) * c + ch) * h * w;
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox, ++out_idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (int ky = 0; ky < k_; ++ky) {
+            const int iy = oy * stride_ + ky;
+            for (int kx = 0; kx < k_; ++kx) {
+              const int ix = ox * stride_ + kx;
+              const float v = plane[static_cast<int64_t>(iy) * w + ix];
+              if (v > best) best = v;
+            }
+          }
+          py[out_idx] = best;
+        }
+      }
+    }
+  }
+  return y;
+}
+
 Tensor MaxPool2d::backward(const Tensor& grad_out) {
   AD_CHECK(!in_shape_.empty()) << " MaxPool2d backward before forward";
   AD_CHECK_EQ(static_cast<size_t>(grad_out.size()), argmax_.size());
@@ -126,6 +164,15 @@ Tensor GlobalAvgPool::forward(const Tensor& x) {
   AD_CHECK_EQ(x.ndim(), 4);
   in_shape_ = x.shape();
   return ops::channel_mean_nchw(x);
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x, ExecutionContext& ctx) {
+  if (is_training()) return forward(x);
+  AD_CHECK_EQ(x.ndim(), 4);
+  in_shape_.clear();  // backward after a ctx forward must fail loudly
+  Tensor y = ctx.alloc({x.dim(0), x.dim(1)});
+  ops::channel_mean_nchw_into(x, y.data());
+  return y;
 }
 
 Tensor GlobalAvgPool::backward(const Tensor& grad_out) {

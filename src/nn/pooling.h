@@ -12,6 +12,7 @@ class MaxPool2d : public Module {
   explicit MaxPool2d(int kernel_size, int stride = -1);
 
   Tensor forward(const Tensor& x) override;
+  Tensor forward(const Tensor& x, ExecutionContext& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
   std::string type_name() const override { return "MaxPool2d"; }
 
@@ -21,7 +22,7 @@ class MaxPool2d : public Module {
  private:
   int k_, stride_;
   std::vector<int64_t> argmax_;  // flat input index of each output element
-  std::vector<int> in_shape_;
+  Shape in_shape_;
 };
 
 class AvgPool2d : public Module {
@@ -34,7 +35,7 @@ class AvgPool2d : public Module {
 
  private:
   int k_, stride_;
-  std::vector<int> in_shape_;
+  Shape in_shape_;
 };
 
 // [N, C, H, W] -> [N, C]; the SENet-style squeeze used for the classifier
@@ -42,11 +43,12 @@ class AvgPool2d : public Module {
 class GlobalAvgPool : public Module {
  public:
   Tensor forward(const Tensor& x) override;
+  Tensor forward(const Tensor& x, ExecutionContext& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
   std::string type_name() const override { return "GlobalAvgPool"; }
 
  private:
-  std::vector<int> in_shape_;
+  Shape in_shape_;
 };
 
 }  // namespace antidote::nn

@@ -122,13 +122,17 @@ void BatchScheduler::run_batch(ModelReplica& replica,
   }
 
   WallTimer assemble_timer;
-  const std::vector<int>& sample_shape = batch[0].input.shape();
-  std::vector<int> batch_shape;
-  batch_shape.reserve(sample_shape.size() + 1);
+  const Shape& sample_shape = batch[0].input.shape();
+  Shape batch_shape;
   batch_shape.push_back(n);
-  batch_shape.insert(batch_shape.end(), sample_shape.begin(),
-                     sample_shape.end());
-  Tensor stacked(batch_shape);
+  for (int d : sample_shape) batch_shape.push_back(d);
+  // The batch tensor, every layer intermediate and the logits all live in
+  // the worker's arena; begin_pass() recycles it wholesale, so a warm
+  // worker serves without touching the heap. The logits are copied into
+  // per-request results below, before the next pass invalidates them.
+  nn::ExecutionContext& ctx = replica.context();
+  ctx.begin_pass();
+  Tensor stacked = ctx.alloc(batch_shape);
   const int64_t sample_size = batch[0].input.size();
   for (int i = 0; i < n; ++i) {
     AD_CHECK(batch[static_cast<size_t>(i)].input.same_shape(batch[0].input))
@@ -140,7 +144,7 @@ void BatchScheduler::run_batch(ModelReplica& replica,
   const double assemble_ms = assemble_timer.millis();
 
   WallTimer forward_timer;
-  Tensor logits = replica.net().forward(stacked);
+  Tensor logits = replica.net().forward(stacked, ctx);
   const double forward_ms = forward_timer.millis();
   AD_CHECK_EQ(logits.dim(0), n) << " model output batch dimension";
   const int num_classes = static_cast<int>(logits.size() / n);

@@ -39,6 +39,10 @@ struct BatchPolicy {
 
 // A worker's private model. The replica puts the net in eval mode (serving
 // never trains) and installs the pruning engine when settings are given.
+// It also owns the worker's ExecutionContext: forward passes run out of
+// the replica's workspace arena, so steady-state serving performs zero
+// heap allocations per pass. The context is single-threaded by contract —
+// exactly one worker drives a replica.
 class ModelReplica {
  public:
   ModelReplica(std::unique_ptr<models::ConvNet> net,
@@ -48,10 +52,12 @@ class ModelReplica {
   models::ConvNet& net() { return *net_; }
   // Null when the replica serves densely (no pruning engine installed).
   core::DynamicPruningEngine* engine() { return engine_.get(); }
+  nn::ExecutionContext& context() { return context_; }
 
  private:
   std::unique_ptr<models::ConvNet> net_;
   std::unique_ptr<core::DynamicPruningEngine> engine_;
+  nn::ExecutionContext context_;
 };
 
 class BatchScheduler {

@@ -5,19 +5,35 @@
 //   gemm_nn: C[M,N] = alpha * A[M,K]   * B[K,N]   + beta * C
 //   gemm_nt: C[M,N] = alpha * A[M,K]   * B[N,K]^T + beta * C
 //   gemm_tn: C[M,N] = alpha * A[K,M]^T * B[K,N]   + beta * C
-// All matrices are row-major and densely packed (ld == row length). Loops
-// are ordered so the innermost dimension is contiguous and autovectorizes
-// under -O3; rows are parallelized across the global thread pool.
+// All matrices are row-major and densely packed (ld == row length).
+//
+// gemm_nn — the inference workhorse (dense and masked conv both lower to
+// it) — is a cache-blocked, register-tiled kernel: A row panels and B
+// column panels are packed into contiguous buffers drawn from a Workspace
+// arena (caller-provided, or a thread-local fallback), the K dimension is
+// processed in L2-sized slabs, and row panels are distributed over the
+// global thread pool. The accumulation order per C element is identical to
+// the naive kernel's (ascending k), so results are deterministic and
+// independent of blocking and thread count.
+//
+// gemm_nt keeps per-element double-precision accumulation over the full K
+// range (register-tiled, rows parallelized); gemm_tn streams k outermost
+// within parallel row chunks. All variants are bitwise-reproducible across
+// runs for fixed inputs.
 #pragma once
 
 #include <cstdint>
 
 #include "tensor/tensor.h"
+#include "tensor/workspace.h"
 
 namespace antidote {
 
+// `ws` provides scratch for the packed panels; pass the ExecutionContext
+// workspace on the inference hot path so steady-state packing performs no
+// heap allocation. nullptr falls back to a thread-local arena.
 void gemm_nn(int m, int n, int k, float alpha, const float* a, const float* b,
-             float beta, float* c);
+             float beta, float* c, Workspace* ws = nullptr);
 void gemm_nt(int m, int n, int k, float alpha, const float* a, const float* b,
              float beta, float* c);
 void gemm_tn(int m, int n, int k, float alpha, const float* a, const float* b,

@@ -132,31 +132,33 @@ float mean_abs(const Tensor& x) {
   return l1_norm(x) / static_cast<float>(x.size());
 }
 
-Tensor channel_mean_nchw(const Tensor& x) {
+void channel_mean_nchw_into(const Tensor& x, float* out) {
   AD_CHECK_EQ(x.ndim(), 4) << " channel_mean_nchw expects NCHW";
   const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const int64_t hw = static_cast<int64_t>(h) * w;
-  Tensor out({n, c});
   const float* px = x.data();
-  float* po = out.data();
   for (int i = 0; i < n * c; ++i) {
     const float* plane = px + static_cast<int64_t>(i) * hw;
     double acc = 0.0;
     for (int64_t j = 0; j < hw; ++j) acc += plane[j];
-    po[i] = static_cast<float>(acc / static_cast<double>(hw));
+    out[i] = static_cast<float>(acc / static_cast<double>(hw));
   }
+}
+
+Tensor channel_mean_nchw(const Tensor& x) {
+  AD_CHECK_EQ(x.ndim(), 4) << " channel_mean_nchw expects NCHW";
+  Tensor out({x.dim(0), x.dim(1)});
+  channel_mean_nchw_into(x, out.data());
   return out;
 }
 
-Tensor spatial_mean_nchw(const Tensor& x) {
+void spatial_mean_nchw_into(const Tensor& x, float* out) {
   AD_CHECK_EQ(x.ndim(), 4) << " spatial_mean_nchw expects NCHW";
   const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const int64_t hw = static_cast<int64_t>(h) * w;
-  Tensor out({n, h, w});
   const float* px = x.data();
-  float* po = out.data();
   for (int b = 0; b < n; ++b) {
-    float* out_plane = po + static_cast<int64_t>(b) * hw;
+    float* out_plane = out + static_cast<int64_t>(b) * hw;
     for (int64_t j = 0; j < hw; ++j) out_plane[j] = 0.f;
     for (int ch = 0; ch < c; ++ch) {
       const float* plane = px + (static_cast<int64_t>(b) * c + ch) * hw;
@@ -165,6 +167,12 @@ Tensor spatial_mean_nchw(const Tensor& x) {
     const float inv = 1.f / static_cast<float>(c);
     for (int64_t j = 0; j < hw; ++j) out_plane[j] *= inv;
   }
+}
+
+Tensor spatial_mean_nchw(const Tensor& x) {
+  AD_CHECK_EQ(x.ndim(), 4) << " spatial_mean_nchw expects NCHW";
+  Tensor out({x.dim(0), x.dim(2), x.dim(3)});
+  spatial_mean_nchw_into(x, out.data());
   return out;
 }
 
@@ -184,36 +192,63 @@ std::vector<int> argmax_rows(const Tensor& logits) {
   return out;
 }
 
+// The allocating variants are thin wrappers over the _into ones so there
+// is exactly one selection algorithm — the hot-path bitwise-parity
+// contract (select_kept vs select_kept_into) depends on that.
 std::vector<int> topk_indices(std::span<const float> values, int k) {
+  std::vector<int> scratch, out;
+  topk_indices_into(values, k, scratch, out);
+  return out;
+}
+
+std::vector<int> bottomk_indices(std::span<const float> values, int k) {
+  std::vector<int> scratch, out;
+  bottomk_indices_into(values, k, scratch, out);
+  return out;
+}
+
+void topk_indices_into(std::span<const float> values, int k,
+                       std::vector<int>& scratch, std::vector<int>& out) {
   AD_CHECK(k >= 0 && k <= static_cast<int>(values.size()))
       << " topk k=" << k << " n=" << values.size();
-  std::vector<int> idx(values.size());
-  std::iota(idx.begin(), idx.end(), 0);
+  scratch.resize(values.size());
+  std::iota(scratch.begin(), scratch.end(), 0);
   auto greater = [&](int a, int b) {
     if (values[static_cast<size_t>(a)] != values[static_cast<size_t>(b)]) {
       return values[static_cast<size_t>(a)] > values[static_cast<size_t>(b)];
     }
     return a < b;  // deterministic tie-break
   };
-  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(), greater);
-  idx.resize(static_cast<size_t>(k));
-  return idx;
+  // nth_element (O(n)) + sort of the k prefix beats partial_sort's
+  // O(n log k) for the attention-sized inputs of the gate hot path; the
+  // comparator is a strict total order, so the selected set — and after
+  // the prefix sort, the exact output — matches the allocating variant.
+  if (k > 0 && k < static_cast<int>(scratch.size())) {
+    std::nth_element(scratch.begin(), scratch.begin() + (k - 1),
+                     scratch.end(), greater);
+  }
+  std::sort(scratch.begin(), scratch.begin() + k, greater);
+  out.assign(scratch.begin(), scratch.begin() + k);
 }
 
-std::vector<int> bottomk_indices(std::span<const float> values, int k) {
+void bottomk_indices_into(std::span<const float> values, int k,
+                          std::vector<int>& scratch, std::vector<int>& out) {
   AD_CHECK(k >= 0 && k <= static_cast<int>(values.size()))
       << " bottomk k=" << k << " n=" << values.size();
-  std::vector<int> idx(values.size());
-  std::iota(idx.begin(), idx.end(), 0);
+  scratch.resize(values.size());
+  std::iota(scratch.begin(), scratch.end(), 0);
   auto less = [&](int a, int b) {
     if (values[static_cast<size_t>(a)] != values[static_cast<size_t>(b)]) {
       return values[static_cast<size_t>(a)] < values[static_cast<size_t>(b)];
     }
     return a < b;
   };
-  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(), less);
-  idx.resize(static_cast<size_t>(k));
-  return idx;
+  if (k > 0 && k < static_cast<int>(scratch.size())) {
+    std::nth_element(scratch.begin(), scratch.begin() + (k - 1),
+                     scratch.end(), less);
+  }
+  std::sort(scratch.begin(), scratch.begin() + k, less);
+  out.assign(scratch.begin(), scratch.begin() + k);
 }
 
 Tensor softmax_rows(const Tensor& logits) {

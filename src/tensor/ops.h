@@ -43,6 +43,10 @@ Tensor channel_mean_nchw(const Tensor& x);
 // Per-location channel mean of an NCHW tensor: output shape [N, H, W].
 // This is exactly the paper's spatial-attention coefficient (Eq. 2).
 Tensor spatial_mean_nchw(const Tensor& x);
+// Allocation-free variants writing into caller storage ([N*C] resp.
+// [N*H*W] floats) for the inference hot path.
+void channel_mean_nchw_into(const Tensor& x, float* out);
+void spatial_mean_nchw_into(const Tensor& x, float* out);
 
 // --- selection ---
 // Index of the maximum in each row of a [N, K] tensor (ties -> lowest idx).
@@ -52,6 +56,13 @@ std::vector<int> argmax_rows(const Tensor& logits);
 std::vector<int> topk_indices(std::span<const float> values, int k);
 // Indices of the k smallest values (ascending, deterministic).
 std::vector<int> bottomk_indices(std::span<const float> values, int k);
+// Reusable-buffer variants: `scratch` and `out` keep their capacity across
+// calls, so a steady-shape caller stops allocating after warm-up. Results
+// are identical to the allocating variants.
+void topk_indices_into(std::span<const float> values, int k,
+                       std::vector<int>& scratch, std::vector<int>& out);
+void bottomk_indices_into(std::span<const float> values, int k,
+                          std::vector<int>& scratch, std::vector<int>& out);
 
 // --- classification helpers ---
 // Row-wise softmax of a [N, K] tensor.

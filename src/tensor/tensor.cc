@@ -1,15 +1,55 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <cstring>
 #include <numeric>
+#include <ostream>
 #include <sstream>
 
 #include "base/error.h"
 
 namespace antidote {
 
+Shape::Shape(std::initializer_list<int> dims) {
+  AD_CHECK_LE(dims.size(), static_cast<size_t>(kMaxRank)) << " tensor rank";
+  for (int d : dims) dims_[rank_++] = d;
+}
+
+Shape::Shape(const std::vector<int>& dims) {
+  AD_CHECK_LE(dims.size(), static_cast<size_t>(kMaxRank)) << " tensor rank";
+  for (int d : dims) dims_[rank_++] = d;
+}
+
+void Shape::push_back(int d) {
+  AD_CHECK_LT(rank_, kMaxRank) << " tensor rank";
+  dims_[rank_++] = d;
+}
+
+std::vector<int> Shape::to_vector() const {
+  return std::vector<int>(begin(), end());
+}
+
+bool operator==(const Shape& a, const Shape& b) {
+  return a.rank_ == b.rank_ && std::equal(a.begin(), a.end(), b.begin());
+}
+
+bool operator==(const Shape& a, const std::vector<int>& b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+bool operator==(const std::vector<int>& a, const Shape& b) { return b == a; }
+
+std::ostream& operator<<(std::ostream& os, const Shape& s) {
+  os << "[";
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i) os << ",";
+    os << s[i];
+  }
+  return os << "]";
+}
+
 namespace {
-int64_t checked_size(const std::vector<int>& shape) {
+int64_t checked_size(const Shape& shape) {
   int64_t n = 1;
   for (int d : shape) {
     AD_CHECK_GT(d, 0) << " bad tensor dim";
@@ -19,26 +59,23 @@ int64_t checked_size(const std::vector<int>& shape) {
 }
 }  // namespace
 
-Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
+Tensor::Tensor(Shape shape) : shape_(shape) {
   size_ = checked_size(shape_);
   data_ = std::shared_ptr<float[]>(new float[static_cast<size_t>(size_)]());
 }
 
-Tensor Tensor::zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+Tensor Tensor::zeros(Shape shape) { return Tensor(shape); }
 
-Tensor Tensor::full(std::vector<int> shape, float value) {
-  Tensor t(std::move(shape));
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(shape);
   t.fill(value);
   return t;
 }
 
-Tensor Tensor::ones(std::vector<int> shape) {
-  return full(std::move(shape), 1.f);
-}
+Tensor Tensor::ones(Shape shape) { return full(shape, 1.f); }
 
-Tensor Tensor::randn(std::vector<int> shape, Rng& rng, float mean,
-                     float stddev) {
-  Tensor t(std::move(shape));
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(shape);
   float* p = t.data();
   for (int64_t i = 0; i < t.size(); ++i) {
     p[i] = static_cast<float>(rng.normal(mean, stddev));
@@ -46,27 +83,34 @@ Tensor Tensor::randn(std::vector<int> shape, Rng& rng, float mean,
   return t;
 }
 
-Tensor Tensor::rand_uniform(std::vector<int> shape, Rng& rng, float lo,
-                            float hi) {
-  Tensor t(std::move(shape));
+Tensor Tensor::rand_uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(shape);
   float* p = t.data();
   for (int64_t i = 0; i < t.size(); ++i) p[i] = rng.uniform_float(lo, hi);
   return t;
 }
 
-Tensor Tensor::from_values(std::vector<int> shape,
-                           std::initializer_list<float> values) {
-  Tensor t(std::move(shape));
+Tensor Tensor::from_values(Shape shape, std::initializer_list<float> values) {
+  Tensor t(shape);
   AD_CHECK_EQ(static_cast<int64_t>(values.size()), t.size());
   std::copy(values.begin(), values.end(), t.data());
   return t;
 }
 
-Tensor Tensor::from_vector(std::vector<int> shape,
-                           const std::vector<float>& values) {
-  Tensor t(std::move(shape));
+Tensor Tensor::from_vector(Shape shape, const std::vector<float>& values) {
+  Tensor t(shape);
   AD_CHECK_EQ(static_cast<int64_t>(values.size()), t.size());
   std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+Tensor Tensor::borrow(float* data, Shape shape) {
+  Tensor t;
+  t.shape_ = shape;
+  t.size_ = checked_size(t.shape_);
+  // Aliasing constructor with an empty owner: shares no control block, so
+  // this performs no heap allocation and never frees `data`.
+  t.data_ = std::shared_ptr<float[]>(std::shared_ptr<void>(), data);
   return t;
 }
 
@@ -79,12 +123,7 @@ int Tensor::dim(int i) const {
 
 std::string Tensor::shape_str() const {
   std::ostringstream os;
-  os << "[";
-  for (size_t i = 0; i < shape_.size(); ++i) {
-    if (i) os << ",";
-    os << shape_[i];
-  }
-  os << "]";
+  os << shape_;
   return os.str();
 }
 
@@ -99,8 +138,7 @@ float Tensor::operator[](int64_t i) const {
 }
 
 namespace {
-int64_t flat_index(const std::vector<int>& shape,
-                   std::initializer_list<int> idx) {
+int64_t flat_index(const Shape& shape, std::initializer_list<int> idx) {
   AD_CHECK_EQ(idx.size(), shape.size());
   int64_t flat = 0;
   size_t d = 0;
@@ -123,7 +161,7 @@ float Tensor::at(std::initializer_list<int> idx) const {
   return data_.get()[flat_index(shape_, idx)];
 }
 
-Tensor Tensor::reshape(std::vector<int> new_shape) const {
+Tensor Tensor::reshape(Shape new_shape) const {
   int64_t known = 1;
   int wildcard = -1;
   for (size_t i = 0; i < new_shape.size(); ++i) {
@@ -143,7 +181,7 @@ Tensor Tensor::reshape(std::vector<int> new_shape) const {
   }
   AD_CHECK_EQ(known, size_) << " reshape " << shape_str() << " element count";
   Tensor view;
-  view.shape_ = std::move(new_shape);
+  view.shape_ = new_shape;
   view.size_ = size_;
   view.data_ = data_;
   return view;

@@ -6,10 +6,15 @@
 //    deep copy. This mirrors the semantics of mainstream frameworks and
 //    makes passing tensors through layers cheap.
 //  - float32 only: everything in the paper is float32 CNN math.
+//  - The shape is stored inline (no heap allocation): constructing, copying
+//    and reshaping tensors never touches the allocator except for the data
+//    buffer itself. Together with Tensor::borrow this is what lets the
+//    inference hot path run allocation-free out of a workspace arena.
 #pragma once
 
 #include <cstdint>
 #include <initializer_list>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,31 +23,68 @@
 
 namespace antidote {
 
+// Inline fixed-capacity dimension list. Mimics the subset of the
+// std::vector<int> interface the codebase uses for shapes, so call sites
+// (and tests comparing against std::vector) keep working, but lives
+// entirely on the stack.
+class Shape {
+ public:
+  static constexpr int kMaxRank = 6;
+
+  Shape() = default;
+  Shape(std::initializer_list<int> dims);
+  // Implicit by design: legacy call sites pass std::vector<int> shapes.
+  Shape(const std::vector<int>& dims);  // NOLINT(google-explicit-constructor)
+
+  size_t size() const { return static_cast<size_t>(rank_); }
+  bool empty() const { return rank_ == 0; }
+  int operator[](size_t i) const { return dims_[i]; }
+  int& operator[](size_t i) { return dims_[i]; }
+  const int* begin() const { return dims_; }
+  const int* end() const { return dims_ + rank_; }
+  void push_back(int d);
+  void clear() { rank_ = 0; }
+  std::vector<int> to_vector() const;
+
+  friend bool operator==(const Shape& a, const Shape& b);
+
+ private:
+  int dims_[kMaxRank] = {};
+  int rank_ = 0;
+};
+
+bool operator==(const Shape& a, const std::vector<int>& b);
+bool operator==(const std::vector<int>& a, const Shape& b);
+std::ostream& operator<<(std::ostream& os, const Shape& s);
+
 class Tensor {
  public:
   // Empty tensor (size 0, no dims).
   Tensor() = default;
 
   // Zero-initialized tensor of the given shape. All dims must be positive.
-  explicit Tensor(std::vector<int> shape);
+  explicit Tensor(Shape shape);
 
-  static Tensor zeros(std::vector<int> shape);
-  static Tensor full(std::vector<int> shape, float value);
-  static Tensor ones(std::vector<int> shape);
+  static Tensor zeros(Shape shape);
+  static Tensor full(Shape shape, float value);
+  static Tensor ones(Shape shape);
   // I.i.d. N(mean, stddev^2).
-  static Tensor randn(std::vector<int> shape, Rng& rng, float mean = 0.f,
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.f,
                       float stddev = 1.f);
   // I.i.d. U[lo, hi).
-  static Tensor rand_uniform(std::vector<int> shape, Rng& rng, float lo,
-                             float hi);
+  static Tensor rand_uniform(Shape shape, Rng& rng, float lo, float hi);
   // 1-d tensor from explicit values (handy in tests).
-  static Tensor from_values(std::vector<int> shape,
-                            std::initializer_list<float> values);
-  static Tensor from_vector(std::vector<int> shape,
-                            const std::vector<float>& values);
+  static Tensor from_values(Shape shape, std::initializer_list<float> values);
+  static Tensor from_vector(Shape shape, const std::vector<float>& values);
+
+  // Non-owning view over externally managed memory (e.g. a Workspace
+  // arena). The caller guarantees `data` holds shape-many floats and stays
+  // valid for the lifetime of the returned tensor and every view/shallow
+  // copy of it. Performs no heap allocation.
+  static Tensor borrow(float* data, Shape shape);
 
   // --- shape ---
-  const std::vector<int>& shape() const { return shape_; }
+  const Shape& shape() const { return shape_; }
   int ndim() const { return static_cast<int>(shape_.size()); }
   // Dimension i; negative i counts from the end (-1 = last).
   int dim(int i) const;
@@ -75,7 +117,7 @@ class Tensor {
 
   // --- shape manipulation ---
   // View with a new shape; one dim may be -1 (inferred). Shares storage.
-  Tensor reshape(std::vector<int> new_shape) const;
+  Tensor reshape(Shape new_shape) const;
   // Deep copy.
   Tensor clone() const;
 
@@ -91,7 +133,7 @@ class Tensor {
   }
 
  private:
-  std::vector<int> shape_;
+  Shape shape_;
   int64_t size_ = 0;
   std::shared_ptr<float[]> data_;
 };

@@ -83,11 +83,89 @@ INSTANTIATE_TEST_SUITE_P(
                       GemmShape{5, 1, 4}, GemmShape{4, 4, 4},
                       GemmShape{16, 16, 16}, GemmShape{17, 5, 9},
                       GemmShape{33, 65, 31}, GemmShape{64, 128, 27},
-                      GemmShape{128, 64, 100}),
+                      GemmShape{128, 64, 100},
+                      // Odd shapes straddling the blocked kernel's tile
+                      // (4x16) and K-slab (256) boundaries, plus panel
+                      // edge remainders in every dimension.
+                      GemmShape{67, 129, 255}, GemmShape{66, 113, 256},
+                      GemmShape{65, 97, 257}, GemmShape{3, 300, 300},
+                      GemmShape{130, 15, 301}, GemmShape{41, 513, 64}),
     [](const ::testing::TestParamInfo<GemmShape>& info) {
       return "m" + std::to_string(info.param.m) + "n" +
              std::to_string(info.param.n) + "k" + std::to_string(info.param.k);
     });
+
+// Alpha/beta sweep over all three layout variants at a blocked-path size
+// with edge tiles, including aliased beta=1 accumulation into a live C.
+struct AlphaBeta {
+  float alpha, beta;
+};
+
+class GemmAlphaBetaTest : public ::testing::TestWithParam<AlphaBeta> {};
+
+TEST_P(GemmAlphaBetaTest, AllVariantsMatchReference) {
+  const auto [alpha, beta] = GetParam();
+  const int m = 37, n = 53, k = 270;  // blocked path, ragged edges
+  Rng rng(31);
+  const auto a_nn = random_vec(static_cast<size_t>(m) * k, rng);
+  const auto b_nn = random_vec(static_cast<size_t>(k) * n, rng);
+  const auto b_nt = random_vec(static_cast<size_t>(n) * k, rng);
+  const auto a_tn = random_vec(static_cast<size_t>(k) * m, rng);
+  const auto c0 = random_vec(static_cast<size_t>(m) * n, rng);
+
+  auto c = c0, ref = c0;
+  gemm_nn(m, n, k, alpha, a_nn.data(), b_nn.data(), beta, c.data());
+  ref_gemm(false, false, m, n, k, alpha, a_nn, b_nn, beta, ref);
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 2e-3f);
+
+  c = c0;
+  ref = c0;
+  gemm_nt(m, n, k, alpha, a_nn.data(), b_nt.data(), beta, c.data());
+  ref_gemm(false, true, m, n, k, alpha, a_nn, b_nt, beta, ref);
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 2e-3f);
+
+  c = c0;
+  ref = c0;
+  gemm_tn(m, n, k, alpha, a_tn.data(), b_nn.data(), beta, c.data());
+  ref_gemm(true, false, m, n, k, alpha, a_tn, b_nn, beta, ref);
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 2e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaBetas, GemmAlphaBetaTest,
+    ::testing::Values(AlphaBeta{1.f, 0.f}, AlphaBeta{1.f, 1.f},
+                      AlphaBeta{0.5f, 2.f}, AlphaBeta{-1.25f, 1.f},
+                      AlphaBeta{2.f, -0.5f}, AlphaBeta{0.f, 1.f}),
+    [](const ::testing::TestParamInfo<AlphaBeta>& info) {
+      return "case" + std::to_string(info.index);
+    });
+
+// Repeated beta=1 accumulation into the same C (the weight-gradient
+// pattern: dW += dY * cols^T across batch samples) for every variant.
+TEST(Gemm, RepeatedAccumulationAllVariants) {
+  Rng rng(33);
+  const int m = 19, n = 23, k = 68;
+  auto c_nn = random_vec(static_cast<size_t>(m) * n, rng);
+  auto c_nt = c_nn, c_tn = c_nn;
+  auto ref_nn = c_nn, ref_nt = c_nn, ref_tn = c_nn;
+  for (int step = 0; step < 3; ++step) {
+    const auto a = random_vec(static_cast<size_t>(m) * k, rng);
+    const auto b = random_vec(static_cast<size_t>(k) * n, rng);
+    const auto bt = random_vec(static_cast<size_t>(n) * k, rng);
+    const auto at = random_vec(static_cast<size_t>(k) * m, rng);
+    gemm_nn(m, n, k, 1.f, a.data(), b.data(), 1.f, c_nn.data());
+    ref_gemm(false, false, m, n, k, 1.f, a, b, 1.f, ref_nn);
+    gemm_nt(m, n, k, 1.f, a.data(), bt.data(), 1.f, c_nt.data());
+    ref_gemm(false, true, m, n, k, 1.f, a, bt, 1.f, ref_nt);
+    gemm_tn(m, n, k, 1.f, at.data(), b.data(), 1.f, c_tn.data());
+    ref_gemm(true, false, m, n, k, 1.f, at, b, 1.f, ref_tn);
+  }
+  for (size_t i = 0; i < c_nn.size(); ++i) {
+    EXPECT_NEAR(c_nn[i], ref_nn[i], 2e-3f);
+    EXPECT_NEAR(c_nt[i], ref_nt[i], 2e-3f);
+    EXPECT_NEAR(c_tn[i], ref_tn[i], 2e-3f);
+  }
+}
 
 TEST(Gemm, AlphaBetaAccumulation) {
   Rng rng(21);
