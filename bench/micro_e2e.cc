@@ -18,6 +18,7 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,10 +27,12 @@
 #include <vector>
 
 #include "base/rng.h"
+#include "base/timer.h"
 #include "bench_main.h"
 #include "core/engine.h"
 #include "models/factory.h"
 #include "nn/execution_context.h"
+#include "plan/plan.h"
 
 // --- global allocation counter (this binary only) --------------------------
 
@@ -203,6 +206,36 @@ void BM_ServingSteadyVgg16Pruned(benchmark::State& state) {
 }
 BENCHMARK(BM_ServingSteadyVgg16Pruned);
 
+// --- compiled-plan single-sample latency (vs the module-walk BM_*Dense) ----
+
+void plan_single_sample(benchmark::State& state,
+                        const std::string& model_name) {
+  auto net = build(model_name);
+  Rng rng(1);
+  Tensor x = Tensor::randn({1, 3, 32, 32}, rng);
+  nn::ExecutionContext ctx;
+  net->inference_plan(3, 32, 32).reserve(ctx.workspace(), 1);
+  for (auto _ : state) {
+    ctx.begin_pass();
+    Tensor staged = ctx.alloc(x.shape());
+    std::memcpy(staged.data(), x.data(),
+                static_cast<size_t>(x.size()) * sizeof(float));
+    Tensor y = net->forward(staged, ctx);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * net->last_macs());
+}
+
+void BM_PlanVgg16Dense(benchmark::State& state) {
+  plan_single_sample(state, "vgg16");
+}
+BENCHMARK(BM_PlanVgg16Dense);
+
+void BM_PlanResnet56Dense(benchmark::State& state) {
+  plan_single_sample(state, "resnet56");
+}
+BENCHMARK(BM_PlanResnet56Dense);
+
 // --- hard verification of the hot-path contract ----------------------------
 
 double checksum(const Tensor& t) {
@@ -282,11 +315,154 @@ bool run_verification() {
   return ok;
 }
 
+// --- plan equivalence gate + BENCH_plan.json --------------------------------
+//
+// For every model family: the compiled InferencePlan must be
+// dense-bitwise-identical to the module walk, masked-equal within 1e-5
+// (bitwise in the current exact-epilogue fold), and must perform zero
+// arena growths starting with the VERY FIRST forward after an explicit
+// compile + reserve. The plan-vs-module timing comparison rides along and
+// is reported (not gated — machines vary), so the fusion win is tracked
+// across PRs in BENCH_plan.json.
+
+core::PruneSettings settings_for(models::ConvNet& net) {
+  if (net.model_name() == "vgg16") return vgg_settings();
+  core::PruneSettings s;
+  s.channel_drop.assign(static_cast<size_t>(net.num_blocks()), 0.3f);
+  s.spatial_drop.assign(static_cast<size_t>(net.num_blocks()), 0.3f);
+  return s;
+}
+
+struct PlanReport {
+  std::string model;
+  bool dense_bitwise = false;
+  double masked_max_abs_diff = 0.0;
+  int64_t first_pass_growths = -1;
+  int64_t first_pass_heap_allocs = -1;  // dense plan path, reserved arena
+  double module_walk_ms = 0.0;
+  double plan_ms = 0.0;
+  bool pass = false;
+};
+
+PlanReport verify_plan(const std::string& model_name, int batch) {
+  PlanReport r;
+  r.model = model_name;
+  Rng rng(6);
+  Tensor x = Tensor::randn({batch, 3, 32, 32}, rng);
+
+  // 1) Dense: bitwise identity + zero growths/allocs from the first pass.
+  {
+    auto net = build(model_name);
+    const Tensor plain = net->forward(x);
+    nn::ExecutionContext ctx;
+    plan::InferencePlan& plan = net->inference_plan(3, 32, 32);
+    plan.reserve(ctx.workspace(), batch);
+    const int64_t grows_before = ctx.workspace().grow_count();
+    const int64_t allocs_before = g_heap_allocs.load();
+    ctx.begin_pass();
+    Tensor staged = ctx.alloc(x.shape());
+    std::memcpy(staged.data(), x.data(),
+                static_cast<size_t>(x.size()) * sizeof(float));
+    const Tensor fused = net->forward(staged, ctx);
+    r.first_pass_heap_allocs = g_heap_allocs.load() - allocs_before;
+    r.first_pass_growths = ctx.workspace().grow_count() - grows_before;
+    r.dense_bitwise =
+        plain.same_shape(fused) &&
+        std::memcmp(plain.data(), fused.data(),
+                    static_cast<size_t>(plain.size()) * sizeof(float)) == 0;
+
+    // Timing: module walk (plain eval forward) vs compiled plan.
+    const int reps = 6;
+    for (int i = 0; i < 2; ++i) net->forward(x);  // warm
+    WallTimer module_timer;
+    for (int i = 0; i < reps; ++i) {
+      Tensor y = net->forward(x);
+      benchmark::DoNotOptimize(y.data());
+    }
+    r.module_walk_ms = module_timer.millis() / reps;
+    for (int i = 0; i < 2; ++i) {
+      ctx.begin_pass();
+      Tensor y = net->forward(x, ctx);
+      benchmark::DoNotOptimize(y.data());
+    }
+    WallTimer plan_timer;
+    for (int i = 0; i < reps; ++i) {
+      ctx.begin_pass();
+      Tensor y = net->forward(x, ctx);
+      benchmark::DoNotOptimize(y.data());
+    }
+    r.plan_ms = plan_timer.millis() / reps;
+  }
+
+  // 2) Masked: dynamic pruning through the fused steps, within 1e-5.
+  {
+    auto net = build(model_name);
+    core::DynamicPruningEngine engine(*net, settings_for(*net));
+    const Tensor plain = net->forward(x);
+    nn::ExecutionContext ctx;
+    ctx.begin_pass();
+    const Tensor fused = net->forward(x, ctx);
+    for (int64_t i = 0; i < plain.size(); ++i) {
+      r.masked_max_abs_diff =
+          std::max(r.masked_max_abs_diff,
+                   std::abs(double(plain.data()[i]) - fused.data()[i]));
+    }
+    engine.remove();
+  }
+
+  r.pass = r.dense_bitwise && r.masked_max_abs_diff <= 1e-5 &&
+           r.first_pass_growths == 0 && r.first_pass_heap_allocs == 0;
+  std::printf(
+      "plan %-8s: dense %s, masked |diff| %.2e, first pass %lld growths / "
+      "%lld allocs, module %.3f ms vs plan %.3f ms (%.2fx)%s\n",
+      r.model.c_str(), r.dense_bitwise ? "bitwise" : "DIFFERS",
+      r.masked_max_abs_diff, static_cast<long long>(r.first_pass_growths),
+      static_cast<long long>(r.first_pass_heap_allocs), r.module_walk_ms,
+      r.plan_ms, r.plan_ms > 0 ? r.module_walk_ms / r.plan_ms : 0.0,
+      r.pass ? "" : "  <-- FAIL");
+  return r;
+}
+
+bool run_plan_verification(const char* json_path) {
+  std::printf("--- plan equivalence gate ---\n");
+  std::vector<PlanReport> reports;
+  reports.push_back(verify_plan("vgg16", /*batch=*/4));
+  reports.push_back(verify_plan("resnet56", /*batch=*/2));
+  reports.push_back(verify_plan("small_cnn", /*batch=*/4));
+  bool ok = true;
+  for (const PlanReport& r : reports) ok &= r.pass;
+
+  if (FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f, "{\n  \"plan_equivalence\": [\n");
+    for (size_t i = 0; i < reports.size(); ++i) {
+      const PlanReport& r = reports[i];
+      std::fprintf(
+          f,
+          "    {\"model\": \"%s\", \"dense_bitwise\": %s, "
+          "\"masked_max_abs_diff\": %.3e, \"first_pass_arena_growths\": %lld, "
+          "\"first_pass_heap_allocs\": %lld, \"module_walk_ms\": %.4f, "
+          "\"plan_ms\": %.4f, \"speedup\": %.3f, \"pass\": %s}%s\n",
+          r.model.c_str(), r.dense_bitwise ? "true" : "false",
+          r.masked_max_abs_diff, static_cast<long long>(r.first_pass_growths),
+          static_cast<long long>(r.first_pass_heap_allocs), r.module_walk_ms,
+          r.plan_ms, r.plan_ms > 0 ? r.module_walk_ms / r.plan_ms : 0.0,
+          r.pass ? "true" : "false", i + 1 < reports.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"gate\": \"%s\"\n}\n",
+                 ok ? "PASSED" : "FAILED");
+    std::fclose(f);
+  }
+  std::printf("--- plan gate %s (BENCH_plan.json written) ---\n",
+              ok ? "PASSED" : "FAILED");
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool skip_verify =
       std::getenv("ANTIDOTE_SKIP_VERIFY") != nullptr;
   if (!skip_verify && !run_verification()) return 1;
+  if (!skip_verify && !run_plan_verification("BENCH_plan.json")) return 1;
   return antidote::bench::run_benchmarks(argc, argv, "BENCH_e2e.json");
 }

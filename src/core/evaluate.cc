@@ -2,6 +2,7 @@
 
 #include "data/dataloader.h"
 #include "models/flops.h"
+#include "nn/execution_context.h"
 #include "nn/loss.h"
 #include "tensor/ops.h"
 
@@ -18,10 +19,15 @@ EvalResult evaluate(models::ConvNet& net, const data::Dataset& dataset,
   EvalResult result;
   double correct = 0.0, loss_sum = 0.0, macs_sum = 0.0;
 
+  // Test-phase passes run the compiled InferencePlan out of a local arena
+  // (conv+BN+ReLU fused, no per-layer heap traffic). The logits are
+  // consumed before the next begin_pass() invalidates them.
+  nn::ExecutionContext ctx;
   for (int b = 0; b < loader.num_batches(); ++b) {
     data::Batch batch = loader.batch(b);
     if (before_forward) before_forward(batch.size());
-    const Tensor logits = net.forward(batch.images);
+    ctx.begin_pass();
+    const Tensor logits = net.forward(batch.images, ctx);
     const double batch_loss = loss.forward(logits, batch.labels);
     correct += ops::accuracy(logits, batch.labels) * batch.size();
     loss_sum += batch_loss * batch.size();

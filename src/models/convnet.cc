@@ -1,0 +1,43 @@
+#include "models/convnet.h"
+
+#include "base/error.h"
+#include "plan/builder.h"
+
+namespace antidote::models {
+
+ConvNet::ConvNet() = default;
+ConvNet::~ConvNet() = default;
+
+Tensor ConvNet::forward(const Tensor& x, nn::ExecutionContext& ctx) {
+  if (is_training()) return forward(x);
+  AD_CHECK_EQ(x.ndim(), 4) << " ConvNet expects NCHW, got " << x.shape_str();
+  return inference_plan(x.dim(1), x.dim(2), x.dim(3)).run(x, ctx);
+}
+
+void ConvNet::set_training(bool training) {
+  // Entering training mutates BatchNorm running statistics (folded into
+  // the plan's epilogue constants at compile time); leaving it means a
+  // fresh fold is needed. Either way the cached plan is stale.
+  invalidate_plan();
+  nn::Module::set_training(training);
+}
+
+plan::InferencePlan& ConvNet::inference_plan(int in_c, int in_h, int in_w) {
+  if (plan_ == nullptr || plan_c_ != in_c || plan_h_ != in_h ||
+      plan_w_ != in_w) {
+    plan::PlanBuilder builder(Shape{in_c, in_h, in_w});
+    build_plan(builder);
+    plan_ = std::make_unique<plan::InferencePlan>(builder.finish());
+    plan_c_ = in_c;
+    plan_h_ = in_h;
+    plan_w_ = in_w;
+  }
+  return *plan_;
+}
+
+void ConvNet::invalidate_plan() {
+  plan_.reset();
+  plan_c_ = plan_h_ = plan_w_ = -1;
+}
+
+}  // namespace antidote::models

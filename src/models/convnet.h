@@ -24,10 +24,43 @@
 #include "nn/conv2d.h"
 #include "nn/module.h"
 
+namespace antidote::plan {
+class InferencePlan;
+class PlanBuilder;
+}  // namespace antidote::plan
+
 namespace antidote::models {
 
 class ConvNet : public nn::Module {
  public:
+  ConvNet();
+  ~ConvNet() override;
+
+  // --- compiled inference ---
+  // The test-phase context forward runs a compiled InferencePlan (BN
+  // folded into fused conv steps, buffer offsets planned ahead of time)
+  // instead of walking the module tree; see src/plan/. The plan is
+  // compiled lazily for the input shape and cached; training forwards
+  // keep the module walk (the plain overload is untouched).
+  using nn::Module::forward;
+  Tensor forward(const Tensor& x, nn::ExecutionContext& ctx) override;
+
+  // Invalidates the cached plan: BatchNorm statistics folded at compile
+  // time go stale when training touches them.
+  void set_training(bool training) override;
+
+  // The compiled plan for a {C, H, W} input, building it if needed.
+  // Callers that must not allocate during the first forward (serving
+  // replicas, benches) compile and reserve through this up front.
+  plan::InferencePlan& inference_plan(int in_c, int in_h, int in_w);
+  // The cached plan, if one is compiled (nullptr otherwise).
+  plan::InferencePlan* current_plan() { return plan_.get(); }
+  // Drops the cached plan; the next context forward recompiles. Models
+  // call this on structural changes (gate install/remove); call it
+  // manually after mutating weights or BN statistics in eval mode (e.g.
+  // loading a checkpoint into an already-eval model).
+  void invalidate_plan();
+
   // --- gate sites ---
   virtual int num_gate_sites() const = 0;
   // Installs (replacing any previous) gate at `site`; nullptr removes it.
@@ -61,6 +94,15 @@ class ConvNet : public nn::Module {
   arithmetic_layers() = 0;
   virtual int num_classes() const = 0;
   virtual std::string model_name() const = 0;
+
+ protected:
+  // Describes the model's eval-phase dataflow to the plan compiler by
+  // appending ops in execution order (see plan::PlanBuilder).
+  virtual void build_plan(plan::PlanBuilder& builder) = 0;
+
+ private:
+  std::unique_ptr<plan::InferencePlan> plan_;
+  int plan_c_ = -1, plan_h_ = -1, plan_w_ = -1;
 };
 
 }  // namespace antidote::models

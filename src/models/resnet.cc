@@ -5,6 +5,8 @@
 #include <cstring>
 
 #include "base/error.h"
+#include "nn/conv_kernels.h"
+#include "plan/builder.h"
 #include "tensor/ops.h"
 
 namespace antidote::models {
@@ -24,21 +26,12 @@ Tensor shortcut_option_a(const Tensor& x, int out_c, int stride,
   if (out_c == in_c && stride == 1) return x;
   const int oh = (h + stride - 1) / stride;
   const int ow = (w + stride - 1) / stride;
-  // Extra channels stay zero (arena memory must be cleared explicitly).
   Tensor y = ctx != nullptr ? ctx->alloc({n, out_c, oh, ow})
                             : Tensor({n, out_c, oh, ow});
-  if (ctx != nullptr) {
-    std::memset(y.data(), 0, static_cast<size_t>(y.size()) * sizeof(float));
-  }
-  for (int b = 0; b < n; ++b) {
-    for (int c = 0; c < in_c; ++c) {
-      for (int yy = 0; yy < oh; ++yy) {
-        for (int xx = 0; xx < ow; ++xx) {
-          y.at4(b, c, yy, xx) = x.at4(b, c, yy * stride, xx * stride);
-        }
-      }
-    }
-  }
+  // The shared kernel zero-fills (arena memory is uninitialized; pruned
+  // extra channels must stay zero) and writes the subsampled grid.
+  nn::shortcut_subsample_into(x.data(), n, in_c, h, w, out_c, stride,
+                              y.data());
   return y;
 }
 
@@ -107,19 +100,6 @@ Tensor ResNetCifar::block_forward(Block& b, const Tensor& x) {
   return b.relu2->forward(out);
 }
 
-Tensor ResNetCifar::block_forward(Block& b, const Tensor& x,
-                                  nn::ExecutionContext& ctx) {
-  Tensor out = b.conv1->forward(x, ctx);
-  out = b.bn1->forward(out, ctx);
-  out = b.relu1->forward(out, ctx);
-  if (b.gate) out = b.gate->forward(out, ctx);
-  out = b.conv2->forward(out, ctx);
-  out = b.bn2->forward(out, ctx);
-  const Tensor sc = shortcut_option_a(x, b.out_c, b.stride, &ctx);
-  ops::add_(out, sc);
-  return b.relu2->forward(out, ctx);
-}
-
 Tensor ResNetCifar::block_backward(Block& b, const Tensor& dy) {
   Tensor d = b.relu2->backward(dy);
   // Branch path.
@@ -145,14 +125,27 @@ Tensor ResNetCifar::forward(const Tensor& x) {
   return classifier_->forward(cur);
 }
 
-Tensor ResNetCifar::forward(const Tensor& x, nn::ExecutionContext& ctx) {
-  if (is_training()) return forward(x);
-  Tensor cur = stem_conv_->forward(x, ctx);
-  cur = stem_bn_->forward(cur, ctx);
-  cur = stem_relu_->forward(cur, ctx);
-  for (Block& b : blocks_) cur = block_forward(b, cur, ctx);
-  cur = gap_.forward(cur, ctx);
-  return classifier_->forward(cur, ctx);
+void ResNetCifar::build_plan(plan::PlanBuilder& builder) {
+  int cur = builder.conv(stem_conv_.get(), stem_bn_.get(), /*relu=*/true,
+                         builder.input(), /*residual=*/-1, "stem");
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    Block& b = blocks_[i];
+    const std::string base = "block" + std::to_string(i);
+    // The option-A shortcut is scheduled before the branch (values are
+    // order-independent; the planner keeps both alive until the fused
+    // conv2 epilogue consumes the residual).
+    const int sc = builder.shortcut(cur, b.out_c, b.stride, base + ".sc");
+    int t = builder.conv(b.conv1.get(), b.bn1.get(), /*relu=*/true, cur,
+                         /*residual=*/-1, base + ".conv1");
+    if (b.gate) {
+      t = builder.gate(b.gate.get(), t, base + ".gate", b.group,
+                       /*spatially_aligned=*/true);
+    }
+    cur = builder.conv(b.conv2.get(), b.bn2.get(), /*relu=*/true, t,
+                       /*residual=*/sc, base + ".conv2");
+  }
+  builder.linear(classifier_.get(), builder.global_avg_pool(cur, "gap"),
+                 "fc");
 }
 
 Tensor ResNetCifar::backward(const Tensor& grad_out) {
@@ -200,7 +193,7 @@ void ResNetCifar::visit_state(const std::string& prefix,
 }
 
 void ResNetCifar::set_training(bool training) {
-  nn::Module::set_training(training);
+  ConvNet::set_training(training);
   stem_conv_->set_training(training);
   stem_bn_->set_training(training);
   stem_relu_->set_training(training);
@@ -229,6 +222,7 @@ void ResNetCifar::install_gate(int site, std::unique_ptr<nn::Module> gate) {
   AD_CHECK(site >= 0 && site < num_gate_sites()) << " gate site " << site;
   if (gate) gate->set_training(is_training());
   blocks_[static_cast<size_t>(site)].gate = std::move(gate);
+  invalidate_plan();
 }
 
 nn::Module* ResNetCifar::gate(int site) const {

@@ -29,8 +29,11 @@ class ResNetCifar : public ConvNet {
   explicit ResNetCifar(const ResNetConfig& config);
 
   // --- nn::Module ---
+  // (The context forward comes from ConvNet: it runs the compiled
+  // InferencePlan — conv+BN fused, residual add and ReLU in the conv
+  // epilogue — instead of walking the blocks.)
+  using ConvNet::forward;
   Tensor forward(const Tensor& x) override;
-  Tensor forward(const Tensor& x, nn::ExecutionContext& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<nn::Parameter*> parameters() override;
   void visit_state(const std::string& prefix,
@@ -58,6 +61,9 @@ class ResNetCifar : public ConvNet {
 
   const ResNetConfig& config() const { return config_; }
 
+ protected:
+  void build_plan(plan::PlanBuilder& builder) override;
+
  private:
   struct Block {
     std::unique_ptr<nn::Conv2d> conv1, conv2;
@@ -71,7 +77,6 @@ class ResNetCifar : public ConvNet {
   };
 
   Tensor block_forward(Block& b, const Tensor& x);
-  Tensor block_forward(Block& b, const Tensor& x, nn::ExecutionContext& ctx);
   Tensor block_backward(Block& b, const Tensor& dy);
 
   ResNetConfig config_;

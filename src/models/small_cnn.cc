@@ -13,13 +13,8 @@ SmallCnn::SmallCnn(const SmallCnnConfig& config) : config_(config) {
 
   int in_c = config.in_channels;
   for (size_t i = 0; i < config.widths.size(); ++i) {
-    Stage s;
-    s.conv = std::make_unique<nn::Conv2d>(in_c, config.widths[i], 3, 1, 1,
-                                          /*bias=*/false);
-    s.bn = std::make_unique<nn::BatchNorm2d>(config.widths[i]);
-    s.relu = std::make_unique<nn::ReLU>();
-    if (pool[i]) s.pool = std::make_unique<nn::MaxPool2d>(2);
-    stages_.push_back(std::move(s));
+    stages_.emplace_back(in_c, config.widths[i], pool[i],
+                         static_cast<int>(i));
     in_c = config.widths[i];
   }
   classifier_ = std::make_unique<nn::Linear>(in_c, config.num_classes);
@@ -27,54 +22,34 @@ SmallCnn::SmallCnn(const SmallCnnConfig& config) : config_(config) {
 
 Tensor SmallCnn::forward(const Tensor& x) {
   Tensor cur = x;
-  for (Stage& s : stages_) {
-    cur = s.conv->forward(cur);
-    cur = s.bn->forward(cur);
-    cur = s.relu->forward(cur);
-    if (s.gate) cur = s.gate->forward(cur);
-    if (s.pool) cur = s.pool->forward(cur);
-  }
+  for (ConvUnit& s : stages_) cur = s.forward(cur);
   cur = gap_.forward(cur);
   return classifier_->forward(cur);
-}
-
-Tensor SmallCnn::forward(const Tensor& x, nn::ExecutionContext& ctx) {
-  if (is_training()) return forward(x);
-  Tensor cur = x;
-  for (Stage& s : stages_) {
-    cur = s.conv->forward(cur, ctx);
-    cur = s.bn->forward(cur, ctx);
-    cur = s.relu->forward(cur, ctx);
-    if (s.gate) cur = s.gate->forward(cur, ctx);
-    if (s.pool) cur = s.pool->forward(cur, ctx);
-  }
-  cur = gap_.forward(cur, ctx);
-  return classifier_->forward(cur, ctx);
 }
 
 Tensor SmallCnn::backward(const Tensor& grad_out) {
   Tensor cur = classifier_->backward(grad_out);
   cur = gap_.backward(cur);
   for (auto it = stages_.rbegin(); it != stages_.rend(); ++it) {
-    Stage& s = *it;
-    if (s.pool) cur = s.pool->backward(cur);
-    if (s.gate) cur = s.gate->backward(cur);
-    cur = s.relu->backward(cur);
-    cur = s.bn->backward(cur);
-    cur = s.conv->backward(cur);
+    cur = it->backward(cur);
   }
   return cur;
 }
 
+void SmallCnn::build_plan(plan::PlanBuilder& builder) {
+  int cur = builder.input();
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    cur = stages_[i].describe(builder, cur, "conv" + std::to_string(i),
+                              static_cast<int>(i),
+                              gate_spatially_aligned(static_cast<int>(i)));
+  }
+  builder.linear(classifier_.get(), builder.global_avg_pool(cur, "gap"),
+                 "fc");
+}
+
 std::vector<nn::Parameter*> SmallCnn::parameters() {
   std::vector<nn::Parameter*> out;
-  for (Stage& s : stages_) {
-    for (auto* p : s.conv->parameters()) out.push_back(p);
-    for (auto* p : s.bn->parameters()) out.push_back(p);
-    if (s.gate) {
-      for (auto* p : s.gate->parameters()) out.push_back(p);
-    }
-  }
+  for (ConvUnit& s : stages_) s.append_parameters(out);
   for (auto* p : classifier_->parameters()) out.push_back(p);
   return out;
 }
@@ -82,30 +57,21 @@ std::vector<nn::Parameter*> SmallCnn::parameters() {
 void SmallCnn::visit_state(const std::string& prefix,
                            const nn::StateVisitor& fn) {
   for (size_t i = 0; i < stages_.size(); ++i) {
-    const std::string base = prefix + "stage" + std::to_string(i) + ".";
-    stages_[i].conv->visit_state(base + "conv.", fn);
-    stages_[i].bn->visit_state(base + "bn.", fn);
-    if (stages_[i].gate) stages_[i].gate->visit_state(base + "gate.", fn);
+    stages_[i].visit_state(prefix + "stage" + std::to_string(i) + ".", fn);
   }
   classifier_->visit_state(prefix + "fc.", fn);
 }
 
 void SmallCnn::set_training(bool training) {
-  nn::Module::set_training(training);
-  for (Stage& s : stages_) {
-    s.conv->set_training(training);
-    s.bn->set_training(training);
-    s.relu->set_training(training);
-    if (s.gate) s.gate->set_training(training);
-    if (s.pool) s.pool->set_training(training);
-  }
+  ConvNet::set_training(training);
+  for (ConvUnit& s : stages_) s.set_training(training);
   gap_.set_training(training);
   classifier_->set_training(training);
 }
 
 int64_t SmallCnn::last_macs() const {
   int64_t total = 0;
-  for (const Stage& s : stages_) total += s.conv->last_macs();
+  for (const ConvUnit& s : stages_) total += s.last_macs();
   return total + classifier_->last_macs();
 }
 
@@ -113,6 +79,7 @@ void SmallCnn::install_gate(int site, std::unique_ptr<nn::Module> gate) {
   AD_CHECK(site >= 0 && site < num_gate_sites()) << " gate site " << site;
   if (gate) gate->set_training(is_training());
   stages_[static_cast<size_t>(site)].gate = std::move(gate);
+  invalidate_plan();
 }
 
 nn::Module* SmallCnn::gate(int site) const {

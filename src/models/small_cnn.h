@@ -6,6 +6,7 @@
 #pragma once
 
 #include "models/convnet.h"
+#include "models/unit.h"
 #include "nn/batchnorm.h"
 #include "nn/layers.h"
 #include "nn/linear.h"
@@ -26,8 +27,8 @@ class SmallCnn : public ConvNet {
  public:
   explicit SmallCnn(const SmallCnnConfig& config);
 
+  using ConvNet::forward;  // keep the plan-backed context overload visible
   Tensor forward(const Tensor& x) override;
-  Tensor forward(const Tensor& x, nn::ExecutionContext& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<nn::Parameter*> parameters() override;
   void visit_state(const std::string& prefix,
@@ -54,17 +55,12 @@ class SmallCnn : public ConvNet {
 
   nn::Conv2d* conv(int i);
 
- private:
-  struct Stage {
-    std::unique_ptr<nn::Conv2d> conv;
-    std::unique_ptr<nn::BatchNorm2d> bn;
-    std::unique_ptr<nn::ReLU> relu;
-    std::unique_ptr<nn::Module> gate;
-    std::unique_ptr<nn::MaxPool2d> pool;  // nullable
-  };
+ protected:
+  void build_plan(plan::PlanBuilder& builder) override;
 
+ private:
   SmallCnnConfig config_;
-  std::vector<Stage> stages_;
+  std::vector<ConvUnit> stages_;
   nn::GlobalAvgPool gap_;
   std::unique_ptr<nn::Linear> classifier_;
 };

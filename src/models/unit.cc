@@ -1,0 +1,70 @@
+#include "models/unit.h"
+
+namespace antidote::models {
+
+ConvUnit::ConvUnit(int in_channels, int width, bool with_pool,
+                   int block_index)
+    : conv(std::make_unique<nn::Conv2d>(in_channels, width, 3, 1, 1,
+                                        /*bias=*/false)),
+      bn(std::make_unique<nn::BatchNorm2d>(width)),
+      relu(std::make_unique<nn::ReLU>()),
+      block(block_index) {
+  if (with_pool) pool = std::make_unique<nn::MaxPool2d>(2);
+}
+
+Tensor ConvUnit::forward(const Tensor& x) {
+  Tensor cur = conv->forward(x);
+  cur = bn->forward(cur);
+  cur = relu->forward(cur);
+  if (gate) cur = gate->forward(cur);
+  if (pool) cur = pool->forward(cur);
+  return cur;
+}
+
+Tensor ConvUnit::backward(const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  if (pool) cur = pool->backward(cur);
+  if (gate) cur = gate->backward(cur);
+  cur = relu->backward(cur);
+  cur = bn->backward(cur);
+  return conv->backward(cur);
+}
+
+void ConvUnit::append_parameters(std::vector<nn::Parameter*>& out) {
+  for (auto* p : conv->parameters()) out.push_back(p);
+  for (auto* p : bn->parameters()) out.push_back(p);
+  if (gate) {
+    for (auto* p : gate->parameters()) out.push_back(p);
+  }
+}
+
+void ConvUnit::visit_state(const std::string& base,
+                           const nn::StateVisitor& fn) {
+  conv->visit_state(base + "conv.", fn);
+  bn->visit_state(base + "bn.", fn);
+  // Gates with learnable state (e.g. FBS saliency predictors) persist
+  // with the model; attention gates are stateless and contribute nothing.
+  if (gate) gate->visit_state(base + "gate.", fn);
+}
+
+void ConvUnit::set_training(bool training) {
+  conv->set_training(training);
+  bn->set_training(training);
+  relu->set_training(training);
+  if (gate) gate->set_training(training);
+  if (pool) pool->set_training(training);
+}
+
+int ConvUnit::describe(plan::PlanBuilder& b, int cur, const std::string& name,
+                       int block_index, bool spatially_aligned) const {
+  cur = b.conv(conv.get(), bn.get(), /*relu=*/true, cur, /*residual=*/-1,
+               name);
+  if (gate) {
+    cur = b.gate(gate.get(), cur, name + ".gate", block_index,
+                 spatially_aligned);
+  }
+  if (pool) cur = b.max_pool(pool.get(), cur, name + ".pool");
+  return cur;
+}
+
+}  // namespace antidote::models

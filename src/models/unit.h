@@ -1,0 +1,47 @@
+// ConvUnit — the conv -> BatchNorm -> ReLU (-> gate) (-> MaxPool) unit the
+// VGG-style models (Vgg, SmallCnn) are stacks of. One shared
+// implementation of the unit's training forward/backward, parameter and
+// state plumbing, and its plan description replaces the per-model copies
+// that used to live in vgg.cc and small_cnn.cc.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/layers.h"
+#include "nn/pooling.h"
+#include "plan/builder.h"
+
+namespace antidote::models {
+
+struct ConvUnit {
+  std::unique_ptr<nn::Conv2d> conv;
+  std::unique_ptr<nn::BatchNorm2d> bn;
+  std::unique_ptr<nn::ReLU> relu;
+  std::unique_ptr<nn::Module> gate;     // nullable
+  std::unique_ptr<nn::MaxPool2d> pool;  // nullable
+  int block = 0;
+
+  ConvUnit() = default;
+  // 3x3/s1/p1 conv (bias-free: BatchNorm follows) of `width` filters,
+  // with an optional trailing 2x2 MaxPool.
+  ConvUnit(int in_channels, int width, bool with_pool, int block_index);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out);
+  void append_parameters(std::vector<nn::Parameter*>& out);
+  void visit_state(const std::string& base, const nn::StateVisitor& fn);
+  void set_training(bool training);
+  int64_t last_macs() const { return conv->last_macs(); }
+
+  // Appends the unit's fused steps to a plan under `name`; returns the
+  // output buffer. `block_index`/`spatially_aligned` feed the consumer
+  // conv's pruning metadata (see PlanBuilder::gate).
+  int describe(plan::PlanBuilder& b, int cur, const std::string& name,
+               int block_index, bool spatially_aligned) const;
+};
+
+}  // namespace antidote::models

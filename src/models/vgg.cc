@@ -22,17 +22,9 @@ Vgg::Vgg(const VggConfig& config) : config_(config) {
   for (size_t b = 0; b < config.layers_per_block.size(); ++b) {
     const int width = scaled(config.block_widths[b], config.width_mult);
     for (int l = 0; l < config.layers_per_block[b]; ++l) {
-      Unit u;
-      // BatchNorm follows, so the conv itself carries no bias.
-      u.conv = std::make_unique<nn::Conv2d>(in_c, width, 3, 1, 1,
-                                            /*bias=*/false);
-      u.bn = std::make_unique<nn::BatchNorm2d>(width);
-      u.relu = std::make_unique<nn::ReLU>();
-      u.block = static_cast<int>(b);
-      if (l == config.layers_per_block[b] - 1) {
-        u.pool = std::make_unique<nn::MaxPool2d>(2);
-      }
-      units_.push_back(std::move(u));
+      units_.emplace_back(in_c, width,
+                          /*with_pool=*/l == config.layers_per_block[b] - 1,
+                          static_cast<int>(b));
       in_c = width;
     }
   }
@@ -41,86 +33,55 @@ Vgg::Vgg(const VggConfig& config) : config_(config) {
 
 Tensor Vgg::forward(const Tensor& x) {
   Tensor cur = x;
-  for (Unit& u : units_) {
-    cur = u.conv->forward(cur);
-    cur = u.bn->forward(cur);
-    cur = u.relu->forward(cur);
-    if (u.gate) cur = u.gate->forward(cur);
-    if (u.pool) cur = u.pool->forward(cur);
-  }
+  for (ConvUnit& u : units_) cur = u.forward(cur);
   cur = gap_.forward(cur);
   return classifier_->forward(cur);
-}
-
-Tensor Vgg::forward(const Tensor& x, nn::ExecutionContext& ctx) {
-  if (is_training()) return forward(x);
-  Tensor cur = x;
-  for (Unit& u : units_) {
-    cur = u.conv->forward(cur, ctx);
-    cur = u.bn->forward(cur, ctx);
-    cur = u.relu->forward(cur, ctx);
-    if (u.gate) cur = u.gate->forward(cur, ctx);
-    if (u.pool) cur = u.pool->forward(cur, ctx);
-  }
-  cur = gap_.forward(cur, ctx);
-  return classifier_->forward(cur, ctx);
 }
 
 Tensor Vgg::backward(const Tensor& grad_out) {
   Tensor cur = classifier_->backward(grad_out);
   cur = gap_.backward(cur);
   for (auto it = units_.rbegin(); it != units_.rend(); ++it) {
-    Unit& u = *it;
-    if (u.pool) cur = u.pool->backward(cur);
-    if (u.gate) cur = u.gate->backward(cur);
-    cur = u.relu->backward(cur);
-    cur = u.bn->backward(cur);
-    cur = u.conv->backward(cur);
+    cur = it->backward(cur);
   }
   return cur;
 }
 
+void Vgg::build_plan(plan::PlanBuilder& builder) {
+  int cur = builder.input();
+  for (size_t i = 0; i < units_.size(); ++i) {
+    cur = units_[i].describe(builder, cur, "conv" + std::to_string(i),
+                             units_[i].block,
+                             gate_spatially_aligned(static_cast<int>(i)));
+  }
+  builder.linear(classifier_.get(), builder.global_avg_pool(cur, "gap"),
+                 "fc");
+}
+
 std::vector<nn::Parameter*> Vgg::parameters() {
   std::vector<nn::Parameter*> out;
-  for (Unit& u : units_) {
-    for (auto* p : u.conv->parameters()) out.push_back(p);
-    for (auto* p : u.bn->parameters()) out.push_back(p);
-    if (u.gate) {
-      for (auto* p : u.gate->parameters()) out.push_back(p);
-    }
-  }
+  for (ConvUnit& u : units_) u.append_parameters(out);
   for (auto* p : classifier_->parameters()) out.push_back(p);
   return out;
 }
 
 void Vgg::visit_state(const std::string& prefix, const nn::StateVisitor& fn) {
   for (size_t i = 0; i < units_.size(); ++i) {
-    const std::string base = prefix + "features." + std::to_string(i) + ".";
-    units_[i].conv->visit_state(base + "conv.", fn);
-    units_[i].bn->visit_state(base + "bn.", fn);
-    // Gates with learnable state (e.g. FBS saliency predictors) persist
-    // with the model; attention gates are stateless and contribute nothing.
-    if (units_[i].gate) units_[i].gate->visit_state(base + "gate.", fn);
+    units_[i].visit_state(prefix + "features." + std::to_string(i) + ".", fn);
   }
   classifier_->visit_state(prefix + "fc.", fn);
 }
 
 void Vgg::set_training(bool training) {
-  nn::Module::set_training(training);
-  for (Unit& u : units_) {
-    u.conv->set_training(training);
-    u.bn->set_training(training);
-    u.relu->set_training(training);
-    if (u.gate) u.gate->set_training(training);
-    if (u.pool) u.pool->set_training(training);
-  }
+  ConvNet::set_training(training);
+  for (ConvUnit& u : units_) u.set_training(training);
   gap_.set_training(training);
   classifier_->set_training(training);
 }
 
 int64_t Vgg::last_macs() const {
   int64_t total = 0;
-  for (const Unit& u : units_) total += u.conv->last_macs();
+  for (const ConvUnit& u : units_) total += u.last_macs();
   return total + classifier_->last_macs();
 }
 
@@ -128,6 +89,7 @@ void Vgg::install_gate(int site, std::unique_ptr<nn::Module> gate) {
   AD_CHECK(site >= 0 && site < num_gate_sites()) << " gate site " << site;
   if (gate) gate->set_training(is_training());
   units_[static_cast<size_t>(site)].gate = std::move(gate);
+  invalidate_plan();
 }
 
 nn::Module* Vgg::gate(int site) const {

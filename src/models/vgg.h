@@ -6,6 +6,7 @@
 #pragma once
 
 #include "models/convnet.h"
+#include "models/unit.h"
 #include "nn/batchnorm.h"
 #include "nn/layers.h"
 #include "nn/linear.h"
@@ -27,8 +28,10 @@ class Vgg : public ConvNet {
   explicit Vgg(const VggConfig& config);
 
   // --- nn::Module ---
+  // (The context forward comes from ConvNet: it runs the compiled
+  // InferencePlan instead of walking the units.)
+  using ConvNet::forward;
   Tensor forward(const Tensor& x) override;
-  Tensor forward(const Tensor& x, nn::ExecutionContext& ctx) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<nn::Parameter*> parameters() override;
   void visit_state(const std::string& prefix,
@@ -60,18 +63,12 @@ class Vgg : public ConvNet {
   nn::Conv2d* conv(int i);
   const VggConfig& config() const { return config_; }
 
- private:
-  struct Unit {
-    std::unique_ptr<nn::Conv2d> conv;
-    std::unique_ptr<nn::BatchNorm2d> bn;
-    std::unique_ptr<nn::ReLU> relu;
-    std::unique_ptr<nn::Module> gate;  // nullable
-    std::unique_ptr<nn::MaxPool2d> pool;  // non-null after block's last conv
-    int block = 0;
-  };
+ protected:
+  void build_plan(plan::PlanBuilder& builder) override;
 
+ private:
   VggConfig config_;
-  std::vector<Unit> units_;
+  std::vector<ConvUnit> units_;  // pool non-null after a block's last conv
   nn::GlobalAvgPool gap_;
   std::unique_ptr<nn::Linear> classifier_;
 };

@@ -24,6 +24,7 @@ class BatchNorm2d : public Module {
   std::string type_name() const override { return "BatchNorm2d"; }
 
   int channels() const { return channels_; }
+  float eps() const { return eps_; }
   Parameter& gamma() { return gamma_; }
   Parameter& beta() { return beta_; }
   Tensor& running_mean() { return running_mean_; }

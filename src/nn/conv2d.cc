@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "base/error.h"
+#include "nn/conv_kernels.h"
 #include "tensor/gemm.h"
 #include "tensor/workspace.h"
 
@@ -76,6 +77,21 @@ void Conv2d::set_runtime_masks(std::span<const ConvRuntimeMask> masks) {
   masks_pending_ = !pending_masks_.empty();
 }
 
+std::span<const ConvRuntimeMask> Conv2d::take_runtime_masks() {
+  if (!masks_pending_) return {};
+  // Same swap-through-a-member consumption as forward_impl: both vectors'
+  // elements stay alive as warm storage across passes.
+  active_masks_.swap(pending_masks_);
+  masks_pending_ = false;
+  return std::span<const ConvRuntimeMask>(active_masks_);
+}
+
+void Conv2d::note_external_execution(int64_t macs, bool masked) {
+  last_macs_ = macs;
+  last_forward_was_masked_ = masked;
+  cached_input_ = Tensor();
+}
+
 Tensor Conv2d::forward(const Tensor& x) { return forward_impl(x, nullptr); }
 
 Tensor Conv2d::forward(const Tensor& x, ExecutionContext& ctx) {
@@ -115,23 +131,15 @@ Tensor Conv2d::forward_dense(const Tensor& x, ExecutionContext* ctx) {
   const Workspace::Mark scratch = ws.mark();
   float* cols = ws.alloc_floats(patch * pos);
   const float* wp = weight_.value.data();
+  const float* bp = has_bias_ ? bias_.value.data() : nullptr;
 
+  last_macs_ = 0;
   for (int b = 0; b < n; ++b) {
     const float* xb = x.data() + static_cast<int64_t>(b) * in_c_ * h * w;
     float* yb = y.data() + static_cast<int64_t>(b) * out_c_ * pos;
-    im2col(xb, g, cols);
-    gemm_nn(out_c_, static_cast<int>(pos), static_cast<int>(patch), 1.f, wp,
-            cols, 0.f, yb, &ws);
-    if (has_bias_) {
-      const float* bp = bias_.value.data();
-      for (int oc = 0; oc < out_c_; ++oc) {
-        float* row = yb + static_cast<int64_t>(oc) * pos;
-        for (int64_t j = 0; j < pos; ++j) row[j] += bp[oc];
-      }
-    }
+    last_macs_ += conv_sample_dense(xb, g, wp, out_c_, bp, cols, yb, ws);
   }
   ws.rewind(scratch);
-  last_macs_ = static_cast<int64_t>(n) * out_c_ * pos * patch;
   // Context forwards are inference-only: skip the backward cache so arena
   // tensors never outlive their pass.
   cached_input_ = ctx != nullptr ? Tensor() : x;
@@ -164,141 +172,16 @@ Tensor Conv2d::forward_masked(const Tensor& x,
   std::iota(all_out, all_out + out_c_, 0);
   int* all_positions = ws.alloc<int>(pos);
   std::iota(all_positions, all_positions + pos, 0);
+  const ConvIdentityIndices ids{all_channels, all_out, all_positions};
+  const float* wp = weight_.value.data();
+  const float* bp = has_bias_ ? bias_.value.data() : nullptr;
 
   for (int b = 0; b < n; ++b) {
-    const Workspace::Mark per_sample = ws.mark();
-    const ConvRuntimeMask& m = masks[static_cast<size_t>(b)];
-    const std::span<const int> ch =
-        m.channels.empty() ? std::span<const int>(all_channels,
-                                                  static_cast<size_t>(in_c_))
-                           : std::span<const int>(m.channels);
-    const std::span<const int> oc_set =
-        m.out_channels.empty()
-            ? std::span<const int>(all_out, static_cast<size_t>(out_c_))
-            : std::span<const int>(m.out_channels);
-    const int ck = static_cast<int>(ch.size());
-    const int ok = static_cast<int>(oc_set.size());
     const float* xb = x.data() + static_cast<int64_t>(b) * in_c_ * h * w;
     float* yb = y.data() + static_cast<int64_t>(b) * out_c_ * pos;
-    const int64_t kk = static_cast<int64_t>(k_) * k_;
-
-    if (m.positions.empty()) {
-      // Channel / filter skipping only: gather kept-channel patch rows and
-      // kept-filter weight rows into one GEMM.
-      const int patch_k = ck * k_ * k_;
-      float* w_packed = ws.alloc_floats(static_cast<int64_t>(ok) * patch_k);
-      for (int oi = 0; oi < ok; ++oi) {
-        const float* src =
-            weight_.value.data() +
-            static_cast<int64_t>(oc_set[static_cast<size_t>(oi)]) * in_c_ * kk;
-        float* dst = w_packed + static_cast<int64_t>(oi) * patch_k;
-        for (int ci = 0; ci < ck; ++ci) {
-          const float* block =
-              src + static_cast<int64_t>(ch[static_cast<size_t>(ci)]) * kk;
-          std::copy(block, block + kk, dst + static_cast<int64_t>(ci) * kk);
-        }
-      }
-      float* cols = ws.alloc_floats(static_cast<int64_t>(patch_k) * pos);
-      im2col_gather(xb, g, ch,
-                    std::span<const int>(all_positions,
-                                         static_cast<size_t>(pos)),
-                    cols);
-      float* y_sub = ws.alloc_floats(static_cast<int64_t>(ok) * pos);
-      gemm_nn(ok, static_cast<int>(pos), patch_k, 1.f, w_packed, cols, 0.f,
-              y_sub, &ws);
-      for (int oi = 0; oi < ok; ++oi) {
-        const int oc = oc_set[static_cast<size_t>(oi)];
-        std::copy(y_sub + static_cast<int64_t>(oi) * pos,
-                  y_sub + static_cast<int64_t>(oi + 1) * pos,
-                  yb + static_cast<int64_t>(oc) * pos);
-      }
-      last_macs_ += static_cast<int64_t>(ok) * pos * patch_k;
-    } else {
-      // Spatial (column) skipping: input-stationary "shift-GEMM". Only the
-      // kept input columns contribute; for each kernel offset (ky, kx) one
-      // [ok x ck] x [ck x pk] GEMM produces their contribution, which is
-      // scatter-added at the offset output position. The result equals the
-      // dense convolution over the column-masked input *exactly* (pruned
-      // columns are zero and contribute nothing), while executing only
-      // ok * pk * ck * k^2 MACs — dense x keep ratios. This avoids any
-      // train/test mismatch: targeted dropout during TTD training computes
-      // the same function densely.
-      AD_CHECK(stride_ == 1 && oh == h && ow == w)
-          << " spatial runtime mask requires a grid-preserving Conv2d";
-      AD_CHECK_LE(m.positions.back(), static_cast<int>(pos) - 1);
-      const int pk = static_cast<int>(m.positions.size());
-
-      // Gather kept input values: B[ci][j] = x[ch[ci], positions[j]].
-      float* cols = ws.alloc_floats(static_cast<int64_t>(ck) * pk);
-      for (int ci = 0; ci < ck; ++ci) {
-        const float* plane =
-            xb + static_cast<int64_t>(ch[static_cast<size_t>(ci)]) * h * w;
-        float* row = cols + static_cast<int64_t>(ci) * pk;
-        for (int j = 0; j < pk; ++j) {
-          row[j] = plane[m.positions[static_cast<size_t>(j)]];
-        }
-      }
-
-      // All k^2 kernel-offset weight slices stack into one [k^2*ok x ck]
-      // matrix, so the whole shift-GEMM runs as a single (blocked) GEMM
-      // against the shared gathered-input matrix instead of k^2 tiny ones
-      // — each output row is an independent dot product, so the values
-      // (and the scatter order below) are unchanged.
-      float* w_packed = ws.alloc_floats(kk * ok * ck);
-      float* y_sub = ws.alloc_floats(kk * static_cast<int64_t>(ok) * pk);
-      for (int ky = 0; ky < k_; ++ky) {
-        for (int kx = 0; kx < k_; ++kx) {
-          // W_k[oi][ci] = weight[oc_set[oi], ch[ci], ky, kx].
-          const int64_t off = static_cast<int64_t>(ky) * k_ + kx;
-          for (int oi = 0; oi < ok; ++oi) {
-            const float* src =
-                weight_.value.data() +
-                (static_cast<int64_t>(oc_set[static_cast<size_t>(oi)]) *
-                     in_c_) *
-                    kk +
-                off;
-            float* dst = w_packed + (off * ok + oi) * ck;
-            for (int ci = 0; ci < ck; ++ci) {
-              dst[ci] = src[static_cast<int64_t>(ch[static_cast<size_t>(ci)]) *
-                            kk];
-            }
-          }
-        }
-      }
-      gemm_nn(static_cast<int>(kk) * ok, pk, ck, 1.f, w_packed, cols, 0.f,
-              y_sub, &ws);
-      for (int ky = 0; ky < k_; ++ky) {
-        for (int kx = 0; kx < k_; ++kx) {
-          const float* y_off =
-              y_sub + (static_cast<int64_t>(ky) * k_ + kx) * ok * pk;
-          // Input column (iy, ix) feeds output (iy + pad - ky, ix + pad - kx).
-          const int dy = pad_ - ky, dx = pad_ - kx;
-          for (int j = 0; j < pk; ++j) {
-            const int p = m.positions[static_cast<size_t>(j)];
-            const int oy = p / w + dy;
-            const int ox = p % w + dx;
-            if (oy < 0 || oy >= oh || ox < 0 || ox >= ow) continue;
-            const int64_t out_idx = static_cast<int64_t>(oy) * ow + ox;
-            for (int oi = 0; oi < ok; ++oi) {
-              yb[static_cast<int64_t>(oc_set[static_cast<size_t>(oi)]) * pos +
-                 out_idx] += y_off[static_cast<int64_t>(oi) * pk + j];
-            }
-          }
-        }
-      }
-      last_macs_ += static_cast<int64_t>(ok) * pk * ck * kk;
-    }
-
-    if (has_bias_) {
-      const float* bp = bias_.value.data();
-      for (int oi = 0; oi < ok; ++oi) {
-        const int oc = oc_set[static_cast<size_t>(oi)];
-        float* drow = yb + static_cast<int64_t>(oc) * pos;
-        const float bias_v = bp[oc];
-        for (int64_t j = 0; j < pos; ++j) drow[j] += bias_v;
-      }
-    }
-    ws.rewind(per_sample);
+    last_macs_ += conv_sample_masked(xb, g, wp, out_c_, bp,
+                                     masks[static_cast<size_t>(b)], ids, yb,
+                                     ws);
   }
   ws.rewind(outer);
   cached_input_ = Tensor();  // backward unsupported after masked forward

@@ -65,6 +65,18 @@ class Conv2d : public Module {
   void set_runtime_masks(std::span<const ConvRuntimeMask> masks);
   bool has_pending_masks() const { return masks_pending_; }
 
+  // --- plan-executor interface ---
+  // Consumes the pending per-sample masks exactly as a forward pass would
+  // (masks apply to one pass only) and returns a view of them; empty when
+  // none are pending. The view stays valid until the next set_runtime_masks
+  // call on this layer.
+  std::span<const ConvRuntimeMask> take_runtime_masks();
+  // Records an execution performed outside the module (the InferencePlan
+  // runs the shared kernels itself): keeps last_macs()/introspection
+  // consistent and clears the backward cache so a stale backward() fails
+  // loudly.
+  void note_external_execution(int64_t macs, bool masked);
+
   // --- introspection ---
   int in_channels() const { return in_c_; }
   int out_channels() const { return out_c_; }

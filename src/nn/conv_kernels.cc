@@ -1,0 +1,218 @@
+#include "nn/conv_kernels.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/error.h"
+#include "tensor/gemm.h"
+
+namespace antidote::nn {
+
+int64_t conv_sample_dense(const float* xb, const ConvGeom& g, const float* w,
+                          int out_c, const float* bias, float* cols, float* yb,
+                          Workspace& ws) {
+  const int64_t patch = g.patch_rows();
+  const int64_t pos = g.out_positions();
+  im2col(xb, g, cols);
+  gemm_nn(out_c, static_cast<int>(pos), static_cast<int>(patch), 1.f, w, cols,
+          0.f, yb, &ws);
+  if (bias != nullptr) {
+    for (int oc = 0; oc < out_c; ++oc) {
+      float* row = yb + static_cast<int64_t>(oc) * pos;
+      for (int64_t j = 0; j < pos; ++j) row[j] += bias[oc];
+    }
+  }
+  return static_cast<int64_t>(out_c) * pos * patch;
+}
+
+int64_t conv_sample_masked(const float* xb, const ConvGeom& g, const float* w,
+                           int out_c, const float* bias,
+                           const ConvRuntimeMask& m,
+                           const ConvIdentityIndices& ids, float* yb,
+                           Workspace& ws) {
+  const int in_c = g.in_c, h = g.in_h, wd = g.in_w;
+  const int oh = g.out_h(), ow = g.out_w();
+  const int64_t pos = g.out_positions();
+  const int64_t kk = static_cast<int64_t>(g.k_h) * g.k_w;
+
+  const std::span<const int> ch =
+      m.channels.empty()
+          ? std::span<const int>(ids.channels, static_cast<size_t>(in_c))
+          : std::span<const int>(m.channels);
+  const std::span<const int> oc_set =
+      m.out_channels.empty()
+          ? std::span<const int>(ids.out, static_cast<size_t>(out_c))
+          : std::span<const int>(m.out_channels);
+  const int ck = static_cast<int>(ch.size());
+  const int ok = static_cast<int>(oc_set.size());
+  int64_t macs = 0;
+
+  const Workspace::Mark per_sample = ws.mark();
+  if (m.positions.empty()) {
+    // Channel / filter skipping only: gather kept-channel patch rows and
+    // kept-filter weight rows into one GEMM.
+    const int patch_k = ck * g.k_h * g.k_w;
+    float* w_packed = ws.alloc_floats(static_cast<int64_t>(ok) * patch_k);
+    for (int oi = 0; oi < ok; ++oi) {
+      const float* src =
+          w + static_cast<int64_t>(oc_set[static_cast<size_t>(oi)]) * in_c * kk;
+      float* dst = w_packed + static_cast<int64_t>(oi) * patch_k;
+      for (int ci = 0; ci < ck; ++ci) {
+        const float* block =
+            src + static_cast<int64_t>(ch[static_cast<size_t>(ci)]) * kk;
+        std::copy(block, block + kk, dst + static_cast<int64_t>(ci) * kk);
+      }
+    }
+    float* cols = ws.alloc_floats(static_cast<int64_t>(patch_k) * pos);
+    im2col_gather(
+        xb, g, ch,
+        std::span<const int>(ids.positions, static_cast<size_t>(pos)), cols);
+    float* y_sub = ws.alloc_floats(static_cast<int64_t>(ok) * pos);
+    gemm_nn(ok, static_cast<int>(pos), patch_k, 1.f, w_packed, cols, 0.f,
+            y_sub, &ws);
+    for (int oi = 0; oi < ok; ++oi) {
+      const int oc = oc_set[static_cast<size_t>(oi)];
+      std::copy(y_sub + static_cast<int64_t>(oi) * pos,
+                y_sub + static_cast<int64_t>(oi + 1) * pos,
+                yb + static_cast<int64_t>(oc) * pos);
+    }
+    macs = static_cast<int64_t>(ok) * pos * patch_k;
+  } else {
+    // Spatial (column) skipping: input-stationary "shift-GEMM". Only the
+    // kept input columns contribute; for each kernel offset (ky, kx) one
+    // [ok x ck] x [ck x pk] GEMM produces their contribution, which is
+    // scatter-added at the offset output position. The result equals the
+    // dense convolution over the column-masked input *exactly* (pruned
+    // columns are zero and contribute nothing), while executing only
+    // ok * pk * ck * k^2 MACs — dense x keep ratios. This avoids any
+    // train/test mismatch: targeted dropout during TTD training computes
+    // the same function densely.
+    AD_CHECK(g.stride == 1 && oh == h && ow == wd)
+        << " spatial runtime mask requires a grid-preserving Conv2d";
+    AD_CHECK_LE(m.positions.back(), static_cast<int>(pos) - 1);
+    const int pk = static_cast<int>(m.positions.size());
+
+    // Gather kept input values: B[ci][j] = x[ch[ci], positions[j]].
+    float* cols = ws.alloc_floats(static_cast<int64_t>(ck) * pk);
+    for (int ci = 0; ci < ck; ++ci) {
+      const float* plane =
+          xb + static_cast<int64_t>(ch[static_cast<size_t>(ci)]) * h * wd;
+      float* row = cols + static_cast<int64_t>(ci) * pk;
+      for (int j = 0; j < pk; ++j) {
+        row[j] = plane[m.positions[static_cast<size_t>(j)]];
+      }
+    }
+
+    // All k^2 kernel-offset weight slices stack into one [k^2*ok x ck]
+    // matrix, so the whole shift-GEMM runs as a single (blocked) GEMM
+    // against the shared gathered-input matrix instead of k^2 tiny ones
+    // — each output row is an independent dot product, so the values
+    // (and the scatter order below) are unchanged.
+    float* w_packed = ws.alloc_floats(kk * ok * ck);
+    float* y_sub = ws.alloc_floats(kk * static_cast<int64_t>(ok) * pk);
+    for (int ky = 0; ky < g.k_h; ++ky) {
+      for (int kx = 0; kx < g.k_w; ++kx) {
+        // W_k[oi][ci] = weight[oc_set[oi], ch[ci], ky, kx].
+        const int64_t off = static_cast<int64_t>(ky) * g.k_w + kx;
+        for (int oi = 0; oi < ok; ++oi) {
+          const float* src =
+              w +
+              (static_cast<int64_t>(oc_set[static_cast<size_t>(oi)]) * in_c) *
+                  kk +
+              off;
+          float* dst = w_packed + (off * ok + oi) * ck;
+          for (int ci = 0; ci < ck; ++ci) {
+            dst[ci] =
+                src[static_cast<int64_t>(ch[static_cast<size_t>(ci)]) * kk];
+          }
+        }
+      }
+    }
+    gemm_nn(static_cast<int>(kk) * ok, pk, ck, 1.f, w_packed, cols, 0.f,
+            y_sub, &ws);
+    for (int ky = 0; ky < g.k_h; ++ky) {
+      for (int kx = 0; kx < g.k_w; ++kx) {
+        const float* y_off =
+            y_sub + (static_cast<int64_t>(ky) * g.k_w + kx) * ok * pk;
+        // Input column (iy, ix) feeds output (iy + pad - ky, ix + pad - kx).
+        const int dy = g.pad - ky, dx = g.pad - kx;
+        for (int j = 0; j < pk; ++j) {
+          const int p = m.positions[static_cast<size_t>(j)];
+          const int oy = p / wd + dy;
+          const int ox = p % wd + dx;
+          if (oy < 0 || oy >= oh || ox < 0 || ox >= ow) continue;
+          const int64_t out_idx = static_cast<int64_t>(oy) * ow + ox;
+          for (int oi = 0; oi < ok; ++oi) {
+            yb[static_cast<int64_t>(oc_set[static_cast<size_t>(oi)]) * pos +
+               out_idx] += y_off[static_cast<int64_t>(oi) * pk + j];
+          }
+        }
+      }
+    }
+    macs = static_cast<int64_t>(ok) * pk * ck * kk;
+  }
+
+  if (bias != nullptr) {
+    for (int oi = 0; oi < ok; ++oi) {
+      const int oc = oc_set[static_cast<size_t>(oi)];
+      float* drow = yb + static_cast<int64_t>(oc) * pos;
+      const float bias_v = bias[oc];
+      for (int64_t j = 0; j < pos; ++j) drow[j] += bias_v;
+    }
+  }
+  ws.rewind(per_sample);
+  return macs;
+}
+
+void shortcut_subsample_into(const float* x, int n, int in_c, int h, int w,
+                             int out_c, int stride, float* y) {
+  AD_CHECK_GE(out_c, in_c);
+  const int oh = (h + stride - 1) / stride;
+  const int ow = (w + stride - 1) / stride;
+  std::memset(y, 0,
+              static_cast<size_t>(n) * out_c * oh * ow * sizeof(float));
+  for (int b = 0; b < n; ++b) {
+    for (int c = 0; c < in_c; ++c) {
+      const float* src = x + (static_cast<int64_t>(b) * in_c + c) * h * w;
+      float* dst = y + (static_cast<int64_t>(b) * out_c + c) * oh * ow;
+      for (int yy = 0; yy < oh; ++yy) {
+        for (int xx = 0; xx < ow; ++xx) {
+          dst[static_cast<int64_t>(yy) * ow + xx] =
+              src[static_cast<int64_t>(yy) * stride * w + xx * stride];
+        }
+      }
+    }
+  }
+}
+
+size_t conv_sample_dense_scratch_bytes(const ConvGeom& g, int out_c) {
+  return gemm_nn_scratch_bytes(out_c, static_cast<int>(g.out_positions()),
+                               static_cast<int>(g.patch_rows()));
+}
+
+size_t conv_sample_masked_scratch_bytes(const ConvGeom& g, int out_c) {
+  const int64_t patch = g.patch_rows();
+  const int64_t pos = g.out_positions();
+  const int64_t kk = static_cast<int64_t>(g.k_h) * g.k_w;
+  // Channel/filter path with full index sets.
+  const size_t channel_path =
+      Workspace::align_up(static_cast<size_t>(out_c) * patch * sizeof(float)) +
+      Workspace::align_up(static_cast<size_t>(patch) * pos * sizeof(float)) +
+      Workspace::align_up(static_cast<size_t>(out_c) * pos * sizeof(float)) +
+      gemm_nn_scratch_bytes(out_c, static_cast<int>(pos),
+                            static_cast<int>(patch));
+  size_t worst = channel_path;
+  if (g.stride == 1 && g.out_h() == g.in_h && g.out_w() == g.in_w) {
+    // Spatial shift-GEMM path with every position kept.
+    const size_t spatial_path =
+        Workspace::align_up(static_cast<size_t>(g.in_c) * pos * sizeof(float)) +
+        Workspace::align_up(static_cast<size_t>(kk) * out_c * g.in_c * sizeof(float)) +
+        Workspace::align_up(static_cast<size_t>(kk) * out_c * pos * sizeof(float)) +
+        gemm_nn_scratch_bytes(static_cast<int>(kk) * out_c,
+                              static_cast<int>(pos), g.in_c);
+    worst = std::max(worst, spatial_path);
+  }
+  return worst;
+}
+
+}  // namespace antidote::nn

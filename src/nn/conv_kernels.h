@@ -1,0 +1,70 @@
+// Per-sample convolution kernels shared by the Conv2d module and the
+// InferencePlan executor.
+//
+// Both callers must produce bit-identical results for the same input, so
+// the dense im2col+GEMM lowering and the masked (channel / spatial /
+// filter skipping) execution live here exactly once. The functions are
+// sample-granular: callers own the batch loop, output placement and any
+// fused epilogue; the kernels own the arithmetic and draw every scratch
+// buffer from the caller's Workspace between a mark/rewind pair the
+// *caller* brackets.
+//
+// The matching *_scratch_bytes functions report the worst-case arena
+// high-water of one call, mirroring the allocation sequence (including
+// the packed-GEMM panels) byte for byte so the plan compiler can size an
+// arena before the first pass ever runs.
+#pragma once
+
+#include <span>
+
+#include "nn/conv2d.h"
+#include "tensor/im2col.h"
+#include "tensor/workspace.h"
+
+namespace antidote::nn {
+
+// Identity index sets used when a mask component is empty (= keep all).
+// Built once per batch by the caller (iota over the arena).
+struct ConvIdentityIndices {
+  const int* channels = nullptr;   // [g.in_c]
+  const int* out = nullptr;        // [out_c]
+  const int* positions = nullptr;  // [g.out_positions()]
+};
+
+// Dense sample: yb[out_c, out_positions] = W * im2col(xb). `cols` is
+// caller-provided scratch of g.patch_rows() * g.out_positions() floats
+// (hoisted out of the batch loop). Applies `bias` (nullable) over every
+// output position. Returns the MACs executed.
+int64_t conv_sample_dense(const float* xb, const ConvGeom& g, const float* w,
+                          int out_c, const float* bias, float* cols, float* yb,
+                          Workspace& ws);
+
+// Masked sample: executes only the kept channels/positions/filters of `m`
+// and scatters into yb, which the caller must have zero-filled. Applies
+// `bias` (nullable) to the kept output channels over every position,
+// matching the dense path's semantics for the skipped entries (they stay
+// zero pre-bias). Returns the MACs executed.
+int64_t conv_sample_masked(const float* xb, const ConvGeom& g, const float* w,
+                           int out_c, const float* bias,
+                           const ConvRuntimeMask& m,
+                           const ConvIdentityIndices& ids, float* yb,
+                           Workspace& ws);
+
+// Worst-case arena bytes of one conv_sample_dense call (scratch only; the
+// caller-hoisted `cols` buffer is reported separately by the plan
+// compiler).
+size_t conv_sample_dense_scratch_bytes(const ConvGeom& g, int out_c);
+
+// Worst-case arena bytes of one conv_sample_masked call, maximized over
+// every mask shape the geometry admits (full index sets; the spatial
+// shift-GEMM path only when the conv preserves the grid).
+size_t conv_sample_masked_scratch_bytes(const ConvGeom& g, int out_c);
+
+// Option-A residual shortcut kernel: spatial subsampling by `stride` with
+// zero-padded extra channels (out_c >= in_c). Zero-fills y, then copies
+// the subsampled grid. Shared by models::shortcut_option_a and the
+// InferencePlan executor so both produce identical values.
+void shortcut_subsample_into(const float* x, int n, int in_c, int h, int w,
+                             int out_c, int stride, float* y);
+
+}  // namespace antidote::nn

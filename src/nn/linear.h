@@ -18,8 +18,17 @@ class Linear : public Module {
 
   int in_features() const { return in_f_; }
   int out_features() const { return out_f_; }
+  bool has_bias() const { return has_bias_; }
   Parameter& weight() { return weight_; }
   Parameter& bias() { return bias_; }
+
+  // Records an execution performed outside the module (by the
+  // InferencePlan executor): keeps last_macs() consistent and clears the
+  // backward cache so a stale backward() fails loudly.
+  void note_external_execution(int64_t macs) {
+    last_macs_ = macs;
+    cached_input_ = Tensor();
+  }
 
  private:
   Tensor forward_impl(const Tensor& x, ExecutionContext* ctx);

@@ -7,6 +7,32 @@
 
 namespace antidote::nn {
 
+void max_pool_forward_into(const float* x, int n, int c, int h, int w, int k,
+                           int stride, float* y) {
+  const int oh = (h - k) / stride + 1;
+  const int ow = (w - k) / stride + 1;
+  int64_t out_idx = 0;
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      const float* plane = x + (static_cast<int64_t>(b) * c + ch) * h * w;
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox, ++out_idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (int ky = 0; ky < k; ++ky) {
+            const int iy = oy * stride + ky;
+            for (int kx = 0; kx < k; ++kx) {
+              const int ix = ox * stride + kx;
+              const float v = plane[static_cast<int64_t>(iy) * w + ix];
+              if (v > best) best = v;
+            }
+          }
+          y[out_idx] = best;
+        }
+      }
+    }
+  }
+}
+
 MaxPool2d::MaxPool2d(int kernel_size, int stride)
     : k_(kernel_size), stride_(stride > 0 ? stride : kernel_size) {
   AD_CHECK_GT(k_, 0);
@@ -15,6 +41,10 @@ MaxPool2d::MaxPool2d(int kernel_size, int stride)
 Tensor MaxPool2d::forward(const Tensor& x) {
   AD_CHECK_EQ(x.ndim(), 4);
   const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  // h < k would truncate (h - k) / stride toward zero and "pass" the
+  // emptiness check below while the window reads out of bounds.
+  AD_CHECK(h >= k_ && w >= k_) << " MaxPool2d window larger than input "
+                               << x.shape_str();
   const int oh = (h - k_) / stride_ + 1;
   const int ow = (w - k_) / stride_ + 1;
   AD_CHECK(oh > 0 && ow > 0) << " MaxPool2d output empty for input "
@@ -59,6 +89,10 @@ Tensor MaxPool2d::forward(const Tensor& x, ExecutionContext& ctx) {
   if (is_training()) return forward(x);
   AD_CHECK_EQ(x.ndim(), 4);
   const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  // h < k would truncate (h - k) / stride toward zero and "pass" the
+  // emptiness check below while the window reads out of bounds.
+  AD_CHECK(h >= k_ && w >= k_) << " MaxPool2d window larger than input "
+                               << x.shape_str();
   const int oh = (h - k_) / stride_ + 1;
   const int ow = (w - k_) / stride_ + 1;
   AD_CHECK(oh > 0 && ow > 0) << " MaxPool2d output empty for input "
@@ -68,28 +102,7 @@ Tensor MaxPool2d::forward(const Tensor& x, ExecutionContext& ctx) {
   argmax_.clear();
   in_shape_.clear();
   Tensor y = ctx.alloc({n, c, oh, ow});
-  const float* px = x.data();
-  float* py = y.data();
-  int64_t out_idx = 0;
-  for (int b = 0; b < n; ++b) {
-    for (int ch = 0; ch < c; ++ch) {
-      const float* plane = px + (static_cast<int64_t>(b) * c + ch) * h * w;
-      for (int oy = 0; oy < oh; ++oy) {
-        for (int ox = 0; ox < ow; ++ox, ++out_idx) {
-          float best = -std::numeric_limits<float>::infinity();
-          for (int ky = 0; ky < k_; ++ky) {
-            const int iy = oy * stride_ + ky;
-            for (int kx = 0; kx < k_; ++kx) {
-              const int ix = ox * stride_ + kx;
-              const float v = plane[static_cast<int64_t>(iy) * w + ix];
-              if (v > best) best = v;
-            }
-          }
-          py[out_idx] = best;
-        }
-      }
-    }
-  }
+  max_pool_forward_into(x.data(), n, c, h, w, k_, stride_, y.data());
   return y;
 }
 

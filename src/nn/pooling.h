@@ -7,6 +7,13 @@
 
 namespace antidote::nn {
 
+// Shared eval-mode max-pool kernel (no argmax bookkeeping): pools the
+// NCHW input into y, which must hold the pooled output. Used by the
+// MaxPool2d context overload and the InferencePlan executor so both run
+// the exact same arithmetic.
+void max_pool_forward_into(const float* x, int n, int c, int h, int w, int k,
+                           int stride, float* y);
+
 class MaxPool2d : public Module {
  public:
   explicit MaxPool2d(int kernel_size, int stride = -1);

@@ -1,0 +1,67 @@
+// PlanBuilder — compiles a model's inference graph into an InferencePlan.
+//
+// A model describes its eval-phase dataflow by calling the builder's
+// append methods in execution order (ConvNet::build_plan); the builder
+// resolves every tensor shape, folds each conv's trailing BatchNorm/ReLU
+// (and optional residual add) into the conv step's epilogue, runs buffer
+// lifetime analysis to assign arena offsets with first-fit reuse, and
+// precomputes the exact per-pass arena footprint, including the shared
+// conv kernels' worst-case scratch. See plan.h for the execution side.
+#pragma once
+
+#include <string>
+
+#include "nn/batchnorm.h"
+#include "nn/pooling.h"
+#include "plan/plan.h"
+
+namespace antidote::plan {
+
+class PlanBuilder {
+ public:
+  // `input_chw` is the per-sample input shape {C, H, W}.
+  explicit PlanBuilder(Shape input_chw);
+
+  // Buffer id of the network input.
+  int input() const { return 0; }
+
+  // Appends a fused conv step: conv, optional folded BatchNorm, optional
+  // residual add (a previously produced buffer), optional ReLU — applied
+  // in that order, matching the module walk. Returns the output buffer.
+  int conv(nn::Conv2d* conv, nn::BatchNorm2d* bn, bool relu, int src,
+           int residual, const std::string& name);
+
+  // Appends a gate step running `gate` (any nn::Module). `block` is the
+  // model block the gate's site belongs to and `spatially_aligned` whether
+  // its spatial skips reach the consumer — both feed the serving cost
+  // model via the consuming conv's metadata.
+  int gate(nn::Module* gate, int src, const std::string& name, int block,
+           bool spatially_aligned);
+
+  int max_pool(nn::MaxPool2d* pool, int src, const std::string& name);
+  int global_avg_pool(int src, const std::string& name);
+  int linear(nn::Linear* fc, int src, const std::string& name);
+
+  // Option-A residual shortcut (subsample by `stride`, zero-pad to
+  // `out_c`). Returns `src` unchanged when the shortcut is the identity.
+  int shortcut(int src, int out_c, int stride, const std::string& name);
+
+  // Finalizes lifetimes, offsets and the arena footprint. The builder must
+  // not be reused afterwards.
+  InferencePlan finish();
+
+ private:
+  int add_buffer(const Shape& per_sample_shape, bool planned);
+  const Shape& shape_of(int buffer) const;
+  PlanOp& append(OpKind kind, int src, const Shape& out_shape, bool planned,
+                 const std::string& name);
+
+  InferencePlan plan_;
+  // The gate step most recently appended, so the next conv consuming its
+  // output inherits the pruning metadata.
+  int last_gate_output_ = -1;
+  int last_gate_block_ = -1;
+  bool last_gate_spatial_ = false;
+};
+
+}  // namespace antidote::plan

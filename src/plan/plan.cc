@@ -1,0 +1,316 @@
+#include "plan/plan.h"
+
+#include <cstring>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+#include "base/error.h"
+#include "base/timer.h"
+#include "nn/conv_kernels.h"
+#include "nn/pooling.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+
+namespace antidote::plan {
+
+namespace {
+
+// Fused epilogue for one sample of a conv step: BatchNorm (the exact
+// BatchNorm2d eval expression), residual add, ReLU — applied on the
+// cache-hot GEMM/scatter output instead of as separate full-tensor passes.
+// Element order matches the module walk op for op, so fused outputs are
+// bitwise identical to unfused execution.
+void apply_epilogue(const PlanOp& op, float* yb, const float* resb,
+                    int out_c, int64_t pos) {
+  const bool bn = op.fuse_bn;
+  const bool relu = op.fuse_relu;
+  for (int ch = 0; ch < out_c; ++ch) {
+    float* row = yb + static_cast<int64_t>(ch) * pos;
+    const float* rrow =
+        resb != nullptr ? resb + static_cast<int64_t>(ch) * pos : nullptr;
+    const float mean_v = bn ? op.bn.mean[static_cast<size_t>(ch)] : 0.f;
+    const float inv_std = bn ? op.bn.inv_std[static_cast<size_t>(ch)] : 0.f;
+    const float gamma = bn ? op.bn.gamma[ch] : 0.f;
+    const float beta = bn ? op.bn.beta[ch] : 0.f;
+    for (int64_t j = 0; j < pos; ++j) {
+      float v = row[j];
+      if (bn) {
+        const float xh = (v - mean_v) * inv_std;
+        v = gamma * xh + beta;
+      }
+      if (rrow != nullptr) v += rrow[j];
+      if (relu) v = v > 0.f ? v : 0.f;
+      row[j] = v;
+    }
+  }
+}
+
+}  // namespace
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConv: return "conv";
+    case OpKind::kGate: return "gate";
+    case OpKind::kMaxPool: return "maxpool";
+    case OpKind::kGlobalAvgPool: return "gap";
+    case OpKind::kLinear: return "linear";
+    case OpKind::kShortcut: return "shortcut";
+  }
+  return "?";
+}
+
+size_t InferencePlan::arena_bytes(int n) const {
+  AD_CHECK_GT(n, 0);
+  const size_t nn = static_cast<size_t>(n);
+  // Room for the caller-staged input batch plus the pass itself.
+  const size_t input_bytes = Workspace::align_up(
+      static_cast<size_t>(
+          shape_floats(buffers_[static_cast<size_t>(input_buffer_)]
+                           .per_sample_shape)) *
+      nn * sizeof(float));
+  // Pass footprint: the activation region is one allocation; each gate
+  // output is one allocation (bounded with one alignment pad each); the
+  // kernel scratch of op i sits on top of the gates allocated before it.
+  const size_t act = Workspace::align_up(static_cast<size_t>(act_floats_) * nn *
+                              sizeof(float));
+  size_t peak = act + Workspace::align_up(static_cast<size_t>(gate_floats_total_) * nn *
+                               sizeof(float) +
+                               Workspace::kAlign * ops_.size());
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const size_t gates = Workspace::align_up(
+        static_cast<size_t>(gate_floats_before_op_[i]) * nn * sizeof(float) +
+        Workspace::kAlign * (i + 1));
+    peak = std::max(peak, act + gates + op_scratch_bytes_[i]);
+  }
+  return input_bytes + peak;
+}
+
+void InferencePlan::reserve(Workspace& ws, int n) const {
+  ws.reserve(arena_bytes(n));
+}
+
+int64_t InferencePlan::last_macs() const {
+  int64_t total = 0;
+  for (const PlanOp& op : ops_) total += op.last_macs;
+  return total;
+}
+
+int64_t InferencePlan::dense_macs_per_sample() const {
+  int64_t total = 0;
+  for (const PlanOp& op : ops_) total += op.dense_macs;
+  return total;
+}
+
+std::vector<OpCost> InferencePlan::cost_snapshot() const {
+  std::vector<OpCost> out;
+  out.reserve(ops_.size());
+  for (const PlanOp& op : ops_) {
+    OpCost c;
+    c.name = op.name;
+    c.kind = op.kind;
+    c.dense_macs = op.dense_macs;
+    c.ewma_ms = op.ewma_ms;
+    c.prune_block = op.prune_block;
+    c.prune_spatial = op.prune_spatial;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
+  AD_CHECK_EQ(x.ndim(),
+              static_cast<int>(buffers_[static_cast<size_t>(input_buffer_)]
+                                   .per_sample_shape.size()) +
+                  1)
+      << " plan input rank";
+  const int n = x.dim(0);
+  const PlanBuffer& in_buf = buffers_[static_cast<size_t>(input_buffer_)];
+  for (size_t d = 0; d < in_buf.per_sample_shape.size(); ++d) {
+    AD_CHECK_EQ(x.dim(static_cast<int>(d) + 1), in_buf.per_sample_shape[d])
+        << " plan input shape (op table compiled for another shape)";
+  }
+
+  Workspace& ws = ctx.workspace();
+  // Everything below the input-staging term of arena_bytes(): the caller
+  // already staged (or heap-owns) the input.
+  ws.reserve(arena_bytes(n) -
+             Workspace::align_up(static_cast<size_t>(shape_floats(in_buf.per_sample_shape)) *
+                      static_cast<size_t>(n) * sizeof(float)));
+  float* act_base = ws.alloc_floats(act_floats_ * n);
+
+  slots_[static_cast<size_t>(input_buffer_)] = x;
+  const auto slot_out = [&](const PlanOp& op) {
+    const PlanBuffer& buf = buffers_[static_cast<size_t>(op.output)];
+    Shape batch_shape;
+    batch_shape.push_back(n);
+    for (int d : buf.per_sample_shape) batch_shape.push_back(d);
+    Tensor t = Tensor::borrow(act_base + buf.offset_floats * n, batch_shape);
+    slots_[static_cast<size_t>(op.output)] = t;
+    return t;
+  };
+
+  for (PlanOp& op : ops_) {
+    WallTimer step_timer;
+    const Tensor& in = slots_[static_cast<size_t>(op.input)];
+    switch (op.kind) {
+      case OpKind::kConv: {
+        Tensor out = slot_out(op);
+        const ConvGeom& g = op.geom;
+        const int out_c = op.out_shape[0];
+        const int64_t pos = g.out_positions();
+        const int64_t in_floats = shape_floats(op.in_shape);
+        const int64_t out_floats = shape_floats(op.out_shape);
+        const float* wp = op.conv->weight().value.data();
+        const float* bp =
+            op.conv->has_bias() ? op.conv->bias().value.data() : nullptr;
+        const float* res_base =
+            op.residual >= 0
+                ? slots_[static_cast<size_t>(op.residual)].data()
+                : nullptr;
+        const std::span<const nn::ConvRuntimeMask> masks =
+            op.conv->take_runtime_masks();
+        const Workspace::Mark scratch = ws.mark();
+        int64_t macs = 0;
+        if (!masks.empty()) {
+          AD_CHECK_EQ(static_cast<int>(masks.size()), n)
+              << " runtime mask count vs batch size";
+          // Arena memory is uninitialized; pruned positions must stay zero.
+          std::memset(out.data(), 0,
+                      static_cast<size_t>(out.size()) * sizeof(float));
+          int* all_channels = ws.alloc<int>(g.in_c);
+          std::iota(all_channels, all_channels + g.in_c, 0);
+          int* all_out = ws.alloc<int>(out_c);
+          std::iota(all_out, all_out + out_c, 0);
+          int* all_positions = ws.alloc<int>(pos);
+          std::iota(all_positions, all_positions + pos, 0);
+          const nn::ConvIdentityIndices ids{all_channels, all_out,
+                                            all_positions};
+          for (int b = 0; b < n; ++b) {
+            float* yb = out.data() + static_cast<int64_t>(b) * out_floats;
+            macs += nn::conv_sample_masked(
+                in.data() + static_cast<int64_t>(b) * in_floats, g, wp, out_c,
+                bp, masks[static_cast<size_t>(b)], ids, yb, ws);
+            apply_epilogue(op, yb,
+                           res_base != nullptr
+                               ? res_base + static_cast<int64_t>(b) * out_floats
+                               : nullptr,
+                           out_c, pos);
+          }
+        } else {
+          float* cols = ws.alloc_floats(g.patch_rows() * pos);
+          for (int b = 0; b < n; ++b) {
+            float* yb = out.data() + static_cast<int64_t>(b) * out_floats;
+            macs += nn::conv_sample_dense(
+                in.data() + static_cast<int64_t>(b) * in_floats, g, wp, out_c,
+                bp, cols, yb, ws);
+            apply_epilogue(op, yb,
+                           res_base != nullptr
+                               ? res_base + static_cast<int64_t>(b) * out_floats
+                               : nullptr,
+                           out_c, pos);
+          }
+        }
+        ws.rewind(scratch);
+        op.conv->note_external_execution(macs, !masks.empty());
+        op.last_macs = macs;
+        break;
+      }
+      case OpKind::kGate: {
+        // The gate module runs itself (identical to the module walk, so
+        // masks and outputs match bitwise) and hands keep sets to its
+        // consumer Conv2d, whose fused step picks them up next.
+        slots_[static_cast<size_t>(op.output)] =
+            op.gate->forward(in, ctx);
+        break;
+      }
+      case OpKind::kMaxPool: {
+        Tensor out = slot_out(op);
+        nn::max_pool_forward_into(in.data(), n, op.in_shape[0],
+                                  op.in_shape[1], op.in_shape[2], op.pool_k,
+                                  op.pool_stride, out.data());
+        break;
+      }
+      case OpKind::kGlobalAvgPool: {
+        Tensor out = slot_out(op);
+        ops::channel_mean_nchw_into(in, out.data());
+        break;
+      }
+      case OpKind::kLinear: {
+        Tensor out = slot_out(op);
+        const int in_f = op.linear->in_features();
+        const int out_f = op.linear->out_features();
+        // y[N, out] = x[N, in] * W[out, in]^T — the Linear module's exact
+        // kernel call and bias loop.
+        gemm_nt(n, out_f, in_f, 1.f, in.data(),
+                op.linear->weight().value.data(), 0.f, out.data());
+        if (op.linear->has_bias()) {
+          const float* bp = op.linear->bias().value.data();
+          for (int i = 0; i < n; ++i) {
+            float* row = out.data() + static_cast<int64_t>(i) * out_f;
+            for (int j = 0; j < out_f; ++j) row[j] += bp[j];
+          }
+        }
+        op.last_macs = static_cast<int64_t>(n) * out_f * in_f;
+        op.linear->note_external_execution(op.last_macs);
+        break;
+      }
+      case OpKind::kShortcut: {
+        Tensor out = slot_out(op);
+        nn::shortcut_subsample_into(in.data(), n, op.in_shape[0],
+                                    op.in_shape[1], op.in_shape[2],
+                                    op.out_shape[0], op.shortcut_stride,
+                                    out.data());
+        break;
+      }
+    }
+    double ms = step_timer.millis();
+    if (op.kind == OpKind::kConv && op.last_macs > 0 && op.dense_macs > 0) {
+      // Normalize to dense-equivalent cost (see the ewma_ms contract).
+      const double fraction =
+          static_cast<double>(op.last_macs) /
+          (static_cast<double>(op.dense_macs) * static_cast<double>(n));
+      if (fraction > 1e-3) ms /= fraction;
+    }
+    op.ewma_ms = op.ewma_ms == 0.0 ? ms : 0.8 * op.ewma_ms + 0.2 * ms;
+  }
+  return slots_[static_cast<size_t>(output_buffer_)];
+}
+
+std::string InferencePlan::to_string() const {
+  std::ostringstream os;
+  os << "InferencePlan: " << ops_.size() << " ops, "
+     << dense_macs_per_sample() << " dense MACs/sample, "
+     << activation_floats_per_sample() << " activation floats/sample, "
+     << "arena " << arena_bytes(1) << " B at batch 1\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-3s %-9s %-18s %-16s %-14s %12s %10s\n",
+                "#", "op", "name", "out(shape)", "fused", "MACs/sample",
+                "ewma_ms");
+  os << line;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const PlanOp& op = ops_[i];
+    std::string shape_str;
+    for (size_t d = 0; d < op.out_shape.size(); ++d) {
+      shape_str += (d == 0 ? "" : "x") + std::to_string(op.out_shape[d]);
+    }
+    std::string fused;
+    if (op.kind == OpKind::kConv) {
+      if (op.fuse_bn) fused += "+bn";
+      if (op.residual >= 0) fused += "+res";
+      if (op.fuse_relu) fused += "+relu";
+      if (op.prune_block >= 0) {
+        fused += "(m" + std::to_string(op.prune_block) + ")";
+      }
+    }
+    std::snprintf(line, sizeof(line),
+                  "%-3zu %-9s %-18s %-16s %-14s %12lld %10.4f\n", i,
+                  op_kind_name(op.kind), op.name.c_str(), shape_str.c_str(),
+                  fused.c_str(), static_cast<long long>(op.dense_macs),
+                  op.ewma_ms);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace antidote::plan

@@ -1,0 +1,211 @@
+// InferencePlan — the statically compiled form of a ConvNet's test-phase
+// forward pass.
+//
+// AntiDote's runtime is dynamic per *sample* (the attention gates choose
+// masks input by input), but everything else — layer order, tensor shapes,
+// buffer lifetimes, BatchNorm statistics — is fixed once the model is
+// built and put in eval mode. Following SoD²'s observation that dynamic
+// networks still admit aggressive static optimization of the
+// non-input-dependent parts, the plan compiler lowers the module tree into
+// a flat array of PlanOp steps with:
+//
+//   - conv -> BN -> ReLU (-> +residual) collapsed into a single fused step:
+//     the BatchNorm eval transform is folded into per-channel epilogue
+//     constants (running mean and 1/sqrt(var+eps) precomputed at compile
+//     time) and applied together with the residual add and the activation
+//     on the cache-hot GEMM output of each sample, instead of as separate
+//     full-tensor passes. The epilogue evaluates the exact expression the
+//     BatchNorm2d module uses, so fused dense outputs are BITWISE
+//     identical to the module walk (the classic W' = W * gamma/sqrt(var)
+//     weight rewrite changes rounding; we deliberately fold constants, not
+//     weights, and keep bit-equality as a hard invariant).
+//   - every inter-op activation pre-assigned an offset in a per-pass arena
+//     region via buffer lifetime analysis, and the whole pass footprint
+//     (activations + gate outputs + the worst-case kernel scratch,
+//     including the packed-GEMM panels) computed ahead of time, so an
+//     executor can reserve the exact arena before the FIRST forward and
+//     never grow or heap-allocate mid-pass.
+//   - the per-sample ConvRuntimeMask stream flowing through unchanged:
+//     gate steps run the installed gate modules, which hand keep sets to
+//     their consumer Conv2d; the consumer's fused step picks them up and
+//     runs the shared masked kernels, so dynamic pruning's FLOPs savings
+//     survive fusion.
+//   - per-op dense FLOPs and measured (EWMA-smoothed) step timings, which
+//     the serving LatencyController turns into a latency cost model.
+//
+// A plan holds non-owning pointers into the model's modules (weights, BN
+// affine parameters, gates), so it is owned by the model and must be
+// recompiled (ConvNet::invalidate_plan) when the module structure or the
+// BN running statistics change; ConvNet does this automatically on
+// set_training and install_gate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/conv2d.h"
+#include "nn/execution_context.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "tensor/im2col.h"
+#include "tensor/tensor.h"
+#include "tensor/workspace.h"
+
+namespace antidote::plan {
+
+enum class OpKind {
+  kConv,           // fused conv (+BN) (+residual) (+ReLU)
+  kGate,           // runs an installed gate module (masks its consumer)
+  kMaxPool,        // 2-d max pooling
+  kGlobalAvgPool,  // [N,C,H,W] -> [N,C]
+  kLinear,         // classifier head
+  kShortcut,       // option-A residual shortcut (subsample + zero-pad)
+};
+
+const char* op_kind_name(OpKind kind);
+
+// Scalar element count of a (per-sample) shape — shared by the compiler's
+// buffer sizing and the executor's pointer arithmetic.
+inline int64_t shape_floats(const Shape& s) {
+  int64_t n = 1;
+  for (int d : s) n *= d;
+  return n;
+}
+
+// BatchNorm folded into a conv step. mean/inv_std are compile-time
+// constants from the running statistics; gamma/beta point at the live
+// affine parameters (updated in place by the optimizer and checkpoint
+// loads). The epilogue computes gamma*((v - mean)*inv_std) + beta — the
+// BatchNorm2d eval expression verbatim, for bitwise equality.
+struct FusedBatchNorm {
+  std::vector<float> mean;
+  std::vector<float> inv_std;
+  const float* gamma = nullptr;
+  const float* beta = nullptr;
+};
+
+struct PlanOp {
+  OpKind kind = OpKind::kConv;
+  std::string name;
+
+  int input = -1;     // buffer id consumed
+  int output = -1;    // buffer id produced
+  int residual = -1;  // kConv: buffer added in the epilogue (-1 = none)
+  Shape in_shape;     // per-sample, e.g. {C,H,W}
+  Shape out_shape;    // per-sample
+
+  // kConv
+  nn::Conv2d* conv = nullptr;
+  ConvGeom geom;  // per-sample geometry, resolved at compile time
+  bool fuse_bn = false;
+  bool fuse_relu = false;
+  FusedBatchNorm bn;
+
+  // kGate
+  nn::Module* gate = nullptr;
+
+  // kMaxPool
+  int pool_k = 0;
+  int pool_stride = 0;
+
+  // kLinear
+  nn::Linear* linear = nullptr;
+
+  // kShortcut
+  int shortcut_stride = 1;
+
+  // Cost-model metadata: which settings block's drop ratios mask this
+  // conv's input (via the gate feeding it), and whether spatial skips can
+  // reach it.
+  int prune_block = -1;
+  bool prune_spatial = false;
+
+  // --- introspection ---
+  int64_t dense_macs = 0;  // per sample
+  int64_t last_macs = 0;   // whole batch, most recent run
+  // Smoothed measured step time, normalized to the op's DENSE-equivalent
+  // cost: a masked conv's time is divided by the executed-MAC fraction
+  // before entering the average, so the value stays comparable across
+  // pruning levels and the cost model can rescale it by any hypothetical
+  // keep ratio without compounding the current one.
+  double ewma_ms = 0.0;
+};
+
+// One inter-op activation. Planned buffers live at a fixed per-sample
+// float offset inside the pass's activation region (scaled by the batch
+// size at run time); unplanned buffers (the network input, gate outputs)
+// are carried as tensors produced elsewhere.
+struct PlanBuffer {
+  Shape per_sample_shape;
+  int64_t per_sample_floats = 0;  // rounded up to the arena alignment
+  int64_t offset_floats = 0;      // per-sample units; meaningful if planned
+  int def_op = -1;                // producing op (-1: network input)
+  int last_use_op = -1;
+  bool planned = true;
+};
+
+// Snapshot of one op's cost for the serving-side latency cost model.
+struct OpCost {
+  std::string name;
+  OpKind kind = OpKind::kConv;
+  int64_t dense_macs = 0;  // per sample
+  double ewma_ms = 0.0;
+  int prune_block = -1;
+  bool prune_spatial = false;
+};
+
+class InferencePlan {
+ public:
+  // Executes the plan. `x` is the [N,C,H,W] batch (any storage); the
+  // returned logits borrow plan-owned arena memory and are invalidated by
+  // the context's next begin_pass(). Reserves the arena if the caller did
+  // not (a no-op once capacity exists).
+  Tensor run(const Tensor& x, nn::ExecutionContext& ctx);
+
+  // Exact bytes one pass of batch size `n` draws from the arena:
+  // activation region + gate outputs + worst-case kernel scratch. Known
+  // before the first forward ever runs.
+  size_t arena_bytes(int n) const;
+  // Pre-grows `ws` so a pass of batch size `n` performs zero arena growths
+  // and zero heap allocations, starting with the very first one.
+  void reserve(Workspace& ws, int n) const;
+
+  const std::vector<PlanOp>& ops() const { return ops_; }
+  const std::vector<PlanBuffer>& buffers() const { return buffers_; }
+  int64_t activation_floats_per_sample() const { return act_floats_; }
+
+  // Sum over ops of the most recent run's executed MACs (masked ops report
+  // their actual, reduced counts).
+  int64_t last_macs() const;
+  int64_t dense_macs_per_sample() const;
+
+  // Thread-unsafe snapshot for the owner thread; the scheduler converts it
+  // into a LatencyController cost model.
+  std::vector<OpCost> cost_snapshot() const;
+
+  // Human-readable op table (antidote_cli plan-dump).
+  std::string to_string() const;
+
+ private:
+  friend class PlanBuilder;
+
+  std::vector<PlanOp> ops_;
+  std::vector<PlanBuffer> buffers_;
+  int input_buffer_ = 0;
+  int output_buffer_ = -1;
+  int64_t act_floats_ = 0;  // per-sample high water of planned offsets
+
+  // Per-op worst-case kernel scratch (batch-independent: kernels loop
+  // samples) and the per-sample float count of every gate output allocated
+  // before the op runs, in op order — together they reproduce the pass's
+  // allocation sequence for arena_bytes().
+  std::vector<size_t> op_scratch_bytes_;
+  std::vector<int64_t> gate_floats_before_op_;
+  int64_t gate_floats_total_ = 0;
+
+  // Reused across runs (sized at compile time, no per-pass allocation).
+  std::vector<Tensor> slots_;
+};
+
+}  // namespace antidote::plan

@@ -5,10 +5,28 @@
 
 #include "base/error.h"
 #include "base/timer.h"
+#include "plan/plan.h"
 
 namespace antidote::serving {
 
 namespace {
+
+// Distills a plan's measured per-op timings into the controller's cost
+// model: prunable conv steps carry the block whose drop ratios scale
+// them, everything else is fixed cost.
+LatencyController::CostModel cost_model_from_plan(
+    const plan::InferencePlan& plan) {
+  LatencyController::CostModel model;
+  model.ops.reserve(plan.ops().size());
+  for (const plan::OpCost& c : plan.cost_snapshot()) {
+    LatencyController::CostModel::Op op;
+    op.ms = c.ewma_ms;
+    op.prune_block = c.prune_block;
+    op.spatial = c.prune_spatial;
+    model.ops.push_back(op);
+  }
+  return model;
+}
 
 double ms_between(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
@@ -181,6 +199,17 @@ void BatchScheduler::run_batch(ModelReplica& replica,
   if (misses > 0) stats_->record_deadline_miss(misses);
 
   if (controller_ != nullptr) {
+    // Periodically refresh the controller's latency model with the plan's
+    // measured per-op timings. The controller only consumes it when a
+    // control window closes and the timings are EWMA-smoothed anyway, so
+    // a per-worker cadence (seeded on the first batch) keeps the
+    // snapshot+lock cost off the per-batch path.
+    thread_local int64_t batches_since_refresh = 0;
+    if (batches_since_refresh++ % 8 == 0) {
+      if (const plan::InferencePlan* plan = replica.plan()) {
+        controller_->set_cost_model(cost_model_from_plan(*plan));
+      }
+    }
     const double batch_latency_ms = assemble_ms + forward_ms + scatter_ms;
     if (controller_->record_batch(batch_latency_ms, keep, n) &&
         on_settings_changed_) {

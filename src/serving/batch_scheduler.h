@@ -12,6 +12,12 @@
 // posted (DynamicPruningEngine::apply_pending_settings), which is how the
 // controller's drop-ratio decisions reach the replicas without stopping
 // the world.
+//
+// Each replica serves through its model's compiled InferencePlan (the
+// ConvNet context forward): conv+BN+ReLU run as fused steps out of the
+// replica's arena, and the plan's measured per-op timings are distilled
+// into the LatencyController's cost model after every batch, giving the
+// controller a real latency model instead of a blind EWMA.
 #pragma once
 
 #include <chrono>
@@ -53,6 +59,9 @@ class ModelReplica {
   // Null when the replica serves densely (no pruning engine installed).
   core::DynamicPruningEngine* engine() { return engine_.get(); }
   nn::ExecutionContext& context() { return context_; }
+  // The replica's compiled plan (null until the first batch fixes the
+  // input shape and triggers compilation).
+  plan::InferencePlan* plan() { return net_->current_plan(); }
 
  private:
   std::unique_ptr<models::ConvNet> net_;

@@ -16,6 +16,9 @@ LatencyController::LatencyController(core::PruneSettings base, Config config)
   AD_CHECK(config_.low_watermark > 0.0 && config_.low_watermark < 1.0)
       << " low_watermark must be in (0, 1)";
   AD_CHECK_LE(config_.min_offset, config_.max_offset);
+  // The cost model indexes both ratio vectors by the same block id.
+  AD_CHECK_EQ(base_.channel_drop.size(), base_.spatial_drop.size())
+      << " per-block drop vectors must be the same length";
   window_.reserve(static_cast<size_t>(config_.window));
 }
 
@@ -26,6 +29,62 @@ double LatencyController::percentile(std::vector<double> values, double q) {
   size_t idx = static_cast<size_t>(std::ceil(rank));
   idx = std::min(std::max<size_t>(idx, 1), values.size());
   return values[idx - 1];
+}
+
+void LatencyController::set_cost_model(CostModel model) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cost_model_ = std::move(model);
+}
+
+bool LatencyController::has_cost_model() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !cost_model_.empty();
+}
+
+double LatencyController::predict_ms(float offset) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return predict_ms_locked(offset);
+}
+
+double LatencyController::predict_ms_locked(float offset) const {
+  double total = 0.0;
+  for (const CostModel::Op& op : cost_model_.ops) {
+    if (op.prune_block < 0 ||
+        op.prune_block >= static_cast<int>(base_.channel_drop.size())) {
+      total += op.ms;
+      continue;
+    }
+    const size_t b = static_cast<size_t>(op.prune_block);
+    const float ch =
+        std::clamp(base_.channel_drop[b] + offset, 0.f, config_.max_drop);
+    double keep = 1.0 - ch;
+    if (op.spatial) {
+      const float sp =
+          std::clamp(base_.spatial_drop[b] + offset, 0.f, config_.max_drop);
+      keep *= 1.0 - sp;
+    }
+    total += op.ms * keep;
+  }
+  return total;
+}
+
+float LatencyController::solve_offset_locked(double calibration) const {
+  // predict is monotone nonincreasing in the offset, so bisect for the
+  // smallest offset whose calibrated prediction meets the budget (prune
+  // no harder than the budget demands).
+  const double target = config_.target_p95_ms;
+  float lo = config_.min_offset, hi = config_.max_offset;
+  if (calibration * predict_ms_locked(hi) > target) return hi;
+  if (calibration * predict_ms_locked(lo) <= target) return lo;
+  for (int i = 0; i < 40; ++i) {
+    const float mid = 0.5f * (lo + hi);
+    if (calibration * predict_ms_locked(mid) <= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
 }
 
 core::PruneSettings LatencyController::settings_locked() const {
@@ -59,10 +118,19 @@ bool LatencyController::record_batch(
   const double target = config_.target_p95_ms;
   if (last_window_p95_ms_ > target ||
       last_window_p95_ms_ < config_.low_watermark * target) {
-    // Proportional step: large misses move fast, near-misses fine-tune.
-    const double error =
-        std::clamp((last_window_p95_ms_ - target) / target, -1.0, 1.0);
-    offset_ += config_.step * static_cast<float>(error);
+    const double predicted =
+        cost_model_.empty() ? 0.0 : predict_ms_locked(offset_);
+    if (predicted > 0.0) {
+      // Cost-model inversion: calibrate the model against the realized
+      // p95 (absorbing batching/queueing overhead the per-op timings miss)
+      // and jump to the smallest offset whose prediction meets the budget.
+      offset_ = solve_offset_locked(last_window_p95_ms_ / predicted);
+    } else {
+      // Proportional step: large misses move fast, near-misses fine-tune.
+      const double error =
+          std::clamp((last_window_p95_ms_ - target) / target, -1.0, 1.0);
+      offset_ += config_.step * static_cast<float>(error);
+    }
     offset_ = std::clamp(offset_, config_.min_offset, config_.max_offset);
   }
   return offset_ != before;

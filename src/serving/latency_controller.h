@@ -16,9 +16,19 @@
 // PruneSettings::clamped, so the shipped settings never leave
 // [0, max_drop].
 //
+// With a *cost model* attached (built by the BatchScheduler from a
+// replica's compiled InferencePlan: measured per-op step times plus which
+// settings block's drop ratios scale each op), the controller stops
+// walking the offset blindly: it calibrates the model against the
+// realized p95 and inverts it — picking the smallest drop offset whose
+// predicted latency meets the budget — so it converges in one or two
+// windows instead of many proportional steps. Without a cost model the
+// original EWMA/proportional behaviour is unchanged.
+//
 // The controller is pure feedback — it never touches a model — which keeps
-// it deterministic and testable: feed it synthetic latencies and it must
-// converge. The server wires its output to every replica's engine through
+// it deterministic and testable: feed it synthetic latencies (and
+// optionally a synthetic cost model) and it must converge. The server
+// wires its output to every replica's engine through
 // DynamicPruningEngine::post_settings.
 #pragma once
 
@@ -49,9 +59,31 @@ class LatencyController {
     float max_offset = 0.9f;
   };
 
+  // Per-op latency cost model distilled from an InferencePlan's measured
+  // timings. Ops with prune_block >= 0 have their cost scaled by the keep
+  // ratios that block's drop settings imply; the rest are fixed cost.
+  struct CostModel {
+    struct Op {
+      double ms = 0.0;
+      int prune_block = -1;
+      bool spatial = false;  // spatial drops also scale this op
+    };
+    std::vector<Op> ops;
+    bool empty() const { return ops.empty(); }
+  };
+
   // `base` is the operator's per-block starting point (block count must
   // match the served model).
   LatencyController(core::PruneSettings base, Config config);
+
+  // Installs/refreshes the cost model (thread-safe; any worker may call
+  // it between batches as plan timings accumulate).
+  void set_cost_model(CostModel model);
+  bool has_cost_model() const;
+  // Predicted batch latency at a hypothetical drop offset under the
+  // current (uncalibrated) cost model; 0 without a model. Exposed for
+  // tests and diagnostics.
+  double predict_ms(float offset) const;
 
   // Thread-safe. Records one completed batch; when this closes a control
   // window and the decision changed the settings, returns true — the
@@ -84,11 +116,15 @@ class LatencyController {
 
  private:
   core::PruneSettings settings_locked() const;  // requires mutex_ held
+  double predict_ms_locked(float offset) const;
+  // Smallest offset whose calibrated prediction meets the budget.
+  float solve_offset_locked(double calibration) const;
   static double percentile(std::vector<double> values, double q);
 
   const Config config_;
   const core::PruneSettings base_;
   mutable std::mutex mutex_;
+  CostModel cost_model_;
   float offset_ = 0.f;
   double last_window_p95_ms_ = 0.0;
   double smoothed_p95_ms_ = 0.0;

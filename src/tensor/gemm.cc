@@ -138,6 +138,16 @@ void gemm_nn_simple(int m, int n, int k, float alpha, const float* a,
 
 }  // namespace
 
+size_t gemm_nn_scratch_bytes(int m, int n, int k) {
+  if (static_cast<int64_t>(m) * n * k <= kSmallGemm) return 0;
+  const size_t np = static_cast<size_t>((n + kNR - 1) / kNR);
+  const size_t mp = static_cast<size_t>((m + kMR - 1) / kMR);
+  // Two raw_alloc calls (bpack, apack), each rounded up to the arena
+  // granularity.
+  return Workspace::align_up(np * kKC * kNR * sizeof(float)) +
+         Workspace::align_up(mp * kKC * kMR * sizeof(float));
+}
+
 void gemm_nn(int m, int n, int k, float alpha, const float* a, const float* b,
              float beta, float* c, Workspace* ws) {
   if (static_cast<int64_t>(m) * n * k <= kSmallGemm) {

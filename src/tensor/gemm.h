@@ -34,6 +34,12 @@ namespace antidote {
 // heap allocation. nullptr falls back to a thread-local arena.
 void gemm_nn(int m, int n, int k, float alpha, const float* a, const float* b,
              float beta, float* c, Workspace* ws = nullptr);
+
+// Exact number of arena bytes gemm_nn(m, n, k, ...) draws for its packed
+// panels (0 when the problem is small enough for the unpacked kernel).
+// The plan compiler uses this to size inference arenas ahead of the first
+// forward pass, so the bound must track the implementation exactly.
+size_t gemm_nn_scratch_bytes(int m, int n, int k);
 void gemm_nt(int m, int n, int k, float alpha, const float* a, const float* b,
              float beta, float* c);
 void gemm_tn(int m, int n, int k, float alpha, const float* a, const float* b,

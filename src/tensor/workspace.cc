@@ -10,10 +10,6 @@ namespace antidote {
 namespace {
 constexpr size_t kMinBlockBytes = size_t{1} << 20;  // 1 MiB
 
-size_t align_up(size_t n, size_t align) {
-  return (n + align - 1) & ~(align - 1);
-}
-
 char* aligned_new(size_t bytes) {
   return static_cast<char*>(
       ::operator new(bytes, std::align_val_t{Workspace::kAlign}));
@@ -29,7 +25,7 @@ Workspace::~Workspace() {
 }
 
 char* Workspace::raw_alloc(size_t bytes) {
-  bytes = align_up(std::max<size_t>(bytes, 1), kAlign);
+  bytes = align_up(std::max<size_t>(bytes, 1));
   // Fast path: room in the current block.
   if (!blocks_.empty()) {
     Block& b = blocks_[current_];
@@ -70,6 +66,22 @@ void Workspace::rewind(Mark m) {
     AD_CHECK_LE(m.used, blocks_[current_].capacity);
     blocks_[current_].used = m.used;
   }
+}
+
+void Workspace::reserve(size_t bytes) {
+  bytes = align_up(std::max<size_t>(bytes, 1));
+  // Satisfied if any block from the allocation cursor onward has the room
+  // (allocations walk forward through rewound blocks before growing).
+  for (size_t i = current_; i < blocks_.size(); ++i) {
+    const size_t used = i == current_ ? blocks_[i].used : 0;
+    if (blocks_[i].capacity - used >= bytes) return;
+  }
+  Block b;
+  b.data = aligned_new(bytes);
+  b.capacity = bytes;
+  b.used = 0;
+  blocks_.push_back(b);
+  ++grow_count_;
 }
 
 void Workspace::reset() {

@@ -57,6 +57,12 @@ class Workspace {
   // coalesces the arena into a single block of the combined size.
   void reset();
 
+  // Ensures a single block can absorb `bytes` more bytes without growing,
+  // allocating one block up front if needed (counted by grow_count()). An
+  // executor that knows its pass footprint ahead of time calls this before
+  // the first pass so no allocation ever happens mid-forward.
+  void reserve(size_t bytes);
+
   // --- introspection (tests, benches) ---
   size_t capacity_bytes() const;    // total bytes reserved across blocks
   size_t used_bytes() const;        // bytes handed out since last reset
@@ -66,6 +72,15 @@ class Workspace {
   int64_t grow_count() const { return grow_count_; }
 
   static constexpr size_t kAlign = 64;
+
+  // The arena's allocation granularity: every raw_alloc rounds its size
+  // up with exactly this function. Sizing code that predicts arena
+  // footprints ahead of time (plan compiler, kernel scratch bounds) must
+  // use it rather than a private copy, so a rounding change cannot
+  // silently desynchronize them.
+  static constexpr size_t align_up(size_t bytes) {
+    return (bytes + kAlign - 1) & ~(kAlign - 1);
+  }
 
  private:
   struct Block {

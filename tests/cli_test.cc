@@ -132,6 +132,16 @@ TEST(Cli, EvalRequiresCheckpoint) {
   EXPECT_EQ(cli::run_cli({"eval", "--model=small_cnn"}), 1);
 }
 
+TEST(Cli, PlanDumpRuns) {
+  EXPECT_EQ(cli::run_cli({"plan-dump", "--model=small_cnn"}), 0);
+  // Gated dump: the op table carries the gate steps and mask metadata.
+  EXPECT_EQ(cli::run_cli({"plan-dump", "--model=resnet20",
+                          "--channel-drop=0.3", "--spatial-drop=0.2"}),
+            0);
+  EXPECT_EQ(cli::run_cli({"plan-dump", "--help"}), 0);
+  EXPECT_EQ(cli::run_cli({"plan-dump", "--model=unknown_model"}), 1);
+}
+
 TEST(Cli, BadRatioCountFails) {
   const std::string ckpt = ::testing::TempDir() + "/antidote_cli_bad.ckpt";
   ASSERT_EQ(cli::run_cli({"train", "--model=small_cnn", "--classes=2",

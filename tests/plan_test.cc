@@ -1,0 +1,293 @@
+// InferencePlan compiler + executor: BN-fold numerics against the unfused
+// module walk (dense bitwise, masked within 1e-5), exact ahead-of-time
+// arena sizing (zero growths from the very first context forward), masked
+// execution through the fused conv steps for all three model families,
+// plan invalidation, and the cost-model metadata the serving controller
+// consumes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "models/factory.h"
+#include "models/small_cnn.h"
+#include "nn/execution_context.h"
+#include "plan/plan.h"
+#include "tensor/tensor.h"
+
+namespace antidote {
+namespace {
+
+struct Case {
+  const char* model;
+  int image;
+  float width;
+};
+const Case kCases[] = {
+    {"small_cnn", 16, 1.0f},
+    {"resnet20", 16, 0.5f},
+    {"vgg16", 32, 0.25f},  // five 2x2 pools: needs at least 32x32 input
+};
+
+std::unique_ptr<models::ConvNet> build(const Case& c, uint64_t seed = 11) {
+  Rng rng(seed);
+  auto net = models::make_model(c.model, 10, c.width, rng);
+  net->set_training(false);
+  return net;
+}
+
+double max_abs_diff(const Tensor& a, const Tensor& b) {
+  EXPECT_TRUE(a.same_shape(b));
+  double worst = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(double(a[i]) - double(b[i])));
+  }
+  return worst;
+}
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+TEST(InferencePlan, FusedDenseBitwiseMatchesUnfusedModuleWalk) {
+  for (const Case& c : kCases) {
+    auto net = build(c);
+    Rng rng(3);
+    Tensor x = Tensor::randn({2, 3, c.image, c.image}, rng);
+    const Tensor plain = net->forward(x);  // unfused conv -> BN -> ReLU
+
+    nn::ExecutionContext ctx;
+    ctx.begin_pass();
+    const Tensor fused = net->forward(x, ctx);
+    EXPECT_TRUE(bitwise_equal(plain, fused)) << c.model;
+
+    // The fusion actually happened: the plan has no standalone BN/ReLU
+    // steps, and every conv step folded its BatchNorm and activation.
+    const plan::InferencePlan* plan = net->current_plan();
+    ASSERT_NE(plan, nullptr) << c.model;
+    for (const plan::PlanOp& op : plan->ops()) {
+      if (op.kind == plan::OpKind::kConv) {
+        EXPECT_TRUE(op.fuse_bn) << c.model << " " << op.name;
+        EXPECT_TRUE(op.fuse_relu) << c.model << " " << op.name;
+      }
+    }
+    EXPECT_EQ(plan->dense_macs_per_sample() * 2, net->last_macs())
+        << c.model;
+  }
+}
+
+TEST(InferencePlan, MaskedExecutionThroughFusedStepsMatchesModuleWalk) {
+  for (const Case& c : kCases) {
+    auto net = build(c);
+    core::DynamicPruningEngine engine(
+        *net, core::PruneSettings::uniform(net->num_blocks(), 0.4f, 0.3f));
+    Rng rng(5);
+    Tensor x = Tensor::randn({3, 3, c.image, c.image}, rng);
+
+    const Tensor plain = net->forward(x);
+    const int64_t module_macs = net->last_macs();
+
+    nn::ExecutionContext ctx;
+    ctx.begin_pass();
+    const Tensor fused = net->forward(x, ctx);
+    // BN folding keeps masked outputs within 1e-5 of the unfused walk
+    // (in the current exact-epilogue fold they are bitwise identical).
+    EXPECT_LE(max_abs_diff(plain, fused), 1e-5) << c.model;
+
+    // Dynamic pruning survives fusion: the same masks were executed, so
+    // the measured MACs match the module walk and stay below dense.
+    EXPECT_EQ(net->last_macs(), module_macs) << c.model;
+    const plan::InferencePlan* plan = net->current_plan();
+    ASSERT_NE(plan, nullptr);
+    EXPECT_LT(net->last_macs(), plan->dense_macs_per_sample() * 3)
+        << c.model;
+    engine.remove();
+  }
+}
+
+TEST(InferencePlan, ExactArenaSizingZeroGrowthsFromTheFirstForward) {
+  for (const Case& c : kCases) {
+    for (const bool pruned : {false, true}) {
+      auto net = build(c);
+      std::unique_ptr<core::DynamicPruningEngine> engine;
+      if (pruned) {
+        engine = std::make_unique<core::DynamicPruningEngine>(
+            *net,
+            core::PruneSettings::uniform(net->num_blocks(), 0.4f, 0.3f));
+      }
+      const int batch = 2;
+      Rng rng(7);
+      Tensor x = Tensor::randn({batch, 3, c.image, c.image}, rng);
+
+      // Compile + reserve ahead of time: the arena size is known exactly
+      // before any forward has ever run.
+      plan::InferencePlan& plan =
+          net->inference_plan(3, c.image, c.image);
+      nn::ExecutionContext ctx;
+      plan.reserve(ctx.workspace(), batch);
+      EXPECT_GT(plan.arena_bytes(batch), 0u);
+      const int64_t grows = ctx.workspace().grow_count();
+
+      for (int pass = 0; pass < 3; ++pass) {
+        ctx.begin_pass();
+        Tensor staged = ctx.alloc(x.shape());
+        std::memcpy(staged.data(), x.data(),
+                    static_cast<size_t>(x.size()) * sizeof(float));
+        Tensor y = net->forward(staged, ctx);
+        ASSERT_EQ(y.dim(0), batch);
+        // Zero arena growths from the VERY FIRST pass onward.
+        EXPECT_EQ(ctx.workspace().grow_count(), grows)
+            << c.model << (pruned ? " pruned" : " dense") << " pass "
+            << pass;
+      }
+      if (engine) engine->remove();
+    }
+  }
+}
+
+TEST(InferencePlan, StaticFilterMasksFlowThroughFusedSteps) {
+  // The static-pruning path installs ConvRuntimeMasks directly (no gate);
+  // the plan's fused conv steps must consume them like Conv2d::forward.
+  const Case c{"small_cnn", 16, 1.0f};
+  auto net = build(c);
+  Rng rng(9);
+  Tensor x = Tensor::randn({2, 3, c.image, c.image}, rng);
+
+  auto masks = [] {
+    nn::ConvRuntimeMask m;
+    m.out_channels = {0, 2, 5};
+    return std::vector<nn::ConvRuntimeMask>(2, m);
+  };
+  auto* consumer = dynamic_cast<models::SmallCnn*>(net.get());
+  ASSERT_NE(consumer, nullptr);
+
+  consumer->conv(1)->set_runtime_masks(masks());
+  const Tensor plain = net->forward(x);
+  const int64_t module_macs = net->last_macs();
+
+  consumer->conv(1)->set_runtime_masks(masks());
+  nn::ExecutionContext ctx;
+  ctx.begin_pass();
+  const Tensor fused = net->forward(x, ctx);
+  EXPECT_TRUE(bitwise_equal(plain, fused));
+  EXPECT_EQ(net->last_macs(), module_macs);
+}
+
+TEST(InferencePlan, RecompilesWhenBatchNormStatisticsChange) {
+  const Case c{"small_cnn", 16, 1.0f};
+  auto net = build(c);
+  Rng rng(13);
+  Tensor x = Tensor::randn({2, 3, c.image, c.image}, rng);
+
+  nn::ExecutionContext ctx;
+  ctx.begin_pass();
+  const Tensor before = net->forward(x, ctx).clone();
+  ASSERT_NE(net->current_plan(), nullptr);
+
+  // A training forward moves the BN running statistics; set_training must
+  // drop the stale fold and the next context forward must match a fresh
+  // module walk bitwise.
+  net->set_training(true);
+  EXPECT_EQ(net->current_plan(), nullptr);
+  net->forward(x);
+  net->set_training(false);
+
+  const Tensor plain = net->forward(x);
+  ctx.begin_pass();
+  const Tensor fused = net->forward(x, ctx);
+  EXPECT_TRUE(bitwise_equal(plain, fused));
+  EXPECT_FALSE(bitwise_equal(before, fused));  // stats really moved
+}
+
+TEST(InferencePlan, RecompilesForNewInputShape) {
+  const Case c{"small_cnn", 16, 1.0f};
+  auto net = build(c);
+  Rng rng(17);
+  for (const int image : {16, 8, 16}) {
+    Tensor x = Tensor::randn({1, 3, image, image}, rng);
+    const Tensor plain = net->forward(x);
+    nn::ExecutionContext ctx;
+    ctx.begin_pass();
+    EXPECT_TRUE(bitwise_equal(plain, net->forward(x, ctx))) << image;
+  }
+}
+
+TEST(InferencePlan, CostSnapshotMarksGateConsumersWithTheirBlock) {
+  const Case c{"resnet20", 16, 0.5f};
+  auto net = build(c);
+  core::DynamicPruningEngine engine(
+      *net, core::PruneSettings::uniform(net->num_blocks(), 0.2f, 0.1f));
+  plan::InferencePlan& plan = net->inference_plan(3, c.image, c.image);
+
+  int prunable = 0;
+  for (const plan::OpCost& op : plan.cost_snapshot()) {
+    if (op.prune_block >= 0) {
+      ++prunable;
+      EXPECT_EQ(op.kind, plan::OpKind::kConv);
+      EXPECT_LT(op.prune_block, net->num_blocks());
+      // ResNet gates are spatially aligned with their consumer.
+      EXPECT_TRUE(op.prune_spatial);
+    }
+  }
+  // One gated conv2 per basic block.
+  EXPECT_EQ(prunable, net->num_gate_sites());
+  engine.remove();
+}
+
+TEST(InferencePlan, CostSnapshotCarriesPruneMetadataAcrossPools) {
+  // In VGG a gate's consumer conv sits behind the unit's MaxPool
+  // (gate_consumer = next unit's conv): channel masks reach it, so its
+  // cost-model entry must carry the gate's block — with spatial skipping
+  // off, since the pool changed the grid.
+  const Case c{"vgg16", 32, 0.25f};
+  auto net = build(c);
+  core::DynamicPruningEngine engine(
+      *net, core::PruneSettings::uniform(net->num_blocks(), 0.2f, 0.1f));
+  plan::InferencePlan& plan = net->inference_plan(3, c.image, c.image);
+
+  int prunable = 0, behind_pool = 0;
+  for (const plan::OpCost& op : plan.cost_snapshot()) {
+    if (op.prune_block < 0) continue;
+    ++prunable;
+    if (!op.prune_spatial) ++behind_pool;
+  }
+  // Every conv except the stem-most is fed by the previous unit's gate;
+  // the last gate has no consumer.
+  EXPECT_EQ(prunable, net->num_gate_sites() - 1);
+  // VGG16 has five pools; the conv after each of the first four carries
+  // channel-only metadata (the fifth pool feeds the classifier head).
+  EXPECT_EQ(behind_pool, 4);
+  engine.remove();
+}
+
+TEST(InferencePlan, ArenaBytesScaleWithBatchAndCoverEveryBatchSize) {
+  const Case c{"vgg16", 32, 0.25f};
+  auto net = build(c);
+  plan::InferencePlan& plan = net->inference_plan(3, c.image, c.image);
+  EXPECT_LT(plan.arena_bytes(1), plan.arena_bytes(4));
+  EXPECT_LT(plan.arena_bytes(4), plan.arena_bytes(16));
+
+  // A batch the plan was never probed with still runs growth-free after
+  // its reserve (offsets scale with N by construction).
+  for (const int batch : {1, 3, 5}) {
+    nn::ExecutionContext ctx;
+    plan.reserve(ctx.workspace(), batch);
+    const int64_t grows = ctx.workspace().grow_count();
+    Rng rng(19);
+    Tensor x = Tensor::randn({batch, 3, c.image, c.image}, rng);
+    ctx.begin_pass();
+    Tensor staged = ctx.alloc(x.shape());
+    std::memcpy(staged.data(), x.data(),
+                static_cast<size_t>(x.size()) * sizeof(float));
+    net->forward(staged, ctx);
+    EXPECT_EQ(ctx.workspace().grow_count(), grows) << "batch " << batch;
+  }
+}
+
+}  // namespace
+}  // namespace antidote

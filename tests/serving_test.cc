@@ -243,6 +243,53 @@ TEST(LatencyController, LooseBudgetRelaxesTowardMinOffset) {
   EXPECT_FLOAT_EQ(lc.settings().channel_drop[0], 0.f);
 }
 
+TEST(LatencyController, CostModelInversionConvergesInOneWindow) {
+  // Plant: 4 ms fixed overhead + a 16 ms prunable op scaled by the keep
+  // ratio (base channel drop 0.1). Budget 10 ms -> keep = 6/16 = 0.375 ->
+  // offset = 0.9 - 0.1 - 0.375 ... i.e. 1 - (0.1 + o) = 0.375 -> o = 0.525.
+  LatencyController::Config cfg;
+  cfg.target_p95_ms = 10.0;
+  cfg.window = 2;
+  cfg.step = 0.02f;  // tiny step: the EWMA walk alone would crawl
+  LatencyController lc(core::PruneSettings::uniform(1, 0.1f, 0.f), cfg);
+
+  LatencyController::CostModel model;
+  model.ops.push_back({4.0, -1, false});
+  model.ops.push_back({16.0, 0, false});
+  lc.set_cost_model(std::move(model));
+  ASSERT_TRUE(lc.has_cost_model());
+  EXPECT_NEAR(lc.predict_ms(0.f), 4.0 + 16.0 * 0.9, 1e-6);
+
+  auto plant = [&] {
+    float drop = 0.1f + lc.offset();
+    if (drop > 0.9f) drop = 0.9f;
+    return 4.0 + 16.0 * (1.0 - drop);
+  };
+  // First window: model inversion jumps straight to the solving offset.
+  lc.record_batch(plant(), kKeep, 1);
+  lc.record_batch(plant(), kKeep, 1);
+  EXPECT_NEAR(lc.offset(), 0.525f, 0.01f);
+  // Second window sits on the budget: the controller holds still.
+  const float settled = lc.offset();
+  lc.record_batch(plant(), kKeep, 1);
+  lc.record_batch(plant(), kKeep, 1);
+  EXPECT_FLOAT_EQ(lc.offset(), settled);
+  EXPECT_NEAR(lc.p95_ms(), cfg.target_p95_ms, 0.2);
+}
+
+TEST(LatencyController, CostModelUnreachableBudgetSaturates) {
+  LatencyController::Config cfg;
+  cfg.target_p95_ms = 1.0;  // below the 4 ms fixed floor
+  cfg.window = 1;
+  LatencyController lc(core::PruneSettings::uniform(1, 0.f, 0.f), cfg);
+  LatencyController::CostModel model;
+  model.ops.push_back({4.0, -1, false});
+  model.ops.push_back({16.0, 0, true});
+  lc.set_cost_model(std::move(model));
+  lc.record_batch(20.0, kKeep, 1);
+  EXPECT_FLOAT_EQ(lc.offset(), cfg.max_offset);
+}
+
 TEST(LatencyController, HoldsStillInsideTheBand) {
   LatencyController::Config cfg;
   cfg.target_p95_ms = 10.0;

@@ -12,6 +12,7 @@
 #include "base/timer.h"
 #include "core/antidote.h"
 #include "models/summary.h"
+#include "plan/plan.h"
 #include "serving/serving.h"
 
 namespace antidote::cli {
@@ -263,6 +264,43 @@ int cmd_sensitivity(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Prints a model's compiled InferencePlan: the fused op table with
+// per-op dense FLOPs, fusion flags (+bn/+res/+relu, mN = masked by the
+// gate of block N) and the exact ahead-of-time arena footprint.
+int cmd_plan_dump(const std::vector<std::string>& args) {
+  FlagSet flags("antidote_cli plan-dump");
+  add_common_flags(flags);
+  add_prune_flags(flags);
+  flags.add_string("ckpt", "", "checkpoint to load first (optional)");
+  flags.parse(args);
+  if (flags.help_requested()) {
+    std::cout << flags.usage();
+    return 0;
+  }
+  auto net = make_net(flags);
+  if (const std::string ckpt = flags.get_string("ckpt"); !ckpt.empty()) {
+    nn::load_checkpoint(*net, ckpt);
+  }
+  const core::PruneSettings settings = settings_from_flags(flags, *net);
+  const auto nonzero = [](const std::vector<float>& v) {
+    return std::any_of(v.begin(), v.end(), [](float x) { return x > 0.f; });
+  };
+  std::unique_ptr<core::DynamicPruningEngine> engine;
+  if (nonzero(settings.channel_drop) || nonzero(settings.spatial_drop)) {
+    engine = std::make_unique<core::DynamicPruningEngine>(*net, settings);
+  }
+  net->set_training(false);
+  const int size = flags.get_int("image-size");
+  plan::InferencePlan& plan = net->inference_plan(3, size, size);
+  std::cout << net->model_name() << " @ 3x" << size << "x" << size
+            << (engine ? " (gated)" : " (dense)") << "\n"
+            << plan.to_string();
+  const int batch = flags.get_int("batch");
+  std::printf("arena bytes: %zu @ batch 1, %zu @ batch %d\n",
+              plan.arena_bytes(1), plan.arena_bytes(batch), batch);
+  return 0;
+}
+
 // Runs a closed-loop load generator against an in-process InferenceServer:
 // `--clients` threads each keep exactly one request in flight, so offered
 // load adapts to what the server sustains and queue backpressure is
@@ -401,6 +439,8 @@ constexpr CommandEntry kCommands[] = {
     {"eval", cmd_eval, "evaluate a checkpoint under dynamic pruning"},
     {"sensitivity", cmd_sensitivity,
      "per-block (or per-site) pruning sensitivity sweep"},
+    {"plan-dump", cmd_plan_dump,
+     "print a model's compiled inference plan (fused ops, FLOPs, arena)"},
     {"serve-bench", cmd_serve_bench,
      "closed-loop load test of the batched serving runtime"},
 };
