@@ -2,19 +2,76 @@
 // run to machine-readable JSON output (BENCH_*.json) unless the caller
 // already passed --benchmark_out, so the perf trajectory is tracked
 // across PRs without extra flags.
+//
+// The JSON is published ATOMICALLY: the run writes to <out>.tmp and only
+// renames it over the final path after verifying the file is non-empty
+// and terminates like a JSON document. A crashed or OOM-killed bench can
+// therefore never leave a 0-byte or half-written BENCH_*.json behind, and
+// an empty/partial emission fails the run (non-zero exit) instead of
+// silently shipping garbage.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <vector>
 
 namespace antidote::bench {
 
+// True when the file is non-empty and its last non-whitespace byte closes
+// a JSON object — the cheap structural check that catches truncation.
+inline bool looks_like_complete_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char tail[64];
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size <= 0) {
+    std::fclose(f);
+    return false;
+  }
+  const long take = size < static_cast<long>(sizeof(tail)) ? size : static_cast<long>(sizeof(tail));
+  std::fseek(f, -take, SEEK_END);
+  const size_t got = std::fread(tail, 1, static_cast<size_t>(take), f);
+  std::fclose(f);
+  for (size_t i = got; i-- > 0;) {
+    const char c = tail[i];
+    if (c == ' ' || c == '\n' || c == '\r' || c == '\t') continue;
+    return c == '}';
+  }
+  return false;
+}
+
+// Atomically publishes tmp_path over final_path after validating it.
+// Returns false (and removes the temp file) on empty/partial output.
+inline bool publish_json_atomically(const std::string& tmp_path,
+                                    const std::string& final_path) {
+  std::error_code ec;
+  if (!looks_like_complete_json(tmp_path)) {
+    std::fprintf(stderr,
+                 "ERROR: bench JSON emission empty or truncated (%s); "
+                 "refusing to publish %s\n",
+                 tmp_path.c_str(), final_path.c_str());
+    std::filesystem::remove(tmp_path, ec);
+    return false;
+  }
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    std::fprintf(stderr, "ERROR: failed to publish %s: %s\n",
+                 final_path.c_str(), ec.message().c_str());
+    return false;
+  }
+  return true;
+}
+
 inline int run_benchmarks(int argc, char** argv, const char* default_out) {
   std::vector<char*> args(argv, argv + argc);
-  std::string out_flag = std::string("--benchmark_out=") + default_out;
+  const std::string tmp_path = std::string(default_out) + ".tmp";
+  std::string out_flag = "--benchmark_out=" + tmp_path;
   std::string fmt_flag = "--benchmark_out_format=json";
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {
@@ -28,6 +85,7 @@ inline int run_benchmarks(int argc, char** argv, const char* default_out) {
   benchmark::Initialize(&argc2, args.data());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!has_out && !publish_json_atomically(tmp_path, default_out)) return 1;
   return 0;
 }
 

@@ -75,4 +75,39 @@ void kept_to_mask_into(std::span<const int> kept, int n,
   }
 }
 
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t fnv1a_ints(uint64_t h, std::span<const int> v) {
+  for (int i : v) {
+    // Mix all four value bytes; kept indices are small non-negative ints,
+    // so byte-wise mixing keeps nearby sets well separated.
+    uint32_t u = static_cast<uint32_t>(i);
+    for (int b = 0; b < 4; ++b) {
+      h = (h ^ (u & 0xffu)) * kFnvPrime;
+      u >>= 8;
+    }
+  }
+  // Component separator: an empty-vs-absent boundary must change the key.
+  h = (h ^ 0xabu) * kFnvPrime;
+  return h;
+}
+
+}  // namespace
+
+uint64_t mask_key(const nn::ConvRuntimeMask& m) {
+  uint64_t h = kFnvOffset;
+  h = fnv1a_ints(h, m.channels);
+  h = fnv1a_ints(h, m.positions);
+  h = fnv1a_ints(h, m.out_channels);
+  return h;
+}
+
+bool mask_equal(const nn::ConvRuntimeMask& a, const nn::ConvRuntimeMask& b) {
+  return a.channels == b.channels && a.positions == b.positions &&
+         a.out_channels == b.out_channels;
+}
+
 }  // namespace antidote::core

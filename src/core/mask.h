@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "base/rng.h"
+#include "nn/conv2d.h"
 
 namespace antidote::core {
 
@@ -41,5 +42,14 @@ std::vector<uint8_t> kept_to_mask(std::span<const int> kept, int n);
 // Reusable-buffer variant of kept_to_mask.
 void kept_to_mask_into(std::span<const int> kept, int n,
                        std::vector<uint8_t>& mask);
+
+// Canonical 64-bit key of a runtime mask's kept sets (FNV-1a over the
+// three index vectors with component separators). Masks with equal kept
+// sets always hash equal, so a batch executor can bucket samples by key
+// and execute each bucket as one compacted multi-sample problem; callers
+// that must be collision-proof confirm key matches with mask_equal.
+uint64_t mask_key(const nn::ConvRuntimeMask& m);
+// Exact kept-set equality (all three components).
+bool mask_equal(const nn::ConvRuntimeMask& a, const nn::ConvRuntimeMask& b);
 
 }  // namespace antidote::core

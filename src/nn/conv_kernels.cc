@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "base/error.h"
+#include "base/parallel.h"
 #include "tensor/gemm.h"
 
 namespace antidote::nn {
@@ -164,6 +165,284 @@ int64_t conv_sample_masked(const float* xb, const ConvGeom& g, const float* w,
   return macs;
 }
 
+// --- mask-grouped batch kernels ---------------------------------------------
+
+void WeightPanelCache::prepare(int out_c, int in_c, int kk) {
+  // Both layouts top out at the full weight size; reserve the kept-set
+  // copies too, so a runtime pack touches no allocator. Idempotent: a
+  // repeat call on an already-sized cache keeps its warm panel.
+  const size_t full = static_cast<size_t>(out_c) * in_c * kk;
+  if (panel.size() < full) {
+    panel.resize(full);
+    valid = false;
+  }
+  channels.reserve(static_cast<size_t>(in_c));
+  out_channels.reserve(static_cast<size_t>(out_c));
+}
+
+const float* pack_weight_panel(const float* w, int in_c, int kk,
+                               std::span<const int> ch,
+                               std::span<const int> oc, bool spatial_layout,
+                               WeightPanelCache& cache) {
+  const int ck = static_cast<int>(ch.size());
+  const int ok = static_cast<int>(oc.size());
+  // Callers that reserved their plan arrive pre-sized; unreserved ad-hoc
+  // paths grow the cache here once and converge, like the arena.
+  const size_t needed = static_cast<size_t>(ok) * ck * kk;
+  if (cache.panel.size() < needed) {
+    cache.panel.resize(needed);
+    cache.valid = false;
+  }
+  if (cache.valid && cache.spatial_layout == spatial_layout &&
+      std::equal(ch.begin(), ch.end(), cache.channels.begin(),
+                 cache.channels.end()) &&
+      std::equal(oc.begin(), oc.end(), cache.out_channels.begin(),
+                 cache.out_channels.end())) {
+    ++cache.hits;
+    return cache.panel.data();
+  }
+  ++cache.misses;
+  float* dst_base = cache.panel.data();
+  if (!spatial_layout) {
+    // panel[oi][ci*kk + t] = w[oc[oi], ch[ci], t]
+    const int patch_k = ck * kk;
+    for (int oi = 0; oi < ok; ++oi) {
+      const float* src = w + static_cast<int64_t>(oc[static_cast<size_t>(
+                                 oi)]) *
+                                 in_c * kk;
+      float* dst = dst_base + static_cast<int64_t>(oi) * patch_k;
+      for (int ci = 0; ci < ck; ++ci) {
+        const float* block =
+            src + static_cast<int64_t>(ch[static_cast<size_t>(ci)]) * kk;
+        std::copy(block, block + kk, dst + static_cast<int64_t>(ci) * kk);
+      }
+    }
+  } else {
+    // panel[(t*ok + oi)][ci] = w[oc[oi], ch[ci], t] — the kernel-offset
+    // stacked shift-GEMM matrix.
+    for (int64_t off = 0; off < kk; ++off) {
+      for (int oi = 0; oi < ok; ++oi) {
+        const float* src =
+            w +
+            static_cast<int64_t>(oc[static_cast<size_t>(oi)]) * in_c * kk +
+            off;
+        float* dst = dst_base + (off * ok + oi) * ck;
+        for (int ci = 0; ci < ck; ++ci) {
+          dst[ci] = src[static_cast<int64_t>(ch[static_cast<size_t>(ci)]) * kk];
+        }
+      }
+    }
+  }
+  cache.channels.assign(ch.begin(), ch.end());
+  cache.out_channels.assign(oc.begin(), oc.end());
+  cache.spatial_layout = spatial_layout;
+  cache.valid = true;
+  return dst_base;
+}
+
+int64_t conv_batch_dense(const float* x_base, int64_t in_floats,
+                         const ConvGeom& g, const float* w, int out_c,
+                         const float* bias, int n, float* y_base,
+                         int64_t out_floats, Workspace& ws) {
+  const int64_t patch = g.patch_rows();
+  const int64_t pos = g.out_positions();
+  const Workspace::Mark scratch = ws.mark();
+  // One shared im2col buffer (the arena footprint of the pre-batched
+  // path): each sample's lowering parallelizes across CHANNEL ranges
+  // into disjoint rows, then its GEMM runs straight into the output (row
+  // panels parallelize internally), so the batch gains parallelism
+  // without an n-times scratch blowup or a restaging copy.
+  float* cols = ws.alloc_floats(patch * pos);
+  for (int b = 0; b < n; ++b) {
+    const float* xb = x_base + static_cast<int64_t>(b) * in_floats;
+    parallel_for(
+        0, g.in_c,
+        [&](int64_t c0, int64_t c1) {
+          im2col_range(xb, g, static_cast<int>(c0), static_cast<int>(c1),
+                       cols);
+        },
+        /*grain=*/1);
+    float* yb = y_base + static_cast<int64_t>(b) * out_floats;
+    gemm_nn(out_c, static_cast<int>(pos), static_cast<int>(patch), 1.f, w,
+            cols, 0.f, yb, &ws);
+    if (bias != nullptr) {
+      for (int oc = 0; oc < out_c; ++oc) {
+        float* row = yb + static_cast<int64_t>(oc) * pos;
+        for (int64_t j = 0; j < pos; ++j) row[j] += bias[oc];
+      }
+    }
+  }
+  ws.rewind(scratch);
+  return static_cast<int64_t>(out_c) * pos * patch * n;
+}
+
+int64_t conv_group_masked(const float* x_base, int64_t in_floats,
+                          const ConvGeom& g, const float* w, int out_c,
+                          const float* bias, const ConvRuntimeMask& m,
+                          std::span<const int> samples,
+                          const ConvIdentityIndices& ids,
+                          WeightPanelCache& cache, float* y_base,
+                          int64_t out_floats, Workspace& ws) {
+  const int in_c = g.in_c, h = g.in_h, wd = g.in_w;
+  const int oh = g.out_h(), ow = g.out_w();
+  const int64_t pos = g.out_positions();
+  const int64_t kk = static_cast<int64_t>(g.k_h) * g.k_w;
+  const int gs = static_cast<int>(samples.size());
+  AD_CHECK_GT(gs, 0);
+
+  const std::span<const int> ch =
+      m.channels.empty()
+          ? std::span<const int>(ids.channels, static_cast<size_t>(in_c))
+          : std::span<const int>(m.channels);
+  const std::span<const int> oc_set =
+      m.out_channels.empty()
+          ? std::span<const int>(ids.out, static_cast<size_t>(out_c))
+          : std::span<const int>(m.out_channels);
+  const int ck = static_cast<int>(ch.size());
+  const int ok = static_cast<int>(oc_set.size());
+  int64_t macs = 0;
+
+  const Workspace::Mark per_group = ws.mark();
+  if (m.positions.empty()) {
+    // Channel / filter skipping: ONE compacted GEMM for the whole group.
+    // Every member's kept-channel patches occupy a column slice of the
+    // shared B matrix, and the kept-filter weight panel is packed once
+    // (or reused from the cross-pass cache).
+    const int patch_k = ck * g.k_h * g.k_w;
+    const int64_t ldc = static_cast<int64_t>(gs) * pos;
+    const float* w_panel =
+        pack_weight_panel(w, in_c, static_cast<int>(kk), ch, oc_set,
+                          /*spatial_layout=*/false, cache);
+    float* cols = ws.alloc_floats(static_cast<int64_t>(patch_k) * ldc);
+    const std::span<const int> all_pos(ids.positions,
+                                       static_cast<size_t>(pos));
+    parallel_for(
+        0, gs,
+        [&](int64_t s0, int64_t s1) {
+          for (int64_t s = s0; s < s1; ++s) {
+            const int b = samples[static_cast<size_t>(s)];
+            im2col_gather_ld(x_base + static_cast<int64_t>(b) * in_floats, g,
+                             ch, all_pos, cols + s * pos, ldc);
+          }
+        },
+        /*grain=*/1);
+    float* y_sub = ws.alloc_floats(static_cast<int64_t>(ok) * ldc);
+    gemm_nn(ok, static_cast<int>(ldc), patch_k, 1.f, w_panel, cols, 0.f,
+            y_sub, &ws);
+    parallel_for(
+        0, gs,
+        [&](int64_t s0, int64_t s1) {
+          for (int64_t s = s0; s < s1; ++s) {
+            const int b = samples[static_cast<size_t>(s)];
+            float* yb = y_base + static_cast<int64_t>(b) * out_floats;
+            for (int oi = 0; oi < ok; ++oi) {
+              const int oc = oc_set[static_cast<size_t>(oi)];
+              const float* src = y_sub + static_cast<int64_t>(oi) * ldc +
+                                 s * pos;
+              float* dst = yb + static_cast<int64_t>(oc) * pos;
+              std::copy(src, src + pos, dst);
+              if (bias != nullptr) {
+                const float bias_v = bias[oc];
+                for (int64_t j = 0; j < pos; ++j) dst[j] += bias_v;
+              }
+            }
+          }
+        },
+        /*grain=*/1);
+    macs = static_cast<int64_t>(ok) * pos * patch_k * gs;
+  } else {
+    // Spatial (column) skipping: the shift-GEMM (see conv_sample_masked)
+    // widened across the group — the kernel-offset-stacked weight matrix
+    // multiplies every member's gathered columns in one GEMM.
+    AD_CHECK(g.stride == 1 && oh == h && ow == wd)
+        << " spatial runtime mask requires a grid-preserving Conv2d";
+    AD_CHECK_LE(m.positions.back(), static_cast<int>(pos) - 1);
+    const int pk = static_cast<int>(m.positions.size());
+    const int64_t ldc = static_cast<int64_t>(gs) * pk;
+
+    float* cols = ws.alloc_floats(static_cast<int64_t>(ck) * ldc);
+    parallel_for(
+        0, gs,
+        [&](int64_t s0, int64_t s1) {
+          for (int64_t s = s0; s < s1; ++s) {
+            const int b = samples[static_cast<size_t>(s)];
+            const float* xb = x_base + static_cast<int64_t>(b) * in_floats;
+            for (int ci = 0; ci < ck; ++ci) {
+              const float* plane =
+                  xb +
+                  static_cast<int64_t>(ch[static_cast<size_t>(ci)]) * h * wd;
+              float* row = cols + static_cast<int64_t>(ci) * ldc + s * pk;
+              for (int j = 0; j < pk; ++j) {
+                row[j] = plane[m.positions[static_cast<size_t>(j)]];
+              }
+            }
+          }
+        },
+        /*grain=*/1);
+
+    const float* w_panel =
+        pack_weight_panel(w, in_c, static_cast<int>(kk), ch, oc_set,
+                          /*spatial_layout=*/true, cache);
+    float* y_sub =
+        ws.alloc_floats(kk * static_cast<int64_t>(ok) * ldc);
+    // Scatter targets depend only on the group's kept positions: resolve
+    // every (kernel offset, kept column) to its output index ONCE per
+    // group (-1 = falls off the grid) instead of re-deriving it with
+    // div/mod for every sample and filter.
+    int* scatter_idx = ws.alloc<int>(kk * pk);
+    for (int ky = 0; ky < g.k_h; ++ky) {
+      for (int kx = 0; kx < g.k_w; ++kx) {
+        const int64_t off = static_cast<int64_t>(ky) * g.k_w + kx;
+        // Input column (iy, ix) feeds output (iy + pad - ky, ix + pad - kx).
+        const int dy = g.pad - ky, dx = g.pad - kx;
+        int* row = scatter_idx + off * pk;
+        for (int j = 0; j < pk; ++j) {
+          const int p = m.positions[static_cast<size_t>(j)];
+          const int oy = p / wd + dy;
+          const int ox = p % wd + dx;
+          row[j] = (oy >= 0 && oy < oh && ox >= 0 && ox < ow)
+                       ? oy * ow + ox
+                       : -1;
+        }
+      }
+    }
+    gemm_nn(static_cast<int>(kk) * ok, static_cast<int>(ldc), ck, 1.f,
+            w_panel, cols, 0.f, y_sub, &ws);
+    parallel_for(
+        0, gs,
+        [&](int64_t s0, int64_t s1) {
+          for (int64_t s = s0; s < s1; ++s) {
+            const int b = samples[static_cast<size_t>(s)];
+            float* yb = y_base + static_cast<int64_t>(b) * out_floats;
+            // Filter-major scatter: y_sub reads stream sequentially and
+            // writes stay inside one output plane. Per output element the
+            // contributions still accumulate in ascending (offset, column)
+            // order — exactly the order the per-sample kernel uses.
+            for (int oi = 0; oi < ok; ++oi) {
+              const int oc = oc_set[static_cast<size_t>(oi)];
+              float* drow = yb + static_cast<int64_t>(oc) * pos;
+              for (int64_t off = 0; off < kk; ++off) {
+                const float* yrow = y_sub + (off * ok + oi) * ldc + s * pk;
+                const int* idx = scatter_idx + off * pk;
+                for (int j = 0; j < pk; ++j) {
+                  if (idx[j] >= 0) drow[idx[j]] += yrow[j];
+                }
+              }
+              if (bias != nullptr) {
+                const float bias_v = bias[oc];
+                for (int64_t j = 0; j < pos; ++j) drow[j] += bias_v;
+              }
+            }
+          }
+        },
+        /*grain=*/1);
+    macs = static_cast<int64_t>(ok) * pk * ck * kk * gs;
+  }
+
+  ws.rewind(per_group);
+  return macs;
+}
+
 void shortcut_subsample_into(const float* x, int n, int in_c, int h, int w,
                              int out_c, int stride, float* y) {
   AD_CHECK_GE(out_c, in_c);
@@ -185,31 +464,43 @@ void shortcut_subsample_into(const float* x, int n, int in_c, int h, int w,
   }
 }
 
-size_t conv_sample_dense_scratch_bytes(const ConvGeom& g, int out_c) {
-  return gemm_nn_scratch_bytes(out_c, static_cast<int>(g.out_positions()),
-                               static_cast<int>(g.patch_rows()));
+size_t conv_batch_dense_scratch_bytes(const ConvGeom& g, int out_c, int n) {
+  // Batch-independent: one shared im2col buffer plus one sample's GEMM
+  // panels (samples run sequentially between the same marks).
+  (void)n;
+  const int64_t patch = g.patch_rows();
+  const int64_t pos = g.out_positions();
+  return Workspace::align_up(static_cast<size_t>(patch) * pos *
+                             sizeof(float)) +
+         gemm_nn_scratch_bytes(out_c, static_cast<int>(pos),
+                               static_cast<int>(patch));
 }
 
-size_t conv_sample_masked_scratch_bytes(const ConvGeom& g, int out_c) {
+size_t conv_group_masked_scratch_bytes(const ConvGeom& g, int out_c, int gs) {
   const int64_t patch = g.patch_rows();
   const int64_t pos = g.out_positions();
   const int64_t kk = static_cast<int64_t>(g.k_h) * g.k_w;
-  // Channel/filter path with full index sets.
+  const int64_t ldc = static_cast<int64_t>(gs) * pos;
+  // Channel/filter path with full index sets (the weight panel lives in
+  // the cross-pass cache, not the arena).
   const size_t channel_path =
-      Workspace::align_up(static_cast<size_t>(out_c) * patch * sizeof(float)) +
-      Workspace::align_up(static_cast<size_t>(patch) * pos * sizeof(float)) +
-      Workspace::align_up(static_cast<size_t>(out_c) * pos * sizeof(float)) +
-      gemm_nn_scratch_bytes(out_c, static_cast<int>(pos),
+      Workspace::align_up(static_cast<size_t>(patch) * ldc * sizeof(float)) +
+      Workspace::align_up(static_cast<size_t>(out_c) * ldc * sizeof(float)) +
+      gemm_nn_scratch_bytes(out_c, static_cast<int>(ldc),
                             static_cast<int>(patch));
   size_t worst = channel_path;
   if (g.stride == 1 && g.out_h() == g.in_h && g.out_w() == g.in_w) {
-    // Spatial shift-GEMM path with every position kept.
+    // Spatial shift-GEMM path with every position kept: gathered columns,
+    // the stacked-offset GEMM output, the per-group scatter-index table,
+    // then the GEMM's own panels on top.
     const size_t spatial_path =
-        Workspace::align_up(static_cast<size_t>(g.in_c) * pos * sizeof(float)) +
-        Workspace::align_up(static_cast<size_t>(kk) * out_c * g.in_c * sizeof(float)) +
-        Workspace::align_up(static_cast<size_t>(kk) * out_c * pos * sizeof(float)) +
+        Workspace::align_up(static_cast<size_t>(g.in_c) * ldc *
+                            sizeof(float)) +
+        Workspace::align_up(static_cast<size_t>(kk) * out_c * ldc *
+                            sizeof(float)) +
+        Workspace::align_up(static_cast<size_t>(kk) * pos * sizeof(int)) +
         gemm_nn_scratch_bytes(static_cast<int>(kk) * out_c,
-                              static_cast<int>(pos), g.in_c);
+                              static_cast<int>(ldc), g.in_c);
     worst = std::max(worst, spatial_path);
   }
   return worst;

@@ -1,13 +1,25 @@
-// Per-sample convolution kernels shared by the Conv2d module and the
-// InferencePlan executor.
+// Convolution kernels shared by the Conv2d module and the InferencePlan
+// executor.
 //
 // Both callers must produce bit-identical results for the same input, so
 // the dense im2col+GEMM lowering and the masked (channel / spatial /
-// filter skipping) execution live here exactly once. The functions are
-// sample-granular: callers own the batch loop, output placement and any
-// fused epilogue; the kernels own the arithmetic and draw every scratch
-// buffer from the caller's Workspace between a mark/rewind pair the
-// *caller* brackets.
+// filter skipping) execution live here exactly once. Two granularities are
+// provided:
+//
+//   - per-sample kernels (conv_sample_*): the module walk's building
+//     blocks. Callers own the batch loop, output placement and any fused
+//     epilogue; the kernels own the arithmetic and draw every scratch
+//     buffer from the caller's Workspace between a mark/rewind pair the
+//     *caller* brackets.
+//   - mask-grouped batch kernels (conv_batch_dense / conv_group_masked):
+//     the plan executor's hot path. A *mask group* is a set of batch
+//     samples whose runtime masks are identical; the group kernel gathers
+//     every member's kept inputs into ONE compacted activation block,
+//     packs the kept filter rows ONCE into a weight panel (cached across
+//     passes by kept set, so static filter masks never repack) and runs a
+//     single multi-sample GEMM instead of per-sample scatter kernels.
+//     Per-element accumulation order is unchanged, so grouped outputs are
+//     bitwise identical to the per-sample kernels'.
 //
 // The matching *_scratch_bytes functions report the worst-case arena
 // high-water of one call, mirroring the allocation sequence (including
@@ -15,7 +27,9 @@
 // arena before the first pass ever runs.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "nn/conv2d.h"
 #include "tensor/im2col.h"
@@ -24,7 +38,8 @@
 namespace antidote::nn {
 
 // Identity index sets used when a mask component is empty (= keep all).
-// Built once per batch by the caller (iota over the arena).
+// All three spans may alias one shared ascending iota array (the plan
+// compiler builds one sized at the plan's max dimension).
 struct ConvIdentityIndices {
   const int* channels = nullptr;   // [g.in_c]
   const int* out = nullptr;        // [out_c]
@@ -50,15 +65,72 @@ int64_t conv_sample_masked(const float* xb, const ConvGeom& g, const float* w,
                            const ConvIdentityIndices& ids, float* yb,
                            Workspace& ws);
 
-// Worst-case arena bytes of one conv_sample_dense call (scratch only; the
-// caller-hoisted `cols` buffer is reported separately by the plan
-// compiler).
-size_t conv_sample_dense_scratch_bytes(const ConvGeom& g, int out_c);
+// --- mask-grouped batch kernels -------------------------------------------
 
-// Worst-case arena bytes of one conv_sample_masked call, maximized over
-// every mask shape the geometry admits (full index sets; the spatial
-// shift-GEMM path only when the conv preserves the grid).
-size_t conv_sample_masked_scratch_bytes(const ConvGeom& g, int out_c);
+// Cross-pass cache for the kept-filter weight panel of one conv site.
+// prepare() sizes the storage for the worst kept set (the plan calls it
+// from reserve(), so a reserved serving path never packs through the
+// allocator; unreserved callers grow lazily on first pack and converge);
+// a hit (same kept sets and layout as the cached panel) skips the pack
+// entirely. Static filter masks repeat every pass, so they hit 100%
+// after the first pack. The cache copies weight values, so it shares the
+// plan's staleness contract: mutating weights in eval mode requires
+// ConvNet::invalidate_plan().
+struct WeightPanelCache {
+  std::vector<float> panel;
+  std::vector<int> channels;      // kept set the panel encodes
+  std::vector<int> out_channels;  // kept set the panel encodes
+  bool spatial_layout = false;    // channel-path [ok,ck*kk] vs shift [kk*ok,ck]
+  bool valid = false;
+  int64_t hits = 0;
+  int64_t misses = 0;
+
+  // Reserves worst-case storage (full kept sets, either layout).
+  void prepare(int out_c, int in_c, int kk);
+};
+
+// Returns the packed weight panel for the kept sets, packing into `cache`
+// only on a miss. Channel layout: panel[oi][ci*kk + t] =
+// w[oc[oi], ch[ci], t]. Spatial (shift-GEMM) layout: panel[(t*ok + oi)][ci]
+// = w[oc[oi], ch[ci], t], the kernel-offset-stacked matrix.
+const float* pack_weight_panel(const float* w, int in_c, int kk,
+                               std::span<const int> ch,
+                               std::span<const int> oc, bool spatial_layout,
+                               WeightPanelCache& cache);
+
+// Dense batch step: one shared im2col buffer; each sample's lowering
+// parallelizes across channel ranges, then its GEMM runs straight into
+// its output slot (parallelizing internally) and `bias` is applied. x/y
+// bases are batch-major with the given per-sample strides. Bitwise
+// identical to n conv_sample_dense calls. Returns MACs.
+int64_t conv_batch_dense(const float* x_base, int64_t in_floats,
+                         const ConvGeom& g, const float* w, int out_c,
+                         const float* bias, int n, float* y_base,
+                         int64_t out_floats, Workspace& ws);
+
+// One mask group of a masked batch conv. `samples` are the member batch
+// indices (all sharing kept sets `m`); the caller zero-fills y beforehand
+// and applies any fused epilogue afterwards, and must invoke groups
+// sequentially (gather/scatter parallelize across the group's members,
+// the compacted GEMM parallelizes internally). Bias semantics match
+// conv_sample_masked. Returns the MACs executed for the whole group.
+int64_t conv_group_masked(const float* x_base, int64_t in_floats,
+                          const ConvGeom& g, const float* w, int out_c,
+                          const float* bias, const ConvRuntimeMask& m,
+                          std::span<const int> samples,
+                          const ConvIdentityIndices& ids,
+                          WeightPanelCache& cache, float* y_base,
+                          int64_t out_floats, Workspace& ws);
+
+// Worst-case arena bytes of one conv_batch_dense call at batch n.
+size_t conv_batch_dense_scratch_bytes(const ConvGeom& g, int out_c, int n);
+
+// Worst-case arena bytes of one conv_group_masked call with a group of
+// `gs` samples, maximized over every mask shape the geometry admits (full
+// index sets; the spatial shift-GEMM path only when the conv preserves
+// the grid). Monotone in gs, so a batch's worst case over any grouping is
+// the single-group-of-n value (groups run sequentially between rewinds).
+size_t conv_group_masked_scratch_bytes(const ConvGeom& g, int out_c, int gs);
 
 // Option-A residual shortcut kernel: spatial subsampling by `stride` with
 // zero-padded extra channels (out_c >= in_c). Zero-fills y, then copies

@@ -250,31 +250,33 @@ InferencePlan PlanBuilder::finish() {
   }
   plan_.act_floats_ = high_water;
 
-  // --- ahead-of-time footprint: kernel scratch + gate outputs ----------
-  plan_.op_scratch_bytes_.assign(plan_.ops_.size(), 0);
+  // --- ahead-of-time footprint + grouped-execution state ---------------
+  // Gate-output accounting feeds arena_bytes(); per-op kernel scratch is
+  // computed there directly from the op geometry (it depends on the batch
+  // size under grouped execution). The plan's shared identity-index
+  // (iota) array is built once, so masked forwards never rebuild index
+  // sets; weight-panel caches are sized at reserve() time (dense-only
+  // plans never pay them) or lazily on first pack.
   plan_.gate_floats_before_op_.assign(plan_.ops_.size(), 0);
   int64_t gate_floats = 0;
+  int64_t max_dim = 0;
   for (size_t i = 0; i < plan_.ops_.size(); ++i) {
-    const PlanOp& op = plan_.ops_[i];
+    PlanOp& op = plan_.ops_[i];
     plan_.gate_floats_before_op_[i] = gate_floats;
     if (op.kind == OpKind::kGate) {
       gate_floats += shape_floats(op.in_shape);
     } else if (op.kind == OpKind::kConv) {
       const ConvGeom& g = op.geom;
-      const int out_c = op.out_shape[0];
-      const size_t dense =
-          Workspace::align_up(static_cast<size_t>(g.patch_rows()) * g.out_positions() *
-                   sizeof(float)) +
-          nn::conv_sample_dense_scratch_bytes(g, out_c);
-      const size_t masked =
-          Workspace::align_up(static_cast<size_t>(g.in_c) * sizeof(int)) +
-          Workspace::align_up(static_cast<size_t>(out_c) * sizeof(int)) +
-          Workspace::align_up(static_cast<size_t>(g.out_positions()) * sizeof(int)) +
-          nn::conv_sample_masked_scratch_bytes(g, out_c);
-      plan_.op_scratch_bytes_[i] = std::max(dense, masked);
+      max_dim = std::max<int64_t>(max_dim, g.in_c);
+      max_dim = std::max<int64_t>(max_dim, op.out_shape[0]);
+      max_dim = std::max<int64_t>(max_dim, g.out_positions());
     }
   }
   plan_.gate_floats_total_ = gate_floats;
+  plan_.iota_.resize(static_cast<size_t>(max_dim));
+  for (int64_t i = 0; i < max_dim; ++i) {
+    plan_.iota_[static_cast<size_t>(i)] = static_cast<int>(i);
+  }
 
   plan_.slots_.assign(plan_.buffers_.size(), Tensor());
   return std::move(plan_);

@@ -1,12 +1,15 @@
 #include "plan/plan.h"
 
+#include <algorithm>
 #include <cstring>
 #include <limits>
-#include <numeric>
+#include <span>
 #include <sstream>
 
 #include "base/error.h"
+#include "base/parallel.h"
 #include "base/timer.h"
+#include "core/mask.h"
 #include "nn/conv_kernels.h"
 #include "nn/pooling.h"
 #include "tensor/gemm.h"
@@ -46,6 +49,29 @@ void apply_epilogue(const PlanOp& op, float* yb, const float* resb,
   }
 }
 
+// Exact worst-case kernel scratch of one conv step at batch n, mirroring
+// the executor's allocation sequence byte for byte: the dense batched
+// path (per-sample im2col slices + GEMM panels) vs the mask-grouped path
+// (group-key bucketing arrays + the compacted group kernels' scratch,
+// whose worst case over any partition is a single group of n — groups
+// run sequentially between rewinds, and the bound is monotone in group
+// size). The all-distinct-masks case costs no more: n singleton groups
+// each rewind before the next, so the bucketing arrays plus the largest
+// single group still dominate.
+size_t conv_step_scratch_bytes(const PlanOp& op, int n) {
+  if (op.kind != OpKind::kConv) return 0;
+  const ConvGeom& g = op.geom;
+  const int out_c = op.out_shape[0];
+  const size_t nn_ = static_cast<size_t>(n);
+  const size_t dense = nn::conv_batch_dense_scratch_bytes(g, out_c, n);
+  const size_t masked =
+      Workspace::align_up(sizeof(uint64_t) * nn_) +       // mask keys
+      Workspace::align_up(sizeof(int) * nn_) +            // sample order
+      Workspace::align_up(sizeof(int) * (nn_ + 1)) +      // group bounds
+      nn::conv_group_masked_scratch_bytes(g, out_c, n);
+  return std::max(dense, masked);
+}
+
 }  // namespace
 
 const char* op_kind_name(OpKind kind) {
@@ -81,13 +107,23 @@ size_t InferencePlan::arena_bytes(int n) const {
     const size_t gates = Workspace::align_up(
         static_cast<size_t>(gate_floats_before_op_[i]) * nn * sizeof(float) +
         Workspace::kAlign * (i + 1));
-    peak = std::max(peak, act + gates + op_scratch_bytes_[i]);
+    peak = std::max(peak, act + gates + conv_step_scratch_bytes(ops_[i], n));
   }
   return input_bytes + peak;
 }
 
-void InferencePlan::reserve(Workspace& ws, int n) const {
+void InferencePlan::reserve(Workspace& ws, int n) {
   ws.reserve(arena_bytes(n));
+  // Weight-panel caches are sized here, not at compile time: a plan that
+  // only ever runs dense (no pruning engine, no static masks) would
+  // otherwise pay its whole conv weight footprint again for caches the
+  // dense path never touches.
+  for (PlanOp& op : ops_) {
+    if (op.kind == OpKind::kConv) {
+      op.pack_cache.prepare(op.out_shape[0], op.geom.in_c,
+                            op.geom.k_h * op.geom.k_w);
+    }
+  }
 }
 
 int64_t InferencePlan::last_macs() const {
@@ -102,6 +138,24 @@ int64_t InferencePlan::dense_macs_per_sample() const {
   return total;
 }
 
+int InferencePlan::last_mask_groups() const {
+  int groups = 0;
+  for (const PlanOp& op : ops_) groups = std::max(groups, op.last_groups);
+  return groups;
+}
+
+int64_t InferencePlan::pack_cache_hits() const {
+  int64_t total = 0;
+  for (const PlanOp& op : ops_) total += op.pack_cache.hits;
+  return total;
+}
+
+int64_t InferencePlan::pack_cache_misses() const {
+  int64_t total = 0;
+  for (const PlanOp& op : ops_) total += op.pack_cache.misses;
+  return total;
+}
+
 std::vector<OpCost> InferencePlan::cost_snapshot() const {
   std::vector<OpCost> out;
   out.reserve(ops_.size());
@@ -111,6 +165,8 @@ std::vector<OpCost> InferencePlan::cost_snapshot() const {
     c.kind = op.kind;
     c.dense_macs = op.dense_macs;
     c.ewma_ms = op.ewma_ms;
+    c.group_frac = op.ewma_group_frac;
+    c.measured_units = op.ewma_units;
     c.prune_block = op.prune_block;
     c.prune_spatial = op.prune_spatial;
     out.push_back(std::move(c));
@@ -178,38 +234,63 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
           // Arena memory is uninitialized; pruned positions must stay zero.
           std::memset(out.data(), 0,
                       static_cast<size_t>(out.size()) * sizeof(float));
-          int* all_channels = ws.alloc<int>(g.in_c);
-          std::iota(all_channels, all_channels + g.in_c, 0);
-          int* all_out = ws.alloc<int>(out_c);
-          std::iota(all_out, all_out + out_c, 0);
-          int* all_positions = ws.alloc<int>(pos);
-          std::iota(all_positions, all_positions + pos, 0);
-          const nn::ConvIdentityIndices ids{all_channels, all_out,
-                                            all_positions};
+          const nn::ConvIdentityIndices ids{iota_.data(), iota_.data(),
+                                            iota_.data()};
+          // Bucket the batch by canonical mask key: a drop ratio quantizes
+          // the samples into a handful of distinct kept sets, and every
+          // bucket executes as ONE compacted multi-sample GEMM instead of
+          // per-sample gather/pack/dispatch. Sorting (key, index) keeps
+          // the partition deterministic; equal keys are confirmed with an
+          // exact kept-set comparison, so a hash collision can only split
+          // a bucket, never corrupt one.
+          uint64_t* keys = ws.alloc<uint64_t>(n);
+          int* order = ws.alloc<int>(n);
           for (int b = 0; b < n; ++b) {
-            float* yb = out.data() + static_cast<int64_t>(b) * out_floats;
-            macs += nn::conv_sample_masked(
-                in.data() + static_cast<int64_t>(b) * in_floats, g, wp, out_c,
-                bp, masks[static_cast<size_t>(b)], ids, yb, ws);
-            apply_epilogue(op, yb,
-                           res_base != nullptr
-                               ? res_base + static_cast<int64_t>(b) * out_floats
-                               : nullptr,
-                           out_c, pos);
+            keys[b] = core::mask_key(masks[static_cast<size_t>(b)]);
+            order[b] = b;
           }
+          std::sort(order, order + n, [&](int a, int b) {
+            return keys[a] != keys[b] ? keys[a] < keys[b] : a < b;
+          });
+          int* group_begin = ws.alloc<int>(n + 1);
+          int groups = 0;
+          group_begin[0] = 0;
+          for (int i = 1; i <= n; ++i) {
+            if (i == n || keys[order[i]] != keys[order[i - 1]] ||
+                !core::mask_equal(masks[static_cast<size_t>(order[i])],
+                                  masks[static_cast<size_t>(order[i - 1])])) {
+              group_begin[++groups] = i;
+            }
+          }
+          for (int gi = 0; gi < groups; ++gi) {
+            const int gb = group_begin[gi];
+            const int ge = group_begin[gi + 1];
+            macs += nn::conv_group_masked(
+                in.data(), in_floats, g, wp, out_c, bp,
+                masks[static_cast<size_t>(order[gb])],
+                std::span<const int>(order + gb,
+                                     static_cast<size_t>(ge - gb)),
+                ids, op.pack_cache, out.data(), out_floats, ws);
+          }
+          op.last_groups = groups;
         } else {
-          float* cols = ws.alloc_floats(g.patch_rows() * pos);
-          for (int b = 0; b < n; ++b) {
-            float* yb = out.data() + static_cast<int64_t>(b) * out_floats;
-            macs += nn::conv_sample_dense(
-                in.data() + static_cast<int64_t>(b) * in_floats, g, wp, out_c,
-                bp, cols, yb, ws);
-            apply_epilogue(op, yb,
-                           res_base != nullptr
-                               ? res_base + static_cast<int64_t>(b) * out_floats
-                               : nullptr,
-                           out_c, pos);
-          }
+          macs = nn::conv_batch_dense(in.data(), in_floats, g, wp, out_c, bp,
+                                      n, out.data(), out_floats, ws);
+          op.last_groups = 0;
+        }
+        if (op.fuse_bn || op.fuse_relu || res_base != nullptr) {
+          parallel_for(
+              0, n,
+              [&](int64_t b0, int64_t b1) {
+                for (int64_t b = b0; b < b1; ++b) {
+                  apply_epilogue(op, out.data() + b * out_floats,
+                                 res_base != nullptr
+                                     ? res_base + b * out_floats
+                                     : nullptr,
+                                 out_c, pos);
+                }
+              },
+              /*grain=*/1);
         }
         ws.rewind(scratch);
         op.conv->note_external_execution(macs, !masks.empty());
@@ -264,15 +345,36 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
         break;
       }
     }
-    double ms = step_timer.millis();
+    const double ms = step_timer.millis();
+    // Raw time and its cost units (keep fraction x group fraction) are
+    // smoothed as separate series; the cost model divides the two
+    // averages once at prediction time (see the ewma_ms contract).
+    double units = 1.0;
+    double group_frac = -1.0;  // < 0: this run carried no masks
     if (op.kind == OpKind::kConv && op.last_macs > 0 && op.dense_macs > 0) {
-      // Normalize to dense-equivalent cost (see the ewma_ms contract).
-      const double fraction =
-          static_cast<double>(op.last_macs) /
-          (static_cast<double>(op.dense_macs) * static_cast<double>(n));
-      if (fraction > 1e-3) ms /= fraction;
+      units = static_cast<double>(op.last_macs) /
+              (static_cast<double>(op.dense_macs) * static_cast<double>(n));
+      if (op.last_groups > 0) {
+        group_frac =
+            static_cast<double>(op.last_groups) / static_cast<double>(n);
+        units *= group_frac;
+      }
     }
-    op.ewma_ms = op.ewma_ms == 0.0 ? ms : 0.8 * op.ewma_ms + 0.2 * ms;
+    if (op.ewma_ms == 0.0) {
+      // Seed every series from the first sample — blending group_frac
+      // from its 1.0 prior while units seeds to the measured value would
+      // make the cost model's numerator and denominator disagree for
+      // many batches.
+      op.ewma_ms = ms;
+      op.ewma_units = units;
+      if (group_frac >= 0.0) op.ewma_group_frac = group_frac;
+    } else {
+      op.ewma_ms = 0.8 * op.ewma_ms + 0.2 * ms;
+      op.ewma_units = 0.8 * op.ewma_units + 0.2 * units;
+      if (group_frac >= 0.0) {
+        op.ewma_group_frac = 0.8 * op.ewma_group_frac + 0.2 * group_frac;
+      }
+    }
   }
   return slots_[static_cast<size_t>(output_buffer_)];
 }
@@ -283,10 +385,11 @@ std::string InferencePlan::to_string() const {
      << dense_macs_per_sample() << " dense MACs/sample, "
      << activation_floats_per_sample() << " activation floats/sample, "
      << "arena " << arena_bytes(1) << " B at batch 1\n";
-  char line[160];
-  std::snprintf(line, sizeof(line), "%-3s %-9s %-18s %-16s %-14s %12s %10s\n",
-                "#", "op", "name", "out(shape)", "fused", "MACs/sample",
-                "ewma_ms");
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "%-3s %-9s %-18s %-16s %-14s %12s %10s %6s\n", "#", "op",
+                "name", "out(shape)", "fused", "MACs/sample", "ewma_ms",
+                "groups");
   os << line;
   for (size_t i = 0; i < ops_.size(); ++i) {
     const PlanOp& op = ops_[i];
@@ -303,13 +406,24 @@ std::string InferencePlan::to_string() const {
         fused += "(m" + std::to_string(op.prune_block) + ")";
       }
     }
+    // groups: distinct-mask buckets of the op's last run ("-" = ran dense
+    // or has not run yet).
+    const std::string groups_str =
+        op.last_groups > 0 ? std::to_string(op.last_groups) : "-";
     std::snprintf(line, sizeof(line),
-                  "%-3zu %-9s %-18s %-16s %-14s %12lld %10.4f\n", i,
+                  "%-3zu %-9s %-18s %-16s %-14s %12lld %10.4f %6s\n", i,
                   op_kind_name(op.kind), op.name.c_str(), shape_str.c_str(),
                   fused.c_str(), static_cast<long long>(op.dense_macs),
-                  op.ewma_ms);
+                  op.ewma_ms, groups_str.c_str());
     os << line;
   }
+  std::snprintf(line, sizeof(line),
+                "weight-pack cache: %lld hits / %lld misses; last pass mask "
+                "groups: %d\n",
+                static_cast<long long>(pack_cache_hits()),
+                static_cast<long long>(pack_cache_misses()),
+                last_mask_groups());
+  os << line;
   return os.str();
 }
 

@@ -27,11 +27,18 @@
 //     never grow or heap-allocate mid-pass.
 //   - the per-sample ConvRuntimeMask stream flowing through unchanged:
 //     gate steps run the installed gate modules, which hand keep sets to
-//     their consumer Conv2d; the consumer's fused step picks them up and
-//     runs the shared masked kernels, so dynamic pruning's FLOPs savings
-//     survive fusion.
-//   - per-op dense FLOPs and measured (EWMA-smoothed) step timings, which
-//     the serving LatencyController turns into a latency cost model.
+//     their consumer Conv2d; the consumer's fused step picks them up.
+//   - masked conv steps executed BATCH-GRANULAR and MASK-GROUPED: a drop
+//     ratio quantizes a batch into a small number of distinct kept sets,
+//     so the executor buckets samples by canonical mask key
+//     (core::mask_key) each pass and runs every bucket as ONE compacted
+//     multi-sample GEMM (gathered activations side by side, kept-filter
+//     weight panel packed once per group and cached across passes), with
+//     gather/scatter/epilogue parallelized across samples — instead of
+//     paying per-sample kernel dispatch, im2col and weight gathering.
+//   - per-op dense FLOPs, measured (EWMA-smoothed) step timings and
+//     observed mask-group fractions, which the serving LatencyController
+//     turns into a grouping-aware latency cost model.
 //
 // A plan holds non-owning pointers into the model's modules (weights, BN
 // affine parameters, gates), so it is owned by the model and must be
@@ -45,6 +52,7 @@
 #include <vector>
 
 #include "nn/conv2d.h"
+#include "nn/conv_kernels.h"
 #include "nn/execution_context.h"
 #include "nn/linear.h"
 #include "nn/module.h"
@@ -121,15 +129,30 @@ struct PlanOp {
   int prune_block = -1;
   bool prune_spatial = false;
 
+  // Cross-pass kept-filter weight panel cache for the grouped masked
+  // kernels (sized by InferencePlan::reserve, or lazily on first pack;
+  // 100% hit rate for static filter masks, which repeat every pass).
+  nn::WeightPanelCache pack_cache;
+
   // --- introspection ---
   int64_t dense_macs = 0;  // per sample
   int64_t last_macs = 0;   // whole batch, most recent run
-  // Smoothed measured step time, normalized to the op's DENSE-equivalent
-  // cost: a masked conv's time is divided by the executed-MAC fraction
-  // before entering the average, so the value stays comparable across
-  // pruning levels and the cost model can rescale it by any hypothetical
-  // keep ratio without compounding the current one.
+  // Distinct-mask group count of the most recent run (0 = ran dense).
+  int last_groups = 0;
+  // Smoothed RAW measured step time (per batch). The cost model pairs it
+  // with ewma_units below: predicted time at hypothetical conditions is
+  // ewma_ms * hypothetical_units / ewma_units. Time and units are
+  // smoothed SEPARATELY and divided once at prediction — normalizing each
+  // sample by its own units before averaging would average reciprocals
+  // and systematically inflate the estimate when conditions fluctuate.
   double ewma_ms = 0.0;
+  // Smoothed cost units of the runs behind ewma_ms: executed-MAC fraction
+  // x group fraction for masked runs, 1 for dense runs (the model's
+  // "cost scales with distinct-mask count x compacted size" axis).
+  double ewma_units = 1.0;
+  // Smoothed group fraction (distinct masks / batch) of masked runs; 1
+  // until a masked batch has executed.
+  double ewma_group_frac = 1.0;
 };
 
 // One inter-op activation. Planned buffers live at a fixed per-sample
@@ -150,7 +173,14 @@ struct OpCost {
   std::string name;
   OpKind kind = OpKind::kConv;
   int64_t dense_macs = 0;  // per sample
-  double ewma_ms = 0.0;
+  double ewma_ms = 0.0;    // raw smoothed per-batch step time
+  // Observed mean distinct-mask-group fraction (groups / batch) — grouped
+  // execution's cost scales with distinct-mask count x compacted size,
+  // not batch x dense size.
+  double group_frac = 1.0;
+  // Smoothed cost units behind ewma_ms (keep fraction x group fraction of
+  // the measured runs); predictions rescale by hypothetical units / this.
+  double measured_units = 1.0;
   int prune_block = -1;
   bool prune_spatial = false;
 };
@@ -168,8 +198,11 @@ class InferencePlan {
   // before the first forward ever runs.
   size_t arena_bytes(int n) const;
   // Pre-grows `ws` so a pass of batch size `n` performs zero arena growths
-  // and zero heap allocations, starting with the very first one.
-  void reserve(Workspace& ws, int n) const;
+  // and zero heap allocations, starting with the very first one. Also
+  // sizes every conv step's weight-panel cache for its worst kept set —
+  // callers that skip the reserve (ad-hoc evaluation) instead grow the
+  // caches lazily on first use and converge, like the arena itself.
+  void reserve(Workspace& ws, int n);
 
   const std::vector<PlanOp>& ops() const { return ops_; }
   const std::vector<PlanBuffer>& buffers() const { return buffers_; }
@@ -179,6 +212,15 @@ class InferencePlan {
   // their actual, reduced counts).
   int64_t last_macs() const;
   int64_t dense_macs_per_sample() const;
+
+  // Distinct-mask group count of the most recent run: the max over masked
+  // conv steps of how many compacted GEMM groups the batch quantized
+  // into (0 when the last run executed fully dense).
+  int last_mask_groups() const;
+  // Cumulative kept-filter weight-panel cache hits/misses over all conv
+  // steps (static filter masks hit 100% after their first pack).
+  int64_t pack_cache_hits() const;
+  int64_t pack_cache_misses() const;
 
   // Thread-unsafe snapshot for the owner thread; the scheduler converts it
   // into a LatencyController cost model.
@@ -196,16 +238,20 @@ class InferencePlan {
   int output_buffer_ = -1;
   int64_t act_floats_ = 0;  // per-sample high water of planned offsets
 
-  // Per-op worst-case kernel scratch (batch-independent: kernels loop
-  // samples) and the per-sample float count of every gate output allocated
-  // before the op runs, in op order — together they reproduce the pass's
-  // allocation sequence for arena_bytes().
-  std::vector<size_t> op_scratch_bytes_;
+  // Per-sample float count of every gate output allocated before each op
+  // runs, in op order — with the per-op kernel scratch formulas (exact in
+  // the batch size; see conv_step_scratch_bytes in plan.cc) this
+  // reproduces the pass's allocation sequence for arena_bytes().
   std::vector<int64_t> gate_floats_before_op_;
   int64_t gate_floats_total_ = 0;
 
   // Reused across runs (sized at compile time, no per-pass allocation).
   std::vector<Tensor> slots_;
+  // Shared ascending identity indices, sized at the plan's max dimension;
+  // spans over a prefix stand in for any empty (= keep all) mask
+  // component, replacing the per-pass iota rebuilds the executor used to
+  // pay inside every masked conv op.
+  std::vector<int> iota_;
 };
 
 }  // namespace antidote::plan

@@ -21,6 +21,8 @@ LatencyController::CostModel cost_model_from_plan(
   for (const plan::OpCost& c : plan.cost_snapshot()) {
     LatencyController::CostModel::Op op;
     op.ms = c.ewma_ms;
+    op.group_frac = c.group_frac;
+    op.measured_units = c.measured_units;
     op.prune_block = c.prune_block;
     op.spatial = c.prune_spatial;
     model.ops.push_back(op);
@@ -197,6 +199,14 @@ void BatchScheduler::run_batch(ModelReplica& replica,
   stats_->record_batch(n, queue_wait_sum_ms / n, assemble_ms, forward_ms,
                        scatter_ms);
   if (misses > 0) stats_->record_deadline_miss(misses);
+  if (const plan::InferencePlan* plan = replica.plan()) {
+    // Distinct-mask group count of the pass (how many compacted GEMM
+    // problems the dynamic masks quantized into) — the grouping win the
+    // batch actually realized.
+    if (const int groups = plan->last_mask_groups(); groups > 0) {
+      stats_->record_mask_groups(groups, n);
+    }
+  }
 
   if (controller_ != nullptr) {
     // Periodically refresh the controller's latency model with the plan's

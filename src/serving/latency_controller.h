@@ -62,11 +62,23 @@ class LatencyController {
   // Per-op latency cost model distilled from an InferencePlan's measured
   // timings. Ops with prune_block >= 0 have their cost scaled by the keep
   // ratios that block's drop settings imply; the rest are fixed cost.
+  // Under mask-grouped execution a masked conv's realized cost scales
+  // with distinct-mask count x compacted size — not batch x dense size —
+  // so each prunable op also carries the plan's observed group fraction
+  // (distinct masks / batch, ewma) and the cost units its measured time
+  // was observed at. Prediction rescales the raw measured time by
+  // hypothetical units / measured units — a single division of two
+  // smoothed series, so fluctuating group counts cannot inflate the
+  // estimate the way per-sample normalization (averaged reciprocals)
+  // would.
   struct CostModel {
     struct Op {
-      double ms = 0.0;
+      double ms = 0.0;          // raw smoothed per-batch time
+      double group_frac = 1.0;  // observed distinct-mask fraction
       int prune_block = -1;
       bool spatial = false;  // spatial drops also scale this op
+      // keep x group units behind `ms` (1 = measured dense/ungrouped).
+      double measured_units = 1.0;
     };
     std::vector<Op> ops;
     bool empty() const { return ops.empty(); }

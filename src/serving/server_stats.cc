@@ -44,6 +44,16 @@ void ServerStats::record_queue_depth(size_t depth) {
   queue_depth_samples_ += 1;
 }
 
+void ServerStats::record_mask_groups(int groups, int batch_size) {
+  AD_CHECK(groups >= 1 && groups <= batch_size)
+      << " mask groups " << groups << " vs batch " << batch_size;
+  std::lock_guard<std::mutex> lock(mutex_);
+  masked_batches_ += 1;
+  mask_group_sum_ += static_cast<double>(groups);
+  group_fraction_sum_ +=
+      static_cast<double>(groups) / static_cast<double>(batch_size);
+}
+
 ServerStats::Snapshot ServerStats::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Snapshot s;
@@ -67,6 +77,11 @@ ServerStats::Snapshot ServerStats::snapshot() const {
   if (queue_depth_samples_ > 0) {
     s.mean_queue_depth = queue_depth_sum_ / queue_depth_samples_;
   }
+  s.masked_batches = masked_batches_;
+  if (masked_batches_ > 0) {
+    s.mean_mask_groups = mask_group_sum_ / masked_batches_;
+    s.mean_group_fraction = group_fraction_sum_ / masked_batches_;
+  }
   s.batch_size_histogram = histogram_;
   return s;
 }
@@ -79,6 +94,8 @@ void ServerStats::reset() {
   queue_depth_samples_ = 0;
   queue_wait_ms_sum_ = assemble_ms_sum_ = forward_ms_sum_ =
       scatter_ms_sum_ = 0.0;
+  masked_batches_ = 0;
+  mask_group_sum_ = group_fraction_sum_ = 0.0;
   histogram_.assign(histogram_.size(), 0);
 }
 
@@ -96,6 +113,12 @@ Table ServerStats::to_table() const {
   t.add_row({"mean scatter (ms)", Table::fmt(s.mean_scatter_ms, 3)});
   t.add_row({"deadline misses", std::to_string(s.deadline_misses)});
   t.add_row({"rejected", std::to_string(s.rejected)});
+  if (s.masked_batches > 0) {
+    t.add_row({"masked batches", std::to_string(s.masked_batches)});
+    t.add_row({"mean mask groups / batch", Table::fmt(s.mean_mask_groups, 2)});
+    t.add_row(
+        {"mean mask group fraction", Table::fmt(s.mean_group_fraction, 3)});
+  }
   for (size_t i = 0; i < s.batch_size_histogram.size(); ++i) {
     if (s.batch_size_histogram[i] == 0) continue;
     t.add_row({"batches of size " + std::to_string(i + 1),

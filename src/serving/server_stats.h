@@ -28,6 +28,11 @@ class ServerStats {
   void record_rejected(int count);
   // Sampled queue depth (recorded by workers when they pick up work).
   void record_queue_depth(size_t depth);
+  // One masked batch's distinct-mask group count (the plan's
+  // last_mask_groups): how many compacted GEMM problems the batch's
+  // per-sample masks quantized into. Workers skip the call for batches
+  // that ran fully dense.
+  void record_mask_groups(int groups, int batch_size);
 
   struct Snapshot {
     uint64_t completed_requests = 0;
@@ -42,6 +47,13 @@ class ServerStats {
     double mean_assemble_ms = 0.0;
     double mean_forward_ms = 0.0;
     double mean_scatter_ms = 0.0;
+    // Mask-grouped execution: over masked batches, the mean distinct-mask
+    // group count and the mean group fraction (groups / batch size) — 1.0
+    // means every sample drew a unique mask (no grouping win), values
+    // near 1/batch mean the whole batch collapsed into one GEMM.
+    uint64_t masked_batches = 0;
+    double mean_mask_groups = 0.0;
+    double mean_group_fraction = 0.0;
     // histogram[i] = number of batches of size i+1.
     std::vector<uint64_t> batch_size_histogram;
   };
@@ -68,6 +80,9 @@ class ServerStats {
   double assemble_ms_sum_ = 0.0;
   double forward_ms_sum_ = 0.0;
   double scatter_ms_sum_ = 0.0;
+  uint64_t masked_batches_ = 0;
+  double mask_group_sum_ = 0.0;
+  double group_fraction_sum_ = 0.0;
   std::vector<uint64_t> histogram_;
 };
 

@@ -143,9 +143,12 @@ size_t gemm_nn_scratch_bytes(int m, int n, int k) {
   const size_t np = static_cast<size_t>((n + kNR - 1) / kNR);
   const size_t mp = static_cast<size_t>((m + kMR - 1) / kMR);
   // Two raw_alloc calls (bpack, apack), each rounded up to the arena
-  // granularity.
-  return Workspace::align_up(np * kKC * kNR * sizeof(float)) +
-         Workspace::align_up(mp * kKC * kMR * sizeof(float));
+  // granularity. Panels are sized by the real slab depth, not the kKC
+  // ceiling, so small-K problems (grouped masked convs with few kept
+  // channels, wide-N compacted batches) don't reserve unused slab room.
+  const size_t kc = static_cast<size_t>(std::min(kKC, k));
+  return Workspace::align_up(np * kc * kNR * sizeof(float)) +
+         Workspace::align_up(mp * kc * kMR * sizeof(float));
 }
 
 void gemm_nn(int m, int n, int k, float alpha, const float* a, const float* b,
@@ -159,10 +162,11 @@ void gemm_nn(int m, int n, int k, float alpha, const float* a, const float* b,
 
   const int np = (n + kNR - 1) / kNR;
   const int mp = (m + kMR - 1) / kMR;
-  float* bpack = w.alloc_floats(static_cast<int64_t>(np) * kKC * kNR);
+  const int kc_cap = std::min(kKC, k);  // real slab depth (see scratch fn)
+  float* bpack = w.alloc_floats(static_cast<int64_t>(np) * kc_cap * kNR);
   // Every row panel gets its own packing slice so worker threads never
   // allocate or contend; slices are reused across K slabs.
-  float* apack = w.alloc_floats(static_cast<int64_t>(mp) * kKC * kMR);
+  float* apack = w.alloc_floats(static_cast<int64_t>(mp) * kc_cap * kMR);
 
   if (beta != 1.f) {
     parallel_for(
@@ -180,7 +184,7 @@ void gemm_nn(int m, int n, int k, float alpha, const float* a, const float* b,
           for (int64_t ip = ip0; ip < ip1; ++ip) {
             const int i0 = static_cast<int>(ip) * kMR;
             const int mw = std::min(kMR, m - i0);
-            float* ap = apack + ip * kKC * kMR;
+            float* ap = apack + ip * kc_cap * kMR;
             pack_a_panel(a, k, alpha, i0, mw, p0, kc, ap);
             for (int jp = 0; jp < np; ++jp) {
               const int j0 = jp * kNR;

@@ -17,10 +17,16 @@ void ConvGeom::validate() const {
 }
 
 void im2col(const float* input, const ConvGeom& g, float* cols) {
+  im2col_range(input, g, 0, g.in_c, cols);
+}
+
+void im2col_range(const float* input, const ConvGeom& g, int c0, int c1,
+                  float* cols) {
+  AD_CHECK(0 <= c0 && c0 <= c1 && c1 <= g.in_c) << " im2col channel range";
   const int oh = g.out_h(), ow = g.out_w();
   const int64_t n_cols = static_cast<int64_t>(oh) * ow;
-  int64_t row = 0;
-  for (int c = 0; c < g.in_c; ++c) {
+  int64_t row = static_cast<int64_t>(c0) * g.k_h * g.k_w;
+  for (int c = c0; c < c1; ++c) {
     const float* plane = input + static_cast<int64_t>(c) * g.in_h * g.in_w;
     for (int kh = 0; kh < g.k_h; ++kh) {
       for (int kw = 0; kw < g.k_w; ++kw, ++row) {
@@ -46,15 +52,23 @@ void im2col(const float* input, const ConvGeom& g, float* cols) {
 void im2col_gather(const float* input, const ConvGeom& g,
                    std::span<const int> channels, std::span<const int> spatial,
                    float* cols) {
+  im2col_gather_ld(input, g, channels, spatial, cols,
+                   static_cast<int64_t>(spatial.size()));
+}
+
+void im2col_gather_ld(const float* input, const ConvGeom& g,
+                      std::span<const int> channels,
+                      std::span<const int> spatial, float* cols, int64_t ld) {
   const int ow = g.out_w();
   const int64_t n_cols = static_cast<int64_t>(spatial.size());
+  AD_CHECK_GE(ld, n_cols);
   int64_t row = 0;
   for (int c : channels) {
     AD_CHECK(c >= 0 && c < g.in_c) << " gathered channel " << c;
     const float* plane = input + static_cast<int64_t>(c) * g.in_h * g.in_w;
     for (int kh = 0; kh < g.k_h; ++kh) {
       for (int kw = 0; kw < g.k_w; ++kw, ++row) {
-        float* out_row = cols + row * n_cols;
+        float* out_row = cols + row * ld;
         for (int64_t j = 0; j < n_cols; ++j) {
           const int s = spatial[static_cast<size_t>(j)];
           const int y = s / ow;

@@ -37,6 +37,14 @@ struct ConvGeom {
 // Dense lowering: input [C,H,W] -> cols [C*kh*kw, out_h*out_w].
 void im2col(const float* input, const ConvGeom& g, float* cols);
 
+// Channel-range slice of the dense lowering: fills only the rows of
+// channels [c0, c1) at their natural offsets inside the full `cols`
+// matrix. Disjoint ranges write disjoint rows, so a caller can
+// parallelize one sample's lowering across channel chunks without
+// widening the scratch footprint.
+void im2col_range(const float* input, const ConvGeom& g, int c0, int c1,
+                  float* cols);
+
 // Gathered lowering for masked convolution.
 //  - `channels`: kept input-channel indices (strictly increasing).
 //  - `spatial`:  kept output positions as flattened oh*out_w+ow indices
@@ -45,6 +53,16 @@ void im2col(const float* input, const ConvGeom& g, float* cols);
 void im2col_gather(const float* input, const ConvGeom& g,
                    std::span<const int> channels, std::span<const int> spatial,
                    float* cols);
+
+// Strided variant for mask-grouped batched execution: writes the sample's
+// spatial.size() columns into a wider [rows x ld] matrix starting at
+// `cols` (the caller offsets `cols` to the sample's column slot), so a
+// whole group's gathered patches form one contiguous GEMM operand with
+// each member occupying a column slice. ld == spatial.size() reproduces
+// im2col_gather exactly.
+void im2col_gather_ld(const float* input, const ConvGeom& g,
+                      std::span<const int> channels,
+                      std::span<const int> spatial, float* cols, int64_t ld);
 
 // Scatter-add transpose of im2col: cols [C*kh*kw, out_h*out_w] accumulated
 // into input_grad [C,H,W] (caller zero-initializes input_grad).

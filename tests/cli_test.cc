@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <sstream>
+#include <string>
 
 #include "base/error.h"
 #include "base/flags.h"
@@ -140,6 +142,49 @@ TEST(Cli, PlanDumpRuns) {
             0);
   EXPECT_EQ(cli::run_cli({"plan-dump", "--help"}), 0);
   EXPECT_EQ(cli::run_cli({"plan-dump", "--model=unknown_model"}), 1);
+}
+
+TEST(Cli, PlanDumpPrintsOpTableForAllModels) {
+  // Exit code, the op-table header, per-op FLOPs lines and the arena
+  // footprint, for each of the three model families.
+  struct DumpCase {
+    const char* model;
+    const char* image_flag;
+  };
+  const DumpCase cases[] = {
+      {"small_cnn", "--image-size=16"},
+      {"resnet20", "--image-size=16"},
+      {"vgg16", "--image-size=32"},
+  };
+  for (const DumpCase& c : cases) {
+    ::testing::internal::CaptureStdout();
+    ASSERT_EQ(cli::run_cli({"plan-dump", std::string("--model=") + c.model,
+                            c.image_flag, "--width=0.25"}),
+              0)
+        << c.model;
+    const std::string out = ::testing::internal::GetCapturedStdout();
+    // Op-table header columns.
+    EXPECT_NE(out.find("op"), std::string::npos) << c.model;
+    EXPECT_NE(out.find("MACs/sample"), std::string::npos) << c.model;
+    EXPECT_NE(out.find("ewma_ms"), std::string::npos) << c.model;
+    EXPECT_NE(out.find("groups"), std::string::npos) << c.model;
+    // Per-op rows: at least one fused conv line with a positive FLOPs
+    // figure, plus the classifier head and the arena footprint.
+    size_t conv_lines = 0;
+    std::istringstream lines(out);
+    for (std::string line; std::getline(lines, line);) {
+      if (line.find(" conv ") == std::string::npos) continue;
+      ++conv_lines;
+      EXPECT_NE(line.find("+bn"), std::string::npos) << c.model << ": " << line;
+      // The MACs column holds a non-zero integer on every conv row.
+      EXPECT_NE(line.find_first_of("123456789"), std::string::npos)
+          << c.model << ": " << line;
+    }
+    EXPECT_GT(conv_lines, 1u) << c.model;
+    EXPECT_NE(out.find("linear"), std::string::npos) << c.model;
+    EXPECT_NE(out.find("arena bytes"), std::string::npos) << c.model;
+    EXPECT_NE(out.find("weight-pack cache"), std::string::npos) << c.model;
+  }
 }
 
 TEST(Cli, BadRatioCountFails) {

@@ -150,6 +150,118 @@ TEST(InferencePlan, ExactArenaSizingZeroGrowthsFromTheFirstForward) {
   }
 }
 
+// Stacks `distinct` unique images cyclically into a `batch`-sample input,
+// so every gate computes identical attention — and therefore identical
+// masks — for duplicated samples and the executor's mask-grouping has
+// at most `distinct` buckets to form.
+Tensor duplicated_batch(int batch, int distinct, int image, Rng& rng) {
+  Tensor uniq = Tensor::randn({distinct, 3, image, image}, rng);
+  Tensor x({batch, 3, image, image});
+  const int64_t sample = uniq.size() / distinct;
+  for (int i = 0; i < batch; ++i) {
+    std::memcpy(x.data() + i * sample, uniq.data() + (i % distinct) * sample,
+                static_cast<size_t>(sample) * sizeof(float));
+  }
+  return x;
+}
+
+TEST(InferencePlan, MaskGroupedExecutionMatchesModuleWalk) {
+  // Batch 8 quantized into <= 4 distinct kept sets: the executor buckets
+  // the samples and runs compacted multi-sample GEMMs, and the result
+  // must still match the per-sample module walk (same masks, same MACs).
+  const int batch = 8, distinct = 4;
+  for (const Case& c : kCases) {
+    auto net = build(c);
+    core::DynamicPruningEngine engine(
+        *net, core::PruneSettings::uniform(net->num_blocks(), 0.4f, 0.3f));
+    Rng rng(23);
+    Tensor x = duplicated_batch(batch, distinct, c.image, rng);
+
+    const Tensor plain = net->forward(x);
+    const int64_t module_macs = net->last_macs();
+
+    nn::ExecutionContext ctx;
+    ctx.begin_pass();
+    const Tensor fused = net->forward(x, ctx);
+    EXPECT_LE(max_abs_diff(plain, fused), 1e-5) << c.model;
+    EXPECT_EQ(net->last_macs(), module_macs) << c.model;
+
+    const plan::InferencePlan* plan = net->current_plan();
+    ASSERT_NE(plan, nullptr) << c.model;
+    // Duplicated inputs produce duplicated masks: the batch collapsed
+    // into at most `distinct` compacted groups.
+    EXPECT_GE(plan->last_mask_groups(), 1) << c.model;
+    EXPECT_LE(plan->last_mask_groups(), distinct) << c.model;
+    engine.remove();
+  }
+}
+
+TEST(InferencePlan, GroupedArenaStaysExactWithZeroGrowthsFromFirstForward) {
+  // arena_bytes(n) must stay exact under grouping: reserve ahead of time,
+  // then run grouped masked batches (including the all-distinct worst
+  // case) with zero arena growths starting from the very first pass.
+  for (const Case& c : kCases) {
+    auto net = build(c);
+    core::DynamicPruningEngine engine(
+        *net, core::PruneSettings::uniform(net->num_blocks(), 0.4f, 0.3f));
+    const int batch = 6;
+    plan::InferencePlan& plan = net->inference_plan(3, c.image, c.image);
+    nn::ExecutionContext ctx;
+    plan.reserve(ctx.workspace(), batch);
+    const int64_t grows = ctx.workspace().grow_count();
+
+    Rng rng(29);
+    // Pass 1: 3 distinct masks over 6 samples. Pass 2: all distinct.
+    for (const int distinct : {3, batch}) {
+      Tensor x = duplicated_batch(batch, distinct, c.image, rng);
+      ctx.begin_pass();
+      Tensor staged = ctx.alloc(x.shape());
+      std::memcpy(staged.data(), x.data(),
+                  static_cast<size_t>(x.size()) * sizeof(float));
+      net->forward(staged, ctx);
+      EXPECT_EQ(ctx.workspace().grow_count(), grows)
+          << c.model << " distinct=" << distinct;
+      EXPECT_LE(net->current_plan()->last_mask_groups(), distinct) << c.model;
+    }
+    engine.remove();
+  }
+}
+
+TEST(InferencePlan, WeightPackCacheHitsOnRepeatedAndStaticMasks) {
+  // Static filter masks repeat every pass, so after the first pack the
+  // kept-filter weight panel must come from the cross-pass cache (100%
+  // hit rate), and repeated identical dynamic masks hit it too.
+  const Case c{"small_cnn", 16, 1.0f};
+  auto net = build(c);
+  Rng rng(31);
+  Tensor x = Tensor::randn({2, 3, c.image, c.image}, rng);
+  auto masks = [] {
+    nn::ConvRuntimeMask m;
+    m.out_channels = {0, 2, 5};
+    return std::vector<nn::ConvRuntimeMask>(2, m);
+  };
+  auto* consumer = dynamic_cast<models::SmallCnn*>(net.get());
+  ASSERT_NE(consumer, nullptr);
+
+  nn::ExecutionContext ctx;
+  consumer->conv(1)->set_runtime_masks(masks());
+  ctx.begin_pass();
+  const Tensor first = net->forward(x, ctx).clone();
+  plan::InferencePlan* plan = net->current_plan();
+  ASSERT_NE(plan, nullptr);
+  const int64_t misses_after_first = plan->pack_cache_misses();
+  EXPECT_GE(misses_after_first, 1);  // the first pass packed the panel
+  EXPECT_EQ(plan->pack_cache_hits(), 0);
+
+  consumer->conv(1)->set_runtime_masks(masks());
+  ctx.begin_pass();
+  const Tensor second = net->forward(x, ctx).clone();
+  EXPECT_TRUE(bitwise_equal(first, second));
+  // Same kept set again: served from the cache, no repack.
+  EXPECT_EQ(plan->pack_cache_misses(), misses_after_first);
+  EXPECT_GE(plan->pack_cache_hits(), 1);
+}
+
 TEST(InferencePlan, StaticFilterMasksFlowThroughFusedSteps) {
   // The static-pruning path installs ConvRuntimeMasks directly (no gate);
   // the plan's fused conv steps must consume them like Conv2d::forward.

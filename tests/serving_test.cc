@@ -254,8 +254,8 @@ TEST(LatencyController, CostModelInversionConvergesInOneWindow) {
   LatencyController lc(core::PruneSettings::uniform(1, 0.1f, 0.f), cfg);
 
   LatencyController::CostModel model;
-  model.ops.push_back({4.0, -1, false});
-  model.ops.push_back({16.0, 0, false});
+  model.ops.push_back({4.0, 1.0, -1, false});
+  model.ops.push_back({16.0, 1.0, 0, false});
   lc.set_cost_model(std::move(model));
   ASSERT_TRUE(lc.has_cost_model());
   EXPECT_NEAR(lc.predict_ms(0.f), 4.0 + 16.0 * 0.9, 1e-6);
@@ -277,14 +277,30 @@ TEST(LatencyController, CostModelInversionConvergesInOneWindow) {
   EXPECT_NEAR(lc.p95_ms(), cfg.target_p95_ms, 0.2);
 }
 
+TEST(LatencyController, CostModelScalesWithMaskGroupFraction) {
+  // Mask-grouped execution: a masked op's predicted cost scales with
+  // distinct-mask count x compacted size. The same op observed collapsing
+  // a batch into a quarter of the masks predicts 4x cheaper, and the keep
+  // ratio still multiplies on top.
+  LatencyController::Config cfg;
+  cfg.target_p95_ms = 10.0;
+  LatencyController lc(core::PruneSettings::uniform(1, 0.f, 0.f), cfg);
+  LatencyController::CostModel model;
+  model.ops.push_back({8.0, 1.0, -1, false});
+  model.ops.push_back({16.0, 0.25, 0, false});
+  lc.set_cost_model(std::move(model));
+  EXPECT_NEAR(lc.predict_ms(0.f), 8.0 + 16.0 * 0.25, 1e-6);
+  EXPECT_NEAR(lc.predict_ms(0.5f), 8.0 + 16.0 * 0.5 * 0.25, 1e-6);
+}
+
 TEST(LatencyController, CostModelUnreachableBudgetSaturates) {
   LatencyController::Config cfg;
   cfg.target_p95_ms = 1.0;  // below the 4 ms fixed floor
   cfg.window = 1;
   LatencyController lc(core::PruneSettings::uniform(1, 0.f, 0.f), cfg);
   LatencyController::CostModel model;
-  model.ops.push_back({4.0, -1, false});
-  model.ops.push_back({16.0, 0, true});
+  model.ops.push_back({4.0, 1.0, -1, false});
+  model.ops.push_back({16.0, 1.0, 0, true});
   lc.set_cost_model(std::move(model));
   lc.record_batch(20.0, kKeep, 1);
   EXPECT_FLOAT_EQ(lc.offset(), cfg.max_offset);
