@@ -25,13 +25,16 @@
 #include <cstring>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "base/parallel.h"
 #include "base/rng.h"
 #include "base/timer.h"
 #include "bench_main.h"
 #include "core/engine.h"
 #include "models/factory.h"
+#include "nn/conv_kernels.h"
 #include "nn/execution_context.h"
 #include "plan/plan.h"
 
@@ -532,10 +535,39 @@ bool run_plan_verification(const char* json_path) {
   std::vector<GroupedReport> grouped;
   grouped.push_back(verify_grouped("vgg16", /*distinct=*/2));
   grouped.push_back(verify_grouped("vgg16", /*distinct=*/4));
+  grouped.push_back(verify_grouped("vgg16", /*distinct=*/8));  // all-distinct
   grouped.push_back(verify_grouped("resnet56", /*distinct=*/4));
   bool ok = true;
   for (const PlanReport& r : reports) ok &= r.pass;
   for (const GroupedReport& r : grouped) ok &= r.pass;
+
+  // Cross-group parallelism gate: with a real pool, the batch-8
+  // all-distinct case (8 singleton groups, the former serialize-per-
+  // sample worst case) must be no slower than the 4-group case by more
+  // than 1.15x — concurrent groups, not serial dispatch. Skipped below 4
+  // compute threads (groups necessarily serialize) and on oversubscribed
+  // pools (more threads than cores: concurrency without parallelism only
+  // adds dispatch work, which is not what the gate measures).
+  const int threads = 1 + antidote::global_pool().size();
+  const int cores = static_cast<int>(std::thread::hardware_concurrency());
+  double ms4 = 0.0, ms8 = 0.0;
+  for (const GroupedReport& r : grouped) {
+    if (r.model != "vgg16") continue;
+    if (r.distinct == 4) ms4 = r.grouped_ms;
+    if (r.distinct == 8) ms8 = r.grouped_ms;
+  }
+  const double ratio = ms4 > 0.0 ? ms8 / ms4 : 0.0;
+  const bool gate_active =
+      threads >= 4 && cores >= threads && ms4 > 0.0 && ms8 > 0.0;
+  const bool all_distinct_ok = !gate_active || ratio <= 1.15;
+  ok &= all_distinct_ok;
+  std::printf(
+      "all-distinct gate: %d threads, simd %d-lane (%s), 8-group %.3f ms "
+      "vs 4-group %.3f ms (ratio %.3f, budget 1.15) -> %s\n",
+      threads, antidote::nn::simd_lane_width(),
+      antidote::nn::simd_isa_name(), ms8, ms4, ratio,
+      !gate_active ? "SKIPPED (<4 threads or oversubscribed)"
+                   : (all_distinct_ok ? "PASSED" : "FAILED"));
 
   // Written to a temp file and published atomically: the tracked
   // BENCH_plan.json must never be observable empty or half-written.
@@ -573,7 +605,15 @@ bool run_plan_verification(const char* json_path) {
           static_cast<long long>(r.pack_misses), r.pass ? "true" : "false",
           i + 1 < grouped.size() ? "," : "");
     }
-    std::fprintf(f, "  ],\n  \"gate\": \"%s\"\n}\n",
+    std::fprintf(
+        f,
+        "  ],\n  \"all_distinct\": {\"threads\": %d, \"simd_lanes\": %d, "
+        "\"isa\": \"%s\", \"grouped8_ms\": %.4f, \"grouped4_ms\": %.4f, "
+        "\"ratio\": %.3f, \"budget\": 1.15, \"gated\": %s, \"pass\": %s},\n",
+        threads, antidote::nn::simd_lane_width(),
+        antidote::nn::simd_isa_name(), ms8, ms4, ratio,
+        gate_active ? "true" : "false", all_distinct_ok ? "true" : "false");
+    std::fprintf(f, "  \"gate\": \"%s\"\n}\n",
                  ok ? "PASSED" : "FAILED");
     std::fclose(f);
   }

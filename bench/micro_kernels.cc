@@ -14,6 +14,7 @@
 #include "bench_main.h"
 #include "core/gate.h"
 #include "nn/conv2d.h"
+#include "nn/conv_kernels.h"
 #include "nn/execution_context.h"
 #include "nn/init.h"
 #include "tensor/gemm.h"
@@ -165,6 +166,111 @@ void BM_GateForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GateForward)->Arg(64)->Arg(128);
+
+// --- SIMD vs scalar: the non-GEMM hot-path primitives ----------------------
+//
+// Each pair benches the vectorized kernel against its genuinely-scalar
+// reference (autovectorization suppressed) on identical data, so the
+// recorded ratio is the lane-width win of the epilogue / gather / scatter
+// stages. The two legs are bitwise identical (asserted by
+// simd_parity_test); BENCH_kernels.json tracks the ratio across PRs.
+
+constexpr int kEpilogueC = 128;
+constexpr int64_t kEpiloguePos = 1024;  // 16x16-ish fused conv output
+
+// Full BN + residual + ReLU epilogue, applied in place per iteration (the
+// serving shape: cache-hot GEMM output).
+template <bool kSimd>
+void epilogue_bench(benchmark::State& state) {
+  Rng rng(51);
+  Tensor y = Tensor::randn({kEpilogueC, static_cast<int>(kEpiloguePos)}, rng);
+  Tensor res = Tensor::randn({kEpilogueC, static_cast<int>(kEpiloguePos)}, rng);
+  Tensor mean = Tensor::randn({kEpilogueC}, rng);
+  Tensor gamma = Tensor::randn({kEpilogueC}, rng);
+  Tensor beta = Tensor::randn({kEpilogueC}, rng);
+  std::vector<float> inv_std(kEpilogueC, 1.01f);
+  nn::FusedEpilogueParams p;
+  p.bn = true;
+  p.relu = true;
+  p.mean = mean.data();
+  p.inv_std = inv_std.data();
+  p.gamma = gamma.data();
+  p.beta = beta.data();
+  for (auto _ : state) {
+    if (kSimd) {
+      nn::fused_epilogue(y.data(), res.data(), kEpilogueC, kEpiloguePos, p);
+    } else {
+      nn::fused_epilogue_scalar(y.data(), res.data(), kEpilogueC,
+                                kEpiloguePos, p);
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kEpilogueC * kEpiloguePos);
+}
+void BM_EpilogueSimd(benchmark::State& state) { epilogue_bench<true>(state); }
+void BM_EpilogueScalar(benchmark::State& state) {
+  epilogue_bench<false>(state);
+}
+BENCHMARK(BM_EpilogueSimd);
+BENCHMARK(BM_EpilogueScalar);
+
+// Kept-position gather (the spatial-mask lowering): 64 channel planes,
+// half the 32x32 positions kept.
+template <bool kSimd>
+void gather_bench(benchmark::State& state) {
+  Rng rng(52);
+  const int planes = 64, hw = 32 * 32, kept = hw / 2;
+  Tensor x = Tensor::randn({planes, 32, 32}, rng);
+  std::vector<int> idx(static_cast<size_t>(kept));
+  for (int j = 0; j < kept; ++j) idx[static_cast<size_t>(j)] = 2 * j;
+  std::vector<float> out(static_cast<size_t>(planes) * kept);
+  for (auto _ : state) {
+    for (int c = 0; c < planes; ++c) {
+      const float* plane = x.data() + static_cast<int64_t>(c) * hw;
+      float* dst = out.data() + static_cast<int64_t>(c) * kept;
+      if (kSimd) {
+        nn::gather_positions(plane, idx.data(), kept, dst);
+      } else {
+        nn::gather_positions_scalar(plane, idx.data(), kept, dst);
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * planes * kept);
+}
+void BM_GatherSimd(benchmark::State& state) { gather_bench<true>(state); }
+void BM_GatherScalar(benchmark::State& state) { gather_bench<false>(state); }
+BENCHMARK(BM_GatherSimd);
+BENCHMARK(BM_GatherScalar);
+
+// Compacted-group output scatter (copy + fused bias) over 64 filter rows.
+template <bool kSimd>
+void scatter_bench(benchmark::State& state) {
+  Rng rng(53);
+  const int rows = 64;
+  const int64_t pos = 1024;
+  Tensor src = Tensor::randn({rows, static_cast<int>(pos)}, rng);
+  std::vector<float> dst(static_cast<size_t>(rows) * pos);
+  for (auto _ : state) {
+    for (int r = 0; r < rows; ++r) {
+      const float* s = src.data() + static_cast<int64_t>(r) * pos;
+      float* d = dst.data() + static_cast<int64_t>(r) * pos;
+      if (kSimd) {
+        nn::scatter_bias_row(s, d, pos, 0.31f);
+      } else {
+        nn::scatter_bias_row_scalar(s, d, pos, 0.31f);
+      }
+    }
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * pos);
+}
+void BM_ScatterSimd(benchmark::State& state) { scatter_bench<true>(state); }
+void BM_ScatterScalar(benchmark::State& state) {
+  scatter_bench<false>(state);
+}
+BENCHMARK(BM_ScatterSimd);
+BENCHMARK(BM_ScatterScalar);
 
 // Dense conv through the allocation-free ExecutionContext hot path —
 // compare with BM_ConvDense to see the workspace/arena saving at layer

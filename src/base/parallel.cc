@@ -6,6 +6,19 @@
 
 namespace antidote {
 
+namespace {
+// Depth of parallel_for chunks executing on this thread; > 0 means a
+// nested parallel_for must run inline (see in_parallel_region()).
+thread_local int tl_parallel_depth = 0;
+
+struct ScopedParallelRegion {
+  ScopedParallelRegion() { ++tl_parallel_depth; }
+  ~ScopedParallelRegion() { --tl_parallel_depth; }
+};
+}  // namespace
+
+bool in_parallel_region() { return tl_parallel_depth > 0; }
+
 ThreadPool::ThreadPool(int num_threads) {
   workers_.reserve(static_cast<size_t>(std::max(0, num_threads)));
   // Enough slots for several concurrent dispatches before any growth.
@@ -56,6 +69,7 @@ void ThreadPool::worker_loop() {
       pop_locked(task);
     }
     try {
+      ScopedParallelRegion region;
       task.fn(task.begin, task.end);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -97,6 +111,10 @@ void ThreadPool::parallel_for_chunks(int64_t begin, int64_t end,
   // over a destroyed closure.
   std::exception_ptr inline_error;
   try {
+    // The caller's own chunk counts as a parallel region too: nested
+    // loops it issues would otherwise queue behind the sibling chunks
+    // the pool is already busy with.
+    ScopedParallelRegion region;
     fn(begin, std::min(end, begin + chunk));
   } catch (...) {
     inline_error = std::current_exception();

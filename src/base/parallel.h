@@ -99,14 +99,27 @@ class ThreadPool {
 // Global pool; see the header comment for sizing (ANTIDOTE_THREADS).
 ThreadPool& global_pool();
 
+// True while the calling thread is executing a parallel_for chunk (either
+// as a pool worker or as the dispatching caller running its inline
+// chunk). parallel_for consults this as its nested-dispatch guard: an
+// inner parallel_for issued from inside a chunk runs inline on the
+// caller's thread instead of re-entering the pool. That is what lets the
+// plan executor dispatch whole mask groups to workers while every kernel
+// inside a group (gather, GEMM panels, scatter) keeps its own
+// parallel_for calls — they degrade to plain loops on the worker, with no
+// queue re-entry and no possibility of a dispatch-wait cycle.
+bool in_parallel_region();
+
 // Parallel loop over [begin, end). `grain` is the minimum work per chunk;
-// loops smaller than 2*grain run inline.
+// loops smaller than 2*grain run inline, as does any loop issued from
+// inside another parallel_for chunk (see in_parallel_region).
 template <typename Fn>
 void parallel_for(int64_t begin, int64_t end, const Fn& fn,
                   int64_t grain = 1024) {
   if (begin >= end) return;
   ThreadPool& pool = global_pool();
-  if (pool.size() == 0 || end - begin < 2 * grain) {
+  if (pool.size() == 0 || in_parallel_region() ||
+      end - begin < 2 * grain) {
     fn(begin, end);
     return;
   }

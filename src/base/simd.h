@@ -1,0 +1,127 @@
+// Portable f32 SIMD lane abstraction for the non-GEMM hot path (fused
+// epilogue, mask gather/scatter, im2col packing) and the GEMM micro-kernel.
+//
+// Three backends, selected at COMPILE time:
+//   - AVX2 (x86-64):  8 lanes (__m256)   — requires -mavx2 on the TU
+//   - NEON (aarch64): 4 lanes (float32x4_t)
+//   - scalar:         1 lane  (plain float) — the fallback every other
+//     build (including -DANTIDOTE_SIMD=OFF) compiles to
+//
+// BITWISE CONTRACT. Every operation here is a per-element IEEE-754 op with
+// exactly the rounding the scalar expression performs: madd(a, b, c) is a
+// multiply THEN an add (two roundings), deliberately NOT a fused
+// multiply-add. The CMake setup compiles SIMD translation units without
+// -mfma and with -ffp-contract=off, so neither hand-written intrinsics nor
+// compiler contraction can introduce single-rounding FMAs. Consequently a
+// kernel vectorized with this header produces results bitwise identical to
+// its scalar fallback — the property the plan executor's "dense plan ==
+// module walk" and "grouped masked == per-sample walk" memcmp gates depend
+// on, and what lets ANTIDOTE_SIMD=ON/OFF builds agree bit for bit.
+//
+// TAIL POLICY. The vector types never read or write past the caller's
+// range: kernels iterate `j + kLanes <= n` and finish the ragged tail
+// (n % kLanes elements) with the identical scalar expression. No masked
+// loads, no overreads — the ASan job runs against the SIMD build to keep
+// it that way.
+//
+// TU-PRIVATE. Include this header from .cc files only (never from public
+// headers): the lane width and vector type differ between translation
+// units compiled with and without the SIMD flags, so leaking these
+// definitions across TU boundaries would be an ODR violation. All SIMD
+// TUs are compiled with one flag set (see CMakeLists.txt).
+#pragma once
+
+#include <cstdint>
+
+#if defined(ANTIDOTE_SIMD) && ANTIDOTE_SIMD && defined(__AVX2__)
+#define ANTIDOTE_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(ANTIDOTE_SIMD) && ANTIDOTE_SIMD && defined(__ARM_NEON)
+#define ANTIDOTE_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+// Marks a scalar reference implementation that must stay genuinely scalar
+// (parity baselines and the scalar leg of the micro-benchmarks): without
+// this the autovectorizer would quietly vectorize the "scalar" loop and
+// the scalar-vs-SIMD comparison would measure nothing. Clang has no
+// function-level "disable vectorization only" attribute, so it gets
+// optnone — a coarser baseline (the scalar leg also loses scalar
+// optimizations), but an honestly scalar one.
+#if defined(__clang__)
+#define ANTIDOTE_NO_VECTORIZE __attribute__((optnone))
+#elif defined(__GNUC__)
+#define ANTIDOTE_NO_VECTORIZE \
+  __attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#else
+#define ANTIDOTE_NO_VECTORIZE
+#endif
+
+namespace antidote::simd {
+
+#if defined(ANTIDOTE_SIMD_AVX2)
+
+constexpr int kLanes = 8;
+constexpr const char* kIsaName = "avx2";
+using vf = __m256;
+
+inline vf load(const float* p) { return _mm256_loadu_ps(p); }
+inline void store(float* p, vf v) { _mm256_storeu_ps(p, v); }
+inline vf set1(float x) { return _mm256_set1_ps(x); }
+inline vf zero() { return _mm256_setzero_ps(); }
+inline vf add(vf a, vf b) { return _mm256_add_ps(a, b); }
+inline vf sub(vf a, vf b) { return _mm256_sub_ps(a, b); }
+inline vf mul(vf a, vf b) { return _mm256_mul_ps(a, b); }
+inline vf max(vf a, vf b) { return _mm256_max_ps(a, b); }
+// a*b + c with TWO roundings (see the bitwise contract above).
+inline vf madd(vf a, vf b, vf c) { return _mm256_add_ps(_mm256_mul_ps(a, b), c); }
+// v[i] = base[idx[i]] — the mask-gather primitive (kept spatial columns).
+inline vf gather(const float* base, const int32_t* idx) {
+  return _mm256_i32gather_ps(
+      base, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx)), 4);
+}
+
+#elif defined(ANTIDOTE_SIMD_NEON)
+
+constexpr int kLanes = 4;
+constexpr const char* kIsaName = "neon";
+using vf = float32x4_t;
+
+inline vf load(const float* p) { return vld1q_f32(p); }
+inline void store(float* p, vf v) { vst1q_f32(p, v); }
+inline vf set1(float x) { return vdupq_n_f32(x); }
+inline vf zero() { return vdupq_n_f32(0.f); }
+inline vf add(vf a, vf b) { return vaddq_f32(a, b); }
+inline vf sub(vf a, vf b) { return vsubq_f32(a, b); }
+inline vf mul(vf a, vf b) { return vmulq_f32(a, b); }
+inline vf max(vf a, vf b) { return vmaxq_f32(a, b); }
+// Explicit mul+add (NOT vfmaq/vmlaq, which may fuse): two roundings.
+inline vf madd(vf a, vf b, vf c) { return vaddq_f32(vmulq_f32(a, b), c); }
+inline vf gather(const float* base, const int32_t* idx) {
+  const float v[4] = {base[idx[0]], base[idx[1]], base[idx[2]],
+                      base[idx[3]]};
+  return vld1q_f32(v);
+}
+
+#else  // scalar fallback (ANTIDOTE_SIMD=OFF, or an ISA without a backend)
+
+constexpr int kLanes = 1;
+constexpr const char* kIsaName = "scalar";
+using vf = float;
+
+inline vf load(const float* p) { return *p; }
+inline void store(float* p, vf v) { *p = v; }
+inline vf set1(float x) { return x; }
+inline vf zero() { return 0.f; }
+inline vf add(vf a, vf b) { return a + b; }
+inline vf sub(vf a, vf b) { return a - b; }
+inline vf mul(vf a, vf b) { return a * b; }
+inline vf max(vf a, vf b) { return a > b ? a : b; }
+inline vf madd(vf a, vf b, vf c) { return a * b + c; }
+inline vf gather(const float* base, const int32_t* idx) {
+  return base[idx[0]];
+}
+
+#endif
+
+}  // namespace antidote::simd

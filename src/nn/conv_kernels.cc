@@ -5,9 +5,139 @@
 
 #include "base/error.h"
 #include "base/parallel.h"
+#include "base/simd.h"
 #include "tensor/gemm.h"
 
 namespace antidote::nn {
+
+int simd_lane_width() { return simd::kLanes; }
+const char* simd_isa_name() { return simd::kIsaName; }
+
+namespace {
+
+// One instantiation per epilogue shape so the per-element branches of the
+// reference collapse to straight-line vector code. The vector body and
+// the scalar tail evaluate the exact same expression with the same
+// roundings (madd is mul-then-add; see base/simd.h), so the result is
+// bitwise identical to fused_epilogue_scalar.
+template <bool kBn, bool kRes, bool kRelu>
+void epilogue_rows(float* yb, const float* resb, int out_c, int64_t pos,
+                   const FusedEpilogueParams& p) {
+  for (int ch = 0; ch < out_c; ++ch) {
+    float* row = yb + static_cast<int64_t>(ch) * pos;
+    const float* rrow =
+        kRes ? resb + static_cast<int64_t>(ch) * pos : nullptr;
+    const float mean_v = kBn ? p.mean[ch] : 0.f;
+    const float inv_std = kBn ? p.inv_std[ch] : 0.f;
+    const float gamma = kBn ? p.gamma[ch] : 0.f;
+    const float beta = kBn ? p.beta[ch] : 0.f;
+    const simd::vf vmean = simd::set1(mean_v);
+    const simd::vf vinv = simd::set1(inv_std);
+    const simd::vf vgamma = simd::set1(gamma);
+    const simd::vf vbeta = simd::set1(beta);
+    const simd::vf vzero = simd::zero();
+    int64_t j = 0;
+    for (; j + simd::kLanes <= pos; j += simd::kLanes) {
+      simd::vf v = simd::load(row + j);
+      if constexpr (kBn) {
+        const simd::vf xh = simd::mul(simd::sub(v, vmean), vinv);
+        v = simd::madd(vgamma, xh, vbeta);
+      }
+      if constexpr (kRes) v = simd::add(v, simd::load(rrow + j));
+      if constexpr (kRelu) v = simd::max(v, vzero);
+      simd::store(row + j, v);
+    }
+    for (; j < pos; ++j) {  // ragged tail: the identical scalar expression
+      float v = row[j];
+      if constexpr (kBn) {
+        const float xh = (v - mean_v) * inv_std;
+        v = gamma * xh + beta;
+      }
+      if constexpr (kRes) v += rrow[j];
+      if constexpr (kRelu) v = v > 0.f ? v : 0.f;
+      row[j] = v;
+    }
+  }
+}
+
+}  // namespace
+
+void fused_epilogue(float* yb, const float* resb, int out_c, int64_t pos,
+                    const FusedEpilogueParams& p) {
+  switch ((p.bn ? 4 : 0) | (resb != nullptr ? 2 : 0) | (p.relu ? 1 : 0)) {
+    case 7: epilogue_rows<true, true, true>(yb, resb, out_c, pos, p); break;
+    case 6: epilogue_rows<true, true, false>(yb, resb, out_c, pos, p); break;
+    case 5: epilogue_rows<true, false, true>(yb, resb, out_c, pos, p); break;
+    case 4: epilogue_rows<true, false, false>(yb, resb, out_c, pos, p); break;
+    case 3: epilogue_rows<false, true, true>(yb, resb, out_c, pos, p); break;
+    case 2: epilogue_rows<false, true, false>(yb, resb, out_c, pos, p); break;
+    case 1: epilogue_rows<false, false, true>(yb, resb, out_c, pos, p); break;
+    default: break;  // nothing fused: no-op
+  }
+}
+
+ANTIDOTE_NO_VECTORIZE
+void fused_epilogue_scalar(float* yb, const float* resb, int out_c,
+                           int64_t pos, const FusedEpilogueParams& p) {
+  for (int ch = 0; ch < out_c; ++ch) {
+    float* row = yb + static_cast<int64_t>(ch) * pos;
+    const float* rrow =
+        resb != nullptr ? resb + static_cast<int64_t>(ch) * pos : nullptr;
+    const float mean_v = p.bn ? p.mean[ch] : 0.f;
+    const float inv_std = p.bn ? p.inv_std[ch] : 0.f;
+    const float gamma = p.bn ? p.gamma[ch] : 0.f;
+    const float beta = p.bn ? p.beta[ch] : 0.f;
+    for (int64_t j = 0; j < pos; ++j) {
+      float v = row[j];
+      if (p.bn) {
+        const float xh = (v - mean_v) * inv_std;
+        v = gamma * xh + beta;
+      }
+      if (rrow != nullptr) v += rrow[j];
+      if (p.relu) v = v > 0.f ? v : 0.f;
+      row[j] = v;
+    }
+  }
+}
+
+void gather_positions(const float* plane, const int* idx, int64_t n,
+                      float* out) {
+  int64_t j = 0;
+  for (; j + simd::kLanes <= n; j += simd::kLanes) {
+    simd::store(out + j, simd::gather(plane, idx + j));
+  }
+  for (; j < n; ++j) out[j] = plane[idx[j]];
+}
+
+ANTIDOTE_NO_VECTORIZE
+void gather_positions_scalar(const float* plane, const int* idx, int64_t n,
+                             float* out) {
+  for (int64_t j = 0; j < n; ++j) out[j] = plane[idx[j]];
+}
+
+void scatter_bias_row(const float* src, float* dst, int64_t n, float bias) {
+  const simd::vf vbias = simd::set1(bias);
+  int64_t j = 0;
+  for (; j + simd::kLanes <= n; j += simd::kLanes) {
+    simd::store(dst + j, simd::add(simd::load(src + j), vbias));
+  }
+  for (; j < n; ++j) dst[j] = src[j] + bias;
+}
+
+ANTIDOTE_NO_VECTORIZE
+void scatter_bias_row_scalar(const float* src, float* dst, int64_t n,
+                             float bias) {
+  for (int64_t j = 0; j < n; ++j) dst[j] = src[j] + bias;
+}
+
+void add_bias_row(float* row, int64_t n, float bias) {
+  const simd::vf vbias = simd::set1(bias);
+  int64_t j = 0;
+  for (; j + simd::kLanes <= n; j += simd::kLanes) {
+    simd::store(row + j, simd::add(simd::load(row + j), vbias));
+  }
+  for (; j < n; ++j) row[j] += bias;
+}
 
 int64_t conv_sample_dense(const float* xb, const ConvGeom& g, const float* w,
                           int out_c, const float* bias, float* cols, float* yb,
@@ -19,8 +149,7 @@ int64_t conv_sample_dense(const float* xb, const ConvGeom& g, const float* w,
           0.f, yb, &ws);
   if (bias != nullptr) {
     for (int oc = 0; oc < out_c; ++oc) {
-      float* row = yb + static_cast<int64_t>(oc) * pos;
-      for (int64_t j = 0; j < pos; ++j) row[j] += bias[oc];
+      add_bias_row(yb + static_cast<int64_t>(oc) * pos, pos, bias[oc]);
     }
   }
   return static_cast<int64_t>(out_c) * pos * patch;
@@ -98,10 +227,8 @@ int64_t conv_sample_masked(const float* xb, const ConvGeom& g, const float* w,
     for (int ci = 0; ci < ck; ++ci) {
       const float* plane =
           xb + static_cast<int64_t>(ch[static_cast<size_t>(ci)]) * h * wd;
-      float* row = cols + static_cast<int64_t>(ci) * pk;
-      for (int j = 0; j < pk; ++j) {
-        row[j] = plane[m.positions[static_cast<size_t>(j)]];
-      }
+      gather_positions(plane, m.positions.data(), pk,
+                       cols + static_cast<int64_t>(ci) * pk);
     }
 
     // All k^2 kernel-offset weight slices stack into one [k^2*ok x ck]
@@ -156,9 +283,7 @@ int64_t conv_sample_masked(const float* xb, const ConvGeom& g, const float* w,
   if (bias != nullptr) {
     for (int oi = 0; oi < ok; ++oi) {
       const int oc = oc_set[static_cast<size_t>(oi)];
-      float* drow = yb + static_cast<int64_t>(oc) * pos;
-      const float bias_v = bias[oc];
-      for (int64_t j = 0; j < pos; ++j) drow[j] += bias_v;
+      add_bias_row(yb + static_cast<int64_t>(oc) * pos, pos, bias[oc]);
     }
   }
   ws.rewind(per_sample);
@@ -180,29 +305,11 @@ void WeightPanelCache::prepare(int out_c, int in_c, int kk) {
   out_channels.reserve(static_cast<size_t>(out_c));
 }
 
-const float* pack_weight_panel(const float* w, int in_c, int kk,
-                               std::span<const int> ch,
-                               std::span<const int> oc, bool spatial_layout,
-                               WeightPanelCache& cache) {
+void pack_weight_panel_into(const float* w, int in_c, int kk,
+                            std::span<const int> ch, std::span<const int> oc,
+                            bool spatial_layout, float* dst_base) {
   const int ck = static_cast<int>(ch.size());
   const int ok = static_cast<int>(oc.size());
-  // Callers that reserved their plan arrive pre-sized; unreserved ad-hoc
-  // paths grow the cache here once and converge, like the arena.
-  const size_t needed = static_cast<size_t>(ok) * ck * kk;
-  if (cache.panel.size() < needed) {
-    cache.panel.resize(needed);
-    cache.valid = false;
-  }
-  if (cache.valid && cache.spatial_layout == spatial_layout &&
-      std::equal(ch.begin(), ch.end(), cache.channels.begin(),
-                 cache.channels.end()) &&
-      std::equal(oc.begin(), oc.end(), cache.out_channels.begin(),
-                 cache.out_channels.end())) {
-    ++cache.hits;
-    return cache.panel.data();
-  }
-  ++cache.misses;
-  float* dst_base = cache.panel.data();
   if (!spatial_layout) {
     // panel[oi][ci*kk + t] = w[oc[oi], ch[ci], t]
     const int patch_k = ck * kk;
@@ -233,11 +340,37 @@ const float* pack_weight_panel(const float* w, int in_c, int kk,
       }
     }
   }
+}
+
+const float* pack_weight_panel(const float* w, int in_c, int kk,
+                               std::span<const int> ch,
+                               std::span<const int> oc, bool spatial_layout,
+                               WeightPanelCache& cache) {
+  const int ck = static_cast<int>(ch.size());
+  const int ok = static_cast<int>(oc.size());
+  // Callers that reserved their plan arrive pre-sized; unreserved ad-hoc
+  // paths grow the cache here once and converge, like the arena.
+  const size_t needed = static_cast<size_t>(ok) * ck * kk;
+  if (cache.panel.size() < needed) {
+    cache.panel.resize(needed);
+    cache.valid = false;
+  }
+  if (cache.valid && cache.spatial_layout == spatial_layout &&
+      std::equal(ch.begin(), ch.end(), cache.channels.begin(),
+                 cache.channels.end()) &&
+      std::equal(oc.begin(), oc.end(), cache.out_channels.begin(),
+                 cache.out_channels.end())) {
+    ++cache.hits;
+    return cache.panel.data();
+  }
+  ++cache.misses;
+  pack_weight_panel_into(w, in_c, kk, ch, oc, spatial_layout,
+                         cache.panel.data());
   cache.channels.assign(ch.begin(), ch.end());
   cache.out_channels.assign(oc.begin(), oc.end());
   cache.spatial_layout = spatial_layout;
   cache.valid = true;
-  return dst_base;
+  return cache.panel.data();
 }
 
 int64_t conv_batch_dense(const float* x_base, int64_t in_floats,
@@ -267,8 +400,7 @@ int64_t conv_batch_dense(const float* x_base, int64_t in_floats,
             cols, 0.f, yb, &ws);
     if (bias != nullptr) {
       for (int oc = 0; oc < out_c; ++oc) {
-        float* row = yb + static_cast<int64_t>(oc) * pos;
-        for (int64_t j = 0; j < pos; ++j) row[j] += bias[oc];
+        add_bias_row(yb + static_cast<int64_t>(oc) * pos, pos, bias[oc]);
       }
     }
   }
@@ -281,7 +413,7 @@ int64_t conv_group_masked(const float* x_base, int64_t in_floats,
                           const float* bias, const ConvRuntimeMask& m,
                           std::span<const int> samples,
                           const ConvIdentityIndices& ids,
-                          WeightPanelCache& cache, float* y_base,
+                          WeightPanelCache* cache, float* y_base,
                           int64_t out_floats, Workspace& ws) {
   const int in_c = g.in_c, h = g.in_h, wd = g.in_w;
   const int oh = g.out_h(), ow = g.out_w();
@@ -310,9 +442,17 @@ int64_t conv_group_masked(const float* x_base, int64_t in_floats,
     // (or reused from the cross-pass cache).
     const int patch_k = ck * g.k_h * g.k_w;
     const int64_t ldc = static_cast<int64_t>(gs) * pos;
-    const float* w_panel =
-        pack_weight_panel(w, in_c, static_cast<int>(kk), ch, oc_set,
-                          /*spatial_layout=*/false, cache);
+    const float* w_panel;
+    if (cache != nullptr) {
+      w_panel = pack_weight_panel(w, in_c, static_cast<int>(kk), ch, oc_set,
+                                  /*spatial_layout=*/false, *cache);
+    } else {
+      // Cross-group parallel regime: pack into this worker's arena slice.
+      float* panel = ws.alloc_floats(static_cast<int64_t>(ok) * patch_k);
+      pack_weight_panel_into(w, in_c, static_cast<int>(kk), ch, oc_set,
+                             /*spatial_layout=*/false, panel);
+      w_panel = panel;
+    }
     float* cols = ws.alloc_floats(static_cast<int64_t>(patch_k) * ldc);
     const std::span<const int> all_pos(ids.positions,
                                        static_cast<size_t>(pos));
@@ -340,10 +480,13 @@ int64_t conv_group_masked(const float* x_base, int64_t in_floats,
               const float* src = y_sub + static_cast<int64_t>(oi) * ldc +
                                  s * pos;
               float* dst = yb + static_cast<int64_t>(oc) * pos;
-              std::copy(src, src + pos, dst);
               if (bias != nullptr) {
-                const float bias_v = bias[oc];
-                for (int64_t j = 0; j < pos; ++j) dst[j] += bias_v;
+                // Fused copy+bias: one pass over the row, same value per
+                // element as copy-then-add.
+                scatter_bias_row(src, dst, pos, bias[oc]);
+              } else {
+                std::memcpy(dst, src,
+                            static_cast<size_t>(pos) * sizeof(float));
               }
             }
           }
@@ -371,18 +514,23 @@ int64_t conv_group_masked(const float* x_base, int64_t in_floats,
               const float* plane =
                   xb +
                   static_cast<int64_t>(ch[static_cast<size_t>(ci)]) * h * wd;
-              float* row = cols + static_cast<int64_t>(ci) * ldc + s * pk;
-              for (int j = 0; j < pk; ++j) {
-                row[j] = plane[m.positions[static_cast<size_t>(j)]];
-              }
+              gather_positions(plane, m.positions.data(), pk,
+                               cols + static_cast<int64_t>(ci) * ldc + s * pk);
             }
           }
         },
         /*grain=*/1);
 
-    const float* w_panel =
-        pack_weight_panel(w, in_c, static_cast<int>(kk), ch, oc_set,
-                          /*spatial_layout=*/true, cache);
+    const float* w_panel;
+    if (cache != nullptr) {
+      w_panel = pack_weight_panel(w, in_c, static_cast<int>(kk), ch, oc_set,
+                                  /*spatial_layout=*/true, *cache);
+    } else {
+      float* panel = ws.alloc_floats(kk * static_cast<int64_t>(ok) * ck);
+      pack_weight_panel_into(w, in_c, static_cast<int>(kk), ch, oc_set,
+                             /*spatial_layout=*/true, panel);
+      w_panel = panel;
+    }
     float* y_sub =
         ws.alloc_floats(kk * static_cast<int64_t>(ok) * ldc);
     // Scatter targets depend only on the group's kept positions: resolve
@@ -428,10 +576,7 @@ int64_t conv_group_masked(const float* x_base, int64_t in_floats,
                   if (idx[j] >= 0) drow[idx[j]] += yrow[j];
                 }
               }
-              if (bias != nullptr) {
-                const float bias_v = bias[oc];
-                for (int64_t j = 0; j < pos; ++j) drow[j] += bias_v;
-              }
+              if (bias != nullptr) add_bias_row(drow, pos, bias[oc]);
             }
           }
         },
@@ -504,6 +649,16 @@ size_t conv_group_masked_scratch_bytes(const ConvGeom& g, int out_c, int gs) {
     worst = std::max(worst, spatial_path);
   }
   return worst;
+}
+
+size_t conv_group_masked_slice_bytes(const ConvGeom& g, int out_c, int gs) {
+  // Cache-less regime: the worker packs the kept-filter weight panel into
+  // its slice. Both layouts top out at the full weight size (full kept
+  // sets).
+  const int64_t kk = static_cast<int64_t>(g.k_h) * g.k_w;
+  return Workspace::align_up(static_cast<size_t>(out_c) * g.in_c * kk *
+                             sizeof(float)) +
+         conv_group_masked_scratch_bytes(g, out_c, gs);
 }
 
 }  // namespace antidote::nn

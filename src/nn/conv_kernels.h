@@ -37,6 +37,59 @@
 
 namespace antidote::nn {
 
+// --- SIMD-vectorized hot-path primitives ----------------------------------
+//
+// The scalar glue around the GEMM (fused epilogue, mask gather/scatter,
+// bias) runs at SIMD width (AVX2/NEON via base/simd.h, compile-time
+// selected by the ANTIDOTE_SIMD build option). Every primitive is bitwise
+// identical to its *_scalar reference: per-element IEEE ops in the same
+// order with the same roundings (no FMA contraction — see base/simd.h),
+// ragged tails finished by the identical scalar expression. The *_scalar
+// functions are genuinely scalar (autovectorization suppressed); the
+// parity suite asserts bit-equality and the micro-benchmarks use them as
+// the scalar leg.
+
+// Compiled lane width (8 = AVX2, 4 = NEON, 1 = scalar fallback) and ISA
+// name of the kernels in this library build.
+int simd_lane_width();
+const char* simd_isa_name();
+
+// Per-channel fused conv epilogue: for each output channel row of `pos`
+// values, optionally BatchNorm (the exact BatchNorm2d eval expression:
+// gamma * ((v - mean) * inv_std) + beta), then optional residual add,
+// then optional ReLU — in that order, matching the module walk op for op.
+struct FusedEpilogueParams {
+  const float* mean = nullptr;     // [out_c] (bn only)
+  const float* inv_std = nullptr;  // [out_c] (bn only)
+  const float* gamma = nullptr;    // [out_c] (bn only)
+  const float* beta = nullptr;     // [out_c] (bn only)
+  bool bn = false;
+  bool relu = false;
+};
+
+// Applies the epilogue in place over yb [out_c, pos]; `resb` (nullable)
+// is the residual with the same layout. A no-op combination (no bn, no
+// residual, no relu) returns immediately.
+void fused_epilogue(float* yb, const float* resb, int out_c, int64_t pos,
+                    const FusedEpilogueParams& p);
+void fused_epilogue_scalar(float* yb, const float* resb, int out_c,
+                           int64_t pos, const FusedEpilogueParams& p);
+
+// Mask gather: out[j] = plane[idx[j]] for `n` kept positions.
+void gather_positions(const float* plane, const int* idx, int64_t n,
+                      float* out);
+void gather_positions_scalar(const float* plane, const int* idx, int64_t n,
+                             float* out);
+
+// Group scatter row: dst[j] = src[j] + bias (one kept filter's compacted
+// GEMM output row placed into its output plane with the bias fused in).
+void scatter_bias_row(const float* src, float* dst, int64_t n, float bias);
+void scatter_bias_row_scalar(const float* src, float* dst, int64_t n,
+                             float bias);
+
+// In-place bias add over one output row.
+void add_bias_row(float* row, int64_t n, float bias);
+
 // Identity index sets used when a mask component is empty (= keep all).
 // All three spans may alias one shared ascending iota array (the plan
 // compiler builds one sized at the plan's max dimension).
@@ -89,10 +142,15 @@ struct WeightPanelCache {
   void prepare(int out_c, int in_c, int kk);
 };
 
-// Returns the packed weight panel for the kept sets, packing into `cache`
-// only on a miss. Channel layout: panel[oi][ci*kk + t] =
+// Packs the kept-filter weight panel for the kept sets into `dst`
+// (ok*ck*kk floats). Channel layout: panel[oi][ci*kk + t] =
 // w[oc[oi], ch[ci], t]. Spatial (shift-GEMM) layout: panel[(t*ok + oi)][ci]
 // = w[oc[oi], ch[ci], t], the kernel-offset-stacked matrix.
+void pack_weight_panel_into(const float* w, int in_c, int kk,
+                            std::span<const int> ch, std::span<const int> oc,
+                            bool spatial_layout, float* dst);
+
+// Cached variant: packs into `cache` only on a miss.
 const float* pack_weight_panel(const float* w, int in_c, int kk,
                                std::span<const int> ch,
                                std::span<const int> oc, bool spatial_layout,
@@ -110,16 +168,28 @@ int64_t conv_batch_dense(const float* x_base, int64_t in_floats,
 
 // One mask group of a masked batch conv. `samples` are the member batch
 // indices (all sharing kept sets `m`); the caller zero-fills y beforehand
-// and applies any fused epilogue afterwards, and must invoke groups
-// sequentially (gather/scatter parallelize across the group's members,
-// the compacted GEMM parallelizes internally). Bias semantics match
+// and applies any fused epilogue afterwards. Bias semantics match
 // conv_sample_masked. Returns the MACs executed for the whole group.
+//
+// Two invocation regimes:
+//   - sequential (cache != nullptr): groups run one after another on the
+//     caller's thread; gather/scatter parallelize across the group's
+//     members and the compacted GEMM parallelizes internally; the weight
+//     panel comes from the cross-pass cache.
+//   - cross-group parallel (cache == nullptr): the caller runs several
+//     groups concurrently, each on a pool worker with `ws` bound to a
+//     private arena slice (Workspace::bind_external). The weight panel is
+//     packed into the slice (a shared cache would race, and with >= 2
+//     distinct kept sets per pass it could not hit anyway) and the
+//     internal parallel_fors run inline under the nested-dispatch guard.
+//     Distinct groups cover distinct samples, so outputs are disjoint and
+//     the result is bitwise identical to sequential group order.
 int64_t conv_group_masked(const float* x_base, int64_t in_floats,
                           const ConvGeom& g, const float* w, int out_c,
                           const float* bias, const ConvRuntimeMask& m,
                           std::span<const int> samples,
                           const ConvIdentityIndices& ids,
-                          WeightPanelCache& cache, float* y_base,
+                          WeightPanelCache* cache, float* y_base,
                           int64_t out_floats, Workspace& ws);
 
 // Worst-case arena bytes of one conv_batch_dense call at batch n.
@@ -131,6 +201,11 @@ size_t conv_batch_dense_scratch_bytes(const ConvGeom& g, int out_c, int n);
 // the grid). Monotone in gs, so a batch's worst case over any grouping is
 // the single-group-of-n value (groups run sequentially between rewinds).
 size_t conv_group_masked_scratch_bytes(const ConvGeom& g, int out_c, int gs);
+
+// Worst-case bytes of one PER-WORKER arena slice for the cross-group
+// parallel regime (cache == nullptr): the group scratch above plus the
+// weight panel the worker packs into its slice. Monotone in gs.
+size_t conv_group_masked_slice_bytes(const ConvGeom& g, int out_c, int gs);
 
 // Option-A residual shortcut kernel: spatial subsampling by `stride` with
 // zero-padded extra channels (out_c >= in_c). Zero-fills y, then copies

@@ -19,56 +19,68 @@ namespace antidote::plan {
 
 namespace {
 
-// Fused epilogue for one sample of a conv step: BatchNorm (the exact
-// BatchNorm2d eval expression), residual add, ReLU — applied on the
-// cache-hot GEMM/scatter output instead of as separate full-tensor passes.
-// Element order matches the module walk op for op, so fused outputs are
-// bitwise identical to unfused execution.
-void apply_epilogue(const PlanOp& op, float* yb, const float* resb,
-                    int out_c, int64_t pos) {
-  const bool bn = op.fuse_bn;
-  const bool relu = op.fuse_relu;
-  for (int ch = 0; ch < out_c; ++ch) {
-    float* row = yb + static_cast<int64_t>(ch) * pos;
-    const float* rrow =
-        resb != nullptr ? resb + static_cast<int64_t>(ch) * pos : nullptr;
-    const float mean_v = bn ? op.bn.mean[static_cast<size_t>(ch)] : 0.f;
-    const float inv_std = bn ? op.bn.inv_std[static_cast<size_t>(ch)] : 0.f;
-    const float gamma = bn ? op.bn.gamma[ch] : 0.f;
-    const float beta = bn ? op.bn.beta[ch] : 0.f;
-    for (int64_t j = 0; j < pos; ++j) {
-      float v = row[j];
-      if (bn) {
-        const float xh = (v - mean_v) * inv_std;
-        v = gamma * xh + beta;
-      }
-      if (rrow != nullptr) v += rrow[j];
-      if (relu) v = v > 0.f ? v : 0.f;
-      row[j] = v;
-    }
+// The sample-wise fused epilogue (BatchNorm, residual add, ReLU) lives in
+// nn::fused_epilogue — SIMD-vectorized, bitwise identical to the module
+// walk. This builds its parameter block from a conv step.
+nn::FusedEpilogueParams epilogue_params(const PlanOp& op) {
+  nn::FusedEpilogueParams p;
+  p.bn = op.fuse_bn;
+  p.relu = op.fuse_relu;
+  if (op.fuse_bn) {
+    p.mean = op.bn.mean.data();
+    p.inv_std = op.bn.inv_std.data();
+    p.gamma = op.bn.gamma;
+    p.beta = op.bn.beta;
   }
+  return p;
+}
+
+// Total compute threads of this process (caller + pool workers) — fixed
+// for the process lifetime (ANTIDOTE_THREADS), so arena sizing computed
+// against it stays exact for every pass.
+int compute_threads() { return 1 + global_pool().size(); }
+
+// Number of mask groups executing concurrently for a pass that bucketed
+// into `groups`: the executor and the arena sizing MUST agree on this.
+int group_parallel_width(int threads, int groups) {
+  return std::max(1, std::min({threads, groups, kMaxGroupWorkers}));
 }
 
 // Exact worst-case kernel scratch of one conv step at batch n, mirroring
 // the executor's allocation sequence byte for byte: the dense batched
 // path (per-sample im2col slices + GEMM panels) vs the mask-grouped path
-// (group-key bucketing arrays + the compacted group kernels' scratch,
-// whose worst case over any partition is a single group of n — groups
-// run sequentially between rewinds, and the bound is monotone in group
-// size). The all-distinct-masks case costs no more: n singleton groups
-// each rewind before the next, so the bucketing arrays plus the largest
-// single group still dominate.
+// (group-key bucketing arrays + the group kernels' scratch). The grouped
+// term covers both execution regimes:
+//   - sequential (1 group, or a single compute thread): groups run
+//     between rewinds, so the bound is the single-group-of-n worst case
+//     (monotone in group size).
+//   - cross-group parallel (G >= 2 groups over W = min(threads, G, cap)
+//     workers): the executor carves W slices each sized for the largest
+//     group, and with G groups the largest group holds at most n - G + 1
+//     samples — maximize W * slice(n - G + 1) over G.
+// The bound depends on the process thread budget (compute_threads), which
+// is fixed for the process lifetime, so it is still exact per pass.
 size_t conv_step_scratch_bytes(const PlanOp& op, int n) {
   if (op.kind != OpKind::kConv) return 0;
   const ConvGeom& g = op.geom;
   const int out_c = op.out_shape[0];
   const size_t nn_ = static_cast<size_t>(n);
   const size_t dense = nn::conv_batch_dense_scratch_bytes(g, out_c, n);
+  size_t masked_kernel = nn::conv_group_masked_scratch_bytes(g, out_c, n);
+  const int threads = compute_threads();
+  for (int groups = 2; groups <= n; ++groups) {
+    const int width = group_parallel_width(threads, groups);
+    if (width < 2) break;  // single-threaded: the parallel regime never runs
+    masked_kernel = std::max(
+        masked_kernel,
+        static_cast<size_t>(width) *
+            nn::conv_group_masked_slice_bytes(g, out_c, n - groups + 1));
+  }
   const size_t masked =
       Workspace::align_up(sizeof(uint64_t) * nn_) +       // mask keys
       Workspace::align_up(sizeof(int) * nn_) +            // sample order
       Workspace::align_up(sizeof(int) * (nn_ + 1)) +      // group bounds
-      nn::conv_group_masked_scratch_bytes(g, out_c, n);
+      masked_kernel;
   return std::max(dense, masked);
 }
 
@@ -123,6 +135,18 @@ void InferencePlan::reserve(Workspace& ws, int n) {
       op.pack_cache.prepare(op.out_shape[0], op.geom.in_c,
                             op.geom.k_h * op.geom.k_w);
     }
+  }
+  // Pre-create the per-worker slice views (and their one-entry block
+  // tables) so even the first cross-group parallel pass performs zero
+  // heap allocations — rebinding them to real slices is heap-free.
+  ensure_group_slices();
+}
+
+void InferencePlan::ensure_group_slices() {
+  if (group_slices_ != nullptr) return;
+  group_slices_ = std::make_unique<GroupSlices>();
+  for (Workspace& slice : group_slices_->ws) {
+    slice.bind_external(nullptr, 0);
   }
 }
 
@@ -206,6 +230,7 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
     return t;
   };
 
+  const int threads = compute_threads();
   for (PlanOp& op : ops_) {
     WallTimer step_timer;
     const Tensor& in = slots_[static_cast<size_t>(op.input)];
@@ -262,15 +287,63 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
               group_begin[++groups] = i;
             }
           }
-          for (int gi = 0; gi < groups; ++gi) {
-            const int gb = group_begin[gi];
-            const int ge = group_begin[gi + 1];
-            macs += nn::conv_group_masked(
-                in.data(), in_floats, g, wp, out_c, bp,
-                masks[static_cast<size_t>(order[gb])],
-                std::span<const int>(order + gb,
-                                     static_cast<size_t>(ge - gb)),
-                ids, op.pack_cache, out.data(), out_floats, ws);
+          const int width = group_parallel_width(threads, groups);
+          if (width >= 2) {
+            // Cross-group parallel: whole groups dispatch to pool workers
+            // (worker w runs groups w, w+width, ...), each over a private
+            // arena slice carved here on the owner thread — workers never
+            // touch the owning arena or the shared pack cache, and every
+            // kernel-internal parallel_for runs inline under the
+            // nested-dispatch guard. Groups cover disjoint samples, so
+            // this is bitwise identical to sequential group order.
+            ensure_group_slices();  // no-op when reserved; unreserved
+                                    // callers converge like the arena
+            int max_gs = 1;
+            for (int gi = 0; gi < groups; ++gi) {
+              max_gs = std::max(max_gs,
+                                group_begin[gi + 1] - group_begin[gi]);
+            }
+            const size_t slice_bytes =
+                nn::conv_group_masked_slice_bytes(g, out_c, max_gs);
+            char* slab =
+                ws.alloc<char>(static_cast<int64_t>(width) *
+                               static_cast<int64_t>(slice_bytes));
+            int64_t worker_macs[kMaxGroupWorkers] = {0};
+            parallel_for(
+                0, width,
+                [&](int64_t w0, int64_t w1) {
+                  for (int64_t w = w0; w < w1; ++w) {
+                    Workspace& slice = group_slices_->ws[w];
+                    slice.bind_external(slab + w * slice_bytes, slice_bytes);
+                    int64_t local = 0;
+                    for (int gi = static_cast<int>(w); gi < groups;
+                         gi += width) {
+                      const int gb = group_begin[gi];
+                      const int ge = group_begin[gi + 1];
+                      local += nn::conv_group_masked(
+                          in.data(), in_floats, g, wp, out_c, bp,
+                          masks[static_cast<size_t>(order[gb])],
+                          std::span<const int>(order + gb,
+                                               static_cast<size_t>(ge - gb)),
+                          ids, /*cache=*/nullptr, out.data(), out_floats,
+                          slice);
+                    }
+                    worker_macs[w] = local;
+                  }
+                },
+                /*grain=*/1);
+            for (int w = 0; w < width; ++w) macs += worker_macs[w];
+          } else {
+            for (int gi = 0; gi < groups; ++gi) {
+              const int gb = group_begin[gi];
+              const int ge = group_begin[gi + 1];
+              macs += nn::conv_group_masked(
+                  in.data(), in_floats, g, wp, out_c, bp,
+                  masks[static_cast<size_t>(order[gb])],
+                  std::span<const int>(order + gb,
+                                       static_cast<size_t>(ge - gb)),
+                  ids, &op.pack_cache, out.data(), out_floats, ws);
+            }
           }
           op.last_groups = groups;
         } else {
@@ -279,15 +352,16 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
           op.last_groups = 0;
         }
         if (op.fuse_bn || op.fuse_relu || res_base != nullptr) {
+          const nn::FusedEpilogueParams ep = epilogue_params(op);
           parallel_for(
               0, n,
               [&](int64_t b0, int64_t b1) {
                 for (int64_t b = b0; b < b1; ++b) {
-                  apply_epilogue(op, out.data() + b * out_floats,
-                                 res_base != nullptr
-                                     ? res_base + b * out_floats
-                                     : nullptr,
-                                 out_c, pos);
+                  nn::fused_epilogue(out.data() + b * out_floats,
+                                     res_base != nullptr
+                                         ? res_base + b * out_floats
+                                         : nullptr,
+                                     out_c, pos, ep);
                 }
               },
               /*grain=*/1);
@@ -355,8 +429,14 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
       units = static_cast<double>(op.last_macs) /
               (static_cast<double>(op.dense_macs) * static_cast<double>(n));
       if (op.last_groups > 0) {
+        // Cross-group parallelism makes group cost the CRITICAL-PATH
+        // worker, not the group sum: with W workers the longest worker
+        // runs ceil(G / W) group dispatches, so that — not G — is the
+        // dispatch count the measured time reflects.
+        const int width = group_parallel_width(threads, op.last_groups);
         group_frac =
-            static_cast<double>(op.last_groups) / static_cast<double>(n);
+            static_cast<double>((op.last_groups + width - 1) / width) /
+            static_cast<double>(n);
         units *= group_frac;
       }
     }
@@ -384,11 +464,14 @@ std::string InferencePlan::to_string() const {
   os << "InferencePlan: " << ops_.size() << " ops, "
      << dense_macs_per_sample() << " dense MACs/sample, "
      << activation_floats_per_sample() << " activation floats/sample, "
-     << "arena " << arena_bytes(1) << " B at batch 1\n";
+     << "arena " << arena_bytes(1) << " B at batch 1, "
+     << "simd " << nn::simd_lane_width() << "-lane ("
+     << nn::simd_isa_name() << "), group workers <= "
+     << group_parallel_width(compute_threads(), kMaxGroupWorkers) << "\n";
   char line[192];
   std::snprintf(line, sizeof(line),
                 "%-3s %-9s %-18s %-16s %-14s %12s %10s %6s\n", "#", "op",
-                "name", "out(shape)", "fused", "MACs/sample", "ewma_ms",
+                "name", "out(shape)", "epilogue", "MACs/sample", "ewma_ms",
                 "groups");
   os << line;
   for (size_t i = 0; i < ops_.size(); ++i) {

@@ -36,9 +36,18 @@
 //     weight panel packed once per group and cached across passes), with
 //     gather/scatter/epilogue parallelized across samples — instead of
 //     paying per-sample kernel dispatch, im2col and weight gathering.
+//   - mask groups executed CONCURRENTLY when a pass produces several:
+//     whole groups dispatch to pool workers, each over a private arena
+//     slice carved from the reserved arena (Workspace::bind_external),
+//     with the kernels' internal parallel_fors running inline under the
+//     nested-dispatch guard. Groups cover disjoint samples, so outputs
+//     are bitwise identical to sequential group order — and the
+//     all-distinct-mask worst case stops degenerating to serial
+//     per-sample dispatch.
 //   - per-op dense FLOPs, measured (EWMA-smoothed) step timings and
 //     observed mask-group fractions, which the serving LatencyController
-//     turns into a grouping-aware latency cost model.
+//     turns into a grouping-aware latency cost model whose group cost is
+//     the critical-path worker (max over workers), not the group sum.
 //
 // A plan holds non-owning pointers into the model's modules (weights, BN
 // affine parameters, gates), so it is owned by the model and must be
@@ -48,6 +57,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -61,6 +71,12 @@
 #include "tensor/workspace.h"
 
 namespace antidote::plan {
+
+// Cross-group parallelism cap: at most this many mask groups execute
+// concurrently (each over its own arena slice), bounding the slice region
+// of arena_bytes() on many-core machines. The effective width of a pass
+// is min(total compute threads, distinct groups, this cap).
+inline constexpr int kMaxGroupWorkers = 16;
 
 enum class OpKind {
   kConv,           // fused conv (+BN) (+residual) (+ReLU)
@@ -147,11 +163,14 @@ struct PlanOp {
   // and systematically inflate the estimate when conditions fluctuate.
   double ewma_ms = 0.0;
   // Smoothed cost units of the runs behind ewma_ms: executed-MAC fraction
-  // x group fraction for masked runs, 1 for dense runs (the model's
-  // "cost scales with distinct-mask count x compacted size" axis).
+  // x group-cost fraction for masked runs, 1 for dense runs (the model's
+  // "cost scales with critical-path group dispatches x compacted size"
+  // axis).
   double ewma_units = 1.0;
-  // Smoothed group fraction (distinct masks / batch) of masked runs; 1
-  // until a masked batch has executed.
+  // Smoothed group-cost fraction of masked runs: ceil(groups / width) /
+  // batch — the critical-path worker's group dispatches under cross-group
+  // parallelism (max over workers, not the group sum). 1 until a masked
+  // batch has executed.
   double ewma_group_frac = 1.0;
 };
 
@@ -174,9 +193,10 @@ struct OpCost {
   OpKind kind = OpKind::kConv;
   int64_t dense_macs = 0;  // per sample
   double ewma_ms = 0.0;    // raw smoothed per-batch step time
-  // Observed mean distinct-mask-group fraction (groups / batch) — grouped
-  // execution's cost scales with distinct-mask count x compacted size,
-  // not batch x dense size.
+  // Observed mean group-COST fraction (ceil(groups / parallel width) /
+  // batch): with groups dispatched across pool workers, a masked step
+  // costs the critical-path worker's dispatches x compacted size — a max
+  // over workers, not the sum over groups.
   double group_frac = 1.0;
   // Smoothed cost units behind ewma_ms (keep fraction x group fraction of
   // the measured runs); predictions rescale by hypothetical units / this.
@@ -194,8 +214,10 @@ class InferencePlan {
   Tensor run(const Tensor& x, nn::ExecutionContext& ctx);
 
   // Exact bytes one pass of batch size `n` draws from the arena:
-  // activation region + gate outputs + worst-case kernel scratch. Known
-  // before the first forward ever runs.
+  // activation region + gate outputs + worst-case kernel scratch
+  // (including the cross-group per-worker slice region, which scales with
+  // the process's fixed thread budget — ANTIDOTE_THREADS — capped at
+  // kMaxGroupWorkers). Known before the first forward ever runs.
   size_t arena_bytes(int n) const;
   // Pre-grows `ws` so a pass of batch size `n` performs zero arena growths
   // and zero heap allocations, starting with the very first one. Also
@@ -247,6 +269,16 @@ class InferencePlan {
 
   // Reused across runs (sized at compile time, no per-pass allocation).
   std::vector<Tensor> slots_;
+  // Per-worker arena-slice views for cross-group parallel execution,
+  // rebound to slices of the pass arena each masked pass
+  // (Workspace::bind_external — rebinding is heap-free). Created by
+  // reserve(), or lazily on the first multi-group pass of an unreserved
+  // caller; behind a unique_ptr so the plan stays movable.
+  struct GroupSlices {
+    Workspace ws[kMaxGroupWorkers];
+  };
+  std::unique_ptr<GroupSlices> group_slices_;
+  void ensure_group_slices();
   // Shared ascending identity indices, sized at the plan's max dimension;
   // spans over a prefix stand in for any empty (= keep all) mask
   // component, replacing the per-pass iota rebuilds the executor used to

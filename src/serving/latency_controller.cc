@@ -63,9 +63,11 @@ double LatencyController::predict_ms_locked(float offset) const {
           std::clamp(base_.spatial_drop[b] + offset, 0.f, config_.max_drop);
       keep *= 1.0 - sp;
     }
-    // Grouped execution: cost scales with distinct-mask count x compacted
-    // size. Rescale the raw measured time from the units it was observed
-    // at to the hypothesized keep x observed group fraction.
+    // Grouped execution: cost scales with the critical-path worker's
+    // group dispatches x compacted size (groups run concurrently, so the
+    // group term is a max over workers, not a sum over groups). Rescale
+    // the raw measured time from the units it was observed at to the
+    // hypothesized keep x observed group-cost fraction.
     const double measured =
         op.measured_units > 1e-4 ? op.measured_units : 1.0;
     total += op.ms * (keep * op.group_frac) / measured;

@@ -62,11 +62,13 @@ class LatencyController {
   // Per-op latency cost model distilled from an InferencePlan's measured
   // timings. Ops with prune_block >= 0 have their cost scaled by the keep
   // ratios that block's drop settings imply; the rest are fixed cost.
-  // Under mask-grouped execution a masked conv's realized cost scales
-  // with distinct-mask count x compacted size — not batch x dense size —
-  // so each prunable op also carries the plan's observed group fraction
-  // (distinct masks / batch, ewma) and the cost units its measured time
-  // was observed at. Prediction rescales the raw measured time by
+  // Under mask-grouped execution with cross-group parallelism a masked
+  // conv's realized cost scales with the CRITICAL-PATH worker's group
+  // dispatches x compacted size (groups run concurrently over pool
+  // workers, so group cost is a max over workers, not a sum over groups)
+  // — so each prunable op also carries the plan's observed group-cost
+  // fraction (ceil(groups / parallel width) / batch, ewma) and the cost
+  // units its measured time was observed at. Prediction rescales the raw measured time by
   // hypothetical units / measured units — a single division of two
   // smoothed series, so fluctuating group counts cannot inflate the
   // estimate the way per-sample normalization (averaged reciprocals)

@@ -4,6 +4,7 @@
 
 #include "base/error.h"
 #include "base/parallel.h"
+#include "base/simd.h"
 
 namespace antidote {
 
@@ -73,39 +74,78 @@ void pack_a_panel(const float* a, int lda, float alpha, int i0, int mw,
 // C tile [mw x jw] += Apanel * Bpanel over kc packed steps. The tile is
 // loaded into registers, accumulated in ascending-p order (the same
 // per-element order as the naive kernel) and stored once per K slab.
+// The vectorized inner update uses simd::madd — an explicit multiply THEN
+// add, never a fused multiply-add — so every element sees exactly the two
+// roundings per step the scalar kernel performs and the blocked result
+// stays bitwise identical across the SIMD, scalar-fallback and simple
+// paths (the grouped-vs-per-sample and plan-vs-module-walk memcmp gates
+// mix those paths freely).
 void micro_kernel(int kc, const float* ap, const float* bp, float* c,
                   int64_t ldc, int mw, int jw) {
   if (mw == kMR && jw == kNR) {
-    // One accumulator row per A row, kept in registers across the whole K
-    // slab; C is read once and written once per slab, so the inner loop is
-    // pure multiply-add on register data.
-    float a0[kNR], a1[kNR], a2[kNR], a3[kNR];
-#pragma GCC unroll 16
-    for (int j = 0; j < kNR; ++j) {
-      a0[j] = c[0 * ldc + j];
-      a1[j] = c[1 * ldc + j];
-      a2[j] = c[2 * ldc + j];
-      a3[j] = c[3 * ldc + j];
-    }
-    for (int p = 0; p < kc; ++p) {
-      const float* arow = ap + static_cast<int64_t>(p) * kMR;
-      const float* brow = bp + static_cast<int64_t>(p) * kNR;
-      const float v0 = arow[0], v1 = arow[1], v2 = arow[2], v3 = arow[3];
+    if constexpr (simd::kLanes > 1) {
+      // kNR is a multiple of every backend's lane width: the 4 x 16 tile
+      // is kMR x kVecs vector accumulators, resident in registers across
+      // the whole K slab.
+      constexpr int kVecs = kNR / simd::kLanes;
+      simd::vf acc[kMR][kVecs];
+      for (int i = 0; i < kMR; ++i) {
+        for (int v = 0; v < kVecs; ++v) {
+          acc[i][v] = simd::load(c + i * ldc + v * simd::kLanes);
+        }
+      }
+      for (int p = 0; p < kc; ++p) {
+        const float* arow = ap + static_cast<int64_t>(p) * kMR;
+        const float* brow = bp + static_cast<int64_t>(p) * kNR;
+        simd::vf b[kVecs];
+        for (int v = 0; v < kVecs; ++v) {
+          b[v] = simd::load(brow + v * simd::kLanes);
+        }
+        for (int i = 0; i < kMR; ++i) {
+          const simd::vf av = simd::set1(arow[i]);
+          for (int v = 0; v < kVecs; ++v) {
+            acc[i][v] = simd::madd(av, b[v], acc[i][v]);
+          }
+        }
+      }
+      for (int i = 0; i < kMR; ++i) {
+        for (int v = 0; v < kVecs; ++v) {
+          simd::store(c + i * ldc + v * simd::kLanes, acc[i][v]);
+        }
+      }
+    } else {
+      // Scalar fallback. One accumulator row per A row, kept in registers
+      // across the whole K slab (the unroll pragmas force the promotion);
+      // C is read once and written once per slab, so the inner loop is
+      // pure multiply-add on register data.
+      float a0[kNR], a1[kNR], a2[kNR], a3[kNR];
 #pragma GCC unroll 16
       for (int j = 0; j < kNR; ++j) {
-        const float bv = brow[j];
-        a0[j] += v0 * bv;
-        a1[j] += v1 * bv;
-        a2[j] += v2 * bv;
-        a3[j] += v3 * bv;
+        a0[j] = c[0 * ldc + j];
+        a1[j] = c[1 * ldc + j];
+        a2[j] = c[2 * ldc + j];
+        a3[j] = c[3 * ldc + j];
       }
-    }
+      for (int p = 0; p < kc; ++p) {
+        const float* arow = ap + static_cast<int64_t>(p) * kMR;
+        const float* brow = bp + static_cast<int64_t>(p) * kNR;
+        const float v0 = arow[0], v1 = arow[1], v2 = arow[2], v3 = arow[3];
 #pragma GCC unroll 16
-    for (int j = 0; j < kNR; ++j) {
-      c[0 * ldc + j] = a0[j];
-      c[1 * ldc + j] = a1[j];
-      c[2 * ldc + j] = a2[j];
-      c[3 * ldc + j] = a3[j];
+        for (int j = 0; j < kNR; ++j) {
+          const float bv = brow[j];
+          a0[j] += v0 * bv;
+          a1[j] += v1 * bv;
+          a2[j] += v2 * bv;
+          a3[j] += v3 * bv;
+        }
+      }
+#pragma GCC unroll 16
+      for (int j = 0; j < kNR; ++j) {
+        c[0 * ldc + j] = a0[j];
+        c[1 * ldc + j] = a1[j];
+        c[2 * ldc + j] = a2[j];
+        c[3 * ldc + j] = a3[j];
+      }
     }
     return;
   }

@@ -1,8 +1,66 @@
 #include "tensor/im2col.h"
 
+#include <cstring>
+
 #include "base/error.h"
+#include "base/simd.h"
 
 namespace antidote {
+
+namespace {
+
+// Fills one lowered row — channel plane x kernel offset (kh, kw) — of
+// out_positions() values into `dst`. For stride-1 geometry each output row
+// maps to a contiguous span of the input row, so the interior is a single
+// memcpy bracketed by zeroed padding edges; strided geometry keeps the
+// scalar walk. Values (and therefore bits) match the reference loop
+// exactly — this is pure data movement.
+inline void lower_row(const float* plane, const ConvGeom& g, int kh, int kw,
+                      float* dst) {
+  const int oh = g.out_h(), ow = g.out_w();
+  for (int y = 0; y < oh; ++y) {
+    const int iy = y * g.stride - g.pad + kh;
+    float* d = dst + static_cast<int64_t>(y) * ow;
+    if (iy < 0 || iy >= g.in_h) {
+      std::memset(d, 0, static_cast<size_t>(ow) * sizeof(float));
+      continue;
+    }
+    const float* src = plane + static_cast<int64_t>(iy) * g.in_w;
+    if (g.stride == 1) {
+      // ix = x + kx_off; valid input columns are the contiguous span
+      // [x0, x1) of output columns.
+      const int kx_off = kw - g.pad;
+      const int x0 = kx_off < 0 ? -kx_off : 0;
+      int x1 = g.in_w - kx_off;
+      if (x1 > ow) x1 = ow;
+      if (x1 < x0) x1 = x0;
+      if (x0 > 0) std::memset(d, 0, static_cast<size_t>(x0) * sizeof(float));
+      if (x1 > x0) {
+        std::memcpy(d + x0, src + kx_off + x0,
+                    static_cast<size_t>(x1 - x0) * sizeof(float));
+      }
+      if (x1 < ow) {
+        std::memset(d + x1, 0, static_cast<size_t>(ow - x1) * sizeof(float));
+      }
+    } else {
+      for (int x = 0; x < ow; ++x) {
+        const int ix = x * g.stride - g.pad + kw;
+        d[x] = (ix >= 0 && ix < g.in_w) ? src[ix] : 0.f;
+      }
+    }
+  }
+}
+
+// True when `spatial` keeps every output position. The contract (strictly
+// increasing indices in [0, out_positions())) makes the endpoint check
+// sufficient.
+inline bool spatial_is_identity(std::span<const int> spatial, int64_t pos) {
+  return static_cast<int64_t>(spatial.size()) == pos &&
+         (pos == 0 || (spatial.front() == 0 &&
+                       spatial.back() == static_cast<int>(pos) - 1));
+}
+
+}  // namespace
 
 void ConvGeom::validate() const {
   AD_CHECK_GT(in_c, 0);
@@ -22,6 +80,22 @@ void im2col(const float* input, const ConvGeom& g, float* cols) {
 
 void im2col_range(const float* input, const ConvGeom& g, int c0, int c1,
                   float* cols) {
+  AD_CHECK(0 <= c0 && c0 <= c1 && c1 <= g.in_c) << " im2col channel range";
+  const int64_t n_cols = g.out_positions();
+  int64_t row = static_cast<int64_t>(c0) * g.k_h * g.k_w;
+  for (int c = c0; c < c1; ++c) {
+    const float* plane = input + static_cast<int64_t>(c) * g.in_h * g.in_w;
+    for (int kh = 0; kh < g.k_h; ++kh) {
+      for (int kw = 0; kw < g.k_w; ++kw, ++row) {
+        lower_row(plane, g, kh, kw, cols + row * n_cols);
+      }
+    }
+  }
+}
+
+ANTIDOTE_NO_VECTORIZE
+void im2col_range_scalar(const float* input, const ConvGeom& g, int c0,
+                         int c1, float* cols) {
   AD_CHECK(0 <= c0 && c0 <= c1 && c1 <= g.in_c) << " im2col channel range";
   const int oh = g.out_h(), ow = g.out_w();
   const int64_t n_cols = static_cast<int64_t>(oh) * ow;
@@ -59,6 +133,49 @@ void im2col_gather(const float* input, const ConvGeom& g,
 void im2col_gather_ld(const float* input, const ConvGeom& g,
                       std::span<const int> channels,
                       std::span<const int> spatial, float* cols, int64_t ld) {
+  const int ow = g.out_w();
+  const int64_t n_cols = static_cast<int64_t>(spatial.size());
+  AD_CHECK_GE(ld, n_cols);
+  const bool identity = spatial_is_identity(spatial, g.out_positions());
+  int64_t row = 0;
+  for (int c : channels) {
+    AD_CHECK(c >= 0 && c < g.in_c) << " gathered channel " << c;
+    const float* plane = input + static_cast<int64_t>(c) * g.in_h * g.in_w;
+    for (int kh = 0; kh < g.k_h; ++kh) {
+      for (int kw = 0; kw < g.k_w; ++kw, ++row) {
+        float* out_row = cols + row * ld;
+        if (identity) {
+          // Every position kept: this lowered row is the dense one.
+          lower_row(plane, g, kh, kw, out_row);
+          continue;
+        }
+        // Kept positions are strictly increasing, so (y, x) advance
+        // monotonically — walk them incrementally instead of paying a
+        // div/mod per gathered element.
+        int y = 0, y_edge = ow;
+        for (int64_t j = 0; j < n_cols; ++j) {
+          const int s = spatial[static_cast<size_t>(j)];
+          while (s >= y_edge) {
+            ++y;
+            y_edge += ow;
+          }
+          const int x = s - (y_edge - ow);
+          const int iy = y * g.stride - g.pad + kh;
+          const int ix = x * g.stride - g.pad + kw;
+          out_row[j] = (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w)
+                           ? plane[static_cast<int64_t>(iy) * g.in_w + ix]
+                           : 0.f;
+        }
+      }
+    }
+  }
+}
+
+ANTIDOTE_NO_VECTORIZE
+void im2col_gather_ld_scalar(const float* input, const ConvGeom& g,
+                             std::span<const int> channels,
+                             std::span<const int> spatial, float* cols,
+                             int64_t ld) {
   const int ow = g.out_w();
   const int64_t n_cols = static_cast<int64_t>(spatial.size());
   AD_CHECK_GE(ld, n_cols);

@@ -60,9 +60,27 @@ void im2col_gather(const float* input, const ConvGeom& g,
 // whole group's gathered patches form one contiguous GEMM operand with
 // each member occupying a column slice. ld == spatial.size() reproduces
 // im2col_gather exactly.
+//
+// Fast paths (bitwise identical to the reference): when `spatial` is the
+// full identity range (every output position kept — the channel-mask hot
+// path) each lowered row is filled with the dense contiguous-span copy;
+// otherwise the kept positions are decomposed into (y, x) incrementally
+// (they are strictly increasing), eliminating the per-element div/mod of
+// the reference.
 void im2col_gather_ld(const float* input, const ConvGeom& g,
                       std::span<const int> channels,
                       std::span<const int> spatial, float* cols, int64_t ld);
+
+// Genuinely scalar reference implementations (kept un-autovectorized) of
+// the two lowering kernels above. They define the values the optimized
+// paths must reproduce BIT FOR BIT — the SIMD parity suite asserts it —
+// and serve as the scalar leg of the im2col/gather micro-benchmarks.
+void im2col_range_scalar(const float* input, const ConvGeom& g, int c0,
+                         int c1, float* cols);
+void im2col_gather_ld_scalar(const float* input, const ConvGeom& g,
+                             std::span<const int> channels,
+                             std::span<const int> spatial, float* cols,
+                             int64_t ld);
 
 // Scatter-add transpose of im2col: cols [C*kh*kw, out_h*out_w] accumulated
 // into input_grad [C,H,W] (caller zero-initializes input_grad).

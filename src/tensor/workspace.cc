@@ -21,7 +21,20 @@ void aligned_delete(char* p) {
 }  // namespace
 
 Workspace::~Workspace() {
+  if (external_) return;  // the view does not own its memory
   for (Block& b : blocks_) aligned_delete(b.data);
+}
+
+void Workspace::bind_external(void* buffer, size_t bytes) {
+  if (!external_) {
+    // First bind of this object: it must not hold owned memory we would
+    // silently leak or double-interpret.
+    AD_CHECK(blocks_.empty()) << " bind_external on an owning workspace";
+    blocks_.resize(1);  // one-entry table, reused by every rebind
+    external_ = true;
+  }
+  blocks_[0] = Block{static_cast<char*>(buffer), bytes, 0};
+  current_ = 0;
 }
 
 char* Workspace::raw_alloc(size_t bytes) {
@@ -35,6 +48,10 @@ char* Workspace::raw_alloc(size_t bytes) {
       return p;
     }
   }
+  // A fixed view never grows: its size came from an exact worst-case
+  // formula, so running out is a sizing bug, not a demand signal.
+  AD_CHECK(!external_) << " fixed workspace slice exhausted (need " << bytes
+                       << " B more of " << capacity_bytes() << " B)";
   // Advance through later (rewound) blocks if one is large enough.
   for (size_t i = current_ + 1; i < blocks_.size(); ++i) {
     blocks_[i].used = 0;
@@ -70,6 +87,11 @@ void Workspace::rewind(Mark m) {
 
 void Workspace::reserve(size_t bytes) {
   bytes = align_up(std::max<size_t>(bytes, 1));
+  if (external_) {
+    AD_CHECK_LE(blocks_[0].used + bytes, blocks_[0].capacity)
+        << " reserve exceeds fixed workspace slice";
+    return;
+  }
   // Satisfied if any block from the allocation cursor onward has the room
   // (allocations walk forward through rewound blocks before growing).
   for (size_t i = current_; i < blocks_.size(); ++i) {

@@ -63,6 +63,19 @@ class Workspace {
   // the first pass so no allocation ever happens mid-forward.
   void reserve(size_t bytes);
 
+  // Turns this workspace into a non-owning FIXED-CAPACITY view over
+  // `bytes` bytes at `buffer` (typically a slice carved out of another,
+  // owning workspace): allocations bump inside the slice and exhausting
+  // it is a hard error (AD_CHECK), never a growth — the caller's sizing
+  // formula is the contract. Rebinding the same object to a new slice is
+  // free of heap traffic (the one-entry block table is reused), which is
+  // how the plan executor hands each pool worker a per-pass arena slice
+  // of the reserved arena without allocating: bind, run, rebind next
+  // pass. Only ever bind dedicated view objects — binding drops any owned
+  // blocks. bind_external(nullptr, 0) pre-sizes the block table so even
+  // the first real bind allocates nothing.
+  void bind_external(void* buffer, size_t bytes);
+
   // --- introspection (tests, benches) ---
   size_t capacity_bytes() const;    // total bytes reserved across blocks
   size_t used_bytes() const;        // bytes handed out since last reset
@@ -97,6 +110,7 @@ class Workspace {
   std::vector<Block> blocks_;
   size_t current_ = 0;  // block being bump-allocated from
   int64_t grow_count_ = 0;
+  bool external_ = false;  // non-owning fixed view (bind_external)
 };
 
 // Per-thread fallback arena used by kernels and layers when the caller

@@ -1,0 +1,163 @@
+// Cross-group parallel execution and the nested parallel_for guard, under
+// a forced multi-thread pool (ANTIDOTE_THREADS=4 is set before the lazily
+// created global pool can exist, so this binary exercises the parallel
+// regime even on a single-core machine):
+//   - an inner parallel_for issued from inside a chunk runs INLINE on the
+//     issuing worker (no queue re-entry, no dispatch-wait cycle);
+//   - the plan executor's concurrent mask groups produce output bitwise
+//     identical to the sequential per-sample module walk;
+//   - arena sizing stays exact: reserve() then all-distinct masked passes
+//     with zero arena growths from the very first forward.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "base/parallel.h"
+#include "base/rng.h"
+#include "core/engine.h"
+#include "models/factory.h"
+#include "nn/execution_context.h"
+#include "plan/plan.h"
+
+namespace antidote {
+namespace {
+
+// Must run before any antidote code touches the pool. 4 compute threads =
+// caller + 3 workers.
+const bool kForcedThreads = [] {
+  ::setenv("ANTIDOTE_THREADS", "4", /*overwrite=*/1);
+  return true;
+}();
+
+TEST(ParallelFor, PoolHonorsForcedThreadCount) {
+  ASSERT_TRUE(kForcedThreads);
+  EXPECT_EQ(global_pool().size(), 3);
+}
+
+TEST(ParallelFor, NestedDispatchRunsInlineOnTheWorker) {
+  ASSERT_FALSE(in_parallel_region());
+  std::atomic<int> outer_chunks{0};
+  std::atomic<int> nested_off_thread{0};
+  std::atomic<int> nested_iters{0};
+  parallel_for(
+      0, 8,
+      [&](int64_t b, int64_t e) {
+        EXPECT_TRUE(in_parallel_region());
+        ++outer_chunks;
+        const std::thread::id me = std::this_thread::get_id();
+        for (int64_t i = b; i < e; ++i) {
+          // Big enough range that, without the guard, this would dispatch.
+          parallel_for(
+              0, 100000,
+              [&](int64_t ib, int64_t ie) {
+                if (std::this_thread::get_id() != me) ++nested_off_thread;
+                nested_iters += static_cast<int>(ie - ib);
+              },
+              /*grain=*/1);
+        }
+      },
+      /*grain=*/1);
+  EXPECT_FALSE(in_parallel_region());
+  EXPECT_GT(outer_chunks.load(), 1);  // the outer loop did fan out
+  EXPECT_EQ(nested_off_thread.load(), 0);  // ... and the inner did not
+  EXPECT_EQ(nested_iters.load(), 8 * 100000);
+}
+
+TEST(ParallelFor, GuardClearsAfterExceptions) {
+  try {
+    parallel_for(
+        0, 8, [&](int64_t, int64_t) { throw std::runtime_error("boom"); },
+        /*grain=*/1);
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_FALSE(in_parallel_region());
+}
+
+std::unique_ptr<models::ConvNet> build(const std::string& name, int image) {
+  Rng rng(9);
+  auto net = models::make_model(name, 10, 0.25f, rng);
+  net->set_training(false);
+  (void)image;
+  return net;
+}
+
+// All-distinct inputs -> (almost surely) all-distinct attention masks ->
+// one singleton mask group per sample, executed concurrently.
+void check_cross_group_parity(const std::string& model, int image,
+                              int batch) {
+  auto net = build(model, image);
+  core::DynamicPruningEngine engine(
+      *net, core::PruneSettings::uniform(net->num_blocks(), 0.4f, 0.3f));
+  Rng rng(23);
+  Tensor x = Tensor::randn({batch, 3, image, image}, rng);
+
+  // Per-sample module walk: sequential by construction.
+  const Tensor plain = net->forward(x);
+
+  nn::ExecutionContext ctx;
+  plan::InferencePlan& plan = net->inference_plan(3, image, image);
+  plan.reserve(ctx.workspace(), batch);
+  const int64_t grows = ctx.workspace().grow_count();
+  for (int pass = 0; pass < 2; ++pass) {
+    ctx.begin_pass();
+    Tensor staged = ctx.alloc(x.shape());
+    std::memcpy(staged.data(), x.data(),
+                static_cast<size_t>(x.size()) * sizeof(float));
+    const Tensor fused = net->forward(staged, ctx);
+    ASSERT_TRUE(plain.same_shape(fused)) << model;
+    // Bitwise: concurrent groups cover disjoint samples and every kernel
+    // keeps its per-element accumulation order and roundings.
+    EXPECT_EQ(std::memcmp(plain.data(), fused.data(),
+                          static_cast<size_t>(plain.size()) * sizeof(float)),
+              0)
+        << model << " pass " << pass;
+    // Exact arena: zero growths from the very first all-distinct pass.
+    EXPECT_EQ(ctx.workspace().grow_count(), grows) << model;
+  }
+  EXPECT_GE(net->current_plan()->last_mask_groups(), 2) << model;
+  engine.remove();
+}
+
+TEST(CrossGroupParallel, AllDistinctMasksMatchModuleWalkBitwise) {
+  check_cross_group_parity("small_cnn", 16, 6);
+  check_cross_group_parity("resnet20", 16, 5);
+  check_cross_group_parity("vgg16", 32, 4);
+}
+
+TEST(CrossGroupParallel, MixedGroupSizesMatchModuleWalkBitwise) {
+  // 2 duplicated pairs + 2 singletons: heterogeneous group sizes share
+  // the per-worker slices.
+  const int image = 16, batch = 6;
+  auto net = build("small_cnn", image);
+  core::DynamicPruningEngine engine(
+      *net, core::PruneSettings::uniform(net->num_blocks(), 0.5f, 0.4f));
+  Rng rng(31);
+  Tensor uniq = Tensor::randn({4, 3, image, image}, rng);
+  Tensor x({batch, 3, image, image});
+  const int64_t sample = uniq.size() / 4;
+  const int src_of[batch] = {0, 0, 1, 1, 2, 3};
+  for (int i = 0; i < batch; ++i) {
+    std::memcpy(x.data() + i * sample, uniq.data() + src_of[i] * sample,
+                static_cast<size_t>(sample) * sizeof(float));
+  }
+  const Tensor plain = net->forward(x);
+  nn::ExecutionContext ctx;
+  net->inference_plan(3, image, image).reserve(ctx.workspace(), batch);
+  ctx.begin_pass();
+  Tensor staged = ctx.alloc(x.shape());
+  std::memcpy(staged.data(), x.data(),
+              static_cast<size_t>(x.size()) * sizeof(float));
+  const Tensor fused = net->forward(staged, ctx);
+  EXPECT_EQ(std::memcmp(plain.data(), fused.data(),
+                        static_cast<size_t>(plain.size()) * sizeof(float)),
+            0);
+  EXPECT_LE(net->current_plan()->last_mask_groups(), 4);
+  engine.remove();
+}
+
+}  // namespace
+}  // namespace antidote
