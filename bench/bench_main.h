@@ -16,11 +16,54 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <system_error>
 #include <vector>
 
+#include "base/build_info.h"
+#include "base/parallel.h"
+#include "nn/conv_kernels.h"
+
 namespace antidote::bench {
+
+// Run-metadata JSON object shared by every BENCH_*.json: schema version
+// (bump kBenchSchemaVersion when a bench's fields change meaning), the
+// build's `git describe`, the thread count the pool actually uses and the
+// SIMD ISA the kernels were compiled for. Downstream tooling can refuse
+// to diff runs whose meta blocks disagree.
+inline std::string bench_meta_json() {
+  std::ostringstream os;
+  os << "{\"schema_version\": " << kBenchSchemaVersion << ", \"git\": \""
+     << build_git_describe() << "\", \"threads\": " << (global_pool().size() + 1)
+     << ", \"simd_isa\": \"" << nn::simd_isa_name()
+     << "\", \"simd_lanes\": " << nn::simd_lane_width() << "}";
+  return os.str();
+}
+
+// Splices `"meta": {...}` (plus an optional extra top-level fragment,
+// e.g. "\"serving\": {...}") immediately after the opening `{` of the
+// google-benchmark JSON document at `path`. Returns false when the file
+// can't be read back or doesn't open with `{`.
+inline bool inject_meta_json(const std::string& path,
+                             const std::string& extra_fragment) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string doc = buf.str();
+  in.close();
+  const size_t brace = doc.find('{');
+  if (brace == std::string::npos) return false;
+  std::string insert = "\n  \"meta\": " + bench_meta_json() + ",";
+  if (!extra_fragment.empty()) insert += "\n  " + extra_fragment + ",";
+  doc.insert(brace + 1, insert);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << doc;
+  return out.good();
+}
 
 // True when the file is non-empty and its last non-whitespace byte closes
 // a JSON object — the cheap structural check that catches truncation.
@@ -68,7 +111,11 @@ inline bool publish_json_atomically(const std::string& tmp_path,
   return true;
 }
 
-inline int run_benchmarks(int argc, char** argv, const char* default_out) {
+// `extra_json_fragment`, when non-empty, is a `"key": {...}` fragment
+// spliced into the document top level next to the "meta" block (used by
+// micro_e2e to attach the serving-percentile smoke results).
+inline int run_benchmarks(int argc, char** argv, const char* default_out,
+                          const std::string& extra_json_fragment = "") {
   std::vector<char*> args(argv, argv + argc);
   const std::string tmp_path = std::string(default_out) + ".tmp";
   std::string out_flag = "--benchmark_out=" + tmp_path;
@@ -85,7 +132,15 @@ inline int run_benchmarks(int argc, char** argv, const char* default_out) {
   benchmark::Initialize(&argc2, args.data());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (!has_out && !publish_json_atomically(tmp_path, default_out)) return 1;
+  if (!has_out) {
+    if (!inject_meta_json(tmp_path, extra_json_fragment)) {
+      std::fprintf(stderr,
+                   "ERROR: could not inject run metadata into %s\n",
+                   tmp_path.c_str());
+      return 1;
+    }
+    if (!publish_json_atomically(tmp_path, default_out)) return 1;
+  }
   return 0;
 }
 

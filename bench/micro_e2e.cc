@@ -36,7 +36,9 @@
 #include "models/factory.h"
 #include "nn/conv_kernels.h"
 #include "nn/execution_context.h"
+#include "obs/trace.h"
 #include "plan/plan.h"
+#include "serving/serving.h"
 
 // --- global allocation counter (this binary only) --------------------------
 
@@ -525,6 +527,148 @@ GroupedReport verify_grouped(const std::string& model_name, int distinct) {
   return r;
 }
 
+// --- tracing-enabled hot-path gate ------------------------------------------
+//
+// The obs tracer's core promise: the serving hot path stays allocation-
+// and growth-free WITH tracing armed. Rings are preallocated by enable()
+// and thread slots are claimed with a lock-free fetch_add, so warmed
+// passes must stay at zero even while every phase span is being recorded.
+// Also checks that the recorded timeline actually shows cross-worker
+// group execution (>= 2 trace slots carrying kGroup spans) when the pool
+// is wide enough for the parallel group regime.
+
+struct TracingReport {
+  bool compiled_in = false;
+  int64_t traced_pass_allocs = -1;
+  int64_t traced_pass_growths = -1;
+  uint64_t events = 0;
+  uint64_t dropped = 0;
+  int slots_with_groups = 0;
+  bool spread_gated = false;  // only with >= 4 threads (parallel regime)
+  bool pass = true;
+};
+
+TracingReport verify_tracing() {
+  TracingReport r;
+  obs::Tracer& tracer = obs::Tracer::instance();
+  r.compiled_in = tracer.enable(size_t{1} << 14, /*with_counters=*/false);
+  if (!r.compiled_in) {
+    std::printf(
+        "tracing gate: profiling compiled out (ANTIDOTE_PROFILE=0); "
+        "skipped\n");
+    return r;
+  }
+  const int batch = 8, distinct = 4;
+  auto net = build("vgg16");
+  core::DynamicPruningEngine engine(*net, settings_for(*net));
+  Rng rng(12);
+  Tensor uniq = Tensor::randn({distinct, 3, 32, 32}, rng);
+  Tensor x({batch, 3, 32, 32});
+  const int64_t sample = uniq.size() / distinct;
+  for (int i = 0; i < batch; ++i) {
+    std::memcpy(x.data() + i * sample, uniq.data() + (i % distinct) * sample,
+                static_cast<size_t>(sample) * sizeof(float));
+  }
+  nn::ExecutionContext ctx;
+  plan::InferencePlan& plan = net->inference_plan(3, 32, 32);
+  plan.reserve(ctx.workspace(), batch);
+  auto run_pass = [&] {
+    ctx.begin_pass();
+    Tensor staged = ctx.alloc(x.shape());
+    std::memcpy(staged.data(), x.data(),
+                static_cast<size_t>(x.size()) * sizeof(float));
+    Tensor y = net->forward(staged, ctx);
+    benchmark::DoNotOptimize(y.data());
+  };
+  for (int i = 0; i < 3; ++i) run_pass();  // warm arena, claim trace slots
+  tracer.clear();                          // keep slots, drop warmup spans
+  const int64_t grows_before = ctx.workspace().grow_count();
+  const int64_t allocs_before = g_heap_allocs.load();
+  const int passes = 5;
+  for (int i = 0; i < passes; ++i) run_pass();
+  r.traced_pass_allocs = g_heap_allocs.load() - allocs_before;
+  r.traced_pass_growths = ctx.workspace().grow_count() - grows_before;
+  r.events = tracer.total_events();
+  r.dropped = tracer.dropped_events();
+  for (int s = 0; s < tracer.slots_in_use(); ++s) {
+    const obs::TraceRing& ring = tracer.ring(s);
+    for (size_t i = 0; i < ring.size(); ++i) {
+      if (ring.chronological(i).phase ==
+          static_cast<uint8_t>(obs::Phase::kGroup)) {
+        ++r.slots_with_groups;
+        break;
+      }
+    }
+  }
+  tracer.disable();
+  engine.remove();
+
+  const int threads = 1 + antidote::global_pool().size();
+  r.spread_gated = threads >= 4;
+  const bool alloc_ok =
+      r.traced_pass_allocs == 0 && r.traced_pass_growths == 0;
+  const bool spread_ok = !r.spread_gated || r.slots_with_groups >= 2;
+  r.pass = alloc_ok && spread_ok && r.events > 0;
+  std::printf(
+      "tracing gate: %d traced passes, %lld heap allocs / %lld growths "
+      "(want 0/0), %llu spans (%llu dropped), %d worker lanes with group "
+      "spans%s -> %s\n",
+      passes, static_cast<long long>(r.traced_pass_allocs),
+      static_cast<long long>(r.traced_pass_growths),
+      static_cast<unsigned long long>(r.events),
+      static_cast<unsigned long long>(r.dropped), r.slots_with_groups,
+      r.spread_gated ? " (>= 2 required)" : " (spread check skipped: <4 threads)",
+      r.pass ? "PASSED" : "FAILED");
+  return r;
+}
+
+// --- serving latency-distribution smoke -------------------------------------
+//
+// A small in-process InferenceServer run whose percentile snapshot rides
+// into BENCH_e2e.json (top-level "serving_smoke"), so queue-wait/e2e
+// tails are tracked across PRs next to the forward-latency curves.
+// Reported, not gated: absolute latencies are machine-dependent.
+std::string serving_percentile_smoke() {
+  serving::ServerConfig config;
+  config.policy.max_batch = 8;
+  config.policy.max_wait = std::chrono::microseconds(500);
+  config.policy.num_workers = 2;
+  config.prune = settings_for(*build("small_cnn"));
+  serving::InferenceServer server(
+      [](int) { return build("small_cnn"); }, config);
+  Rng rng(13);
+  const int warmup = 16, measured = 96;
+  std::vector<std::future<serving::InferenceResult>> futures;
+  futures.reserve(static_cast<size_t>(warmup + measured));
+  for (int i = 0; i < warmup; ++i) {
+    futures.push_back(server.submit(Tensor::randn({3, 32, 32}, rng)));
+  }
+  for (auto& f : futures) f.get();
+  futures.clear();
+  server.stats().reset();
+  for (int i = 0; i < measured; ++i) {
+    futures.push_back(server.submit(Tensor::randn({3, 32, 32}, rng)));
+  }
+  for (auto& f : futures) f.get();
+  const serving::ServerStats::Snapshot s = server.stats().snapshot();
+  server.shutdown();
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"serving_smoke\": {\"model\": \"small_cnn\", \"requests\": %llu, "
+      "\"queue_wait_ms\": {\"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f}, "
+      "\"e2e_ms\": {\"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f}, "
+      "\"deadline_miss_rate_pct\": %.2f}",
+      static_cast<unsigned long long>(s.completed_requests),
+      s.queue_wait_p50_ms, s.queue_wait_p95_ms, s.queue_wait_p99_ms,
+      s.e2e_p50_ms, s.e2e_p95_ms, s.e2e_p99_ms, s.deadline_miss_rate_pct);
+  std::printf(
+      "serving smoke: %llu requests, e2e p50/p95/p99 %.3f/%.3f/%.3f ms\n",
+      static_cast<unsigned long long>(s.completed_requests), s.e2e_p50_ms,
+      s.e2e_p95_ms, s.e2e_p99_ms);
+  return buf;
+}
+
 bool run_plan_verification(const char* json_path) {
   std::printf("--- plan equivalence gate ---\n");
   std::vector<PlanReport> reports;
@@ -569,11 +713,16 @@ bool run_plan_verification(const char* json_path) {
       !gate_active ? "SKIPPED (<4 threads or oversubscribed)"
                    : (all_distinct_ok ? "PASSED" : "FAILED"));
 
+  std::printf("--- tracing-enabled hot path ---\n");
+  const TracingReport tracing = verify_tracing();
+  ok &= tracing.pass;
+
   // Written to a temp file and published atomically: the tracked
   // BENCH_plan.json must never be observable empty or half-written.
   const std::string tmp_path = std::string(json_path) + ".tmp";
   if (FILE* f = std::fopen(tmp_path.c_str(), "w")) {
-    std::fprintf(f, "{\n  \"plan_equivalence\": [\n");
+    std::fprintf(f, "{\n  \"meta\": %s,\n  \"plan_equivalence\": [\n",
+                 antidote::bench::bench_meta_json().c_str());
     for (size_t i = 0; i < reports.size(); ++i) {
       const PlanReport& r = reports[i];
       std::fprintf(
@@ -613,6 +762,19 @@ bool run_plan_verification(const char* json_path) {
         threads, antidote::nn::simd_lane_width(),
         antidote::nn::simd_isa_name(), ms8, ms4, ratio,
         gate_active ? "true" : "false", all_distinct_ok ? "true" : "false");
+    std::fprintf(
+        f,
+        "  \"tracing\": {\"compiled_in\": %s, \"traced_pass_heap_allocs\": "
+        "%lld, \"traced_pass_arena_growths\": %lld, \"events\": %llu, "
+        "\"dropped\": %llu, \"slots_with_group_spans\": %d, "
+        "\"spread_gated\": %s, \"pass\": %s},\n",
+        tracing.compiled_in ? "true" : "false",
+        static_cast<long long>(tracing.traced_pass_allocs),
+        static_cast<long long>(tracing.traced_pass_growths),
+        static_cast<unsigned long long>(tracing.events),
+        static_cast<unsigned long long>(tracing.dropped),
+        tracing.slots_with_groups, tracing.spread_gated ? "true" : "false",
+        tracing.pass ? "true" : "false");
     std::fprintf(f, "  \"gate\": \"%s\"\n}\n",
                  ok ? "PASSED" : "FAILED");
     std::fclose(f);
@@ -630,5 +792,8 @@ int main(int argc, char** argv) {
       std::getenv("ANTIDOTE_SKIP_VERIFY") != nullptr;
   if (!skip_verify && !run_verification()) return 1;
   if (!skip_verify && !run_plan_verification("BENCH_plan.json")) return 1;
-  return antidote::bench::run_benchmarks(argc, argv, "BENCH_e2e.json");
+  const std::string serving_fragment =
+      skip_verify ? std::string() : serving_percentile_smoke();
+  return antidote::bench::run_benchmarks(argc, argv, "BENCH_e2e.json",
+                                         serving_fragment);
 }

@@ -1,0 +1,13 @@
+#include "base/build_info.h"
+
+namespace antidote {
+
+const char* build_git_describe() {
+#ifdef ANTIDOTE_GIT_DESCRIBE
+  return ANTIDOTE_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace antidote

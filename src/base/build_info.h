@@ -1,0 +1,17 @@
+// Build/run metadata stamped into bench artifacts so a BENCH_*.json can
+// always be traced back to the commit, thread count, and SIMD ISA that
+// produced it — the perf trajectory across commits is only comparable
+// when every sample says what it measured.
+#pragma once
+
+namespace antidote {
+
+// Version of the "antidote_meta" block embedded in every BENCH_*.json.
+// Bump when the bench JSON layout changes incompatibly.
+inline constexpr int kBenchSchemaVersion = 2;
+
+// `git describe --always --dirty --tags` captured by CMake at configure
+// time; "unknown" when the build is not from a git checkout.
+const char* build_git_describe();
+
+}  // namespace antidote

@@ -6,6 +6,7 @@
 #include "base/error.h"
 #include "base/parallel.h"
 #include "base/simd.h"
+#include "obs/trace.h"
 #include "tensor/gemm.h"
 
 namespace antidote::nn {
@@ -360,10 +361,10 @@ const float* pack_weight_panel(const float* w, int in_c, int kk,
                  cache.channels.end()) &&
       std::equal(oc.begin(), oc.end(), cache.out_channels.begin(),
                  cache.out_channels.end())) {
-    ++cache.hits;
+    cache.hits.add(1);
     return cache.panel.data();
   }
-  ++cache.misses;
+  cache.misses.add(1);
   pack_weight_panel_into(w, in_c, kk, ch, oc, spatial_layout,
                          cache.panel.data());
   cache.channels.assign(ch.begin(), ch.end());
@@ -388,19 +389,25 @@ int64_t conv_batch_dense(const float* x_base, int64_t in_floats,
   float* cols = ws.alloc_floats(patch * pos);
   for (int b = 0; b < n; ++b) {
     const float* xb = x_base + static_cast<int64_t>(b) * in_floats;
-    parallel_for(
-        0, g.in_c,
-        [&](int64_t c0, int64_t c1) {
-          im2col_range(xb, g, static_cast<int>(c0), static_cast<int>(c1),
-                       cols);
-        },
-        /*grain=*/1);
+    {
+      obs::PhaseScope span(obs::Phase::kIm2col);
+      parallel_for(
+          0, g.in_c,
+          [&](int64_t c0, int64_t c1) {
+            im2col_range(xb, g, static_cast<int>(c0), static_cast<int>(c1),
+                         cols);
+          },
+          /*grain=*/1);
+    }
     float* yb = y_base + static_cast<int64_t>(b) * out_floats;
-    gemm_nn(out_c, static_cast<int>(pos), static_cast<int>(patch), 1.f, w,
-            cols, 0.f, yb, &ws);
-    if (bias != nullptr) {
-      for (int oc = 0; oc < out_c; ++oc) {
-        add_bias_row(yb + static_cast<int64_t>(oc) * pos, pos, bias[oc]);
+    {
+      obs::PhaseScope span(obs::Phase::kGemm);
+      gemm_nn(out_c, static_cast<int>(pos), static_cast<int>(patch), 1.f, w,
+              cols, 0.f, yb, &ws);
+      if (bias != nullptr) {
+        for (int oc = 0; oc < out_c; ++oc) {
+          add_bias_row(yb + static_cast<int64_t>(oc) * pos, pos, bias[oc]);
+        }
       }
     }
   }
@@ -443,55 +450,67 @@ int64_t conv_group_masked(const float* x_base, int64_t in_floats,
     const int patch_k = ck * g.k_h * g.k_w;
     const int64_t ldc = static_cast<int64_t>(gs) * pos;
     const float* w_panel;
-    if (cache != nullptr) {
-      w_panel = pack_weight_panel(w, in_c, static_cast<int>(kk), ch, oc_set,
-                                  /*spatial_layout=*/false, *cache);
-    } else {
-      // Cross-group parallel regime: pack into this worker's arena slice.
-      float* panel = ws.alloc_floats(static_cast<int64_t>(ok) * patch_k);
-      pack_weight_panel_into(w, in_c, static_cast<int>(kk), ch, oc_set,
-                             /*spatial_layout=*/false, panel);
-      w_panel = panel;
+    {
+      obs::PhaseScope span(obs::Phase::kPack);
+      if (cache != nullptr) {
+        w_panel = pack_weight_panel(w, in_c, static_cast<int>(kk), ch, oc_set,
+                                    /*spatial_layout=*/false, *cache);
+      } else {
+        // Cross-group parallel regime: pack into this worker's arena slice.
+        float* panel = ws.alloc_floats(static_cast<int64_t>(ok) * patch_k);
+        pack_weight_panel_into(w, in_c, static_cast<int>(kk), ch, oc_set,
+                               /*spatial_layout=*/false, panel);
+        w_panel = panel;
+      }
     }
     float* cols = ws.alloc_floats(static_cast<int64_t>(patch_k) * ldc);
     const std::span<const int> all_pos(ids.positions,
                                        static_cast<size_t>(pos));
-    parallel_for(
-        0, gs,
-        [&](int64_t s0, int64_t s1) {
-          for (int64_t s = s0; s < s1; ++s) {
-            const int b = samples[static_cast<size_t>(s)];
-            im2col_gather_ld(x_base + static_cast<int64_t>(b) * in_floats, g,
-                             ch, all_pos, cols + s * pos, ldc);
-          }
-        },
-        /*grain=*/1);
+    {
+      obs::PhaseScope span(obs::Phase::kGather);
+      parallel_for(
+          0, gs,
+          [&](int64_t s0, int64_t s1) {
+            for (int64_t s = s0; s < s1; ++s) {
+              const int b = samples[static_cast<size_t>(s)];
+              im2col_gather_ld(x_base + static_cast<int64_t>(b) * in_floats,
+                               g, ch, all_pos, cols + s * pos, ldc);
+            }
+          },
+          /*grain=*/1);
+    }
     float* y_sub = ws.alloc_floats(static_cast<int64_t>(ok) * ldc);
-    gemm_nn(ok, static_cast<int>(ldc), patch_k, 1.f, w_panel, cols, 0.f,
-            y_sub, &ws);
-    parallel_for(
-        0, gs,
-        [&](int64_t s0, int64_t s1) {
-          for (int64_t s = s0; s < s1; ++s) {
-            const int b = samples[static_cast<size_t>(s)];
-            float* yb = y_base + static_cast<int64_t>(b) * out_floats;
-            for (int oi = 0; oi < ok; ++oi) {
-              const int oc = oc_set[static_cast<size_t>(oi)];
-              const float* src = y_sub + static_cast<int64_t>(oi) * ldc +
-                                 s * pos;
-              float* dst = yb + static_cast<int64_t>(oc) * pos;
-              if (bias != nullptr) {
-                // Fused copy+bias: one pass over the row, same value per
-                // element as copy-then-add.
-                scatter_bias_row(src, dst, pos, bias[oc]);
-              } else {
-                std::memcpy(dst, src,
-                            static_cast<size_t>(pos) * sizeof(float));
+    {
+      obs::PhaseScope span(obs::Phase::kGemm);
+      gemm_nn(ok, static_cast<int>(ldc), patch_k, 1.f, w_panel, cols, 0.f,
+              y_sub, &ws);
+    }
+    {
+      obs::PhaseScope span(obs::Phase::kScatter);
+      parallel_for(
+          0, gs,
+          [&](int64_t s0, int64_t s1) {
+            for (int64_t s = s0; s < s1; ++s) {
+              const int b = samples[static_cast<size_t>(s)];
+              float* yb = y_base + static_cast<int64_t>(b) * out_floats;
+              for (int oi = 0; oi < ok; ++oi) {
+                const int oc = oc_set[static_cast<size_t>(oi)];
+                const float* src = y_sub + static_cast<int64_t>(oi) * ldc +
+                                   s * pos;
+                float* dst = yb + static_cast<int64_t>(oc) * pos;
+                if (bias != nullptr) {
+                  // Fused copy+bias: one pass over the row, same value per
+                  // element as copy-then-add.
+                  scatter_bias_row(src, dst, pos, bias[oc]);
+                } else {
+                  std::memcpy(dst, src,
+                              static_cast<size_t>(pos) * sizeof(float));
+                }
               }
             }
-          }
-        },
-        /*grain=*/1);
+          },
+          /*grain=*/1);
+    }
     macs = static_cast<int64_t>(ok) * pos * patch_k * gs;
   } else {
     // Spatial (column) skipping: the shift-GEMM (see conv_sample_masked)
@@ -504,32 +523,39 @@ int64_t conv_group_masked(const float* x_base, int64_t in_floats,
     const int64_t ldc = static_cast<int64_t>(gs) * pk;
 
     float* cols = ws.alloc_floats(static_cast<int64_t>(ck) * ldc);
-    parallel_for(
-        0, gs,
-        [&](int64_t s0, int64_t s1) {
-          for (int64_t s = s0; s < s1; ++s) {
-            const int b = samples[static_cast<size_t>(s)];
-            const float* xb = x_base + static_cast<int64_t>(b) * in_floats;
-            for (int ci = 0; ci < ck; ++ci) {
-              const float* plane =
-                  xb +
-                  static_cast<int64_t>(ch[static_cast<size_t>(ci)]) * h * wd;
-              gather_positions(plane, m.positions.data(), pk,
-                               cols + static_cast<int64_t>(ci) * ldc + s * pk);
+    {
+      obs::PhaseScope span(obs::Phase::kGather);
+      parallel_for(
+          0, gs,
+          [&](int64_t s0, int64_t s1) {
+            for (int64_t s = s0; s < s1; ++s) {
+              const int b = samples[static_cast<size_t>(s)];
+              const float* xb = x_base + static_cast<int64_t>(b) * in_floats;
+              for (int ci = 0; ci < ck; ++ci) {
+                const float* plane =
+                    xb +
+                    static_cast<int64_t>(ch[static_cast<size_t>(ci)]) * h * wd;
+                gather_positions(
+                    plane, m.positions.data(), pk,
+                    cols + static_cast<int64_t>(ci) * ldc + s * pk);
+              }
             }
-          }
-        },
-        /*grain=*/1);
+          },
+          /*grain=*/1);
+    }
 
     const float* w_panel;
-    if (cache != nullptr) {
-      w_panel = pack_weight_panel(w, in_c, static_cast<int>(kk), ch, oc_set,
-                                  /*spatial_layout=*/true, *cache);
-    } else {
-      float* panel = ws.alloc_floats(kk * static_cast<int64_t>(ok) * ck);
-      pack_weight_panel_into(w, in_c, static_cast<int>(kk), ch, oc_set,
-                             /*spatial_layout=*/true, panel);
-      w_panel = panel;
+    {
+      obs::PhaseScope span(obs::Phase::kPack);
+      if (cache != nullptr) {
+        w_panel = pack_weight_panel(w, in_c, static_cast<int>(kk), ch, oc_set,
+                                    /*spatial_layout=*/true, *cache);
+      } else {
+        float* panel = ws.alloc_floats(kk * static_cast<int64_t>(ok) * ck);
+        pack_weight_panel_into(w, in_c, static_cast<int>(kk), ch, oc_set,
+                               /*spatial_layout=*/true, panel);
+        w_panel = panel;
+      }
     }
     float* y_sub =
         ws.alloc_floats(kk * static_cast<int64_t>(ok) * ldc);
@@ -554,33 +580,39 @@ int64_t conv_group_masked(const float* x_base, int64_t in_floats,
         }
       }
     }
-    gemm_nn(static_cast<int>(kk) * ok, static_cast<int>(ldc), ck, 1.f,
-            w_panel, cols, 0.f, y_sub, &ws);
-    parallel_for(
-        0, gs,
-        [&](int64_t s0, int64_t s1) {
-          for (int64_t s = s0; s < s1; ++s) {
-            const int b = samples[static_cast<size_t>(s)];
-            float* yb = y_base + static_cast<int64_t>(b) * out_floats;
-            // Filter-major scatter: y_sub reads stream sequentially and
-            // writes stay inside one output plane. Per output element the
-            // contributions still accumulate in ascending (offset, column)
-            // order — exactly the order the per-sample kernel uses.
-            for (int oi = 0; oi < ok; ++oi) {
-              const int oc = oc_set[static_cast<size_t>(oi)];
-              float* drow = yb + static_cast<int64_t>(oc) * pos;
-              for (int64_t off = 0; off < kk; ++off) {
-                const float* yrow = y_sub + (off * ok + oi) * ldc + s * pk;
-                const int* idx = scatter_idx + off * pk;
-                for (int j = 0; j < pk; ++j) {
-                  if (idx[j] >= 0) drow[idx[j]] += yrow[j];
+    {
+      obs::PhaseScope span(obs::Phase::kGemm);
+      gemm_nn(static_cast<int>(kk) * ok, static_cast<int>(ldc), ck, 1.f,
+              w_panel, cols, 0.f, y_sub, &ws);
+    }
+    {
+      obs::PhaseScope span(obs::Phase::kScatter);
+      parallel_for(
+          0, gs,
+          [&](int64_t s0, int64_t s1) {
+            for (int64_t s = s0; s < s1; ++s) {
+              const int b = samples[static_cast<size_t>(s)];
+              float* yb = y_base + static_cast<int64_t>(b) * out_floats;
+              // Filter-major scatter: y_sub reads stream sequentially and
+              // writes stay inside one output plane. Per output element the
+              // contributions still accumulate in ascending (offset, column)
+              // order — exactly the order the per-sample kernel uses.
+              for (int oi = 0; oi < ok; ++oi) {
+                const int oc = oc_set[static_cast<size_t>(oi)];
+                float* drow = yb + static_cast<int64_t>(oc) * pos;
+                for (int64_t off = 0; off < kk; ++off) {
+                  const float* yrow = y_sub + (off * ok + oi) * ldc + s * pk;
+                  const int* idx = scatter_idx + off * pk;
+                  for (int j = 0; j < pk; ++j) {
+                    if (idx[j] >= 0) drow[idx[j]] += yrow[j];
+                  }
                 }
+                if (bias != nullptr) add_bias_row(drow, pos, bias[oc]);
               }
-              if (bias != nullptr) add_bias_row(drow, pos, bias[oc]);
             }
-          }
-        },
-        /*grain=*/1);
+          },
+          /*grain=*/1);
+    }
     macs = static_cast<int64_t>(ok) * pk * ck * kk * gs;
   }
 

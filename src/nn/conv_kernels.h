@@ -27,6 +27,7 @@
 // arena before the first pass ever runs.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -120,6 +121,27 @@ int64_t conv_sample_masked(const float* xb, const ConvGeom& g, const float* w,
 
 // --- mask-grouped batch kernels -------------------------------------------
 
+// A copyable relaxed atomic counter. WeightPanelCache lives inside PlanOp,
+// which must stay movable (plans hold ops in a vector), and its counters
+// are read by observers (plan-dump, tests) while pool workers may still be
+// incrementing them — a plain int64 there is a data race. Relaxed ordering
+// is all a statistic needs; copy/move snapshot the current value.
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(const RelaxedCounter& o) : v_(o.get()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) {
+    v_.store(o.get(), std::memory_order_relaxed);
+    return *this;
+  }
+  void add(int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t get() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
 // Cross-pass cache for the kept-filter weight panel of one conv site.
 // prepare() sizes the storage for the worst kept set (the plan calls it
 // from reserve(), so a reserved serving path never packs through the
@@ -135,8 +157,13 @@ struct WeightPanelCache {
   std::vector<int> out_channels;  // kept set the panel encodes
   bool spatial_layout = false;    // channel-path [ok,ck*kk] vs shift [kk*ok,ck]
   bool valid = false;
-  int64_t hits = 0;
-  int64_t misses = 0;
+  RelaxedCounter hits;
+  RelaxedCounter misses;
+  // Groups executed in the cross-group parallel regime, where the cache is
+  // deliberately not consulted (each worker packs into its private slice).
+  // Counted by the plan executor so hit-rate reports can distinguish "the
+  // cache missed" from "the cache was bypassed by design".
+  RelaxedCounter bypass;
 
   // Reserves worst-case storage (full kept sets, either layout).
   void prepare(int out_c, int in_c, int kk);

@@ -1,0 +1,68 @@
+#include "obs/histogram.h"
+
+#include <cmath>
+
+namespace antidote::obs {
+
+int LatencyHistogram::bucket_index(double ms) {
+  if (!(ms > kMinMs)) return 0;  // also catches NaN and negatives
+  const int idx = static_cast<int>(
+      std::floor(std::log2(ms / kMinMs) * kBucketsPerOctave));
+  if (idx < 0) return 0;
+  if (idx >= kNumBuckets) return kNumBuckets - 1;
+  return idx;
+}
+
+double LatencyHistogram::bucket_lower_edge(int index) {
+  return kMinMs * std::exp2(static_cast<double>(index) / kBucketsPerOctave);
+}
+
+double LatencyHistogram::bucket_representative(double ms) {
+  const int idx = bucket_index(ms);
+  // Geometric midpoint of [edge(idx), edge(idx + 1)).
+  return kMinMs *
+         std::exp2((static_cast<double>(idx) + 0.5) / kBucketsPerOctave);
+}
+
+void LatencyHistogram::record(double ms) {
+  buckets_[bucket_index(ms)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::percentile(double p) const {
+  // Walk the buckets against a cumulative rank. Sum bucket counts rather
+  // than trusting count_: a racing record() may have bumped one but not
+  // the other, and the bucket sum is the distribution we actually report.
+  uint64_t total = 0;
+  uint64_t counts[kNumBuckets];
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 * total));
+  if (rank == 0) rank = 1;
+  uint64_t cum = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cum += counts[i];
+    if (cum >= rank) {
+      return kMinMs *
+             std::exp2((static_cast<double>(i) + 0.5) / kBucketsPerOctave);
+    }
+  }
+  return kMinMs * std::exp2(static_cast<double>(kNumBuckets - 0.5) /
+                            kBucketsPerOctave);
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace antidote::obs

@@ -1,0 +1,209 @@
+#include "obs/perf_counters.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace antidote::obs {
+
+namespace {
+
+std::atomic<bool> g_force_unavailable{false};
+
+bool env_disabled() {
+  static const bool disabled = [] {
+    const char* v = std::getenv("ANTIDOTE_PERF_DISABLE");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  return disabled;
+}
+
+constexpr int kNumCounters = static_cast<int>(CounterId::kCount);
+
+}  // namespace
+
+uint64_t& HwCounters::by_id(CounterId id) {
+  switch (id) {
+    case CounterId::kCycles: return cycles;
+    case CounterId::kInstructions: return instructions;
+    case CounterId::kL1dMisses: return l1d_misses;
+    case CounterId::kLlcMisses: return llc_misses;
+    case CounterId::kStalledCycles: return stalled_cycles;
+    case CounterId::kCount: break;
+  }
+  return cycles;
+}
+
+uint64_t HwCounters::by_id(CounterId id) const {
+  return const_cast<HwCounters*>(this)->by_id(id);
+}
+
+HwCounters HwCounters::delta(const HwCounters& end, const HwCounters& begin) {
+  HwCounters d;
+  d.valid = end.valid & begin.valid;
+  for (int i = 0; i < kNumCounters; ++i) {
+    const CounterId id = static_cast<CounterId>(i);
+    if (d.has(id)) {
+      const uint64_t e = end.by_id(id);
+      const uint64_t b = begin.by_id(id);
+      d.by_id(id) = e >= b ? e - b : 0;
+    }
+  }
+  return d;
+}
+
+void HwCounters::accumulate(const HwCounters& other) {
+  for (int i = 0; i < kNumCounters; ++i) {
+    const CounterId id = static_cast<CounterId>(i);
+    if (other.has(id)) by_id(id) += other.by_id(id);
+  }
+  valid |= other.valid;
+}
+
+const char* counter_name(CounterId id) {
+  switch (id) {
+    case CounterId::kCycles: return "cycles";
+    case CounterId::kInstructions: return "instructions";
+    case CounterId::kL1dMisses: return "l1d_misses";
+    case CounterId::kLlcMisses: return "llc_misses";
+    case CounterId::kStalledCycles: return "stalled_cycles";
+    case CounterId::kCount: break;
+  }
+  return "?";
+}
+
+void CounterSet::force_unavailable(bool disabled) {
+  g_force_unavailable.store(disabled, std::memory_order_relaxed);
+}
+
+bool CounterSet::forced_unavailable() {
+  return g_force_unavailable.load(std::memory_order_relaxed) || env_disabled();
+}
+
+#if defined(__linux__)
+
+namespace {
+
+struct CounterSpec {
+  uint32_t type;
+  uint64_t config;
+};
+
+// Order matches CounterId.
+const CounterSpec kSpecs[kNumCounters] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+};
+
+int open_counter(const CounterSpec& spec, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // leader starts stopped
+  attr.exclude_kernel = 1;               // works at perf_event_paranoid <= 2
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID |
+                     PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, group_fd, /*flags=*/0UL));
+}
+
+}  // namespace
+
+CounterSet::CounterSet() {
+  for (int i = 0; i < kNumCounters; ++i) fds_[i] = -1;
+  std::memset(ids_, 0, sizeof(ids_));
+  if (forced_unavailable()) return;
+  // Any counter may refuse to open (PMU quirks, paranoid sysctl, seccomp).
+  // The first one that opens becomes the group leader; the rest join it or
+  // are silently dropped.
+  for (int i = 0; i < kNumCounters; ++i) {
+    const int fd = open_counter(kSpecs[i], leader_fd_);
+    if (fd < 0) continue;
+    fds_[i] = fd;
+    open_mask_ |= static_cast<uint8_t>(1u << i);
+    if (leader_fd_ < 0) leader_fd_ = fd;
+    if (ioctl(fd, PERF_EVENT_IOC_ID, &ids_[i]) != 0) ids_[i] = 0;
+  }
+  if (leader_fd_ >= 0) {
+    ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  }
+}
+
+CounterSet::~CounterSet() {
+  for (int i = 0; i < kNumCounters; ++i) {
+    if (fds_[i] >= 0) close(fds_[i]);
+  }
+}
+
+bool CounterSet::read(HwCounters& out) const {
+  out = HwCounters{};
+  if (leader_fd_ < 0) return false;
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running,
+  // then {value, id} per member.
+  uint64_t buf[3 + 2 * kNumCounters];
+  const ssize_t want =
+      static_cast<ssize_t>((3 + 2 * __builtin_popcount(open_mask_)) *
+                           sizeof(uint64_t));
+  if (::read(leader_fd_, buf, sizeof(buf)) < want) return false;
+  const uint64_t nr = buf[0];
+  const uint64_t enabled = buf[1];
+  const uint64_t running = buf[2];
+  // Scale for PMU multiplexing: if the group only ran a fraction of the
+  // enabled time, extrapolate linearly (standard perf practice).
+  const double scale =
+      (running > 0 && running < enabled)
+          ? static_cast<double>(enabled) / static_cast<double>(running)
+          : 1.0;
+  for (uint64_t v = 0; v < nr; ++v) {
+    const uint64_t value = buf[3 + 2 * v];
+    const uint64_t id = buf[3 + 2 * v + 1];
+    for (int i = 0; i < kNumCounters; ++i) {
+      if (fds_[i] < 0 || ids_[i] != id) continue;
+      out.by_id(static_cast<CounterId>(i)) =
+          static_cast<uint64_t>(static_cast<double>(value) * scale);
+      out.valid |= static_cast<uint8_t>(1u << i);
+      break;
+    }
+  }
+  return out.valid != 0;
+}
+
+#else  // !__linux__
+
+CounterSet::CounterSet() {
+  for (int i = 0; i < kNumCounters; ++i) fds_[i] = -1;
+  std::memset(ids_, 0, sizeof(ids_));
+}
+
+CounterSet::~CounterSet() = default;
+
+bool CounterSet::read(HwCounters& out) const {
+  out = HwCounters{};
+  return false;
+}
+
+#endif  // __linux__
+
+CounterSet& thread_counters() {
+  thread_local CounterSet counters;
+  return counters;
+}
+
+}  // namespace antidote::obs

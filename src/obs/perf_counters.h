@@ -1,0 +1,98 @@
+// Hardware performance counters via perf_event_open, with graceful decay.
+//
+// Wall-clock timings say a plan step is slow; hardware counters say WHY:
+// low IPC (frontend/backend stalls), L1d misses (bad locality in the
+// gather/scatter paths), LLC misses (working set blew the cache, panel
+// reuse broken). A CounterSet opens one perf event GROUP per thread —
+// cycles as leader, instructions / L1d-read-misses / LLC-misses /
+// backend-stall-cycles as members — so a single read() syscall returns a
+// consistent snapshot of all of them for the calling thread.
+//
+// Counters are a privilege, not a given. Containers and locked-down
+// kernels (perf_event_paranoid > 2, seccomp) reject perf_event_open, and
+// non-Linux builds do not have it at all. Every path degrades:
+//
+//   - each member counter is optional; whatever refuses to open is simply
+//     absent from the valid mask (e.g. stalled-cycles is not exposed on
+//     all cores),
+//   - if no counter opens at all, available() is false and callers fall
+//     back to timing-only (the trace/profile report prints "-" columns),
+//   - ANTIDOTE_PERF_DISABLE=1 or CounterSet::force_unavailable(true)
+//     forces the fallback so the degraded path is testable anywhere.
+//
+// Counters count ONLY this thread, user-space only (exclude_kernel), and
+// are scaled by time_enabled/time_running when the kernel multiplexes the
+// group off the PMU. Opening happens lazily on first use per thread —
+// never on the zero-alloc hot path unless counter collection was
+// explicitly requested for a trace run (documented in docs/observability.md).
+#pragma once
+
+#include <cstdint>
+
+namespace antidote::obs {
+
+// Which counters a read() actually delivered, as a bitmask over CounterId.
+enum class CounterId : uint8_t {
+  kCycles = 0,
+  kInstructions = 1,
+  kL1dMisses = 2,
+  kLlcMisses = 3,
+  kStalledCycles = 4,
+  kCount = 5,
+};
+
+struct HwCounters {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t l1d_misses = 0;
+  uint64_t llc_misses = 0;
+  uint64_t stalled_cycles = 0;
+  uint8_t valid = 0;  // bit i set => CounterId(i) was measured
+
+  bool has(CounterId id) const {
+    return (valid >> static_cast<uint8_t>(id)) & 1u;
+  }
+  uint64_t& by_id(CounterId id);
+  uint64_t by_id(CounterId id) const;
+  // Component-wise a - b on counters valid in BOTH; valid mask is the
+  // intersection. The span math for begin/end counter reads.
+  static HwCounters delta(const HwCounters& end, const HwCounters& begin);
+  // Component-wise accumulate (valid mask is the union).
+  void accumulate(const HwCounters& other);
+};
+
+const char* counter_name(CounterId id);
+
+// A per-thread group of hardware counters. Not thread-safe: use
+// thread_counters() to get the calling thread's instance.
+class CounterSet {
+ public:
+  CounterSet();
+  ~CounterSet();
+  CounterSet(const CounterSet&) = delete;
+  CounterSet& operator=(const CounterSet&) = delete;
+
+  // True if at least one hardware counter opened for this thread.
+  bool available() const { return leader_fd_ >= 0; }
+
+  // Snapshot of current counter values (monotonically increasing; take
+  // two and delta() them around a region). Returns false and zero-fills
+  // when unavailable.
+  bool read(HwCounters& out) const;
+
+  // Global kill-switch for tests and the degraded-path CI smoke. Takes
+  // effect for CounterSets constructed afterwards.
+  static void force_unavailable(bool disabled);
+  static bool forced_unavailable();
+
+ private:
+  int leader_fd_ = -1;
+  int fds_[static_cast<int>(CounterId::kCount)];
+  uint64_t ids_[static_cast<int>(CounterId::kCount)];
+  uint8_t open_mask_ = 0;
+};
+
+// The calling thread's lazily-constructed counter group.
+CounterSet& thread_counters();
+
+}  // namespace antidote::obs

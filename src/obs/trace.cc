@@ -1,0 +1,249 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "base/parallel.h"
+
+namespace antidote::obs {
+
+namespace {
+
+constexpr int kNumCounters = static_cast<int>(CounterId::kCount);
+
+// Per-thread slot claim, tagged with the tracer generation so a
+// disable()/enable() cycle re-claims fresh slots.
+struct ThreadSlot {
+  int slot = -1;
+  uint64_t generation = 0;
+};
+thread_local ThreadSlot tls_slot;
+
+}  // namespace
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kStep: return "step";
+    case Phase::kGroup: return "group";
+    case Phase::kIm2col: return "im2col";
+    case Phase::kGather: return "gather";
+    case Phase::kPack: return "pack";
+    case Phase::kGemm: return "gemm";
+    case Phase::kEpilogue: return "epilogue";
+    case Phase::kScatter: return "scatter";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+bool Tracer::enable(size_t events_per_worker, bool with_counters) {
+#if !ANTIDOTE_PROFILE
+  (void)events_per_worker;
+  (void)with_counters;
+  return false;
+#else
+  disable();
+  if (events_per_worker == 0) events_per_worker = 1;
+  // One slot for the caller, one per pool worker, plus slack for serving
+  // worker threads or tests that trace from their own threads. Sized and
+  // allocated HERE, before any pass runs — recording never allocates.
+  const size_t num_slots = 1 + static_cast<size_t>(global_pool().size()) + 4;
+  slots_.clear();
+  slots_.resize(num_slots);
+  for (Slot& s : slots_) s.ring.reserve(events_per_worker);
+  next_slot_.store(0, std::memory_order_relaxed);
+  no_slot_drops_.store(0, std::memory_order_relaxed);
+  counters_on_.store(with_counters, std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_relaxed);
+  detail::g_trace_active.store(true, std::memory_order_release);
+  return true;
+#endif
+}
+
+void Tracer::disable() {
+  detail::g_trace_active.store(false, std::memory_order_release);
+  counters_on_.store(false, std::memory_order_relaxed);
+}
+
+bool Tracer::enabled() const { return trace_active(); }
+
+void Tracer::clear() {
+  for (Slot& s : slots_) s.ring.clear();
+  no_slot_drops_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t Tracer::total_events() const {
+  uint64_t n = 0;
+  for (int i = 0; i < slots_in_use(); ++i) n += slots_[i].ring.size();
+  return n;
+}
+
+uint64_t Tracer::dropped_events() const {
+  uint64_t n = no_slot_drops_.load(std::memory_order_relaxed);
+  for (int i = 0; i < slots_in_use(); ++i) n += slots_[i].ring.wrapped();
+  return n;
+}
+
+TraceRing* Tracer::ring_for_this_thread() {
+  const uint64_t gen = generation_.load(std::memory_order_relaxed);
+  if (tls_slot.slot < 0 || tls_slot.generation != gen) {
+    const int slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= static_cast<int>(slots_.size())) {
+      no_slot_drops_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    tls_slot.slot = slot;
+    tls_slot.generation = gen;
+  }
+  return &slots_[tls_slot.slot].ring;
+}
+
+#if ANTIDOTE_PROFILE
+
+void PhaseScope::begin(Phase phase, int op) {
+  ring_ = Tracer::instance().ring_for_this_thread();
+  if (ring_ == nullptr) return;
+  phase_ = phase;
+  op_ = op == kUseCurrentOp ? detail::tls_current_op : op;
+  if (Tracer::instance().counters_enabled()) {
+    const CounterSet& counters = thread_counters();
+    have_counters_ = counters.available() && counters.read(begin_counters_);
+  }
+  t0_ns_ = trace_now_ns();
+}
+
+void PhaseScope::finish() {
+  TraceEvent e;
+  e.t0_ns = t0_ns_;
+  e.t1_ns = trace_now_ns();
+  e.op = op_;
+  e.phase = static_cast<uint8_t>(phase_);
+  if (have_counters_) {
+    HwCounters end;
+    if (thread_counters().read(end)) {
+      const HwCounters d = HwCounters::delta(end, begin_counters_);
+      for (int i = 0; i < kNumCounters; ++i) {
+        e.ctr[i] = d.by_id(static_cast<CounterId>(i));
+      }
+      e.ctr_valid = d.valid;
+    }
+  }
+  ring_->push(e);
+}
+
+#endif  // ANTIDOTE_PROFILE
+
+bool Tracer::write_chrome_trace(
+    const std::string& path,
+    const std::function<std::string(int)>& op_name) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+
+  // Timestamps relative to the earliest event so the timeline starts at 0.
+  int64_t t_min = INT64_MAX;
+  const int used = slots_in_use();
+  for (int s = 0; s < used; ++s) {
+    if (slots_[s].ring.size() > 0) {
+      t_min = std::min(t_min, slots_[s].ring.chronological(0).t0_ns);
+    }
+  }
+  if (t_min == INT64_MAX) t_min = 0;
+
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f);
+  bool first = true;
+  for (int s = 0; s < used; ++s) {
+    std::fprintf(f,
+                 "%s{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":"
+                 "\"thread_name\",\"args\":{\"name\":\"worker-%d\"}}",
+                 first ? "" : ",\n", s, s);
+    first = false;
+  }
+  for (int s = 0; s < used; ++s) {
+    const TraceRing& ring = slots_[s].ring;
+    for (size_t i = 0; i < ring.size(); ++i) {
+      const TraceEvent& e = ring.chronological(i);
+      const Phase phase = static_cast<Phase>(e.phase);
+      std::string name;
+      if (e.op >= 0 && op_name) {
+        name = op_name(e.op);
+        name += ":";
+        name += phase_name(phase);
+      } else if (e.op >= 0) {
+        name = "op" + std::to_string(e.op) + ":" + phase_name(phase);
+      } else {
+        name = phase_name(phase);
+      }
+      std::fprintf(f,
+                   ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                   "\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,"
+                   "\"args\":{\"op\":%d",
+                   name.c_str(), phase_name(phase), s,
+                   static_cast<double>(e.t0_ns - t_min) / 1e3,
+                   static_cast<double>(e.t1_ns - e.t0_ns) / 1e3,
+                   static_cast<int>(e.op));
+      for (int c = 0; c < kNumCounters; ++c) {
+        if ((e.ctr_valid >> c) & 1u) {
+          std::fprintf(f, ",\"%s\":%" PRIu64,
+                       counter_name(static_cast<CounterId>(c)), e.ctr[c]);
+        }
+      }
+      std::fputs("}}", f);
+    }
+  }
+  std::fprintf(f, "\n],\"otherData\":{\"dropped_events\":%" PRIu64 "}}\n",
+               dropped_events());
+  return std::fclose(f) == 0;
+}
+
+std::vector<PhaseStat> Tracer::aggregate() const {
+  const int used = slots_in_use();
+  std::map<std::pair<int, int>, PhaseStat> cells;
+  for (int s = 0; s < used; ++s) {
+    const TraceRing& ring = slots_[s].ring;
+    for (size_t i = 0; i < ring.size(); ++i) {
+      const TraceEvent& e = ring.chronological(i);
+      PhaseStat& stat = cells[{e.op, static_cast<int>(e.phase)}];
+      if (stat.calls == 0) {
+        stat.op = e.op;
+        stat.phase = static_cast<Phase>(e.phase);
+        stat.slot_ms.assign(static_cast<size_t>(used), 0.0);
+      }
+      stat.calls += 1;
+      const double ms = static_cast<double>(e.t1_ns - e.t0_ns) / 1e6;
+      stat.total_ms += ms;
+      stat.slot_ms[static_cast<size_t>(s)] += ms;
+      if (e.ctr_valid != 0) {
+        HwCounters c;
+        c.valid = e.ctr_valid;
+        for (int k = 0; k < kNumCounters; ++k) {
+          if ((e.ctr_valid >> k) & 1u) {
+            c.by_id(static_cast<CounterId>(k)) = e.ctr[k];
+          }
+        }
+        stat.counters.accumulate(c);
+        stat.counter_calls += 1;
+      }
+    }
+  }
+  std::vector<PhaseStat> out;
+  out.reserve(cells.size());
+  for (auto& [key, stat] : cells) {
+    for (double ms : stat.slot_ms) {
+      if (ms > 0.0) {
+        stat.active_slots += 1;
+        stat.max_slot_ms = std::max(stat.max_slot_ms, ms);
+      }
+    }
+    out.push_back(std::move(stat));
+  }
+  return out;
+}
+
+}  // namespace antidote::obs

@@ -11,6 +11,7 @@
 #include "base/timer.h"
 #include "core/mask.h"
 #include "nn/conv_kernels.h"
+#include "obs/trace.h"
 #include "nn/pooling.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
@@ -145,8 +146,8 @@ void InferencePlan::reserve(Workspace& ws, int n) {
 void InferencePlan::ensure_group_slices() {
   if (group_slices_ != nullptr) return;
   group_slices_ = std::make_unique<GroupSlices>();
-  for (Workspace& slice : group_slices_->ws) {
-    slice.bind_external(nullptr, 0);
+  for (GroupSlices::Slot& s : group_slices_->slot) {
+    s.ws.bind_external(nullptr, 0);
   }
 }
 
@@ -170,13 +171,19 @@ int InferencePlan::last_mask_groups() const {
 
 int64_t InferencePlan::pack_cache_hits() const {
   int64_t total = 0;
-  for (const PlanOp& op : ops_) total += op.pack_cache.hits;
+  for (const PlanOp& op : ops_) total += op.pack_cache.hits.get();
   return total;
 }
 
 int64_t InferencePlan::pack_cache_misses() const {
   int64_t total = 0;
-  for (const PlanOp& op : ops_) total += op.pack_cache.misses;
+  for (const PlanOp& op : ops_) total += op.pack_cache.misses.get();
+  return total;
+}
+
+int64_t InferencePlan::pack_cache_bypass() const {
+  int64_t total = 0;
+  for (const PlanOp& op : ops_) total += op.pack_cache.bypass.get();
   return total;
 }
 
@@ -231,7 +238,13 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
   };
 
   const int threads = compute_threads();
-  for (PlanOp& op : ops_) {
+  for (size_t oi = 0; oi < ops_.size(); ++oi) {
+    PlanOp& op = ops_[oi];
+    const int op_index = static_cast<int>(oi);
+    // Phase spans inside the kernels attribute to this op via the
+    // thread-local current-op (group workers set their own below).
+    obs::ScopedOp op_attr(op_index);
+    obs::PhaseScope step_span(obs::Phase::kStep, op_index);
     WallTimer step_timer;
     const Tensor& in = slots_[static_cast<size_t>(op.input)];
     switch (op.kind) {
@@ -308,18 +321,29 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
             char* slab =
                 ws.alloc<char>(static_cast<int64_t>(width) *
                                static_cast<int64_t>(slice_bytes));
-            int64_t worker_macs[kMaxGroupWorkers] = {0};
+            // One cache line per worker tally: plain adjacent int64s here
+            // would false-share across all active workers on every group.
+            struct alignas(64) WorkerTally {
+              int64_t macs = 0;
+            };
+            WorkerTally worker_macs[kMaxGroupWorkers];
             parallel_for(
                 0, width,
                 [&](int64_t w0, int64_t w1) {
                   for (int64_t w = w0; w < w1; ++w) {
-                    Workspace& slice = group_slices_->ws[w];
+                    // Pool workers carry no current-op: establish it so
+                    // the group spans and the kernels' nested phase spans
+                    // attribute to this conv step.
+                    obs::ScopedOp worker_attr(op_index);
+                    Workspace& slice = group_slices_->slot[w].ws;
                     slice.bind_external(slab + w * slice_bytes, slice_bytes);
                     int64_t local = 0;
                     for (int gi = static_cast<int>(w); gi < groups;
                          gi += width) {
                       const int gb = group_begin[gi];
                       const int ge = group_begin[gi + 1];
+                      obs::PhaseScope group_span(obs::Phase::kGroup,
+                                                 op_index);
                       local += nn::conv_group_masked(
                           in.data(), in_floats, g, wp, out_c, bp,
                           masks[static_cast<size_t>(order[gb])],
@@ -328,15 +352,17 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
                           ids, /*cache=*/nullptr, out.data(), out_floats,
                           slice);
                     }
-                    worker_macs[w] = local;
+                    worker_macs[w].macs = local;
                   }
                 },
                 /*grain=*/1);
-            for (int w = 0; w < width; ++w) macs += worker_macs[w];
+            for (int w = 0; w < width; ++w) macs += worker_macs[w].macs;
+            op.pack_cache.bypass.add(groups);
           } else {
             for (int gi = 0; gi < groups; ++gi) {
               const int gb = group_begin[gi];
               const int ge = group_begin[gi + 1];
+              obs::PhaseScope group_span(obs::Phase::kGroup, op_index);
               macs += nn::conv_group_masked(
                   in.data(), in_floats, g, wp, out_c, bp,
                   masks[static_cast<size_t>(order[gb])],
@@ -353,6 +379,7 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
         }
         if (op.fuse_bn || op.fuse_relu || res_base != nullptr) {
           const nn::FusedEpilogueParams ep = epilogue_params(op);
+          obs::PhaseScope epilogue_span(obs::Phase::kEpilogue, op_index);
           parallel_for(
               0, n,
               [&](int64_t b0, int64_t b1) {
@@ -501,10 +528,11 @@ std::string InferencePlan::to_string() const {
     os << line;
   }
   std::snprintf(line, sizeof(line),
-                "weight-pack cache: %lld hits / %lld misses; last pass mask "
-                "groups: %d\n",
+                "weight-pack cache: %lld hits / %lld misses / %lld bypassed "
+                "(parallel groups); last pass mask groups: %d\n",
                 static_cast<long long>(pack_cache_hits()),
                 static_cast<long long>(pack_cache_misses()),
+                static_cast<long long>(pack_cache_bypass()),
                 last_mask_groups());
   os << line;
   return os.str();

@@ -240,9 +240,14 @@ class InferencePlan {
   // into (0 when the last run executed fully dense).
   int last_mask_groups() const;
   // Cumulative kept-filter weight-panel cache hits/misses over all conv
-  // steps (static filter masks hit 100% after their first pack).
+  // steps (static filter masks hit 100% after their first pack). Safe to
+  // read while workers execute: the counters are relaxed atomics.
   int64_t pack_cache_hits() const;
   int64_t pack_cache_misses() const;
+  // Groups executed in the cross-group parallel regime, which packs into
+  // per-worker slices and bypasses the cache by design (see
+  // WeightPanelCache::bypass).
+  int64_t pack_cache_bypass() const;
 
   // Thread-unsafe snapshot for the owner thread; the scheduler converts it
   // into a LatencyController cost model.
@@ -274,8 +279,15 @@ class InferencePlan {
   // (Workspace::bind_external — rebinding is heap-free). Created by
   // reserve(), or lazily on the first multi-group pass of an unreserved
   // caller; behind a unique_ptr so the plan stays movable.
+  // Each worker's slice view gets its own cache line: a Workspace object
+  // is well under 64 bytes, so adjacent workers' bump pointers would
+  // otherwise share a line and false-share on every slice allocation —
+  // visible as inflated L1d misses in the kGroup phase counters.
   struct GroupSlices {
-    Workspace ws[kMaxGroupWorkers];
+    struct alignas(64) Slot {
+      Workspace ws;
+    };
+    Slot slot[kMaxGroupWorkers];
   };
   std::unique_ptr<GroupSlices> group_slices_;
   void ensure_group_slices();

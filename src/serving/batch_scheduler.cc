@@ -192,6 +192,10 @@ void BatchScheduler::run_batch(ModelReplica& replica,
     result.batch_ms = ms_between(dispatch, done);
     result.deadline_missed = req.deadline.has_value() && done > *req.deadline;
     queue_wait_sum_ms += result.queue_ms;
+    // Per-request latency distributions (lock-free histogram buckets):
+    // e2e is everything from enqueue to batch completion.
+    stats_->record_request(result.queue_ms,
+                           result.queue_ms + result.batch_ms);
     if (result.deadline_missed) ++misses;
   }
   const double scatter_ms = scatter_timer.millis();

@@ -26,6 +26,12 @@ void ServerStats::record_batch(int batch_size, double queue_wait_ms,
   assemble_ms_sum_ += assemble_ms;
   forward_ms_sum_ += forward_ms;
   scatter_ms_sum_ += scatter_ms;
+  forward_hist_.record(forward_ms);
+}
+
+void ServerStats::record_request(double queue_wait_ms, double e2e_ms) {
+  queue_wait_hist_.record(queue_wait_ms);
+  e2e_hist_.record(e2e_ms);
 }
 
 void ServerStats::record_deadline_miss(int count) {
@@ -73,7 +79,21 @@ ServerStats::Snapshot ServerStats::snapshot() const {
     s.mean_forward_ms = forward_ms_sum_ / batches_;
     s.mean_scatter_ms = scatter_ms_sum_ / batches_;
   }
-  if (completed_ > 0) s.mean_queue_wait_ms = queue_wait_ms_sum_ / completed_;
+  if (completed_ > 0) {
+    s.mean_queue_wait_ms = queue_wait_ms_sum_ / completed_;
+    s.deadline_miss_rate_pct =
+        100.0 * static_cast<double>(deadline_misses_) /
+        static_cast<double>(completed_);
+  }
+  s.queue_wait_p50_ms = queue_wait_hist_.percentile(50.0);
+  s.queue_wait_p95_ms = queue_wait_hist_.percentile(95.0);
+  s.queue_wait_p99_ms = queue_wait_hist_.percentile(99.0);
+  s.forward_p50_ms = forward_hist_.percentile(50.0);
+  s.forward_p95_ms = forward_hist_.percentile(95.0);
+  s.forward_p99_ms = forward_hist_.percentile(99.0);
+  s.e2e_p50_ms = e2e_hist_.percentile(50.0);
+  s.e2e_p95_ms = e2e_hist_.percentile(95.0);
+  s.e2e_p99_ms = e2e_hist_.percentile(99.0);
   if (queue_depth_samples_ > 0) {
     s.mean_queue_depth = queue_depth_sum_ / queue_depth_samples_;
   }
@@ -97,7 +117,19 @@ void ServerStats::reset() {
   masked_batches_ = 0;
   mask_group_sum_ = group_fraction_sum_ = 0.0;
   histogram_.assign(histogram_.size(), 0);
+  queue_wait_hist_.reset();
+  forward_hist_.reset();
+  e2e_hist_.reset();
 }
+
+namespace {
+
+std::string percentile_triplet(double p50, double p95, double p99) {
+  return Table::fmt(p50, 3) + " / " + Table::fmt(p95, 3) + " / " +
+         Table::fmt(p99, 3);
+}
+
+}  // namespace
 
 Table ServerStats::to_table() const {
   const Snapshot s = snapshot();
@@ -107,11 +139,20 @@ Table ServerStats::to_table() const {
   t.add_row({"throughput (req/s)", Table::fmt(s.throughput_rps, 1)});
   t.add_row({"mean batch size", Table::fmt(s.mean_batch_size, 2)});
   t.add_row({"mean queue depth", Table::fmt(s.mean_queue_depth, 2)});
-  t.add_row({"mean queue wait (ms)", Table::fmt(s.mean_queue_wait_ms, 3)});
+  // Latency rows are distributions, not means: the tail is the SLO.
+  t.add_row({"queue wait p50/p95/p99 (ms)",
+             percentile_triplet(s.queue_wait_p50_ms, s.queue_wait_p95_ms,
+                                s.queue_wait_p99_ms)});
+  t.add_row({"forward p50/p95/p99 (ms)",
+             percentile_triplet(s.forward_p50_ms, s.forward_p95_ms,
+                                s.forward_p99_ms)});
+  t.add_row({"e2e p50/p95/p99 (ms)",
+             percentile_triplet(s.e2e_p50_ms, s.e2e_p95_ms, s.e2e_p99_ms)});
   t.add_row({"mean assemble (ms)", Table::fmt(s.mean_assemble_ms, 3)});
-  t.add_row({"mean forward (ms)", Table::fmt(s.mean_forward_ms, 3)});
   t.add_row({"mean scatter (ms)", Table::fmt(s.mean_scatter_ms, 3)});
   t.add_row({"deadline misses", std::to_string(s.deadline_misses)});
+  t.add_row({"deadline miss rate",
+             Table::fmt(s.deadline_miss_rate_pct, 2) + "%"});
   t.add_row({"rejected", std::to_string(s.rejected)});
   if (s.masked_batches > 0) {
     t.add_row({"masked batches", std::to_string(s.masked_batches)});

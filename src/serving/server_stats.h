@@ -1,9 +1,13 @@
 // ServerStats — counters the serving runtime accumulates while it runs:
-// throughput, queue depth, a batch-size histogram, and per-stage timings
-// (queue wait, batch assembly, forward, scatter). Workers record with
-// atomics / a small mutex so the hot path stays cheap; snapshot() gives a
-// consistent copy and to_table() renders it through base/table.h the same
-// way the benches render paper tables.
+// throughput, queue depth, a batch-size histogram, per-stage timings
+// (queue wait, batch assembly, forward, scatter) and per-request latency
+// DISTRIBUTIONS. Stage means survive for cheap stages, but the metrics an
+// SLO is written against — queue wait, forward, end-to-end — are tracked
+// as log-scale histograms (obs::LatencyHistogram) so snapshot() reports
+// p50/p95/p99, not just a mean that hides the tail. Histogram recording is
+// lock-free; the remaining counters share a small mutex. snapshot() gives
+// a consistent copy and to_table() renders it through base/table.h the
+// same way the benches render paper tables.
 #pragma once
 
 #include <atomic>
@@ -13,6 +17,7 @@
 #include <vector>
 
 #include "base/table.h"
+#include "obs/histogram.h"
 
 namespace antidote::serving {
 
@@ -24,6 +29,10 @@ class ServerStats {
   // the mean over the batch's requests.
   void record_batch(int batch_size, double queue_wait_ms, double assemble_ms,
                     double forward_ms, double scatter_ms);
+  // One completed request's latency pair: time spent queued and total
+  // enqueue-to-result time. Lock-free (histogram buckets only) — called
+  // per request on the dispatch path, after its batch completes.
+  void record_request(double queue_wait_ms, double e2e_ms);
   void record_deadline_miss(int count);
   void record_rejected(int count);
   // Sampled queue depth (recorded by workers when they pick up work).
@@ -47,6 +56,19 @@ class ServerStats {
     double mean_assemble_ms = 0.0;
     double mean_forward_ms = 0.0;
     double mean_scatter_ms = 0.0;
+    // Latency percentiles (log-bucket representatives, +/-9.1% relative).
+    // queue/e2e are per REQUEST; forward is per BATCH.
+    double queue_wait_p50_ms = 0.0;
+    double queue_wait_p95_ms = 0.0;
+    double queue_wait_p99_ms = 0.0;
+    double forward_p50_ms = 0.0;
+    double forward_p95_ms = 0.0;
+    double forward_p99_ms = 0.0;
+    double e2e_p50_ms = 0.0;
+    double e2e_p95_ms = 0.0;
+    double e2e_p99_ms = 0.0;
+    // deadline_misses / completed_requests, as a percentage.
+    double deadline_miss_rate_pct = 0.0;
     // Mask-grouped execution: over masked batches, the mean distinct-mask
     // group count and the mean group fraction (groups / batch size) — 1.0
     // means every sample drew a unique mask (no grouping win), values
@@ -84,6 +106,10 @@ class ServerStats {
   double mask_group_sum_ = 0.0;
   double group_fraction_sum_ = 0.0;
   std::vector<uint64_t> histogram_;
+  // Lock-free latency distributions (recorded outside mutex_).
+  obs::LatencyHistogram queue_wait_hist_;
+  obs::LatencyHistogram forward_hist_;
+  obs::LatencyHistogram e2e_hist_;
 };
 
 }  // namespace antidote::serving

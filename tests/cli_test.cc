@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -185,6 +186,50 @@ TEST(Cli, PlanDumpPrintsOpTableForAllModels) {
     EXPECT_NE(out.find("arena bytes"), std::string::npos) << c.model;
     EXPECT_NE(out.find("weight-pack cache"), std::string::npos) << c.model;
   }
+}
+
+TEST(Cli, TraceWritesChromeJson) {
+  const std::string out = ::testing::TempDir() + "/antidote_cli_trace.json";
+  const std::vector<std::string> args = {
+      "trace",           "--model=small_cnn", "--image-size=16",
+      "--passes=2",      "--batch=4",         "--distinct=2",
+      "--out=" + out};
+#if ANTIDOTE_PROFILE
+  ASSERT_EQ(cli::run_cli(args), 0);
+  ASSERT_TRUE(std::filesystem::exists(out));
+  std::ifstream in(out);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  std::filesystem::remove(out);
+#else
+  // Compiled-out builds must refuse with a clear error, not emit an
+  // empty trace.
+  EXPECT_EQ(cli::run_cli(args), 1);
+  EXPECT_FALSE(std::filesystem::exists(out));
+#endif
+  EXPECT_EQ(cli::run_cli({"trace", "--help"}), 0);
+}
+
+TEST(Cli, PlanDumpProfileRuns) {
+  const std::vector<std::string> args = {
+      "plan-dump", "--model=small_cnn", "--image-size=16", "--profile",
+      "--passes=2", "--batch=4", "--distinct=2"};
+#if ANTIDOTE_PROFILE
+  ::testing::internal::CaptureStdout();
+  ASSERT_EQ(cli::run_cli(args), 0);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  // The plan table is still printed, followed by the profile report.
+  EXPECT_NE(out.find("arena bytes"), std::string::npos);
+  EXPECT_NE(out.find("profile:"), std::string::npos);
+  EXPECT_NE(out.find("phase"), std::string::npos);
+  EXPECT_NE(out.find("gemm"), std::string::npos);
+  EXPECT_NE(out.find("pack cache:"), std::string::npos);
+#else
+  EXPECT_EQ(cli::run_cli(args), 1);
+#endif
 }
 
 TEST(Cli, BadRatioCountFails) {

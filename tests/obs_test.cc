@@ -1,0 +1,199 @@
+// Observability primitives (src/obs/): log-scale latency histogram
+// bucket/percentile math pinned down EXACTLY on known distributions, the
+// hardware-counter graceful-unavailability path, and trace-ring
+// wraparound semantics. The executor-level tracing behavior (zero-alloc
+// with tracing armed, cross-worker group spans) lives in
+// trace_profile_test.cc under a forced 4-thread pool.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/perf_counters.h"
+#include "obs/trace.h"
+
+namespace antidote::obs {
+namespace {
+
+// --- LatencyHistogram -------------------------------------------------------
+
+TEST(Histogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+  EXPECT_EQ(h.percentile(99.0), 0.0);
+}
+
+TEST(Histogram, BucketIndexAndEdgesAreConsistent) {
+  // The lower edge of bucket i maps back to bucket i, and edges grow by
+  // exactly 2^(1/4) per bucket.
+  for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    const double edge = LatencyHistogram::bucket_lower_edge(i);
+    // Nudge above the edge: the edge itself is a floating-point boundary.
+    EXPECT_EQ(LatencyHistogram::bucket_index(edge * 1.0001), i) << i;
+  }
+  const double ratio = LatencyHistogram::bucket_lower_edge(5) /
+                       LatencyHistogram::bucket_lower_edge(4);
+  EXPECT_NEAR(ratio, std::exp2(0.25), 1e-12);
+}
+
+TEST(Histogram, SingleValueRoundTripsToItsRepresentative) {
+  // Any recorded value must come back from every percentile as the
+  // geometric midpoint of its bucket — exactly, not approximately.
+  for (double ms : {0.0042, 0.5, 1.0, 1.5, 12.0, 333.3, 1e4}) {
+    LatencyHistogram h;
+    h.record(ms);
+    const double rep = LatencyHistogram::bucket_representative(ms);
+    EXPECT_EQ(h.percentile(0.0), rep) << ms;
+    EXPECT_EQ(h.percentile(50.0), rep) << ms;
+    EXPECT_EQ(h.percentile(100.0), rep) << ms;
+    // The representative lies inside the value's bucket, which means
+    // within one bucket ratio (+/-9.1%) of the value itself.
+    EXPECT_NEAR(rep / ms, 1.0, 0.10) << ms;
+  }
+}
+
+TEST(Histogram, KnownDistributionPercentilesAreExact) {
+  // 100 values: 90 at 1 ms, 9 at 8 ms, 1 at 64 ms — a distribution whose
+  // percentile ranks are unambiguous. Octave-separated values can never
+  // share a bucket, so the expected results are exact representatives.
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.record(1.0);
+  for (int i = 0; i < 9; ++i) h.record(8.0);
+  h.record(64.0);
+  EXPECT_EQ(h.count(), 100u);
+  const double rep1 = LatencyHistogram::bucket_representative(1.0);
+  const double rep8 = LatencyHistogram::bucket_representative(8.0);
+  const double rep64 = LatencyHistogram::bucket_representative(64.0);
+  EXPECT_EQ(h.percentile(50.0), rep1);   // rank 50  -> the 1 ms mass
+  EXPECT_EQ(h.percentile(90.0), rep1);   // rank 90  -> still 1 ms
+  EXPECT_EQ(h.percentile(95.0), rep8);   // rank 95  -> the 8 ms mass
+  EXPECT_EQ(h.percentile(99.0), rep8);   // rank 99  -> last of the 8 ms
+  EXPECT_EQ(h.percentile(100.0), rep64); // rank 100 -> the tail value
+}
+
+TEST(Histogram, PercentilesAreMonotonic) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(0.01 * i);  // 0.01 .. 10 ms
+  double prev = 0.0;
+  for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0}) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, prev) << p;
+    prev = v;
+  }
+}
+
+TEST(Histogram, ClampsBothEndsAndIgnoresJunk) {
+  LatencyHistogram h;
+  h.record(0.0);       // below the first bucket -> bucket 0
+  h.record(-5.0);      // negative -> bucket 0
+  h.record(1e12);      // far off the top -> last bucket
+  h.record(std::nan(""));  // NaN -> bucket 0 (not a crash, not a miss)
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.percentile(0.0),
+            LatencyHistogram::bucket_representative(LatencyHistogram::kMinMs));
+  EXPECT_EQ(h.percentile(100.0),
+            LatencyHistogram::bucket_representative(1e12));
+}
+
+TEST(Histogram, ResetZeroes) {
+  LatencyHistogram h;
+  h.record(3.0);
+  h.record(4.0);
+  EXPECT_EQ(h.count(), 2u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+}
+
+TEST(Histogram, ConcurrentRecordsLoseNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4, kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(0.5 + 0.25 * t);  // a distinct bucket per thread
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+// --- CounterSet fallback ----------------------------------------------------
+
+TEST(PerfCounters, ForcedUnavailableReadsFalseAndZeroFills) {
+  CounterSet::force_unavailable(true);
+  CounterSet set;  // constructed AFTER the kill-switch: must not open
+  EXPECT_FALSE(set.available());
+  HwCounters c;
+  c.cycles = 123;  // poison: read() must zero-fill on failure
+  c.valid = 0xff;
+  EXPECT_FALSE(set.read(c));
+  EXPECT_EQ(c.valid, 0u);
+  EXPECT_EQ(c.cycles, 0u);
+  EXPECT_EQ(c.instructions, 0u);
+  CounterSet::force_unavailable(false);
+}
+
+TEST(PerfCounters, DeltaIntersectsAndAccumulateUnions) {
+  HwCounters begin, end;
+  begin.cycles = 100;
+  begin.valid = 1u << static_cast<uint8_t>(CounterId::kCycles);
+  end.cycles = 150;
+  end.instructions = 900;
+  end.valid = (1u << static_cast<uint8_t>(CounterId::kCycles)) |
+              (1u << static_cast<uint8_t>(CounterId::kInstructions));
+  const HwCounters d = HwCounters::delta(end, begin);
+  EXPECT_TRUE(d.has(CounterId::kCycles));
+  EXPECT_FALSE(d.has(CounterId::kInstructions));  // absent at begin
+  EXPECT_EQ(d.cycles, 50u);
+
+  HwCounters acc;
+  acc.accumulate(d);
+  acc.accumulate(end);
+  EXPECT_TRUE(acc.has(CounterId::kCycles));
+  EXPECT_TRUE(acc.has(CounterId::kInstructions));
+  EXPECT_EQ(acc.cycles, 200u);
+  EXPECT_EQ(acc.instructions, 900u);
+}
+
+// --- TraceRing --------------------------------------------------------------
+
+TEST(TraceRing, WrapsOverwritingOldestWithoutGrowing) {
+  TraceRing ring;
+  ring.reserve(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (int i = 0; i < 20; ++i) {
+    TraceEvent e;
+    e.t0_ns = i;
+    e.t1_ns = i + 1;
+    ring.push(e);
+  }
+  EXPECT_EQ(ring.size(), 8u);       // fixed capacity, never grew
+  EXPECT_EQ(ring.wrapped(), 12u);   // 20 pushed - 8 surviving
+  // Survivors are the newest 8, oldest first.
+  for (size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring.chronological(i).t0_ns, static_cast<int64_t>(12 + i));
+  }
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.wrapped(), 0u);
+  EXPECT_EQ(ring.capacity(), 8u);  // clear keeps the storage
+}
+
+TEST(TraceRing, PushToUnreservedRingIsANoOp) {
+  TraceRing ring;
+  ring.push(TraceEvent{});
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(TraceEvent, IsExactlyOneCacheLine) {
+  EXPECT_EQ(sizeof(TraceEvent), 64u);
+}
+
+}  // namespace
+}  // namespace antidote::obs

@@ -158,6 +158,59 @@ TEST(ServerStats, RejectsOverMaxBatch) {
   EXPECT_THROW(stats.record_batch(3, 0, 0, 0, 0), Error);
 }
 
+TEST(ServerStats, RequestPercentilesAreExactBucketRepresentatives) {
+  // 100 per-request records: 95 fast, 5 slow (octave-separated, so they
+  // can never share a log bucket). The snapshot percentiles must equal
+  // the histogram's representatives EXACTLY — same math as obs_test, but
+  // through the ServerStats recording and snapshot plumbing.
+  ServerStats stats(4);
+  for (int i = 0; i < 95; ++i) stats.record_request(0.5, 2.0);
+  for (int i = 0; i < 5; ++i) stats.record_request(4.0, 32.0);
+  const ServerStats::Snapshot s = stats.snapshot();
+  EXPECT_EQ(s.queue_wait_p50_ms, obs::LatencyHistogram::bucket_representative(0.5));
+  EXPECT_EQ(s.queue_wait_p95_ms, obs::LatencyHistogram::bucket_representative(0.5));
+  EXPECT_EQ(s.queue_wait_p99_ms, obs::LatencyHistogram::bucket_representative(4.0));
+  EXPECT_EQ(s.e2e_p50_ms, obs::LatencyHistogram::bucket_representative(2.0));
+  EXPECT_EQ(s.e2e_p95_ms, obs::LatencyHistogram::bucket_representative(2.0));
+  EXPECT_EQ(s.e2e_p99_ms, obs::LatencyHistogram::bucket_representative(32.0));
+
+  stats.reset();
+  EXPECT_EQ(stats.snapshot().e2e_p50_ms, 0.0);
+}
+
+TEST(ServerStats, ForwardPercentilesComeFromBatchRecords) {
+  ServerStats stats(4);
+  for (int i = 0; i < 9; ++i) stats.record_batch(1, 0.0, 0.0, 1.0, 0.0);
+  stats.record_batch(1, 0.0, 0.0, 16.0, 0.0);
+  const ServerStats::Snapshot s = stats.snapshot();
+  EXPECT_EQ(s.forward_p50_ms, obs::LatencyHistogram::bucket_representative(1.0));
+  EXPECT_EQ(s.forward_p99_ms, obs::LatencyHistogram::bucket_representative(16.0));
+}
+
+TEST(ServerStats, DeadlineMissRateIsAPercentage) {
+  ServerStats stats(4);
+  stats.record_batch(4, 0.0, 0.0, 1.0, 0.0);  // 4 completed
+  stats.record_deadline_miss(1);
+  const ServerStats::Snapshot s = stats.snapshot();
+  EXPECT_DOUBLE_EQ(s.deadline_miss_rate_pct, 25.0);
+}
+
+TEST(ServerStats, TableReportsDistributionsNotJustMeans) {
+  ServerStats stats(4);
+  stats.record_batch(2, 1.0, 0.1, 2.0, 0.1);
+  stats.record_request(1.0, 3.0);
+  stats.record_request(1.0, 3.0);
+  const Table t = stats.to_table();
+  std::string all;
+  for (const auto& row : t.rows()) all += row[0] + "\n";
+  EXPECT_NE(all.find("queue wait p50/p95/p99"), std::string::npos);
+  EXPECT_NE(all.find("forward p50/p95/p99"), std::string::npos);
+  EXPECT_NE(all.find("e2e p50/p95/p99"), std::string::npos);
+  EXPECT_NE(all.find("deadline miss rate"), std::string::npos);
+  // The misleading mean-only forward row is gone.
+  EXPECT_EQ(all.find("mean forward"), std::string::npos);
+}
+
 // --- engine settings mailbox ------------------------------------------------
 
 TEST(EngineMailbox, PostFromOtherThreadAppliesOnOwner) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <thread>
 
@@ -12,6 +13,8 @@
 #include "base/timer.h"
 #include "core/antidote.h"
 #include "models/summary.h"
+#include "obs/perf_counters.h"
+#include "obs/trace.h"
 #include "plan/plan.h"
 #include "serving/serving.h"
 
@@ -264,6 +267,234 @@ int cmd_sensitivity(const std::vector<std::string>& args) {
   return 0;
 }
 
+// --- tracing / profiling helpers -------------------------------------------
+
+// Flags shared by `trace` and `plan-dump --profile`.
+void add_trace_flags(FlagSet& flags) {
+  flags.add_int("passes", 3, "traced forward passes (after one warm-up)");
+  flags.add_int("distinct", 4,
+                "unique images duplicated to fill the batch (duplicates "
+                "draw identical masks, so the batch groups into <= this "
+                "many compacted GEMMs)");
+  flags.add_int("events", 16384, "trace-ring capacity per worker");
+  flags.add_bool("counters", false,
+                 "read perf_event hardware counters per span (needs "
+                 "perf_event_paranoid <= 2; falls back to timing-only)");
+}
+
+// Runs `passes` plan forwards of a batch assembled from `distinct` unique
+// images (one warm-up pass first, then Tracer::clear(), so the recorded
+// passes see warmed caches and a reserved arena). Returns the plan.
+plan::InferencePlan& run_traced_passes(models::ConvNet& net, int image_size,
+                                       int batch, int distinct, int passes,
+                                       uint64_t seed) {
+  net.set_training(false);
+  Rng rng(seed * 31 + 11);
+  AD_CHECK_GT(distinct, 0);
+  Tensor uniq = Tensor::randn({distinct, 3, image_size, image_size}, rng);
+  Tensor x({batch, 3, image_size, image_size});
+  const int64_t sample = uniq.size() / distinct;
+  for (int i = 0; i < batch; ++i) {
+    std::memcpy(x.data() + i * sample, uniq.data() + (i % distinct) * sample,
+                static_cast<size_t>(sample) * sizeof(float));
+  }
+  nn::ExecutionContext ctx;
+  plan::InferencePlan& plan = net.inference_plan(3, image_size, image_size);
+  plan.reserve(ctx.workspace(), batch);
+  auto run_pass = [&] {
+    ctx.begin_pass();
+    Tensor staged = ctx.alloc(x.shape());
+    std::memcpy(staged.data(), x.data(),
+                static_cast<size_t>(x.size()) * sizeof(float));
+    net.forward(staged, ctx);
+  };
+  run_pass();
+  obs::Tracer::instance().clear();  // discard the warm-up's spans
+  for (int p = 0; p < passes; ++p) run_pass();
+  return plan;
+}
+
+// Builds the pruning engine for trace/profile runs. Falls back to a 0.3
+// channel drop when the user requested none: an all-dense run has no mask
+// groups, and the whole point of the timeline is the grouped regime.
+std::unique_ptr<core::DynamicPruningEngine> make_trace_engine(
+    const FlagSet& flags, models::ConvNet& net, bool* defaulted) {
+  core::PruneSettings settings = settings_from_flags(flags, net);
+  const auto nonzero = [](const std::vector<float>& v) {
+    return std::any_of(v.begin(), v.end(), [](float x) { return x > 0.f; });
+  };
+  *defaulted = false;
+  if (!nonzero(settings.channel_drop) && !nonzero(settings.spatial_drop)) {
+    settings.channel_drop.assign(settings.channel_drop.size(), 0.3f);
+    *defaulted = true;
+  }
+  return std::make_unique<core::DynamicPruningEngine>(net, settings);
+}
+
+// Per-op/per-phase flame-style report from the tracer's aggregation.
+// `step` rows are wall time on the driving thread; phase rows are CPU time
+// summed across the workers that executed them (wrk = how many, spread =
+// max worker / mean worker — a straggler shows up as spread >> 1).
+void print_profile_report(const plan::InferencePlan& plan, int passes) {
+  const std::vector<obs::PhaseStat> stats =
+      obs::Tracer::instance().aggregate();
+  double total_step_ms = 0.0;
+  for (const obs::PhaseStat& s : stats) {
+    if (s.phase == obs::Phase::kStep && s.op >= 0) total_step_ms += s.total_ms;
+  }
+  std::printf(
+      "\nprofile: %d passes, %llu spans (%llu dropped), total step wall "
+      "%.3f ms (%.3f ms/pass)\n",
+      passes,
+      static_cast<unsigned long long>(obs::Tracer::instance().total_events()),
+      static_cast<unsigned long long>(
+          obs::Tracer::instance().dropped_events()),
+      total_step_ms, total_step_ms / std::max(1, passes));
+  std::printf(
+      "%-4s %-18s %-9s %6s %9s %9s %6s %6s %8s %8s %7s %4s %7s\n", "#",
+      "name", "phase", "calls", "cpu_ms", "ms/pass", "%", "IPC", "L1dM/kI",
+      "LLCM/kI", "stall%", "wrk", "spread");
+  const auto counter_cols = [](const obs::PhaseStat& s, char* buf,
+                               size_t cap) {
+    const obs::HwCounters& c = s.counters;
+    const bool ipc_ok = c.has(obs::CounterId::kCycles) &&
+                        c.has(obs::CounterId::kInstructions) && c.cycles > 0;
+    const bool inst_ok =
+        c.has(obs::CounterId::kInstructions) && c.instructions > 0;
+    char ipc[16] = "-", l1d[16] = "-", llc[16] = "-", stall[16] = "-";
+    if (ipc_ok) {
+      std::snprintf(ipc, sizeof(ipc), "%.2f",
+                    static_cast<double>(c.instructions) /
+                        static_cast<double>(c.cycles));
+    }
+    if (inst_ok && c.has(obs::CounterId::kL1dMisses)) {
+      std::snprintf(l1d, sizeof(l1d), "%.2f",
+                    1000.0 * static_cast<double>(c.l1d_misses) /
+                        static_cast<double>(c.instructions));
+    }
+    if (inst_ok && c.has(obs::CounterId::kLlcMisses)) {
+      std::snprintf(llc, sizeof(llc), "%.2f",
+                    1000.0 * static_cast<double>(c.llc_misses) /
+                        static_cast<double>(c.instructions));
+    }
+    if (ipc_ok && c.has(obs::CounterId::kStalledCycles)) {
+      std::snprintf(stall, sizeof(stall), "%.1f",
+                    100.0 * static_cast<double>(c.stalled_cycles) /
+                        static_cast<double>(c.cycles));
+    }
+    std::snprintf(buf, cap, "%6s %8s %8s %7s", ipc, l1d, llc, stall);
+  };
+  char counters[64];
+  const int num_ops = static_cast<int>(plan.ops().size());
+  for (int op = -1; op < num_ops; ++op) {
+    bool printed_op = false;
+    for (const obs::PhaseStat& s : stats) {
+      if (s.op != op) continue;
+      const bool is_step = s.phase == obs::Phase::kStep;
+      if (!printed_op) {
+        printed_op = true;
+        if (op >= 0) {
+          std::printf("%-4d %-18s", op,
+                      plan.ops()[static_cast<size_t>(op)].name.c_str());
+        } else {
+          std::printf("%-4s %-18s", "-", "(outside plan)");
+        }
+      } else {
+        std::printf("%-4s %-18s", "", "");
+      }
+      counter_cols(s, counters, sizeof(counters));
+      const double mean_slot_ms =
+          s.active_slots > 0 ? s.total_ms / s.active_slots : 0.0;
+      char spread[16] = "-";
+      if (s.active_slots > 1 && mean_slot_ms > 0.0) {
+        std::snprintf(spread, sizeof(spread), "%.2fx",
+                      s.max_slot_ms / mean_slot_ms);
+      }
+      std::printf(
+          " %-9s %6llu %9.3f %9.3f %5.1f%% %s %4d %7s\n",
+          obs::phase_name(s.phase), static_cast<unsigned long long>(s.calls),
+          s.total_ms, s.total_ms / std::max(1, passes),
+          is_step && total_step_ms > 0.0 ? 100.0 * s.total_ms / total_step_ms
+                                         : 0.0,
+          counters, s.active_slots, spread);
+    }
+  }
+  std::printf(
+      "pack cache: %lld hits / %lld misses / %lld bypassed (parallel "
+      "groups)\n",
+      static_cast<long long>(plan.pack_cache_hits()),
+      static_cast<long long>(plan.pack_cache_misses()),
+      static_cast<long long>(plan.pack_cache_bypass()));
+}
+
+// Records phase spans over a few plan passes and writes them as Chrome
+// trace-event JSON (chrome://tracing, ui.perfetto.dev). Each trace slot is
+// one thread lane, so cross-group parallelism — several `group` spans
+// overlapping in time on different lanes — is directly visible, as are
+// straggler workers.
+int cmd_trace(const std::vector<std::string>& args) {
+  FlagSet flags("antidote_cli trace");
+  add_common_flags(flags);
+  add_prune_flags(flags);
+  add_trace_flags(flags);
+  flags.add_string("out", "trace.json", "Chrome trace-event JSON path");
+  flags.add_string("ckpt", "", "checkpoint to load first (optional)");
+  flags.parse(args);
+  if (flags.help_requested()) {
+    std::cout << flags.usage();
+    return 0;
+  }
+  const bool counters = flags.get_bool("counters");
+  obs::Tracer& tracer = obs::Tracer::instance();
+  if (!tracer.enable(static_cast<size_t>(flags.get_int("events")),
+                     counters)) {
+    std::fprintf(stderr,
+                 "trace: profiling is compiled out; rebuild with "
+                 "-DANTIDOTE_PROFILE=ON\n");
+    return 1;
+  }
+  auto net = make_net(flags);
+  if (const std::string ckpt = flags.get_string("ckpt"); !ckpt.empty()) {
+    nn::load_checkpoint(*net, ckpt);
+  }
+  bool defaulted = false;
+  auto engine = make_trace_engine(flags, *net, &defaulted);
+  if (defaulted) {
+    std::printf(
+        "trace: no drop ratios given; defaulting to --channel-drop=0.3 so "
+        "mask groups appear on the timeline\n");
+  }
+  const int passes = flags.get_int("passes");
+  plan::InferencePlan& plan = run_traced_passes(
+      *net, flags.get_int("image-size"), flags.get_int("batch"),
+      flags.get_int("distinct"), passes,
+      static_cast<uint64_t>(flags.get_int("seed")));
+  tracer.disable();
+  if (counters && !obs::thread_counters().available()) {
+    std::printf(
+        "trace: hardware counters unavailable (container or "
+        "perf_event_paranoid > 2?); spans carry timing only\n");
+  }
+  const std::string out = flags.get_string("out");
+  const bool ok = tracer.write_chrome_trace(out, [&](int op) {
+    return op >= 0 && op < static_cast<int>(plan.ops().size())
+               ? plan.ops()[static_cast<size_t>(op)].name
+               : std::string("op") + std::to_string(op);
+  });
+  if (!ok) {
+    std::fprintf(stderr, "trace: failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf(
+      "trace: %llu spans over %d worker lanes (%llu dropped), last pass "
+      "mask groups %d -> %s (load in chrome://tracing or ui.perfetto.dev)\n",
+      static_cast<unsigned long long>(tracer.total_events()),
+      tracer.slots_in_use(),
+      static_cast<unsigned long long>(tracer.dropped_events()),
+      plan.last_mask_groups(), out.c_str());
+  return 0;
+}
+
 // Prints a model's compiled InferencePlan: the fused op table with
 // per-op dense FLOPs, fusion flags (+bn/+res/+relu, mN = masked by the
 // gate of block N) and the exact ahead-of-time arena footprint.
@@ -271,23 +502,36 @@ int cmd_plan_dump(const std::vector<std::string>& args) {
   FlagSet flags("antidote_cli plan-dump");
   add_common_flags(flags);
   add_prune_flags(flags);
+  add_trace_flags(flags);
   flags.add_string("ckpt", "", "checkpoint to load first (optional)");
+  flags.add_bool("profile", false,
+                 "run traced passes and append a per-op/per-phase profile "
+                 "(self-ms, hardware counters, per-worker spread)");
   flags.parse(args);
   if (flags.help_requested()) {
     std::cout << flags.usage();
     return 0;
   }
+  const bool profile = flags.get_bool("profile");
   auto net = make_net(flags);
   if (const std::string ckpt = flags.get_string("ckpt"); !ckpt.empty()) {
     nn::load_checkpoint(*net, ckpt);
   }
-  const core::PruneSettings settings = settings_from_flags(flags, *net);
-  const auto nonzero = [](const std::vector<float>& v) {
-    return std::any_of(v.begin(), v.end(), [](float x) { return x > 0.f; });
-  };
   std::unique_ptr<core::DynamicPruningEngine> engine;
-  if (nonzero(settings.channel_drop) || nonzero(settings.spatial_drop)) {
-    engine = std::make_unique<core::DynamicPruningEngine>(*net, settings);
+  bool drops_defaulted = false;
+  if (profile) {
+    // The profile wants the masked regime on the table, so it inherits the
+    // trace commands' default-drop fallback.
+    engine = make_trace_engine(flags, *net, &drops_defaulted);
+  } else {
+    const core::PruneSettings settings = settings_from_flags(flags, *net);
+    const auto nonzero = [](const std::vector<float>& v) {
+      return std::any_of(v.begin(), v.end(),
+                         [](float x) { return x > 0.f; });
+    };
+    if (nonzero(settings.channel_drop) || nonzero(settings.spatial_drop)) {
+      engine = std::make_unique<core::DynamicPruningEngine>(*net, settings);
+    }
   }
   net->set_training(false);
   const int size = flags.get_int("image-size");
@@ -298,6 +542,33 @@ int cmd_plan_dump(const std::vector<std::string>& args) {
   const int batch = flags.get_int("batch");
   std::printf("arena bytes: %zu @ batch 1, %zu @ batch %d\n",
               plan.arena_bytes(1), plan.arena_bytes(batch), batch);
+  if (!profile) return 0;
+
+  // Counters are always attempted under --profile (they degrade to "-"
+  // columns when perf_event is unavailable); --counters only matters for
+  // the `trace` command, whose default is timing-only.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  if (!tracer.enable(static_cast<size_t>(flags.get_int("events")), true)) {
+    std::fprintf(stderr,
+                 "plan-dump: --profile needs profiling compiled in; "
+                 "rebuild with -DANTIDOTE_PROFILE=ON\n");
+    return 1;
+  }
+  if (drops_defaulted) {
+    std::printf(
+        "profile: no drop ratios given; defaulting to --channel-drop=0.3 "
+        "so the masked phases show up\n");
+  }
+  const int passes = flags.get_int("passes");
+  run_traced_passes(*net, size, batch, flags.get_int("distinct"), passes,
+                    static_cast<uint64_t>(flags.get_int("seed")));
+  tracer.disable();
+  if (!obs::thread_counters().available()) {
+    std::printf(
+        "profile: hardware counters unavailable (container or "
+        "perf_event_paranoid > 2?); timing columns only\n");
+  }
+  print_profile_report(plan, passes);
   return 0;
 }
 
@@ -440,7 +711,10 @@ constexpr CommandEntry kCommands[] = {
     {"sensitivity", cmd_sensitivity,
      "per-block (or per-site) pruning sensitivity sweep"},
     {"plan-dump", cmd_plan_dump,
-     "print a model's compiled inference plan (fused ops, FLOPs, arena)"},
+     "print a model's compiled inference plan (fused ops, FLOPs, arena); "
+     "--profile adds per-op/per-phase timings and hardware counters"},
+    {"trace", cmd_trace,
+     "record plan passes and write a Chrome trace-event JSON timeline"},
     {"serve-bench", cmd_serve_bench,
      "closed-loop load test of the batched serving runtime"},
 };
