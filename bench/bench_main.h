@@ -38,7 +38,10 @@ inline std::string bench_meta_json() {
   os << "{\"schema_version\": " << kBenchSchemaVersion << ", \"git\": \""
      << build_git_describe() << "\", \"threads\": " << (global_pool().size() + 1)
      << ", \"simd_isa\": \"" << nn::simd_isa_name()
-     << "\", \"simd_lanes\": " << nn::simd_lane_width() << "}";
+     << "\", \"simd_lanes\": " << nn::simd_lane_width()
+     << ", \"int8_isa\": \"" << nn::int8_isa_name()
+     << "\", \"avx512_vnni\": "
+     << (nn::cpu_supports_vnni() ? "true" : "false") << "}";
   return os.str();
 }
 

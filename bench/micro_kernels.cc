@@ -272,6 +272,104 @@ void BM_ScatterScalar(benchmark::State& state) {
 BENCHMARK(BM_ScatterSimd);
 BENCHMARK(BM_ScatterScalar);
 
+// --- int8 regime kernels ---------------------------------------------------
+//
+// The quantized hot path's three stages at VGG-like geometry: dynamic
+// activation quantization into the VNNI byte layout, and the u8xs8->s32
+// igemm with dequant folded into the store (runtime-dispatched AVX-512
+// VNNI / AVX2 / scalar vs the bitwise-identical scalar reference). The
+// igemm pair's ratio is the int8 raw-speed win BENCH_kernels.json tracks.
+
+constexpr int kI8OutC = 128;            // VGG-ish filter count
+constexpr int64_t kI8Patch = 128 * 9;   // in_c * k_h * k_w
+constexpr int64_t kI8Pos = 256;         // 16x16 output positions
+
+template <bool kSimd>
+void quantize_activations_bench(benchmark::State& state) {
+  Rng rng(54);
+  Tensor cols = Tensor::randn(
+      {static_cast<int>(kI8Patch), static_cast<int>(kI8Pos)}, rng);
+  std::vector<uint8_t> qb(
+      static_cast<size_t>(nn::int8_align4(kI8Patch)) * kI8Pos);
+  for (auto _ : state) {
+    float scale;
+    if (kSimd) {
+      scale = nn::quantize_activations(cols.data(), kI8Patch, kI8Pos,
+                                       qb.data());
+    } else {
+      scale = nn::quantize_activations_scalar(cols.data(), kI8Patch, kI8Pos,
+                                              qb.data());
+    }
+    benchmark::DoNotOptimize(scale);
+    benchmark::DoNotOptimize(qb.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kI8Patch * kI8Pos);
+}
+void BM_Int8QuantizeActs(benchmark::State& state) {
+  quantize_activations_bench<true>(state);
+}
+void BM_Int8QuantizeActsScalar(benchmark::State& state) {
+  quantize_activations_bench<false>(state);
+}
+BENCHMARK(BM_Int8QuantizeActs);
+BENCHMARK(BM_Int8QuantizeActsScalar);
+
+template <bool kSimd>
+void int8_igemm_bench(benchmark::State& state) {
+  Rng rng(55);
+  const int64_t k4 = nn::int8_align4(kI8Patch);
+  Tensor w = Tensor::randn({kI8OutC, static_cast<int>(kI8Patch)}, rng);
+  Tensor cols = Tensor::randn(
+      {static_cast<int>(kI8Patch), static_cast<int>(kI8Pos)}, rng);
+  std::vector<int8_t> qw(static_cast<size_t>(kI8OutC) * k4);
+  std::vector<float> wscale(kI8OutC);
+  std::vector<int32_t> wsum(kI8OutC);
+  nn::quantize_weights_rowwise(w.data(), kI8OutC, kI8Patch, qw.data(), k4,
+                               wscale.data(), wsum.data());
+  std::vector<uint8_t> qb(static_cast<size_t>(k4) * kI8Pos);
+  const float sa =
+      nn::quantize_activations(cols.data(), kI8Patch, kI8Pos, qb.data());
+  std::vector<float> y(static_cast<size_t>(kI8OutC) * kI8Pos);
+  for (auto _ : state) {
+    if (kSimd) {
+      nn::igemm_u8s8_dequant(kI8OutC, kI8Pos, k4, qw.data(), k4, qb.data(),
+                             wsum.data(), wscale.data(), sa, y.data(),
+                             kI8Pos);
+    } else {
+      nn::igemm_u8s8_dequant_scalar(kI8OutC, kI8Pos, k4, qw.data(), k4,
+                                    qb.data(), wsum.data(), wscale.data(),
+                                    sa, y.data(), kI8Pos);
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * kI8OutC * kI8Patch *
+                          kI8Pos);
+}
+void BM_Int8Igemm(benchmark::State& state) { int8_igemm_bench<true>(state); }
+void BM_Int8IgemmScalar(benchmark::State& state) {
+  int8_igemm_bench<false>(state);
+}
+BENCHMARK(BM_Int8Igemm);
+BENCHMARK(BM_Int8IgemmScalar);
+
+// The f32 GEMM at the same shape, so the igemm's win over the f32 dense
+// path is read directly off adjacent BENCH_kernels.json entries.
+void BM_Int8GemmF32Baseline(benchmark::State& state) {
+  Rng rng(56);
+  Tensor w = Tensor::randn({kI8OutC, static_cast<int>(kI8Patch)}, rng);
+  Tensor cols = Tensor::randn(
+      {static_cast<int>(kI8Patch), static_cast<int>(kI8Pos)}, rng);
+  std::vector<float> y(static_cast<size_t>(kI8OutC) * kI8Pos);
+  for (auto _ : state) {
+    gemm_nn(kI8OutC, kI8Pos, kI8Patch, 1.f, w.data(), cols.data(), 0.f,
+            y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * kI8OutC * kI8Patch *
+                          kI8Pos);
+}
+BENCHMARK(BM_Int8GemmF32Baseline);
+
 // Dense conv through the allocation-free ExecutionContext hot path —
 // compare with BM_ConvDense to see the workspace/arena saving at layer
 // granularity.

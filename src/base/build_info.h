@@ -8,7 +8,7 @@ namespace antidote {
 
 // Version of the "antidote_meta" block embedded in every BENCH_*.json.
 // Bump when the bench JSON layout changes incompatibly.
-inline constexpr int kBenchSchemaVersion = 2;
+inline constexpr int kBenchSchemaVersion = 3;
 
 // `git describe --always --dirty --tags` captured by CMake at configure
 // time; "unknown" when the build is not from a git checkout.

@@ -124,4 +124,33 @@ inline vf gather(const float* base, const int32_t* idx) {
 
 #endif
 
+// --- int8 lane extension (x86-64 AVX2 TUs only) ----------------------------
+//
+// The int8 regime's accumulator math is EXACT integer arithmetic, so the
+// bitwise contract holds trivially across backends: scalar, AVX2 and
+// AVX-512 VNNI all compute the identical int32 dot product, and the single
+// dequant expression at the end performs the same two IEEE-754 roundings
+// everywhere. The AVX2 helper below is an exact emulation of the VNNI
+// `vpdpbusd` instruction — per 32-bit lane, acc += sum over the lane's four
+// byte pairs of u8(a) * s8(b) — built from widening shifts + madd_epi16.
+// No `maddubs` anywhere: _mm256_maddubs_epi16 saturates its s16 pair sums
+// (255*127*2 = 64770 > 32767) which would silently break parity. Here the
+// u8 operand is split into even/odd u16 lanes (non-negative, so madd_epi16
+// cannot hit its lone -32768*-32768 saturation case) and each pair sum
+// <= 65280 fits int32 exactly.
+#if defined(ANTIDOTE_SIMD_AVX2)
+#define ANTIDOTE_SIMD_I8 1
+
+inline __m256i dpbusd_epi32(__m256i acc, __m256i a_u8, __m256i b_s8) {
+  const __m256i a_even = _mm256_and_si256(a_u8, _mm256_set1_epi16(0x00FF));
+  const __m256i a_odd = _mm256_srli_epi16(a_u8, 8);
+  const __m256i b_even = _mm256_srai_epi16(_mm256_slli_epi16(b_s8, 8), 8);
+  const __m256i b_odd = _mm256_srai_epi16(b_s8, 8);
+  const __m256i p = _mm256_add_epi32(_mm256_madd_epi16(a_even, b_even),
+                                     _mm256_madd_epi16(a_odd, b_odd));
+  return _mm256_add_epi32(acc, p);
+}
+
+#endif  // ANTIDOTE_SIMD_AVX2
+
 }  // namespace antidote::simd

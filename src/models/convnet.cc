@@ -2,10 +2,11 @@
 
 #include "base/error.h"
 #include "plan/builder.h"
+#include "plan/plan.h"
 
 namespace antidote::models {
 
-ConvNet::ConvNet() = default;
+ConvNet::ConvNet() : regime_(plan::NumericRegime::kF32) {}
 ConvNet::~ConvNet() = default;
 
 Tensor ConvNet::forward(const Tensor& x, nn::ExecutionContext& ctx) {
@@ -32,7 +33,15 @@ plan::InferencePlan& ConvNet::inference_plan(int in_c, int in_h, int in_w) {
     plan_h_ = in_h;
     plan_w_ = in_w;
   }
+  // Applied on every fetch (idempotent): plans compile as f32, and the
+  // model's regime must survive recompiles (shape changes, gate installs).
+  plan_->set_regime(regime_);
   return *plan_;
+}
+
+void ConvNet::set_numeric_regime(plan::NumericRegime regime) {
+  regime_ = regime;
+  if (plan_ != nullptr) plan_->set_regime(regime);
 }
 
 void ConvNet::invalidate_plan() {

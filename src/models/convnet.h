@@ -27,6 +27,7 @@
 namespace antidote::plan {
 class InferencePlan;
 class PlanBuilder;
+enum class NumericRegime;
 }  // namespace antidote::plan
 
 namespace antidote::models {
@@ -60,6 +61,14 @@ class ConvNet : public nn::Module {
   // manually after mutating weights or BN statistics in eval mode (e.g.
   // loading a checkpoint into an already-eval model).
   void invalidate_plan();
+
+  // Numeric regime every compiled plan runs under (f32 by default). Set
+  // before the first context forward (or any time — it applies to the
+  // cached plan and to every future compile, including plans built after
+  // a shape change or invalidate_plan). Serving replica factories call
+  // this so replicas come up quantized without ever executing f32.
+  void set_numeric_regime(plan::NumericRegime regime);
+  plan::NumericRegime numeric_regime() const { return regime_; }
 
   // --- gate sites ---
   virtual int num_gate_sites() const = 0;
@@ -103,6 +112,8 @@ class ConvNet : public nn::Module {
  private:
   std::unique_ptr<plan::InferencePlan> plan_;
   int plan_c_ = -1, plan_h_ = -1, plan_w_ = -1;
+  // Initialized to kF32 in the constructor (the enum is opaque here).
+  plan::NumericRegime regime_;
 };
 
 }  // namespace antidote::models

@@ -293,18 +293,126 @@ int64_t conv_sample_masked(const float* xb, const ConvGeom& g, const float* w,
 
 // --- mask-grouped batch kernels ---------------------------------------------
 
-void WeightPanelCache::prepare(int out_c, int in_c, int kk) {
-  // Both layouts top out at the full weight size; reserve the kept-set
-  // copies too, so a runtime pack touches no allocator. Idempotent: a
-  // repeat call on an already-sized cache keeps its warm panel.
-  const size_t full = static_cast<size_t>(out_c) * in_c * kk;
-  if (panel.size() < full) {
-    panel.resize(full);
-    valid = false;
-  }
-  channels.reserve(static_cast<size_t>(in_c));
-  out_channels.reserve(static_cast<size_t>(out_c));
+void quantize_conv_weights(const float* w, int out_c, int in_c, int kk,
+                           Int8ConvWeights& out) {
+  const int64_t k = static_cast<int64_t>(in_c) * kk;
+  out.row_stride = int8_align4(k);
+  out.q.resize(static_cast<size_t>(out_c) * out.row_stride);
+  out.scale.resize(static_cast<size_t>(out_c));
+  out.wsum.resize(static_cast<size_t>(out_c));
+  quantize_weights_rowwise(w, out_c, k, out.q.data(), out.row_stride,
+                           out.scale.data(), out.wsum.data());
 }
+
+void WeightPanelCache::prepare(int out_c, int in_c, int kk,
+                               bool int8_regime) {
+  // Both f32 layouts top out at the full weight size; reserve the
+  // kept-set copies too, so a runtime pack touches no allocator.
+  // Idempotent: a repeat call on already-sized ways keeps warm panels.
+  const size_t full = static_cast<size_t>(out_c) * in_c * kk;
+  const size_t qrow =
+      static_cast<size_t>(int8_align4(static_cast<int64_t>(in_c) * kk));
+  for (Entry& e : ways) {
+    if (e.panel.size() < full) {
+      e.panel.resize(full);
+      e.valid = false;
+    }
+    if (int8_regime) {
+      const size_t qfull = static_cast<size_t>(out_c) * qrow;
+      if (e.qpanel.size() < qfull) {
+        e.qpanel.resize(qfull);
+        if (e.is_int8) e.valid = false;
+      }
+      if (e.qwsum.size() < static_cast<size_t>(out_c))
+        e.qwsum.resize(static_cast<size_t>(out_c));
+      if (e.qscale.size() < static_cast<size_t>(out_c))
+        e.qscale.resize(static_cast<size_t>(out_c));
+    }
+    e.channels.reserve(static_cast<size_t>(in_c));
+    e.out_channels.reserve(static_cast<size_t>(out_c));
+  }
+}
+
+namespace {
+
+// FNV-1a over the kept sets + layout + regime: the identity of a panel,
+// used by the evicted-key ring to tell capacity misses from cold ones.
+uint64_t panel_key_hash(std::span<const int> ch, std::span<const int> oc,
+                        bool spatial_layout, bool is_int8) {
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(spatial_layout ? 1u : 0u);
+  mix(is_int8 ? 2u : 3u);
+  mix(static_cast<uint64_t>(ch.size()));
+  for (int c : ch) mix(static_cast<uint64_t>(static_cast<uint32_t>(c)));
+  mix(static_cast<uint64_t>(oc.size()));
+  for (int c : oc) mix(static_cast<uint64_t>(static_cast<uint32_t>(c)));
+  return h;
+}
+
+// Index of the way holding this exact panel identity, or -1.
+int find_way(WeightPanelCache& cache, std::span<const int> ch,
+             std::span<const int> oc, bool spatial_layout, bool is_int8) {
+  for (int i = 0; i < WeightPanelCache::kWays; ++i) {
+    const WeightPanelCache::Entry& e = cache.ways[i];
+    if (e.valid && e.spatial_layout == spatial_layout &&
+        e.is_int8 == is_int8 &&
+        std::equal(ch.begin(), ch.end(), e.channels.begin(),
+                   e.channels.end()) &&
+        std::equal(oc.begin(), oc.end(), e.out_channels.begin(),
+                   e.out_channels.end())) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+// Bookkeeping for a miss on `key`: classifies it cold vs capacity via the
+// evicted-key ring, picks the victim way (first invalid, else LRU) and
+// records the eviction. Returns the way to fill; the caller installs the
+// panel and stamps it.
+WeightPanelCache::Entry& take_miss_way(WeightPanelCache& cache,
+                                       uint64_t key) {
+  cache.misses.add(1);
+  bool seen_before = false;
+  for (uint64_t k : cache.evicted_keys) {
+    if (k == key && k != 0) {
+      seen_before = true;
+      break;
+    }
+  }
+  if (seen_before) {
+    cache.capacity_misses.add(1);
+  } else {
+    cache.cold_misses.add(1);
+  }
+  int victim = -1;
+  for (int i = 0; i < WeightPanelCache::kWays; ++i) {
+    if (!cache.ways[i].valid) {
+      victim = i;
+      break;
+    }
+  }
+  if (victim < 0) {
+    victim = 0;
+    for (int i = 1; i < WeightPanelCache::kWays; ++i) {
+      if (cache.ways[i].stamp < cache.ways[victim].stamp) victim = i;
+    }
+  }
+  WeightPanelCache::Entry& e = cache.ways[victim];
+  if (e.valid) {
+    cache.evictions.add(1);
+    cache.evicted_keys[cache.evict_pos] = panel_key_hash(
+        e.channels, e.out_channels, e.spatial_layout, e.is_int8);
+    cache.evict_pos = (cache.evict_pos + 1) % WeightPanelCache::kEvictRing;
+  }
+  return e;
+}
+
+}  // namespace
 
 void pack_weight_panel_into(const float* w, int in_c, int kk,
                             std::span<const int> ch, std::span<const int> oc,
@@ -349,29 +457,93 @@ const float* pack_weight_panel(const float* w, int in_c, int kk,
                                WeightPanelCache& cache) {
   const int ck = static_cast<int>(ch.size());
   const int ok = static_cast<int>(oc.size());
-  // Callers that reserved their plan arrive pre-sized; unreserved ad-hoc
-  // paths grow the cache here once and converge, like the arena.
-  const size_t needed = static_cast<size_t>(ok) * ck * kk;
-  if (cache.panel.size() < needed) {
-    cache.panel.resize(needed);
-    cache.valid = false;
-  }
-  if (cache.valid && cache.spatial_layout == spatial_layout &&
-      std::equal(ch.begin(), ch.end(), cache.channels.begin(),
-                 cache.channels.end()) &&
-      std::equal(oc.begin(), oc.end(), cache.out_channels.begin(),
-                 cache.out_channels.end())) {
+  const int wi = find_way(cache, ch, oc, spatial_layout, /*is_int8=*/false);
+  if (wi >= 0) {
     cache.hits.add(1);
-    return cache.panel.data();
+    cache.ways[wi].stamp = ++cache.clock;
+    return cache.ways[wi].panel.data();
   }
-  cache.misses.add(1);
+  WeightPanelCache::Entry& e = take_miss_way(
+      cache, panel_key_hash(ch, oc, spatial_layout, /*is_int8=*/false));
+  // Callers that reserved their plan arrive pre-sized; unreserved ad-hoc
+  // paths grow the way here once and converge, like the arena.
+  const size_t needed = static_cast<size_t>(ok) * ck * kk;
+  if (e.panel.size() < needed) e.panel.resize(needed);
   pack_weight_panel_into(w, in_c, kk, ch, oc, spatial_layout,
-                         cache.panel.data());
-  cache.channels.assign(ch.begin(), ch.end());
-  cache.out_channels.assign(oc.begin(), oc.end());
-  cache.spatial_layout = spatial_layout;
-  cache.valid = true;
-  return cache.panel.data();
+                         e.panel.data());
+  e.channels.assign(ch.begin(), ch.end());
+  e.out_channels.assign(oc.begin(), oc.end());
+  e.spatial_layout = spatial_layout;
+  e.is_int8 = false;
+  e.valid = true;
+  e.stamp = ++cache.clock;
+  return e.panel.data();
+}
+
+void pack_weight_panel_i8_into(const Int8ConvWeights& qw, int kk,
+                               std::span<const int> ch,
+                               std::span<const int> oc, int8_t* qdst,
+                               int32_t* wsum_dst, float* scale_dst) {
+  const int ck = static_cast<int>(ch.size());
+  const int ok = static_cast<int>(oc.size());
+  const int64_t patch_k = static_cast<int64_t>(ck) * kk;
+  const int64_t p4 = int8_align4(patch_k);
+  for (int oi = 0; oi < ok; ++oi) {
+    const int occ = oc[static_cast<size_t>(oi)];
+    const int8_t* src = qw.q.data() + static_cast<int64_t>(occ) *
+                                          qw.row_stride;
+    int8_t* dst = qdst + static_cast<int64_t>(oi) * p4;
+    int32_t sum = 0;
+    for (int ci = 0; ci < ck; ++ci) {
+      const int8_t* block =
+          src + static_cast<int64_t>(ch[static_cast<size_t>(ci)]) * kk;
+      int8_t* out = dst + static_cast<int64_t>(ci) * kk;
+      for (int t = 0; t < kk; ++t) {
+        out[t] = block[t];
+        sum += block[t];
+      }
+    }
+    // Zero pad keeps both the dot product and wsum exact regardless of
+    // the (biased) activation pad bytes.
+    for (int64_t t = patch_k; t < p4; ++t) dst[t] = 0;
+    wsum_dst[oi] = sum;
+    scale_dst[oi] = qw.scale[static_cast<size_t>(occ)];
+  }
+}
+
+Int8Panel pack_weight_panel_i8(const Int8ConvWeights& qw, int kk,
+                               std::span<const int> ch,
+                               std::span<const int> oc,
+                               WeightPanelCache& cache) {
+  const int ck = static_cast<int>(ch.size());
+  const int ok = static_cast<int>(oc.size());
+  const int wi = find_way(cache, ch, oc, /*spatial_layout=*/false,
+                          /*is_int8=*/true);
+  if (wi >= 0) {
+    cache.hits.add(1);
+    WeightPanelCache::Entry& e = cache.ways[wi];
+    e.stamp = ++cache.clock;
+    return {e.qpanel.data(), e.qwsum.data(), e.qscale.data()};
+  }
+  WeightPanelCache::Entry& e = take_miss_way(
+      cache,
+      panel_key_hash(ch, oc, /*spatial_layout=*/false, /*is_int8=*/true));
+  const size_t needed = static_cast<size_t>(ok) *
+                        int8_align4(static_cast<int64_t>(ck) * kk);
+  if (e.qpanel.size() < needed) e.qpanel.resize(needed);
+  if (e.qwsum.size() < static_cast<size_t>(ok))
+    e.qwsum.resize(static_cast<size_t>(ok));
+  if (e.qscale.size() < static_cast<size_t>(ok))
+    e.qscale.resize(static_cast<size_t>(ok));
+  pack_weight_panel_i8_into(qw, kk, ch, oc, e.qpanel.data(),
+                            e.qwsum.data(), e.qscale.data());
+  e.channels.assign(ch.begin(), ch.end());
+  e.out_channels.assign(oc.begin(), oc.end());
+  e.spatial_layout = false;
+  e.is_int8 = true;
+  e.valid = true;
+  e.stamp = ++cache.clock;
+  return {e.qpanel.data(), e.qwsum.data(), e.qscale.data()};
 }
 
 int64_t conv_batch_dense(const float* x_base, int64_t in_floats,
@@ -413,6 +585,154 @@ int64_t conv_batch_dense(const float* x_base, int64_t in_floats,
   }
   ws.rewind(scratch);
   return static_cast<int64_t>(out_c) * pos * patch * n;
+}
+
+int64_t conv_batch_dense_i8(const float* x_base, int64_t in_floats,
+                            const ConvGeom& g, const Int8ConvWeights& qw,
+                            int out_c, const float* bias, int n,
+                            float* y_base, int64_t out_floats,
+                            Workspace& ws) {
+  const int64_t patch = g.patch_rows();
+  const int64_t pos = g.out_positions();
+  const int64_t p4 = int8_align4(patch);
+  AD_CHECK_EQ(p4, qw.row_stride);
+  const Workspace::Mark scratch = ws.mark();
+  float* cols = ws.alloc_floats(patch * pos);
+  uint8_t* qcols = ws.alloc<uint8_t>(p4 * pos);
+  for (int b = 0; b < n; ++b) {
+    const float* xb = x_base + static_cast<int64_t>(b) * in_floats;
+    {
+      obs::PhaseScope span(obs::Phase::kIm2col);
+      parallel_for(
+          0, g.in_c,
+          [&](int64_t c0, int64_t c1) {
+            im2col_range(xb, g, static_cast<int>(c0), static_cast<int>(c1),
+                         cols);
+          },
+          /*grain=*/1);
+    }
+    float sa;
+    {
+      obs::PhaseScope span(obs::Phase::kQuant);
+      sa = quantize_activations(cols, patch, pos, qcols);
+    }
+    float* yb = y_base + static_cast<int64_t>(b) * out_floats;
+    {
+      obs::PhaseScope span(obs::Phase::kGemm);
+      igemm_u8s8_dequant(out_c, pos, p4, qw.q.data(), qw.row_stride, qcols,
+                         qw.wsum.data(), qw.scale.data(), sa, yb, pos);
+      if (bias != nullptr) {
+        for (int oc = 0; oc < out_c; ++oc) {
+          add_bias_row(yb + static_cast<int64_t>(oc) * pos, pos, bias[oc]);
+        }
+      }
+    }
+  }
+  ws.rewind(scratch);
+  return static_cast<int64_t>(out_c) * pos * patch * n;
+}
+
+int64_t conv_group_masked_i8(const float* x_base, int64_t in_floats,
+                             const ConvGeom& g, const Int8ConvWeights& qw,
+                             int out_c, const float* bias,
+                             const ConvRuntimeMask& m,
+                             std::span<const int> samples,
+                             const ConvIdentityIndices& ids,
+                             WeightPanelCache* cache, float* y_base,
+                             int64_t out_floats, Workspace& ws) {
+  AD_CHECK(m.positions.empty())
+      << " spatial-masked groups run the f32 shift-GEMM fallback";
+  const int in_c = g.in_c;
+  const int64_t pos = g.out_positions();
+  const int64_t kk = static_cast<int64_t>(g.k_h) * g.k_w;
+  const int gs = static_cast<int>(samples.size());
+  AD_CHECK_GT(gs, 0);
+
+  const std::span<const int> ch =
+      m.channels.empty()
+          ? std::span<const int>(ids.channels, static_cast<size_t>(in_c))
+          : std::span<const int>(m.channels);
+  const std::span<const int> oc_set =
+      m.out_channels.empty()
+          ? std::span<const int>(ids.out, static_cast<size_t>(out_c))
+          : std::span<const int>(m.out_channels);
+  const int ck = static_cast<int>(ch.size());
+  const int ok = static_cast<int>(oc_set.size());
+  const int patch_k = ck * static_cast<int>(kk);
+  const int64_t p4 = int8_align4(patch_k);
+  const int64_t ldc = static_cast<int64_t>(gs) * pos;
+
+  const Workspace::Mark per_group = ws.mark();
+  Int8Panel panel;
+  {
+    obs::PhaseScope span(obs::Phase::kPack);
+    if (cache != nullptr) {
+      panel = pack_weight_panel_i8(qw, static_cast<int>(kk), ch, oc_set,
+                                   *cache);
+    } else {
+      // Cross-group parallel regime: pack into this worker's arena slice.
+      int8_t* qdst = ws.alloc<int8_t>(static_cast<int64_t>(ok) * p4);
+      int32_t* wsum = ws.alloc<int32_t>(ok);
+      float* scale = ws.alloc_floats(ok);
+      pack_weight_panel_i8_into(qw, static_cast<int>(kk), ch, oc_set, qdst,
+                                wsum, scale);
+      panel = {qdst, wsum, scale};
+    }
+  }
+  float* cols = ws.alloc_floats(static_cast<int64_t>(patch_k) * ldc);
+  const std::span<const int> all_pos(ids.positions,
+                                     static_cast<size_t>(pos));
+  {
+    obs::PhaseScope span(obs::Phase::kGather);
+    parallel_for(
+        0, gs,
+        [&](int64_t s0, int64_t s1) {
+          for (int64_t s = s0; s < s1; ++s) {
+            const int b = samples[static_cast<size_t>(s)];
+            im2col_gather_ld(x_base + static_cast<int64_t>(b) * in_floats,
+                             g, ch, all_pos, cols + s * pos, ldc);
+          }
+        },
+        /*grain=*/1);
+  }
+  uint8_t* qcols = ws.alloc<uint8_t>(p4 * ldc);
+  float sa;
+  {
+    obs::PhaseScope span(obs::Phase::kQuant);
+    sa = quantize_activations(cols, patch_k, ldc, qcols);
+  }
+  float* y_sub = ws.alloc_floats(static_cast<int64_t>(ok) * ldc);
+  {
+    obs::PhaseScope span(obs::Phase::kGemm);
+    igemm_u8s8_dequant(ok, ldc, p4, panel.panel, p4, qcols, panel.wsum,
+                       panel.scale, sa, y_sub, ldc);
+  }
+  {
+    obs::PhaseScope span(obs::Phase::kScatter);
+    parallel_for(
+        0, gs,
+        [&](int64_t s0, int64_t s1) {
+          for (int64_t s = s0; s < s1; ++s) {
+            const int b = samples[static_cast<size_t>(s)];
+            float* yb = y_base + static_cast<int64_t>(b) * out_floats;
+            for (int oi = 0; oi < ok; ++oi) {
+              const int oc = oc_set[static_cast<size_t>(oi)];
+              const float* src =
+                  y_sub + static_cast<int64_t>(oi) * ldc + s * pos;
+              float* dst = yb + static_cast<int64_t>(oc) * pos;
+              if (bias != nullptr) {
+                scatter_bias_row(src, dst, pos, bias[oc]);
+              } else {
+                std::memcpy(dst, src,
+                            static_cast<size_t>(pos) * sizeof(float));
+              }
+            }
+          }
+        },
+        /*grain=*/1);
+  }
+  ws.rewind(per_group);
+  return static_cast<int64_t>(ok) * pos * patch_k * gs;
 }
 
 int64_t conv_group_masked(const float* x_base, int64_t in_floats,
@@ -641,19 +961,32 @@ void shortcut_subsample_into(const float* x, int n, int in_c, int h, int w,
   }
 }
 
-size_t conv_batch_dense_scratch_bytes(const ConvGeom& g, int out_c, int n) {
+size_t conv_batch_dense_scratch_bytes(const ConvGeom& g, int out_c, int n,
+                                      bool int8_regime) {
   // Batch-independent: one shared im2col buffer plus one sample's GEMM
   // panels (samples run sequentially between the same marks).
   (void)n;
   const int64_t patch = g.patch_rows();
   const int64_t pos = g.out_positions();
-  return Workspace::align_up(static_cast<size_t>(patch) * pos *
-                             sizeof(float)) +
-         gemm_nn_scratch_bytes(out_c, static_cast<int>(pos),
-                               static_cast<int>(patch));
+  size_t worst = Workspace::align_up(static_cast<size_t>(patch) * pos *
+                                     sizeof(float)) +
+                 gemm_nn_scratch_bytes(out_c, static_cast<int>(pos),
+                                       static_cast<int>(patch));
+  if (int8_regime) {
+    // Int8 dense path: the shared f32 im2col buffer plus the quantized
+    // column block (the igemm writes straight into the output slot and
+    // needs no pack panels).
+    const size_t i8_path =
+        Workspace::align_up(static_cast<size_t>(patch) * pos *
+                            sizeof(float)) +
+        Workspace::align_up(static_cast<size_t>(int8_align4(patch)) * pos);
+    worst = std::max(worst, i8_path);
+  }
+  return worst;
 }
 
-size_t conv_group_masked_scratch_bytes(const ConvGeom& g, int out_c, int gs) {
+size_t conv_group_masked_scratch_bytes(const ConvGeom& g, int out_c, int gs,
+                                       bool int8_regime) {
   const int64_t patch = g.patch_rows();
   const int64_t pos = g.out_positions();
   const int64_t kk = static_cast<int64_t>(g.k_h) * g.k_w;
@@ -669,7 +1002,8 @@ size_t conv_group_masked_scratch_bytes(const ConvGeom& g, int out_c, int gs) {
   if (g.stride == 1 && g.out_h() == g.in_h && g.out_w() == g.in_w) {
     // Spatial shift-GEMM path with every position kept: gathered columns,
     // the stacked-offset GEMM output, the per-group scatter-index table,
-    // then the GEMM's own panels on top.
+    // then the GEMM's own panels on top. (Under the int8 regime spatial
+    // groups still run this f32 fallback, so it stays in the max.)
     const size_t spatial_path =
         Workspace::align_up(static_cast<size_t>(g.in_c) * ldc *
                             sizeof(float)) +
@@ -680,17 +1014,41 @@ size_t conv_group_masked_scratch_bytes(const ConvGeom& g, int out_c, int gs) {
                               static_cast<int>(ldc), g.in_c);
     worst = std::max(worst, spatial_path);
   }
+  if (int8_regime) {
+    // Int8 channel path: f32 gathered columns + quantized columns + the
+    // dequantized y_sub (no GEMM pack panels). The quantized block can
+    // exceed the f32 path's gemm panels, so it is sized explicitly.
+    const size_t i8_path =
+        Workspace::align_up(static_cast<size_t>(patch) * ldc *
+                            sizeof(float)) +
+        Workspace::align_up(static_cast<size_t>(int8_align4(patch)) * ldc) +
+        Workspace::align_up(static_cast<size_t>(out_c) * ldc *
+                            sizeof(float));
+    worst = std::max(worst, i8_path);
+  }
   return worst;
 }
 
-size_t conv_group_masked_slice_bytes(const ConvGeom& g, int out_c, int gs) {
+size_t conv_group_masked_slice_bytes(const ConvGeom& g, int out_c, int gs,
+                                     bool int8_regime) {
   // Cache-less regime: the worker packs the kept-filter weight panel into
-  // its slice. Both layouts top out at the full weight size (full kept
-  // sets).
+  // its slice. Both f32 layouts top out at the full weight size (full
+  // kept sets); under int8 the worker may instead pack the int8 panel +
+  // wsum + scale triplet, so the larger of the two pack footprints is
+  // reserved.
   const int64_t kk = static_cast<int64_t>(g.k_h) * g.k_w;
-  return Workspace::align_up(static_cast<size_t>(out_c) * g.in_c * kk *
-                             sizeof(float)) +
-         conv_group_masked_scratch_bytes(g, out_c, gs);
+  size_t pack_bytes = Workspace::align_up(
+      static_cast<size_t>(out_c) * g.in_c * kk * sizeof(float));
+  if (int8_regime) {
+    const size_t i8_pack =
+        Workspace::align_up(static_cast<size_t>(out_c) *
+                            int8_align4(static_cast<int64_t>(g.in_c) * kk)) +
+        Workspace::align_up(static_cast<size_t>(out_c) * sizeof(int32_t)) +
+        Workspace::align_up(static_cast<size_t>(out_c) * sizeof(float));
+    pack_bytes = std::max(pack_bytes, i8_pack);
+  }
+  return pack_bytes + conv_group_masked_scratch_bytes(g, out_c, gs,
+                                                      int8_regime);
 }
 
 }  // namespace antidote::nn

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "nn/conv2d.h"
+#include "nn/int8_kernels.h"
 #include "tensor/im2col.h"
 #include "tensor/workspace.h"
 
@@ -142,32 +143,83 @@ class RelaxedCounter {
   std::atomic<int64_t> v_{0};
 };
 
-// Cross-pass cache for the kept-filter weight panel of one conv site.
-// prepare() sizes the storage for the worst kept set (the plan calls it
+// Cross-pass cache for the kept-filter weight panels of one conv site.
+//
+// The cache is a kWays-way fully-associative set with exact LRU
+// replacement. A single-entry cache was miss-dominated the moment a
+// sequential pass interleaved >= 2 distinct masks per conv (the batch
+// executor walks groups in bucket order, so masks A, B, A, B evicted
+// each other every pass — BENCH_plan showed 228 misses vs 80 hits on
+// vgg16 at only 2 distinct masks). Four ways cover the bench and serving
+// sweet spot (<= 4 distinct masks per conv per pass hit 100% after the
+// first pass); beyond that, LRU under a strided repeat pattern degrades
+// to the old always-miss behaviour, which the capacity-miss counter now
+// makes visible instead of silent.
+//
+// prepare() sizes every way for the worst kept set (the plan calls it
 // from reserve(), so a reserved serving path never packs through the
-// allocator; unreserved callers grow lazily on first pack and converge);
-// a hit (same kept sets and layout as the cached panel) skips the pack
-// entirely. Static filter masks repeat every pass, so they hit 100%
-// after the first pack. The cache copies weight values, so it shares the
-// plan's staleness contract: mutating weights in eval mode requires
+// allocator; unreserved callers grow lazily on first pack and converge).
+// A hit (same kept sets, layout and numeric regime as a cached panel)
+// skips the pack entirely. The cache copies weight values, so it shares
+// the plan's staleness contract: mutating weights in eval mode requires
 // ConvNet::invalidate_plan().
+//
+// Miss taxonomy (misses == cold_misses + capacity_misses): a ring of
+// recently-evicted key hashes classifies each miss as *capacity* (this
+// key was cached before and got evicted — more ways or fewer distinct
+// masks would have hit) or *cold* (first sighting). `evictions` counts
+// valid entries overwritten; `bypass` counts groups executed in the
+// cross-group parallel regime, where the cache is deliberately not
+// consulted (each worker packs into its private slice).
 struct WeightPanelCache {
-  std::vector<float> panel;
-  std::vector<int> channels;      // kept set the panel encodes
-  std::vector<int> out_channels;  // kept set the panel encodes
-  bool spatial_layout = false;    // channel-path [ok,ck*kk] vs shift [kk*ok,ck]
-  bool valid = false;
+  static constexpr int kWays = 4;
+  struct Entry {
+    std::vector<float> panel;      // f32 panel (either layout)
+    std::vector<int8_t> qpanel;    // int8 channel-layout panel (int8 regime)
+    std::vector<int32_t> qwsum;    // per kept filter: sum of its int8 bytes
+    std::vector<float> qscale;     // per kept filter: dequant scale
+    std::vector<int> channels;     // kept set the panel encodes
+    std::vector<int> out_channels;
+    bool spatial_layout = false;   // channel [ok,ck*kk] vs shift [kk*ok,ck]
+    bool is_int8 = false;
+    bool valid = false;
+    uint64_t stamp = 0;  // LRU clock value of the last touch
+  };
+  Entry ways[kWays];
+  uint64_t clock = 0;  // owner-thread only (sequential regime)
+  static constexpr int kEvictRing = 32;
+  uint64_t evicted_keys[kEvictRing] = {};
+  int evict_pos = 0;
   RelaxedCounter hits;
   RelaxedCounter misses;
-  // Groups executed in the cross-group parallel regime, where the cache is
-  // deliberately not consulted (each worker packs into its private slice).
-  // Counted by the plan executor so hit-rate reports can distinguish "the
-  // cache missed" from "the cache was bypassed by design".
+  RelaxedCounter cold_misses;
+  RelaxedCounter capacity_misses;
+  RelaxedCounter evictions;
   RelaxedCounter bypass;
 
-  // Reserves worst-case storage (full kept sets, either layout).
-  void prepare(int out_c, int in_c, int kk);
+  // Reserves worst-case storage (full kept sets, either layout) in every
+  // way; with `int8_regime` the int8 panel arrays are sized as well (the
+  // f32 arrays always are — spatial-masked groups fall back to the f32
+  // shift-GEMM under the int8 regime and must still pack allocation-free).
+  void prepare(int out_c, int in_c, int kk, bool int8_regime = false);
 };
+
+// Per-conv int8 weights, quantized once at plan-compile time
+// (per-output-channel symmetric; see nn/int8_kernels.h for the scheme).
+// `q` holds [out_c][row_stride] zero-padded rows; `wsum`/`scale` are the
+// full-row byte sums and dequant scales the dense path consumes directly.
+struct Int8ConvWeights {
+  std::vector<int8_t> q;
+  std::vector<float> scale;   // [out_c]
+  std::vector<int32_t> wsum;  // [out_c]
+  int64_t row_stride = 0;     // int8_align4(in_c * kk)
+  bool empty() const { return q.empty(); }
+};
+
+// Quantizes the dense [out_c][in_c*kk] f32 weight tensor into `out`
+// (idempotent re-sizing; deterministic across builds).
+void quantize_conv_weights(const float* w, int out_c, int in_c, int kk,
+                           Int8ConvWeights& out);
 
 // Packs the kept-filter weight panel for the kept sets into `dst`
 // (ok*ck*kk floats). Channel layout: panel[oi][ci*kk + t] =
@@ -181,6 +233,30 @@ void pack_weight_panel_into(const float* w, int in_c, int kk,
 const float* pack_weight_panel(const float* w, int in_c, int kk,
                                std::span<const int> ch,
                                std::span<const int> oc, bool spatial_layout,
+                               WeightPanelCache& cache);
+
+// The int8 kept-filter panel of one mask group: rows of
+// int8_align4(ck*kk) bytes gathered from the plan's Int8ConvWeights,
+// with the per-row byte sums (for the u8-bias correction) and dequant
+// scales gathered alongside.
+struct Int8Panel {
+  const int8_t* panel = nullptr;
+  const int32_t* wsum = nullptr;
+  const float* scale = nullptr;
+};
+
+// Packs the int8 channel-layout panel into caller storage (qdst holds
+// ok * int8_align4(ck*kk) bytes; wsum_dst/scale_dst hold ok entries).
+void pack_weight_panel_i8_into(const Int8ConvWeights& qw, int kk,
+                               std::span<const int> ch,
+                               std::span<const int> oc, int8_t* qdst,
+                               int32_t* wsum_dst, float* scale_dst);
+
+// Cached int8 variant (channel layout only); shares ways, LRU state and
+// counters with the f32 panels of the same site.
+Int8Panel pack_weight_panel_i8(const Int8ConvWeights& qw, int kk,
+                               std::span<const int> ch,
+                               std::span<const int> oc,
                                WeightPanelCache& cache);
 
 // Dense batch step: one shared im2col buffer; each sample's lowering
@@ -219,20 +295,56 @@ int64_t conv_group_masked(const float* x_base, int64_t in_floats,
                           WeightPanelCache* cache, float* y_base,
                           int64_t out_floats, Workspace& ws);
 
-// Worst-case arena bytes of one conv_batch_dense call at batch n.
-size_t conv_batch_dense_scratch_bytes(const ConvGeom& g, int out_c, int n);
+// Int8-regime dense batch step: im2col (f32, shared buffer) -> per-sample
+// dynamic activation quantization -> u8xs8 igemm with dequant fused into
+// the store (straight into the output slot) -> bias rows. Same call
+// contract as conv_batch_dense otherwise. Returns the LOGICAL MACs (the
+// f32-equivalent count, so cost accounting is regime-comparable).
+int64_t conv_batch_dense_i8(const float* x_base, int64_t in_floats,
+                            const ConvGeom& g, const Int8ConvWeights& qw,
+                            int out_c, const float* bias, int n,
+                            float* y_base, int64_t out_floats,
+                            Workspace& ws);
+
+// Int8-regime mask group, CHANNEL/FILTER masks only (the caller routes
+// groups with spatial positions to the f32 shift-GEMM — a documented
+// mixed-regime fallback). Pipeline: pack int8 kept-filter panel (cached
+// or into the worker slice, like the f32 path) -> f32 im2col gather ->
+// per-group dynamic activation quantization into the VNNI layout ->
+// u8xs8 igemm writing dequantized f32 y_sub -> the f32 scatter. The
+// caller's fused epilogue then applies unchanged to the f32 output.
+// Same invocation regimes as conv_group_masked. Returns logical MACs.
+int64_t conv_group_masked_i8(const float* x_base, int64_t in_floats,
+                             const ConvGeom& g, const Int8ConvWeights& qw,
+                             int out_c, const float* bias,
+                             const ConvRuntimeMask& m,
+                             std::span<const int> samples,
+                             const ConvIdentityIndices& ids,
+                             WeightPanelCache* cache, float* y_base,
+                             int64_t out_floats, Workspace& ws);
+
+// Worst-case arena bytes of one conv_batch_dense call at batch n. With
+// `int8_regime` the bound also covers the int8 dense path (quantized
+// column buffer; the f32 formula is kept in the max so a regime flip
+// after reserve stays safe).
+size_t conv_batch_dense_scratch_bytes(const ConvGeom& g, int out_c, int n,
+                                      bool int8_regime = false);
 
 // Worst-case arena bytes of one conv_group_masked call with a group of
 // `gs` samples, maximized over every mask shape the geometry admits (full
 // index sets; the spatial shift-GEMM path only when the conv preserves
-// the grid). Monotone in gs, so a batch's worst case over any grouping is
-// the single-group-of-n value (groups run sequentially between rewinds).
-size_t conv_group_masked_scratch_bytes(const ConvGeom& g, int out_c, int gs);
+// the grid; the int8 channel path when `int8_regime`). Monotone in gs, so
+// a batch's worst case over any grouping is the single-group-of-n value
+// (groups run sequentially between rewinds).
+size_t conv_group_masked_scratch_bytes(const ConvGeom& g, int out_c, int gs,
+                                       bool int8_regime = false);
 
 // Worst-case bytes of one PER-WORKER arena slice for the cross-group
 // parallel regime (cache == nullptr): the group scratch above plus the
-// weight panel the worker packs into its slice. Monotone in gs.
-size_t conv_group_masked_slice_bytes(const ConvGeom& g, int out_c, int gs);
+// weight panel the worker packs into its slice (the larger of the f32
+// panel and the int8 panel+wsum+scale when `int8_regime`). Monotone in gs.
+size_t conv_group_masked_slice_bytes(const ConvGeom& g, int out_c, int gs,
+                                     bool int8_regime = false);
 
 // Option-A residual shortcut kernel: spatial subsampling by `stride` with
 // zero-padded extra channels (out_c >= in_c). Zero-fills y, then copies

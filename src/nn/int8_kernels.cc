@@ -1,0 +1,351 @@
+// Int8 kernels: SIMD TU (compiled with -mavx2 -ffp-contract=off when
+// ANTIDOTE_SIMD=ON; see CMakeLists.txt). The AVX-512 VNNI backend lives
+// behind function-level target attributes + a __builtin_cpu_supports
+// runtime check so the TU itself never needs -mavx512* flags and the
+// binary stays safe on AVX2-only hosts.
+#include "nn/int8_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "base/simd.h"
+
+namespace antidote::nn {
+
+namespace {
+
+// clamp(lrintf(v * inv), -127, 127) — THE quantization expression; every
+// backend (including _mm256_cvtps_epi32, which rounds to nearest-even
+// exactly like lrintf under the default rounding mode) must match it.
+inline int8_t quantize_one(float v, float inv) {
+  long q = lrintf(v * inv);
+  if (q > 127) q = 127;
+  if (q < -127) q = -127;
+  return static_cast<int8_t>(q);
+}
+
+bool vnni_ok() {
+  static const bool ok = cpu_supports_vnni();
+  return ok;
+}
+
+}  // namespace
+
+bool cpu_supports_vnni() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx512vnni") != 0;
+#else
+  return false;
+#endif
+}
+
+const char* int8_isa_name() {
+#if defined(ANTIDOTE_SIMD_I8)
+  return vnni_ok() ? "avx512-vnni" : "avx2";
+#else
+  return "scalar";
+#endif
+}
+
+void quantize_weights_rowwise(const float* w, int rows, int64_t k,
+                              int8_t* q, int64_t row_stride, float* scale,
+                              int32_t* wsum) {
+  for (int r = 0; r < rows; ++r) {
+    const float* wr = w + static_cast<int64_t>(r) * k;
+    float maxabs = 0.f;
+    for (int64_t i = 0; i < k; ++i)
+      maxabs = std::max(maxabs, std::fabs(wr[i]));
+    // All-zero rows quantize to all-zero bytes; scale 1.0 keeps the
+    // dequant expression finite.
+    const float inv = maxabs > 0.f ? 127.f / maxabs : 0.f;
+    scale[r] = maxabs > 0.f ? maxabs / 127.f : 1.f;
+    int8_t* qr = q + static_cast<int64_t>(r) * row_stride;
+    int32_t sum = 0;
+    for (int64_t i = 0; i < k; ++i) {
+      qr[i] = quantize_one(wr[i], inv);
+      sum += qr[i];
+    }
+    for (int64_t i = k; i < row_stride; ++i) qr[i] = 0;
+    wsum[r] = sum;
+  }
+}
+
+ANTIDOTE_NO_VECTORIZE
+float quantize_activations_scalar(const float* b, int64_t k, int64_t n,
+                                  uint8_t* qb) {
+  const int64_t quads = int8_align4(k) / 4;
+  float maxabs = 0.f;
+  const int64_t total = k * n;
+  for (int64_t i = 0; i < total; ++i) {
+    const float a = std::fabs(b[i]);
+    if (a > maxabs) maxabs = a;
+  }
+  const float inv = maxabs > 0.f ? 127.f / maxabs : 0.f;
+  for (int64_t kq = 0; kq < quads; ++kq) {
+    for (int64_t j = 0; j < n; ++j) {
+      uint8_t* out = qb + (kq * n + j) * 4;
+      for (int t = 0; t < 4; ++t) {
+        const int64_t r = kq * 4 + t;
+        out[t] = r < k ? static_cast<uint8_t>(quantize_one(b[r * n + j], inv) +
+                                              128)
+                       : static_cast<uint8_t>(128);
+      }
+    }
+  }
+  return maxabs / 127.f;
+}
+
+float quantize_activations(const float* b, int64_t k, int64_t n,
+                           uint8_t* qb) {
+#if defined(ANTIDOTE_SIMD_I8)
+  const int64_t quads = int8_align4(k) / 4;
+  // maxabs reduction. max() is associative and commutative and fabs is
+  // exact, so the vector reduction order cannot change the result — the
+  // scale is bitwise identical to the scalar pass.
+  const int64_t total = k * n;
+  const __m256 signmask =
+      _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  __m256 vmax = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= total; i += 8)
+    vmax = _mm256_max_ps(vmax,
+                         _mm256_and_ps(_mm256_loadu_ps(b + i), signmask));
+  float lanes[8];
+  _mm256_storeu_ps(lanes, vmax);
+  float maxabs = 0.f;
+  for (float l : lanes) maxabs = std::max(maxabs, l);
+  for (; i < total; ++i) maxabs = std::max(maxabs, std::fabs(b[i]));
+
+  const float inv = maxabs > 0.f ? 127.f / maxabs : 0.f;
+  const __m256 vinv = _mm256_set1_ps(inv);
+  const __m256i vlo = _mm256_set1_epi32(-127);
+  const __m256i vhi = _mm256_set1_epi32(127);
+  const __m256i v128 = _mm256_set1_epi32(128);
+  for (int64_t kq = 0; kq < quads; ++kq) {
+    uint8_t* outrow = qb + kq * n * 4;
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      // Four k-rows of 8 columns, packed byte-interleaved: the 32-bit
+      // lane for column j becomes q0 | q1<<8 | q2<<16 | q3<<24 (each
+      // biased q fits a byte, so the shifts cannot spill).
+      __m256i packed = _mm256_setzero_si256();
+      for (int t = 0; t < 4; ++t) {
+        const int64_t r = kq * 4 + t;
+        __m256i qt;
+        if (r < k) {
+          const __m256 v =
+              _mm256_mul_ps(_mm256_loadu_ps(b + r * n + j), vinv);
+          qt = _mm256_cvtps_epi32(v);
+          qt = _mm256_max_epi32(vlo, _mm256_min_epi32(vhi, qt));
+          qt = _mm256_add_epi32(qt, v128);
+        } else {
+          qt = v128;
+        }
+        packed = _mm256_or_si256(packed, _mm256_slli_epi32(qt, 8 * t));
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(outrow + j * 4),
+                          packed);
+    }
+    for (; j < n; ++j) {
+      uint8_t* out = outrow + j * 4;
+      for (int t = 0; t < 4; ++t) {
+        const int64_t r = kq * 4 + t;
+        out[t] = r < k ? static_cast<uint8_t>(quantize_one(b[r * n + j], inv) +
+                                              128)
+                       : static_cast<uint8_t>(128);
+      }
+    }
+  }
+  return maxabs / 127.f;
+#else
+  return quantize_activations_scalar(b, k, n, qb);
+#endif
+}
+
+ANTIDOTE_NO_VECTORIZE
+void igemm_u8s8_dequant_scalar(int m, int64_t n, int64_t k4,
+                               const int8_t* qw, int64_t w_stride,
+                               const uint8_t* qb, const int32_t* wsum,
+                               const float* wscale, float act_scale,
+                               float* y, int64_t ldy) {
+  const int64_t quads = k4 / 4;
+  for (int mi = 0; mi < m; ++mi) {
+    const int8_t* wr = qw + mi * w_stride;
+    const int32_t bias = 128 * wsum[mi];
+    const float rs = act_scale * wscale[mi];
+    float* yr = y + mi * ldy;
+    for (int64_t j = 0; j < n; ++j) {
+      int32_t acc = 0;
+      for (int64_t kq = 0; kq < quads; ++kq) {
+        const uint8_t* a = qb + (kq * n + j) * 4;
+        const int8_t* ww = wr + kq * 4;
+        acc += static_cast<int32_t>(a[0]) * ww[0] +
+               static_cast<int32_t>(a[1]) * ww[1] +
+               static_cast<int32_t>(a[2]) * ww[2] +
+               static_cast<int32_t>(a[3]) * ww[3];
+      }
+      yr[j] = static_cast<float>(acc - bias) * rs;
+    }
+  }
+}
+
+#if defined(ANTIDOTE_SIMD_I8)
+
+namespace {
+
+// Columns [j0, j1) of one weight row, 8/16 per iteration via the exact
+// vpdpbusd emulation; ragged column tail falls back to the identical
+// scalar integer expression.
+void igemm_row_avx2(const int8_t* wr, int64_t n, int64_t quads,
+                    const uint8_t* qb, int32_t bias, float rs, float* yr,
+                    int64_t j0, int64_t j1) {
+  const __m256i vbias = _mm256_set1_epi32(bias);
+  const __m256 vrs = _mm256_set1_ps(rs);
+  int64_t j = j0;
+  for (; j + 16 <= j1; j += 16) {
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    for (int64_t kq = 0; kq < quads; ++kq) {
+      int32_t w4;
+      std::memcpy(&w4, wr + kq * 4, 4);
+      const __m256i vw = _mm256_set1_epi32(w4);
+      const uint8_t* a = qb + (kq * n + j) * 4;
+      acc0 = simd::dpbusd_epi32(
+          acc0, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a)),
+          vw);
+      acc1 = simd::dpbusd_epi32(
+          acc1,
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 32)),
+          vw);
+    }
+    _mm256_storeu_ps(
+        yr + j,
+        _mm256_mul_ps(_mm256_cvtepi32_ps(_mm256_sub_epi32(acc0, vbias)),
+                      vrs));
+    _mm256_storeu_ps(
+        yr + j + 8,
+        _mm256_mul_ps(_mm256_cvtepi32_ps(_mm256_sub_epi32(acc1, vbias)),
+                      vrs));
+  }
+  for (; j + 8 <= j1; j += 8) {
+    __m256i acc = _mm256_setzero_si256();
+    for (int64_t kq = 0; kq < quads; ++kq) {
+      int32_t w4;
+      std::memcpy(&w4, wr + kq * 4, 4);
+      acc = simd::dpbusd_epi32(
+          acc,
+          _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(qb + (kq * n + j) * 4)),
+          _mm256_set1_epi32(w4));
+    }
+    _mm256_storeu_ps(
+        yr + j,
+        _mm256_mul_ps(_mm256_cvtepi32_ps(_mm256_sub_epi32(acc, vbias)),
+                      vrs));
+  }
+  for (; j < j1; ++j) {
+    int32_t acc = 0;
+    for (int64_t kq = 0; kq < quads; ++kq) {
+      const uint8_t* a = qb + (kq * n + j) * 4;
+      const int8_t* ww = wr + kq * 4;
+      acc += static_cast<int32_t>(a[0]) * ww[0] +
+             static_cast<int32_t>(a[1]) * ww[1] +
+             static_cast<int32_t>(a[2]) * ww[2] +
+             static_cast<int32_t>(a[3]) * ww[3];
+    }
+    yr[j] = static_cast<float>(acc - bias) * rs;
+  }
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#define ANTIDOTE_HAVE_VNNI_KERNEL 1
+// Runtime-dispatched AVX-512 VNNI backend. The target attribute scopes
+// the ISA to this function alone (the TU is compiled with plain -mavx2),
+// and callers only reach it after __builtin_cpu_supports("avx512vnni").
+__attribute__((target("avx512f,avx512bw,avx512vl,avx512vnni"))) void
+igemm_row_vnni(const int8_t* wr, int64_t n, int64_t quads,
+               const uint8_t* qb, int32_t bias, float rs, float* yr) {
+  const __m512i vbias = _mm512_set1_epi32(bias);
+  const __m512 vrs = _mm512_set1_ps(rs);
+  int64_t j = 0;
+  for (; j + 64 <= n; j += 64) {
+    __m512i acc0 = _mm512_setzero_si512();
+    __m512i acc1 = _mm512_setzero_si512();
+    __m512i acc2 = _mm512_setzero_si512();
+    __m512i acc3 = _mm512_setzero_si512();
+    for (int64_t kq = 0; kq < quads; ++kq) {
+      int32_t w4;
+      std::memcpy(&w4, wr + kq * 4, 4);
+      const __m512i vw = _mm512_set1_epi32(w4);
+      const uint8_t* a = qb + (kq * n + j) * 4;
+      acc0 = _mm512_dpbusd_epi32(acc0, _mm512_loadu_si512(a), vw);
+      acc1 = _mm512_dpbusd_epi32(acc1, _mm512_loadu_si512(a + 64), vw);
+      acc2 = _mm512_dpbusd_epi32(acc2, _mm512_loadu_si512(a + 128), vw);
+      acc3 = _mm512_dpbusd_epi32(acc3, _mm512_loadu_si512(a + 192), vw);
+    }
+    _mm512_storeu_ps(
+        yr + j,
+        _mm512_mul_ps(_mm512_cvtepi32_ps(_mm512_sub_epi32(acc0, vbias)),
+                      vrs));
+    _mm512_storeu_ps(
+        yr + j + 16,
+        _mm512_mul_ps(_mm512_cvtepi32_ps(_mm512_sub_epi32(acc1, vbias)),
+                      vrs));
+    _mm512_storeu_ps(
+        yr + j + 32,
+        _mm512_mul_ps(_mm512_cvtepi32_ps(_mm512_sub_epi32(acc2, vbias)),
+                      vrs));
+    _mm512_storeu_ps(
+        yr + j + 48,
+        _mm512_mul_ps(_mm512_cvtepi32_ps(_mm512_sub_epi32(acc3, vbias)),
+                      vrs));
+  }
+  for (; j + 16 <= n; j += 16) {
+    __m512i acc = _mm512_setzero_si512();
+    for (int64_t kq = 0; kq < quads; ++kq) {
+      int32_t w4;
+      std::memcpy(&w4, wr + kq * 4, 4);
+      acc = _mm512_dpbusd_epi32(acc,
+                                _mm512_loadu_si512(qb + (kq * n + j) * 4),
+                                _mm512_set1_epi32(w4));
+    }
+    _mm512_storeu_ps(
+        yr + j,
+        _mm512_mul_ps(_mm512_cvtepi32_ps(_mm512_sub_epi32(acc, vbias)),
+                      vrs));
+  }
+  if (j < n) igemm_row_avx2(wr, n, quads, qb, bias, rs, yr, j, n);
+}
+#endif  // __GNUC__ || __clang__
+
+}  // namespace
+
+#endif  // ANTIDOTE_SIMD_I8
+
+void igemm_u8s8_dequant(int m, int64_t n, int64_t k4, const int8_t* qw,
+                        int64_t w_stride, const uint8_t* qb,
+                        const int32_t* wsum, const float* wscale,
+                        float act_scale, float* y, int64_t ldy) {
+#if defined(ANTIDOTE_SIMD_I8)
+  const int64_t quads = k4 / 4;
+#if defined(ANTIDOTE_HAVE_VNNI_KERNEL)
+  if (vnni_ok()) {
+    for (int mi = 0; mi < m; ++mi) {
+      igemm_row_vnni(qw + mi * w_stride, n, quads, qb, 128 * wsum[mi],
+                     act_scale * wscale[mi], y + mi * ldy);
+    }
+    return;
+  }
+#endif
+  for (int mi = 0; mi < m; ++mi) {
+    igemm_row_avx2(qw + mi * w_stride, n, quads, qb, 128 * wsum[mi],
+                   act_scale * wscale[mi], y + mi * ldy, 0, n);
+  }
+#else
+  igemm_u8s8_dequant_scalar(m, n, k4, qw, w_stride, qb, wsum, wscale,
+                            act_scale, y, ldy);
+#endif
+}
+
+}  // namespace antidote::nn

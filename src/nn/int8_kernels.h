@@ -1,0 +1,88 @@
+// Int8 numeric regime kernels: per-output-channel symmetric weight
+// quantization, per-tensor dynamic activation quantization, and the
+// u8xs8 -> s32 blocked micro-kernel with dequantization folded into the
+// store (the int32 accumulators never round-trip through memory).
+//
+// Quantization scheme
+//   weights      qw[r][i] = clamp(lrintf(w[r][i] / sw[r]), -127, 127),
+//                sw[r] = maxabs(row r) / 127   (per output channel)
+//   activations  qa[i] = clamp(lrintf(a[i] * (127/maxabs)), -127, 127),
+//                sa = maxabs / 127             (per tensor, dynamic),
+//                stored biased as u8 = qa + 128 so the AVX-512 VNNI
+//                `vpdpbusd` (u8 x s8) instruction applies directly.
+//   accumulator  dp[r][j] = sum_k (qa[k][j]+128) * qw[r][k]
+//                         = acc[r][j] + 128 * wsum[r]
+//                where wsum[r] = sum_k qw[r][k] is precomputed at weight
+//                quantization / panel-pack time. Weight rows are ZERO
+//                padded to k4 = align4(k) bytes, so the pad bytes add
+//                nothing to either dp or wsum regardless of the (biased,
+//                = 128) pad activation bytes.
+//   dequant      y[r][j] = float(dp - 128*wsum[r]) * (sa * sw[r])
+//
+// BITWISE CONTRACT. The accumulator is exact integer math (|acc| <=
+// k * 255 * 127 < 2^31 for every k this runtime produces), and the
+// dequant expression performs the same two IEEE-754 roundings in every
+// backend (cvtepi32_ps and the scalar (float) cast both round to
+// nearest-even). Scalar, AVX2 (exact vpdpbusd emulation, see
+// base/simd.h) and AVX-512 VNNI therefore produce bitwise identical f32
+// output; the scalar references here are the parity baselines the int8
+// parity test memcmps against, mirroring the f32 lane layer's contract.
+//
+// ACTIVATION LAYOUT. quantize_activations() writes the VNNI operand
+// layout directly: [k4/4][n][4] — for quad kq and column j the four
+// consecutive bytes at qb[(kq*n + j)*4] are rows 4kq..4kq+3 of column j
+// (pad rows beyond k hold the bias byte 128). One 64/32-byte vector load
+// then covers 16/8 adjacent columns of one k-quad.
+//
+// The AVX-512 VNNI backend is selected at RUNTIME (function-level target
+// attributes + __builtin_cpu_supports) inside the AVX2-compiled TU, so
+// non-AVX-512 hosts run the same binary safely.
+#pragma once
+
+#include <cstdint>
+
+namespace antidote::nn {
+
+// ISA the int8 igemm dispatch resolves to at runtime:
+// "avx512-vnni" | "avx2" | "scalar".
+const char* int8_isa_name();
+// Hardware AVX-512 VNNI availability (reported even in SIMD=OFF builds,
+// where the dispatch itself stays scalar).
+bool cpu_supports_vnni();
+
+// Rows padded to a multiple of 4 bytes (one vpdpbusd quad).
+constexpr int64_t int8_align4(int64_t k) { return (k + 3) & ~int64_t{3}; }
+
+// Per-row (= per output channel) symmetric quantization of the [rows x k]
+// f32 matrix `w` into int8 rows of `row_stride` >= int8_align4(k) bytes
+// (tail zero-padded). Writes scale[r] = maxabs(row)/127 (1.0 for all-zero
+// rows) and wsum[r] = sum of the row's int8 bytes. Deterministic scalar
+// code — identical output in SIMD and scalar builds.
+void quantize_weights_rowwise(const float* w, int rows, int64_t k,
+                              int8_t* q, int64_t row_stride, float* scale,
+                              int32_t* wsum);
+
+// Per-tensor dynamic quantization of the contiguous [k x n] f32 matrix
+// `b` into the biased-u8 VNNI layout described above (qb must hold
+// int8_align4(k) * n bytes). Returns the activation scale sa = maxabs/127
+// (0 when the tensor is all zero — the accumulator is then 0 as well).
+float quantize_activations(const float* b, int64_t k, int64_t n,
+                           uint8_t* qb);
+float quantize_activations_scalar(const float* b, int64_t k, int64_t n,
+                                  uint8_t* qb);
+
+// C[m x n] = dequant((u8 B-layout qb) x (s8 row-major qw)^T): for each of
+// the m weight rows, y[mi*ldy + j] = float(acc - 128*wsum[mi]) *
+// (act_scale * wscale[mi]). k4 must be a multiple of 4; w_stride is the
+// int8 weight row stride (>= k4).
+void igemm_u8s8_dequant(int m, int64_t n, int64_t k4, const int8_t* qw,
+                        int64_t w_stride, const uint8_t* qb,
+                        const int32_t* wsum, const float* wscale,
+                        float act_scale, float* y, int64_t ldy);
+void igemm_u8s8_dequant_scalar(int m, int64_t n, int64_t k4,
+                               const int8_t* qw, int64_t w_stride,
+                               const uint8_t* qb, const int32_t* wsum,
+                               const float* wscale, float act_scale,
+                               float* y, int64_t ldy);
+
+}  // namespace antidote::nn

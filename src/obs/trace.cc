@@ -33,6 +33,7 @@ const char* phase_name(Phase p) {
     case Phase::kGemm: return "gemm";
     case Phase::kEpilogue: return "epilogue";
     case Phase::kScatter: return "scatter";
+    case Phase::kQuant: return "quant";
     case Phase::kCount: break;
   }
   return "?";

@@ -56,6 +56,7 @@ enum class Phase : uint8_t {
   kGemm,          // the GEMM itself
   kEpilogue,      // fused bias+activation epilogue
   kScatter,       // masked scatter back to dense output
+  kQuant,         // int8 dynamic activation quantization
   kCount,
 };
 

@@ -61,13 +61,15 @@ int group_parallel_width(int threads, int groups) {
 //     samples — maximize W * slice(n - G + 1) over G.
 // The bound depends on the process thread budget (compute_threads), which
 // is fixed for the process lifetime, so it is still exact per pass.
-size_t conv_step_scratch_bytes(const PlanOp& op, int n) {
+size_t conv_step_scratch_bytes(const PlanOp& op, int n, bool int8_regime) {
   if (op.kind != OpKind::kConv) return 0;
   const ConvGeom& g = op.geom;
   const int out_c = op.out_shape[0];
   const size_t nn_ = static_cast<size_t>(n);
-  const size_t dense = nn::conv_batch_dense_scratch_bytes(g, out_c, n);
-  size_t masked_kernel = nn::conv_group_masked_scratch_bytes(g, out_c, n);
+  const size_t dense =
+      nn::conv_batch_dense_scratch_bytes(g, out_c, n, int8_regime);
+  size_t masked_kernel =
+      nn::conv_group_masked_scratch_bytes(g, out_c, n, int8_regime);
   const int threads = compute_threads();
   for (int groups = 2; groups <= n; ++groups) {
     const int width = group_parallel_width(threads, groups);
@@ -75,7 +77,8 @@ size_t conv_step_scratch_bytes(const PlanOp& op, int n) {
     masked_kernel = std::max(
         masked_kernel,
         static_cast<size_t>(width) *
-            nn::conv_group_masked_slice_bytes(g, out_c, n - groups + 1));
+            nn::conv_group_masked_slice_bytes(g, out_c, n - groups + 1,
+                                              int8_regime));
   }
   const size_t masked =
       Workspace::align_up(sizeof(uint64_t) * nn_) +       // mask keys
@@ -83,6 +86,24 @@ size_t conv_step_scratch_bytes(const PlanOp& op, int n) {
       Workspace::align_up(sizeof(int) * (nn_ + 1)) +      // group bounds
       masked_kernel;
   return std::max(dense, masked);
+}
+
+// Dense-path memory traffic per MAC of a conv step under `regime`:
+// (weight operand + im2col panel) at the regime's element size plus the
+// always-f32 output, over the step's dense MACs. Shared by the cost
+// snapshot and set_regime's EWMA rescale so both use the same axis.
+double conv_bytes_per_mac(const PlanOp& op, NumericRegime regime) {
+  if (op.kind != OpKind::kConv || op.dense_macs <= 0) return 0.0;
+  const ConvGeom& g = op.geom;
+  const int64_t out_c = op.out_shape[0];
+  const int64_t patch =
+      static_cast<int64_t>(g.in_c) * g.k_h * g.k_w;
+  const int64_t pos = g.out_positions();
+  const double es = regime == NumericRegime::kInt8 ? 1.0 : 4.0;
+  const double bytes = static_cast<double>(out_c * patch) * es +
+                       static_cast<double>(patch * pos) * es +
+                       static_cast<double>(out_c * pos) * 4.0;
+  return bytes / static_cast<double>(op.dense_macs);
 }
 
 }  // namespace
@@ -95,6 +116,14 @@ const char* op_kind_name(OpKind kind) {
     case OpKind::kGlobalAvgPool: return "gap";
     case OpKind::kLinear: return "linear";
     case OpKind::kShortcut: return "shortcut";
+  }
+  return "?";
+}
+
+const char* regime_name(NumericRegime regime) {
+  switch (regime) {
+    case NumericRegime::kF32: return "f32";
+    case NumericRegime::kInt8: return "int8";
   }
   return "?";
 }
@@ -120,7 +149,10 @@ size_t InferencePlan::arena_bytes(int n) const {
     const size_t gates = Workspace::align_up(
         static_cast<size_t>(gate_floats_before_op_[i]) * nn * sizeof(float) +
         Workspace::kAlign * (i + 1));
-    peak = std::max(peak, act + gates + conv_step_scratch_bytes(ops_[i], n));
+    peak = std::max(peak,
+                    act + gates +
+                        conv_step_scratch_bytes(
+                            ops_[i], n, regime_ == NumericRegime::kInt8));
   }
   return input_bytes + peak;
 }
@@ -134,7 +166,8 @@ void InferencePlan::reserve(Workspace& ws, int n) {
   for (PlanOp& op : ops_) {
     if (op.kind == OpKind::kConv) {
       op.pack_cache.prepare(op.out_shape[0], op.geom.in_c,
-                            op.geom.k_h * op.geom.k_w);
+                            op.geom.k_h * op.geom.k_w,
+                            regime_ == NumericRegime::kInt8);
     }
   }
   // Pre-create the per-worker slice views (and their one-entry block
@@ -149,6 +182,29 @@ void InferencePlan::ensure_group_slices() {
   for (GroupSlices::Slot& s : group_slices_->slot) {
     s.ws.bind_external(nullptr, 0);
   }
+}
+
+void InferencePlan::set_regime(NumericRegime regime) {
+  if (regime == regime_) return;
+  for (PlanOp& op : ops_) {
+    if (op.kind != OpKind::kConv) continue;
+    if (regime == NumericRegime::kInt8 && op.int8_w.empty()) {
+      nn::quantize_conv_weights(op.conv->weight().value.data(),
+                                op.out_shape[0], op.geom.in_c,
+                                op.geom.k_h * op.geom.k_w, op.int8_w);
+    }
+    // Carry the learned timing across the switch: conv steps on this
+    // runtime are dominated by operand traffic, so the measured-time EWMA
+    // is rescaled by the regimes' bytes/MAC ratio instead of restarting
+    // from a cold prior (the EWMA then refines toward the truth from a
+    // ~right starting point as the new regime's passes land).
+    if (op.ewma_ms > 0.0) {
+      const double from = conv_bytes_per_mac(op, regime_);
+      const double to = conv_bytes_per_mac(op, regime);
+      if (from > 0.0 && to > 0.0) op.ewma_ms *= to / from;
+    }
+  }
+  regime_ = regime;
 }
 
 int64_t InferencePlan::last_macs() const {
@@ -187,6 +243,24 @@ int64_t InferencePlan::pack_cache_bypass() const {
   return total;
 }
 
+int64_t InferencePlan::pack_cache_cold_misses() const {
+  int64_t total = 0;
+  for (const PlanOp& op : ops_) total += op.pack_cache.cold_misses.get();
+  return total;
+}
+
+int64_t InferencePlan::pack_cache_capacity_misses() const {
+  int64_t total = 0;
+  for (const PlanOp& op : ops_) total += op.pack_cache.capacity_misses.get();
+  return total;
+}
+
+int64_t InferencePlan::pack_cache_evictions() const {
+  int64_t total = 0;
+  for (const PlanOp& op : ops_) total += op.pack_cache.evictions.get();
+  return total;
+}
+
 std::vector<OpCost> InferencePlan::cost_snapshot() const {
   std::vector<OpCost> out;
   out.reserve(ops_.size());
@@ -200,6 +274,8 @@ std::vector<OpCost> InferencePlan::cost_snapshot() const {
     c.measured_units = op.ewma_units;
     c.prune_block = op.prune_block;
     c.prune_spatial = op.prune_spatial;
+    c.bytes_per_mac = conv_bytes_per_mac(op, regime_);
+    c.regime = regime_;
     out.push_back(std::move(c));
   }
   return out;
@@ -265,6 +341,12 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
         const std::span<const nn::ConvRuntimeMask> masks =
             op.conv->take_runtime_masks();
         const Workspace::Mark scratch = ws.mark();
+        // Int8 regime: channel/filter-masked groups and the dense path run
+        // the quantized kernels; groups carrying spatial positions fall
+        // back to the f32 shift-GEMM (a documented mixed-regime step — the
+        // shift-GEMM's scattered accumulation has no int8 formulation that
+        // preserves its skip ratio).
+        const bool int8 = regime_ == NumericRegime::kInt8;
         int64_t macs = 0;
         if (!masks.empty()) {
           AD_CHECK_EQ(static_cast<int>(masks.size()), n)
@@ -317,7 +399,7 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
                                 group_begin[gi + 1] - group_begin[gi]);
             }
             const size_t slice_bytes =
-                nn::conv_group_masked_slice_bytes(g, out_c, max_gs);
+                nn::conv_group_masked_slice_bytes(g, out_c, max_gs, int8);
             char* slab =
                 ws.alloc<char>(static_cast<int64_t>(width) *
                                static_cast<int64_t>(slice_bytes));
@@ -344,13 +426,21 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
                       const int ge = group_begin[gi + 1];
                       obs::PhaseScope group_span(obs::Phase::kGroup,
                                                  op_index);
-                      local += nn::conv_group_masked(
-                          in.data(), in_floats, g, wp, out_c, bp,
-                          masks[static_cast<size_t>(order[gb])],
-                          std::span<const int>(order + gb,
-                                               static_cast<size_t>(ge - gb)),
-                          ids, /*cache=*/nullptr, out.data(), out_floats,
-                          slice);
+                      const nn::ConvRuntimeMask& gm =
+                          masks[static_cast<size_t>(order[gb])];
+                      const std::span<const int> gsamples(
+                          order + gb, static_cast<size_t>(ge - gb));
+                      if (int8 && gm.positions.empty()) {
+                        local += nn::conv_group_masked_i8(
+                            in.data(), in_floats, g, op.int8_w, out_c, bp,
+                            gm, gsamples, ids, /*cache=*/nullptr,
+                            out.data(), out_floats, slice);
+                      } else {
+                        local += nn::conv_group_masked(
+                            in.data(), in_floats, g, wp, out_c, bp, gm,
+                            gsamples, ids, /*cache=*/nullptr, out.data(),
+                            out_floats, slice);
+                      }
                     }
                     worker_macs[w].macs = local;
                   }
@@ -363,18 +453,33 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
               const int gb = group_begin[gi];
               const int ge = group_begin[gi + 1];
               obs::PhaseScope group_span(obs::Phase::kGroup, op_index);
-              macs += nn::conv_group_masked(
-                  in.data(), in_floats, g, wp, out_c, bp,
-                  masks[static_cast<size_t>(order[gb])],
-                  std::span<const int>(order + gb,
-                                       static_cast<size_t>(ge - gb)),
-                  ids, &op.pack_cache, out.data(), out_floats, ws);
+              const nn::ConvRuntimeMask& gm =
+                  masks[static_cast<size_t>(order[gb])];
+              const std::span<const int> gsamples(
+                  order + gb, static_cast<size_t>(ge - gb));
+              if (int8 && gm.positions.empty()) {
+                macs += nn::conv_group_masked_i8(
+                    in.data(), in_floats, g, op.int8_w, out_c, bp, gm,
+                    gsamples, ids, &op.pack_cache, out.data(), out_floats,
+                    ws);
+              } else {
+                macs += nn::conv_group_masked(in.data(), in_floats, g, wp,
+                                              out_c, bp, gm, gsamples, ids,
+                                              &op.pack_cache, out.data(),
+                                              out_floats, ws);
+              }
             }
           }
           op.last_groups = groups;
         } else {
-          macs = nn::conv_batch_dense(in.data(), in_floats, g, wp, out_c, bp,
-                                      n, out.data(), out_floats, ws);
+          if (int8) {
+            macs = nn::conv_batch_dense_i8(in.data(), in_floats, g,
+                                           op.int8_w, out_c, bp, n,
+                                           out.data(), out_floats, ws);
+          } else {
+            macs = nn::conv_batch_dense(in.data(), in_floats, g, wp, out_c,
+                                        bp, n, out.data(), out_floats, ws);
+          }
           op.last_groups = 0;
         }
         if (op.fuse_bn || op.fuse_relu || res_base != nullptr) {
@@ -493,7 +598,12 @@ std::string InferencePlan::to_string() const {
      << activation_floats_per_sample() << " activation floats/sample, "
      << "arena " << arena_bytes(1) << " B at batch 1, "
      << "simd " << nn::simd_lane_width() << "-lane ("
-     << nn::simd_isa_name() << "), group workers <= "
+     << nn::simd_isa_name() << "), regime " << regime_name(regime_);
+  if (regime_ == NumericRegime::kInt8) {
+    os << " (igemm " << nn::int8_isa_name() << ")";
+  }
+  os << ", vnni " << (nn::cpu_supports_vnni() ? "yes" : "no")
+     << ", group workers <= "
      << group_parallel_width(compute_threads(), kMaxGroupWorkers) << "\n";
   char line[192];
   std::snprintf(line, sizeof(line),
@@ -528,10 +638,14 @@ std::string InferencePlan::to_string() const {
     os << line;
   }
   std::snprintf(line, sizeof(line),
-                "weight-pack cache: %lld hits / %lld misses / %lld bypassed "
-                "(parallel groups); last pass mask groups: %d\n",
+                "weight-pack cache: %lld hits / %lld misses "
+                "(%lld cold, %lld capacity) / %lld evictions / %lld "
+                "bypassed (parallel groups); last pass mask groups: %d\n",
                 static_cast<long long>(pack_cache_hits()),
                 static_cast<long long>(pack_cache_misses()),
+                static_cast<long long>(pack_cache_cold_misses()),
+                static_cast<long long>(pack_cache_capacity_misses()),
+                static_cast<long long>(pack_cache_evictions()),
                 static_cast<long long>(pack_cache_bypass()),
                 last_mask_groups());
   os << line;

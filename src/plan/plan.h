@@ -89,6 +89,20 @@ enum class OpKind {
 
 const char* op_kind_name(OpKind kind);
 
+// Numeric execution regime of a compiled plan. kF32 is the bitwise
+// reference regime; kInt8 runs conv steps through the quantized kernels
+// (per-output-channel symmetric weights, per-tensor dynamic activations,
+// u8xs8->s32 igemm with dequant folded into the fused epilogue's input).
+// Non-conv steps (pool, linear, shortcut, gates) always execute in f32,
+// as do spatially-masked conv groups (the shift-GEMM fallback): int8 is
+// a per-conv-step regime, not a whole-graph datatype change.
+enum class NumericRegime {
+  kF32,
+  kInt8,
+};
+
+const char* regime_name(NumericRegime regime);
+
 // Scalar element count of a (per-sample) shape — shared by the compiler's
 // buffer sizing and the executor's pointer arithmetic.
 inline int64_t shape_floats(const Shape& s) {
@@ -150,6 +164,13 @@ struct PlanOp {
   // 100% hit rate for static filter masks, which repeat every pass).
   nn::WeightPanelCache pack_cache;
 
+  // kConv, int8 regime: per-output-channel symmetric quantization of the
+  // conv weight, computed once by set_regime(NumericRegime::kInt8) at
+  // plan-"compile" time (empty under f32). The dense int8 path consumes
+  // these rows directly; masked channel groups gather kept-filter panels
+  // from them into pack_cache.
+  nn::Int8ConvWeights int8_w;
+
   // --- introspection ---
   int64_t dense_macs = 0;  // per sample
   int64_t last_macs = 0;   // whole batch, most recent run
@@ -203,6 +224,15 @@ struct OpCost {
   double measured_units = 1.0;
   int prune_block = -1;
   bool prune_spatial = false;
+  // Dense-path memory traffic per MAC under the plan's current regime:
+  // (weight bytes + im2col panel bytes + f32 output bytes) / dense MACs.
+  // Int8 conv steps move ~4x fewer weight/activation bytes per MAC than
+  // f32, which is exactly what the controller needs to predict the int8
+  // vs f32 latency ratio for memory-bound steps. 0 for non-conv ops.
+  double bytes_per_mac = 0.0;
+  // Regime the snapshot was taken under (conv steps only; non-conv steps
+  // always run f32).
+  NumericRegime regime = NumericRegime::kF32;
 };
 
 class InferencePlan {
@@ -226,6 +256,17 @@ class InferencePlan {
   // caches lazily on first use and converge, like the arena itself.
   void reserve(Workspace& ws, int n);
 
+  // Switches the plan's numeric regime. Entering kInt8 quantizes every
+  // conv step's weight per output channel (a one-time compile-style cost;
+  // idempotent — already-quantized steps are kept). Measured step-time
+  // EWMAs are rescaled by the regimes' bytes/MAC ratio so the cost model
+  // predicts the new regime's latency from the old regime's measurements
+  // instead of relearning from a cold prior. Caches need no invalidation:
+  // the panel match key includes the regime. Call before reserve() — the
+  // int8 paths need quantized-column scratch the f32 sizing omits.
+  void set_regime(NumericRegime regime);
+  NumericRegime regime() const { return regime_; }
+
   const std::vector<PlanOp>& ops() const { return ops_; }
   const std::vector<PlanBuffer>& buffers() const { return buffers_; }
   int64_t activation_floats_per_sample() const { return act_floats_; }
@@ -244,6 +285,13 @@ class InferencePlan {
   // read while workers execute: the counters are relaxed atomics.
   int64_t pack_cache_hits() const;
   int64_t pack_cache_misses() const;
+  // Miss taxonomy: cold misses (first sighting of a kept set) vs capacity
+  // misses (a kept set seen before, but evicted since — the signature of
+  // way starvation), plus the eviction count itself. cold + capacity ==
+  // misses.
+  int64_t pack_cache_cold_misses() const;
+  int64_t pack_cache_capacity_misses() const;
+  int64_t pack_cache_evictions() const;
   // Groups executed in the cross-group parallel regime, which packs into
   // per-worker slices and bypasses the cache by design (see
   // WeightPanelCache::bypass).
@@ -263,6 +311,7 @@ class InferencePlan {
   std::vector<PlanBuffer> buffers_;
   int input_buffer_ = 0;
   int output_buffer_ = -1;
+  NumericRegime regime_ = NumericRegime::kF32;
   int64_t act_floats_ = 0;  // per-sample high water of planned offsets
 
   // Per-sample float count of every gate output allocated before each op

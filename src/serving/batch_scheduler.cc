@@ -25,6 +25,7 @@ LatencyController::CostModel cost_model_from_plan(
     op.measured_units = c.measured_units;
     op.prune_block = c.prune_block;
     op.spatial = c.prune_spatial;
+    op.bytes_per_mac = c.bytes_per_mac;
     model.ops.push_back(op);
   }
   return model;

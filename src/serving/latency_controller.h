@@ -81,6 +81,12 @@ class LatencyController {
       bool spatial = false;  // spatial drops also scale this op
       // keep x group units behind `ms` (1 = measured dense/ungrouped).
       double measured_units = 1.0;
+      // Dense memory traffic per MAC under the plan's numeric regime
+      // (int8 conv steps report ~4x less than f32). The plan rescales its
+      // EWMAs by this ratio on a regime switch, so `ms` already reflects
+      // the regime — carried here so diagnostics and future bandwidth-
+      // aware prediction see the same axis. 0 for non-conv ops.
+      double bytes_per_mac = 0.0;
     };
     std::vector<Op> ops;
     bool empty() const { return ops.empty(); }

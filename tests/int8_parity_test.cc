@@ -1,0 +1,208 @@
+// Int8 SIMD-vs-scalar parity: the u8xs8 igemm dispatch (scalar / AVX2
+// dpbusd emulation / runtime AVX-512 VNNI) and the activation quantizer
+// must be BITWISE identical to their genuinely-scalar references — the
+// accumulator is exact integer math and the dequant performs the same
+// two IEEE-754 roundings in every backend (see nn/int8_kernels.h), so
+// any deviation is a kernel bug, not numeric noise. Mirrors the f32
+// contract in simd_parity_test.cc: odd row counts, ragged k tails
+// (k % 4 != 0), odd column counts straddling the 8/16-lane boundaries,
+// and every fused-epilogue variant applied on top of the igemm output.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "base/rng.h"
+#include "nn/conv_kernels.h"
+#include "nn/int8_kernels.h"
+
+namespace antidote {
+namespace {
+
+std::vector<float> random_vec(size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+bool bitwise_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+struct QuantizedWeights {
+  std::vector<int8_t> q;
+  std::vector<float> scale;
+  std::vector<int32_t> wsum;
+  int64_t row_stride = 0;
+};
+
+QuantizedWeights quantize(const std::vector<float>& w, int rows, int64_t k) {
+  QuantizedWeights qw;
+  qw.row_stride = nn::int8_align4(k);
+  qw.q.assign(static_cast<size_t>(rows) * qw.row_stride, 0);
+  qw.scale.assign(static_cast<size_t>(rows), 0.f);
+  qw.wsum.assign(static_cast<size_t>(rows), 0);
+  nn::quantize_weights_rowwise(w.data(), rows, k, qw.q.data(),
+                               qw.row_stride, qw.scale.data(),
+                               qw.wsum.data());
+  return qw;
+}
+
+TEST(Int8Parity, IsaNameIsKnown) {
+  const char* isa = nn::int8_isa_name();
+  ASSERT_NE(isa, nullptr);
+  EXPECT_TRUE(std::strcmp(isa, "avx512-vnni") == 0 ||
+              std::strcmp(isa, "avx2") == 0 ||
+              std::strcmp(isa, "scalar") == 0)
+      << isa;
+}
+
+TEST(Int8Parity, QuantizeActivationsBitwiseAcrossRaggedShapes) {
+  Rng rng(51);
+  // k values cover every quad tail (k % 4 in 0..3); n values straddle the
+  // 8-lane (AVX2) and 16-lane (AVX-512) column boundaries.
+  const int64_t ks[] = {1, 2, 3, 4, 5, 7, 8, 9, 12, 17, 31, 64};
+  const int64_t ns[] = {1, 5, 8, 9, 13, 16, 17, 31, 33, 64, 100};
+  for (const int64_t k : ks) {
+    for (const int64_t n : ns) {
+      const auto b = random_vec(static_cast<size_t>(k * n), rng);
+      const size_t bytes = static_cast<size_t>(nn::int8_align4(k) * n);
+      std::vector<uint8_t> simd_q(bytes, 7), ref_q(bytes, 9);
+      const float simd_scale =
+          nn::quantize_activations(b.data(), k, n, simd_q.data());
+      const float ref_scale =
+          nn::quantize_activations_scalar(b.data(), k, n, ref_q.data());
+      EXPECT_EQ(std::memcmp(&simd_scale, &ref_scale, sizeof(float)), 0)
+          << "k=" << k << " n=" << n;
+      EXPECT_EQ(std::memcmp(simd_q.data(), ref_q.data(), bytes), 0)
+          << "k=" << k << " n=" << n;
+    }
+  }
+}
+
+TEST(Int8Parity, QuantizeActivationsAllZeroTensor) {
+  const int64_t k = 6, n = 9;
+  std::vector<float> b(static_cast<size_t>(k * n), 0.f);
+  std::vector<uint8_t> q(static_cast<size_t>(nn::int8_align4(k) * n), 0);
+  const float scale = nn::quantize_activations(b.data(), k, n, q.data());
+  EXPECT_EQ(scale, 0.f);
+  // Every byte (including quad padding) must hold the bias 128 so the
+  // accumulator contributes exactly 128 * wsum, cancelled by the dequant.
+  for (const uint8_t byte : q) EXPECT_EQ(byte, 128);
+}
+
+TEST(Int8Parity, IgemmDispatchBitwiseAcrossRaggedShapes) {
+  Rng rng(52);
+  const int ms[] = {1, 3, 7, 17, 32};
+  const int64_t ns[] = {1, 5, 8, 9, 13, 16, 17, 31, 33, 64, 100};
+  const int64_t ks[] = {3, 4, 9, 27, 64, 65};  // ragged and exact quads
+  for (const int m : ms) {
+    for (const int64_t k : ks) {
+      const auto w = random_vec(static_cast<size_t>(m) * k, rng);
+      const QuantizedWeights qw = quantize(w, m, k);
+      for (const int64_t n : ns) {
+        const auto b = random_vec(static_cast<size_t>(k * n), rng);
+        std::vector<uint8_t> qb(
+            static_cast<size_t>(nn::int8_align4(k) * n));
+        const float sa =
+            nn::quantize_activations(b.data(), k, n, qb.data());
+        std::vector<float> simd_y(static_cast<size_t>(m) * n, -1.f);
+        std::vector<float> ref_y(static_cast<size_t>(m) * n, -2.f);
+        nn::igemm_u8s8_dequant(m, n, qw.row_stride, qw.q.data(),
+                               qw.row_stride, qb.data(), qw.wsum.data(),
+                               qw.scale.data(), sa, simd_y.data(), n);
+        nn::igemm_u8s8_dequant_scalar(m, n, qw.row_stride, qw.q.data(),
+                                      qw.row_stride, qb.data(),
+                                      qw.wsum.data(), qw.scale.data(), sa,
+                                      ref_y.data(), n);
+        EXPECT_TRUE(bitwise_equal(simd_y, ref_y))
+            << "m=" << m << " k=" << k << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Int8Parity, IgemmRespectsOutputStride) {
+  Rng rng(53);
+  const int m = 5;
+  const int64_t k = 13, n = 11, ldy = n + 6;
+  const auto w = random_vec(static_cast<size_t>(m) * k, rng);
+  const QuantizedWeights qw = quantize(w, m, k);
+  const auto b = random_vec(static_cast<size_t>(k * n), rng);
+  std::vector<uint8_t> qb(static_cast<size_t>(nn::int8_align4(k) * n));
+  const float sa = nn::quantize_activations(b.data(), k, n, qb.data());
+  std::vector<float> simd_y(static_cast<size_t>(m) * ldy, -7.f);
+  std::vector<float> ref_y(static_cast<size_t>(m) * ldy, -7.f);
+  nn::igemm_u8s8_dequant(m, n, qw.row_stride, qw.q.data(), qw.row_stride,
+                         qb.data(), qw.wsum.data(), qw.scale.data(), sa,
+                         simd_y.data(), ldy);
+  nn::igemm_u8s8_dequant_scalar(m, n, qw.row_stride, qw.q.data(),
+                                qw.row_stride, qb.data(), qw.wsum.data(),
+                                qw.scale.data(), sa, ref_y.data(), ldy);
+  // Bitwise including the inter-row gap: the sentinel -7 rows prove
+  // neither backend writes past column n.
+  EXPECT_TRUE(bitwise_equal(simd_y, ref_y));
+  for (int mi = 0; mi < m; ++mi) {
+    for (int64_t j = n; j < ldy; ++j) {
+      EXPECT_EQ(simd_y[static_cast<size_t>(mi) * ldy + j], -7.f)
+          << "row " << mi << " gap col " << j;
+    }
+  }
+}
+
+TEST(Int8Parity, IgemmPlusFusedEpilogueAllVariants) {
+  Rng rng(54);
+  // The executor always runs fused_epilogue over the igemm output; the
+  // pair (igemm dispatch + SIMD epilogue) must match (scalar igemm +
+  // scalar epilogue) bitwise for every epilogue variant.
+  const int out_c = 7;
+  const int64_t k = 19, pos = 33;
+  const auto w = random_vec(static_cast<size_t>(out_c) * k, rng);
+  const QuantizedWeights qw = quantize(w, out_c, k);
+  const auto b = random_vec(static_cast<size_t>(k * pos), rng);
+  std::vector<uint8_t> qb(static_cast<size_t>(nn::int8_align4(k) * pos));
+  const float sa = nn::quantize_activations(b.data(), k, pos, qb.data());
+
+  const auto mean = random_vec(static_cast<size_t>(out_c), rng);
+  const auto inv_std = random_vec(static_cast<size_t>(out_c), rng);
+  const auto gamma = random_vec(static_cast<size_t>(out_c), rng);
+  const auto beta = random_vec(static_cast<size_t>(out_c), rng);
+  const auto res = random_vec(static_cast<size_t>(out_c * pos), rng);
+
+  for (const bool bn : {false, true}) {
+    for (const bool with_res : {false, true}) {
+      for (const bool relu : {false, true}) {
+        nn::FusedEpilogueParams p;
+        p.bn = bn;
+        p.relu = relu;
+        if (bn) {
+          p.mean = mean.data();
+          p.inv_std = inv_std.data();
+          p.gamma = gamma.data();
+          p.beta = beta.data();
+        }
+        std::vector<float> simd_y(static_cast<size_t>(out_c * pos));
+        std::vector<float> ref_y(static_cast<size_t>(out_c * pos));
+        nn::igemm_u8s8_dequant(out_c, pos, qw.row_stride, qw.q.data(),
+                               qw.row_stride, qb.data(), qw.wsum.data(),
+                               qw.scale.data(), sa, simd_y.data(), pos);
+        nn::igemm_u8s8_dequant_scalar(
+            out_c, pos, qw.row_stride, qw.q.data(), qw.row_stride,
+            qb.data(), qw.wsum.data(), qw.scale.data(), sa, ref_y.data(),
+            pos);
+        nn::fused_epilogue(simd_y.data(), with_res ? res.data() : nullptr,
+                           out_c, pos, p);
+        nn::fused_epilogue_scalar(ref_y.data(),
+                                  with_res ? res.data() : nullptr, out_c,
+                                  pos, p);
+        EXPECT_TRUE(bitwise_equal(simd_y, ref_y))
+            << "bn=" << bn << " res=" << with_res << " relu=" << relu;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace antidote

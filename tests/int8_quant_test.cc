@@ -1,0 +1,286 @@
+// Int8 regime semantics above the kernel layer: quantize -> dequantize
+// round-trip error bounds, zero-row and clamp edge cases, the 4-way LRU
+// weight-panel cache (hit behaviour at <= kWays distinct masks, LRU
+// thrash beyond, and the cold-vs-capacity miss taxonomy), the cost
+// model's regime-aware bytes/MAC terms with the set_regime EWMA rescale,
+// and an end-to-end small-plan check: int8 logits stay close to f32 and
+// a reserved arena executes the int8 regime with zero growths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "base/rng.h"
+#include "core/engine.h"
+#include "models/factory.h"
+#include "nn/conv_kernels.h"
+#include "nn/execution_context.h"
+#include "nn/int8_kernels.h"
+#include "plan/plan.h"
+#include "tensor/tensor.h"
+
+namespace antidote {
+namespace {
+
+std::vector<float> random_vec(size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+TEST(Int8Quant, WeightRoundTripWithinHalfScale) {
+  Rng rng(61);
+  const int rows = 9;
+  const int64_t k = 23;  // ragged: row_stride pads to 24
+  const auto w = random_vec(static_cast<size_t>(rows) * k, rng);
+  const int64_t stride = nn::int8_align4(k);
+  std::vector<int8_t> q(static_cast<size_t>(rows) * stride, 99);
+  std::vector<float> scale(rows);
+  std::vector<int32_t> wsum(rows);
+  nn::quantize_weights_rowwise(w.data(), rows, k, q.data(), stride,
+                               scale.data(), wsum.data());
+  for (int r = 0; r < rows; ++r) {
+    float maxabs = 0.f;
+    for (int64_t i = 0; i < k; ++i) {
+      maxabs = std::max(maxabs, std::abs(w[static_cast<size_t>(r) * k + i]));
+    }
+    EXPECT_NEAR(scale[r], maxabs / 127.f, 1e-7f * maxabs) << "row " << r;
+    int32_t sum = 0;
+    for (int64_t i = 0; i < stride; ++i) {
+      const int8_t qi = q[static_cast<size_t>(r) * stride + i];
+      sum += qi;
+      if (i >= k) {
+        EXPECT_EQ(qi, 0) << "pad byte row " << r << " i " << i;
+        continue;
+      }
+      EXPECT_GE(qi, -127);
+      EXPECT_LE(qi, 127);
+      // Symmetric nearest quantization: the reconstruction error is at
+      // most half a quantization step.
+      EXPECT_LE(std::abs(w[static_cast<size_t>(r) * k + i] -
+                         float(qi) * scale[r]),
+                scale[r] * 0.5f + 1e-7f)
+          << "row " << r << " i " << i;
+    }
+    EXPECT_EQ(wsum[r], sum) << "row " << r;
+  }
+}
+
+TEST(Int8Quant, WeightZeroRowGetsUnitScale) {
+  const int rows = 2;
+  const int64_t k = 5;
+  std::vector<float> w(static_cast<size_t>(rows) * k, 0.f);
+  w[static_cast<size_t>(k)] = 3.f;  // row 1 non-zero, row 0 all zero
+  const int64_t stride = nn::int8_align4(k);
+  std::vector<int8_t> q(static_cast<size_t>(rows) * stride, 99);
+  std::vector<float> scale(rows);
+  std::vector<int32_t> wsum(rows);
+  nn::quantize_weights_rowwise(w.data(), rows, k, q.data(), stride,
+                               scale.data(), wsum.data());
+  // All-zero rows take scale 1.0 (not 0) so the dequant multiply is
+  // well-defined; their bytes and wsum are all zero.
+  EXPECT_EQ(scale[0], 1.f);
+  EXPECT_EQ(wsum[0], 0);
+  for (int64_t i = 0; i < stride; ++i) EXPECT_EQ(q[static_cast<size_t>(i)], 0);
+  EXPECT_EQ(q[static_cast<size_t>(stride)], 127);  // 3.0 / (3.0/127)
+}
+
+TEST(Int8Quant, ActivationRoundTripWithinHalfScale) {
+  Rng rng(62);
+  const int64_t k = 14, n = 19;
+  const auto b = random_vec(static_cast<size_t>(k * n), rng);
+  const int64_t k4 = nn::int8_align4(k);
+  std::vector<uint8_t> qb(static_cast<size_t>(k4 * n), 0);
+  const float sa = nn::quantize_activations(b.data(), k, n, qb.data());
+  float maxabs = 0.f;
+  for (const float x : b) maxabs = std::max(maxabs, std::abs(x));
+  EXPECT_NEAR(sa, maxabs / 127.f, 1e-7f * maxabs);
+  // Decode the VNNI layout: row 4*kq+t of column j lives at
+  // qb[(kq*n + j)*4 + t], biased by 128.
+  for (int64_t r = 0; r < k4; ++r) {
+    for (int64_t j = 0; j < n; ++j) {
+      const uint8_t byte = qb[static_cast<size_t>(((r / 4) * n + j) * 4 +
+                                                  (r % 4))];
+      const int qv = int(byte) - 128;
+      if (r >= k) {
+        EXPECT_EQ(qv, 0) << "pad row " << r;
+        continue;
+      }
+      EXPECT_GE(qv, -127);
+      EXPECT_LE(qv, 127);
+      EXPECT_LE(std::abs(b[static_cast<size_t>(r * n + j)] - float(qv) * sa),
+                sa * 0.5f + 1e-7f)
+          << "row " << r << " col " << j;
+    }
+  }
+}
+
+// --- weight-panel cache ----------------------------------------------------
+
+struct CacheFixture {
+  static constexpr int kOutC = 8, kInC = 6, kKk = 9;
+  std::vector<float> w;
+  nn::Int8ConvWeights qw;
+  nn::WeightPanelCache cache;
+  std::vector<int> all_out;
+
+  CacheFixture() {
+    Rng rng(63);
+    w = random_vec(static_cast<size_t>(kOutC) * kInC * kKk, rng);
+    nn::quantize_conv_weights(w.data(), kOutC, kInC, kKk, qw);
+    cache.prepare(kOutC, kInC, kKk, /*int8_regime=*/true);
+    for (int i = 0; i < kOutC; ++i) all_out.push_back(i);
+  }
+
+  void pack(const std::vector<int>& ch) {
+    const float* p = nn::pack_weight_panel(w.data(), kInC, kKk, ch, all_out,
+                                           /*spatial_layout=*/false, cache);
+    ASSERT_NE(p, nullptr);
+  }
+};
+
+TEST(Int8Quant, PanelCacheHitsUpToFourAlternatingMasks) {
+  CacheFixture f;
+  // kWays distinct kept sets interleave within a pass (the executor walks
+  // groups in bucket order); after the first pass every pack must hit.
+  const std::vector<std::vector<int>> sets = {
+      {0, 1, 2}, {1, 2, 3}, {2, 3, 4, 5}, {0, 5}};
+  ASSERT_EQ(sets.size(), size_t{nn::WeightPanelCache::kWays});
+  for (const auto& s : sets) f.pack(s);
+  EXPECT_EQ(f.cache.misses.get(), 4);
+  EXPECT_EQ(f.cache.cold_misses.get(), 4);
+  EXPECT_EQ(f.cache.capacity_misses.get(), 0);
+  EXPECT_EQ(f.cache.hits.get(), 0);
+  EXPECT_EQ(f.cache.evictions.get(), 0);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (const auto& s : sets) f.pack(s);
+  }
+  EXPECT_EQ(f.cache.misses.get(), 4);
+  EXPECT_EQ(f.cache.hits.get(), 12);
+}
+
+TEST(Int8Quant, PanelCacheClassifiesThrashAsCapacityMisses) {
+  CacheFixture f;
+  // kWays + 1 distinct sets cycled in order is the LRU worst case: every
+  // pack evicts the next set needed, so the steady state is all misses —
+  // and every one of them must be classified *capacity* (the key was
+  // cached before), not cold.
+  const std::vector<std::vector<int>> sets = {
+      {0}, {1}, {2}, {3}, {4}};
+  for (const auto& s : sets) f.pack(s);  // pass 1: cold
+  EXPECT_EQ(f.cache.cold_misses.get(), 5);
+  EXPECT_EQ(f.cache.capacity_misses.get(), 0);
+  EXPECT_EQ(f.cache.evictions.get(), 1);  // the 5th insert evicted set 0
+  for (const auto& s : sets) f.pack(s);  // pass 2: pure thrash
+  EXPECT_EQ(f.cache.hits.get(), 0);
+  EXPECT_EQ(f.cache.cold_misses.get(), 5);
+  EXPECT_EQ(f.cache.capacity_misses.get(), 5);
+  EXPECT_EQ(f.cache.misses.get(), 10);
+}
+
+TEST(Int8Quant, PanelCacheKeySeparatesInt8FromF32) {
+  CacheFixture f;
+  const std::vector<int> ch = {0, 2, 4};
+  f.pack(ch);  // f32 panel
+  const nn::Int8Panel p =
+      nn::pack_weight_panel_i8(f.qw, CacheFixture::kKk, ch, f.all_out,
+                               f.cache);
+  ASSERT_NE(p.panel, nullptr);
+  ASSERT_NE(p.wsum, nullptr);
+  ASSERT_NE(p.scale, nullptr);
+  // Same kept sets, different regime: a distinct entry, not a false hit.
+  EXPECT_EQ(f.cache.hits.get(), 0);
+  EXPECT_EQ(f.cache.misses.get(), 2);
+  // Second int8 pack of the same sets hits.
+  nn::pack_weight_panel_i8(f.qw, CacheFixture::kKk, ch, f.all_out, f.cache);
+  EXPECT_EQ(f.cache.hits.get(), 1);
+}
+
+// --- plan-level regime ------------------------------------------------------
+
+TEST(Int8Quant, CostModelBytesPerMacAndEwmaRescale) {
+  Rng rng(64);
+  auto net = models::make_model("small_cnn", 10, 1.0f, rng);
+  net->set_training(false);
+  Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  nn::ExecutionContext ctx;
+  ctx.begin_pass();
+  net->forward(x, ctx);  // populate the conv-step EWMAs
+  plan::InferencePlan& plan = net->inference_plan(3, 16, 16);
+  const auto f32_costs = plan.cost_snapshot();
+  plan.set_regime(plan::NumericRegime::kInt8);
+  const auto i8_costs = plan.cost_snapshot();
+  ASSERT_EQ(f32_costs.size(), i8_costs.size());
+  int convs = 0;
+  for (size_t i = 0; i < f32_costs.size(); ++i) {
+    const plan::OpCost& a = f32_costs[i];
+    const plan::OpCost& b = i8_costs[i];
+    if (a.kind != plan::OpKind::kConv) {
+      EXPECT_EQ(b.bytes_per_mac, 0.0) << a.name;
+      continue;
+    }
+    ++convs;
+    EXPECT_EQ(a.regime, plan::NumericRegime::kF32) << a.name;
+    EXPECT_EQ(b.regime, plan::NumericRegime::kInt8) << b.name;
+    // Int8 shrinks the weight and im2col operand terms 4x; the f32
+    // output term stays, so the ratio lands strictly between 1/4 and 1.
+    EXPECT_GT(a.bytes_per_mac, 0.0) << a.name;
+    EXPECT_LT(b.bytes_per_mac, a.bytes_per_mac) << a.name;
+    EXPECT_GT(b.bytes_per_mac, a.bytes_per_mac / 4.0) << a.name;
+    // set_regime carries the learned timing across the switch by scaling
+    // the EWMA with the bytes/MAC ratio.
+    if (a.ewma_ms > 0.0) {
+      const double expect = a.ewma_ms * (b.bytes_per_mac / a.bytes_per_mac);
+      EXPECT_NEAR(b.ewma_ms, expect, 1e-9 + 1e-6 * expect) << a.name;
+    }
+  }
+  EXPECT_GE(convs, 2);
+}
+
+TEST(Int8Quant, Int8PlanStaysCloseToF32WithZeroGrowthsReserved) {
+  Rng rng(65);
+  auto net = models::make_model("small_cnn", 10, 1.0f, rng);
+  net->set_training(false);
+  const int batch = 4;
+  Tensor x = Tensor::randn({batch, 3, 16, 16}, rng);
+
+  nn::ExecutionContext ctx;
+  ctx.begin_pass();
+  const Tensor f32_y = net->forward(x, ctx).clone();
+
+  net->set_numeric_regime(plan::NumericRegime::kInt8);
+  plan::InferencePlan& plan = net->inference_plan(3, 16, 16);
+  EXPECT_EQ(plan.regime(), plan::NumericRegime::kInt8);
+  // Fresh context: reserve ahead of the first pass, like a serving
+  // replica would (the old context's lazily-grown arena coalesces on
+  // begin_pass, which counts as a growth and would muddy the assertion).
+  nn::ExecutionContext i8_ctx;
+  plan.reserve(i8_ctx.workspace(), batch);
+  const int64_t grows = i8_ctx.workspace().grow_count();
+
+  i8_ctx.begin_pass();
+  Tensor staged = i8_ctx.alloc(x.shape());
+  std::memcpy(staged.data(), x.data(),
+              static_cast<size_t>(x.size()) * sizeof(float));
+  const Tensor i8_y = net->forward(staged, i8_ctx);
+  EXPECT_EQ(i8_ctx.workspace().grow_count(), grows);
+
+  ASSERT_TRUE(f32_y.same_shape(i8_y));
+  double max_diff = 0.0, max_ref = 0.0;
+  for (int64_t i = 0; i < f32_y.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(double(f32_y[i]) - i8_y[i]));
+    max_ref = std::max(max_ref, std::abs(double(f32_y[i])));
+  }
+  // Same relative budget as the micro_e2e accuracy gate.
+  EXPECT_GT(max_ref, 0.0);
+  EXPECT_LE(max_diff / max_ref, 0.05);
+  // And the regime is sticky across plan refetches.
+  EXPECT_EQ(net->inference_plan(3, 16, 16).regime(),
+            plan::NumericRegime::kInt8);
+}
+
+}  // namespace
+}  // namespace antidote

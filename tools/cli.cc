@@ -97,6 +97,21 @@ void add_prune_flags(FlagSet& flags) {
                    "mask ordering: attention | random | inverse");
 }
 
+void add_quantize_flag(FlagSet& flags) {
+  flags.add_string("quantize", "f32",
+                   "numeric regime: f32 | int8 (int8 runs conv steps "
+                   "through the quantized kernels; spatially-masked groups "
+                   "fall back to f32)");
+}
+
+plan::NumericRegime regime_from_flags(const FlagSet& flags) {
+  const std::string q = flags.get_string("quantize");
+  if (q == "f32") return plan::NumericRegime::kF32;
+  if (q == "int8") return plan::NumericRegime::kInt8;
+  AD_CHECK(false) << " --quantize must be f32|int8, got " << q;
+  return plan::NumericRegime::kF32;
+}
+
 core::TrainConfig train_config(const FlagSet& flags) {
   core::TrainConfig tc;
   tc.epochs = flags.get_int("epochs");
@@ -212,6 +227,7 @@ int cmd_eval(const std::vector<std::string>& args) {
   FlagSet flags("antidote_cli eval");
   add_common_flags(flags);
   add_prune_flags(flags);
+  add_quantize_flag(flags);
   flags.add_string("ckpt", "", "checkpoint to evaluate (required)");
   flags.parse(args);
   if (flags.help_requested()) {
@@ -222,6 +238,7 @@ int cmd_eval(const std::vector<std::string>& args) {
   auto data = make_data(flags);
   auto net = make_net(flags);
   nn::load_checkpoint(*net, flags.get_string("ckpt"));
+  net->set_numeric_regime(regime_from_flags(flags));
   const int size = flags.get_int("image-size");
   const int64_t dense =
       models::measure_dense_flops(*net, 3, size, size).total_macs;
@@ -420,10 +437,13 @@ void print_profile_report(const plan::InferencePlan& plan, int passes) {
     }
   }
   std::printf(
-      "pack cache: %lld hits / %lld misses / %lld bypassed (parallel "
-      "groups)\n",
+      "pack cache: %lld hits / %lld misses (%lld cold, %lld capacity) / "
+      "%lld evictions / %lld bypassed (parallel groups)\n",
       static_cast<long long>(plan.pack_cache_hits()),
       static_cast<long long>(plan.pack_cache_misses()),
+      static_cast<long long>(plan.pack_cache_cold_misses()),
+      static_cast<long long>(plan.pack_cache_capacity_misses()),
+      static_cast<long long>(plan.pack_cache_evictions()),
       static_cast<long long>(plan.pack_cache_bypass()));
 }
 
@@ -436,6 +456,7 @@ int cmd_trace(const std::vector<std::string>& args) {
   FlagSet flags("antidote_cli trace");
   add_common_flags(flags);
   add_prune_flags(flags);
+  add_quantize_flag(flags);
   add_trace_flags(flags);
   flags.add_string("out", "trace.json", "Chrome trace-event JSON path");
   flags.add_string("ckpt", "", "checkpoint to load first (optional)");
@@ -457,6 +478,7 @@ int cmd_trace(const std::vector<std::string>& args) {
   if (const std::string ckpt = flags.get_string("ckpt"); !ckpt.empty()) {
     nn::load_checkpoint(*net, ckpt);
   }
+  net->set_numeric_regime(regime_from_flags(flags));
   bool defaulted = false;
   auto engine = make_trace_engine(flags, *net, &defaulted);
   if (defaulted) {
@@ -502,6 +524,7 @@ int cmd_plan_dump(const std::vector<std::string>& args) {
   FlagSet flags("antidote_cli plan-dump");
   add_common_flags(flags);
   add_prune_flags(flags);
+  add_quantize_flag(flags);
   add_trace_flags(flags);
   flags.add_string("ckpt", "", "checkpoint to load first (optional)");
   flags.add_bool("profile", false,
@@ -534,6 +557,7 @@ int cmd_plan_dump(const std::vector<std::string>& args) {
     }
   }
   net->set_training(false);
+  net->set_numeric_regime(regime_from_flags(flags));
   const int size = flags.get_int("image-size");
   plan::InferencePlan& plan = net->inference_plan(3, size, size);
   std::cout << net->model_name() << " @ 3x" << size << "x" << size
@@ -580,6 +604,7 @@ int cmd_serve_bench(const std::vector<std::string>& args) {
   FlagSet flags("antidote_cli serve-bench");
   add_common_flags(flags);
   add_prune_flags(flags);
+  add_quantize_flag(flags);
   flags.add_string("ckpt", "", "checkpoint loaded into every replica "
                    "(optional; random init otherwise)");
   flags.add_int("workers", 1, "batch workers (one model replica each)");
@@ -638,11 +663,16 @@ int cmd_serve_bench(const std::vector<std::string>& args) {
     config.latency = lc;
   }
 
+  const plan::NumericRegime regime = regime_from_flags(flags);
   serving::InferenceServer server(
       [&](int replica) {
         Rng rng(seed);  // same seed: every replica gets the same weights
         auto net = models::make_model(model, num_classes, width, rng);
         if (!ckpt.empty()) nn::load_checkpoint(*net, ckpt);
+        // Replicas compile their plans lazily per shape; the regime set
+        // here applies to every one of them, so quantized serving never
+        // executes an f32 conv pass first.
+        net->set_numeric_regime(regime);
         (void)replica;
         return net;
       },
