@@ -527,6 +527,142 @@ GroupedReport verify_grouped(const std::string& model_name, int distinct) {
   return r;
 }
 
+// --- similar-mask union coarsening gate --------------------------------------
+//
+// High-entropy batch: one base image plus small per-sample noise. The
+// attention gates then emit pairwise-distinct but heavily overlapping
+// kept sets — the exact-identity bucketing worst case (all-singleton
+// groups) that union coarsening exists to collapse. Gated:
+//   * the coarsened grouped pass stays BITWISE identical to the
+//     per-sample module walk (union supersets only insert products of
+//     explicitly zeroed activations);
+//   * on a real pool (>= 4 threads on >= 4 physical cores) the
+//     coarsened schedule beats exact-identity grouping by >= 1.25x;
+//   * the 4-distinct batch (genuinely dissimilar masks) shows no
+//     regression under auto — the cost model must decline merges it
+//     predicts as losses. Timing gates self-skip on small or
+//     oversubscribed hosts; parity and bookkeeping always run.
+constexpr double kMaskUnionSpeedupFloor = 1.25;
+constexpr double kMaskUnionNoRegressionBudget = 1.10;
+
+struct MaskUnionReport {
+  int batch = 8;
+  int raw_groups = 0;        // exact-identity buckets
+  int coarsened_groups = 0;  // clusters actually executed under auto
+  double extra_mac_frac = 0.0;
+  bool bitwise = false;
+  int64_t steady_growths = 0;
+  double off_ms = 0.0;   // exact-identity grouping (coarsen off)
+  double auto_ms = 0.0;  // latency-aware union coarsening
+  double speedup = 0.0;  // off_ms / auto_ms on the near-identical batch
+  double distinct4_off_ms = 0.0;
+  double distinct4_auto_ms = 0.0;
+  double distinct4_ratio = 0.0;  // auto / off: must not regress
+  bool gate_enforced = false;
+  bool pass = false;
+};
+
+MaskUnionReport verify_mask_union() {
+  MaskUnionReport r;
+  auto net = build("vgg16");
+  core::DynamicPruningEngine engine(*net, settings_for(*net));
+  Rng rng(41);
+  Tensor base = Tensor::randn({1, 3, 32, 32}, rng);
+  Tensor noise = Tensor::randn({r.batch, 3, 32, 32}, rng);
+  Tensor x({r.batch, 3, 32, 32});
+  const int64_t sample = base.size();
+  for (int i = 0; i < r.batch; ++i) {
+    for (int64_t j = 0; j < sample; ++j) {
+      x.data()[i * sample + j] =
+          base.data()[j] + 0.02f * noise.data()[i * sample + j];
+    }
+  }
+
+  // Per-sample module walk: the bitwise reference for BOTH policies.
+  const Tensor plain = net->forward(x);
+
+  nn::ExecutionContext ctx;
+  plan::InferencePlan& plan = net->inference_plan(3, 32, 32);
+  plan.reserve(ctx.workspace(), r.batch);
+  auto run_plan = [&](const Tensor& in) {
+    ctx.begin_pass();
+    Tensor staged = ctx.alloc(in.shape());
+    std::memcpy(staged.data(), in.data(),
+                static_cast<size_t>(in.size()) * sizeof(float));
+    return net->forward(staged, ctx);
+  };
+
+  net->set_coarsen_policy({plan::CoarsenMode::kAuto, 1.0});
+  const Tensor fused = run_plan(x);
+  r.bitwise = plain.same_shape(fused) &&
+              std::memcmp(plain.data(), fused.data(),
+                          static_cast<size_t>(plain.size()) *
+                              sizeof(float)) == 0;
+  r.raw_groups = plan.last_mask_groups_raw();
+  r.coarsened_groups = plan.last_mask_groups();
+  r.extra_mac_frac = plan.last_coarsen_extra_mac_frac();
+
+  // Timed in separate blocks (not interleaved): the two policies carry
+  // different weight-panel working sets, and alternating them would
+  // thrash the pack cache in a way neither production path sees.
+  const int reps = 10;
+  auto time_policy = [&](plan::CoarsenMode mode, const Tensor& in) {
+    net->set_coarsen_policy({mode, 1.0});
+    for (int i = 0; i < 3; ++i) run_plan(in);  // warm packs + arena
+    const int64_t grows = ctx.workspace().grow_count();
+    double total = 0.0;
+    for (int i = 0; i < reps; ++i) {
+      WallTimer timer;
+      Tensor y = run_plan(in);
+      benchmark::DoNotOptimize(y.data());
+      total += timer.millis();
+    }
+    r.steady_growths += ctx.workspace().grow_count() - grows;
+    return total / reps;
+  };
+  r.off_ms = time_policy(plan::CoarsenMode::kOff, x);
+  r.auto_ms = time_policy(plan::CoarsenMode::kAuto, x);
+  r.speedup = r.auto_ms > 0.0 ? r.off_ms / r.auto_ms : 0.0;
+
+  // No-regression batch: 4 genuinely distinct images duplicated to
+  // batch 8. Dissimilar kept sets make most merges cost-model losses;
+  // auto must track off within noise.
+  Tensor uniq = Tensor::randn({4, 3, 32, 32}, rng);
+  Tensor x4({r.batch, 3, 32, 32});
+  for (int i = 0; i < r.batch; ++i) {
+    std::memcpy(x4.data() + i * sample, uniq.data() + (i % 4) * sample,
+                static_cast<size_t>(sample) * sizeof(float));
+  }
+  r.distinct4_off_ms = time_policy(plan::CoarsenMode::kOff, x4);
+  r.distinct4_auto_ms = time_policy(plan::CoarsenMode::kAuto, x4);
+  r.distinct4_ratio = r.distinct4_off_ms > 0.0
+                          ? r.distinct4_auto_ms / r.distinct4_off_ms
+                          : 0.0;
+
+  const int threads = 1 + antidote::global_pool().size();
+  const int cores = static_cast<int>(std::thread::hardware_concurrency());
+  r.gate_enforced = threads >= 4 && cores >= threads;
+  const bool timing_ok =
+      !r.gate_enforced ||
+      (r.speedup >= kMaskUnionSpeedupFloor &&
+       r.distinct4_ratio <= kMaskUnionNoRegressionBudget);
+  r.pass = r.bitwise && r.steady_growths == 0 && r.raw_groups >= 2 &&
+           r.coarsened_groups >= 1 &&
+           r.coarsened_groups <= r.raw_groups && timing_ok;
+  std::printf(
+      "mask union   vgg16: batch %d, %d raw -> %d coarsened groups "
+      "(+%.1f%% MACs), bitwise %s, off %.3f ms vs auto %.3f ms (%.2fx, "
+      "floor %.2f), 4-distinct auto/off %.3f (budget %.2f)%s -> %s\n",
+      r.batch, r.raw_groups, r.coarsened_groups, 100.0 * r.extra_mac_frac,
+      r.bitwise ? "yes" : "NO", r.off_ms, r.auto_ms, r.speedup,
+      kMaskUnionSpeedupFloor, r.distinct4_ratio,
+      kMaskUnionNoRegressionBudget,
+      r.gate_enforced ? "" : " (timing skipped: <4 threads or oversubscribed)",
+      r.pass ? "PASSED" : "FAILED");
+  engine.remove();
+  return r;
+}
+
 // --- int8 regime gates -------------------------------------------------------
 //
 // Accuracy gate: the int8 regime's dense logits vs the f32 reference on
@@ -916,6 +1052,10 @@ bool run_plan_verification(const char* json_path) {
       !gate_active ? "SKIPPED (<4 threads or oversubscribed)"
                    : (all_distinct_ok ? "PASSED" : "FAILED"));
 
+  std::printf("--- similar-mask union coarsening ---\n");
+  const MaskUnionReport mask_union = verify_mask_union();
+  ok &= mask_union.pass;
+
   std::printf("--- int8 regime ---\n");
   std::vector<Int8AccuracyReport> int8_acc;
   int8_acc.push_back(verify_int8_accuracy("vgg16"));
@@ -974,6 +1114,26 @@ bool run_plan_verification(const char* json_path) {
         threads, antidote::nn::simd_lane_width(),
         antidote::nn::simd_isa_name(), ms8, ms4, ratio,
         gate_active ? "true" : "false", all_distinct_ok ? "true" : "false");
+    std::fprintf(
+        f,
+        "  \"mask_union\": {\"model\": \"vgg16\", \"batch\": %d, "
+        "\"raw_groups\": %d, \"coarsened_groups\": %d, "
+        "\"extra_mac_frac\": %.4f, \"bitwise\": %s, "
+        "\"steady_arena_growths\": %lld, \"off_ms\": %.4f, "
+        "\"auto_ms\": %.4f, \"speedup\": %.3f, \"speedup_floor\": %.2f, "
+        "\"distinct4_off_ms\": %.4f, \"distinct4_auto_ms\": %.4f, "
+        "\"distinct4_ratio\": %.3f, \"distinct4_budget\": %.2f, "
+        "\"gate_enforced\": %s, \"pass\": %s},\n",
+        mask_union.batch, mask_union.raw_groups,
+        mask_union.coarsened_groups, mask_union.extra_mac_frac,
+        mask_union.bitwise ? "true" : "false",
+        static_cast<long long>(mask_union.steady_growths),
+        mask_union.off_ms, mask_union.auto_ms, mask_union.speedup,
+        kMaskUnionSpeedupFloor, mask_union.distinct4_off_ms,
+        mask_union.distinct4_auto_ms, mask_union.distinct4_ratio,
+        kMaskUnionNoRegressionBudget,
+        mask_union.gate_enforced ? "true" : "false",
+        mask_union.pass ? "true" : "false");
     std::fprintf(f, "  \"int8_accuracy\": [\n");
     for (size_t i = 0; i < int8_acc.size(); ++i) {
       const Int8AccuracyReport& r = int8_acc[i];

@@ -1,6 +1,7 @@
 #include "core/mask.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <numeric>
 
@@ -106,8 +107,85 @@ uint64_t mask_key(const nn::ConvRuntimeMask& m) {
 }
 
 bool mask_equal(const nn::ConvRuntimeMask& a, const nn::ConvRuntimeMask& b) {
+  // Kept-count fast-reject: check all three component sizes before any
+  // element compare, so unequal masks (the common case while bucketing a
+  // high-entropy batch) bail before touching index data.
+  if (a.channels.size() != b.channels.size() ||
+      a.positions.size() != b.positions.size() ||
+      a.out_channels.size() != b.out_channels.size()) {
+    return false;
+  }
   return a.channels == b.channels && a.positions == b.positions &&
          a.out_channels == b.out_channels;
+}
+
+void pack_kept_bits(std::span<const int> kept, int n, uint64_t* words) {
+  AD_CHECK_GT(n, 0);
+  const int nw = mask_bits_words(n);
+  if (kept.empty()) {
+    // Empty = keep all: set every valid bit, clear the tail so word-wise
+    // popcounts and equality see a canonical representation.
+    for (int w = 0; w < nw; ++w) words[w] = ~0ULL;
+    const int tail = n & 63;
+    if (tail != 0) words[nw - 1] = (1ULL << tail) - 1;
+    return;
+  }
+  for (int w = 0; w < nw; ++w) words[w] = 0;
+  for (int i : kept) {
+    AD_CHECK(i >= 0 && i < n) << " kept index " << i;
+    words[i >> 6] |= 1ULL << (i & 63);
+  }
+}
+
+int popcount_words(const uint64_t* w, int words) {
+  int count = 0;
+  for (int i = 0; i < words; ++i) count += std::popcount(w[i]);
+  return count;
+}
+
+int mask_symdiff_bits(const uint64_t* a, int ka, const uint64_t* b, int kb,
+                      int words, int limit) {
+  // |a ^ b| >= ||a| - |b||: when the kept counts alone are `limit` apart
+  // the sets cannot be closer either, so the words are never touched.
+  const int gap = ka > kb ? ka - kb : kb - ka;
+  if (gap >= limit) return limit;
+  int count = 0;
+  for (int i = 0; i < words; ++i) {
+    count += std::popcount(a[i] ^ b[i]);
+    if (count >= limit) return limit;
+  }
+  return count;
+}
+
+int mask_intersect_bits(const uint64_t* a, const uint64_t* b, int words) {
+  int count = 0;
+  for (int i = 0; i < words; ++i) count += std::popcount(a[i] & b[i]);
+  return count;
+}
+
+void union_bits_inplace(uint64_t* dst, const uint64_t* src, int words) {
+  for (int i = 0; i < words; ++i) dst[i] |= src[i];
+}
+
+bool bits_equal(const uint64_t* a, const uint64_t* b, int words) {
+  for (int i = 0; i < words; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+void bits_to_kept(const uint64_t* words, int n, std::vector<int>& kept) {
+  kept.clear();
+  const int nw = mask_bits_words(n);
+  if (popcount_words(words, nw) == n) return;  // full set = keep all = empty
+  for (int w = 0; w < nw; ++w) {
+    uint64_t bits = words[w];
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      kept.push_back((w << 6) + bit);
+      bits &= bits - 1;
+    }
+  }
 }
 
 }  // namespace antidote::core

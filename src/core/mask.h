@@ -49,7 +49,51 @@ void kept_to_mask_into(std::span<const int> kept, int n,
 // and execute each bucket as one compacted multi-sample problem; callers
 // that must be collision-proof confirm key matches with mask_equal.
 uint64_t mask_key(const nn::ConvRuntimeMask& m);
-// Exact kept-set equality (all three components).
+// Exact kept-set equality (all three components), with a kept-count
+// fast-reject: all three component sizes are compared before any
+// element-wise walk, so bucketing a batch of obviously unequal masks
+// never touches the index data.
 bool mask_equal(const nn::ConvRuntimeMask& a, const nn::ConvRuntimeMask& b);
+
+// --- packed kept-set bitsets (similar-mask union coarsening) --------------
+//
+// The coarsening planner compares and merges kept sets many times per
+// pass, so the sorted index vectors are packed once into little-endian
+// 64-bit bitsets and all similarity/union arithmetic runs as word-wise
+// popcounts. An EMPTY kept vector means "keep all" (the ConvRuntimeMask
+// convention), and packs as all `n` bits set — so intersections, unions
+// and symmetric differences need no keep-all special case.
+
+// Words needed for an n-bit kept set.
+inline int mask_bits_words(int n) { return (n + 63) / 64; }
+
+// Packs sorted kept indices over a domain of `n` into `words` (the caller
+// provides mask_bits_words(n) of them). Empty `kept` sets all n bits.
+void pack_kept_bits(std::span<const int> kept, int n, uint64_t* words);
+
+// Total population count of a packed set.
+int popcount_words(const uint64_t* w, int words);
+
+// Popcount of the symmetric difference |a ^ b|, with a kept-count
+// fast-reject: `ka`/`kb` are the operands' popcounts, and since
+// |a ^ b| >= |ka - kb| the word loop is skipped entirely (returning
+// `limit`) when the count gap alone reaches `limit`; the loop also exits
+// early once the running count does. Returns min(|a ^ b|, limit).
+int mask_symdiff_bits(const uint64_t* a, int ka, const uint64_t* b, int kb,
+                      int words, int limit);
+
+// Popcount of the intersection |a & b|.
+int mask_intersect_bits(const uint64_t* a, const uint64_t* b, int words);
+
+// dst |= src over `words`.
+void union_bits_inplace(uint64_t* dst, const uint64_t* src, int words);
+
+// Word-wise equality.
+bool bits_equal(const uint64_t* a, const uint64_t* b, int words);
+
+// Unpacks a bitset over domain `n` back into sorted kept indices,
+// canonicalized to the ConvRuntimeMask convention: a full set (all n bits)
+// yields an EMPTY vector (= keep all). Reuses `kept`'s capacity.
+void bits_to_kept(const uint64_t* words, int n, std::vector<int>& kept);
 
 }  // namespace antidote::core

@@ -6,7 +6,10 @@
 
 namespace antidote::models {
 
-ConvNet::ConvNet() : regime_(plan::NumericRegime::kF32) {}
+ConvNet::ConvNet()
+    : regime_(plan::NumericRegime::kF32),
+      coarsen_mode_(plan::CoarsenMode::kAuto),
+      coarsen_mac_bias_(1.0) {}
 ConvNet::~ConvNet() = default;
 
 Tensor ConvNet::forward(const Tensor& x, nn::ExecutionContext& ctx) {
@@ -33,15 +36,23 @@ plan::InferencePlan& ConvNet::inference_plan(int in_c, int in_h, int in_w) {
     plan_h_ = in_h;
     plan_w_ = in_w;
   }
-  // Applied on every fetch (idempotent): plans compile as f32, and the
-  // model's regime must survive recompiles (shape changes, gate installs).
+  // Applied on every fetch (idempotent): plans compile as f32 with the
+  // default coarsening policy, and the model's regime and policy must
+  // survive recompiles (shape changes, gate installs).
   plan_->set_regime(regime_);
+  plan_->set_coarsen({coarsen_mode_, coarsen_mac_bias_});
   return *plan_;
 }
 
 void ConvNet::set_numeric_regime(plan::NumericRegime regime) {
   regime_ = regime;
   if (plan_ != nullptr) plan_->set_regime(regime);
+}
+
+void ConvNet::set_coarsen_policy(plan::CoarsenPolicy policy) {
+  coarsen_mode_ = policy.mode;
+  coarsen_mac_bias_ = policy.mac_bias;
+  if (plan_ != nullptr) plan_->set_coarsen(policy);
 }
 
 void ConvNet::invalidate_plan() {

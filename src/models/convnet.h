@@ -28,6 +28,8 @@ namespace antidote::plan {
 class InferencePlan;
 class PlanBuilder;
 enum class NumericRegime;
+enum class CoarsenMode;
+struct CoarsenPolicy;
 }  // namespace antidote::plan
 
 namespace antidote::models {
@@ -69,6 +71,12 @@ class ConvNet : public nn::Module {
   // this so replicas come up quantized without ever executing f32.
   void set_numeric_regime(plan::NumericRegime regime);
   plan::NumericRegime numeric_regime() const { return regime_; }
+
+  // Similar-mask union coarsening policy every compiled plan runs under
+  // (auto by default). Like the numeric regime, it is sticky: applied to
+  // the cached plan and re-applied to every future compile, so callers
+  // (CLI --coarsen flag, serving controller) set it once on the model.
+  void set_coarsen_policy(plan::CoarsenPolicy policy);
 
   // --- gate sites ---
   virtual int num_gate_sites() const = 0;
@@ -114,6 +122,10 @@ class ConvNet : public nn::Module {
   int plan_c_ = -1, plan_h_ = -1, plan_w_ = -1;
   // Initialized to kF32 in the constructor (the enum is opaque here).
   plan::NumericRegime regime_;
+  // Sticky coarsening policy (kAuto / bias 1.0 in the constructor; the
+  // struct is opaque here, so the fields are carried unpacked).
+  plan::CoarsenMode coarsen_mode_;
+  double coarsen_mac_bias_;
 };
 
 }  // namespace antidote::models

@@ -1,8 +1,10 @@
 #include "plan/plan.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <limits>
+#include <numeric>
 #include <span>
 #include <sstream>
 
@@ -47,6 +49,36 @@ int group_parallel_width(int threads, int groups) {
   return std::max(1, std::min({threads, groups, kMaxGroupWorkers}));
 }
 
+// Whether a conv's spatial grid is preserved (stride 1, out == in): the
+// only geometry under which spatial position masks are valid, and hence
+// the only one whose coarsening state carries a position-bitset domain.
+bool conv_grid_preserving(const ConvGeom& g) {
+  return g.stride == 1 && g.out_h() == g.in_h && g.out_w() == g.in_w;
+}
+
+// Fixed per-group dispatch cost of the coarsening latency model, in
+// MAC-equivalents: kernel entry, parallel_for handoff and gather/scatter
+// setup — the part of a group's cost that does not scale with its size,
+// i.e. exactly what merging groups eliminates.
+constexpr double kCoarsenOverheadMacs = 20000.0;
+
+// Arena bytes the in-pass coarsening planner draws between its mark and
+// rewind: two packed-bitset slabs (immutable originals + the planner's
+// working unions), the group summaries, the cluster assignment and the
+// planner's integer scratch. Sized for the n-bucket worst case.
+size_t coarsen_scratch_bytes(const ConvGeom& g, int n) {
+  const int wpg =
+      core::mask_bits_words(g.in_c) +
+      (conv_grid_preserving(g) ? core::mask_bits_words(g.in_h * g.in_w) : 0);
+  const size_t nn_ = static_cast<size_t>(n);
+  return 2 * Workspace::align_up(sizeof(uint64_t) * nn_ *
+                                 static_cast<size_t>(wpg)) +
+         Workspace::align_up(sizeof(CoarsenGroup) * nn_) +
+         Workspace::align_up(sizeof(int) * nn_) +
+         Workspace::align_up(sizeof(int) *
+                             static_cast<size_t>(coarsen_iscratch_ints(n)));
+}
+
 // Exact worst-case kernel scratch of one conv step at batch n, mirroring
 // the executor's allocation sequence byte for byte: the dense batched
 // path (per-sample im2col slices + GEMM panels) vs the mask-grouped path
@@ -80,11 +112,19 @@ size_t conv_step_scratch_bytes(const PlanOp& op, int n, bool int8_regime) {
             nn::conv_group_masked_slice_bytes(g, out_c, n - groups + 1,
                                               int8_regime));
   }
+  // The coarsening terms are accounted unconditionally (policy-independent
+  // bound): the per-pass merge decision may be flipped at runtime by the
+  // serving controller, and must never be able to grow a reserved arena.
+  // The planner scratch itself is rewound before any group kernel runs,
+  // so it shares a max with the kernel term rather than stacking on it.
   const size_t masked =
       Workspace::align_up(sizeof(uint64_t) * nn_) +       // mask keys
       Workspace::align_up(sizeof(int) * nn_) +            // sample order
       Workspace::align_up(sizeof(int) * (nn_ + 1)) +      // group bounds
-      masked_kernel;
+      Workspace::align_up(sizeof(int) * nn_) +            // coarsened order
+      Workspace::align_up(sizeof(int) * (nn_ + 1)) +      // coarsened bounds
+      Workspace::align_up(sizeof(void*) * nn_) +          // group mask ptrs
+      std::max(coarsen_scratch_bytes(g, n), masked_kernel);
   return std::max(dense, masked);
 }
 
@@ -128,6 +168,188 @@ const char* regime_name(NumericRegime regime) {
   return "?";
 }
 
+const char* coarsen_mode_name(CoarsenMode mode) {
+  switch (mode) {
+    case CoarsenMode::kOff: return "off";
+    case CoarsenMode::kAuto: return "auto";
+  }
+  return "?";
+}
+
+CoarsenDecision coarsen_plan(const CoarsenGroup* groups, int ngroups,
+                             int ch_words, int pos_words,
+                             const CoarsenCost& cost, double mac_bias,
+                             uint64_t* bits, int* cluster, int* iscratch) {
+  AD_CHECK_GT(ngroups, 0);
+  mac_bias = std::clamp(mac_bias, kMinCoarsenMacBias, kMaxCoarsenMacBias);
+  const int wpg = ch_words + pos_words;
+  // Mutable per-cluster state lives in the caller's integer scratch; the
+  // planner itself never allocates (it runs inside the zero-alloc pass).
+  int* kc = iscratch;                    // kept channels of cluster root
+  int* kp = iscratch + ngroups;          // kept positions of cluster root
+  int* gs = iscratch + 2 * ngroups;      // samples in cluster
+  int* parent = iscratch + 3 * ngroups;  // merge tree (parent[i] < i)
+  int* best_parent = iscratch + 4 * ngroups;  // argmin-state snapshot
+  for (int i = 0; i < ngroups; ++i) {
+    kc[i] = groups[i].kept_ch;
+    kp[i] = groups[i].kept_pos;
+    gs[i] = groups[i].size;
+    parent[i] = i;
+    best_parent[i] = i;
+  }
+
+  // Per-sample model MACs / per-group panel-pack MAC-equivalents of the
+  // cluster rooted at i (out-filter sets never change under a merge — the
+  // eligibility guard requires them equal — so the original group's
+  // kept_out stays valid for its cluster).
+  const auto macs_of = [&](int i) {
+    return static_cast<double>(groups[i].kept_out) * kc[i] * cost.kk * kp[i];
+  };
+  const auto pack_of = [&](int i) {
+    return static_cast<double>(groups[i].kept_out) * kc[i] * cost.kk *
+           cost.pack_macs_per_elem;
+  };
+
+  // Predicted cost of the current state under the executor's EXACT
+  // schedule. With W >= 2 workers, whole groups dispatch in the strided
+  // order (worker w runs clusters w, w+W, ...), each group single-threaded
+  // inline — the op's latency is the critical-path worker (the PR 5
+  // ceil(G/W) group-cost axis, computed per assignment instead of
+  // averaged). With W < 2 (one cluster, or a single compute thread) the
+  // groups run sequentially and every kernel parallelizes INTERNALLY
+  // across the whole pool, so the MAC term divides by the thread count —
+  // this is why merging all the way to one group can beat any strided
+  // schedule on a batch of near-identical masks.
+  const auto critical_path = [&](int alive_count) {
+    const int width =
+        std::max(1, std::min({cost.threads, alive_count, kMaxGroupWorkers}));
+    if (width < 2) {
+      double total = 0.0;
+      for (int i = 0; i < ngroups; ++i) {
+        if (parent[i] != i) continue;
+        total += mac_bias * gs[i] * macs_of(i) / cost.threads + pack_of(i) +
+                 cost.overhead_macs;
+      }
+      return total;
+    }
+    double lane[kMaxGroupWorkers] = {};
+    int idx = 0;
+    for (int i = 0; i < ngroups; ++i) {
+      if (parent[i] != i) continue;
+      lane[idx % width] +=
+          mac_bias * gs[i] * macs_of(i) + pack_of(i) + cost.overhead_macs;
+      ++idx;
+    }
+    double worst = 0.0;
+    for (int w = 0; w < width; ++w) worst = std::max(worst, lane[w]);
+    return worst;
+  };
+
+  double base_macs = 0.0;  // exact-identity batch MACs (model count)
+  for (int i = 0; i < ngroups; ++i) base_macs += gs[i] * macs_of(i);
+
+  CoarsenDecision dec;
+  dec.clusters = ngroups;
+  dec.predicted_before = critical_path(ngroups);
+  dec.predicted_after = dec.predicted_before;
+  double best = dec.predicted_before;
+  double cur_macs = base_macs;
+  double best_macs = base_macs;
+  int alive = ngroups;
+
+  // Agglomerative chain: merge the eligible pair with the smallest
+  // union-added MAC cost, all the way down, and adopt the argmin state of
+  // the whole chain — one merge alone often cannot shrink the critical
+  // path (8 -> 7 groups at W=4 removes nothing from the longest worker),
+  // so stopping at the first non-improving merge would never reach the
+  // 8 -> 4 or 8 -> 1 payoff states.
+  while (alive >= 2) {
+    int bi = -1, bj = -1, bkc = 0, bkp = 0;
+    double bdelta = 0.0;
+    for (int i = 0; i < ngroups; ++i) {
+      if (parent[i] != i) continue;
+      const uint64_t* ri = bits + static_cast<int64_t>(i) * wpg;
+      for (int j = i + 1; j < ngroups; ++j) {
+        if (parent[j] != j) continue;
+        // Hard eligibility guards, independent of any budget: equal kept
+        // out-filter sets (a filter union would write rows the other
+        // sample's walk leaves zero), and intersecting channel/position
+        // sets (disjoint masks never merge — their union is pure
+        // duplication, and the union of zeroed-upstream sets only stays
+        // "a few extra MACs" when the sets actually overlap).
+        if (!(*groups[i].out_channels == *groups[j].out_channels)) continue;
+        // Position KIND must match too: partial-position groups run the
+        // shift-GEMM, keep-all groups the im2col channel path, and a
+        // merged group can only run one of them bitwise (see
+        // CoarsenGroup::pos_partial). Kind is an original-mask property,
+        // so the roots' flags stay valid for their clusters.
+        if (pos_words > 0 &&
+            groups[i].pos_partial != groups[j].pos_partial) {
+          continue;
+        }
+        const uint64_t* rj = bits + static_cast<int64_t>(j) * wpg;
+        const int ich = core::mask_intersect_bits(ri, rj, ch_words);
+        if (ich == 0) continue;
+        const int ukc = kc[i] + kc[j] - ich;
+        int ukp = kp[i];
+        if (pos_words > 0) {
+          const int ipos = core::mask_intersect_bits(ri + ch_words,
+                                                     rj + ch_words, pos_words);
+          if (ipos == 0) continue;
+          ukp = kp[i] + kp[j] - ipos;
+        }
+        const double mu =
+            static_cast<double>(groups[i].kept_out) * ukc * cost.kk * ukp;
+        const double delta = (gs[i] + gs[j]) * mu - gs[i] * macs_of(i) -
+                             gs[j] * macs_of(j);
+        if (bi < 0 || delta < bdelta) {
+          bi = i;
+          bj = j;
+          bkc = ukc;
+          bkp = ukp;
+          bdelta = delta;
+        }
+      }
+    }
+    if (bi < 0) break;  // no eligible pair left
+    core::union_bits_inplace(bits + static_cast<int64_t>(bi) * wpg,
+                             bits + static_cast<int64_t>(bj) * wpg, wpg);
+    kc[bi] = bkc;
+    kp[bi] = bkp;
+    gs[bi] += gs[bj];
+    parent[bj] = bi;
+    cur_macs += bdelta;
+    --alive;
+    const double level = critical_path(alive);
+    // Adopt strict critical-path improvements, and also exact ties that
+    // add no MACs over the incumbent: when the workers are saturated
+    // (lanes of one group each), merging near-duplicate buckets leaves
+    // the critical path unchanged while still deleting whole pack +
+    // dispatch terms of TOTAL work — the lane model just cannot see
+    // freed-lane savings, so cost ties break toward fewer groups.
+    if (level < best - 1e-9 ||
+        (level <= best + 1e-9 && cur_macs <= best_macs + 1e-9)) {
+      best = std::min(best, level);
+      best_macs = cur_macs;
+      std::memcpy(best_parent, parent,
+                  sizeof(int) * static_cast<size_t>(ngroups));
+    }
+  }
+
+  // Adopt the argmin state. best_parent[i] < i for every non-root, so one
+  // ascending sweep resolves the dense cluster ids (numbered by smallest
+  // member = root index order, the executor's deterministic group order).
+  int next_id = 0;
+  for (int i = 0; i < ngroups; ++i) {
+    cluster[i] = best_parent[i] == i ? next_id++
+                                     : cluster[best_parent[i]];
+  }
+  dec.clusters = next_id;
+  dec.predicted_after = best;
+  dec.extra_macs = std::llround(best_macs - base_macs);
+  return dec;
+}
+
 size_t InferencePlan::arena_bytes(int n) const {
   AD_CHECK_GT(n, 0);
   const size_t nn = static_cast<size_t>(n);
@@ -168,6 +390,21 @@ void InferencePlan::reserve(Workspace& ws, int n) {
       op.pack_cache.prepare(op.out_shape[0], op.geom.in_c,
                             op.geom.k_h * op.geom.k_w,
                             regime_ == NumericRegime::kInt8);
+      // Union-mask storage for coarsened passes: at most n clusters, each
+      // bounded by the op's full kept-set domains. Sized unconditionally
+      // (the policy can flip to kAuto at runtime, and a warm coarsened
+      // pass must stay heap-allocation-free either way).
+      if (op.coarse_masks.size() < static_cast<size_t>(n)) {
+        op.coarse_masks.resize(static_cast<size_t>(n));
+      }
+      for (nn::ConvRuntimeMask& um : op.coarse_masks) {
+        um.channels.reserve(static_cast<size_t>(op.geom.in_c));
+        if (conv_grid_preserving(op.geom)) {
+          um.positions.reserve(
+              static_cast<size_t>(op.geom.in_h * op.geom.in_w));
+        }
+        um.out_channels.reserve(static_cast<size_t>(op.out_shape[0]));
+      }
     }
   }
   // Pre-create the per-worker slice views (and their one-entry block
@@ -223,6 +460,31 @@ int InferencePlan::last_mask_groups() const {
   int groups = 0;
   for (const PlanOp& op : ops_) groups = std::max(groups, op.last_groups);
   return groups;
+}
+
+void InferencePlan::set_coarsen(CoarsenPolicy policy) {
+  policy.mac_bias =
+      std::clamp(policy.mac_bias, kMinCoarsenMacBias, kMaxCoarsenMacBias);
+  coarsen_ = policy;
+}
+
+int InferencePlan::last_mask_groups_raw() const {
+  int groups = 0;
+  for (const PlanOp& op : ops_) groups = std::max(groups, op.last_groups_raw);
+  return groups;
+}
+
+int64_t InferencePlan::last_coarsen_extra_macs() const {
+  int64_t total = 0;
+  for (const PlanOp& op : ops_) total += op.last_coarsen_extra_macs;
+  return total;
+}
+
+double InferencePlan::last_coarsen_extra_mac_frac() const {
+  const int64_t executed = last_macs();
+  if (executed <= 0) return 0.0;
+  return static_cast<double>(last_coarsen_extra_macs()) /
+         static_cast<double>(executed);
 }
 
 int64_t InferencePlan::pack_cache_hits() const {
@@ -382,6 +644,192 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
               group_begin[++groups] = i;
             }
           }
+          // Similar-mask union coarsening: merge near-identical buckets
+          // into union-mask clusters when the latency model predicts a
+          // win (fewer group dispatches beating the union-added MACs).
+          // Bitwise-safe for hard top-k gates: the union's extra
+          // channels/positions were zeroed upstream, their products are
+          // exact zeros, and the f32 microkernel's strictly sequential
+          // per-element accumulation (no FMA, accumulators seeded from
+          // +0) preserves every real partial sum bit-for-bit when exact
+          // zeros interleave. gmask != nullptr selects the coarsened
+          // schedule below.
+          op.last_groups_raw = groups;
+          op.last_coarsen_extra_macs = 0;
+          op.last_coarsen_extra_ch = 0;
+          op.last_coarsen_pred_before = 0.0;
+          op.last_coarsen_pred_after = 0.0;
+          const nn::ConvRuntimeMask* const* gmask = nullptr;
+          if (coarsen_.mode == CoarsenMode::kAuto && groups >= 2) {
+            // The coarsened order/bounds and per-group mask pointers must
+            // outlive the planner scratch (the kernels read them), so
+            // they are carved BEFORE the planner's rewind mark.
+            int* c_order = ws.alloc<int>(n);
+            int* c_begin = ws.alloc<int>(n + 1);
+            const nn::ConvRuntimeMask** gmask_rw =
+                ws.alloc<const nn::ConvRuntimeMask*>(n);
+            const Workspace::Mark coarsen_mark = ws.mark();
+            const bool spatial = conv_grid_preserving(g);
+            const int ch_words = core::mask_bits_words(g.in_c);
+            const int pos_domain = g.in_h * g.in_w;
+            const int pos_words =
+                spatial ? core::mask_bits_words(pos_domain) : 0;
+            const int wpg = ch_words + pos_words;
+            uint64_t* base_bits =
+                ws.alloc<uint64_t>(static_cast<int64_t>(groups) * wpg);
+            uint64_t* work_bits =
+                ws.alloc<uint64_t>(static_cast<int64_t>(groups) * wpg);
+            CoarsenGroup* cg = ws.alloc<CoarsenGroup>(groups);
+            int* cluster = ws.alloc<int>(groups);
+            int* iscratch = ws.alloc<int>(coarsen_iscratch_ints(groups));
+            for (int gi = 0; gi < groups; ++gi) {
+              const nn::ConvRuntimeMask& m =
+                  masks[static_cast<size_t>(order[group_begin[gi]])];
+              uint64_t* row = base_bits + static_cast<int64_t>(gi) * wpg;
+              core::pack_kept_bits(m.channels, g.in_c, row);
+              if (pos_words > 0) {
+                core::pack_kept_bits(m.positions, pos_domain,
+                                     row + ch_words);
+              }
+              CoarsenGroup& cgi = cg[gi];
+              cgi.size = group_begin[gi + 1] - group_begin[gi];
+              cgi.kept_ch = m.channels.empty()
+                                ? g.in_c
+                                : static_cast<int>(m.channels.size());
+              cgi.kept_pos = !spatial          ? static_cast<int>(pos)
+                             : m.positions.empty()
+                                 ? pos_domain
+                                 : static_cast<int>(m.positions.size());
+              cgi.kept_out = m.out_channels.empty()
+                                 ? out_c
+                                 : static_cast<int>(m.out_channels.size());
+              cgi.pos_partial = pos_words > 0 && !m.positions.empty();
+              cgi.out_channels = &m.out_channels;
+            }
+            std::memcpy(work_bits, base_bits,
+                        sizeof(uint64_t) * static_cast<size_t>(groups) *
+                            static_cast<size_t>(wpg));
+            CoarsenCost cc;
+            cc.kk = static_cast<double>(g.k_h * g.k_w);
+            const double bpm = conv_bytes_per_mac(op, regime_);
+            if (bpm > 0.0) {
+              cc.pack_macs_per_elem = (int8 ? 1.0 : 4.0) / bpm;
+            }
+            cc.overhead_macs = kCoarsenOverheadMacs;
+            cc.threads = threads;
+            const CoarsenDecision dec =
+                coarsen_plan(cg, groups, ch_words, pos_words, cc,
+                             coarsen_.mac_bias, work_bits, cluster,
+                             iscratch);
+            // Zero-growth invariant: coarsening only ever REDUCES the
+            // group count, so arena_bytes(n)'s max-over-G kernel worst
+            // cases still bound the coarsened schedule.
+            AD_CHECK_LE(dec.clusters, groups);
+            op.last_coarsen_pred_before = dec.predicted_before;
+            op.last_coarsen_pred_after = dec.predicted_after;
+            if (dec.clusters < groups) {
+              op.last_coarsen_extra_macs = dec.extra_macs;
+              if (op.coarse_masks.size() <
+                  static_cast<size_t>(dec.clusters)) {
+                // Unreserved caller: grows once and converges, like the
+                // arena. reserve() pre-sizes this to n.
+                op.coarse_masks.resize(static_cast<size_t>(dec.clusters));
+              }
+              // The planner clobbered work rows past its argmin state, so
+              // multi-member clusters re-union their members' ORIGINAL
+              // rows into the root's work row.
+              int* csize = iscratch;               // member buckets
+              int* cfirst = iscratch + groups;     // root bucket index
+              int* scount = iscratch + 2 * groups; // samples per cluster
+              int* cursor = iscratch + 3 * groups;
+              for (int c = 0; c < dec.clusters; ++c) {
+                csize[c] = 0;
+                cfirst[c] = -1;
+                scount[c] = 0;
+              }
+              for (int gi = 0; gi < groups; ++gi) {
+                const int c = cluster[gi];
+                if (cfirst[c] < 0) cfirst[c] = gi;
+                ++csize[c];
+                scount[c] += cg[gi].size;
+                uint64_t* urow =
+                    work_bits + static_cast<int64_t>(cfirst[c]) * wpg;
+                const uint64_t* brow =
+                    base_bits + static_cast<int64_t>(gi) * wpg;
+                if (gi == cfirst[c]) {
+                  std::memcpy(urow, brow,
+                              sizeof(uint64_t) * static_cast<size_t>(wpg));
+                } else {
+                  core::union_bits_inplace(urow, brow, wpg);
+                }
+              }
+              // Coarsened sample partition: clusters in root-bucket order
+              // (dense ids are numbered by smallest member), members in
+              // bucket order, samples in the key-sorted order — fully
+              // deterministic.
+              c_begin[0] = 0;
+              for (int c = 0; c < dec.clusters; ++c) {
+                c_begin[c + 1] = c_begin[c] + scount[c];
+                cursor[c] = c_begin[c];
+              }
+              for (int gi = 0; gi < groups; ++gi) {
+                const int c = cluster[gi];
+                for (int i = group_begin[gi]; i < group_begin[gi + 1];
+                     ++i) {
+                  c_order[cursor[c]++] = order[i];
+                }
+              }
+              int64_t extra_ch = 0;
+              for (int gi = 0; gi < groups; ++gi) {
+                const int c = cluster[gi];
+                if (csize[c] < 2) {
+                  if (gi == cfirst[c]) {
+                    gmask_rw[c] =
+                        &masks[static_cast<size_t>(order[group_begin[gi]])];
+                  }
+                  continue;
+                }
+                const uint64_t* urow =
+                    work_bits + static_cast<int64_t>(cfirst[c]) * wpg;
+                extra_ch += static_cast<int64_t>(
+                                core::popcount_words(urow, ch_words) -
+                                cg[gi].kept_ch) *
+                            cg[gi].size;
+                if (gi != cfirst[c]) continue;
+                nn::ConvRuntimeMask& um =
+                    op.coarse_masks[static_cast<size_t>(c)];
+                core::bits_to_kept(urow, g.in_c, um.channels);
+                if (pos_words > 0) {
+                  core::bits_to_kept(urow + ch_words, pos_domain,
+                                     um.positions);
+                  // A union of PROPER position subsets that saturates the
+                  // domain must stay on the members' shift-GEMM path: keep
+                  // it as an explicit full index set instead of the
+                  // keep-all canonical form, which would switch the group
+                  // to the im2col channel path and its different (though
+                  // value-equal) accumulation order. Fits the reserved
+                  // pos_domain capacity, so no allocation once warm.
+                  if (cg[gi].pos_partial && um.positions.empty()) {
+                    um.positions.resize(static_cast<size_t>(pos_domain));
+                    std::iota(um.positions.begin(), um.positions.end(), 0);
+                  }
+                } else {
+                  um.positions.clear();
+                }
+                // Merge eligibility required equal kept out-filter sets,
+                // so the root's vector is the cluster's (copy into
+                // reserved capacity — no allocation once warm).
+                um.out_channels = *cg[gi].out_channels;
+                gmask_rw[c] = &um;
+              }
+              op.last_coarsen_extra_ch = extra_ch;
+              gmask = gmask_rw;
+              order = c_order;
+              group_begin = c_begin;
+              groups = dec.clusters;
+            }
+            ws.rewind(coarsen_mark);
+          }
           const int width = group_parallel_width(threads, groups);
           if (width >= 2) {
             // Cross-group parallel: whole groups dispatch to pool workers
@@ -427,7 +875,9 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
                       obs::PhaseScope group_span(obs::Phase::kGroup,
                                                  op_index);
                       const nn::ConvRuntimeMask& gm =
-                          masks[static_cast<size_t>(order[gb])];
+                          gmask != nullptr
+                              ? *gmask[gi]
+                              : masks[static_cast<size_t>(order[gb])];
                       const std::span<const int> gsamples(
                           order + gb, static_cast<size_t>(ge - gb));
                       if (int8 && gm.positions.empty()) {
@@ -454,7 +904,8 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
               const int ge = group_begin[gi + 1];
               obs::PhaseScope group_span(obs::Phase::kGroup, op_index);
               const nn::ConvRuntimeMask& gm =
-                  masks[static_cast<size_t>(order[gb])];
+                  gmask != nullptr ? *gmask[gi]
+                                   : masks[static_cast<size_t>(order[gb])];
               const std::span<const int> gsamples(
                   order + gb, static_cast<size_t>(ge - gb));
               if (int8 && gm.positions.empty()) {
@@ -481,6 +932,11 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
                                         bp, n, out.data(), out_floats, ws);
           }
           op.last_groups = 0;
+          op.last_groups_raw = 0;
+          op.last_coarsen_extra_macs = 0;
+          op.last_coarsen_extra_ch = 0;
+          op.last_coarsen_pred_before = 0.0;
+          op.last_coarsen_pred_after = 0.0;
         }
         if (op.fuse_bn || op.fuse_relu || res_base != nullptr) {
           const nn::FusedEpilogueParams ep = epilogue_params(op);
@@ -648,6 +1104,14 @@ std::string InferencePlan::to_string() const {
                 static_cast<long long>(pack_cache_evictions()),
                 static_cast<long long>(pack_cache_bypass()),
                 last_mask_groups());
+  os << line;
+  std::snprintf(line, sizeof(line),
+                "mask coarsening: %s (mac bias %.2f); last pass groups "
+                "%d -> %d, union-added MACs %lld (%.2f%% of executed)\n",
+                coarsen_mode_name(coarsen_.mode), coarsen_.mac_bias,
+                last_mask_groups_raw(), last_mask_groups(),
+                static_cast<long long>(last_coarsen_extra_macs()),
+                100.0 * last_coarsen_extra_mac_frac());
   os << line;
   return os.str();
 }

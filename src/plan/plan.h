@@ -103,6 +103,120 @@ enum class NumericRegime {
 
 const char* regime_name(NumericRegime regime);
 
+// --- similar-mask union coarsening ----------------------------------------
+//
+// Exact-identity grouping collapses only equal kept sets, so a
+// high-entropy batch degrades toward per-sample execution. Executing the
+// UNION of near-identical kept sets is numerically safe for hard top-k
+// gates — the union's extra channels/positions were zeroed upstream in the
+// feature map, so their contributions are exact zeros and the grouped
+// output stays bitwise identical to the module walk — and trades a few
+// extra MACs for far fewer group dispatches. Which groups to merge is a
+// LATENCY decision, not a similarity threshold: the planner simulates the
+// executor's critical-path group schedule (ceil(G/W) strided dispatch over
+// W pool workers) and merges exactly while the predicted critical path
+// improves, with per-op MAC, panel-pack (regime-aware bytes/MAC) and
+// dispatch-overhead terms.
+//
+// Merge eligibility is guarded structurally, independent of the cost
+// terms: two groups merge only if their kept OUT-FILTER sets are equal (a
+// filter kept by one sample has real weights, so a filter-union would
+// write nonzero rows the other sample's walk leaves zero) and their kept
+// channel and position sets intersect (disjoint masks never merge at any
+// budget — their union is pure duplication).
+
+enum class CoarsenMode { kOff, kAuto };
+
+const char* coarsen_mode_name(CoarsenMode mode);
+
+// Bounds of CoarsenPolicy::mac_bias (set_coarsen clamps into them).
+inline constexpr double kMinCoarsenMacBias = 0.25;
+inline constexpr double kMaxCoarsenMacBias = 4.0;
+
+struct CoarsenPolicy {
+  CoarsenMode mode = CoarsenMode::kAuto;
+  // Relative weight of the MAC term against the per-group pack+dispatch
+  // terms in the merge decision. 1.0 is the honest latency model; the
+  // serving LatencyController lowers it under budget pressure (union-added
+  // MACs look cheaper -> merge harder) and relaxes it back toward neutral
+  // when p95 sits inside the band.
+  double mac_bias = 1.0;
+};
+
+// One exact-identity bucket's summary handed to coarsen_plan. Bitsets are
+// packed little-endian (core::pack_kept_bits); keep-all components pack as
+// all-ones, so intersection/union popcounts need no special casing.
+struct CoarsenGroup {
+  int size = 0;      // samples in the bucket
+  int kept_ch = 0;   // popcount of the channel bits
+  int kept_pos = 0;  // popcount of the position bits (= the op's full
+                     // output-position count when it has no spatial domain)
+  int kept_out = 0;  // kept output filters
+  // Whether the bucket's mask carries a PROPER position subset (non-empty
+  // positions vector). Groups of different position kinds never merge:
+  // partial-position groups execute the input-stationary shift-GEMM and
+  // keep-all groups the im2col channel path, whose accumulation orders
+  // differ — one merged group can only run one of them, so a mixed merge
+  // could not stay bitwise for both members. The flag tracks the ORIGINAL
+  // kind; a union of proper subsets that saturates the domain still
+  // executes as an explicit full position set on the shift-GEMM path.
+  bool pos_partial = false;
+  // Kept out-filter index vector (merge-eligibility equality compare);
+  // never null while planning.
+  const std::vector<int>* out_channels = nullptr;
+};
+
+// Per-op constants of the coarsening latency model, all expressed in
+// MAC-equivalents so the terms compare directly with the group GEMM work.
+struct CoarsenCost {
+  double kk = 1.0;  // kernel positions (k_h * k_w)
+  // MAC-equivalents per packed panel element: the kept-filter weight panel
+  // (kept_out * kept_ch * kk elements) is gathered once per group per
+  // pass, and its cost in time is its byte traffic divided by the op's
+  // regime-aware bytes/MAC (PR 7's cost axis) — int8 panels move 4x fewer
+  // bytes, so int8 merges are driven by proportionally cheaper pack terms.
+  double pack_macs_per_elem = 0.0;
+  // Fixed per-group dispatch cost (kernel entry, parallel_for handoff,
+  // gather/scatter setup) in MAC-equivalents.
+  double overhead_macs = 0.0;
+  int threads = 1;  // process compute threads (caller + pool)
+};
+
+struct CoarsenDecision {
+  int clusters = 0;  // final group count (== ngroups when nothing merged)
+  // Predicted critical-path cost (MAC-equivalents) of the exact-identity
+  // schedule and of the adopted merged schedule.
+  double predicted_before = 0.0;
+  double predicted_after = 0.0;
+  // Union-added MACs per pass of the adopted schedule vs exact-identity
+  // buckets (model count: kept_out * kept_ch * kk * kept_pos per sample).
+  int64_t extra_macs = 0;
+};
+
+// Integer scratch ints coarsen_plan needs for `ngroups` buckets.
+inline constexpr int coarsen_iscratch_ints(int ngroups) {
+  return 5 * ngroups;
+}
+
+// Agglomerative latency-aware merge planner over one op's exact-identity
+// buckets. `bits` is the groups' packed-bitset slab — ngroups rows of
+// (ch_words + pos_words) u64 each, channel words first — and is CLOBBERED
+// (rows accumulate unions while the chain runs). The chain greedily merges
+// the eligible pair with the cheapest union-added MAC cost all the way
+// down, evaluating the executor's exact strided critical path at every
+// state, and adopts the argmin state — a single merge often cannot shrink
+// ceil(G/W), so the win only appears several merges later (8 -> 7 groups
+// at W=4 changes nothing; 8 -> 4 halves the rounds).
+//
+// `cluster` receives ngroups entries: cluster[i] = final group of bucket
+// i, ids dense and numbered by smallest member index (the executor's
+// deterministic group order). `iscratch` holds
+// coarsen_iscratch_ints(ngroups) ints. Heap-allocation-free.
+CoarsenDecision coarsen_plan(const CoarsenGroup* groups, int ngroups,
+                             int ch_words, int pos_words,
+                             const CoarsenCost& cost, double mac_bias,
+                             uint64_t* bits, int* cluster, int* iscratch);
+
 // Scalar element count of a (per-sample) shape — shared by the compiler's
 // buffer sizing and the executor's pointer arithmetic.
 inline int64_t shape_floats(const Shape& s) {
@@ -171,11 +285,32 @@ struct PlanOp {
   // from them into pack_cache.
   nn::Int8ConvWeights int8_w;
 
+  // Per-pass union-mask storage for coarsened groups: cluster c of a
+  // coarsened pass materializes its union kept sets into coarse_masks[c].
+  // reserve() pre-sizes the vectors' capacities for the op's full domains
+  // so a warm coarsened pass stays heap-allocation-free; unreserved
+  // callers grow lazily on the first coarsened pass and converge, like
+  // the arena.
+  std::vector<nn::ConvRuntimeMask> coarse_masks;
+
   // --- introspection ---
   int64_t dense_macs = 0;  // per sample
   int64_t last_macs = 0;   // whole batch, most recent run
-  // Distinct-mask group count of the most recent run (0 = ran dense).
+  // EXECUTED group count of the most recent run (post-coarsening;
+  // 0 = ran dense).
   int last_groups = 0;
+  // Exact-identity bucket count of the most recent run, before any
+  // coarsening (== last_groups when coarsening is off or declined).
+  int last_groups_raw = 0;
+  // Most recent coarsening decision: union-added MACs of the adopted
+  // schedule (model count, 0 when nothing merged), total extra kept
+  // channels summed over samples (union kept_ch minus the sample's own),
+  // and the planner's predicted critical-path costs (MAC-equivalents)
+  // before/after merging.
+  int64_t last_coarsen_extra_macs = 0;
+  int64_t last_coarsen_extra_ch = 0;
+  double last_coarsen_pred_before = 0.0;
+  double last_coarsen_pred_after = 0.0;
   // Smoothed RAW measured step time (per batch). The cost model pairs it
   // with ewma_units below: predicted time at hypothetical conditions is
   // ewma_ms * hypothetical_units / ewma_units. Time and units are
@@ -267,6 +402,16 @@ class InferencePlan {
   void set_regime(NumericRegime regime);
   NumericRegime regime() const { return regime_; }
 
+  // Installs the similar-mask union coarsening policy (mac_bias clamped
+  // to [kMinCoarsenMacBias, kMaxCoarsenMacBias]). Safe at any time — the
+  // policy only gates the per-pass merge decision, never the arena
+  // footprint: arena_bytes(n) accounts the coarsening scratch
+  // unconditionally, and coarsening only ever REDUCES the executed group
+  // count, so the existing max-over-G kernel-scratch worst cases still
+  // bound every coarsened schedule.
+  void set_coarsen(CoarsenPolicy policy);
+  const CoarsenPolicy& coarsen() const { return coarsen_; }
+
   const std::vector<PlanOp>& ops() const { return ops_; }
   const std::vector<PlanBuffer>& buffers() const { return buffers_; }
   int64_t activation_floats_per_sample() const { return act_floats_; }
@@ -276,10 +421,20 @@ class InferencePlan {
   int64_t last_macs() const;
   int64_t dense_macs_per_sample() const;
 
-  // Distinct-mask group count of the most recent run: the max over masked
-  // conv steps of how many compacted GEMM groups the batch quantized
-  // into (0 when the last run executed fully dense).
+  // Executed mask-group count of the most recent run: the max over masked
+  // conv steps of how many compacted GEMM groups actually dispatched,
+  // AFTER union coarsening (0 when the last run executed fully dense).
   int last_mask_groups() const;
+  // Exact-identity bucket count of the most recent run, before coarsening
+  // (== last_mask_groups() when coarsening is off or declined every merge).
+  int last_mask_groups_raw() const;
+  // Union-added MACs of the most recent run, summed over masked conv
+  // steps (model count; 0 when nothing merged).
+  int64_t last_coarsen_extra_macs() const;
+  // Those extra MACs as a fraction of the run's executed MACs — the
+  // extra-arithmetic overhead the coarsened schedule accepted in exchange
+  // for fewer group dispatches.
+  double last_coarsen_extra_mac_frac() const;
   // Cumulative kept-filter weight-panel cache hits/misses over all conv
   // steps (static filter masks hit 100% after their first pack). Safe to
   // read while workers execute: the counters are relaxed atomics.
@@ -312,6 +467,7 @@ class InferencePlan {
   int input_buffer_ = 0;
   int output_buffer_ = -1;
   NumericRegime regime_ = NumericRegime::kF32;
+  CoarsenPolicy coarsen_;
   int64_t act_floats_ = 0;  // per-sample high water of planned offsets
 
   // Per-sample float count of every gate output allocated before each op

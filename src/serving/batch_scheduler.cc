@@ -141,6 +141,20 @@ void BatchScheduler::run_batch(ModelReplica& replica,
   if (replica.engine() != nullptr) {
     replica.engine()->apply_pending_settings();
   }
+  // Same for the controller's coarsening pressure: the MAC bias reaches
+  // the replica's plan through the sticky model policy (so it survives
+  // recompiles), unless the operator turned coarsening off for this
+  // replica. Cheap per batch — one mutexed read and an idempotent store.
+  if (controller_ != nullptr) {
+    // plan == nullptr only before the first batch compiles it; skip then
+    // rather than guess the mode and stomp an operator's --coarsen=off.
+    const plan::InferencePlan* plan = replica.plan();
+    if (plan != nullptr &&
+        plan->coarsen().mode == plan::CoarsenMode::kAuto) {
+      replica.net().set_coarsen_policy(
+          {plan::CoarsenMode::kAuto, controller_->coarsen_mac_bias()});
+    }
+  }
 
   WallTimer assemble_timer;
   const Shape& sample_shape = batch[0].input.shape();
@@ -210,6 +224,11 @@ void BatchScheduler::run_batch(ModelReplica& replica,
     // batch actually realized.
     if (const int groups = plan->last_mask_groups(); groups > 0) {
       stats_->record_mask_groups(groups, n);
+      // Coarsening outcome of the same pass: how many exact-identity
+      // buckets the union merges collapsed, and the extra-MAC overhead
+      // the merged schedule accepted for it.
+      stats_->record_coarsen(plan->last_mask_groups_raw(), groups,
+                             plan->last_coarsen_extra_mac_frac());
     }
   }
 

@@ -122,7 +122,19 @@ bool LatencyController::record_batch(
   window_.clear();
 
   const float before = offset_;
+  const double bias_before = coarsen_mac_bias_;
   const double target = config_.target_p95_ms;
+  // Coarsening pressure moves with the same window decision as the drop
+  // offset: over budget, lower the MAC bias so union-added MACs look
+  // cheaper to the plan's coarsener (merge harder, fewer group
+  // dispatches); comfortably under, relax back toward the neutral 1.0.
+  // The bias never exceeds neutral — above 1.0 it would veto merges the
+  // honest latency model already predicts as wins.
+  if (last_window_p95_ms_ > target) {
+    coarsen_mac_bias_ = std::max(0.25, coarsen_mac_bias_ * 0.75);
+  } else if (last_window_p95_ms_ < config_.low_watermark * target) {
+    coarsen_mac_bias_ = std::min(1.0, coarsen_mac_bias_ / 0.75);
+  }
   if (last_window_p95_ms_ > target ||
       last_window_p95_ms_ < config_.low_watermark * target) {
     const double predicted =
@@ -140,7 +152,12 @@ bool LatencyController::record_batch(
     }
     offset_ = std::clamp(offset_, config_.min_offset, config_.max_offset);
   }
-  return offset_ != before;
+  return offset_ != before || coarsen_mac_bias_ != bias_before;
+}
+
+double LatencyController::coarsen_mac_bias() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return coarsen_mac_bias_;
 }
 
 core::PruneSettings LatencyController::settings() const {

@@ -115,6 +115,16 @@ class LatencyController {
   // Current target settings (base + offset, clamped). Thread-safe copy.
   core::PruneSettings settings() const;
   float offset() const;
+  // Mask-coarsening MAC bias the controller is currently asking for, in
+  // (0, 1]: 1.0 is the plan's honest latency model; under budget pressure
+  // the controller lowers it multiplicatively (union-added MACs look
+  // cheaper, so the plan's coarsener merges similar mask groups harder)
+  // and relaxes it back toward neutral while p95 sits under the low
+  // watermark. The scheduler posts it to every replica plan alongside the
+  // drop settings whenever record_batch reports a change, keeping the
+  // plan-side merge decisions and the controller's cost-model group term
+  // moving in the same direction.
+  double coarsen_mac_bias() const;
   // p95 of the most recently completed window (0 until one completes).
   double p95_ms() const;
   // Exponentially smoothed p95 across windows — the steadier figure to
@@ -146,6 +156,7 @@ class LatencyController {
   mutable std::mutex mutex_;
   CostModel cost_model_;
   float offset_ = 0.f;
+  double coarsen_mac_bias_ = 1.0;
   double last_window_p95_ms_ = 0.0;
   double smoothed_p95_ms_ = 0.0;
   std::vector<double> window_;

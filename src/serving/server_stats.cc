@@ -60,6 +60,18 @@ void ServerStats::record_mask_groups(int groups, int batch_size) {
       static_cast<double>(groups) / static_cast<double>(batch_size);
 }
 
+void ServerStats::record_coarsen(int raw_groups, int groups,
+                                 double extra_mac_frac) {
+  AD_CHECK(groups >= 1 && groups <= raw_groups)
+      << " coarsened groups " << groups << " vs raw " << raw_groups;
+  std::lock_guard<std::mutex> lock(mutex_);
+  coarsen_batches_ += 1;
+  if (raw_groups > groups) coarsen_merged_ += 1;
+  raw_group_sum_ += static_cast<double>(raw_groups);
+  coarsened_group_sum_ += static_cast<double>(groups);
+  coarsen_extra_mac_sum_ += extra_mac_frac;
+}
+
 ServerStats::Snapshot ServerStats::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Snapshot s;
@@ -102,6 +114,13 @@ ServerStats::Snapshot ServerStats::snapshot() const {
     s.mean_mask_groups = mask_group_sum_ / masked_batches_;
     s.mean_group_fraction = group_fraction_sum_ / masked_batches_;
   }
+  s.coarsened_batches = coarsen_merged_;
+  if (coarsen_batches_ > 0) {
+    s.mean_raw_mask_groups = raw_group_sum_ / coarsen_batches_;
+    s.mean_coarsened_groups = coarsened_group_sum_ / coarsen_batches_;
+    s.mean_coarsen_extra_mac_pct =
+        100.0 * coarsen_extra_mac_sum_ / coarsen_batches_;
+  }
   s.batch_size_histogram = histogram_;
   return s;
 }
@@ -116,6 +135,8 @@ void ServerStats::reset() {
       scatter_ms_sum_ = 0.0;
   masked_batches_ = 0;
   mask_group_sum_ = group_fraction_sum_ = 0.0;
+  coarsen_batches_ = coarsen_merged_ = 0;
+  raw_group_sum_ = coarsened_group_sum_ = coarsen_extra_mac_sum_ = 0.0;
   histogram_.assign(histogram_.size(), 0);
   queue_wait_hist_.reset();
   forward_hist_.reset();
@@ -159,6 +180,13 @@ Table ServerStats::to_table() const {
     t.add_row({"mean mask groups / batch", Table::fmt(s.mean_mask_groups, 2)});
     t.add_row(
         {"mean mask group fraction", Table::fmt(s.mean_group_fraction, 3)});
+    t.add_row({"coarsened batches (merged)",
+               std::to_string(s.coarsened_batches)});
+    t.add_row({"mean groups raw -> coarsened",
+               Table::fmt(s.mean_raw_mask_groups, 2) + " -> " +
+                   Table::fmt(s.mean_coarsened_groups, 2)});
+    t.add_row({"mean coarsen extra-MAC overhead",
+               Table::fmt(s.mean_coarsen_extra_mac_pct, 2) + "%"});
   }
   for (size_t i = 0; i < s.batch_size_histogram.size(); ++i) {
     if (s.batch_size_histogram[i] == 0) continue;

@@ -42,6 +42,13 @@ class ServerStats {
   // per-sample masks quantized into. Workers skip the call for batches
   // that ran fully dense.
   void record_mask_groups(int groups, int batch_size);
+  // One masked batch's union-coarsening outcome: exact-identity bucket
+  // count before merging (the plan's last_mask_groups_raw), executed group
+  // count after, and the union-added MACs as a fraction of the batch's
+  // executed MACs. Workers call it alongside record_mask_groups; batches
+  // where coarsening was off or declined report raw == coarsened and a
+  // zero overhead fraction.
+  void record_coarsen(int raw_groups, int groups, double extra_mac_frac);
 
   struct Snapshot {
     uint64_t completed_requests = 0;
@@ -76,6 +83,15 @@ class ServerStats {
     uint64_t masked_batches = 0;
     double mean_mask_groups = 0.0;
     double mean_group_fraction = 0.0;
+    // Similar-mask union coarsening, over the masked batches that reported
+    // a coarsening outcome: batches where merges actually happened, the
+    // mean pre-merge (exact-identity) group count, the mean post-merge
+    // executed group count, and the mean union-added MAC overhead as a
+    // percentage of executed MACs.
+    uint64_t coarsened_batches = 0;
+    double mean_raw_mask_groups = 0.0;
+    double mean_coarsened_groups = 0.0;
+    double mean_coarsen_extra_mac_pct = 0.0;
     // histogram[i] = number of batches of size i+1.
     std::vector<uint64_t> batch_size_histogram;
   };
@@ -105,6 +121,11 @@ class ServerStats {
   uint64_t masked_batches_ = 0;
   double mask_group_sum_ = 0.0;
   double group_fraction_sum_ = 0.0;
+  uint64_t coarsen_batches_ = 0;    // masked batches reporting an outcome
+  uint64_t coarsen_merged_ = 0;     // of those, batches with raw > groups
+  double raw_group_sum_ = 0.0;
+  double coarsened_group_sum_ = 0.0;
+  double coarsen_extra_mac_sum_ = 0.0;
   std::vector<uint64_t> histogram_;
   // Lock-free latency distributions (recorded outside mutex_).
   obs::LatencyHistogram queue_wait_hist_;

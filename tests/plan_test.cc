@@ -88,6 +88,10 @@ TEST(InferencePlan, MaskedExecutionThroughFusedStepsMatchesModuleWalk) {
         *net, core::PruneSettings::uniform(net->num_blocks(), 0.4f, 0.3f));
     Rng rng(5);
     Tensor x = Tensor::randn({3, 3, c.image, c.image}, rng);
+    // Exact-identity contract below (same masks => same MAC count as
+    // the module walk): pin union coarsening off, which deliberately
+    // executes superset MACs (covered by tests/coarsen_test.cc).
+    net->set_coarsen_policy({plan::CoarsenMode::kOff, 1.0});
 
     const Tensor plain = net->forward(x);
     const int64_t module_macs = net->last_macs();
@@ -176,6 +180,8 @@ TEST(InferencePlan, MaskGroupedExecutionMatchesModuleWalk) {
         *net, core::PruneSettings::uniform(net->num_blocks(), 0.4f, 0.3f));
     Rng rng(23);
     Tensor x = duplicated_batch(batch, distinct, c.image, rng);
+    // Same-MACs assertion: exact-identity grouping only (see above).
+    net->set_coarsen_policy({plan::CoarsenMode::kOff, 1.0});
 
     const Tensor plain = net->forward(x);
     const int64_t module_macs = net->last_macs();

@@ -9,6 +9,7 @@
 #include "models/small_cnn.h"
 #include "nn/execution_context.h"
 #include "nn/init.h"
+#include "plan/plan.h"
 #include "tensor/gemm.h"
 #include "tensor/workspace.h"
 
@@ -139,6 +140,11 @@ TEST(ExecutionContext, MaskedForwardBitwiseMatchesPlain) {
       core::PruneSettings::uniform(net->num_blocks(), 0.4f, 0.3f);
   core::DynamicPruningEngine engine(*net, settings);
   Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  // This test pins the EXACT-identity contract (same masks executed =>
+  // same MAC count as the module walk); union coarsening deliberately
+  // executes superset MACs and has its own parity coverage in
+  // tests/coarsen_test.cc.
+  net->set_coarsen_policy({plan::CoarsenMode::kOff, 1.0});
 
   Tensor plain = net->forward(x);
   const int64_t plain_macs = net->last_macs();

@@ -112,6 +112,22 @@ plan::NumericRegime regime_from_flags(const FlagSet& flags) {
   return plan::NumericRegime::kF32;
 }
 
+void add_coarsen_flag(FlagSet& flags) {
+  flags.add_string("coarsen", "auto",
+                   "similar-mask union coarsening: off | auto (auto merges "
+                   "near-identical mask groups into union supersets when "
+                   "the plan's latency model predicts a win; output stays "
+                   "bitwise identical)");
+}
+
+plan::CoarsenPolicy coarsen_from_flags(const FlagSet& flags) {
+  const std::string c = flags.get_string("coarsen");
+  if (c == "off") return {plan::CoarsenMode::kOff, 1.0};
+  if (c == "auto") return {plan::CoarsenMode::kAuto, 1.0};
+  AD_CHECK(false) << " --coarsen must be off|auto, got " << c;
+  return {};
+}
+
 core::TrainConfig train_config(const FlagSet& flags) {
   core::TrainConfig tc;
   tc.epochs = flags.get_int("epochs");
@@ -228,6 +244,7 @@ int cmd_eval(const std::vector<std::string>& args) {
   add_common_flags(flags);
   add_prune_flags(flags);
   add_quantize_flag(flags);
+  add_coarsen_flag(flags);
   flags.add_string("ckpt", "", "checkpoint to evaluate (required)");
   flags.parse(args);
   if (flags.help_requested()) {
@@ -239,6 +256,7 @@ int cmd_eval(const std::vector<std::string>& args) {
   auto net = make_net(flags);
   nn::load_checkpoint(*net, flags.get_string("ckpt"));
   net->set_numeric_regime(regime_from_flags(flags));
+  net->set_coarsen_policy(coarsen_from_flags(flags));
   const int size = flags.get_int("image-size");
   const int64_t dense =
       models::measure_dense_flops(*net, 3, size, size).total_macs;
@@ -447,6 +465,83 @@ void print_profile_report(const plan::InferencePlan& plan, int passes) {
       static_cast<long long>(plan.pack_cache_bypass()));
 }
 
+// Per-op union-coarsening decisions of the plan's most recent pass, plus a
+// measured off-vs-auto comparison (the "predicted vs measured merge win"
+// line): the same batch is re-run under exact-identity grouping and under
+// coarsening, timed whole-forward, so the planner's critical-path
+// prediction can be checked against a realized number.
+void print_coarsen_report(models::ConvNet& net, plan::InferencePlan& plan,
+                          int image_size, int batch, int distinct,
+                          int passes, uint64_t seed) {
+  const plan::CoarsenPolicy policy = plan.coarsen();
+  std::printf("\nmask coarsening: %s (mac bias %.2f), last pass groups "
+              "%d -> %d, union-added MACs %lld (%.2f%% of executed)\n",
+              plan::coarsen_mode_name(policy.mode), policy.mac_bias,
+              plan.last_mask_groups_raw(), plan.last_mask_groups(),
+              static_cast<long long>(plan.last_coarsen_extra_macs()),
+              100.0 * plan.last_coarsen_extra_mac_frac());
+  std::printf("%-4s %-18s %12s %9s %12s %22s %8s\n", "#", "name",
+              "groups", "extra_ch", "extra_MACs", "predicted_cost",
+              "pred_win");
+  for (size_t i = 0; i < plan.ops().size(); ++i) {
+    const plan::PlanOp& op = plan.ops()[i];
+    if (op.last_groups_raw <= 0) continue;
+    char groups_col[24], pred_col[32], win_col[16];
+    std::snprintf(groups_col, sizeof(groups_col), "%d -> %d",
+                  op.last_groups_raw, op.last_groups);
+    std::snprintf(pred_col, sizeof(pred_col), "%.3g -> %.3g",
+                  op.last_coarsen_pred_before, op.last_coarsen_pred_after);
+    if (op.last_coarsen_pred_after > 0.0) {
+      std::snprintf(win_col, sizeof(win_col), "%.2fx",
+                    op.last_coarsen_pred_before /
+                        op.last_coarsen_pred_after);
+    } else {
+      std::snprintf(win_col, sizeof(win_col), "-");
+    }
+    std::printf("%-4zu %-18s %12s %9lld %12lld %22s %8s\n", i,
+                op.name.c_str(), groups_col,
+                static_cast<long long>(op.last_coarsen_extra_ch),
+                static_cast<long long>(op.last_coarsen_extra_macs),
+                pred_col, win_col);
+  }
+  if (policy.mode != plan::CoarsenMode::kAuto) return;
+
+  // Measured merge win: the same duplicated batch, timed whole-forward
+  // under exact-identity grouping and under coarsening (warm arena, one
+  // warm-up pass per mode).
+  Rng rng(seed * 31 + 11);
+  AD_CHECK_GT(distinct, 0);
+  Tensor uniq = Tensor::randn({distinct, 3, image_size, image_size}, rng);
+  Tensor x({batch, 3, image_size, image_size});
+  const int64_t sample = uniq.size() / distinct;
+  for (int i = 0; i < batch; ++i) {
+    std::memcpy(x.data() + i * sample, uniq.data() + (i % distinct) * sample,
+                static_cast<size_t>(sample) * sizeof(float));
+  }
+  nn::ExecutionContext ctx;
+  plan.reserve(ctx.workspace(), batch);
+  const auto timed = [&](plan::CoarsenMode mode) {
+    net.set_coarsen_policy({mode, policy.mac_bias});
+    const auto run_pass = [&] {
+      ctx.begin_pass();
+      Tensor staged = ctx.alloc(x.shape());
+      std::memcpy(staged.data(), x.data(),
+                  static_cast<size_t>(x.size()) * sizeof(float));
+      net.forward(staged, ctx);
+    };
+    run_pass();  // warm-up under this mode
+    WallTimer timer;
+    for (int p = 0; p < std::max(1, passes); ++p) run_pass();
+    return timer.millis() / std::max(1, passes);
+  };
+  const double off_ms = timed(plan::CoarsenMode::kOff);
+  const double auto_ms = timed(plan::CoarsenMode::kAuto);
+  net.set_coarsen_policy(policy);
+  std::printf("measured: exact-identity %.3f ms/pass vs coarsened %.3f "
+              "ms/pass (%.2fx win)\n",
+              off_ms, auto_ms, auto_ms > 0.0 ? off_ms / auto_ms : 0.0);
+}
+
 // Records phase spans over a few plan passes and writes them as Chrome
 // trace-event JSON (chrome://tracing, ui.perfetto.dev). Each trace slot is
 // one thread lane, so cross-group parallelism — several `group` spans
@@ -525,6 +620,7 @@ int cmd_plan_dump(const std::vector<std::string>& args) {
   add_common_flags(flags);
   add_prune_flags(flags);
   add_quantize_flag(flags);
+  add_coarsen_flag(flags);
   add_trace_flags(flags);
   flags.add_string("ckpt", "", "checkpoint to load first (optional)");
   flags.add_bool("profile", false,
@@ -558,6 +654,7 @@ int cmd_plan_dump(const std::vector<std::string>& args) {
   }
   net->set_training(false);
   net->set_numeric_regime(regime_from_flags(flags));
+  net->set_coarsen_policy(coarsen_from_flags(flags));
   const int size = flags.get_int("image-size");
   plan::InferencePlan& plan = net->inference_plan(3, size, size);
   std::cout << net->model_name() << " @ 3x" << size << "x" << size
@@ -593,6 +690,10 @@ int cmd_plan_dump(const std::vector<std::string>& args) {
         "perf_event_paranoid > 2?); timing columns only\n");
   }
   print_profile_report(plan, passes);
+  if (engine != nullptr) {
+    print_coarsen_report(*net, plan, size, batch, flags.get_int("distinct"),
+                         passes, static_cast<uint64_t>(flags.get_int("seed")));
+  }
   return 0;
 }
 
@@ -605,6 +706,7 @@ int cmd_serve_bench(const std::vector<std::string>& args) {
   add_common_flags(flags);
   add_prune_flags(flags);
   add_quantize_flag(flags);
+  add_coarsen_flag(flags);
   flags.add_string("ckpt", "", "checkpoint loaded into every replica "
                    "(optional; random init otherwise)");
   flags.add_int("workers", 1, "batch workers (one model replica each)");
@@ -664,15 +766,19 @@ int cmd_serve_bench(const std::vector<std::string>& args) {
   }
 
   const plan::NumericRegime regime = regime_from_flags(flags);
+  const plan::CoarsenPolicy coarsen = coarsen_from_flags(flags);
   serving::InferenceServer server(
       [&](int replica) {
         Rng rng(seed);  // same seed: every replica gets the same weights
         auto net = models::make_model(model, num_classes, width, rng);
         if (!ckpt.empty()) nn::load_checkpoint(*net, ckpt);
-        // Replicas compile their plans lazily per shape; the regime set
-        // here applies to every one of them, so quantized serving never
-        // executes an f32 conv pass first.
+        // Replicas compile their plans lazily per shape; the regime and
+        // coarsening policy set here apply to every one of them, so
+        // quantized serving never executes an f32 conv pass first and
+        // --coarsen=off replicas are never coarsened (the scheduler
+        // respects the off mode when posting controller bias).
         net->set_numeric_regime(regime);
+        net->set_coarsen_policy(coarsen);
         (void)replica;
         return net;
       },
