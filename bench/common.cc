@@ -51,8 +51,13 @@ ScaleConfig resolve_scale(BenchScale scale, const std::string& family) {
       cfg.batch_size = 128;
       cfg.eval_batch = 128;
       cfg.calibration_batches = 10;
+      // Paper-scale ImageNet100 means real 224x224 inputs, not the 64x64
+      // reduced-scale substitute (spatially-tiled lowering keeps the
+      // arena bounded there).
+      if (imagenet) cfg.resolution = 224;
       break;
   }
+  cfg.resolution = env_int("ANTIDOTE_BENCH_RESOLUTION", cfg.resolution);
   return cfg;
 }
 
@@ -81,6 +86,13 @@ data::DatasetPair load_dataset(const std::string& which,
     AD_LOG(Info) << "scale substitution: " << spec.name << " capped to "
                  << scale.max_classes << " classes (per-class sample budget)";
     spec.num_classes = scale.max_classes;
+  }
+  if (scale.resolution > 0 && (spec.height != scale.resolution ||
+                               spec.width != scale.resolution)) {
+    AD_LOG(Info) << "resolution override: " << spec.name << " synthesized at "
+                 << scale.resolution << "x" << scale.resolution;
+    spec.height = scale.resolution;
+    spec.width = scale.resolution;
   }
   spec.train_size = scale.train_size;
   spec.test_size = scale.test_size;

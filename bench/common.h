@@ -49,6 +49,11 @@ struct ScaleConfig {
   // per-class sample budget stays learnable (0 = no cap). Documented as
   // part of the scaling substitution in EXPERIMENTS.md.
   int max_classes = 0;
+  // Synthetic image side length override (0 = dataset default). The
+  // imagenet family resolves to 224 at full scale — the paper's actual
+  // input size — instead of the reduced-scale substitute; any family can
+  // be forced via ANTIDOTE_BENCH_RESOLUTION.
+  int resolution = 0;
   bool using_real_data = false;
 };
 

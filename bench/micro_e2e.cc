@@ -961,6 +961,187 @@ TracingReport verify_tracing() {
   return r;
 }
 
+// --- resolution sweep: spatially-tiled lowering gate -------------------------
+//
+// small_cnn forwards at 32..224 px (batch 2), --tile=auto vs --tile=off.
+// Gated:
+//   * tiled f32 logits stay BITWISE identical to untiled at every
+//     resolution — tiling splits independent output columns only, and
+//     each column's accumulation order is unchanged;
+//   * warm tiled passes perform zero arena growths (the tile-aware
+//     arena_bytes sizing is exact at 224x224 too);
+//   * the tiled arena grows SUB-LINEARLY in output positions: the
+//     32->224 arena ratio must stay under half the position ratio
+//     (49x positions; measured ~13x arena, the residual being the
+//     activations themselves);
+//   * on a real pool (>= 4 threads on >= 4 physical cores) tiled beats
+//     untiled at 224 by >= 1.2x — cache-resident column panels instead
+//     of a ~30 MB im2col round trip — and costs <= 1.05x at 32, where
+//     auto declines to tile and the code path is identical (the budget
+//     only covers timer noise). Timing gates self-skip on small or
+//     oversubscribed hosts; parity, growth and arena gates always run.
+constexpr double kTiledSpeedupFloor = 1.2;
+constexpr double kTiledLowResBudget = 1.05;
+constexpr double kTiledSublinearFactor = 0.5;
+
+struct ResolutionPoint {
+  int resolution = 0;
+  int64_t positions = 0;  // resolution^2: small_cnn convs preserve the grid
+  size_t tiled_arena = 0;
+  size_t untiled_arena = 0;
+  int64_t max_tile = 0;    // widest tile chosen by auto (0 = declined)
+  double tiled_ms = 0.0;   // 0 when the point is untimed
+  double untiled_ms = 0.0;
+  int64_t warm_growths = 0;
+  bool bitwise = false;
+};
+
+ResolutionPoint measure_resolution(int res, bool timed) {
+  ResolutionPoint p;
+  p.resolution = res;
+  p.positions = static_cast<int64_t>(res) * res;
+  const int batch = 2;
+  const int reps = res >= 128 ? 5 : 20;
+  Rng rng(21);
+  Tensor x = Tensor::randn({batch, 3, res, res}, rng);
+
+  // Min-of-reps: robust against scheduler noise, which matters for the
+  // tight 1.05x no-regression budget at 32 px.
+  auto min_ms = [&](auto&& run) {
+    double best = 0.0;
+    for (int i = 0; i < reps; ++i) {
+      WallTimer timer;
+      run();
+      const double ms = timer.millis();
+      if (i == 0 || ms < best) best = ms;
+    }
+    return best;
+  };
+
+  std::vector<float> ref;
+  {
+    auto net = build("small_cnn");
+    net->set_tile_policy({plan::TileMode::kOff, 0});
+    nn::ExecutionContext ctx;
+    plan::InferencePlan& plan = net->inference_plan(3, res, res);
+    p.untiled_arena = plan.arena_bytes(batch);
+    plan.reserve(ctx.workspace(), batch);
+    auto run_pass = [&] {
+      ctx.begin_pass();
+      Tensor staged = ctx.alloc(x.shape());
+      std::memcpy(staged.data(), x.data(),
+                  static_cast<size_t>(x.size()) * sizeof(float));
+      return net->forward(staged, ctx);
+    };
+    Tensor y = run_pass();
+    ref.assign(y.data(), y.data() + y.size());
+    if (timed) {
+      run_pass();  // warm
+      p.untiled_ms = min_ms([&] {
+        Tensor z = run_pass();
+        benchmark::DoNotOptimize(z.data());
+      });
+    }
+  }
+  {
+    auto net = build("small_cnn");
+    net->set_tile_policy({plan::TileMode::kAuto, 0});
+    nn::ExecutionContext ctx;
+    plan::InferencePlan& plan = net->inference_plan(3, res, res);
+    p.tiled_arena = plan.arena_bytes(batch);
+    for (const plan::PlanOp& op : plan.ops()) {
+      p.max_tile = std::max<int64_t>(p.max_tile, op.tile_pos);
+    }
+    plan.reserve(ctx.workspace(), batch);
+    auto run_pass = [&] {
+      ctx.begin_pass();
+      Tensor staged = ctx.alloc(x.shape());
+      std::memcpy(staged.data(), x.data(),
+                  static_cast<size_t>(x.size()) * sizeof(float));
+      return net->forward(staged, ctx);
+    };
+    Tensor y = run_pass();
+    p.bitwise = static_cast<size_t>(y.size()) == ref.size() &&
+                std::memcmp(ref.data(), y.data(),
+                            ref.size() * sizeof(float)) == 0;
+    run_pass();  // warm
+    const int64_t grows = ctx.workspace().grow_count();
+    if (timed) {
+      p.tiled_ms = min_ms([&] {
+        Tensor z = run_pass();
+        benchmark::DoNotOptimize(z.data());
+      });
+    } else {
+      run_pass();
+    }
+    p.warm_growths = ctx.workspace().grow_count() - grows;
+  }
+  return p;
+}
+
+struct ResolutionSweepReport {
+  std::vector<ResolutionPoint> points;
+  double position_ratio = 0.0;  // 224 vs 32
+  double arena_ratio = 0.0;     // tiled arena, 224 vs 32
+  double speedup_224 = 0.0;     // untiled / tiled
+  double low_res_ratio = 0.0;   // tiled / untiled at 32
+  bool gate_enforced = false;
+  bool pass = false;
+};
+
+ResolutionSweepReport verify_resolution_sweep() {
+  ResolutionSweepReport r;
+  for (int res : {32, 64, 128, 224}) {
+    r.points.push_back(measure_resolution(res, res == 32 || res == 224));
+  }
+  const ResolutionPoint& lo = r.points.front();
+  const ResolutionPoint& hi = r.points.back();
+  r.position_ratio =
+      static_cast<double>(hi.positions) / static_cast<double>(lo.positions);
+  r.arena_ratio = static_cast<double>(hi.tiled_arena) /
+                  static_cast<double>(std::max<size_t>(1, lo.tiled_arena));
+  r.speedup_224 = hi.tiled_ms > 0.0 ? hi.untiled_ms / hi.tiled_ms : 0.0;
+  r.low_res_ratio = lo.untiled_ms > 0.0 ? lo.tiled_ms / lo.untiled_ms : 0.0;
+
+  bool bitwise = true;
+  int64_t growths = 0;
+  for (const ResolutionPoint& p : r.points) {
+    bitwise &= p.bitwise;
+    growths += p.warm_growths;
+    std::printf(
+        "resolution %3d: arena tiled %zu B vs untiled %zu B, max tile "
+        "%lld, bitwise %s, warm growths %lld%s\n",
+        p.resolution, p.tiled_arena, p.untiled_arena,
+        static_cast<long long>(p.max_tile), p.bitwise ? "yes" : "NO",
+        static_cast<long long>(p.warm_growths),
+        p.tiled_ms > 0.0
+            ? (", untiled " + std::to_string(p.untiled_ms) + " ms vs tiled " +
+               std::to_string(p.tiled_ms) + " ms")
+                  .c_str()
+            : "");
+  }
+  const bool tiled_at_224 = hi.max_tile > 0;
+  const bool sublinear =
+      r.arena_ratio <= kTiledSublinearFactor * r.position_ratio;
+  const int threads = 1 + antidote::global_pool().size();
+  const int cores = static_cast<int>(std::thread::hardware_concurrency());
+  r.gate_enforced = threads >= 4 && cores >= threads;
+  const bool timing_ok = !r.gate_enforced ||
+                         (r.speedup_224 >= kTiledSpeedupFloor &&
+                          r.low_res_ratio <= kTiledLowResBudget);
+  r.pass = bitwise && growths == 0 && tiled_at_224 && sublinear && timing_ok;
+  std::printf(
+      "resolution sweep small_cnn: 32->224 positions %.0fx, tiled arena "
+      "%.1fx (sub-linear budget %.1fx), 224 speedup %.2fx (floor %.2f), "
+      "32 ratio %.3f (budget %.2f)%s -> %s\n",
+      r.position_ratio, r.arena_ratio,
+      kTiledSublinearFactor * r.position_ratio, r.speedup_224,
+      kTiledSpeedupFloor, r.low_res_ratio, kTiledLowResBudget,
+      r.gate_enforced ? "" : " (timing skipped: <4 threads or oversubscribed)",
+      r.pass ? "PASSED" : "FAILED");
+  return r;
+}
+
 // --- serving latency-distribution smoke -------------------------------------
 //
 // A small in-process InferenceServer run whose percentile snapshot rides
@@ -1068,6 +1249,10 @@ bool run_plan_verification(const char* json_path) {
   std::printf("--- tracing-enabled hot path ---\n");
   const TracingReport tracing = verify_tracing();
   ok &= tracing.pass;
+
+  std::printf("--- resolution sweep (spatially-tiled lowering) ---\n");
+  const ResolutionSweepReport sweep = verify_resolution_sweep();
+  ok &= sweep.pass;
 
   // Written to a temp file and published atomically: the tracked
   // BENCH_plan.json must never be observable empty or half-written.
@@ -1183,6 +1368,32 @@ bool run_plan_verification(const char* json_path) {
         static_cast<unsigned long long>(tracing.dropped),
         tracing.slots_with_groups, tracing.spread_gated ? "true" : "false",
         tracing.pass ? "true" : "false");
+    std::fprintf(f, "  \"resolution_sweep\": {\"model\": \"small_cnn\", "
+                    "\"batch\": 2, \"points\": [\n");
+    for (size_t i = 0; i < sweep.points.size(); ++i) {
+      const ResolutionPoint& p = sweep.points[i];
+      std::fprintf(
+          f,
+          "    {\"resolution\": %d, \"positions\": %lld, "
+          "\"tiled_arena_bytes\": %zu, \"untiled_arena_bytes\": %zu, "
+          "\"max_tile\": %lld, \"tiled_ms\": %.4f, \"untiled_ms\": %.4f, "
+          "\"warm_arena_growths\": %lld, \"bitwise\": %s}%s\n",
+          p.resolution, static_cast<long long>(p.positions), p.tiled_arena,
+          p.untiled_arena, static_cast<long long>(p.max_tile), p.tiled_ms,
+          p.untiled_ms, static_cast<long long>(p.warm_growths),
+          p.bitwise ? "true" : "false",
+          i + 1 < sweep.points.size() ? "," : "");
+    }
+    std::fprintf(
+        f,
+        "  ], \"position_ratio\": %.1f, \"tiled_arena_ratio\": %.2f, "
+        "\"sublinear_factor\": %.2f, \"speedup_224\": %.3f, "
+        "\"speedup_floor\": %.2f, \"low_res_ratio\": %.3f, "
+        "\"low_res_budget\": %.2f, \"gate_enforced\": %s, \"pass\": %s},\n",
+        sweep.position_ratio, sweep.arena_ratio, kTiledSublinearFactor,
+        sweep.speedup_224, kTiledSpeedupFloor, sweep.low_res_ratio,
+        kTiledLowResBudget, sweep.gate_enforced ? "true" : "false",
+        sweep.pass ? "true" : "false");
     std::fprintf(f, "  \"gate\": \"%s\"\n}\n",
                  ok ? "PASSED" : "FAILED");
     std::fclose(f);

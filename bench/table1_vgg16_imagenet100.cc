@@ -3,10 +3,12 @@
 // [0.1, 0, 0, 0, 0.2] but spatial columns [0.5 x5]; Setting-2 raises the
 // late-block spatial ratios to [0.5, 0.5, 0.5, 0.6, 0.6].
 //
-// Substitution (DESIGN.md §2): the paper's 224x224 ImageNet100 is modeled
-// by a 64x64 synthetic 100-class set — large enough that class features
-// occupy a small fraction of the area, which is what makes spatial-column
-// pruning profitable (Fig. 4).
+// Resolution: at full scale this bench synthesizes real 224x224 inputs
+// (ScaleConfig::resolution; spatially-tiled lowering keeps the arena
+// bounded). Reduced scales substitute a 64x64 synthetic 100-class set
+// (DESIGN.md §2) — still large enough that class features occupy a small
+// fraction of the area, which is what makes spatial-column pruning
+// profitable (Fig. 4). Override either with ANTIDOTE_BENCH_RESOLUTION.
 #include "common.h"
 
 int main() {

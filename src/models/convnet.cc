@@ -9,7 +9,9 @@ namespace antidote::models {
 ConvNet::ConvNet()
     : regime_(plan::NumericRegime::kF32),
       coarsen_mode_(plan::CoarsenMode::kAuto),
-      coarsen_mac_bias_(1.0) {}
+      coarsen_mac_bias_(1.0),
+      tile_mode_(plan::TileMode::kAuto),
+      tile_n_(0) {}
 ConvNet::~ConvNet() = default;
 
 Tensor ConvNet::forward(const Tensor& x, nn::ExecutionContext& ctx) {
@@ -41,6 +43,7 @@ plan::InferencePlan& ConvNet::inference_plan(int in_c, int in_h, int in_w) {
   // survive recompiles (shape changes, gate installs).
   plan_->set_regime(regime_);
   plan_->set_coarsen({coarsen_mode_, coarsen_mac_bias_});
+  plan_->set_tile({tile_mode_, tile_n_});
   return *plan_;
 }
 
@@ -53,6 +56,12 @@ void ConvNet::set_coarsen_policy(plan::CoarsenPolicy policy) {
   coarsen_mode_ = policy.mode;
   coarsen_mac_bias_ = policy.mac_bias;
   if (plan_ != nullptr) plan_->set_coarsen(policy);
+}
+
+void ConvNet::set_tile_policy(plan::TilePolicy policy) {
+  tile_mode_ = policy.mode;
+  tile_n_ = policy.n;
+  if (plan_ != nullptr) plan_->set_tile(policy);
 }
 
 void ConvNet::invalidate_plan() {

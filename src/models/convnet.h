@@ -30,6 +30,8 @@ class PlanBuilder;
 enum class NumericRegime;
 enum class CoarsenMode;
 struct CoarsenPolicy;
+enum class TileMode;
+struct TilePolicy;
 }  // namespace antidote::plan
 
 namespace antidote::models {
@@ -77,6 +79,11 @@ class ConvNet : public nn::Module {
   // the cached plan and re-applied to every future compile, so callers
   // (CLI --coarsen flag, serving controller) set it once on the model.
   void set_coarsen_policy(plan::CoarsenPolicy policy);
+
+  // Spatial tiling policy of the plans' conv lowering (auto by default).
+  // Sticky like the coarsening policy. Set before reserve(): the policy
+  // changes each conv step's kernel scratch, hence the arena footprint.
+  void set_tile_policy(plan::TilePolicy policy);
 
   // --- gate sites ---
   virtual int num_gate_sites() const = 0;
@@ -126,6 +133,9 @@ class ConvNet : public nn::Module {
   // struct is opaque here, so the fields are carried unpacked).
   plan::CoarsenMode coarsen_mode_;
   double coarsen_mac_bias_;
+  // Sticky tiling policy (kAuto / 0 in the constructor), same treatment.
+  plan::TileMode tile_mode_;
+  int tile_n_;
 };
 
 }  // namespace antidote::models

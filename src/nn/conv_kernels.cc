@@ -549,9 +549,59 @@ Int8Panel pack_weight_panel_i8(const Int8ConvWeights& qw, int kk,
 int64_t conv_batch_dense(const float* x_base, int64_t in_floats,
                          const ConvGeom& g, const float* w, int out_c,
                          const float* bias, int n, float* y_base,
-                         int64_t out_floats, Workspace& ws) {
+                         int64_t out_floats, Workspace& ws, int64_t tile) {
   const int64_t patch = g.patch_rows();
   const int64_t pos = g.out_positions();
+  if (tile > 0 && tile < pos) {
+    // Spatially-tiled regime: lower a cache-sized [patch x tile] panel,
+    // run the GEMM into a [out_c x tile] tile output, store that tile's
+    // columns (bias fused into the copy), then reuse the panel for the
+    // next position range. Per output element the GEMM accumulates in
+    // ascending-k order regardless of the column count and the stored
+    // value is src + bias either way, so the result is bitwise identical
+    // to the untiled path.
+    const Workspace::Mark scratch = ws.mark();
+    float* cols = ws.alloc_floats(patch * tile);
+    float* y_tile = ws.alloc_floats(static_cast<int64_t>(out_c) * tile);
+    for (int b = 0; b < n; ++b) {
+      const float* xb = x_base + static_cast<int64_t>(b) * in_floats;
+      float* yb = y_base + static_cast<int64_t>(b) * out_floats;
+      for (int64_t p0 = 0; p0 < pos; p0 += tile) {
+        obs::PhaseScope tile_span(obs::Phase::kTile);
+        const int64_t tw = std::min(tile, pos - p0);
+        {
+          obs::PhaseScope span(obs::Phase::kIm2col);
+          parallel_for(
+              0, g.in_c,
+              [&](int64_t c0, int64_t c1) {
+                im2col_range_pos(xb, g, static_cast<int>(c0),
+                                 static_cast<int>(c1), p0, p0 + tw, cols,
+                                 tw);
+              },
+              /*grain=*/1);
+        }
+        {
+          obs::PhaseScope span(obs::Phase::kGemm);
+          gemm_nn(out_c, static_cast<int>(tw), static_cast<int>(patch), 1.f,
+                  w, cols, 0.f, y_tile, &ws);
+        }
+        {
+          obs::PhaseScope span(obs::Phase::kScatter);
+          for (int oc = 0; oc < out_c; ++oc) {
+            const float* src = y_tile + static_cast<int64_t>(oc) * tw;
+            float* dst = yb + static_cast<int64_t>(oc) * pos + p0;
+            if (bias != nullptr) {
+              scatter_bias_row(src, dst, tw, bias[oc]);
+            } else {
+              std::memcpy(dst, src, static_cast<size_t>(tw) * sizeof(float));
+            }
+          }
+        }
+      }
+    }
+    ws.rewind(scratch);
+    return static_cast<int64_t>(out_c) * pos * patch * n;
+  }
   const Workspace::Mark scratch = ws.mark();
   // One shared im2col buffer (the arena footprint of the pre-batched
   // path): each sample's lowering parallelizes across CHANNEL ranges
@@ -591,11 +641,57 @@ int64_t conv_batch_dense_i8(const float* x_base, int64_t in_floats,
                             const ConvGeom& g, const Int8ConvWeights& qw,
                             int out_c, const float* bias, int n,
                             float* y_base, int64_t out_floats,
-                            Workspace& ws) {
+                            Workspace& ws, int64_t tile) {
   const int64_t patch = g.patch_rows();
   const int64_t pos = g.out_positions();
   const int64_t p4 = int8_align4(patch);
   AD_CHECK_EQ(p4, qw.row_stride);
+  if (tile > 0 && tile < pos) {
+    // Tiled int8 regime: lower + quantize one [patch x tile] panel at a
+    // time; the igemm writes its dequantized tile straight into the
+    // output slot (ldy = pos). The activation scale is per tile.
+    const Workspace::Mark scratch = ws.mark();
+    float* cols = ws.alloc_floats(patch * tile);
+    uint8_t* qcols = ws.alloc<uint8_t>(p4 * tile);
+    for (int b = 0; b < n; ++b) {
+      const float* xb = x_base + static_cast<int64_t>(b) * in_floats;
+      float* yb = y_base + static_cast<int64_t>(b) * out_floats;
+      for (int64_t p0 = 0; p0 < pos; p0 += tile) {
+        obs::PhaseScope tile_span(obs::Phase::kTile);
+        const int64_t tw = std::min(tile, pos - p0);
+        {
+          obs::PhaseScope span(obs::Phase::kIm2col);
+          parallel_for(
+              0, g.in_c,
+              [&](int64_t c0, int64_t c1) {
+                im2col_range_pos(xb, g, static_cast<int>(c0),
+                                 static_cast<int>(c1), p0, p0 + tw, cols,
+                                 tw);
+              },
+              /*grain=*/1);
+        }
+        float sa;
+        {
+          obs::PhaseScope span(obs::Phase::kQuant);
+          sa = quantize_activations(cols, patch, tw, qcols);
+        }
+        {
+          obs::PhaseScope span(obs::Phase::kGemm);
+          igemm_u8s8_dequant(out_c, tw, p4, qw.q.data(), qw.row_stride,
+                             qcols, qw.wsum.data(), qw.scale.data(), sa,
+                             yb + p0, pos);
+          if (bias != nullptr) {
+            for (int oc = 0; oc < out_c; ++oc) {
+              add_bias_row(yb + static_cast<int64_t>(oc) * pos + p0, tw,
+                           bias[oc]);
+            }
+          }
+        }
+      }
+    }
+    ws.rewind(scratch);
+    return static_cast<int64_t>(out_c) * pos * patch * n;
+  }
   const Workspace::Mark scratch = ws.mark();
   float* cols = ws.alloc_floats(patch * pos);
   uint8_t* qcols = ws.alloc<uint8_t>(p4 * pos);
@@ -639,7 +735,8 @@ int64_t conv_group_masked_i8(const float* x_base, int64_t in_floats,
                              std::span<const int> samples,
                              const ConvIdentityIndices& ids,
                              WeightPanelCache* cache, float* y_base,
-                             int64_t out_floats, Workspace& ws) {
+                             int64_t out_floats, Workspace& ws,
+                             int64_t tile) {
   AD_CHECK(m.positions.empty())
       << " spatial-masked groups run the f32 shift-GEMM fallback";
   const int in_c = g.in_c;
@@ -678,6 +775,72 @@ int64_t conv_group_masked_i8(const float* x_base, int64_t in_floats,
                                 wsum, scale);
       panel = {qdst, wsum, scale};
     }
+  }
+  if (tile > 0 && tile < pos) {
+    // Spatially-tiled group: each tile's compacted B matrix is
+    // [patch_k x gs*tw] — every member's gathered tile columns side by
+    // side — quantized per tile and consumed by one igemm whose
+    // dequantized tile output is scattered before the next tile is
+    // lowered.
+    const int64_t ldt = static_cast<int64_t>(gs) * tile;
+    float* cols = ws.alloc_floats(static_cast<int64_t>(patch_k) * ldt);
+    uint8_t* qcols = ws.alloc<uint8_t>(p4 * ldt);
+    float* y_sub = ws.alloc_floats(static_cast<int64_t>(ok) * ldt);
+    for (int64_t p0 = 0; p0 < pos; p0 += tile) {
+      obs::PhaseScope tile_span(obs::Phase::kTile);
+      const int64_t tw = std::min(tile, pos - p0);
+      const int64_t ldc_t = static_cast<int64_t>(gs) * tw;
+      {
+        obs::PhaseScope span(obs::Phase::kGather);
+        parallel_for(
+            0, gs,
+            [&](int64_t s0, int64_t s1) {
+              for (int64_t s = s0; s < s1; ++s) {
+                const int b = samples[static_cast<size_t>(s)];
+                im2col_gather_pos_ld(
+                    x_base + static_cast<int64_t>(b) * in_floats, g, ch, p0,
+                    p0 + tw, cols + s * tw, ldc_t);
+              }
+            },
+            /*grain=*/1);
+      }
+      float sa;
+      {
+        obs::PhaseScope span(obs::Phase::kQuant);
+        sa = quantize_activations(cols, patch_k, ldc_t, qcols);
+      }
+      {
+        obs::PhaseScope span(obs::Phase::kGemm);
+        igemm_u8s8_dequant(ok, ldc_t, p4, panel.panel, p4, qcols, panel.wsum,
+                           panel.scale, sa, y_sub, ldc_t);
+      }
+      {
+        obs::PhaseScope span(obs::Phase::kScatter);
+        parallel_for(
+            0, gs,
+            [&](int64_t s0, int64_t s1) {
+              for (int64_t s = s0; s < s1; ++s) {
+                const int b = samples[static_cast<size_t>(s)];
+                float* yb = y_base + static_cast<int64_t>(b) * out_floats;
+                for (int oi = 0; oi < ok; ++oi) {
+                  const int oc = oc_set[static_cast<size_t>(oi)];
+                  const float* src =
+                      y_sub + static_cast<int64_t>(oi) * ldc_t + s * tw;
+                  float* dst = yb + static_cast<int64_t>(oc) * pos + p0;
+                  if (bias != nullptr) {
+                    scatter_bias_row(src, dst, tw, bias[oc]);
+                  } else {
+                    std::memcpy(dst, src,
+                                static_cast<size_t>(tw) * sizeof(float));
+                  }
+                }
+              }
+            },
+            /*grain=*/1);
+      }
+    }
+    ws.rewind(per_group);
+    return static_cast<int64_t>(ok) * pos * patch_k * gs;
   }
   float* cols = ws.alloc_floats(static_cast<int64_t>(patch_k) * ldc);
   const std::span<const int> all_pos(ids.positions,
@@ -741,7 +904,7 @@ int64_t conv_group_masked(const float* x_base, int64_t in_floats,
                           std::span<const int> samples,
                           const ConvIdentityIndices& ids,
                           WeightPanelCache* cache, float* y_base,
-                          int64_t out_floats, Workspace& ws) {
+                          int64_t out_floats, Workspace& ws, int64_t tile) {
   const int in_c = g.in_c, h = g.in_h, wd = g.in_w;
   const int oh = g.out_h(), ow = g.out_w();
   const int64_t pos = g.out_positions();
@@ -782,6 +945,65 @@ int64_t conv_group_masked(const float* x_base, int64_t in_floats,
                                /*spatial_layout=*/false, panel);
         w_panel = panel;
       }
+    }
+    if (tile > 0 && tile < pos) {
+      // Spatially-tiled group (see conv_group_masked_i8 for the shape):
+      // per-column GEMM accumulation order is unchanged and the scatter
+      // stores the same per-element expression, so the tiled group output
+      // is bitwise identical to the untiled one.
+      const int64_t ldt = static_cast<int64_t>(gs) * tile;
+      float* cols = ws.alloc_floats(static_cast<int64_t>(patch_k) * ldt);
+      float* y_sub = ws.alloc_floats(static_cast<int64_t>(ok) * ldt);
+      for (int64_t p0 = 0; p0 < pos; p0 += tile) {
+        obs::PhaseScope tile_span(obs::Phase::kTile);
+        const int64_t tw = std::min(tile, pos - p0);
+        const int64_t ldc_t = static_cast<int64_t>(gs) * tw;
+        {
+          obs::PhaseScope span(obs::Phase::kGather);
+          parallel_for(
+              0, gs,
+              [&](int64_t s0, int64_t s1) {
+                for (int64_t s = s0; s < s1; ++s) {
+                  const int b = samples[static_cast<size_t>(s)];
+                  im2col_gather_pos_ld(
+                      x_base + static_cast<int64_t>(b) * in_floats, g, ch,
+                      p0, p0 + tw, cols + s * tw, ldc_t);
+                }
+              },
+              /*grain=*/1);
+        }
+        {
+          obs::PhaseScope span(obs::Phase::kGemm);
+          gemm_nn(ok, static_cast<int>(ldc_t), patch_k, 1.f, w_panel, cols,
+                  0.f, y_sub, &ws);
+        }
+        {
+          obs::PhaseScope span(obs::Phase::kScatter);
+          parallel_for(
+              0, gs,
+              [&](int64_t s0, int64_t s1) {
+                for (int64_t s = s0; s < s1; ++s) {
+                  const int b = samples[static_cast<size_t>(s)];
+                  float* yb = y_base + static_cast<int64_t>(b) * out_floats;
+                  for (int oi = 0; oi < ok; ++oi) {
+                    const int oc = oc_set[static_cast<size_t>(oi)];
+                    const float* src =
+                        y_sub + static_cast<int64_t>(oi) * ldc_t + s * tw;
+                    float* dst = yb + static_cast<int64_t>(oc) * pos + p0;
+                    if (bias != nullptr) {
+                      scatter_bias_row(src, dst, tw, bias[oc]);
+                    } else {
+                      std::memcpy(dst, src,
+                                  static_cast<size_t>(tw) * sizeof(float));
+                    }
+                  }
+                }
+              },
+              /*grain=*/1);
+        }
+      }
+      ws.rewind(per_group);
+      return static_cast<int64_t>(ok) * pos * patch_k * gs;
     }
     float* cols = ws.alloc_floats(static_cast<int64_t>(patch_k) * ldc);
     const std::span<const int> all_pos(ids.positions,
@@ -962,12 +1184,33 @@ void shortcut_subsample_into(const float* x, int n, int in_c, int h, int w,
 }
 
 size_t conv_batch_dense_scratch_bytes(const ConvGeom& g, int out_c, int n,
-                                      bool int8_regime) {
+                                      bool int8_regime, int64_t tile) {
   // Batch-independent: one shared im2col buffer plus one sample's GEMM
   // panels (samples run sequentially between the same marks).
   (void)n;
   const int64_t patch = g.patch_rows();
   const int64_t pos = g.out_positions();
+  if (tile > 0 && tile < pos) {
+    // Tiled regime: the tile panel + tile output + the GEMM's panels at
+    // tile width (gemm_nn_scratch_bytes is monotone nondecreasing in n,
+    // so the full tile bounds the ragged tail).
+    size_t worst =
+        Workspace::align_up(static_cast<size_t>(patch) * tile *
+                            sizeof(float)) +
+        Workspace::align_up(static_cast<size_t>(out_c) * tile *
+                            sizeof(float)) +
+        gemm_nn_scratch_bytes(out_c, static_cast<int>(tile),
+                              static_cast<int>(patch));
+    if (int8_regime) {
+      const size_t i8_path =
+          Workspace::align_up(static_cast<size_t>(patch) * tile *
+                              sizeof(float)) +
+          Workspace::align_up(static_cast<size_t>(int8_align4(patch)) *
+                              tile);
+      worst = std::max(worst, i8_path);
+    }
+    return worst;
+  }
   size_t worst = Workspace::align_up(static_cast<size_t>(patch) * pos *
                                      sizeof(float)) +
                  gemm_nn_scratch_bytes(out_c, static_cast<int>(pos),
@@ -986,32 +1229,40 @@ size_t conv_batch_dense_scratch_bytes(const ConvGeom& g, int out_c, int n,
 }
 
 size_t conv_group_masked_scratch_bytes(const ConvGeom& g, int out_c, int gs,
-                                       bool int8_regime) {
+                                       bool int8_regime, int64_t tile,
+                                       bool spatial_masks) {
   const int64_t patch = g.patch_rows();
   const int64_t pos = g.out_positions();
   const int64_t kk = static_cast<int64_t>(g.k_h) * g.k_w;
-  const int64_t ldc = static_cast<int64_t>(gs) * pos;
+  const bool tiled = tile > 0 && tile < pos;
+  // The tiled channel path allocates its buffers at the full-tile group
+  // width gs * tile; untiled at gs * pos.
+  const int64_t ldc = static_cast<int64_t>(gs) * (tiled ? tile : pos);
   // Channel/filter path with full index sets (the weight panel lives in
   // the cross-pass cache, not the arena).
-  const size_t channel_path =
+  size_t channel_path =
       Workspace::align_up(static_cast<size_t>(patch) * ldc * sizeof(float)) +
       Workspace::align_up(static_cast<size_t>(out_c) * ldc * sizeof(float)) +
       gemm_nn_scratch_bytes(out_c, static_cast<int>(ldc),
                             static_cast<int>(patch));
   size_t worst = channel_path;
-  if (g.stride == 1 && g.out_h() == g.in_h && g.out_w() == g.in_w) {
+  if (spatial_masks && g.stride == 1 && g.out_h() == g.in_h &&
+      g.out_w() == g.in_w) {
     // Spatial shift-GEMM path with every position kept: gathered columns,
     // the stacked-offset GEMM output, the per-group scatter-index table,
     // then the GEMM's own panels on top. (Under the int8 regime spatial
-    // groups still run this f32 fallback, so it stays in the max.)
+    // groups still run this f32 fallback, so it stays in the max.) This
+    // path never tiles, so its footprint is always the full gs * pos
+    // width regardless of `tile`.
+    const int64_t ldf = static_cast<int64_t>(gs) * pos;
     const size_t spatial_path =
-        Workspace::align_up(static_cast<size_t>(g.in_c) * ldc *
+        Workspace::align_up(static_cast<size_t>(g.in_c) * ldf *
                             sizeof(float)) +
-        Workspace::align_up(static_cast<size_t>(kk) * out_c * ldc *
+        Workspace::align_up(static_cast<size_t>(kk) * out_c * ldf *
                             sizeof(float)) +
         Workspace::align_up(static_cast<size_t>(kk) * pos * sizeof(int)) +
         gemm_nn_scratch_bytes(static_cast<int>(kk) * out_c,
-                              static_cast<int>(ldc), g.in_c);
+                              static_cast<int>(ldf), g.in_c);
     worst = std::max(worst, spatial_path);
   }
   if (int8_regime) {
@@ -1030,7 +1281,8 @@ size_t conv_group_masked_scratch_bytes(const ConvGeom& g, int out_c, int gs,
 }
 
 size_t conv_group_masked_slice_bytes(const ConvGeom& g, int out_c, int gs,
-                                     bool int8_regime) {
+                                     bool int8_regime, int64_t tile,
+                                     bool spatial_masks) {
   // Cache-less regime: the worker packs the kept-filter weight panel into
   // its slice. Both f32 layouts top out at the full weight size (full
   // kept sets); under int8 the worker may instead pack the int8 panel +
@@ -1047,8 +1299,8 @@ size_t conv_group_masked_slice_bytes(const ConvGeom& g, int out_c, int gs,
         Workspace::align_up(static_cast<size_t>(out_c) * sizeof(float));
     pack_bytes = std::max(pack_bytes, i8_pack);
   }
-  return pack_bytes + conv_group_masked_scratch_bytes(g, out_c, gs,
-                                                      int8_regime);
+  return pack_bytes + conv_group_masked_scratch_bytes(
+                          g, out_c, gs, int8_regime, tile, spatial_masks);
 }
 
 }  // namespace antidote::nn

@@ -264,10 +264,21 @@ Int8Panel pack_weight_panel_i8(const Int8ConvWeights& qw, int kk,
 // its output slot (parallelizing internally) and `bias` is applied. x/y
 // bases are batch-major with the given per-sample strides. Bitwise
 // identical to n conv_sample_dense calls. Returns MACs.
+//
+// `tile` > 0 enables spatially-tiled execution: output positions are
+// processed in column tiles of that width — lowering fills a cache-sized
+// [patch x tile] panel, the GEMM consumes it into a [out_c x tile] tile
+// output, and the tile's columns are stored (bias fused) before the next
+// tile is lowered — so im2col scratch is O(patch * tile) instead of
+// O(patch * out_positions). Tiling splits only independent GEMM output
+// columns (per-column accumulation order untouched) and the per-element
+// bias expression is unchanged, so the f32 output is bitwise identical to
+// the untiled path. tile <= 0 or >= out_positions() runs untiled.
 int64_t conv_batch_dense(const float* x_base, int64_t in_floats,
                          const ConvGeom& g, const float* w, int out_c,
                          const float* bias, int n, float* y_base,
-                         int64_t out_floats, Workspace& ws);
+                         int64_t out_floats, Workspace& ws,
+                         int64_t tile = 0);
 
 // One mask group of a masked batch conv. `samples` are the member batch
 // indices (all sharing kept sets `m`); the caller zero-fills y beforehand
@@ -287,24 +298,36 @@ int64_t conv_batch_dense(const float* x_base, int64_t in_floats,
 //     internal parallel_fors run inline under the nested-dispatch guard.
 //     Distinct groups cover distinct samples, so outputs are disjoint and
 //     the result is bitwise identical to sequential group order.
+// `tile` > 0 tiles the CHANNEL/FILTER path over output positions (the
+// compacted B matrix becomes [patch_k x group*tile] per tile; f32 output
+// stays bitwise identical — see conv_batch_dense). The spatial shift-GEMM
+// path ignores `tile`: its scatter-add accumulates across kernel offsets,
+// so column tiling would not keep it a pure output-column split.
 int64_t conv_group_masked(const float* x_base, int64_t in_floats,
                           const ConvGeom& g, const float* w, int out_c,
                           const float* bias, const ConvRuntimeMask& m,
                           std::span<const int> samples,
                           const ConvIdentityIndices& ids,
                           WeightPanelCache* cache, float* y_base,
-                          int64_t out_floats, Workspace& ws);
+                          int64_t out_floats, Workspace& ws,
+                          int64_t tile = 0);
 
 // Int8-regime dense batch step: im2col (f32, shared buffer) -> per-sample
 // dynamic activation quantization -> u8xs8 igemm with dequant fused into
 // the store (straight into the output slot) -> bias rows. Same call
 // contract as conv_batch_dense otherwise. Returns the LOGICAL MACs (the
 // f32-equivalent count, so cost accounting is regime-comparable).
+// `tile` > 0 tiles as in conv_batch_dense. The activation scale is then
+// computed per TILE rather than per tensor (each tile panel is quantized
+// independently), so tiled int8 output is not bitwise identical to the
+// untiled int8 path — it stays within the same relative-error budget
+// against f32 (per-tile scales are at least as tight as the per-tensor
+// one).
 int64_t conv_batch_dense_i8(const float* x_base, int64_t in_floats,
                             const ConvGeom& g, const Int8ConvWeights& qw,
                             int out_c, const float* bias, int n,
                             float* y_base, int64_t out_floats,
-                            Workspace& ws);
+                            Workspace& ws, int64_t tile = 0);
 
 // Int8-regime mask group, CHANNEL/FILTER masks only (the caller routes
 // groups with spatial positions to the f32 shift-GEMM — a documented
@@ -314,6 +337,9 @@ int64_t conv_batch_dense_i8(const float* x_base, int64_t in_floats,
 // u8xs8 igemm writing dequantized f32 y_sub -> the f32 scatter. The
 // caller's fused epilogue then applies unchanged to the f32 output.
 // Same invocation regimes as conv_group_masked. Returns logical MACs.
+// `tile` > 0 tiles the channel path over output positions (per-tile
+// activation scales, like conv_batch_dense_i8; f32 gather/scatter and the
+// caller's epilogue are unchanged).
 int64_t conv_group_masked_i8(const float* x_base, int64_t in_floats,
                              const ConvGeom& g, const Int8ConvWeights& qw,
                              int out_c, const float* bias,
@@ -321,30 +347,45 @@ int64_t conv_group_masked_i8(const float* x_base, int64_t in_floats,
                              std::span<const int> samples,
                              const ConvIdentityIndices& ids,
                              WeightPanelCache* cache, float* y_base,
-                             int64_t out_floats, Workspace& ws);
+                             int64_t out_floats, Workspace& ws,
+                             int64_t tile = 0);
 
 // Worst-case arena bytes of one conv_batch_dense call at batch n. With
 // `int8_regime` the bound also covers the int8 dense path (quantized
 // column buffer; the f32 formula is kept in the max so a regime flip
-// after reserve stays safe).
+// after reserve stays safe). `tile` must match the execution call: the
+// tiled formulas replace the full [patch x pos] panel with the tile panel
+// + tile output, and gemm_nn_scratch_bytes is monotone in n, so the
+// full-width tile bounds every ragged tail exactly.
 size_t conv_batch_dense_scratch_bytes(const ConvGeom& g, int out_c, int n,
-                                      bool int8_regime = false);
+                                      bool int8_regime = false,
+                                      int64_t tile = 0);
 
 // Worst-case arena bytes of one conv_group_masked call with a group of
 // `gs` samples, maximized over every mask shape the geometry admits (full
 // index sets; the spatial shift-GEMM path only when the conv preserves
-// the grid; the int8 channel path when `int8_regime`). Monotone in gs, so
-// a batch's worst case over any grouping is the single-group-of-n value
-// (groups run sequentially between rewinds).
+// the grid AND `spatial_masks`; the int8 channel path when `int8_regime`).
+// Monotone in gs, so a batch's worst case over any grouping is the
+// single-group-of-n value (groups run sequentially between rewinds).
+// `tile` must match the execution call; the spatial path never tiles, so
+// its untiled O(gs * pos) footprint stays in the max whenever it is
+// accounted. Callers that know position masks can never reach the conv
+// (no spatially-aligned gate feeds it) pass spatial_masks = false, which
+// is what lets a tiled plan's reserved arena stay sub-linear in the
+// output grid; the default keeps the unconditional bound.
 size_t conv_group_masked_scratch_bytes(const ConvGeom& g, int out_c, int gs,
-                                       bool int8_regime = false);
+                                       bool int8_regime = false,
+                                       int64_t tile = 0,
+                                       bool spatial_masks = true);
 
 // Worst-case bytes of one PER-WORKER arena slice for the cross-group
 // parallel regime (cache == nullptr): the group scratch above plus the
 // weight panel the worker packs into its slice (the larger of the f32
 // panel and the int8 panel+wsum+scale when `int8_regime`). Monotone in gs.
 size_t conv_group_masked_slice_bytes(const ConvGeom& g, int out_c, int gs,
-                                     bool int8_regime = false);
+                                     bool int8_regime = false,
+                                     int64_t tile = 0,
+                                     bool spatial_masks = true);
 
 // Option-A residual shortcut kernel: spatial subsampling by `stride` with
 // zero-padded extra channels (out_c >= in_c). Zero-fills y, then copies

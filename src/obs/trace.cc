@@ -34,6 +34,7 @@ const char* phase_name(Phase p) {
     case Phase::kEpilogue: return "epilogue";
     case Phase::kScatter: return "scatter";
     case Phase::kQuant: return "quant";
+    case Phase::kTile: return "tile";
     case Phase::kCount: break;
   }
   return "?";

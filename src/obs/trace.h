@@ -57,6 +57,7 @@ enum class Phase : uint8_t {
   kEpilogue,      // fused bias+activation epilogue
   kScatter,       // masked scatter back to dense output
   kQuant,         // int8 dynamic activation quantization
+  kTile,          // one output-position tile of a spatially-tiled conv
   kCount,
 };
 

@@ -279,6 +279,10 @@ InferencePlan PlanBuilder::finish() {
   }
 
   plan_.slots_.assign(plan_.buffers_.size(), Tensor());
+  // Apply the default tile policy (auto) so every conv step leaves the
+  // builder with its spatial tile width resolved; set_tile() re-derives
+  // them if the caller overrides the policy before reserve().
+  plan_.set_tile(plan_.tile_);
   return std::move(plan_);
 }
 

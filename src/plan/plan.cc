@@ -98,10 +98,19 @@ size_t conv_step_scratch_bytes(const PlanOp& op, int n, bool int8_regime) {
   const ConvGeom& g = op.geom;
   const int out_c = op.out_shape[0];
   const size_t nn_ = static_cast<size_t>(n);
+  // Position masks only ever reach a conv through a spatially-aligned
+  // gate (the gate clears them otherwise), so the untiled spatial
+  // shift-GEMM bound — O(gs * pos), immune to tiling — is accounted only
+  // for gate consumers marked prune_spatial. This is what keeps a tiled
+  // plan's reserved arena sub-linear in the output grid: without it every
+  // grid-preserving conv would pay the spatial path's full-width scratch
+  // whether or not spatial masks can occur.
+  const bool spatial = op.prune_spatial;
   const size_t dense =
-      nn::conv_batch_dense_scratch_bytes(g, out_c, n, int8_regime);
-  size_t masked_kernel =
-      nn::conv_group_masked_scratch_bytes(g, out_c, n, int8_regime);
+      nn::conv_batch_dense_scratch_bytes(g, out_c, n, int8_regime,
+                                         op.tile_pos);
+  size_t masked_kernel = nn::conv_group_masked_scratch_bytes(
+      g, out_c, n, int8_regime, op.tile_pos, spatial);
   const int threads = compute_threads();
   for (int groups = 2; groups <= n; ++groups) {
     const int width = group_parallel_width(threads, groups);
@@ -110,7 +119,8 @@ size_t conv_step_scratch_bytes(const PlanOp& op, int n, bool int8_regime) {
         masked_kernel,
         static_cast<size_t>(width) *
             nn::conv_group_masked_slice_bytes(g, out_c, n - groups + 1,
-                                              int8_regime));
+                                              int8_regime, op.tile_pos,
+                                              spatial));
   }
   // The coarsening terms are accounted unconditionally (policy-independent
   // bound): the per-pass merge decision may be flipped at runtime by the
@@ -132,6 +142,13 @@ size_t conv_step_scratch_bytes(const PlanOp& op, int n, bool int8_regime) {
 // (weight operand + im2col panel) at the regime's element size plus the
 // always-f32 output, over the step's dense MACs. Shared by the cost
 // snapshot and set_regime's EWMA rescale so both use the same axis.
+//
+// Spatially-tiled steps (op.tile_pos > 0) replace the full im2col panel
+// term with the actual DRAM traffic of the tiled schedule: the input
+// plane is read once per pass, and the panel itself is one cache-resident
+// tile re-lowered in place — its DRAM cost is a single tile's worth, not
+// patch*pos. This is what teaches the cost model that tiling turned the
+// lowering from a memory-bound stream into a cache-resident one.
 double conv_bytes_per_mac(const PlanOp& op, NumericRegime regime) {
   if (op.kind != OpKind::kConv || op.dense_macs <= 0) return 0.0;
   const ConvGeom& g = op.geom;
@@ -140,8 +157,13 @@ double conv_bytes_per_mac(const PlanOp& op, NumericRegime regime) {
       static_cast<int64_t>(g.in_c) * g.k_h * g.k_w;
   const int64_t pos = g.out_positions();
   const double es = regime == NumericRegime::kInt8 ? 1.0 : 4.0;
+  const bool tiled = op.tile_pos > 0 && op.tile_pos < pos;
+  const double panel_elems =
+      tiled ? static_cast<double>(g.in_c) * g.in_h * g.in_w +
+                  static_cast<double>(patch * op.tile_pos)
+            : static_cast<double>(patch * pos);
   const double bytes = static_cast<double>(out_c * patch) * es +
-                       static_cast<double>(patch * pos) * es +
+                       panel_elems * es +
                        static_cast<double>(out_c * pos) * 4.0;
   return bytes / static_cast<double>(op.dense_macs);
 }
@@ -174,6 +196,40 @@ const char* coarsen_mode_name(CoarsenMode mode) {
     case CoarsenMode::kAuto: return "auto";
   }
   return "?";
+}
+
+const char* tile_mode_name(TileMode mode) {
+  switch (mode) {
+    case TileMode::kOff: return "off";
+    case TileMode::kAuto: return "auto";
+    case TileMode::kFixed: return "fixed";
+  }
+  return "?";
+}
+
+int64_t choose_conv_tile(const ConvGeom& geom, int out_c,
+                         const TilePolicy& policy) {
+  const int64_t pos = geom.out_positions();
+  if (policy.mode == TileMode::kOff || pos <= 1) return 0;
+  if (policy.mode == TileMode::kFixed) {
+    int64_t t = policy.n;
+    if (t <= 0 || t >= pos) return 0;
+    return t;
+  }
+  // kAuto. The tile working set per output column is one lowered patch
+  // column plus one output column, both f32 (the int8 path quantizes the
+  // same f32 tile in place, so geometry alone decides — the chosen width
+  // is regime-independent and a set_regime flip never resizes the arena).
+  const int64_t patch = static_cast<int64_t>(geom.in_c) * geom.k_h * geom.k_w;
+  const int64_t col_bytes = (patch + out_c) * 4;
+  if (pos < kTileMinPositions) return 0;           // small grids: not worth it
+  if (col_bytes * pos <= kTileCacheBudgetBytes) return 0;  // already resident
+  int64_t width = kTileCacheBudgetBytes / std::max<int64_t>(col_bytes, 1);
+  width = std::max(width, kTileMinWidth);
+  width &= ~int64_t{15};  // round down to whole 16-column GEMM panels
+  width = std::max(width, kTileMinWidth);
+  if (width >= pos) return 0;
+  return width;
 }
 
 CoarsenDecision coarsen_plan(const CoarsenGroup* groups, int ngroups,
@@ -466,6 +522,55 @@ void InferencePlan::set_coarsen(CoarsenPolicy policy) {
   policy.mac_bias =
       std::clamp(policy.mac_bias, kMinCoarsenMacBias, kMaxCoarsenMacBias);
   coarsen_ = policy;
+}
+
+void InferencePlan::set_tile(TilePolicy policy) {
+  tile_ = policy;
+  for (PlanOp& op : ops_) {
+    if (op.kind != OpKind::kConv) continue;
+    op.tile_pos = choose_conv_tile(op.geom, op.out_shape[0], tile_);
+  }
+}
+
+size_t InferencePlan::op_scratch_bytes(int op_index, int n) const {
+  AD_CHECK_GE(op_index, 0);
+  AD_CHECK_LT(op_index, static_cast<int>(ops_.size()));
+  return conv_step_scratch_bytes(ops_[static_cast<size_t>(op_index)], n,
+                                 regime_ == NumericRegime::kInt8);
+}
+
+int InferencePlan::peak_scratch_op(int n, size_t* op_scratch) const {
+  // Mirrors arena_bytes()'s per-op term (activations + gates allocated so
+  // far + the op's kernel scratch) so the answer really is "which op sets
+  // the arena high-water mark", not merely "which op's scratch is biggest"
+  // — a late op with many gates before it can out-peak an earlier op with
+  // larger scratch. Returns -1 when the gate-total term (no op's scratch
+  // on top) is the peak.
+  const size_t nn = static_cast<size_t>(n);
+  const size_t act =
+      Workspace::align_up(static_cast<size_t>(act_floats_) * nn *
+                          sizeof(float));
+  size_t best = act + Workspace::align_up(
+                          static_cast<size_t>(gate_floats_total_) * nn *
+                              sizeof(float) +
+                          Workspace::kAlign * ops_.size());
+  int arg = -1;
+  size_t best_scratch = 0;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const size_t scratch = conv_step_scratch_bytes(
+        ops_[i], n, regime_ == NumericRegime::kInt8);
+    const size_t gates = Workspace::align_up(
+        static_cast<size_t>(gate_floats_before_op_[i]) * nn * sizeof(float) +
+        Workspace::kAlign * (i + 1));
+    const size_t total = act + gates + scratch;
+    if (total > best) {
+      best = total;
+      arg = static_cast<int>(i);
+      best_scratch = scratch;
+    }
+  }
+  if (op_scratch != nullptr) *op_scratch = best_scratch;
+  return arg;
 }
 
 int InferencePlan::last_mask_groups_raw() const {
@@ -846,8 +951,16 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
               max_gs = std::max(max_gs,
                                 group_begin[gi + 1] - group_begin[gi]);
             }
-            const size_t slice_bytes =
-                nn::conv_group_masked_slice_bytes(g, out_c, max_gs, int8);
+            // Slices are fixed-capacity external views (overflow is a hard
+            // error, not a growth), so size them for the spatial path if
+            // any mask of this pass actually carries positions — even on
+            // an op the sizing model believes cannot receive them.
+            bool any_spatial = op.prune_spatial;
+            for (int b = 0; b < n && !any_spatial; ++b) {
+              any_spatial = !masks[static_cast<size_t>(b)].positions.empty();
+            }
+            const size_t slice_bytes = nn::conv_group_masked_slice_bytes(
+                g, out_c, max_gs, int8, op.tile_pos, any_spatial);
             char* slab =
                 ws.alloc<char>(static_cast<int64_t>(width) *
                                static_cast<int64_t>(slice_bytes));
@@ -884,12 +997,12 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
                         local += nn::conv_group_masked_i8(
                             in.data(), in_floats, g, op.int8_w, out_c, bp,
                             gm, gsamples, ids, /*cache=*/nullptr,
-                            out.data(), out_floats, slice);
+                            out.data(), out_floats, slice, op.tile_pos);
                       } else {
                         local += nn::conv_group_masked(
                             in.data(), in_floats, g, wp, out_c, bp, gm,
                             gsamples, ids, /*cache=*/nullptr, out.data(),
-                            out_floats, slice);
+                            out_floats, slice, op.tile_pos);
                       }
                     }
                     worker_macs[w].macs = local;
@@ -912,12 +1025,12 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
                 macs += nn::conv_group_masked_i8(
                     in.data(), in_floats, g, op.int8_w, out_c, bp, gm,
                     gsamples, ids, &op.pack_cache, out.data(), out_floats,
-                    ws);
+                    ws, op.tile_pos);
               } else {
                 macs += nn::conv_group_masked(in.data(), in_floats, g, wp,
                                               out_c, bp, gm, gsamples, ids,
                                               &op.pack_cache, out.data(),
-                                              out_floats, ws);
+                                              out_floats, ws, op.tile_pos);
               }
             }
           }
@@ -926,10 +1039,12 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
           if (int8) {
             macs = nn::conv_batch_dense_i8(in.data(), in_floats, g,
                                            op.int8_w, out_c, bp, n,
-                                           out.data(), out_floats, ws);
+                                           out.data(), out_floats, ws,
+                                           op.tile_pos);
           } else {
             macs = nn::conv_batch_dense(in.data(), in_floats, g, wp, out_c,
-                                        bp, n, out.data(), out_floats, ws);
+                                        bp, n, out.data(), out_floats, ws,
+                                        op.tile_pos);
           }
           op.last_groups = 0;
           op.last_groups_raw = 0;
@@ -1060,12 +1175,15 @@ std::string InferencePlan::to_string() const {
   }
   os << ", vnni " << (nn::cpu_supports_vnni() ? "yes" : "no")
      << ", group workers <= "
-     << group_parallel_width(compute_threads(), kMaxGroupWorkers) << "\n";
+     << group_parallel_width(compute_threads(), kMaxGroupWorkers)
+     << ", tile " << tile_mode_name(tile_.mode);
+  if (tile_.mode == TileMode::kFixed) os << "(" << tile_.n << ")";
+  os << "\n";
   char line[192];
   std::snprintf(line, sizeof(line),
-                "%-3s %-9s %-18s %-16s %-14s %12s %10s %6s\n", "#", "op",
+                "%-3s %-9s %-18s %-16s %-14s %12s %10s %6s %6s\n", "#", "op",
                 "name", "out(shape)", "epilogue", "MACs/sample", "ewma_ms",
-                "groups");
+                "groups", "tile");
   os << line;
   for (size_t i = 0; i < ops_.size(); ++i) {
     const PlanOp& op = ops_[i];
@@ -1086,11 +1204,15 @@ std::string InferencePlan::to_string() const {
     // or has not run yet).
     const std::string groups_str =
         op.last_groups > 0 ? std::to_string(op.last_groups) : "-";
+    // tile: output-position tile width of the spatially-tiled lowering
+    // ("-" = untiled: non-conv op, small grid, or --tile=off).
+    const std::string tile_str =
+        op.tile_pos > 0 ? std::to_string(op.tile_pos) : "-";
     std::snprintf(line, sizeof(line),
-                  "%-3zu %-9s %-18s %-16s %-14s %12lld %10.4f %6s\n", i,
+                  "%-3zu %-9s %-18s %-16s %-14s %12lld %10.4f %6s %6s\n", i,
                   op_kind_name(op.kind), op.name.c_str(), shape_str.c_str(),
                   fused.c_str(), static_cast<long long>(op.dense_macs),
-                  op.ewma_ms, groups_str.c_str());
+                  op.ewma_ms, groups_str.c_str(), tile_str.c_str());
     os << line;
   }
   std::snprintf(line, sizeof(line),

@@ -129,6 +129,53 @@ enum class CoarsenMode { kOff, kAuto };
 
 const char* coarsen_mode_name(CoarsenMode mode);
 
+// --- spatially-tiled lowering ---------------------------------------------
+//
+// Every untiled conv step materializes the full [patch x out_positions]
+// im2col panel, so scratch scales linearly with resolution — at 224x224
+// the early VGG panels run to ~100 MB per sample and the GEMM operand
+// falls out of LLC. Under tiling the executor processes the GEMM's N
+// dimension in fixed-width output-position tiles: lowering fills a
+// cache-sized tile panel, the GEMM consumes it, and the tile's columns
+// are stored before the next tile is lowered, making im2col scratch
+// O(patch x tile). Tiling splits only independent GEMM output columns,
+// so f32 output (dense and grouped) is bitwise identical to the untiled
+// path; int8 tiles quantize per tile (same relative-error budget vs f32).
+
+enum class TileMode {
+  kOff,    // never tile
+  kAuto,   // per-op width from geometry + the cache-budget heuristic
+  kFixed,  // every eligible op uses TilePolicy::n (clamped to its domain)
+};
+
+const char* tile_mode_name(TileMode mode);
+
+struct TilePolicy {
+  TileMode mode = TileMode::kAuto;
+  int n = 0;  // fixed tile width (kFixed only)
+};
+
+// The plan compiler's per-op tile choice: 0 (untiled) when the op's full
+// f32 working set — im2col panel plus output panel — fits the cache
+// budget or the op is too small for tiling to pay (out_positions below
+// kTileMinPositions); otherwise the largest width whose tile working set
+// fits, floored at kTileMinWidth and rounded to the GEMM's 16-column
+// register panel. Deterministic in the geometry alone (regime-independent,
+// so a regime flip never changes the tile).
+int64_t choose_conv_tile(const ConvGeom& geom, int out_c,
+                         const TilePolicy& policy);
+
+// Cache budget of the auto heuristic: the tile working set
+// (patch + out_c) * 4 * tile bytes is kept under this. Sized toward a
+// per-core LLC slice rather than the whole cache, so concurrently
+// executing groups stay resident too.
+inline constexpr int64_t kTileCacheBudgetBytes = 768 * 1024;
+// Ops with fewer output positions than this never auto-tile (CIFAR-sized
+// domains already fit; tiling them would only add loop overhead).
+inline constexpr int64_t kTileMinPositions = 4096;
+// Lower bound of an auto tile width (amortizes the per-tile GEMM setup).
+inline constexpr int64_t kTileMinWidth = 64;
+
 // Bounds of CoarsenPolicy::mac_bias (set_coarsen clamps into them).
 inline constexpr double kMinCoarsenMacBias = 0.25;
 inline constexpr double kMaxCoarsenMacBias = 4.0;
@@ -293,6 +340,11 @@ struct PlanOp {
   // the arena.
   std::vector<nn::ConvRuntimeMask> coarse_masks;
 
+  // kConv: chosen output-position tile width (0 = untiled). Set at
+  // plan-compile time from the tile policy and geometry; shared by the
+  // executor and the arena-sizing formulas so they always agree.
+  int64_t tile_pos = 0;
+
   // --- introspection ---
   int64_t dense_macs = 0;  // per sample
   int64_t last_macs = 0;   // whole batch, most recent run
@@ -412,6 +464,22 @@ class InferencePlan {
   void set_coarsen(CoarsenPolicy policy);
   const CoarsenPolicy& coarsen() const { return coarsen_; }
 
+  // Installs the spatial tiling policy and recomputes every conv step's
+  // tile width (choose_conv_tile). Changing the policy changes the
+  // arena's scratch requirements, so call before reserve() — like
+  // set_regime. Shrinking tiles after a reserve stays safe only for
+  // kOff -> never; re-reserve when in doubt.
+  void set_tile(TilePolicy policy);
+  const TilePolicy& tile() const { return tile_; }
+  // Peak-arena breakdown at batch n: index of the conv op whose scratch
+  // sets the pass's high-water mark (-1 when no op has scratch), plus
+  // that op's scratch bytes via *op_scratch. Exposed for plan-dump's
+  // footprint report.
+  int peak_scratch_op(int n, size_t* op_scratch = nullptr) const;
+  // One op's worst-case kernel scratch bytes at batch n under the current
+  // regime and tile choice (0 for non-conv ops).
+  size_t op_scratch_bytes(int op_index, int n) const;
+
   const std::vector<PlanOp>& ops() const { return ops_; }
   const std::vector<PlanBuffer>& buffers() const { return buffers_; }
   int64_t activation_floats_per_sample() const { return act_floats_; }
@@ -468,6 +536,7 @@ class InferencePlan {
   int output_buffer_ = -1;
   NumericRegime regime_ = NumericRegime::kF32;
   CoarsenPolicy coarsen_;
+  TilePolicy tile_;
   int64_t act_floats_ = 0;  // per-sample high water of planned offsets
 
   // Per-sample float count of every gate output allocated before each op

@@ -119,7 +119,7 @@ void BatchScheduler::worker_loop(int worker_index) {
       batch.push_back(std::move(next));
     }
     try {
-      run_batch(replica, batch);
+      run_batch(worker_index, replica, batch);
     } catch (...) {
       // A bad batch (e.g. mismatched input shapes) must not take the
       // worker down: fail that batch's promises and keep serving.
@@ -132,7 +132,7 @@ void BatchScheduler::worker_loop(int worker_index) {
   }
 }
 
-void BatchScheduler::run_batch(ModelReplica& replica,
+void BatchScheduler::run_batch(int worker_index, ModelReplica& replica,
                                std::vector<InferenceRequest>& batch) {
   const int n = static_cast<int>(batch.size());
   const Clock::time_point dispatch = Clock::now();
@@ -217,6 +217,11 @@ void BatchScheduler::run_batch(ModelReplica& replica,
 
   stats_->record_batch(n, queue_wait_sum_ms / n, assemble_ms, forward_ms,
                        scatter_ms);
+  // Arena high-water mark after the pass: on a warm replica this is flat
+  // batch over batch (zero growths), and under tiled lowering it stays
+  // bounded even at 224x224 inputs — the snapshot surfaces both.
+  stats_->record_arena_bytes(worker_index,
+                             replica.context().workspace().capacity_bytes());
   if (misses > 0) stats_->record_deadline_miss(misses);
   if (const plan::InferencePlan* plan = replica.plan()) {
     // Distinct-mask group count of the pass (how many compacted GEMM

@@ -92,7 +92,7 @@ class BatchScheduler {
 
  private:
   void worker_loop(int worker_index);
-  void run_batch(ModelReplica& replica,
+  void run_batch(int worker_index, ModelReplica& replica,
                  std::vector<InferenceRequest>& batch);
 
   RequestQueue* queue_;

@@ -1,5 +1,6 @@
 #include "serving/server_stats.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "base/error.h"
@@ -72,6 +73,17 @@ void ServerStats::record_coarsen(int raw_groups, int groups,
   coarsen_extra_mac_sum_ += extra_mac_frac;
 }
 
+void ServerStats::record_arena_bytes(int replica, size_t bytes) {
+  AD_CHECK_GE(replica, 0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (static_cast<size_t>(replica) >= arena_bytes_.size()) {
+    arena_bytes_.resize(static_cast<size_t>(replica) + 1, 0);
+  }
+  arena_bytes_[static_cast<size_t>(replica)] =
+      std::max(arena_bytes_[static_cast<size_t>(replica)],
+               static_cast<uint64_t>(bytes));
+}
+
 ServerStats::Snapshot ServerStats::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Snapshot s;
@@ -121,6 +133,7 @@ ServerStats::Snapshot ServerStats::snapshot() const {
     s.mean_coarsen_extra_mac_pct =
         100.0 * coarsen_extra_mac_sum_ / coarsen_batches_;
   }
+  s.replica_arena_bytes = arena_bytes_;
   s.batch_size_histogram = histogram_;
   return s;
 }
@@ -137,6 +150,7 @@ void ServerStats::reset() {
   mask_group_sum_ = group_fraction_sum_ = 0.0;
   coarsen_batches_ = coarsen_merged_ = 0;
   raw_group_sum_ = coarsened_group_sum_ = coarsen_extra_mac_sum_ = 0.0;
+  arena_bytes_.assign(arena_bytes_.size(), 0);
   histogram_.assign(histogram_.size(), 0);
   queue_wait_hist_.reset();
   forward_hist_.reset();
@@ -187,6 +201,13 @@ Table ServerStats::to_table() const {
                    Table::fmt(s.mean_coarsened_groups, 2)});
     t.add_row({"mean coarsen extra-MAC overhead",
                Table::fmt(s.mean_coarsen_extra_mac_pct, 2) + "%"});
+  }
+  for (size_t i = 0; i < s.replica_arena_bytes.size(); ++i) {
+    if (s.replica_arena_bytes[i] == 0) continue;
+    t.add_row({"replica " + std::to_string(i) + " peak arena (MiB)",
+               Table::fmt(static_cast<double>(s.replica_arena_bytes[i]) /
+                              (1024.0 * 1024.0),
+                          2)});
   }
   for (size_t i = 0; i < s.batch_size_histogram.size(); ++i) {
     if (s.batch_size_histogram[i] == 0) continue;

@@ -49,6 +49,12 @@ class ServerStats {
   // where coarsening was off or declined report raw == coarsened and a
   // zero overhead fraction.
   void record_coarsen(int raw_groups, int groups, double extra_mac_frac);
+  // High-water arena footprint of one replica's workspace (its
+  // Workspace::capacity_bytes() after a batch). Workers call it per batch;
+  // the stats keep the per-replica maximum, so the snapshot reports what
+  // each replica's arena actually grew to — the serving-side check that
+  // spatially-tiled lowering keeps high-resolution arenas bounded.
+  void record_arena_bytes(int replica, size_t bytes);
 
   struct Snapshot {
     uint64_t completed_requests = 0;
@@ -92,6 +98,9 @@ class ServerStats {
     double mean_raw_mask_groups = 0.0;
     double mean_coarsened_groups = 0.0;
     double mean_coarsen_extra_mac_pct = 0.0;
+    // Per-replica peak arena bytes (workspace high-water mark). Indexed by
+    // replica/worker id; empty until the first batch reports.
+    std::vector<uint64_t> replica_arena_bytes;
     // histogram[i] = number of batches of size i+1.
     std::vector<uint64_t> batch_size_histogram;
   };
@@ -126,6 +135,7 @@ class ServerStats {
   double raw_group_sum_ = 0.0;
   double coarsened_group_sum_ = 0.0;
   double coarsen_extra_mac_sum_ = 0.0;
+  std::vector<uint64_t> arena_bytes_;  // per-replica peak workspace bytes
   std::vector<uint64_t> histogram_;
   // Lock-free latency distributions (recorded outside mutex_).
   obs::LatencyHistogram queue_wait_hist_;

@@ -2,8 +2,10 @@
 // convolution.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <vector>
 
 #include "base/error.h"
 #include "base/rng.h"
@@ -176,6 +178,121 @@ TEST(Col2im, IsAdjointOfIm2col) {
   for (int64_t i = 0; i < x.size(); ++i) rhs += double(x[i]) * xt[i];
 
   EXPECT_NEAR(lhs, rhs, 1e-2 * (std::abs(lhs) + 1.0));
+}
+
+// --- position-tiled lowering: bitwise parity with the full lowering ---------
+//
+// The tiled executor's correctness argument rests on these: a tile panel
+// is the exact column slice of the full lowered matrix, so the tiled GEMM
+// consumes bit-identical operands and the conv output cannot drift.
+
+TEST(Im2colTiled, RangePosMatchesFullColumnSlices) {
+  // Stride-1/pad-1, stride-2/pad-0 and 1x1 geometries; tile width 7 does
+  // not divide any of their position counts, so every sweep ends in a
+  // ragged tail tile.
+  const ConvGeom geoms[] = {
+      {3, 10, 9, 3, 3, 1, 1},
+      {2, 11, 7, 3, 3, 2, 0},
+      {4, 8, 8, 1, 1, 1, 0},
+  };
+  Rng rng(7);
+  for (const ConvGeom& g : geoms) {
+    Tensor x = Tensor::randn({g.in_c, g.in_h, g.in_w}, rng);
+    const int rows = static_cast<int>(g.patch_rows());
+    const int pos = static_cast<int>(g.out_positions());
+    Tensor dense({rows, pos});
+    im2col(x.data(), g, dense.data());
+
+    const int64_t tile = 7;
+    const int64_t ld = tile + 3;  // ld > tile width: padded panel layout
+    Tensor panel({rows, static_cast<int>(ld)});
+    for (int64_t p0 = 0; p0 < pos; p0 += tile) {
+      const int64_t p1 = std::min<int64_t>(p0 + tile, pos);
+      panel.fill(-7.5f);
+      im2col_range_pos(x.data(), g, 0, g.in_c, p0, p1, panel.data(), ld);
+      for (int r = 0; r < rows; ++r) {
+        for (int64_t j = p0; j < p1; ++j) {
+          ASSERT_EQ(panel.at({r, static_cast<int>(j - p0)}),
+                    dense.at({r, static_cast<int>(j)}))
+              << "geom k=" << g.k_h << " stride=" << g.stride
+              << " pad=" << g.pad << " row " << r << " col " << j;
+        }
+        // The ld slack past the tile must stay untouched.
+        for (int64_t j = p1 - p0; j < ld; ++j) {
+          ASSERT_EQ(panel.at({r, static_cast<int>(j)}), -7.5f);
+        }
+      }
+    }
+  }
+}
+
+TEST(Im2colTiled, RangePosChannelSubrangeWritesAbsoluteRows) {
+  // Rows land at their absolute lowered-row offsets (channel * kh*kw), so
+  // disjoint channel ranges of one tile can be filled in parallel; rows
+  // outside [c0, c1) must stay untouched.
+  Rng rng(8);
+  const ConvGeom g{4, 6, 6, 3, 3, 1, 1};
+  Tensor x = Tensor::randn({g.in_c, g.in_h, g.in_w}, rng);
+  const int rows = static_cast<int>(g.patch_rows());
+  const int pos = static_cast<int>(g.out_positions());
+  Tensor dense({rows, pos});
+  im2col(x.data(), g, dense.data());
+
+  const int64_t p0 = 5, p1 = 17;  // interior tile, ragged width 12
+  const int64_t ld = p1 - p0;
+  const int c0 = 1, c1 = 3, kk = g.k_h * g.k_w;
+  Tensor panel({rows, static_cast<int>(ld)});
+  panel.fill(-3.25f);
+  im2col_range_pos(x.data(), g, c0, c1, p0, p1, panel.data(), ld);
+  for (int r = 0; r < rows; ++r) {
+    const bool in_range = r >= c0 * kk && r < c1 * kk;
+    for (int64_t j = 0; j < ld; ++j) {
+      if (in_range) {
+        ASSERT_EQ(panel.at({r, static_cast<int>(j)}),
+                  dense.at({r, static_cast<int>(p0 + j)}));
+      } else {
+        ASSERT_EQ(panel.at({r, static_cast<int>(j)}), -3.25f);
+      }
+    }
+  }
+}
+
+TEST(Im2colTiled, GatherPosLdMatchesGatherColumnSlices) {
+  // Channel-masked tiled lowering vs the full gathered lowering: the tile
+  // is the exact [p0, p1) column slice, for stride-1/pad-1 and the
+  // stride-2/pad-0 downsampling geometry.
+  const ConvGeom geoms[] = {
+      {3, 9, 8, 3, 3, 1, 1},
+      {3, 11, 9, 3, 3, 2, 0},
+  };
+  Rng rng(9);
+  for (const ConvGeom& g : geoms) {
+    Tensor x = Tensor::randn({g.in_c, g.in_h, g.in_w}, rng);
+    const std::vector<int> channels = {0, 2};
+    const int kk = g.k_h * g.k_w;
+    const int rows = static_cast<int>(channels.size()) * kk;
+    const int pos = static_cast<int>(g.out_positions());
+
+    Tensor full({rows, pos});
+    im2col_gather_ld(x.data(), g, channels, iota_vec(pos), full.data(), pos);
+
+    const int64_t tile = 5;  // ragged: 5 divides neither 72 nor 25
+    Tensor panel({rows, static_cast<int>(tile)});
+    for (int64_t p0 = 0; p0 < pos; p0 += tile) {
+      const int64_t p1 = std::min<int64_t>(p0 + tile, pos);
+      panel.fill(-1.5f);
+      im2col_gather_pos_ld(x.data(), g, channels, p0, p1, panel.data(),
+                           tile);
+      for (int r = 0; r < rows; ++r) {
+        for (int64_t j = p0; j < p1; ++j) {
+          ASSERT_EQ(panel.at({r, static_cast<int>(j - p0)}),
+                    full.at({r, static_cast<int>(j)}))
+              << "stride=" << g.stride << " pad=" << g.pad << " row " << r
+              << " col " << j;
+        }
+      }
+    }
+  }
 }
 
 TEST(Col2im, StridedAdjoint) {

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/engine.h"
 #include "models/factory.h"
@@ -404,6 +405,122 @@ TEST(InferencePlan, ArenaBytesScaleWithBatchAndCoverEveryBatchSize) {
                 static_cast<size_t>(x.size()) * sizeof(float));
     net->forward(staged, ctx);
     EXPECT_EQ(ctx.workspace().grow_count(), grows) << "batch " << batch;
+  }
+}
+
+// --- spatially-tiled lowering ------------------------------------------------
+
+TEST(InferencePlan, ForcedTileBitwiseAndZeroGrowthsAcrossModels) {
+  // --tile=96 forces tiling even at test-scale resolutions where auto
+  // declines (96 divides none of the per-layer position counts, so every
+  // sweep exercises a ragged tail tile). Tiled output must stay bitwise
+  // identical to the untiled plan, and the tile-aware arena sizing must
+  // stay exact from the first pass.
+  const int batch = 2;
+  for (const Case& c : kCases) {
+    Rng rng(17);
+    Tensor x = Tensor::randn({batch, 3, c.image, c.image}, rng);
+
+    auto run_once = [&](models::ConvNet& net, nn::ExecutionContext& ctx) {
+      ctx.begin_pass();
+      Tensor staged = ctx.alloc(x.shape());
+      std::memcpy(staged.data(), x.data(),
+                  static_cast<size_t>(x.size()) * sizeof(float));
+      return net.forward(staged, ctx);
+    };
+
+    std::vector<float> ref;
+    {
+      auto net = build(c);
+      net->set_tile_policy({plan::TileMode::kOff, 0});
+      nn::ExecutionContext ctx;
+      net->inference_plan(3, c.image, c.image).reserve(ctx.workspace(), batch);
+      Tensor y = run_once(*net, ctx);
+      ref.assign(y.data(), y.data() + y.size());
+    }
+
+    auto net = build(c);
+    net->set_tile_policy({plan::TileMode::kFixed, 96});
+    plan::InferencePlan& plan = net->inference_plan(3, c.image, c.image);
+    bool tiled = false;
+    for (const plan::PlanOp& op : plan.ops()) tiled |= op.tile_pos > 0;
+    EXPECT_TRUE(tiled) << c.model;
+    nn::ExecutionContext ctx;
+    plan.reserve(ctx.workspace(), batch);
+    const int64_t grows = ctx.workspace().grow_count();
+    for (int pass = 0; pass < 3; ++pass) {
+      Tensor y = run_once(*net, ctx);
+      ASSERT_EQ(static_cast<size_t>(y.size()), ref.size());
+      EXPECT_EQ(std::memcmp(ref.data(), y.data(),
+                            ref.size() * sizeof(float)),
+                0)
+          << c.model << " pass " << pass;
+      EXPECT_EQ(ctx.workspace().grow_count(), grows)
+          << c.model << " pass " << pass;
+    }
+  }
+}
+
+TEST(InferencePlan, TiledArenaExactAt224InBothRegimes) {
+  // The 224x224 workload class: auto tiling engages, shrinks the arena
+  // versus --tile=off, keeps the sizing exact (reserve => zero growths
+  // from the first pass) in f32 AND int8, and the tiled f32 logits stay
+  // bitwise identical to the untiled plan.
+  const int image = 224, batch = 2;
+  const Case c{"small_cnn", image, 1.0f};
+  Rng rng(19);
+  Tensor x = Tensor::randn({batch, 3, image, image}, rng);
+
+  auto run_once = [&](models::ConvNet& net, nn::ExecutionContext& ctx) {
+    ctx.begin_pass();
+    Tensor staged = ctx.alloc(x.shape());
+    std::memcpy(staged.data(), x.data(),
+                static_cast<size_t>(x.size()) * sizeof(float));
+    return net.forward(staged, ctx);
+  };
+
+  std::vector<float> untiled_ref;
+  size_t untiled_arena = 0;
+  {
+    auto net = build(c);
+    net->set_tile_policy({plan::TileMode::kOff, 0});
+    plan::InferencePlan& plan = net->inference_plan(3, image, image);
+    untiled_arena = plan.arena_bytes(batch);
+    nn::ExecutionContext ctx;
+    plan.reserve(ctx.workspace(), batch);
+    Tensor y = run_once(*net, ctx);
+    untiled_ref.assign(y.data(), y.data() + y.size());
+  }
+
+  auto net = build(c);
+  net->set_tile_policy({plan::TileMode::kAuto, 0});
+  plan::InferencePlan& plan = net->inference_plan(3, image, image);
+  bool tiled = false;
+  for (const plan::PlanOp& op : plan.ops()) tiled |= op.tile_pos > 0;
+  EXPECT_TRUE(tiled) << "auto tiling must engage at 224x224";
+  EXPECT_LT(plan.arena_bytes(batch), untiled_arena)
+      << "tiled arena must undercut the untiled arena";
+
+  for (const plan::NumericRegime regime :
+       {plan::NumericRegime::kF32, plan::NumericRegime::kInt8}) {
+    net->set_numeric_regime(regime);
+    nn::ExecutionContext ctx;
+    plan.reserve(ctx.workspace(), batch);
+    const int64_t grows = ctx.workspace().grow_count();
+    for (int pass = 0; pass < 2; ++pass) {
+      Tensor y = run_once(*net, ctx);
+      ASSERT_EQ(y.dim(0), batch);
+      EXPECT_EQ(ctx.workspace().grow_count(), grows)
+          << (regime == plan::NumericRegime::kF32 ? "f32" : "int8")
+          << " pass " << pass;
+      if (regime == plan::NumericRegime::kF32) {
+        ASSERT_EQ(static_cast<size_t>(y.size()), untiled_ref.size());
+        EXPECT_EQ(std::memcmp(untiled_ref.data(), y.data(),
+                              untiled_ref.size() * sizeof(float)),
+                  0)
+            << "tiled f32 must match untiled bitwise, pass " << pass;
+      }
+    }
   }
 }
 

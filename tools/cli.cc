@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <thread>
@@ -29,17 +30,28 @@ void add_common_flags(FlagSet& flags) {
   flags.add_double("width", 1.0, "channel width multiplier");
   flags.add_int("classes", 4, "number of classes");
   flags.add_int("image-size", 16, "synthetic image height/width");
+  flags.add_int("resolution", 0,
+                "workload resolution (synthetic image height/width); "
+                "overrides --image-size when > 0 — use for the large "
+                "ImageNet-style classes (e.g. --resolution=224)");
   flags.add_int("train-size", 256, "synthetic training samples");
   flags.add_int("test-size", 128, "synthetic test samples");
   flags.add_int("seed", 7, "global seed (init, data, shuffling)");
   flags.add_int("batch", 32, "batch size");
 }
 
+// The effective square image size: --resolution wins when given (the
+// 224x224 workload-class knob), --image-size otherwise.
+int image_size_from_flags(const FlagSet& flags) {
+  const int resolution = flags.get_int("resolution");
+  return resolution > 0 ? resolution : flags.get_int("image-size");
+}
+
 data::DatasetPair make_data(const FlagSet& flags) {
   data::SyntheticSpec spec;
   spec.name = "cli-syn";
   spec.num_classes = flags.get_int("classes");
-  spec.height = spec.width = flags.get_int("image-size");
+  spec.height = spec.width = image_size_from_flags(flags);
   spec.train_size = flags.get_int("train-size");
   spec.test_size = flags.get_int("test-size");
   spec.seed = static_cast<uint64_t>(flags.get_int("seed")) * 7919 + 3;
@@ -128,6 +140,25 @@ plan::CoarsenPolicy coarsen_from_flags(const FlagSet& flags) {
   return {};
 }
 
+void add_tile_flag(FlagSet& flags) {
+  flags.add_string("tile", "auto",
+                   "spatially-tiled conv lowering: off | auto | N (auto "
+                   "tiles large output grids so the im2col panel stays "
+                   "cache-resident; N forces a fixed tile width in output "
+                   "positions; f32 output is bitwise identical either way)");
+}
+
+plan::TilePolicy tile_from_flags(const FlagSet& flags) {
+  const std::string t = flags.get_string("tile");
+  if (t == "off") return {plan::TileMode::kOff, 0};
+  if (t == "auto") return {plan::TileMode::kAuto, 0};
+  char* end = nullptr;
+  const long n = std::strtol(t.c_str(), &end, 10);
+  AD_CHECK(end != nullptr && *end == '\0' && n > 0)
+      << " --tile must be off|auto|N (positive integer), got " << t;
+  return {plan::TileMode::kFixed, static_cast<int>(n)};
+}
+
 core::TrainConfig train_config(const FlagSet& flags) {
   core::TrainConfig tc;
   tc.epochs = flags.get_int("epochs");
@@ -158,7 +189,7 @@ int cmd_summary(const std::vector<std::string>& args) {
     return 0;
   }
   auto net = make_net(flags);
-  const int size = flags.get_int("image-size");
+  const int size = image_size_from_flags(flags);
   std::cout << net->model_name() << " (width "
             << flags.get_double("width") << "):\n"
             << models::summarize(*net, 3, size, size).to_string();
@@ -181,7 +212,7 @@ int cmd_train(const std::vector<std::string>& args) {
   auto net = make_net(flags);
   core::Trainer trainer(*net, *data.train, train_config(flags));
   trainer.fit();
-  const int size = flags.get_int("image-size");
+  const int size = image_size_from_flags(flags);
   const int64_t dense =
       models::measure_dense_flops(*net, 3, size, size).total_macs;
   report_eval(*net, *data.test, flags.get_int("batch"), dense);
@@ -227,7 +258,7 @@ int cmd_ttd(const std::vector<std::string>& args) {
   std::printf("TTD: %d epochs over %zu levels, final train acc %.4f\n",
               result.total_epochs, result.levels.size(),
               result.final_train_accuracy);
-  const int size = flags.get_int("image-size");
+  const int size = image_size_from_flags(flags);
   const int64_t dense =
       models::measure_dense_flops(*net, 3, size, size).total_macs;
   report_eval(*net, *data.test, flags.get_int("batch"), dense);
@@ -245,6 +276,7 @@ int cmd_eval(const std::vector<std::string>& args) {
   add_prune_flags(flags);
   add_quantize_flag(flags);
   add_coarsen_flag(flags);
+  add_tile_flag(flags);
   flags.add_string("ckpt", "", "checkpoint to evaluate (required)");
   flags.parse(args);
   if (flags.help_requested()) {
@@ -257,7 +289,8 @@ int cmd_eval(const std::vector<std::string>& args) {
   nn::load_checkpoint(*net, flags.get_string("ckpt"));
   net->set_numeric_regime(regime_from_flags(flags));
   net->set_coarsen_policy(coarsen_from_flags(flags));
-  const int size = flags.get_int("image-size");
+  net->set_tile_policy(tile_from_flags(flags));
+  const int size = image_size_from_flags(flags);
   const int64_t dense =
       models::measure_dense_flops(*net, 3, size, size).total_macs;
   core::DynamicPruningEngine engine(*net, settings_from_flags(flags, *net));
@@ -552,6 +585,7 @@ int cmd_trace(const std::vector<std::string>& args) {
   add_common_flags(flags);
   add_prune_flags(flags);
   add_quantize_flag(flags);
+  add_tile_flag(flags);
   add_trace_flags(flags);
   flags.add_string("out", "trace.json", "Chrome trace-event JSON path");
   flags.add_string("ckpt", "", "checkpoint to load first (optional)");
@@ -574,6 +608,7 @@ int cmd_trace(const std::vector<std::string>& args) {
     nn::load_checkpoint(*net, ckpt);
   }
   net->set_numeric_regime(regime_from_flags(flags));
+  net->set_tile_policy(tile_from_flags(flags));
   bool defaulted = false;
   auto engine = make_trace_engine(flags, *net, &defaulted);
   if (defaulted) {
@@ -583,7 +618,7 @@ int cmd_trace(const std::vector<std::string>& args) {
   }
   const int passes = flags.get_int("passes");
   plan::InferencePlan& plan = run_traced_passes(
-      *net, flags.get_int("image-size"), flags.get_int("batch"),
+      *net, image_size_from_flags(flags), flags.get_int("batch"),
       flags.get_int("distinct"), passes,
       static_cast<uint64_t>(flags.get_int("seed")));
   tracer.disable();
@@ -621,6 +656,7 @@ int cmd_plan_dump(const std::vector<std::string>& args) {
   add_prune_flags(flags);
   add_quantize_flag(flags);
   add_coarsen_flag(flags);
+  add_tile_flag(flags);
   add_trace_flags(flags);
   flags.add_string("ckpt", "", "checkpoint to load first (optional)");
   flags.add_bool("profile", false,
@@ -655,7 +691,8 @@ int cmd_plan_dump(const std::vector<std::string>& args) {
   net->set_training(false);
   net->set_numeric_regime(regime_from_flags(flags));
   net->set_coarsen_policy(coarsen_from_flags(flags));
-  const int size = flags.get_int("image-size");
+  net->set_tile_policy(tile_from_flags(flags));
+  const int size = image_size_from_flags(flags);
   plan::InferencePlan& plan = net->inference_plan(3, size, size);
   std::cout << net->model_name() << " @ 3x" << size << "x" << size
             << (engine ? " (gated)" : " (dense)") << "\n"
@@ -663,6 +700,26 @@ int cmd_plan_dump(const std::vector<std::string>& args) {
   const int batch = flags.get_int("batch");
   std::printf("arena bytes: %zu @ batch 1, %zu @ batch %d\n",
               plan.arena_bytes(1), plan.arena_bytes(batch), batch);
+  // Per-op kernel scratch and the arena's high-water op: which step's
+  // worst-case scratch (on top of the activations and the gate outputs
+  // live before it) actually sets the reserved footprint.
+  std::printf("per-op kernel scratch @ batch %d:\n", batch);
+  size_t peak_scratch = 0;
+  const int peak_op = plan.peak_scratch_op(batch, &peak_scratch);
+  for (size_t i = 0; i < plan.ops().size(); ++i) {
+    const size_t scratch = plan.op_scratch_bytes(static_cast<int>(i), batch);
+    if (scratch == 0) continue;
+    const plan::PlanOp& op = plan.ops()[i];
+    const std::string tile_note =
+        op.tile_pos > 0 ? " (tile " + std::to_string(op.tile_pos) + ")" : "";
+    std::printf("  %-3zu %-18s %12zu B%s%s\n", i, op.name.c_str(), scratch,
+                tile_note.c_str(),
+                static_cast<int>(i) == peak_op ? "  <- arena peak" : "");
+  }
+  if (peak_op < 0) {
+    std::printf("  arena peak set by activations + gate outputs "
+                "(no kernel scratch on top)\n");
+  }
   if (!profile) return 0;
 
   // Counters are always attempted under --profile (they degrade to "-"
@@ -707,6 +764,7 @@ int cmd_serve_bench(const std::vector<std::string>& args) {
   add_prune_flags(flags);
   add_quantize_flag(flags);
   add_coarsen_flag(flags);
+  add_tile_flag(flags);
   flags.add_string("ckpt", "", "checkpoint loaded into every replica "
                    "(optional; random init otherwise)");
   flags.add_int("workers", 1, "batch workers (one model replica each)");
@@ -726,7 +784,7 @@ int cmd_serve_bench(const std::vector<std::string>& args) {
     return 0;
   }
 
-  const int image_size = flags.get_int("image-size");
+  const int image_size = image_size_from_flags(flags);
   const int num_classes = flags.get_int("classes");
   const uint64_t seed = static_cast<uint64_t>(flags.get_int("seed"));
   const std::string ckpt = flags.get_string("ckpt");
@@ -767,18 +825,20 @@ int cmd_serve_bench(const std::vector<std::string>& args) {
 
   const plan::NumericRegime regime = regime_from_flags(flags);
   const plan::CoarsenPolicy coarsen = coarsen_from_flags(flags);
+  const plan::TilePolicy tile = tile_from_flags(flags);
   serving::InferenceServer server(
       [&](int replica) {
         Rng rng(seed);  // same seed: every replica gets the same weights
         auto net = models::make_model(model, num_classes, width, rng);
         if (!ckpt.empty()) nn::load_checkpoint(*net, ckpt);
-        // Replicas compile their plans lazily per shape; the regime and
-        // coarsening policy set here apply to every one of them, so
-        // quantized serving never executes an f32 conv pass first and
-        // --coarsen=off replicas are never coarsened (the scheduler
-        // respects the off mode when posting controller bias).
+        // Replicas compile their plans lazily per shape; the regime,
+        // coarsening and tiling policies set here apply to every one of
+        // them, so quantized serving never executes an f32 conv pass
+        // first, --coarsen=off replicas are never coarsened, and the
+        // tile policy shapes each replica's reserved arena.
         net->set_numeric_regime(regime);
         net->set_coarsen_policy(coarsen);
+        net->set_tile_policy(tile);
         (void)replica;
         return net;
       },
