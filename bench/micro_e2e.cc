@@ -1142,6 +1142,247 @@ ResolutionSweepReport verify_resolution_sweep() {
   return r;
 }
 
+// --- adversarial-load hardening gate -----------------------------------------
+//
+// The serving stack under hostile traffic (serving/adversarial.h). Gated:
+//   * per-request compute-cap semantics, deterministically: a NON-binding
+//     cap is bitwise identical to the uncapped plan (the executor returns
+//     the original masks untouched) and counts zero capped samples; a
+//     binding cap clamps every masked sample and stays zero-alloc /
+//     zero-growth across warm passes (capped_masks are pre-sized by
+//     reserve());
+//   * under a mixed-profile attack at sustained overload against a server
+//     running cost-aware admission control plus the cap, the hardening
+//     actually fires: shed > 0 and capped > 0;
+//   * on a real pool (>= 4 threads on >= 4 physical cores) the admitted
+//     requests' e2e p99 under attack stays within 3x the friendly
+//     closed-loop p99 — admission keeps the queue drainable instead of
+//     letting hostile load poison every admitted request. The timing
+//     ratio self-skips like the other gates; cap semantics and counter
+//     checks always run.
+constexpr double kAdversarialP99Factor = 3.0;
+
+struct AdversarialReport {
+  bool cap_noop_bitwise = false;
+  int cap_noop_samples = -1;    // must be 0: the 0.9 cap never binds
+  int cap_binding_samples = 0;  // must cover the batch: 0.4 always binds
+  int64_t cap_warm_allocs = -1;
+  int64_t cap_warm_growths = -1;
+  double friendly_p99_ms = 0.0;
+  uint64_t attack_offered = 0;
+  uint64_t attack_completed = 0;
+  uint64_t shed = 0;
+  uint64_t rejected = 0;
+  uint64_t capped = 0;
+  uint64_t expired = 0;
+  double attack_p99_ms = 0.0;
+  double attack_queue_p99_ms = 0.0;
+  double attack_forward_p99_ms = 0.0;
+  double p99_ratio = 0.0;
+  bool gate_enforced = false;
+  bool pass = false;
+};
+
+AdversarialReport verify_adversarial() {
+  AdversarialReport r;
+  const int batch = 4;
+
+  // 1) Cap semantics on the plan executor (deterministic, no serving).
+  // Channel-only drops of 0.3: every masked sample demands keep 0.7 of
+  // some conv step, so a 0.9 ceiling never binds and a 0.4 always does.
+  {
+    auto net = build("small_cnn");
+    core::PruneSettings s;
+    s.channel_drop.assign(static_cast<size_t>(net->num_blocks()), 0.3f);
+    s.spatial_drop.assign(static_cast<size_t>(net->num_blocks()), 0.f);
+    core::DynamicPruningEngine engine(*net, s);
+    Rng rng(33);
+    Tensor x = Tensor::randn({batch, 3, 32, 32}, rng);
+    nn::ExecutionContext ctx;
+    plan::InferencePlan& plan = net->inference_plan(3, 32, 32);
+    plan.reserve(ctx.workspace(), batch);
+    auto run_pass = [&] {
+      ctx.begin_pass();
+      Tensor staged = ctx.alloc(x.shape());
+      std::memcpy(staged.data(), x.data(),
+                  static_cast<size_t>(x.size()) * sizeof(float));
+      return net->forward(staged, ctx);
+    };
+    const Tensor uncapped = run_pass();
+    std::vector<float> ref(uncapped.data(),
+                           uncapped.data() + uncapped.size());
+    net->set_compute_cap(0.9);
+    const Tensor noop = run_pass();
+    r.cap_noop_bitwise =
+        static_cast<size_t>(noop.size()) == ref.size() &&
+        std::memcmp(ref.data(), noop.data(),
+                    ref.size() * sizeof(float)) == 0;
+    r.cap_noop_samples = plan.last_capped_samples();
+    net->set_compute_cap(0.4);
+    for (int i = 0; i < 3; ++i) run_pass();  // warm the capped path
+    r.cap_binding_samples = plan.last_capped_samples();
+    const int64_t grows_before = ctx.workspace().grow_count();
+    const int64_t allocs_before = g_heap_allocs.load();
+    for (int i = 0; i < 5; ++i) {
+      Tensor y = run_pass();
+      benchmark::DoNotOptimize(y.data());
+    }
+    r.cap_warm_allocs = g_heap_allocs.load() - allocs_before;
+    r.cap_warm_growths = ctx.workspace().grow_count() - grows_before;
+    engine.remove();
+  }
+
+  // Shared serving pieces: channel-only pruning so the compute cap has a
+  // well-defined per-request kept fraction to clamp.
+  auto make_prune = [] {
+    auto probe = build("small_cnn");
+    core::PruneSettings s;
+    s.channel_drop.assign(static_cast<size_t>(probe->num_blocks()), 0.3f);
+    s.spatial_drop.assign(static_cast<size_t>(probe->num_blocks()), 0.f);
+    return s;
+  };
+  auto closed_loop = [](serving::InferenceServer& server, int clients,
+                        int per_client, uint64_t seed0) {
+    std::vector<std::thread> ts;
+    ts.reserve(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      ts.emplace_back([&server, per_client, seed0, c] {
+        Rng rng(seed0 + static_cast<uint64_t>(c));
+        for (int i = 0; i < per_client; ++i) {
+          auto f = server.submit(Tensor::randn({3, 32, 32}, rng));
+          if (!f.valid()) return;
+          f.get();
+        }
+      });
+    }
+    for (std::thread& t : ts) t.join();
+  };
+
+  // 2) Friendly baseline: closed-loop clients against a plain pruned
+  // server fix the reference p99.
+  {
+    serving::ServerConfig config;
+    config.policy.max_batch = 8;
+    config.policy.max_wait = std::chrono::microseconds(500);
+    config.policy.num_workers = 2;
+    config.prune = make_prune();
+    serving::InferenceServer server(
+        [](int) { return build("small_cnn"); }, config);
+    closed_loop(server, 4, 8, 55);  // warm-up
+    server.stats().reset();
+    closed_loop(server, 4, 24, 56);
+    r.friendly_p99_ms = server.stats().snapshot().e2e_p99_ms;
+    server.shutdown();
+  }
+
+  // 3) Mixed attack against the hardened server. The generous latency
+  // budget keeps the controller relaxed — i.e. near keep-everything, the
+  // worst case the cap exists for — while the tight admission budget
+  // prices the burst volleys out of the queue.
+  {
+    serving::ServerConfig config;
+    config.policy.max_batch = 8;
+    config.policy.max_wait = std::chrono::microseconds(500);
+    config.policy.num_workers = 2;
+    config.queue_capacity = 64;
+    config.prune = make_prune();
+    serving::LatencyController::Config lc;
+    lc.target_p95_ms = 20.0;
+    config.latency = lc;
+    config.admission.enabled = true;
+    config.admission.max_queue_ms = 0.1;
+    config.compute_cap = 0.5;
+    serving::InferenceServer server(
+        [](int) { return build("small_cnn"); }, config);
+    // Friendly warm-up first: the controller needs a latency window
+    // before the admission cost estimate is live.
+    closed_loop(server, 4, 8, 57);
+    server.stats().reset();
+
+    constexpr int kAttackers = 4;
+    constexpr int kPerAttacker = 128;
+    std::vector<std::thread> attackers;
+    attackers.reserve(kAttackers);
+    for (int c = 0; c < kAttackers; ++c) {
+      attackers.emplace_back([&server, c] {
+        serving::AdversarialGenerator gen(
+            3, 32, 32, serving::AdversarialProfile::kMixed,
+            77 + static_cast<uint64_t>(c));
+        std::vector<std::future<serving::InferenceResult>> volley;
+        for (int i = 0; i < kPerAttacker;) {
+          const serving::AdversarialPacing pacing =
+              gen.pacing(server.queue().capacity());
+          const int n =
+              pacing.open_loop
+                  ? std::min(pacing.burst, kPerAttacker - i)
+                  : 1;
+          for (int b = 0; b < n; ++b) {
+            const auto deadline =
+                serving::Clock::now() + std::chrono::milliseconds(50);
+            auto f = pacing.open_loop
+                         ? server.try_submit(gen.next_input(), deadline)
+                         : server.submit(gen.next_input(), deadline);
+            if (f.valid()) volley.push_back(std::move(f));
+          }
+          i += n;
+          for (auto& f : volley) f.get();
+          volley.clear();
+          if (pacing.gap.count() > 0) {
+            std::this_thread::sleep_for(pacing.gap);
+          }
+        }
+      });
+    }
+    for (std::thread& t : attackers) t.join();
+    const serving::ServerStats::Snapshot s = server.stats().snapshot();
+    server.shutdown();
+    r.attack_offered = s.offered_requests;
+    r.attack_completed = s.completed_requests;
+    r.shed = s.shed;
+    r.rejected = s.rejected;
+    r.capped = s.capped_requests;
+    r.expired = s.expired_unexecuted;
+    r.attack_p99_ms = s.e2e_p99_ms;
+    r.attack_queue_p99_ms = s.queue_wait_p99_ms;
+    r.attack_forward_p99_ms = s.forward_p99_ms;
+  }
+  r.p99_ratio = r.friendly_p99_ms > 0.0
+                    ? r.attack_p99_ms / r.friendly_p99_ms
+                    : 0.0;
+
+  const int threads = 1 + antidote::global_pool().size();
+  const int cores = static_cast<int>(std::thread::hardware_concurrency());
+  r.gate_enforced = threads >= 4 && cores >= threads;
+  const bool cap_ok = r.cap_noop_bitwise && r.cap_noop_samples == 0 &&
+                      r.cap_binding_samples == batch &&
+                      r.cap_warm_allocs == 0 && r.cap_warm_growths == 0;
+  const bool fired_ok = r.shed > 0 && r.capped > 0;
+  const bool timing_ok =
+      !r.gate_enforced || r.p99_ratio <= kAdversarialP99Factor;
+  r.pass = cap_ok && fired_ok && timing_ok;
+  std::printf(
+      "adversarial small_cnn: cap noop bitwise %s (%d capped), binding cap "
+      "%d/%d samples, warm %lld allocs / %lld growths; mixed attack "
+      "%llu offered -> %llu completed, shed %llu, rejected %llu, capped "
+      "%llu, expired %llu; p99 %.3f ms (queue %.3f, forward %.3f) vs "
+      "friendly %.3f ms (%.2fx, budget %.1f)%s -> %s\n",
+      r.cap_noop_bitwise ? "yes" : "NO", r.cap_noop_samples,
+      r.cap_binding_samples, batch,
+      static_cast<long long>(r.cap_warm_allocs),
+      static_cast<long long>(r.cap_warm_growths),
+      static_cast<unsigned long long>(r.attack_offered),
+      static_cast<unsigned long long>(r.attack_completed),
+      static_cast<unsigned long long>(r.shed),
+      static_cast<unsigned long long>(r.rejected),
+      static_cast<unsigned long long>(r.capped),
+      static_cast<unsigned long long>(r.expired), r.attack_p99_ms,
+      r.attack_queue_p99_ms, r.attack_forward_p99_ms, r.friendly_p99_ms,
+      r.p99_ratio, kAdversarialP99Factor,
+      r.gate_enforced ? "" : " (timing skipped: <4 threads or oversubscribed)",
+      r.pass ? "PASSED" : "FAILED");
+  return r;
+}
+
 // --- serving latency-distribution smoke -------------------------------------
 //
 // A small in-process InferenceServer run whose percentile snapshot rides
@@ -1253,6 +1494,10 @@ bool run_plan_verification(const char* json_path) {
   std::printf("--- resolution sweep (spatially-tiled lowering) ---\n");
   const ResolutionSweepReport sweep = verify_resolution_sweep();
   ok &= sweep.pass;
+
+  std::printf("--- adversarial-load hardening ---\n");
+  const AdversarialReport adversarial = verify_adversarial();
+  ok &= adversarial.pass;
 
   // Written to a temp file and published atomically: the tracked
   // BENCH_plan.json must never be observable empty or half-written.
@@ -1394,6 +1639,31 @@ bool run_plan_verification(const char* json_path) {
         sweep.speedup_224, kTiledSpeedupFloor, sweep.low_res_ratio,
         kTiledLowResBudget, sweep.gate_enforced ? "true" : "false",
         sweep.pass ? "true" : "false");
+    std::fprintf(
+        f,
+        "  \"adversarial\": {\"model\": \"small_cnn\", "
+        "\"cap_noop_bitwise\": %s, \"cap_noop_samples\": %d, "
+        "\"cap_binding_samples\": %d, \"cap_warm_heap_allocs\": %lld, "
+        "\"cap_warm_arena_growths\": %lld, \"attack_offered\": %llu, "
+        "\"attack_completed\": %llu, \"shed\": %llu, \"rejected\": %llu, "
+        "\"capped\": %llu, \"expired_unexecuted\": %llu, "
+        "\"friendly_p99_ms\": %.4f, \"attack_p99_ms\": %.4f, "
+        "\"p99_ratio\": %.3f, \"p99_budget\": %.1f, \"gate_enforced\": %s, "
+        "\"pass\": %s},\n",
+        adversarial.cap_noop_bitwise ? "true" : "false",
+        adversarial.cap_noop_samples, adversarial.cap_binding_samples,
+        static_cast<long long>(adversarial.cap_warm_allocs),
+        static_cast<long long>(adversarial.cap_warm_growths),
+        static_cast<unsigned long long>(adversarial.attack_offered),
+        static_cast<unsigned long long>(adversarial.attack_completed),
+        static_cast<unsigned long long>(adversarial.shed),
+        static_cast<unsigned long long>(adversarial.rejected),
+        static_cast<unsigned long long>(adversarial.capped),
+        static_cast<unsigned long long>(adversarial.expired),
+        adversarial.friendly_p99_ms, adversarial.attack_p99_ms,
+        adversarial.p99_ratio, kAdversarialP99Factor,
+        adversarial.gate_enforced ? "true" : "false",
+        adversarial.pass ? "true" : "false");
     std::fprintf(f, "  \"gate\": \"%s\"\n}\n",
                  ok ? "PASSED" : "FAILED");
     std::fclose(f);

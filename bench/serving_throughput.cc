@@ -112,11 +112,17 @@ struct RowResult {
   double channel_keep = 1.0;
   double spatial_keep = 1.0;
   double budget_ms = 0.0;
+  double shed_rate_pct = 0.0;
+  double capped_rate_pct = 0.0;
 };
 
-// Closed-loop run against one server configuration.
+// Closed-loop run against one server configuration. `hardened` adds the
+// overload defenses on top of the budget row's controller: cost-aware
+// admission (shed when the predicted queue drain exceeds the latency
+// budget) and a per-request compute cap. Friendly closed-loop traffic
+// should pay ~nothing for them — the row exists to show that.
 RowResult run_server_row(const SweepScale& s, int max_batch,
-                         double budget_ms) {
+                         double budget_ms, bool hardened = false) {
   serving::ServerConfig config;
   config.policy.max_batch = max_batch;
   config.policy.num_workers = 1;
@@ -130,6 +136,11 @@ RowResult run_server_row(const SweepScale& s, int max_batch,
     lc.window = 6;
     lc.step = 0.2f;  // converge within the warm-up phase
     config.latency = lc;
+    if (hardened) {
+      config.admission.enabled = true;
+      config.admission.max_queue_ms = budget_ms;
+      config.compute_cap = 0.6;
+    }
   }
   serving::InferenceServer server([&](int) { return build_model(s); },
                                   config);
@@ -168,6 +179,8 @@ RowResult run_server_row(const SweepScale& s, int max_batch,
   row.throughput_rps = snap.throughput_rps;
   row.mean_batch = snap.mean_batch_size;
   row.budget_ms = budget_ms;
+  row.shed_rate_pct = snap.shed_rate_pct;
+  row.capped_rate_pct = snap.capped_rate_pct;
   if (serving::LatencyController* lc = server.controller()) {
     row.p95_ms = lc->smoothed_p95_ms();
     const auto keep = lc->keep_summary();
@@ -234,6 +247,27 @@ int main() {
     a.budget_held = held.p95_ms > 0.75 * budget && held.p95_ms < 1.25 * budget;
     a.speedup_ok = held.throughput_rps >= 2.0 * serial_rps;
     acceptance.push_back(a);
+
+    // Hardened row (largest batch only): the same budgeted policy plus
+    // admission control and a 0.6 compute cap. Reported, not gated —
+    // friendly closed-loop traffic should see ~zero shed and near-identical
+    // throughput, so a divergence here flags hardening overhead.
+    if (max_batch == batches.back()) {
+      const RowResult hard =
+          run_server_row(s, max_batch, budget, /*hardened=*/true);
+      table.add_row({"batch=" + std::to_string(max_batch) + " hardened",
+                     Table::fmt(budget, 3),
+                     Table::fmt(hard.throughput_rps, 1),
+                     Table::fmt(hard.p95_ms, 3),
+                     Table::fmt(hard.mean_batch, 2),
+                     Table::fmt(hard.channel_keep, 2),
+                     Table::fmt(hard.spatial_keep, 2),
+                     Table::fmt(hard.throughput_rps / serial_rps, 2)});
+      std::printf(
+          "hardened batch=%d: shed rate %.2f%%, capped rate %.2f%% under "
+          "friendly closed-loop load (admission %.3f ms, cap 0.6)\n",
+          max_batch, hard.shed_rate_pct, hard.capped_rate_pct, budget);
+    }
   }
 
   table.emit("Serving throughput: batch policy x latency budget",

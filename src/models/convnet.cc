@@ -44,6 +44,7 @@ plan::InferencePlan& ConvNet::inference_plan(int in_c, int in_h, int in_w) {
   plan_->set_regime(regime_);
   plan_->set_coarsen({coarsen_mode_, coarsen_mac_bias_});
   plan_->set_tile({tile_mode_, tile_n_});
+  plan_->set_compute_cap(compute_cap_);
   return *plan_;
 }
 
@@ -62,6 +63,11 @@ void ConvNet::set_tile_policy(plan::TilePolicy policy) {
   tile_mode_ = policy.mode;
   tile_n_ = policy.n;
   if (plan_ != nullptr) plan_->set_tile(policy);
+}
+
+void ConvNet::set_compute_cap(double cap) {
+  compute_cap_ = cap;
+  if (plan_ != nullptr) plan_->set_compute_cap(cap);
 }
 
 void ConvNet::invalidate_plan() {

@@ -85,6 +85,13 @@ class ConvNet : public nn::Module {
   // changes each conv step's kernel scratch, hence the arena footprint.
   void set_tile_policy(plan::TilePolicy policy);
 
+  // Per-request compute cap every compiled plan enforces (1.0 = uncapped
+  // by default): the max kept-MAC fraction a sample's runtime masks may
+  // demand of any conv step before the executor clamps them. Sticky like
+  // the other plan policies; the serving stack sets it once per replica.
+  void set_compute_cap(double cap);
+  double compute_cap() const { return compute_cap_; }
+
   // --- gate sites ---
   virtual int num_gate_sites() const = 0;
   // Installs (replacing any previous) gate at `site`; nullptr removes it.
@@ -136,6 +143,8 @@ class ConvNet : public nn::Module {
   // Sticky tiling policy (kAuto / 0 in the constructor), same treatment.
   plan::TileMode tile_mode_;
   int tile_n_;
+  // Sticky per-request compute cap (1.0 = uncapped).
+  double compute_cap_ = 1.0;
 };
 
 }  // namespace antidote::models

@@ -461,6 +461,21 @@ void InferencePlan::reserve(Workspace& ws, int n) {
         }
         um.out_channels.reserve(static_cast<size_t>(op.out_shape[0]));
       }
+      // Clamped-mask storage for the compute cap, sized exactly like the
+      // union-mask storage above (one slot per sample, full-domain
+      // capacities) so a warm capped pass stays heap-allocation-free even
+      // when an attack trips the cap on every request.
+      if (op.capped_masks.size() < static_cast<size_t>(n)) {
+        op.capped_masks.resize(static_cast<size_t>(n));
+      }
+      for (nn::ConvRuntimeMask& cm : op.capped_masks) {
+        cm.channels.reserve(static_cast<size_t>(op.geom.in_c));
+        if (conv_grid_preserving(op.geom)) {
+          cm.positions.reserve(
+              static_cast<size_t>(op.geom.in_h * op.geom.in_w));
+        }
+        cm.out_channels.reserve(static_cast<size_t>(op.out_shape[0]));
+      }
     }
   }
   // Pre-create the per-worker slice views (and their one-entry block
@@ -522,6 +537,126 @@ void InferencePlan::set_coarsen(CoarsenPolicy policy) {
   policy.mac_bias =
       std::clamp(policy.mac_bias, kMinCoarsenMacBias, kMaxCoarsenMacBias);
   coarsen_ = policy;
+}
+
+void InferencePlan::set_compute_cap(double cap) {
+  compute_cap_ = std::clamp(cap, kMinComputeCap, 1.0);
+}
+
+int InferencePlan::last_capped_samples() const {
+  int capped = 0;
+  for (const PlanOp& op : ops_) capped = std::max(capped, op.last_capped);
+  return capped;
+}
+
+double predict_batch_ms(const std::vector<OpCost>& ops, double channel_keep,
+                        double spatial_keep) {
+  double total = 0.0;
+  for (const OpCost& c : ops) {
+    if (c.prune_block < 0) {
+      total += c.ewma_ms;
+      continue;
+    }
+    double keep = channel_keep;
+    if (c.prune_spatial) keep *= spatial_keep;
+    const double measured = c.measured_units > 1e-4 ? c.measured_units : 1.0;
+    total += c.ewma_ms * (keep * c.group_frac) / measured;
+  }
+  return total;
+}
+
+namespace {
+
+// Truncates a kept-index component to `want` entries in canonical
+// (ascending-index) order, materializing the keep-all identity first when
+// the component is empty. The capacity is pre-reserved to the full domain
+// by InferencePlan::reserve(), so a warm truncation never allocates.
+void truncate_kept(std::vector<int>& kept, int domain, int want) {
+  if (kept.empty()) {
+    kept.resize(static_cast<size_t>(domain));
+    std::iota(kept.begin(), kept.end(), 0);
+  }
+  if (static_cast<int>(kept.size()) > want) {
+    kept.resize(static_cast<size_t>(want));
+  }
+}
+
+}  // namespace
+
+std::span<const nn::ConvRuntimeMask> InferencePlan::cap_runtime_masks(
+    PlanOp& op, std::span<const nn::ConvRuntimeMask> masks, int n) {
+  const ConvGeom& g = op.geom;
+  const int out_c = op.out_shape[0];
+  const bool spatial = conv_grid_preserving(g);
+  const int pos_domain =
+      spatial ? g.in_h * g.in_w : static_cast<int>(g.out_positions());
+  // Kept-MAC fraction of one sample's mask over the op's dense domains
+  // (the k_h*k_w factor cancels). Mirrors the CoarsenGroup accounting:
+  // without a spatial grid the position term is pinned dense.
+  const auto mac_frac = [&](const nn::ConvRuntimeMask& m) {
+    const int kept_ch =
+        m.channels.empty() ? g.in_c : static_cast<int>(m.channels.size());
+    const int kept_pos = !spatial        ? pos_domain
+                         : m.positions.empty()
+                             ? pos_domain
+                             : static_cast<int>(m.positions.size());
+    const int kept_out =
+        m.out_channels.empty() ? out_c : static_cast<int>(m.out_channels.size());
+    return (static_cast<double>(kept_ch) / g.in_c) *
+           (static_cast<double>(kept_pos) / pos_domain) *
+           (static_cast<double>(kept_out) / out_c);
+  };
+
+  bool any_over = false;
+  for (int b = 0; b < n && !any_over; ++b) {
+    any_over = mac_frac(masks[static_cast<size_t>(b)]) > compute_cap_;
+  }
+  if (!any_over) return masks;  // untouched: the uncapped path is bitwise
+
+  if (op.capped_masks.size() < static_cast<size_t>(n)) {
+    // Unreserved caller: grows once and converges, like the arena.
+    op.capped_masks.resize(static_cast<size_t>(n));
+  }
+  int capped = 0;
+  for (int b = 0; b < n; ++b) {
+    const nn::ConvRuntimeMask& src = masks[static_cast<size_t>(b)];
+    nn::ConvRuntimeMask& dst = op.capped_masks[static_cast<size_t>(b)];
+    // Copies assign into reserved capacity — no allocation once warm.
+    dst.channels.assign(src.channels.begin(), src.channels.end());
+    dst.positions.assign(src.positions.begin(), src.positions.end());
+    dst.out_channels.assign(src.out_channels.begin(), src.out_channels.end());
+    const double frac = mac_frac(src);
+    if (frac <= compute_cap_) continue;
+    ++capped;
+    // Clamp channels first, then spatial positions, each to its share of
+    // the cap (floored at one kept entry). Kept filters are the op's own
+    // static structure and stay untouched. Truncation keeps the lowest
+    // indices — arbitrary but deterministic; the attention ordering is
+    // not available at the executor, and a capped request is degraded by
+    // definition.
+    const int kept_ch =
+        dst.channels.empty() ? g.in_c : static_cast<int>(dst.channels.size());
+    const int kept_pos = !spatial        ? pos_domain
+                         : dst.positions.empty()
+                             ? pos_domain
+                             : static_cast<int>(dst.positions.size());
+    const double ch_frac = static_cast<double>(kept_ch) / g.in_c;
+    const double rest = frac / ch_frac;  // position x filter share
+    int want_ch = static_cast<int>(
+        std::floor(compute_cap_ / rest * g.in_c));
+    want_ch = std::clamp(want_ch, 1, kept_ch);
+    truncate_kept(dst.channels, g.in_c, want_ch);
+    if (spatial && mac_frac(dst) > compute_cap_) {
+      const double after_ch =
+          mac_frac(dst) / (static_cast<double>(kept_pos) / pos_domain);
+      int want_pos = static_cast<int>(
+          std::floor(compute_cap_ / after_ch * pos_domain));
+      want_pos = std::clamp(want_pos, 1, kept_pos);
+      truncate_kept(dst.positions, pos_domain, want_pos);
+    }
+  }
+  op.last_capped = capped;
+  return {op.capped_masks.data(), static_cast<size_t>(n)};
 }
 
 void InferencePlan::set_tile(TilePolicy policy) {
@@ -705,7 +840,7 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
             op.residual >= 0
                 ? slots_[static_cast<size_t>(op.residual)].data()
                 : nullptr;
-        const std::span<const nn::ConvRuntimeMask> masks =
+        std::span<const nn::ConvRuntimeMask> masks =
             op.conv->take_runtime_masks();
         const Workspace::Mark scratch = ws.mark();
         // Int8 regime: channel/filter-masked groups and the dense path run
@@ -718,6 +853,16 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
         if (!masks.empty()) {
           AD_CHECK_EQ(static_cast<int>(masks.size()), n)
               << " runtime mask count vs batch size";
+          // Per-request compute cap: samples demanding more than the
+          // kept-MAC ceiling get their masks clamped before bucketing, so
+          // everything downstream (grouping, kernels, stats) sees the
+          // clamped sets. When no sample exceeds the cap the original
+          // span passes through untouched — the uncapped path stays
+          // bitwise identical to an uncapped plan.
+          op.last_capped = 0;
+          if (compute_cap_ < 1.0) {
+            masks = cap_runtime_masks(op, masks, n);
+          }
           // Arena memory is uninitialized; pruned positions must stay zero.
           std::memset(out.data(), 0,
                       static_cast<size_t>(out.size()) * sizeof(float));
@@ -765,7 +910,12 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
           op.last_coarsen_pred_before = 0.0;
           op.last_coarsen_pred_after = 0.0;
           const nn::ConvRuntimeMask* const* gmask = nullptr;
-          if (coarsen_.mode == CoarsenMode::kAuto && groups >= 2) {
+          // Capped passes never coarsen: a union mask could re-add
+          // channels the cap just truncated — whose upstream activations
+          // are NOT zero — silently undoing the compute ceiling (and,
+          // unlike ordinary coarsening, changing values).
+          if (coarsen_.mode == CoarsenMode::kAuto && groups >= 2 &&
+              op.last_capped == 0) {
             // The coarsened order/bounds and per-group mask pointers must
             // outlive the planner scratch (the kernels read them), so
             // they are carved BEFORE the planner's rewind mark.
@@ -1048,6 +1198,7 @@ Tensor InferencePlan::run(const Tensor& x, nn::ExecutionContext& ctx) {
           }
           op.last_groups = 0;
           op.last_groups_raw = 0;
+          op.last_capped = 0;
           op.last_coarsen_extra_macs = 0;
           op.last_coarsen_extra_ch = 0;
           op.last_coarsen_pred_before = 0.0;

@@ -58,6 +58,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -179,6 +180,11 @@ inline constexpr int64_t kTileMinWidth = 64;
 // Bounds of CoarsenPolicy::mac_bias (set_coarsen clamps into them).
 inline constexpr double kMinCoarsenMacBias = 0.25;
 inline constexpr double kMaxCoarsenMacBias = 4.0;
+
+// Floor of the per-request compute cap (set_compute_cap clamps into
+// [kMinComputeCap, 1.0]); below ~5% kept MACs the truncated masks carry
+// too few channels to produce a meaningful prediction anyway.
+inline constexpr double kMinComputeCap = 0.05;
 
 struct CoarsenPolicy {
   CoarsenMode mode = CoarsenMode::kAuto;
@@ -340,6 +346,14 @@ struct PlanOp {
   // the arena.
   std::vector<nn::ConvRuntimeMask> coarse_masks;
 
+  // Per-pass clamped-mask storage for the compute cap: when any sample's
+  // runtime mask demands more than the plan's kept-MAC ceiling at this
+  // step, the whole batch's masks are copied here (offenders truncated)
+  // and the executor runs off this storage instead. Sized like
+  // coarse_masks: reserve() pre-grows capacities to the op's full domains
+  // so a warm capped pass stays heap-allocation-free.
+  std::vector<nn::ConvRuntimeMask> capped_masks;
+
   // kConv: chosen output-position tile width (0 = untiled). Set at
   // plan-compile time from the tile policy and geometry; shared by the
   // executor and the arena-sizing formulas so they always agree.
@@ -354,6 +368,9 @@ struct PlanOp {
   // Exact-identity bucket count of the most recent run, before any
   // coarsening (== last_groups when coarsening is off or declined).
   int last_groups_raw = 0;
+  // Samples of the most recent run whose masks exceeded the compute cap
+  // and were clamped (0 when uncapped or every mask fit).
+  int last_capped = 0;
   // Most recent coarsening decision: union-added MACs of the adopted
   // schedule (model count, 0 when nothing merged), total extra kept
   // channels summed over samples (union kept_ch minus the sample's own),
@@ -422,6 +439,14 @@ struct OpCost {
   NumericRegime regime = NumericRegime::kF32;
 };
 
+// Predicted per-batch latency of a cost snapshot at hypothetical uniform
+// keep fractions: fixed-cost ops contribute their smoothed time, prunable
+// ops rescale theirs by (keep x observed group fraction) / measured
+// units — the same arithmetic the serving LatencyController inverts, made
+// available to admission control and benches without a controller.
+double predict_batch_ms(const std::vector<OpCost>& ops, double channel_keep,
+                        double spatial_keep);
+
 class InferencePlan {
  public:
   // Executes the plan. `x` is the [N,C,H,W] batch (any storage); the
@@ -471,6 +496,24 @@ class InferencePlan {
   // kOff -> never; re-reserve when in doubt.
   void set_tile(TilePolicy policy);
   const TilePolicy& tile() const { return tile_; }
+
+  // Installs the per-request compute cap: the maximum kept-MAC fraction
+  // (kept channels x kept positions x kept filters over the op's dense
+  // domains) any sample's runtime mask may demand of a conv step. Samples
+  // over the cap get their kept sets truncated in canonical index order —
+  // channels first, then spatial positions — before bucketing, so a
+  // hostile maximum-keep input degrades gracefully instead of inflating
+  // the step's compute. 1.0 (the default) disables capping; values are
+  // clamped to [kMinComputeCap, 1.0]. Capped passes skip union
+  // coarsening: a union could re-add truncated channels whose upstream
+  // activations are NOT zero, silently undoing the cap. Safe at any time;
+  // the arena footprint is unaffected (capping only ever shrinks kept
+  // sets, and capped_masks storage is accounted by reserve()).
+  void set_compute_cap(double cap);
+  double compute_cap() const { return compute_cap_; }
+  // Samples clamped by the cap in the most recent run (max over conv
+  // steps: a sample capped anywhere counts once).
+  int last_capped_samples() const;
   // Peak-arena breakdown at batch n: index of the conv op whose scratch
   // sets the pass's high-water mark (-1 when no op has scratch), plus
   // that op's scratch bytes via *op_scratch. Exposed for plan-dump's
@@ -537,6 +580,12 @@ class InferencePlan {
   NumericRegime regime_ = NumericRegime::kF32;
   CoarsenPolicy coarsen_;
   TilePolicy tile_;
+  double compute_cap_ = 1.0;  // 1.0 = uncapped
+  // Applies the compute cap to a masked conv pass: returns `masks`
+  // untouched when every sample fits, otherwise copies the batch into
+  // op.capped_masks (offenders truncated) and returns a span over it.
+  std::span<const nn::ConvRuntimeMask> cap_runtime_masks(
+      PlanOp& op, std::span<const nn::ConvRuntimeMask> masks, int n);
   int64_t act_floats_ = 0;  // per-sample high water of planned offsets
 
   // Per-sample float count of every gate output allocated before each op

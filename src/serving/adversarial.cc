@@ -1,0 +1,133 @@
+#include "serving/adversarial.h"
+
+#include <cmath>
+
+#include "base/error.h"
+
+namespace antidote::serving {
+
+AdversarialProfile adversarial_profile_from_name(const std::string& name) {
+  if (name == "off") return AdversarialProfile::kOff;
+  if (name == "masks") return AdversarialProfile::kMasks;
+  if (name == "compute") return AdversarialProfile::kCompute;
+  if (name == "burst") return AdversarialProfile::kBurst;
+  if (name == "mixed") return AdversarialProfile::kMixed;
+  AD_CHECK(false) << " unknown adversarial profile '" << name
+                  << "' (off|masks|compute|burst|mixed)";
+  return AdversarialProfile::kOff;
+}
+
+const char* adversarial_profile_name(AdversarialProfile profile) {
+  switch (profile) {
+    case AdversarialProfile::kOff: return "off";
+    case AdversarialProfile::kMasks: return "masks";
+    case AdversarialProfile::kCompute: return "compute";
+    case AdversarialProfile::kBurst: return "burst";
+    case AdversarialProfile::kMixed: return "mixed";
+  }
+  return "off";
+}
+
+AdversarialGenerator::AdversarialGenerator(int channels, int height,
+                                           int width,
+                                           AdversarialProfile profile,
+                                           uint64_t seed)
+    : c_(channels), h_(height), w_(width), profile_(profile), rng_(seed) {
+  AD_CHECK_GT(channels, 0);
+  AD_CHECK_GT(height, 0);
+  AD_CHECK_GT(width, 0);
+}
+
+AdversarialProfile AdversarialGenerator::next_profile() const {
+  if (profile_ != AdversarialProfile::kMixed) return profile_;
+  // Cycle the three attacks so a sustained mixed load exercises mask
+  // diversity, compute inflation and queue saturation simultaneously.
+  switch (count_ % 3) {
+    case 0: return AdversarialProfile::kMasks;
+    case 1: return AdversarialProfile::kCompute;
+    default: return AdversarialProfile::kBurst;
+  }
+}
+
+Tensor AdversarialGenerator::next_input() {
+  const AdversarialProfile p = next_profile();
+  ++count_;
+  // Fork per request: the input stream stays deterministic in the call
+  // index no matter how many draws each profile consumes.
+  Rng req = rng_.fork();
+  switch (p) {
+    case AdversarialProfile::kMasks:
+      return make_masks_input(req);
+    case AdversarialProfile::kCompute:
+      return make_compute_input(req);
+    default:
+      // burst/off: the attack is the arrival pattern, not the content.
+      return Tensor::randn({c_, h_, w_}, req);
+  }
+}
+
+Tensor AdversarialGenerator::make_masks_input(Rng& rng) {
+  // Attention gates rank channels (and rows) by feature energy; a random
+  // magnitude permutation per request gives every sample its own rank
+  // order, so hard top-k selects a different kept set almost every time —
+  // the worst case for mask grouping (every sample a group of one) and
+  // for union coarsening (unions blow up, merges decline).
+  Tensor x = Tensor::randn({c_, h_, w_}, rng);
+  const std::vector<int> ch_rank = rng.permutation(c_);
+  const std::vector<int> row_rank = rng.permutation(h_);
+  const int64_t plane = static_cast<int64_t>(h_) * w_;
+  float* d = x.data();
+  for (int c = 0; c < c_; ++c) {
+    const float ch_scale =
+        c_ > 1 ? 0.25f + 3.0f * static_cast<float>(ch_rank[c]) /
+                             static_cast<float>(c_ - 1)
+               : 1.0f;
+    for (int r = 0; r < h_; ++r) {
+      const float row_scale =
+          h_ > 1 ? 0.5f + 1.5f * static_cast<float>(row_rank[r]) /
+                              static_cast<float>(h_ - 1)
+                 : 1.0f;
+      float* row = d + c * plane + static_cast<int64_t>(r) * w_;
+      for (int col = 0; col < w_; ++col) row[col] *= ch_scale * row_scale;
+    }
+  }
+  return x;
+}
+
+Tensor AdversarialGenerator::make_compute_input(Rng& rng) {
+  // Every channel and position carries uniformly high energy, so no
+  // ordering the gate picks can find cheap channels to drop — combined
+  // with relaxed controller settings (the drip pacing's job) this is the
+  // maximum-kept-MAC request the compute cap clamps.
+  Tensor x = Tensor::randn({c_, h_, w_}, rng);
+  float* d = x.data();
+  for (int64_t i = 0; i < x.size(); ++i) {
+    d[i] = 1.0f + 2.0f * std::fabs(d[i]);
+  }
+  return x;
+}
+
+AdversarialPacing AdversarialGenerator::pacing(size_t queue_capacity) const {
+  AdversarialPacing p;
+  switch (next_profile()) {
+    case AdversarialProfile::kBurst:
+      // One coordinated volley of ~queue capacity, then silence: the
+      // volley overwhelms admission (sheds/rejections) and the backlog's
+      // deadlines expire before workers reach them.
+      p.open_loop = true;
+      p.burst = static_cast<int>(queue_capacity > 0 ? queue_capacity : 16);
+      p.gap = std::chrono::microseconds(5000);
+      break;
+    case AdversarialProfile::kCompute:
+      // Slow drip: enough idle time that the controller sees a loose
+      // budget and relaxes toward keep-everything before the next
+      // expensive request lands.
+      p.gap = std::chrono::microseconds(2000);
+      break;
+    default:
+      break;  // masks/off: closed-loop, no gap
+  }
+  return p;
+}
+
+}  // namespace antidote::serving

@@ -1,0 +1,82 @@
+// Adversarial workload generator — worst-case traffic for the serving
+// stack, after GradMDM's observation that input-dependent pruning is a
+// denial-of-service surface: inputs crafted to maximize kept channels and
+// mask diversity inflate per-request compute, and arrival patterns crafted
+// against the batching/controller dynamics inflate queueing.
+//
+// Four attack profiles (plus off):
+//   masks    per-request random channel/row magnitude permutations force a
+//            unique attention rank order per sample — maximally DISTINCT
+//            masks, defeating both exact-identity mask grouping and
+//            similar-mask union coarsening (low pairwise overlap).
+//   compute  uniformly high-energy inputs (every channel screams) paired
+//            with slow-drip pacing: the drip keeps utilization low so the
+//            LatencyController relaxes toward keep-everything, then the
+//            expensive requests land on relaxed settings. What the
+//            per-request compute cap exists to bound.
+//   burst    coordinated open-loop bursts of ~queue-capacity requests
+//            followed by silence: saturates the queue edge (sheds,
+//            rejections) and leaves stale backlog whose deadlines expire
+//            before dequeue.
+//   mixed    cycles the three per request index — the sustained hostile
+//            mix the acceptance gate measures.
+//
+// Everything is seeded: one generator per client, forked per request, so
+// a run is reproducible from (seed, client, request index) alone.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "base/rng.h"
+#include "tensor/tensor.h"
+
+namespace antidote::serving {
+
+enum class AdversarialProfile { kOff, kMasks, kCompute, kBurst, kMixed };
+
+// Parses an --adversarial flag value ({off,masks,compute,burst,mixed});
+// throws on anything else.
+AdversarialProfile adversarial_profile_from_name(const std::string& name);
+const char* adversarial_profile_name(AdversarialProfile profile);
+
+// How a client should pace its submissions for a profile.
+struct AdversarialPacing {
+  bool open_loop = false;  // fire-and-forget via try_submit
+  int burst = 1;           // requests issued back to back
+  std::chrono::microseconds gap{0};  // idle time between bursts
+};
+
+class AdversarialGenerator {
+ public:
+  // One generator per client; `seed` plus the client id must differ
+  // across clients for independent streams (callers pass seed + client).
+  AdversarialGenerator(int channels, int height, int width,
+                       AdversarialProfile profile, uint64_t seed);
+
+  // The profile the next request runs under (kMixed cycles per request;
+  // other profiles are constant).
+  AdversarialProfile next_profile() const;
+  // Synthesizes the next request's input ([C,H,W]) and advances the
+  // stream. Deterministic in (seed, call index).
+  Tensor next_input();
+
+  // Pacing for the CURRENT request's profile. `queue_capacity` sizes the
+  // burst (a burst of ~capacity saturates the admission edge in one
+  // volley).
+  AdversarialPacing pacing(size_t queue_capacity) const;
+
+  uint64_t generated() const { return count_; }
+
+ private:
+  Tensor make_masks_input(Rng& rng);
+  Tensor make_compute_input(Rng& rng);
+
+  const int c_, h_, w_;
+  const AdversarialProfile profile_;
+  Rng rng_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace antidote::serving

@@ -109,6 +109,11 @@ void BatchScheduler::worker_loop(int worker_index) {
     InferenceRequest first;
     if (!queue_->pop(first)) break;  // closed and drained
     stats_->record_queue_depth(queue_->depth());
+    // Dead on arrival at the worker: a request whose deadline passed while
+    // it sat in the queue would only burn a batch slot producing an answer
+    // nobody can use — answer it unexecuted and move on. Under a burst
+    // attack this is what keeps stale backlog from starving live traffic.
+    if (expire_if_dead(first)) continue;
     const Clock::time_point opened = Clock::now();
     batch.clear();
     batch.push_back(std::move(first));
@@ -116,6 +121,7 @@ void BatchScheduler::worker_loop(int worker_index) {
     while (static_cast<int>(batch.size()) < policy_.max_batch) {
       InferenceRequest next;
       if (!queue_->pop_until(next, hold_until)) break;
+      if (expire_if_dead(next)) continue;
       batch.push_back(std::move(next));
     }
     try {
@@ -130,6 +136,24 @@ void BatchScheduler::worker_loop(int worker_index) {
       }
     }
   }
+}
+
+bool BatchScheduler::expire_if_dead(InferenceRequest& req) {
+  const Clock::time_point now = Clock::now();
+  if (!req.deadline.has_value() || now <= *req.deadline) return false;
+  InferenceResult result;
+  result.predicted = -1;
+  result.ticket = req.ticket;
+  result.batch_size = 0;
+  result.queue_ms = ms_between(req.enqueue_time, now);
+  result.deadline_missed = true;
+  result.expired_unexecuted = true;
+  // An expired request is both a deadline miss (the caller-visible flag)
+  // and, distinctly, never executed.
+  stats_->record_deadline_miss(1);
+  stats_->record_expired_unexecuted(1);
+  req.promise.set_value(std::move(result));
+  return true;
 }
 
 void BatchScheduler::run_batch(int worker_index, ModelReplica& replica,
@@ -224,6 +248,11 @@ void BatchScheduler::run_batch(int worker_index, ModelReplica& replica,
                              replica.context().workspace().capacity_bytes());
   if (misses > 0) stats_->record_deadline_miss(misses);
   if (const plan::InferencePlan* plan = replica.plan()) {
+    // Requests whose masks the executor clamped to the compute cap this
+    // pass (max over ops: a request capped anywhere counts once).
+    if (const int capped = plan->last_capped_samples(); capped > 0) {
+      stats_->record_capped(capped);
+    }
     // Distinct-mask group count of the pass (how many compacted GEMM
     // problems the dynamic masks quantized into) — the grouping win the
     // batch actually realized.

@@ -92,6 +92,10 @@ class BatchScheduler {
 
  private:
   void worker_loop(int worker_index);
+  // If the request's deadline already passed, answers it with a flagged
+  // unexecuted result (no logits, predicted == -1) and returns true; the
+  // caller must then not add it to a batch.
+  bool expire_if_dead(InferenceRequest& req);
   void run_batch(int worker_index, ModelReplica& replica,
                  std::vector<InferenceRequest>& batch);
 

@@ -16,6 +16,8 @@ LatencyController::LatencyController(core::PruneSettings base, Config config)
   AD_CHECK(config_.low_watermark > 0.0 && config_.low_watermark < 1.0)
       << " low_watermark must be in (0, 1)";
   AD_CHECK_LE(config_.min_offset, config_.max_offset);
+  AD_CHECK(config_.recovery_decay >= 0.0 && config_.recovery_decay <= 1.0)
+      << " recovery_decay is a per-window fraction";
   // The cost model indexes both ratio vectors by the same block id.
   AD_CHECK_EQ(base_.channel_drop.size(), base_.spatial_drop.size())
       << " per-block drop vectors must be the same length";
@@ -135,6 +137,7 @@ bool LatencyController::record_batch(
   } else if (last_window_p95_ms_ < config_.low_watermark * target) {
     coarsen_mac_bias_ = std::min(1.0, coarsen_mac_bias_ / 0.75);
   }
+  float proposed = before;
   if (last_window_p95_ms_ > target ||
       last_window_p95_ms_ < config_.low_watermark * target) {
     const double predicted =
@@ -143,16 +146,59 @@ bool LatencyController::record_batch(
       // Cost-model inversion: calibrate the model against the realized
       // p95 (absorbing batching/queueing overhead the per-op timings miss)
       // and jump to the smallest offset whose prediction meets the budget.
-      offset_ = solve_offset_locked(last_window_p95_ms_ / predicted);
+      proposed = solve_offset_locked(last_window_p95_ms_ / predicted);
     } else {
       // Proportional step: large misses move fast, near-misses fine-tune.
       const double error =
           std::clamp((last_window_p95_ms_ - target) / target, -1.0, 1.0);
-      offset_ += config_.step * static_cast<float>(error);
+      proposed = before + config_.step * static_cast<float>(error);
     }
-    offset_ = std::clamp(offset_, config_.min_offset, config_.max_offset);
+    proposed = std::clamp(proposed, config_.min_offset, config_.max_offset);
+  }
+
+  const uint64_t sheds = sheds_pending_.exchange(0, std::memory_order_relaxed);
+  if (sheds > 0) {
+    // Anti-windup: admission control shed load during this window, so the
+    // queue — not the model — is saturated and the realized p95 overstates
+    // what pruning can fix. Tightening further would wind the integrator
+    // to max_offset and destroy accuracy without clearing the overload;
+    // hold the offset (relaxing is still allowed).
+    shedding_active_ = true;
+    offset_ = std::min(proposed, before);
+  } else if (shedding_active_) {
+    // Recovery: the attack stopped. Glide toward the normal decision
+    // instead of jumping, so the post-attack relaxation cannot overshoot
+    // into a new overload; back to full-speed control once p95 re-enters
+    // the band.
+    offset_ = before +
+              static_cast<float>(config_.recovery_decay) * (proposed - before);
+    const bool in_band = last_window_p95_ms_ <= target &&
+                         last_window_p95_ms_ >= config_.low_watermark * target;
+    if (in_band) shedding_active_ = false;
+  } else {
+    offset_ = proposed;
   }
   return offset_ != before || coarsen_mac_bias_ != bias_before;
+}
+
+bool LatencyController::shedding_active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shedding_active_;
+}
+
+double LatencyController::predicted_request_cost_ms(int max_batch,
+                                                    int workers) const {
+  AD_CHECK_GT(max_batch, 0);
+  AD_CHECK_GT(workers, 0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Per-batch cost spread over a full batch and the worker pool: the
+  // steady-state marginal cost of one more queued request.
+  const double per_slot = static_cast<double>(max_batch) * workers;
+  if (!cost_model_.empty()) {
+    const double batch_ms = predict_ms_locked(offset_);
+    if (batch_ms > 0.0) return batch_ms / per_slot;
+  }
+  return smoothed_p95_ms_ / per_slot;  // 0 before the first window closes
 }
 
 double LatencyController::coarsen_mac_bias() const {

@@ -32,6 +32,7 @@
 // DynamicPruningEngine::post_settings.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <vector>
@@ -57,6 +58,14 @@ class LatencyController {
     // budget is loose.
     float min_offset = -0.9f;
     float max_offset = 0.9f;
+    // Anti-windup recovery: after windows in which admission control shed
+    // load, the offset integrator is frozen against further tightening
+    // (the queue, not the model, is saturated — winding the offset to
+    // max_drop would only destroy accuracy without fixing the overload).
+    // Once shedding stops, the offset moves only this fraction of the way
+    // toward each new decision per window until p95 re-enters the band,
+    // so a post-attack server relaxes smoothly instead of overshooting.
+    double recovery_decay = 0.5;
   };
 
   // Per-op latency cost model distilled from an InferencePlan's measured
@@ -112,6 +121,21 @@ class LatencyController {
                     const core::DynamicPruningEngine::KeepStats& keep,
                     int batch_size);
 
+  // Admission control shed a request. Lock-free; the next window close
+  // consumes the count and freezes the offset integrator (anti-windup).
+  void note_shed() { sheds_pending_.fetch_add(1, std::memory_order_relaxed); }
+  // True from the first shed-affected window until p95 re-enters the band
+  // with no shedding — the span over which recovery decay applies.
+  bool shedding_active() const;
+
+  // Predicted service cost of ONE request in milliseconds at the current
+  // offset: the cost-model batch prediction amortized over a full batch
+  // across `workers` concurrent replicas, falling back to the smoothed
+  // p95 when no model is attached yet. 0 before any latency signal exists
+  // (callers should admit unconditionally then). This is the cost
+  // function the server hands to RequestQueue admission control.
+  double predicted_request_cost_ms(int max_batch, int workers) const;
+
   // Current target settings (base + offset, clamped). Thread-safe copy.
   core::PruneSettings settings() const;
   float offset() const;
@@ -155,6 +179,8 @@ class LatencyController {
   const core::PruneSettings base_;
   mutable std::mutex mutex_;
   CostModel cost_model_;
+  std::atomic<uint64_t> sheds_pending_{0};
+  bool shedding_active_ = false;  // guarded by mutex_
   float offset_ = 0.f;
   double coarsen_mac_bias_ = 1.0;
   double last_window_p95_ms_ = 0.0;

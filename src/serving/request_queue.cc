@@ -8,6 +8,24 @@ namespace antidote::serving {
 
 RequestQueue::RequestQueue(size_t capacity) : queue_(capacity) {}
 
+void RequestQueue::configure_admission(AdmissionConfig config,
+                                       std::function<double()> cost_ms) {
+  AD_CHECK_GT(config.max_queue_ms, 0.0);
+  std::lock_guard<std::mutex> lock(admission_mutex_);
+  admission_ = config;
+  admission_cost_ms_ = std::move(cost_ms);
+}
+
+bool RequestQueue::admission_refuses() const {
+  std::lock_guard<std::mutex> lock(admission_mutex_);
+  if (!admission_.enabled || !admission_cost_ms_) return false;
+  const double cost = admission_cost_ms_();
+  if (cost <= 0.0) return false;  // no latency signal yet: admit
+  // Predicted time to drain everything already queued plus this request.
+  const double drain_ms = static_cast<double>(queue_.size() + 1) * cost;
+  return drain_ms > admission_.max_queue_ms;
+}
+
 InferenceRequest RequestQueue::make_request(
     Tensor input, std::optional<Clock::time_point> deadline) {
   AD_CHECK_EQ(input.ndim(), 3) << " requests carry one [C,H,W] sample";
@@ -20,26 +38,43 @@ InferenceRequest RequestQueue::make_request(
 }
 
 std::future<InferenceResult> RequestQueue::submit(
-    Tensor input, std::optional<Clock::time_point> deadline) {
+    Tensor input, std::optional<Clock::time_point> deadline,
+    SubmitStatus* status) {
+  if (admission_refuses()) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    report(status, SubmitStatus::kShed);
+    return {};
+  }
   InferenceRequest req = make_request(std::move(input), deadline);
   std::future<InferenceResult> future = req.promise.get_future();
   if (!queue_.push(std::move(req))) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    report(status, SubmitStatus::kClosed);
     return {};
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  report(status, SubmitStatus::kAccepted);
   return future;
 }
 
 std::future<InferenceResult> RequestQueue::try_submit(
-    Tensor input, std::optional<Clock::time_point> deadline) {
+    Tensor input, std::optional<Clock::time_point> deadline,
+    SubmitStatus* status) {
+  if (admission_refuses()) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    report(status, SubmitStatus::kShed);
+    return {};
+  }
   InferenceRequest req = make_request(std::move(input), deadline);
   std::future<InferenceResult> future = req.promise.get_future();
   if (!queue_.try_push(std::move(req))) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    report(status,
+           closed() ? SubmitStatus::kClosed : SubmitStatus::kRejected);
     return {};
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  report(status, SubmitStatus::kAccepted);
   return future;
 }
 
@@ -49,6 +84,10 @@ uint64_t RequestQueue::submitted() const {
 
 uint64_t RequestQueue::rejected() const {
   return rejected_.load(std::memory_order_relaxed);
+}
+
+uint64_t RequestQueue::shed() const {
+  return shed_.load(std::memory_order_relaxed);
 }
 
 }  // namespace antidote::serving

@@ -15,17 +15,36 @@ InferenceServer::InferenceServer(const ReplicaFactory& factory,
   AD_CHECK(factory != nullptr) << " server needs a replica factory";
   AD_CHECK(!config_.latency.has_value() || config_.prune.has_value())
       << " latency control requires prune settings";
+  AD_CHECK(!config_.admission.enabled || config_.latency.has_value())
+      << " cost-aware admission needs the latency controller's cost model";
 
   std::vector<std::unique_ptr<ModelReplica>> replicas;
   replicas.reserve(static_cast<size_t>(config_.policy.num_workers));
   for (int i = 0; i < config_.policy.num_workers; ++i) {
+    std::unique_ptr<models::ConvNet> net = factory(i);
+    if (config_.compute_cap < 1.0) {
+      net->set_compute_cap(config_.compute_cap);
+    }
     replicas.push_back(
-        std::make_unique<ModelReplica>(factory(i), config_.prune));
+        std::make_unique<ModelReplica>(std::move(net), config_.prune));
   }
 
   if (config_.latency.has_value()) {
     controller_ = std::make_unique<LatencyController>(*config_.prune,
                                                       *config_.latency);
+  }
+  if (config_.admission.enabled) {
+    // Price one queued request with the controller's cost model at its
+    // current offset; before any latency signal exists the prediction is
+    // 0 and the queue admits unconditionally.
+    LatencyController* controller = controller_.get();
+    const int max_batch = config_.policy.max_batch;
+    const int workers = config_.policy.num_workers;
+    queue_.configure_admission(config_.admission,
+                               [controller, max_batch, workers] {
+                                 return controller->predicted_request_cost_ms(
+                                     max_batch, workers);
+                               });
   }
 
   // When the controller moves the drop offset, fan the new settings out to
@@ -51,15 +70,38 @@ InferenceServer::~InferenceServer() { shutdown(); }
 
 std::future<InferenceResult> InferenceServer::submit(
     Tensor input, std::optional<Clock::time_point> deadline) {
-  return queue_.submit(std::move(input), deadline);
+  SubmitStatus status = SubmitStatus::kAccepted;
+  std::future<InferenceResult> f =
+      queue_.submit(std::move(input), deadline, &status);
+  record_submit_outcome(status);
+  return f;
 }
 
 std::future<InferenceResult> InferenceServer::try_submit(
     Tensor input, std::optional<Clock::time_point> deadline) {
+  SubmitStatus status = SubmitStatus::kAccepted;
   std::future<InferenceResult> f =
-      queue_.try_submit(std::move(input), deadline);
-  if (!f.valid()) stats_.record_rejected(1);
+      queue_.try_submit(std::move(input), deadline, &status);
+  record_submit_outcome(status);
   return f;
+}
+
+void InferenceServer::record_submit_outcome(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kAccepted:
+      break;
+    case SubmitStatus::kShed:
+      stats_.record_shed(1);
+      // Feeds the controller's anti-windup: while shedding, the offset
+      // integrator must not wind up against queue saturation.
+      if (controller_ != nullptr) controller_->note_shed();
+      break;
+    case SubmitStatus::kRejected:
+      stats_.record_rejected(1);
+      break;
+    case SubmitStatus::kClosed:
+      break;  // shutdown races are not overload signals
+  }
 }
 
 void InferenceServer::shutdown() {

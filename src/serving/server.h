@@ -35,6 +35,13 @@ struct ServerConfig {
   std::optional<core::PruneSettings> prune;
   // Latency-budget feedback on top of `prune` (which must be set).
   std::optional<LatencyController::Config> latency;
+  // Cost-aware admission control (requires `latency`, whose cost model
+  // prices a queued request). Off by default.
+  AdmissionConfig admission;
+  // Per-request compute cap: the max kept-MAC fraction a request's runtime
+  // masks may demand of any conv step before the plan executor clamps
+  // them (graceful degradation, counted in stats). 1.0 = uncapped.
+  double compute_cap = 1.0;
 };
 
 class InferenceServer {
@@ -64,6 +71,8 @@ class InferenceServer {
   const ServerConfig& config() const { return config_; }
 
  private:
+  void record_submit_outcome(SubmitStatus status);
+
   ServerConfig config_;
   RequestQueue queue_;
   ServerStats stats_;

@@ -45,6 +45,21 @@ void ServerStats::record_rejected(int count) {
   rejected_ += static_cast<uint64_t>(count);
 }
 
+void ServerStats::record_shed(int count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shed_ += static_cast<uint64_t>(count);
+}
+
+void ServerStats::record_expired_unexecuted(int count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  expired_unexecuted_ += static_cast<uint64_t>(count);
+}
+
+void ServerStats::record_capped(int count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capped_requests_ += static_cast<uint64_t>(count);
+}
+
 void ServerStats::record_queue_depth(size_t depth) {
   std::lock_guard<std::mutex> lock(mutex_);
   queue_depth_sum_ += static_cast<double>(depth);
@@ -91,6 +106,9 @@ ServerStats::Snapshot ServerStats::snapshot() const {
   s.batches = batches_;
   s.deadline_misses = deadline_misses_;
   s.rejected = rejected_;
+  s.shed = shed_;
+  s.expired_unexecuted = expired_unexecuted_;
+  s.capped_requests = capped_requests_;
   s.elapsed_s = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - start_)
                     .count();
@@ -108,6 +126,15 @@ ServerStats::Snapshot ServerStats::snapshot() const {
     s.deadline_miss_rate_pct =
         100.0 * static_cast<double>(deadline_misses_) /
         static_cast<double>(completed_);
+    s.capped_rate_pct = 100.0 * static_cast<double>(capped_requests_) /
+                        static_cast<double>(completed_);
+  }
+  s.offered_requests = completed_ + expired_unexecuted_ + rejected_ + shed_;
+  if (s.offered_requests > 0) {
+    s.shed_rate_pct = 100.0 * static_cast<double>(shed_) /
+                      static_cast<double>(s.offered_requests);
+    s.expired_rate_pct = 100.0 * static_cast<double>(expired_unexecuted_) /
+                         static_cast<double>(s.offered_requests);
   }
   s.queue_wait_p50_ms = queue_wait_hist_.percentile(50.0);
   s.queue_wait_p95_ms = queue_wait_hist_.percentile(95.0);
@@ -142,6 +169,7 @@ void ServerStats::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   start_ = std::chrono::steady_clock::now();
   completed_ = batches_ = deadline_misses_ = rejected_ = 0;
+  shed_ = expired_unexecuted_ = capped_requests_ = 0;
   queue_depth_sum_ = 0.0;
   queue_depth_samples_ = 0;
   queue_wait_ms_sum_ = assemble_ms_sum_ = forward_ms_sum_ =
@@ -189,6 +217,15 @@ Table ServerStats::to_table() const {
   t.add_row({"deadline miss rate",
              Table::fmt(s.deadline_miss_rate_pct, 2) + "%"});
   t.add_row({"rejected", std::to_string(s.rejected)});
+  // Overload visibility without trace tooling: admission sheds, compute
+  // caps and dead-on-dequeue drops, each with its rate.
+  t.add_row({"shed (admission)", std::to_string(s.shed)});
+  t.add_row({"shed rate", Table::fmt(s.shed_rate_pct, 2) + "%"});
+  t.add_row({"capped requests", std::to_string(s.capped_requests)});
+  t.add_row({"capped rate", Table::fmt(s.capped_rate_pct, 2) + "%"});
+  t.add_row(
+      {"expired unexecuted", std::to_string(s.expired_unexecuted)});
+  t.add_row({"expired rate", Table::fmt(s.expired_rate_pct, 2) + "%"});
   if (s.masked_batches > 0) {
     t.add_row({"masked batches", std::to_string(s.masked_batches)});
     t.add_row({"mean mask groups / batch", Table::fmt(s.mean_mask_groups, 2)});

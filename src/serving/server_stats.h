@@ -35,6 +35,16 @@ class ServerStats {
   void record_request(double queue_wait_ms, double e2e_ms);
   void record_deadline_miss(int count);
   void record_rejected(int count);
+  // Requests refused by cost-aware admission control (predicted queue
+  // drain over the budget) — distinct from `rejected`, which counts
+  // queue-full backpressure.
+  void record_shed(int count);
+  // Requests answered without execution because their deadline had
+  // already passed when a worker dequeued them.
+  void record_expired_unexecuted(int count);
+  // Requests whose runtime masks exceeded the per-request compute cap and
+  // were clamped by the plan executor (graceful degradation).
+  void record_capped(int count);
   // Sampled queue depth (recorded by workers when they pick up work).
   void record_queue_depth(size_t depth);
   // One masked batch's distinct-mask group count (the plan's
@@ -61,6 +71,9 @@ class ServerStats {
     uint64_t batches = 0;
     uint64_t deadline_misses = 0;
     uint64_t rejected = 0;
+    uint64_t shed = 0;                // admission-control refusals
+    uint64_t expired_unexecuted = 0;  // dead on dequeue, never executed
+    uint64_t capped_requests = 0;     // masks clamped to the compute cap
     double elapsed_s = 0.0;           // since construction / reset
     double throughput_rps = 0.0;      // completed / elapsed
     double mean_batch_size = 0.0;
@@ -82,6 +95,14 @@ class ServerStats {
     double e2e_p99_ms = 0.0;
     // deadline_misses / completed_requests, as a percentage.
     double deadline_miss_rate_pct = 0.0;
+    // Offered load = completed + expired + rejected + shed; the overload
+    // rates below are percentages of it, so shedding under attack is
+    // visible even though shed requests never complete.
+    uint64_t offered_requests = 0;
+    double shed_rate_pct = 0.0;     // shed / offered
+    double expired_rate_pct = 0.0;  // expired_unexecuted / offered
+    // capped_requests / completed (capped requests still execute).
+    double capped_rate_pct = 0.0;
     // Mask-grouped execution: over masked batches, the mean distinct-mask
     // group count and the mean group fraction (groups / batch size) — 1.0
     // means every sample drew a unique mask (no grouping win), values
@@ -121,6 +142,9 @@ class ServerStats {
   uint64_t batches_ = 0;
   uint64_t deadline_misses_ = 0;
   uint64_t rejected_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t expired_unexecuted_ = 0;
+  uint64_t capped_requests_ = 0;
   double queue_depth_sum_ = 0.0;
   uint64_t queue_depth_samples_ = 0;
   double queue_wait_ms_sum_ = 0.0;

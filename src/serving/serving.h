@@ -7,6 +7,7 @@
 // the design.
 #pragma once
 
+#include "serving/adversarial.h"
 #include "serving/batch_scheduler.h"
 #include "serving/latency_controller.h"
 #include "serving/request_queue.h"

@@ -123,6 +123,92 @@ TEST(RequestQueue, RejectsBatchedInputs) {
   EXPECT_THROW(q.submit(std::move(batched)), Error);
 }
 
+TEST(RequestQueue, ConcurrentTrySubmitAccountingIsExact) {
+  // Open-loop producers hammering a small queue: every attempt is either
+  // admitted or counted rejected, with nothing lost or double-counted
+  // across threads.
+  RequestQueue q(8);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 64;
+  std::atomic<uint64_t> valid_futures{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto f = q.try_submit(
+            make_input(static_cast<uint64_t>(t) * 1000 + i));
+        if (f.valid()) valid_futures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(q.submitted(), valid_futures.load());
+  EXPECT_EQ(q.submitted() + q.rejected(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  // Nothing consumed the queue, so every admitted request is still there.
+  EXPECT_EQ(q.depth(), q.submitted());
+  EXPECT_LE(q.depth(), q.capacity());
+}
+
+TEST(RequestQueue, AdmissionShedsAtThePredictedCostBoundary) {
+  RequestQueue q(8);
+  AdmissionConfig ac;
+  ac.enabled = true;
+  ac.max_queue_ms = 25.0;
+  q.configure_admission(ac, [] { return 10.0; });
+
+  SubmitStatus status = SubmitStatus::kClosed;
+  auto f1 = q.try_submit(make_input(1), std::nullopt, &status);
+  EXPECT_TRUE(f1.valid());  // (0+1)*10 <= 25
+  EXPECT_EQ(status, SubmitStatus::kAccepted);
+  auto f2 = q.try_submit(make_input(2), std::nullopt, &status);
+  EXPECT_TRUE(f2.valid());  // (1+1)*10 <= 25
+  // Blocking submit sheds too — admission is a policy refusal, not
+  // backpressure, so it must not block waiting for space.
+  auto f3 = q.submit(make_input(3), std::nullopt, &status);
+  EXPECT_FALSE(f3.valid());  // (2+1)*10 > 25
+  EXPECT_EQ(status, SubmitStatus::kShed);
+  EXPECT_EQ(q.shed(), 1u);
+  EXPECT_EQ(q.rejected(), 0u);  // distinct from queue-full rejection
+
+  // Draining one slot re-admits: the gate prices depth, not history.
+  InferenceRequest req;
+  ASSERT_TRUE(q.pop(req));
+  auto f4 = q.try_submit(make_input(4), std::nullopt, &status);
+  EXPECT_TRUE(f4.valid());
+  EXPECT_EQ(status, SubmitStatus::kAccepted);
+}
+
+TEST(RequestQueue, AdmissionExactBudgetAdmitsAndZeroCostDisarms) {
+  RequestQueue q(4);
+  AdmissionConfig ac;
+  ac.enabled = true;
+  ac.max_queue_ms = 20.0;
+  q.configure_admission(ac, [] { return 10.0; });
+  SubmitStatus status = SubmitStatus::kClosed;
+  EXPECT_TRUE(q.try_submit(make_input(1), std::nullopt, &status).valid());
+  // (1+1)*10 == 20: the shed condition is strictly greater-than.
+  EXPECT_TRUE(q.try_submit(make_input(2), std::nullopt, &status).valid());
+  EXPECT_FALSE(q.try_submit(make_input(3), std::nullopt, &status).valid());
+  EXPECT_EQ(status, SubmitStatus::kShed);
+
+  // A zero-cost estimate (no latency signal yet) admits unconditionally.
+  q.configure_admission(ac, [] { return 0.0; });
+  EXPECT_TRUE(q.try_submit(make_input(4), std::nullopt, &status).valid());
+  EXPECT_EQ(status, SubmitStatus::kAccepted);
+}
+
+TEST(RequestQueue, QueueFullReportsRejectedNotShed) {
+  RequestQueue q(2);
+  SubmitStatus status = SubmitStatus::kClosed;
+  EXPECT_TRUE(q.try_submit(make_input(1), std::nullopt, &status).valid());
+  EXPECT_TRUE(q.try_submit(make_input(2), std::nullopt, &status).valid());
+  EXPECT_FALSE(q.try_submit(make_input(3), std::nullopt, &status).valid());
+  EXPECT_EQ(status, SubmitStatus::kRejected);
+  EXPECT_EQ(q.rejected(), 1u);
+  EXPECT_EQ(q.shed(), 0u);
+}
+
 // --- ServerStats ------------------------------------------------------------
 
 TEST(ServerStats, AggregatesAndResets) {
@@ -371,6 +457,41 @@ TEST(LatencyController, HoldsStillInsideTheBand) {
   EXPECT_FLOAT_EQ(lc.offset(), 0.f);
 }
 
+TEST(LatencyController, ShedFreezesTighteningAndRecoveryGlides) {
+  // Anti-windup: while admission control sheds, realized p95 reflects a
+  // saturated queue, not a slow model — the integrator must not wind up.
+  LatencyController::Config cfg;
+  cfg.target_p95_ms = 10.0;
+  cfg.low_watermark = 0.8;
+  cfg.window = 1;
+  cfg.step = 0.2f;
+  cfg.recovery_decay = 0.5;
+  LatencyController lc(core::PruneSettings::uniform(2, 0.1f, 0.f), cfg);
+
+  // 2x over budget for five windows, every window shedding: without the
+  // anti-windup clamp the offset would ratchet up 0.2 per window.
+  for (int i = 0; i < 5; ++i) {
+    lc.note_shed();
+    lc.record_batch(20.0, kKeep, 1);
+    EXPECT_FLOAT_EQ(lc.offset(), 0.f);
+  }
+  EXPECT_TRUE(lc.shedding_active());
+
+  // Attack over but still over budget: glide at recovery_decay * step
+  // instead of jumping, and stay in recovery until p95 re-enters the band.
+  lc.record_batch(20.0, kKeep, 1);
+  EXPECT_NEAR(lc.offset(), 0.5f * 0.2f, 1e-6f);
+  EXPECT_TRUE(lc.shedding_active());
+
+  // Inside the band: recovery completes...
+  lc.record_batch(9.0, kKeep, 1);
+  EXPECT_FALSE(lc.shedding_active());
+  const float settled = lc.offset();
+  // ...and the next over-budget window takes a full-speed step again.
+  lc.record_batch(20.0, kKeep, 1);
+  EXPECT_NEAR(lc.offset(), settled + 0.2f, 1e-6f);
+}
+
 // --- InferenceServer --------------------------------------------------------
 
 ServerConfig small_config(int max_batch, std::chrono::microseconds max_wait,
@@ -530,6 +651,45 @@ TEST(InferenceServer, DeadlineMissesAreFlaggedAndCounted) {
   const InferenceResult r = f.get();
   EXPECT_TRUE(r.deadline_missed);
   EXPECT_EQ(server.stats().snapshot().deadline_misses, 1u);
+}
+
+TEST(InferenceServer, ExpiredAtDequeueAnsweredUnexecuted) {
+  InferenceServer server(small_cnn_factory(), small_config(2, 5ms));
+  // Dead on arrival: the worker answers it at dequeue without running it.
+  auto f = server.submit(make_input(9), Clock::now() - 1ms);
+  const InferenceResult r = f.get();
+  EXPECT_TRUE(r.deadline_missed);
+  EXPECT_TRUE(r.expired_unexecuted);
+  EXPECT_EQ(r.predicted, -1);
+  EXPECT_EQ(r.batch_size, 0);
+  const ServerStats::Snapshot s = server.stats().snapshot();
+  EXPECT_EQ(s.expired_unexecuted, 1u);
+  EXPECT_EQ(s.deadline_misses, 1u);  // expired is a subset of missed
+}
+
+TEST(InferenceServer, ComputeCapClampsMasksAndCountsCappedRequests) {
+  Rng probe_rng(7);
+  const int blocks =
+      models::make_model("small_cnn", 4, 1.0f, probe_rng)->num_blocks();
+  ServerConfig config = small_config(4, 50ms);
+  config.prune = core::PruneSettings::uniform(blocks, 0.3f, 0.f);
+  // Keep 0.7 per masked conv exceeds the 0.4 ceiling, so every masked
+  // request's masks clamp; capped requests still execute and answer.
+  config.compute_cap = 0.4;
+  InferenceServer server(small_cnn_factory(), config);
+  for (int i = 0; i < 6; ++i) {
+    const InferenceResult r = server.submit(make_input(70 + i)).get();
+    EXPECT_GE(r.predicted, 0);
+  }
+  EXPECT_GT(server.stats().snapshot().capped_requests, 0u);
+}
+
+TEST(InferenceServer, AdmissionControlRequiresLatencyController) {
+  // Admission prices requests with the controller's cost model; enabling
+  // it without a latency budget is a configuration error.
+  ServerConfig config = small_config(2, 5ms);
+  config.admission.enabled = true;
+  EXPECT_THROW(InferenceServer(small_cnn_factory(), config), Error);
 }
 
 TEST(InferenceServer, LatencyControllerRequiresPruneSettings) {

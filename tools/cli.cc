@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <iostream>
+#include <optional>
 #include <thread>
 
 #include "base/error.h"
@@ -754,10 +756,14 @@ int cmd_plan_dump(const std::vector<std::string>& args) {
   return 0;
 }
 
-// Runs a closed-loop load generator against an in-process InferenceServer:
-// `--clients` threads each keep exactly one request in flight, so offered
-// load adapts to what the server sustains and queue backpressure is
-// exercised rather than overflowed.
+// Runs a load generator against an in-process InferenceServer. The
+// default is closed-loop: `--clients` threads each keep exactly one
+// request in flight, so offered load adapts to what the server sustains
+// and queue backpressure is exercised rather than overflowed.
+// --adversarial switches the clients to hostile traffic (worst-case mask
+// diversity, compute inflation, open-loop bursts; see
+// serving/adversarial.h), the workload the admission/cap hardening knobs
+// (--admission-ms, --compute-cap, --deadline-ms) exist to survive.
 int cmd_serve_bench(const std::vector<std::string>& args) {
   FlagSet flags("antidote_cli serve-bench");
   add_common_flags(flags);
@@ -778,6 +784,23 @@ int cmd_serve_bench(const std::vector<std::string>& args) {
   flags.add_int("clients", 8, "closed-loop client threads");
   flags.add_int("requests", 512, "measured requests");
   flags.add_int("warmup", 64, "requests served before stats reset");
+  flags.add_string("adversarial", "off",
+                   "worst-case workload profile: off | masks | compute | "
+                   "burst | mixed (see docs/serving.md)");
+  flags.add_double("admission-ms", 0.0,
+                   "cost-aware admission budget: shed a submit when the "
+                   "predicted queue drain exceeds this "
+                   "(0 = off; needs --budget-ms for the cost model)");
+  flags.add_double("compute-cap", 1.0,
+                   "per-request kept-MAC ceiling enforced by the plan "
+                   "executor; masks over the cap are clamped and counted "
+                   "(1.0 = uncapped)");
+  flags.add_double("deadline-ms", 0.0,
+                   "per-request deadline; requests already dead at dequeue "
+                   "are answered unexecuted (0 = none)");
+  flags.add_string("json", "",
+                   "write a BENCH JSON summary (seeded meta + overload "
+                   "metrics) to this path");
   flags.parse(args);
   if (flags.help_requested()) {
     std::cout << flags.usage();
@@ -822,6 +845,15 @@ int cmd_serve_bench(const std::vector<std::string>& args) {
     lc.target_p95_ms = budget_ms;
     config.latency = lc;
   }
+  const double admission_ms = flags.get_double("admission-ms");
+  if (admission_ms > 0.0) {
+    AD_CHECK_GT(budget_ms, 0.0)
+        << " --admission-ms needs --budget-ms: the latency controller's "
+           "cost model is what prices a queued request";
+    config.admission.enabled = true;
+    config.admission.max_queue_ms = admission_ms;
+  }
+  config.compute_cap = flags.get_double("compute-cap");
 
   const plan::NumericRegime regime = regime_from_flags(flags);
   const plan::CoarsenPolicy coarsen = coarsen_from_flags(flags);
@@ -845,20 +877,60 @@ int cmd_serve_bench(const std::vector<std::string>& args) {
       config);
 
   // Warm-up and measured phases run back to back but fully separated, so
-  // the measured stats never mix with warm-up requests.
+  // the measured stats never mix with warm-up requests. Each client thread
+  // drives its own seeded AdversarialGenerator (profile `off` degenerates
+  // to the plain closed-loop randn stream), so a run is reproducible from
+  // (--seed, client id, request index) alone. Burst pacing fires open-loop
+  // try_submit volleys — sheds and rejections are the point — while the
+  // other profiles stay closed-loop.
   const int num_clients = flags.get_int("clients");
+  const serving::AdversarialProfile adversarial =
+      serving::adversarial_profile_from_name(flags.get_string("adversarial"));
+  const double deadline_ms = flags.get_double("deadline-ms");
   auto run_phase = [&](int request_count, uint64_t seed_base) {
     std::atomic<int> issued{0};
     std::vector<std::thread> clients;
     clients.reserve(static_cast<size_t>(num_clients));
     for (int c = 0; c < num_clients; ++c) {
       clients.emplace_back([&, c] {
-        Rng rng(seed_base + static_cast<uint64_t>(c));
-        while (issued.fetch_add(1) < request_count) {
-          Tensor x = Tensor::randn({3, image_size, image_size}, rng);
-          auto future = server.submit(std::move(x));
-          if (!future.valid()) break;  // server shut down
-          future.get();
+        serving::AdversarialGenerator gen(
+            3, image_size, image_size, adversarial,
+            seed_base + static_cast<uint64_t>(c));
+        const auto deadline =
+            [&]() -> std::optional<serving::Clock::time_point> {
+          if (deadline_ms <= 0.0) return std::nullopt;
+          return serving::Clock::now() +
+                 std::chrono::microseconds(
+                     static_cast<int64_t>(deadline_ms * 1000.0));
+        };
+        bool done = false;
+        while (!done) {
+          const serving::AdversarialPacing pacing =
+              gen.pacing(server.queue().capacity());
+          if (pacing.open_loop) {
+            // Coordinated volley: fire without waiting, then drain what
+            // was admitted so the phase's request accounting stays exact.
+            std::vector<std::future<serving::InferenceResult>> volley;
+            volley.reserve(static_cast<size_t>(pacing.burst));
+            for (int b = 0; b < pacing.burst; ++b) {
+              if (issued.fetch_add(1) >= request_count) {
+                done = true;
+                break;
+              }
+              auto future = server.try_submit(gen.next_input(), deadline());
+              if (future.valid()) volley.push_back(std::move(future));
+            }
+            for (auto& f : volley) f.get();
+          } else {
+            if (issued.fetch_add(1) >= request_count) break;
+            auto future = server.submit(gen.next_input(), deadline());
+            if (!future.valid()) {
+              if (server.queue().closed()) break;  // server shut down
+              continue;  // shed by admission control; counted server-side
+            }
+            future.get();
+          }
+          if (pacing.gap.count() > 0) std::this_thread::sleep_for(pacing.gap);
         }
       });
     }
@@ -889,6 +961,56 @@ int cmd_serve_bench(const std::vector<std::string>& args) {
   }
   std::printf("measured: %d requests in %.2f s\n", measured,
               measured_seconds);
+  const serving::ServerStats::Snapshot snap = server.stats().snapshot();
+  if (adversarial != serving::AdversarialProfile::kOff) {
+    std::printf(
+        "adversarial: profile %s, seed %llu — shed %llu, capped %llu, "
+        "expired %llu of %llu offered\n",
+        serving::adversarial_profile_name(adversarial),
+        static_cast<unsigned long long>(seed),
+        static_cast<unsigned long long>(snap.shed),
+        static_cast<unsigned long long>(snap.capped_requests),
+        static_cast<unsigned long long>(snap.expired_unexecuted),
+        static_cast<unsigned long long>(snap.offered_requests));
+  }
+  const std::string json_path = flags.get_string("json");
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    AD_CHECK(f != nullptr) << " serve-bench: cannot write " << json_path;
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"meta\": {\"bench\": \"serve_bench\", \"model\": \"%s\", "
+        "\"adversarial\": \"%s\", \"seed\": %llu, \"clients\": %d, "
+        "\"workers\": %d, \"max_batch\": %d, \"budget_ms\": %.3f, "
+        "\"admission_ms\": %.3f, \"compute_cap\": %.3f, "
+        "\"deadline_ms\": %.3f},\n"
+        "  \"metrics\": {\"completed\": %llu, \"offered\": %llu, "
+        "\"throughput_rps\": %.3f, \"e2e_p50_ms\": %.4f, "
+        "\"e2e_p95_ms\": %.4f, \"e2e_p99_ms\": %.4f, \"shed\": %llu, "
+        "\"shed_rate_pct\": %.3f, \"rejected\": %llu, \"capped\": %llu, "
+        "\"capped_rate_pct\": %.3f, \"expired_unexecuted\": %llu, "
+        "\"expired_rate_pct\": %.3f, \"deadline_misses\": %llu, "
+        "\"measured_s\": %.3f}\n"
+        "}\n",
+        model.c_str(), serving::adversarial_profile_name(adversarial),
+        static_cast<unsigned long long>(seed), num_clients,
+        config.policy.num_workers, config.policy.max_batch, budget_ms,
+        admission_ms, config.compute_cap, deadline_ms,
+        static_cast<unsigned long long>(snap.completed_requests),
+        static_cast<unsigned long long>(snap.offered_requests),
+        snap.throughput_rps, snap.e2e_p50_ms, snap.e2e_p95_ms,
+        snap.e2e_p99_ms, static_cast<unsigned long long>(snap.shed),
+        snap.shed_rate_pct, static_cast<unsigned long long>(snap.rejected),
+        static_cast<unsigned long long>(snap.capped_requests),
+        snap.capped_rate_pct,
+        static_cast<unsigned long long>(snap.expired_unexecuted),
+        snap.expired_rate_pct,
+        static_cast<unsigned long long>(snap.deadline_misses),
+        measured_seconds);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }
 
@@ -912,7 +1034,8 @@ constexpr CommandEntry kCommands[] = {
     {"trace", cmd_trace,
      "record plan passes and write a Chrome trace-event JSON timeline"},
     {"serve-bench", cmd_serve_bench,
-     "closed-loop load test of the batched serving runtime"},
+     "load test of the batched serving runtime; --adversarial switches to "
+     "hostile traffic (mask diversity, compute inflation, bursts)"},
 };
 
 std::string usage_text() {
